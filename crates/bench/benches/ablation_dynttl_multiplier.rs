@@ -1,0 +1,26 @@
+//! Ablation: the dynamic-TTL interval multiplier (Algorithm 1 fixes 2.0;
+//! the knob is exposed for sensitivity studies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_bench::bench_variants;
+use dtn_epidemic::{protocols, LifetimePolicy};
+use dtn_experiments::Mobility;
+
+fn benches(c: &mut Criterion) {
+    let variants = [0.5, 1.0, 2.0, 4.0, 8.0]
+        .into_iter()
+        .map(|multiplier| {
+            let mut protocol = protocols::dynamic_ttl_epidemic();
+            protocol.lifetime = LifetimePolicy::DynamicTtl { multiplier };
+            (format!("mult_{multiplier}"), protocol)
+        })
+        .collect();
+    bench_variants(c, "ablation_dynttl_multiplier", Mobility::Trace, variants);
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

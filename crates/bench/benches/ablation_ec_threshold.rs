@@ -1,0 +1,32 @@
+//! Ablation: the EC+TTL threshold (Algorithm 2 fixes 8 transmissions
+//! before a bundle receives a TTL).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_bench::bench_variants;
+use dtn_epidemic::{protocols, EvictionPolicy, LifetimePolicy};
+use dtn_experiments::Mobility;
+use dtn_sim::SimDuration;
+
+fn benches(c: &mut Criterion) {
+    let variants = [2u32, 4, 8, 16, 32]
+        .into_iter()
+        .map(|threshold| {
+            let mut protocol = protocols::ec_ttl_epidemic();
+            protocol.lifetime = LifetimePolicy::EcTtl {
+                threshold,
+                base: SimDuration::from_secs(300),
+                decay: SimDuration::from_secs(100),
+            };
+            protocol.eviction = EvictionPolicy::HighestEcMin { min_ec: threshold };
+            (format!("threshold_{threshold}"), protocol)
+        })
+        .collect();
+    bench_variants(c, "ablation_ec_threshold", Mobility::Rwp, variants);
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,32 @@
+//! Ablation: buffer-full eviction policy (the axis DESIGN.md pins as a
+//! reproduction decision — the paper never states the full-buffer rule
+//! for the non-EC protocols).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_bench::bench_variants;
+use dtn_epidemic::{protocols, EvictionPolicy};
+use dtn_experiments::Mobility;
+
+fn benches(c: &mut Criterion) {
+    let variants = [
+        ("reject_new", EvictionPolicy::RejectNew),
+        ("drop_oldest", EvictionPolicy::DropOldest),
+        ("highest_ec", EvictionPolicy::HighestEc),
+        ("highest_ec_min8", EvictionPolicy::HighestEcMin { min_ec: 8 }),
+    ]
+    .into_iter()
+    .map(|(label, eviction)| {
+        let mut protocol = protocols::pure_epidemic();
+        protocol.eviction = eviction;
+        (label.to_string(), protocol)
+    })
+    .collect();
+    bench_variants(c, "ablation_eviction", Mobility::Trace, variants);
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,34 @@
+//! Bench target for the signaling-overhead study (abstract: cumulative
+//! immunity incurs "an order of magnitude less signaling overheads").
+//! Regenerate the full comparison with: `repro overhead`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_bench::{bench_sweep_config, bench_variants};
+use dtn_epidemic::protocols;
+use dtn_experiments::{overhead_table, Mobility};
+
+fn benches(c: &mut Criterion) {
+    let cfg = bench_sweep_config();
+    c.bench_function("overhead_table", |b| {
+        b.iter(|| std::hint::black_box(overhead_table(&cfg)));
+    });
+    // Per-scheme simulation cost: per-bundle tables carry O(load) records
+    // per exchange, the cumulative table O(flows).
+    bench_variants(
+        c,
+        "ablation_immunity_overhead",
+        Mobility::Trace,
+        vec![
+            ("per_bundle".into(), protocols::immunity_epidemic()),
+            ("cumulative".into(), protocols::cumulative_immunity_epidemic()),
+            ("no_acks".into(), protocols::pure_epidemic()),
+        ],
+    );
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

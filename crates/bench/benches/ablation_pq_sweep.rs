@@ -1,0 +1,26 @@
+//! Ablation: the P–Q transmission probabilities. Section IV: "We
+//! experiment with the following P and Q values: 0.1, 0.5 and 1."
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_bench::bench_variants;
+use dtn_epidemic::protocols;
+use dtn_experiments::Mobility;
+
+fn benches(c: &mut Criterion) {
+    let variants = [0.1, 0.5, 1.0]
+        .into_iter()
+        .flat_map(|p| {
+            [0.1, 0.5, 1.0].into_iter().map(move |q| {
+                (format!("p{p}_q{q}"), protocols::pq_epidemic(p, q))
+            })
+        })
+        .collect();
+    bench_variants(c, "ablation_pq_sweep", Mobility::Trace, variants);
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

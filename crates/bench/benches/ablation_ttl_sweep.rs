@@ -1,0 +1,29 @@
+//! Ablation: the fixed TTL constant. Section IV: "we experimented with
+//! TTL values of 50, 100, 150 and 200 seconds" (plus the 300 s evaluation
+//! default).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_bench::bench_variants;
+use dtn_epidemic::protocols;
+use dtn_experiments::Mobility;
+use dtn_sim::SimDuration;
+
+fn benches(c: &mut Criterion) {
+    let variants = [50u64, 100, 150, 200, 300]
+        .into_iter()
+        .map(|ttl| {
+            (
+                format!("ttl_{ttl}s"),
+                protocols::ttl_epidemic(SimDuration::from_secs(ttl)),
+            )
+        })
+        .collect();
+    bench_variants(c, "ablation_ttl_sweep", Mobility::Trace, variants);
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,16 @@
+//! Bench target for the paper's fig19 driver (reduced sweep).
+//! Regenerate the full figure with: `repro fig19`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_bench::{bench_figure_driver, figure_driver};
+
+fn benches(c: &mut Criterion) {
+    bench_figure_driver(c, "fig19", figure_driver("fig19"));
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

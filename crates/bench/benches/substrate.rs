@@ -1,0 +1,99 @@
+//! Microbenchmarks of the simulation substrates: the event queue, the
+//! RNG, the mobility generators, and a single protocol run — the numbers
+//! to watch when optimizing the simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_epidemic::protocols;
+use dtn_experiments::Mobility;
+use dtn_mobility::{HaggleParams, IntervalScenario, RwpParams, SubscriberParams};
+use dtn_sim::{EventQueue, SimRng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("substrate/event_queue_10k", |b| {
+        let mut rng = SimRng::new(1);
+        let times: Vec<SimTime> = (0..10_000)
+            .map(|_| SimTime::from_secs(rng.below(1_000_000)))
+            .collect();
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(times.len());
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(t, i);
+            }
+            let mut checksum = 0usize;
+            while let Some((_, i)) = q.pop() {
+                checksum ^= i;
+            }
+            std::hint::black_box(checksum)
+        });
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("substrate/rng_1m_u64", |b| {
+        let mut rng = SimRng::new(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc ^= rng.next_u64();
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    c.bench_function("substrate/rng_100k_pareto", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += rng.pareto_truncated(100.0, 1e6, 0.4);
+            }
+            std::hint::black_box(acc)
+        });
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("substrate/gen_haggle_trace", |b| {
+        b.iter(|| {
+            std::hint::black_box(HaggleParams::default().generate(&mut SimRng::new(1)))
+        });
+    });
+    c.bench_function("substrate/gen_subscriber_rwp", |b| {
+        b.iter(|| {
+            std::hint::black_box(SubscriberParams::default().generate(&mut SimRng::new(1)))
+        });
+    });
+    c.bench_function("substrate/gen_geometric_rwp", |b| {
+        let params = RwpParams {
+            horizon: SimTime::from_secs(100_000),
+            ..RwpParams::default()
+        };
+        b.iter(|| std::hint::black_box(params.generate(&mut SimRng::new(1))));
+    });
+    c.bench_function("substrate/gen_interval_scenario", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                IntervalScenario::with_max_interval(400).generate(&mut SimRng::new(1)),
+            )
+        });
+    });
+}
+
+fn bench_single_run(c: &mut Criterion) {
+    c.bench_function("substrate/simulate_trace_load25", |b| {
+        b.iter(|| {
+            std::hint::black_box(dtn_bench::one_run(
+                protocols::immunity_epidemic(),
+                Mobility::Trace,
+                25,
+                7,
+            ))
+        });
+    });
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_rng, bench_generators, bench_single_run
+}
+criterion_main!(group);

@@ -1,0 +1,20 @@
+//! Bench target for the paper's Table II driver (reduced sweep).
+//! Regenerate the full table with: `repro table2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_bench::bench_sweep_config;
+use dtn_experiments::table2;
+
+fn benches(c: &mut Criterion) {
+    let cfg = bench_sweep_config();
+    c.bench_function("table2_summary", |b| {
+        b.iter(|| std::hint::black_box(table2(&cfg)));
+    });
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,109 @@
+//! # dtn-bench — Criterion benchmarks, one per paper table/figure
+//!
+//! Every figure and table of the paper has a bench target that runs its
+//! driver over a reduced sweep (one load level, one replication,
+//! sequential), so `cargo bench` both times and continuously exercises
+//! each experiment path. The `repro` binary in `dtn-experiments` is the
+//! tool that regenerates the *full* figures; these benches answer "how
+//! expensive is each experiment, and did a change regress the simulator?"
+//!
+//! Ablation benches time the simulator under each policy axis variation
+//! (eviction rules, P/Q values, TTL constants, dynamic-TTL multipliers,
+//! EC thresholds, link speeds), pinning the cost of every design choice
+//! DESIGN.md calls out.
+
+use criterion::Criterion;
+use dtn_epidemic::{simulate, ProtocolConfig, RunMetrics, SimConfig, Workload};
+use dtn_experiments::{Figure, Mobility, SweepConfig};
+use dtn_sim::{SimDuration, SimRng, Threads};
+
+/// The reduced sweep used inside benches: one mid-range load, one
+/// replication, no worker threads (Criterion owns the machine).
+pub fn bench_sweep_config() -> SweepConfig {
+    SweepConfig {
+        loads: vec![25],
+        replications: 1,
+        threads: Threads::Sequential,
+        ..SweepConfig::default()
+    }
+}
+
+/// Benchmark one figure driver end to end (trace/workload generation plus
+/// simulation plus aggregation).
+pub fn bench_figure_driver(c: &mut Criterion, id: &str, driver: fn(&SweepConfig) -> Figure) {
+    let cfg = bench_sweep_config();
+    c.bench_function(id, |b| {
+        b.iter(|| std::hint::black_box(driver(&cfg)));
+    });
+}
+
+/// Look up a figure driver from the registry by id (panics on unknown id
+/// — bench targets are compiled against the registry, so a rename fails
+/// loudly).
+pub fn figure_driver(id: &str) -> fn(&SweepConfig) -> Figure {
+    dtn_experiments::all_figures()
+        .into_iter()
+        .find(|(fid, _)| *fid == id)
+        .unwrap_or_else(|| panic!("no figure driver named {id}"))
+        .1
+}
+
+/// Run one simulation of `protocol` over `mobility` at the given load —
+/// the unit the ablation benches time.
+pub fn one_run(protocol: ProtocolConfig, mobility: Mobility, load: u32, seed: u64) -> RunMetrics {
+    let trace = mobility.build(seed, 0);
+    let mut wl_rng = SimRng::new(seed ^ 0x5EED);
+    let workload = Workload::single_random_flow(load, trace.node_count(), &mut wl_rng);
+    let config = SimConfig {
+        protocol,
+        buffer_capacity: 10,
+        tx_time: SimDuration::from_secs(mobility.tx_time_secs()),
+        ack_slot_cost: 0.1,
+        transfer_loss_prob: 0.0,
+        bundle_bytes: 10_000_000,
+        ack_record_bytes: 16,
+    };
+    simulate(&trace, &workload, &config, SimRng::new(seed))
+}
+
+/// Benchmark a list of protocol variants over one mobility source, one
+/// Criterion benchmark per variant, grouped under `group_name`.
+pub fn bench_variants(
+    c: &mut Criterion,
+    group_name: &str,
+    mobility: Mobility,
+    variants: Vec<(String, ProtocolConfig)>,
+) {
+    let mut group = c.benchmark_group(group_name);
+    for (label, protocol) in variants {
+        group.bench_function(&label, |b| {
+            b.iter(|| std::hint::black_box(one_run(protocol.clone(), mobility, 25, 7)));
+        });
+    }
+    group.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_epidemic::protocols;
+
+    #[test]
+    fn figure_registry_lookup_works() {
+        for id in ["fig07", "fig13", "fig20"] {
+            let _ = figure_driver(id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no figure driver")]
+    fn unknown_figure_panics() {
+        figure_driver("fig99");
+    }
+
+    #[test]
+    fn one_run_produces_metrics() {
+        let m = one_run(protocols::pure_epidemic(), Mobility::Trace, 10, 1);
+        assert!(m.total_bundles == 10);
+    }
+}

@@ -1,0 +1,351 @@
+//! Per-node bundle storage.
+//!
+//! Each node has a bounded *relay buffer* (the paper sets the bound to 10
+//! bundles) for copies it carries on behalf of others, and source nodes
+//! additionally hold their own not-yet-retired originals in an unbounded
+//! *origin store* (the application's send queue — the paper loads up to 50
+//! bundles onto a source whose relay buffer holds 10, so originals cannot
+//! live in the bounded buffer). Both kinds of copy are subject to lifetime
+//! policies; only the relay buffer is subject to capacity eviction.
+
+use crate::bundle::BundleId;
+use crate::policy::EvictionPolicy;
+use dtn_sim::SimTime;
+
+/// One stored copy of a bundle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoredBundle {
+    /// Which bundle this is a copy of.
+    pub id: BundleId,
+    /// The copy's encounter count — how many transmissions this lineage of
+    /// the bundle has undergone (incremented on the sender, inherited by
+    /// the receiver; see paper Fig. 5).
+    pub ec: u32,
+    /// When this copy was stored here.
+    pub stored_at: SimTime,
+    /// When this copy expires ([`SimTime::MAX`] = never). Maintained by
+    /// the lifetime policy.
+    pub expires_at: SimTime,
+}
+
+/// Outcome of trying to admit a bundle into a full-capable buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Stored without displacing anything.
+    Stored,
+    /// Stored after evicting the returned bundle.
+    StoredEvicting(BundleId),
+    /// Buffer full and the policy declined to evict; the copy is dropped.
+    Rejected,
+    /// The node already holds this bundle; nothing changed.
+    Duplicate,
+}
+
+/// A bounded relay buffer.
+///
+/// Backed by a plain `Vec` — the paper's buffers hold ten bundles, so
+/// linear scans beat any indexed structure, and iteration order (insertion
+/// order) gives deterministic tie-breaking for free.
+#[derive(Clone, Debug)]
+pub struct Buffer {
+    capacity: usize,
+    entries: Vec<StoredBundle>,
+}
+
+impl Buffer {
+    /// An empty buffer holding at most `capacity` bundles.
+    pub fn new(capacity: usize) -> Buffer {
+        assert!(capacity > 0, "zero-capacity buffer");
+        Buffer {
+            capacity,
+            // Cap the pre-allocation: "unbounded" origin stores pass
+            // usize::MAX as capacity.
+            entries: Vec::with_capacity(capacity.min(64)),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of stored bundles.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// True if a copy of `id` is stored.
+    pub fn contains(&self, id: BundleId) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+
+    /// Shared access to a stored copy.
+    pub fn get(&self, id: BundleId) -> Option<&StoredBundle> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Mutable access to a stored copy.
+    pub fn get_mut(&mut self, id: BundleId) -> Option<&mut StoredBundle> {
+        self.entries.iter_mut().find(|e| e.id == id)
+    }
+
+    /// Iterate over stored copies in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredBundle> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration (used by the session layer to update EC/TTL).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut StoredBundle> {
+        self.entries.iter_mut()
+    }
+
+    /// Remove and return the copy of `id`.
+    pub fn remove(&mut self, id: BundleId) -> Option<StoredBundle> {
+        let pos = self.entries.iter().position(|e| e.id == id)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Admit `bundle` under `policy`.
+    ///
+    /// * With space available the copy is always stored.
+    /// * [`EvictionPolicy::RejectNew`]: a full buffer drops the newcomer.
+    /// * [`EvictionPolicy::DropOldest`]: evicts the longest-stored entry.
+    /// * [`EvictionPolicy::HighestEc`]: evicts the entry with the highest
+    ///   EC (paper Fig. 5 — the newcomer, which this node has never seen,
+    ///   always wins; the most-duplicated stored copy is sacrificed). Ties
+    ///   break toward the older entry for determinism.
+    pub fn insert(&mut self, bundle: StoredBundle, policy: EvictionPolicy) -> InsertOutcome {
+        if self.contains(bundle.id) {
+            return InsertOutcome::Duplicate;
+        }
+        if !self.is_full() {
+            self.entries.push(bundle);
+            return InsertOutcome::Stored;
+        }
+        match policy {
+            EvictionPolicy::RejectNew => InsertOutcome::Rejected,
+            EvictionPolicy::DropOldest => {
+                let victim_pos = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(pos, e)| (e.stored_at, *pos))
+                    .map(|(pos, _)| pos)
+                    .expect("full buffer is non-empty");
+                let victim = self.entries.remove(victim_pos);
+                self.entries.push(bundle);
+                InsertOutcome::StoredEvicting(victim.id)
+            }
+            EvictionPolicy::HighestEc => {
+                let victim_pos = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(pos, e)| (e.ec, std::cmp::Reverse(*pos)))
+                    .map(|(pos, _)| pos)
+                    .expect("full buffer is non-empty");
+                let victim = self.entries.remove(victim_pos);
+                self.entries.push(bundle);
+                InsertOutcome::StoredEvicting(victim.id)
+            }
+            EvictionPolicy::HighestEcMin { min_ec } => {
+                let victim_pos = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.ec >= min_ec)
+                    .max_by_key(|(pos, e)| (e.ec, std::cmp::Reverse(*pos)))
+                    .map(|(pos, _)| pos);
+                match victim_pos {
+                    Some(pos) => {
+                        let victim = self.entries.remove(pos);
+                        self.entries.push(bundle);
+                        InsertOutcome::StoredEvicting(victim.id)
+                    }
+                    // Every resident is below the deletion threshold:
+                    // protected, so the newcomer is dropped.
+                    None => InsertOutcome::Rejected,
+                }
+            }
+        }
+    }
+
+    /// Remove every copy whose expiry is at or before `now`; returns the
+    /// removed ids in insertion order.
+    pub fn purge_expired(&mut self, now: SimTime) -> Vec<BundleId> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            if e.expires_at <= now {
+                removed.push(e.id);
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Remove every copy covered by `predicate` (immunity purge); returns
+    /// removed ids.
+    pub fn purge_if<F: FnMut(BundleId) -> bool>(&mut self, mut predicate: F) -> Vec<BundleId> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            if predicate(e.id) {
+                removed.push(e.id);
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// The earliest finite expiry among stored copies.
+    pub fn earliest_expiry(&self) -> Option<SimTime> {
+        self.entries
+            .iter()
+            .map(|e| e.expires_at)
+            .filter(|&t| t != SimTime::MAX)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::FlowId;
+
+    fn bid(seq: u32) -> BundleId {
+        BundleId {
+            flow: FlowId(0),
+            seq,
+        }
+    }
+
+    fn stored(seq: u32, ec: u32, at: u64) -> StoredBundle {
+        StoredBundle {
+            id: bid(seq),
+            ec,
+            stored_at: SimTime::from_secs(at),
+            expires_at: SimTime::MAX,
+        }
+    }
+
+    #[test]
+    fn stores_until_capacity() {
+        let mut buf = Buffer::new(3);
+        for i in 0..3 {
+            assert_eq!(buf.insert(stored(i, 0, 0), EvictionPolicy::RejectNew), InsertOutcome::Stored);
+        }
+        assert!(buf.is_full());
+        assert_eq!(
+            buf.insert(stored(9, 0, 0), EvictionPolicy::RejectNew),
+            InsertOutcome::Rejected
+        );
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_is_reported_and_ignored() {
+        let mut buf = Buffer::new(2);
+        buf.insert(stored(1, 0, 0), EvictionPolicy::RejectNew);
+        assert_eq!(
+            buf.insert(stored(1, 5, 9), EvictionPolicy::RejectNew),
+            InsertOutcome::Duplicate
+        );
+        assert_eq!(buf.get(bid(1)).unwrap().ec, 0, "original copy untouched");
+    }
+
+    #[test]
+    fn drop_oldest_evicts_by_stored_at() {
+        let mut buf = Buffer::new(2);
+        buf.insert(stored(1, 0, 100), EvictionPolicy::DropOldest);
+        buf.insert(stored(2, 0, 50), EvictionPolicy::DropOldest);
+        let out = buf.insert(stored(3, 0, 200), EvictionPolicy::DropOldest);
+        assert_eq!(out, InsertOutcome::StoredEvicting(bid(2)));
+        assert!(buf.contains(bid(1)) && buf.contains(bid(3)));
+    }
+
+    #[test]
+    fn highest_ec_evicts_most_duplicated() {
+        // Paper Fig. 5: the incoming never-seen bundle is admitted by
+        // evicting the highest-EC resident.
+        let mut buf = Buffer::new(3);
+        buf.insert(stored(1, 2, 0), EvictionPolicy::HighestEc);
+        buf.insert(stored(2, 7, 0), EvictionPolicy::HighestEc);
+        buf.insert(stored(3, 4, 0), EvictionPolicy::HighestEc);
+        // Incoming with even higher EC still wins (node B accepts bundle 9
+        // with EC 7 in the figure).
+        let out = buf.insert(stored(9, 9, 1), EvictionPolicy::HighestEc);
+        assert_eq!(out, InsertOutcome::StoredEvicting(bid(2)));
+        assert!(buf.contains(bid(9)));
+    }
+
+    #[test]
+    fn highest_ec_tie_breaks_toward_older_entry() {
+        let mut buf = Buffer::new(2);
+        buf.insert(stored(1, 5, 0), EvictionPolicy::HighestEc);
+        buf.insert(stored(2, 5, 0), EvictionPolicy::HighestEc);
+        let out = buf.insert(stored(3, 0, 1), EvictionPolicy::HighestEc);
+        assert_eq!(out, InsertOutcome::StoredEvicting(bid(1)));
+    }
+
+    #[test]
+    fn purge_expired_removes_only_due_copies() {
+        let mut buf = Buffer::new(4);
+        let mut b1 = stored(1, 0, 0);
+        b1.expires_at = SimTime::from_secs(100);
+        let mut b2 = stored(2, 0, 0);
+        b2.expires_at = SimTime::from_secs(200);
+        buf.insert(b1, EvictionPolicy::RejectNew);
+        buf.insert(b2, EvictionPolicy::RejectNew);
+        buf.insert(stored(3, 0, 0), EvictionPolicy::RejectNew); // never expires
+        let removed = buf.purge_expired(SimTime::from_secs(100));
+        assert_eq!(removed, vec![bid(1)]);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.earliest_expiry(), Some(SimTime::from_secs(200)));
+    }
+
+    #[test]
+    fn earliest_expiry_ignores_immortal_copies() {
+        let mut buf = Buffer::new(2);
+        buf.insert(stored(1, 0, 0), EvictionPolicy::RejectNew);
+        assert_eq!(buf.earliest_expiry(), None);
+    }
+
+    #[test]
+    fn purge_if_removes_covered() {
+        let mut buf = Buffer::new(4);
+        for i in 0..4 {
+            buf.insert(stored(i, 0, 0), EvictionPolicy::RejectNew);
+        }
+        let removed = buf.purge_if(|id| id.seq % 2 == 0);
+        assert_eq!(removed, vec![bid(0), bid(2)]);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn remove_returns_the_copy() {
+        let mut buf = Buffer::new(2);
+        buf.insert(stored(1, 3, 7), EvictionPolicy::RejectNew);
+        let copy = buf.remove(bid(1)).unwrap();
+        assert_eq!(copy.ec, 3);
+        assert!(buf.remove(bid(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        Buffer::new(0);
+    }
+}

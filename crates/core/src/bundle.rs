@@ -1,0 +1,448 @@
+//! Bundles, flows and workloads.
+//!
+//! DTN messages are "bundles" (the paper keeps RFC 4838's term). The
+//! evaluation workload is simple — one randomly chosen source sends `k`
+//! bundles to one randomly chosen destination, `k ∈ {5, 10, …, 50}` — but
+//! the library supports any set of unicast [`Flow`]s, which the
+//! one-to-all dissemination example builds on.
+
+use dtn_mobility::NodeId;
+use dtn_sim::{SimRng, SimTime};
+use std::fmt;
+
+/// Identifier of a unicast flow (source → destination stream of bundles).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u32);
+
+/// Globally unique bundle identifier: a flow plus a sequence number within
+/// the flow (0-based). Sequence numbers are what the cumulative immunity
+/// table acknowledges prefixes of.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BundleId {
+    /// The flow this bundle belongs to.
+    pub flow: FlowId,
+    /// 0-based sequence number within the flow.
+    pub seq: u32,
+}
+
+impl fmt::Display for BundleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.flow.0, self.seq)
+    }
+}
+
+/// A unicast stream of `count` bundles from `src` to `dst`, all created at
+/// `created_at` (the paper creates the whole load at t = 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Flow {
+    /// The flow's identifier (must equal its index in the workload).
+    pub id: FlowId,
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Number of bundles in the flow (the paper's "load" k).
+    pub count: u32,
+    /// Creation instant of every bundle in the flow.
+    pub created_at: SimTime,
+}
+
+/// Errors detected by [`Workload::new`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A flow's `id` does not match its position.
+    MisnumberedFlow(usize),
+    /// A flow has `src == dst`.
+    LoopFlow(FlowId),
+    /// A flow has zero bundles.
+    EmptyFlow(FlowId),
+    /// A flow references a node outside the universe.
+    NodeOutOfRange(FlowId, NodeId),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::MisnumberedFlow(i) => write!(f, "flow at index {i} has mismatched id"),
+            WorkloadError::LoopFlow(id) => write!(f, "flow {} sends to itself", id.0),
+            WorkloadError::EmptyFlow(id) => write!(f, "flow {} has no bundles", id.0),
+            WorkloadError::NodeOutOfRange(id, n) => {
+                write!(f, "flow {} references {n} outside the node universe", id.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// A validated set of flows, plus a dense indexing of every bundle in the
+/// workload (used by the metrics pipeline to keep per-bundle accumulators
+/// in a flat `Vec`).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    flows: Vec<Flow>,
+    /// Prefix sums: bundle index of flow `f` seq `s` is
+    /// `flow_offsets[f] + s`.
+    flow_offsets: Vec<u32>,
+    total: u32,
+}
+
+impl Workload {
+    /// Validate a flow list against a universe of `node_count` nodes.
+    pub fn new(flows: Vec<Flow>, node_count: usize) -> Result<Workload, WorkloadError> {
+        let mut flow_offsets = Vec::with_capacity(flows.len());
+        let mut total: u32 = 0;
+        for (i, f) in flows.iter().enumerate() {
+            if f.id.0 as usize != i {
+                return Err(WorkloadError::MisnumberedFlow(i));
+            }
+            if f.src == f.dst {
+                return Err(WorkloadError::LoopFlow(f.id));
+            }
+            if f.count == 0 {
+                return Err(WorkloadError::EmptyFlow(f.id));
+            }
+            for n in [f.src, f.dst] {
+                if n.index() >= node_count {
+                    return Err(WorkloadError::NodeOutOfRange(f.id, n));
+                }
+            }
+            flow_offsets.push(total);
+            total += f.count;
+        }
+        Ok(Workload {
+            flows,
+            flow_offsets,
+            total,
+        })
+    }
+
+    /// The paper's workload: one flow of `k` bundles between a random
+    /// source/destination pair, created at t = 0.
+    pub fn single_random_flow(k: u32, node_count: usize, rng: &mut SimRng) -> Workload {
+        assert!(node_count >= 2);
+        let src = rng.below(node_count as u64) as usize;
+        let dst = rng.index_excluding(node_count, src);
+        Workload::new(
+            vec![Flow {
+                id: FlowId(0),
+                src: NodeId(src as u16),
+                dst: NodeId(dst as u16),
+                count: k,
+                created_at: SimTime::ZERO,
+            }],
+            node_count,
+        )
+        .expect("random flow is valid by construction")
+    }
+
+    /// A fixed single flow (deterministic tests and examples).
+    pub fn single_flow(src: NodeId, dst: NodeId, k: u32, node_count: usize) -> Workload {
+        Workload::new(
+            vec![Flow {
+                id: FlowId(0),
+                src,
+                dst,
+                count: k,
+                created_at: SimTime::ZERO,
+            }],
+            node_count,
+        )
+        .expect("caller-supplied flow must be valid")
+    }
+
+    /// Continuous traffic: flows arrive as a Poisson process of the given
+    /// rate over `[0, horizon)`, each between a fresh random
+    /// source/destination pair and carrying `bundles_per_flow` bundles.
+    /// This generalizes the paper's everything-at-t-0 workload to the
+    /// steady-state operation a deployed DTN sees.
+    pub fn poisson_flows(
+        rate_per_sec: f64,
+        horizon: SimTime,
+        bundles_per_flow: u32,
+        node_count: usize,
+        rng: &mut SimRng,
+    ) -> Workload {
+        assert!(rate_per_sec > 0.0, "flow rate must be positive");
+        assert!(node_count >= 2);
+        assert!(bundles_per_flow > 0);
+        let mut flows = Vec::new();
+        let mut t = 0.0;
+        let horizon_s = horizon.as_secs_f64();
+        loop {
+            t += rng.exponential(1.0 / rate_per_sec);
+            if t >= horizon_s {
+                break;
+            }
+            let src = rng.below(node_count as u64) as usize;
+            let dst = rng.index_excluding(node_count, src);
+            flows.push(Flow {
+                id: FlowId(flows.len() as u32),
+                src: NodeId(src as u16),
+                dst: NodeId(dst as u16),
+                count: bundles_per_flow,
+                created_at: SimTime::from_secs_f64(t),
+            });
+        }
+        // A zero-flow workload is legal but useless; guarantee at least
+        // one flow so callers don't divide by zero on delivery ratios.
+        if flows.is_empty() {
+            let src = rng.below(node_count as u64) as usize;
+            let dst = rng.index_excluding(node_count, src);
+            flows.push(Flow {
+                id: FlowId(0),
+                src: NodeId(src as u16),
+                dst: NodeId(dst as u16),
+                count: bundles_per_flow,
+                created_at: SimTime::ZERO,
+            });
+        }
+        Workload::new(flows, node_count).expect("poisson flows are valid by construction")
+    }
+
+    /// One-to-all dissemination: a flow of `k` bundles from `src` to every
+    /// other node (the advertisement/event-dissemination use case from the
+    /// paper's introduction).
+    pub fn one_to_all(src: NodeId, k: u32, node_count: usize) -> Workload {
+        let mut flows = Vec::new();
+        for dst in 0..node_count as u16 {
+            if NodeId(dst) == src {
+                continue;
+            }
+            flows.push(Flow {
+                id: FlowId(flows.len() as u32),
+                src,
+                dst: NodeId(dst),
+                count: k,
+                created_at: SimTime::ZERO,
+            });
+        }
+        Workload::new(flows, node_count).expect("one-to-all flows are valid by construction")
+    }
+
+    /// The flows.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Look up a flow by id.
+    pub fn flow(&self, id: FlowId) -> &Flow {
+        &self.flows[id.0 as usize]
+    }
+
+    /// Total number of bundles across all flows.
+    pub fn total_bundles(&self) -> u32 {
+        self.total
+    }
+
+    /// Dense index of a bundle in `0..total_bundles()`.
+    pub fn bundle_index(&self, id: BundleId) -> usize {
+        let flow = &self.flows[id.flow.0 as usize];
+        debug_assert!(id.seq < flow.count, "seq out of range for {id}");
+        (self.flow_offsets[id.flow.0 as usize] + id.seq) as usize
+    }
+
+    /// Inverse of [`Workload::bundle_index`].
+    pub fn bundle_id_at(&self, idx: usize) -> BundleId {
+        assert!(idx < self.total as usize, "bundle index {idx} out of range");
+        let idx = idx as u32;
+        // flow_offsets is sorted; find the flow whose range contains idx.
+        let flow_pos = match self.flow_offsets.binary_search(&idx) {
+            Ok(pos) => pos,
+            Err(pos) => pos - 1,
+        };
+        BundleId {
+            flow: self.flows[flow_pos].id,
+            seq: idx - self.flow_offsets[flow_pos],
+        }
+    }
+
+    /// Iterate over every bundle id in dense-index order.
+    pub fn bundle_ids(&self) -> impl Iterator<Item = BundleId> + '_ {
+        self.flows.iter().flat_map(|f| {
+            (0..f.count).map(move |seq| BundleId {
+                flow: f.id,
+                seq,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_indexing() {
+        let w = Workload::single_flow(NodeId(0), NodeId(3), 5, 12);
+        assert_eq!(w.total_bundles(), 5);
+        assert_eq!(
+            w.bundle_index(BundleId {
+                flow: FlowId(0),
+                seq: 4
+            }),
+            4
+        );
+        assert_eq!(w.bundle_ids().count(), 5);
+    }
+
+    #[test]
+    fn bundle_id_at_inverts_bundle_index() {
+        let flows = vec![
+            Flow {
+                id: FlowId(0),
+                src: NodeId(0),
+                dst: NodeId(1),
+                count: 3,
+                created_at: SimTime::ZERO,
+            },
+            Flow {
+                id: FlowId(1),
+                src: NodeId(2),
+                dst: NodeId(3),
+                count: 5,
+                created_at: SimTime::ZERO,
+            },
+        ];
+        let w = Workload::new(flows, 4).unwrap();
+        for id in w.bundle_ids() {
+            assert_eq!(w.bundle_id_at(w.bundle_index(id)), id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bundle_id_at_rejects_overflow() {
+        let w = Workload::single_flow(NodeId(0), NodeId(1), 3, 2);
+        w.bundle_id_at(3);
+    }
+
+    #[test]
+    fn multi_flow_indexing_is_dense() {
+        let flows = vec![
+            Flow {
+                id: FlowId(0),
+                src: NodeId(0),
+                dst: NodeId(1),
+                count: 3,
+                created_at: SimTime::ZERO,
+            },
+            Flow {
+                id: FlowId(1),
+                src: NodeId(2),
+                dst: NodeId(3),
+                count: 2,
+                created_at: SimTime::ZERO,
+            },
+        ];
+        let w = Workload::new(flows, 4).unwrap();
+        assert_eq!(w.total_bundles(), 5);
+        let ids: Vec<usize> = w.bundle_ids().map(|b| w.bundle_index(b)).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_flow_obeys_universe() {
+        let mut rng = SimRng::new(5);
+        for _ in 0..100 {
+            let w = Workload::single_random_flow(10, 12, &mut rng);
+            let f = &w.flows()[0];
+            assert_ne!(f.src, f.dst);
+            assert!(f.src.index() < 12 && f.dst.index() < 12);
+        }
+    }
+
+    #[test]
+    fn one_to_all_covers_every_destination() {
+        let w = Workload::one_to_all(NodeId(2), 4, 5);
+        assert_eq!(w.flows().len(), 4);
+        assert_eq!(w.total_bundles(), 16);
+        assert!(w.flows().iter().all(|f| f.src == NodeId(2)));
+        let dsts: Vec<u16> = w.flows().iter().map(|f| f.dst.0).collect();
+        assert_eq!(dsts, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn rejects_loop_flow() {
+        let err = Workload::new(
+            vec![Flow {
+                id: FlowId(0),
+                src: NodeId(1),
+                dst: NodeId(1),
+                count: 1,
+                created_at: SimTime::ZERO,
+            }],
+            4,
+        )
+        .unwrap_err();
+        assert_eq!(err, WorkloadError::LoopFlow(FlowId(0)));
+    }
+
+    #[test]
+    fn rejects_empty_flow_and_bad_node() {
+        let empty = Workload::new(
+            vec![Flow {
+                id: FlowId(0),
+                src: NodeId(0),
+                dst: NodeId(1),
+                count: 0,
+                created_at: SimTime::ZERO,
+            }],
+            4,
+        );
+        assert_eq!(empty.unwrap_err(), WorkloadError::EmptyFlow(FlowId(0)));
+        let oob = Workload::new(
+            vec![Flow {
+                id: FlowId(0),
+                src: NodeId(0),
+                dst: NodeId(9),
+                count: 1,
+                created_at: SimTime::ZERO,
+            }],
+            4,
+        );
+        assert!(matches!(oob.unwrap_err(), WorkloadError::NodeOutOfRange(..)));
+    }
+
+    #[test]
+    fn poisson_flows_arrive_over_the_horizon() {
+        let mut rng = SimRng::new(11);
+        let horizon = SimTime::from_secs(100_000);
+        // Expect ~100 flows at rate 1/1000 s.
+        let w = Workload::poisson_flows(1e-3, horizon, 3, 12, &mut rng);
+        let n = w.flows().len();
+        assert!((60..160).contains(&n), "{n} flows");
+        assert_eq!(w.total_bundles(), 3 * n as u32);
+        let mut last = SimTime::ZERO;
+        for f in w.flows() {
+            assert!(f.created_at >= last, "arrivals must be ordered");
+            assert!(f.created_at < horizon);
+            assert_ne!(f.src, f.dst);
+            last = f.created_at;
+        }
+    }
+
+    #[test]
+    fn poisson_flows_never_empty() {
+        let mut rng = SimRng::new(1);
+        // Absurdly low rate: still at least one flow.
+        let w = Workload::poisson_flows(1e-12, SimTime::from_secs(10), 2, 4, &mut rng);
+        assert_eq!(w.flows().len(), 1);
+    }
+
+    #[test]
+    fn rejects_misnumbered_flows() {
+        let err = Workload::new(
+            vec![Flow {
+                id: FlowId(7),
+                src: NodeId(0),
+                dst: NodeId(1),
+                count: 1,
+                created_at: SimTime::ZERO,
+            }],
+            4,
+        )
+        .unwrap_err();
+        assert_eq!(err, WorkloadError::MisnumberedFlow(0));
+    }
+}

@@ -1,0 +1,287 @@
+//! Immunity tables ("anti-packets").
+//!
+//! When a destination receives a bundle it can vaccinate the network: an
+//! immunity record tells carriers the bundle no longer needs to circulate,
+//! so they purge their copies. The paper studies two encodings:
+//!
+//! * **per-bundle** (Mundur et al.; also P–Q epidemic's anti-packets) —
+//!   one record per delivered bundle, i-lists merged on contact. Signaling
+//!   grows linearly with load: delivering `N` bundles takes `N` records in
+//!   every exchanged table.
+//! * **cumulative** (the paper's enhancement) — one record per flow
+//!   carrying the highest *contiguously* delivered sequence number
+//!   ("table with bundle ID 30 ⇒ bundles 1…30 are delivered"). One record
+//!   purges many bundles and a newer table supersedes an older one, which
+//!   is exactly the redundant-table deletion rule in Section III.
+//!
+//! [`ImmunityStore`] implements both behind one interface so the session
+//! layer is encoding-agnostic; [`DeliveryTracker`] is the destination-side
+//! bookkeeping that turns out-of-order deliveries into a contiguous ack
+//! frontier.
+
+use crate::bundle::{BundleId, FlowId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A node's immunity knowledge, in one of the two encodings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImmunityStore {
+    /// One record per delivered bundle.
+    PerBundle(BTreeSet<BundleId>),
+    /// Per flow, the count `n` of contiguously delivered bundles
+    /// (sequences `0..n` are covered).
+    Cumulative(BTreeMap<FlowId, u32>),
+}
+
+impl ImmunityStore {
+    /// An empty per-bundle store.
+    pub fn per_bundle() -> ImmunityStore {
+        ImmunityStore::PerBundle(BTreeSet::new())
+    }
+
+    /// An empty cumulative store.
+    pub fn cumulative() -> ImmunityStore {
+        ImmunityStore::Cumulative(BTreeMap::new())
+    }
+
+    /// Does the store certify that `id` has been delivered?
+    pub fn covers(&self, id: BundleId) -> bool {
+        match self {
+            ImmunityStore::PerBundle(set) => set.contains(&id),
+            ImmunityStore::Cumulative(map) => {
+                map.get(&id.flow).is_some_and(|&n| id.seq < n)
+            }
+        }
+    }
+
+    /// Number of records a node transmits when it shares this store with a
+    /// peer — the paper's signaling-overhead unit. Per-bundle: one record
+    /// per delivered bundle. Cumulative: one record per flow.
+    pub fn record_count(&self) -> u64 {
+        match self {
+            ImmunityStore::PerBundle(set) => set.len() as u64,
+            ImmunityStore::Cumulative(map) => map.len() as u64,
+        }
+    }
+
+    /// Merge a peer's store into this one; returns `true` if anything
+    /// changed. Merging a cumulative store takes the per-flow maximum —
+    /// the "delete the table that covers fewer bundles" rule.
+    ///
+    /// Panics if the two stores use different encodings: a deployment runs
+    /// one protocol, so mixed encodings are a configuration bug.
+    pub fn merge_from(&mut self, other: &ImmunityStore) -> bool {
+        match (self, other) {
+            (ImmunityStore::PerBundle(mine), ImmunityStore::PerBundle(theirs)) => {
+                let before = mine.len();
+                mine.extend(theirs.iter().copied());
+                mine.len() != before
+            }
+            (ImmunityStore::Cumulative(mine), ImmunityStore::Cumulative(theirs)) => {
+                let mut changed = false;
+                for (&flow, &n) in theirs {
+                    let entry = mine.entry(flow).or_insert(0);
+                    if n > *entry {
+                        *entry = n;
+                        changed = true;
+                    }
+                }
+                changed
+            }
+            _ => panic!("cannot merge immunity stores of different encodings"),
+        }
+    }
+
+    /// Record a delivery observed *at the destination itself*. For the
+    /// per-bundle encoding this adds one record; for the cumulative
+    /// encoding the caller supplies the tracker-computed contiguous
+    /// frontier.
+    pub fn record_delivery(&mut self, id: BundleId, contiguous_frontier: u32) {
+        match self {
+            ImmunityStore::PerBundle(set) => {
+                set.insert(id);
+            }
+            ImmunityStore::Cumulative(map) => {
+                let entry = map.entry(id.flow).or_insert(0);
+                *entry = (*entry).max(contiguous_frontier);
+            }
+        }
+    }
+}
+
+/// Destination-side delivery bookkeeping for one flow: which sequence
+/// numbers have arrived, and the contiguous frontier `n` such that
+/// `0..n` have all arrived.
+#[derive(Clone, Debug, Default)]
+pub struct DeliveryTracker {
+    frontier: u32,
+    /// Delivered sequences at or beyond the frontier (out-of-order
+    /// arrivals waiting for the gap to fill).
+    pending: BTreeSet<u32>,
+}
+
+impl DeliveryTracker {
+    /// Empty tracker.
+    pub fn new() -> DeliveryTracker {
+        DeliveryTracker::default()
+    }
+
+    /// Has `seq` been delivered?
+    pub fn contains(&self, seq: u32) -> bool {
+        seq < self.frontier || self.pending.contains(&seq)
+    }
+
+    /// Total delivered count (contiguous + out-of-order).
+    pub fn delivered_count(&self) -> u32 {
+        self.frontier + self.pending.len() as u32
+    }
+
+    /// The contiguous frontier: all of `0..frontier()` delivered.
+    pub fn frontier(&self) -> u32 {
+        self.frontier
+    }
+
+    /// Record a delivery; returns `true` if `seq` was new.
+    pub fn record(&mut self, seq: u32) -> bool {
+        if self.contains(seq) {
+            return false;
+        }
+        self.pending.insert(seq);
+        // Advance the frontier over any now-contiguous run.
+        while self.pending.remove(&self.frontier) {
+            self.frontier += 1;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(flow: u32, seq: u32) -> BundleId {
+        BundleId {
+            flow: FlowId(flow),
+            seq,
+        }
+    }
+
+    #[test]
+    fn per_bundle_covers_exactly_recorded() {
+        let mut store = ImmunityStore::per_bundle();
+        store.record_delivery(bid(0, 3), 0);
+        assert!(store.covers(bid(0, 3)));
+        assert!(!store.covers(bid(0, 2)));
+        assert!(!store.covers(bid(1, 3)));
+        assert_eq!(store.record_count(), 1);
+    }
+
+    #[test]
+    fn cumulative_covers_prefix() {
+        let mut store = ImmunityStore::cumulative();
+        store.record_delivery(bid(0, 29), 30);
+        assert!(store.covers(bid(0, 0)));
+        assert!(store.covers(bid(0, 29)));
+        assert!(!store.covers(bid(0, 30)));
+        assert!(!store.covers(bid(1, 0)));
+        // One flow = one record, regardless of how many bundles it covers.
+        assert_eq!(store.record_count(), 1);
+    }
+
+    #[test]
+    fn per_bundle_records_grow_with_load() {
+        let mut store = ImmunityStore::per_bundle();
+        for seq in 0..30 {
+            store.record_delivery(bid(0, seq), 0);
+        }
+        assert_eq!(store.record_count(), 30, "linear in delivered bundles");
+    }
+
+    #[test]
+    fn merge_per_bundle_is_union() {
+        let mut a = ImmunityStore::per_bundle();
+        a.record_delivery(bid(0, 1), 0);
+        let mut b = ImmunityStore::per_bundle();
+        b.record_delivery(bid(0, 2), 0);
+        assert!(a.merge_from(&b));
+        assert!(a.covers(bid(0, 1)) && a.covers(bid(0, 2)));
+        assert!(!a.merge_from(&b), "re-merge changes nothing");
+    }
+
+    #[test]
+    fn merge_cumulative_takes_max() {
+        // The paper's redundancy rule: tables covering IDs up to 30 and up
+        // to 50 collapse to the one covering 50.
+        let mut a = ImmunityStore::cumulative();
+        a.record_delivery(bid(0, 0), 30);
+        let mut b = ImmunityStore::cumulative();
+        b.record_delivery(bid(0, 0), 50);
+        assert!(a.merge_from(&b));
+        assert_eq!(a.record_count(), 1);
+        assert!(a.covers(bid(0, 49)));
+        // Merging the smaller table back changes nothing.
+        let mut c = ImmunityStore::cumulative();
+        c.record_delivery(bid(0, 0), 30);
+        assert!(!a.merge_from(&c));
+        assert!(a.covers(bid(0, 49)), "merge is monotone");
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_monotone() {
+        let mut a = ImmunityStore::cumulative();
+        a.record_delivery(bid(0, 0), 10);
+        a.record_delivery(bid(1, 0), 5);
+        let snapshot = a.clone();
+        let mut b = snapshot.clone();
+        assert!(!b.merge_from(&snapshot));
+        assert_eq!(b, snapshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "different encodings")]
+    fn mixed_encoding_merge_panics() {
+        let mut a = ImmunityStore::per_bundle();
+        let b = ImmunityStore::cumulative();
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn tracker_in_order() {
+        let mut t = DeliveryTracker::new();
+        assert!(t.record(0));
+        assert!(t.record(1));
+        assert_eq!(t.frontier(), 2);
+        assert_eq!(t.delivered_count(), 2);
+    }
+
+    #[test]
+    fn tracker_out_of_order_frontier_waits_for_gap() {
+        let mut t = DeliveryTracker::new();
+        assert!(t.record(2));
+        assert!(t.record(0));
+        assert_eq!(t.frontier(), 1, "seq 1 still missing");
+        assert_eq!(t.delivered_count(), 2);
+        assert!(t.record(1));
+        assert_eq!(t.frontier(), 3, "gap filled, frontier jumps");
+        assert!(t.pending.is_empty());
+    }
+
+    #[test]
+    fn tracker_rejects_duplicates() {
+        let mut t = DeliveryTracker::new();
+        assert!(t.record(0));
+        assert!(!t.record(0));
+        assert!(t.record(5));
+        assert!(!t.record(5));
+        assert_eq!(t.delivered_count(), 2);
+    }
+
+    #[test]
+    fn tracker_contains() {
+        let mut t = DeliveryTracker::new();
+        t.record(0);
+        t.record(3);
+        assert!(t.contains(0));
+        assert!(t.contains(3));
+        assert!(!t.contains(1));
+    }
+}

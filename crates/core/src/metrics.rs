@@ -1,0 +1,498 @@
+//! The unified metrics pipeline.
+//!
+//! Section IV of the paper fixes four metrics, recorded identically for
+//! every protocol:
+//!
+//! * **buffer occupancy level** — time-weighted mean over nodes of
+//!   `(stored bundle copies + immunity-record cost) / capacity`. Origin
+//!   copies count (which is why the paper's occupancy axes exceed 1.0 at
+//!   loaded sources), and immunity tables consume buffer too — the paper
+//!   is explicit that "nodes' buffer occupancy is dependent on immunity
+//!   tables stored in each node" (Section V-A), which is precisely the
+//!   axis along which the cumulative table wins.
+//! * **bundle duplication rate** — time-weighted mean, over *undelivered*
+//!   bundles that exist somewhere, of `nodes holding a copy / node
+//!   count`. Delivered bundles leave the population (their lingering
+//!   copies are garbage, not useful duplication): this is the reading
+//!   under which the paper's immunity protocol can show >60 % duplication
+//!   with 10-slot buffers at load 50.
+//! * **delivery ratio** — delivered bundles / sent bundles;
+//! * **delay** — the time for *all* bundles to arrive; a run that does not
+//!   complete within the horizon is a failure and records no delay.
+//!
+//! Plus the signaling-overhead counter used by the cumulative-immunity
+//! comparison. [`MetricsCollector`] is fed deltas by the session layer and
+//! frozen into a [`RunMetrics`] at the end of a run.
+
+use dtn_sim::{SimTime, TimeWeighted};
+
+/// Why a stored copy left a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// TTL ran out.
+    Expired,
+    /// Displaced by buffer-full eviction.
+    Evicted,
+    /// Purged by immunity-table coverage.
+    Immunized,
+}
+
+/// Live accumulator state during one simulation run.
+#[derive(Clone, Debug)]
+pub struct MetricsCollector {
+    node_count: usize,
+    capacity: usize,
+    total_bundles: u32,
+    /// Buffer-slot cost of one immunity record (bundles are huge, records
+    /// are small; the default in [`crate::session::SimConfig`] is 0.1).
+    ack_slot_cost: f64,
+
+    per_node_occupancy: Vec<TimeWeighted>,
+    stored_per_node: Vec<u32>,
+    ack_records_per_node: Vec<u64>,
+
+    /// Global undelivered-duplication signal.
+    duplication: TimeWeighted,
+    copies: Vec<u32>,
+    delivered_flag: Vec<bool>,
+    /// Σ copies over undelivered bundles.
+    live_copy_sum: u64,
+    /// Number of undelivered bundles with at least one copy.
+    live_bundle_count: u32,
+
+    delivery_times: Vec<Option<SimTime>>,
+    delivered: u32,
+
+    /// Bundle payload transmissions (every copy handed across a contact).
+    pub bundle_transmissions: u64,
+    /// Immunity records transmitted (the signaling-overhead unit).
+    pub ack_records_sent: u64,
+    /// Copies displaced by eviction.
+    pub evictions: u64,
+    /// Copies that timed out.
+    pub expirations: u64,
+    /// Incoming copies dropped by a full buffer that would not evict.
+    pub rejections: u64,
+    /// Copies purged by immunity coverage.
+    pub immunity_purges: u64,
+    /// Transfers lost in flight (failure injection).
+    pub transfer_losses: u64,
+    /// Bundle payload bytes put on the air.
+    pub payload_bytes_sent: u64,
+    /// Control bytes put on the air (summary vectors + immunity records).
+    pub control_bytes_sent: u64,
+}
+
+impl MetricsCollector {
+    /// A collector for `node_count` nodes of the given relay capacity, a
+    /// workload of `total_bundles` bundles, and the given per-immunity-
+    /// record buffer cost.
+    pub fn new(
+        node_count: usize,
+        capacity: usize,
+        total_bundles: u32,
+        ack_slot_cost: f64,
+    ) -> MetricsCollector {
+        MetricsCollector {
+            node_count,
+            capacity,
+            total_bundles,
+            ack_slot_cost,
+            per_node_occupancy: vec![TimeWeighted::new(); node_count],
+            stored_per_node: vec![0; node_count],
+            ack_records_per_node: vec![0; node_count],
+            duplication: TimeWeighted::new(),
+            copies: vec![0; total_bundles as usize],
+            delivered_flag: vec![false; total_bundles as usize],
+            live_copy_sum: 0,
+            live_bundle_count: 0,
+            delivery_times: vec![None; total_bundles as usize],
+            delivered: 0,
+            bundle_transmissions: 0,
+            ack_records_sent: 0,
+            evictions: 0,
+            expirations: 0,
+            rejections: 0,
+            immunity_purges: 0,
+            transfer_losses: 0,
+            payload_bytes_sent: 0,
+            control_bytes_sent: 0,
+        }
+    }
+
+    /// Begin observing at `t` (levels start at zero).
+    pub fn start(&mut self, t: SimTime) {
+        for tw in &mut self.per_node_occupancy {
+            tw.set(t, 0.0);
+        }
+        self.duplication.set(t, 0.0);
+    }
+
+    /// A copy of bundle `bundle_idx` was stored on node `node_idx` at `now`
+    /// (relay or origin store).
+    pub fn on_store(&mut self, bundle_idx: usize, node_idx: usize, now: SimTime) {
+        if !self.delivered_flag[bundle_idx] {
+            if self.copies[bundle_idx] == 0 {
+                self.live_bundle_count += 1;
+            }
+            self.live_copy_sum += 1;
+            self.refresh_duplication(now);
+        }
+        self.copies[bundle_idx] += 1;
+        self.stored_per_node[node_idx] += 1;
+        self.refresh_occupancy(node_idx, now);
+    }
+
+    /// A copy left node `node_idx` at `now` for the given reason.
+    pub fn on_drop(
+        &mut self,
+        bundle_idx: usize,
+        node_idx: usize,
+        now: SimTime,
+        reason: DropReason,
+    ) {
+        debug_assert!(self.copies[bundle_idx] > 0, "drop without copy");
+        debug_assert!(self.stored_per_node[node_idx] > 0, "drop on empty node");
+        self.copies[bundle_idx] -= 1;
+        self.stored_per_node[node_idx] -= 1;
+        if !self.delivered_flag[bundle_idx] {
+            self.live_copy_sum -= 1;
+            if self.copies[bundle_idx] == 0 {
+                self.live_bundle_count -= 1;
+            }
+            self.refresh_duplication(now);
+        }
+        match reason {
+            DropReason::Expired => self.expirations += 1,
+            DropReason::Evicted => self.evictions += 1,
+            DropReason::Immunized => self.immunity_purges += 1,
+        }
+        self.refresh_occupancy(node_idx, now);
+    }
+
+    /// Bundle `bundle_idx` reached its destination (first time only —
+    /// duplicates are filtered upstream). `now` is the session start (the
+    /// monotone simulation clock driving the time-weighted accumulators);
+    /// `completed_at` is when the transfer slot finished, which is the
+    /// timestamp the delay metric records. The delivered bundle leaves the
+    /// duplication population; its leftover relay copies are garbage that
+    /// still occupies buffers until purged/evicted/expired.
+    pub fn on_deliver(&mut self, bundle_idx: usize, now: SimTime, completed_at: SimTime) {
+        debug_assert!(
+            self.delivery_times[bundle_idx].is_none(),
+            "double delivery of bundle {bundle_idx}"
+        );
+        debug_assert!(completed_at >= now);
+        debug_assert!(!self.delivered_flag[bundle_idx]);
+        self.delivery_times[bundle_idx] = Some(completed_at);
+        self.delivered += 1;
+        if self.copies[bundle_idx] > 0 {
+            self.live_copy_sum -= self.copies[bundle_idx] as u64;
+            self.live_bundle_count -= 1;
+        }
+        self.delivered_flag[bundle_idx] = true;
+        self.refresh_duplication(now);
+    }
+
+    /// Node `node_idx` now stores `records` immunity records (after an
+    /// exchange/merge or a local delivery).
+    pub fn set_ack_records(&mut self, node_idx: usize, records: u64, now: SimTime) {
+        if self.ack_records_per_node[node_idx] != records {
+            self.ack_records_per_node[node_idx] = records;
+            self.refresh_occupancy(node_idx, now);
+        }
+    }
+
+    /// The instant the last bundle arrived, iff every bundle has arrived.
+    pub fn completion_time(&self) -> Option<SimTime> {
+        if self.delivered == self.total_bundles {
+            self.delivery_times.iter().flatten().max().copied()
+        } else {
+            None
+        }
+    }
+
+    fn refresh_occupancy(&mut self, node_idx: usize, now: SimTime) {
+        let used = self.stored_per_node[node_idx] as f64
+            + self.ack_slot_cost * self.ack_records_per_node[node_idx] as f64;
+        self.per_node_occupancy[node_idx].set(now, used / self.capacity as f64);
+    }
+
+    fn refresh_duplication(&mut self, now: SimTime) {
+        let level = if self.live_bundle_count == 0 {
+            0.0
+        } else {
+            self.live_copy_sum as f64
+                / (self.node_count as f64 * self.live_bundle_count as f64)
+        };
+        self.duplication.set(now, level);
+    }
+
+    /// Bundles delivered so far.
+    pub fn delivered_count(&self) -> u32 {
+        self.delivered
+    }
+
+    /// True once every bundle has been delivered.
+    pub fn all_delivered(&self) -> bool {
+        self.delivered == self.total_bundles
+    }
+
+    /// Freeze into a [`RunMetrics`] with the observation window ending at
+    /// `end` (the completion time, or the horizon for incomplete runs).
+    pub fn finish(self, end: SimTime) -> RunMetrics {
+        let avg_buffer_occupancy = self
+            .per_node_occupancy
+            .iter()
+            .map(|tw| tw.finish(end))
+            .sum::<f64>()
+            / self.node_count as f64;
+        let peak_buffer_occupancy = self
+            .per_node_occupancy
+            .iter()
+            .map(|tw| tw.peak())
+            .fold(0.0_f64, f64::max);
+        let completion_time = self.completion_time();
+        RunMetrics {
+            total_bundles: self.total_bundles,
+            delivered: self.delivered,
+            delivery_ratio: self.delivered as f64 / self.total_bundles.max(1) as f64,
+            completion_time,
+            avg_buffer_occupancy,
+            peak_buffer_occupancy,
+            avg_duplication_rate: self.duplication.finish(end),
+            bundle_transmissions: self.bundle_transmissions,
+            ack_records_sent: self.ack_records_sent,
+            evictions: self.evictions,
+            expirations: self.expirations,
+            rejections: self.rejections,
+            immunity_purges: self.immunity_purges,
+            transfer_losses: self.transfer_losses,
+            payload_bytes_sent: self.payload_bytes_sent,
+            control_bytes_sent: self.control_bytes_sent,
+            end_time: end,
+        }
+    }
+}
+
+/// Frozen per-run results.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunMetrics {
+    /// Bundles injected by the workload.
+    pub total_bundles: u32,
+    /// Bundles that reached their destination.
+    pub delivered: u32,
+    /// `delivered / total_bundles`.
+    pub delivery_ratio: f64,
+    /// Time at which the *last* bundle arrived, iff all arrived — the
+    /// paper's delay metric (workloads are created at t = 0). `None`
+    /// marks a failed run, which contributes no delay sample.
+    pub completion_time: Option<SimTime>,
+    /// Time-weighted mean of per-node occupancy
+    /// (`(copies + record cost) / capacity`).
+    pub avg_buffer_occupancy: f64,
+    /// Highest instantaneous per-node occupancy seen.
+    pub peak_buffer_occupancy: f64,
+    /// Time-weighted mean duplication over undelivered, extant bundles.
+    pub avg_duplication_rate: f64,
+    /// Bundle payload transmissions.
+    pub bundle_transmissions: u64,
+    /// Immunity records transmitted (signaling overhead).
+    pub ack_records_sent: u64,
+    /// Eviction count.
+    pub evictions: u64,
+    /// Expiry count.
+    pub expirations: u64,
+    /// Buffer-full rejections.
+    pub rejections: u64,
+    /// Immunity purges.
+    pub immunity_purges: u64,
+    /// Transfers lost in flight (failure injection; 0 on loss-free links).
+    pub transfer_losses: u64,
+    /// Bundle payload bytes put on the air.
+    pub payload_bytes_sent: u64,
+    /// Control bytes put on the air (summary vectors + immunity records).
+    pub control_bytes_sent: u64,
+    /// End of the observation window.
+    pub end_time: SimTime,
+}
+
+impl RunMetrics {
+    /// The paper's delay in seconds, when the run completed.
+    pub fn delay_secs(&self) -> Option<f64> {
+        self.completion_time.map(|t| t.as_secs_f64())
+    }
+
+    /// Control bytes as a share of all bytes on the air (0 when nothing
+    /// was transmitted).
+    pub fn control_overhead_ratio(&self) -> f64 {
+        let total = self.payload_bytes_sent + self.control_bytes_sent;
+        if total == 0 {
+            0.0
+        } else {
+            self.control_bytes_sent as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn collector(nodes: usize, bundles: u32) -> MetricsCollector {
+        MetricsCollector::new(nodes, 10, bundles, 0.0)
+    }
+
+    #[test]
+    fn occupancy_is_time_weighted_and_normalized() {
+        // 2 nodes, capacity 10, 1 bundle.
+        let mut m = collector(2, 1);
+        m.start(t(0));
+        // Node 0 stores the copy from t=0; node 1 never stores.
+        m.on_store(0, 0, t(0));
+        let run = m.finish(t(100));
+        // Node 0: 1/10 for the whole window; node 1: 0. Mean = 0.05.
+        assert!((run.avg_buffer_occupancy - 0.05).abs() < 1e-12);
+        assert!((run.peak_buffer_occupancy - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplication_tracks_undelivered_copies() {
+        // 4 nodes, 1 bundle: copy on node 0 from t=0; second copy on node
+        // 1 from t=50.
+        let mut m = collector(4, 1);
+        m.start(t(0));
+        m.on_store(0, 0, t(0));
+        m.on_store(0, 1, t(50));
+        let run = m.finish(t(100));
+        // [0,50): 1/4; [50,100): 2/4 => mean 0.375.
+        assert!((run.avg_duplication_rate - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplication_averages_only_extant_bundles() {
+        // 2 bundles, 4 nodes. Bundle 0 has 2 copies; bundle 1 has none.
+        // Level must be 0.5 (bundle 1 doesn't exist yet so doesn't count),
+        // not 0.25.
+        let mut m = collector(4, 2);
+        m.start(t(0));
+        m.on_store(0, 0, t(0));
+        m.on_store(0, 1, t(0));
+        let run = m.finish(t(100));
+        assert!((run.avg_duplication_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delivered_bundles_leave_the_duplication_population() {
+        // Bundle 0: copies on nodes 0 and 1 (level 2/4 = 0.5 while it is
+        // the only live bundle). Delivered at t=50: it leaves the
+        // population; bundle 1 (1 copy) remains => level 0.25.
+        let mut m = collector(4, 2);
+        m.start(t(0));
+        m.on_store(0, 0, t(0));
+        m.on_store(0, 1, t(0));
+        m.on_store(1, 0, t(0));
+        // live: b0=2, b1=1 => (2+1)/(4*2) = 0.375
+        m.on_deliver(0, t(50), t(50));
+        // live: b1 only => 1/4 = 0.25
+        let run = m.finish(t(100));
+        let expected = (0.375 * 50.0 + 0.25 * 50.0) / 100.0;
+        assert!((run.avg_duplication_rate - expected).abs() < 1e-12);
+        // The leftover copies of bundle 0 still occupy node buffers.
+        assert!(run.avg_buffer_occupancy > 0.0);
+    }
+
+    #[test]
+    fn garbage_copy_drop_after_delivery_is_safe() {
+        let mut m = collector(4, 1);
+        m.start(t(0));
+        m.on_store(0, 0, t(0));
+        m.on_store(0, 1, t(0));
+        m.on_deliver(0, t(10), t(10));
+        // Purging a leftover copy of the delivered bundle must not
+        // disturb the live accounting.
+        m.on_drop(0, 1, t(20), DropReason::Immunized);
+        assert_eq!(m.immunity_purges, 1);
+        let run = m.finish(t(40));
+        assert_eq!(run.delivered, 1);
+    }
+
+    #[test]
+    fn ack_records_cost_buffer_space() {
+        let mut m = MetricsCollector::new(2, 10, 1, 0.5);
+        m.start(t(0));
+        // 4 records at 0.5 slots each = 2 slots = 0.2 occupancy on node 0.
+        m.set_ack_records(0, 4, t(0));
+        let run = m.finish(t(100));
+        assert!((run.avg_buffer_occupancy - 0.1).abs() < 1e-12, "mean over 2 nodes");
+        assert!((run.peak_buffer_occupancy - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cost_ack_records_change_nothing() {
+        let mut m = collector(2, 1);
+        m.start(t(0));
+        m.set_ack_records(0, 100, t(0));
+        let run = m.finish(t(100));
+        assert_eq!(run.avg_buffer_occupancy, 0.0);
+    }
+
+    #[test]
+    fn drops_update_counters_and_levels() {
+        let mut m = collector(2, 2);
+        m.start(t(0));
+        m.on_store(0, 0, t(0));
+        m.on_store(1, 0, t(0));
+        m.on_drop(0, 0, t(10), DropReason::Expired);
+        m.on_drop(1, 0, t(10), DropReason::Evicted);
+        assert_eq!(m.expirations, 1);
+        assert_eq!(m.evictions, 1);
+        let run = m.finish(t(20));
+        // Node 0 held 2/10 for 10 s then 0 for 10 s => 0.1 mean; node 1: 0.
+        assert!((run.avg_buffer_occupancy - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delivery_and_completion() {
+        let mut m = collector(3, 2);
+        m.start(t(0));
+        m.on_store(0, 0, t(0));
+        m.on_store(1, 0, t(0));
+        m.on_deliver(0, t(40), t(40));
+        assert!(!m.all_delivered());
+        m.on_deliver(1, t(70), t(75));
+        assert!(m.all_delivered());
+        let run = m.finish(t(75));
+        assert_eq!(run.delivered, 2);
+        assert_eq!(run.delivery_ratio, 1.0);
+        assert_eq!(run.completion_time, Some(t(75)));
+        assert_eq!(run.delay_secs(), Some(75.0));
+    }
+
+    #[test]
+    fn incomplete_run_has_no_delay() {
+        let mut m = collector(3, 2);
+        m.start(t(0));
+        m.on_store(0, 0, t(0));
+        m.on_deliver(0, t(40), t(40));
+        let run = m.finish(t(1_000));
+        assert_eq!(run.delivered, 1);
+        assert!((run.delivery_ratio - 0.5).abs() < 1e-12);
+        assert_eq!(run.completion_time, None);
+        assert_eq!(run.delay_secs(), None);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double delivery")]
+    fn double_delivery_is_a_bug() {
+        let mut m = collector(2, 1);
+        m.start(t(0));
+        m.on_deliver(0, t(1), t(1));
+        m.on_deliver(0, t(2), t(2));
+    }
+}

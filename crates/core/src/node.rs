@@ -1,0 +1,284 @@
+//! Per-node protocol state.
+//!
+//! A [`Node`] aggregates everything one device carries through the
+//! simulation: its bounded relay [`Buffer`], its unbounded origin store
+//! (the application send queue for bundles it sourced), its immunity
+//! store (when the protocol uses acknowledgments), destination-side
+//! delivery trackers, and the encounter-interval estimate that drives the
+//! dynamic-TTL enhancement.
+
+use crate::buffer::{Buffer, StoredBundle};
+use crate::bundle::{BundleId, FlowId};
+use crate::immunity::{DeliveryTracker, ImmunityStore};
+use dtn_mobility::NodeId;
+use dtn_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Where a stored copy lives on a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CopyPlace {
+    /// The bounded relay buffer.
+    Relay,
+    /// The unbounded origin store (bundles this node sourced).
+    Origin,
+}
+
+/// One mobile node's complete protocol state.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// This node's identity.
+    pub id: NodeId,
+    /// Bounded relay storage (the paper's 10-bundle buffer).
+    pub buffer: Buffer,
+    /// Unbounded storage for self-originated bundles. Lifetime policies
+    /// apply here too (a source's own copy can expire — that is what
+    /// makes fixed-TTL delivery collapse when intervals exceed the TTL);
+    /// capacity eviction does not.
+    pub origin: Buffer,
+    /// Immunity knowledge, present iff the protocol uses an ack scheme.
+    pub immunity: Option<ImmunityStore>,
+    /// Delivery bookkeeping for each flow destined to this node.
+    pub trackers: BTreeMap<FlowId, DeliveryTracker>,
+    /// Start time of this node's most recent encounter.
+    pub last_encounter: Option<SimTime>,
+    /// Gap between the starts of its last two encounters — the
+    /// `GetLastInterval` of the paper's Algorithm 1.
+    pub last_interval: Option<SimDuration>,
+}
+
+impl Node {
+    /// A fresh node with the given relay capacity and (optional) immunity
+    /// encoding.
+    pub fn new(id: NodeId, relay_capacity: usize, immunity: Option<ImmunityStore>) -> Node {
+        Node {
+            id,
+            buffer: Buffer::new(relay_capacity),
+            // The origin store is "unbounded": sized to the largest load
+            // the study uses times a wide margin. It never evicts.
+            origin: Buffer::new(usize::MAX),
+            immunity,
+            trackers: BTreeMap::new(),
+            last_encounter: None,
+            last_interval: None,
+        }
+    }
+
+    /// Note an encounter starting at `now`: updates the inter-encounter
+    /// interval estimate. Called once per contact per participant.
+    pub fn record_encounter(&mut self, now: SimTime) {
+        if let Some(prev) = self.last_encounter {
+            self.last_interval = Some(now.saturating_since(prev));
+        }
+        self.last_encounter = Some(now);
+    }
+
+    /// Does this node possess `id` in any form — a relay copy, an origin
+    /// copy, or (at the destination) a completed delivery? This is the
+    /// membership the summary-vector exchange reports.
+    pub fn has_bundle(&self, id: BundleId) -> bool {
+        self.buffer.contains(id)
+            || self.origin.contains(id)
+            || self
+                .trackers
+                .get(&id.flow)
+                .is_some_and(|t| t.contains(id.seq))
+    }
+
+    /// Shared access to a transferable copy (relay or origin).
+    pub fn get_copy(&self, id: BundleId) -> Option<(&StoredBundle, CopyPlace)> {
+        if let Some(c) = self.buffer.get(id) {
+            Some((c, CopyPlace::Relay))
+        } else {
+            self.origin.get(id).map(|c| (c, CopyPlace::Origin))
+        }
+    }
+
+    /// Mutable access to a transferable copy.
+    pub fn get_copy_mut(&mut self, id: BundleId) -> Option<(&mut StoredBundle, CopyPlace)> {
+        if self.buffer.contains(id) {
+            self.buffer.get_mut(id).map(|c| (c, CopyPlace::Relay))
+        } else {
+            self.origin.get_mut(id).map(|c| (c, CopyPlace::Origin))
+        }
+    }
+
+    /// Remove a copy wherever it lives.
+    pub fn remove_copy(&mut self, id: BundleId) -> Option<(StoredBundle, CopyPlace)> {
+        if let Some(c) = self.buffer.remove(id) {
+            Some((c, CopyPlace::Relay))
+        } else {
+            self.origin.remove(id).map(|c| (c, CopyPlace::Origin))
+        }
+    }
+
+    /// All transferable copies (relay then origin), each with its place.
+    pub fn copies(&self) -> impl Iterator<Item = (&StoredBundle, CopyPlace)> {
+        self.buffer
+            .iter()
+            .map(|c| (c, CopyPlace::Relay))
+            .chain(self.origin.iter().map(|c| (c, CopyPlace::Origin)))
+    }
+
+    /// Number of stored copies (relay + origin) — the numerator of the
+    /// paper's buffer-occupancy metric (which therefore can exceed 1.0 at
+    /// a heavily loaded source, as in the paper's Fig. 11/15/17 axes).
+    pub fn occupancy_count(&self) -> usize {
+        self.buffer.len() + self.origin.len()
+    }
+
+    /// Earliest finite expiry across relay and origin copies.
+    pub fn earliest_expiry(&self) -> Option<SimTime> {
+        match (self.buffer.earliest_expiry(), self.origin.earliest_expiry()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Remove all expired copies at `now`; returns their ids.
+    pub fn purge_expired(&mut self, now: SimTime) -> Vec<BundleId> {
+        let mut removed = self.buffer.purge_expired(now);
+        removed.extend(self.origin.purge_expired(now));
+        removed
+    }
+
+    /// Remove all copies covered by this node's immunity store; returns
+    /// their ids. No-op for ack-less protocols.
+    pub fn purge_immunized(&mut self) -> Vec<BundleId> {
+        let Some(store) = &self.immunity else {
+            return Vec::new();
+        };
+        // Collect coverage first (cannot borrow `store` inside the
+        // `purge_if` closures while mutating the buffers).
+        let covered_relay: Vec<BundleId> = self
+            .buffer
+            .iter()
+            .map(|c| c.id)
+            .filter(|&id| store.covers(id))
+            .collect();
+        let covered_origin: Vec<BundleId> = self
+            .origin
+            .iter()
+            .map(|c| c.id)
+            .filter(|&id| store.covers(id))
+            .collect();
+        let mut removed = Vec::with_capacity(covered_relay.len() + covered_origin.len());
+        for id in covered_relay {
+            self.buffer.remove(id);
+            removed.push(id);
+        }
+        for id in covered_origin {
+            self.origin.remove(id);
+            removed.push(id);
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::EvictionPolicy;
+
+    fn bid(seq: u32) -> BundleId {
+        BundleId {
+            flow: FlowId(0),
+            seq,
+        }
+    }
+
+    fn copy(seq: u32) -> StoredBundle {
+        StoredBundle {
+            id: bid(seq),
+            ec: 0,
+            stored_at: SimTime::ZERO,
+            expires_at: SimTime::MAX,
+        }
+    }
+
+    fn node() -> Node {
+        Node::new(NodeId(0), 10, None)
+    }
+
+    #[test]
+    fn encounter_interval_tracking() {
+        let mut n = node();
+        assert_eq!(n.last_interval, None);
+        n.record_encounter(SimTime::from_secs(100));
+        assert_eq!(n.last_interval, None, "one encounter has no interval yet");
+        n.record_encounter(SimTime::from_secs(700));
+        assert_eq!(n.last_interval, Some(SimDuration::from_secs(600)));
+        n.record_encounter(SimTime::from_secs(800));
+        assert_eq!(n.last_interval, Some(SimDuration::from_secs(100)));
+    }
+
+    #[test]
+    fn has_bundle_sees_all_three_stores() {
+        let mut n = node();
+        n.buffer.insert(copy(1), EvictionPolicy::RejectNew);
+        n.origin.insert(copy(2), EvictionPolicy::RejectNew);
+        let mut tracker = DeliveryTracker::new();
+        tracker.record(3);
+        n.trackers.insert(FlowId(0), tracker);
+        assert!(n.has_bundle(bid(1)));
+        assert!(n.has_bundle(bid(2)));
+        assert!(n.has_bundle(bid(3)), "delivered bundles count as possessed");
+        assert!(!n.has_bundle(bid(4)));
+    }
+
+    #[test]
+    fn copy_access_prefers_relay_then_origin() {
+        let mut n = node();
+        n.origin.insert(copy(1), EvictionPolicy::RejectNew);
+        assert_eq!(n.get_copy(bid(1)).unwrap().1, CopyPlace::Origin);
+        let (_, place) = n.remove_copy(bid(1)).unwrap();
+        assert_eq!(place, CopyPlace::Origin);
+        assert!(n.remove_copy(bid(1)).is_none());
+    }
+
+    #[test]
+    fn occupancy_counts_relay_plus_origin() {
+        let mut n = node();
+        n.buffer.insert(copy(1), EvictionPolicy::RejectNew);
+        n.origin.insert(copy(2), EvictionPolicy::RejectNew);
+        n.origin.insert(copy(3), EvictionPolicy::RejectNew);
+        assert_eq!(n.occupancy_count(), 3);
+    }
+
+    #[test]
+    fn earliest_expiry_spans_both_stores() {
+        let mut n = node();
+        let mut c1 = copy(1);
+        c1.expires_at = SimTime::from_secs(500);
+        let mut c2 = copy(2);
+        c2.expires_at = SimTime::from_secs(300);
+        n.buffer.insert(c1, EvictionPolicy::RejectNew);
+        n.origin.insert(c2, EvictionPolicy::RejectNew);
+        assert_eq!(n.earliest_expiry(), Some(SimTime::from_secs(300)));
+        let purged = n.purge_expired(SimTime::from_secs(400));
+        assert_eq!(purged, vec![bid(2)]);
+        assert_eq!(n.earliest_expiry(), Some(SimTime::from_secs(500)));
+    }
+
+    #[test]
+    fn purge_immunized_clears_covered_copies() {
+        let mut store = ImmunityStore::cumulative();
+        store.record_delivery(bid(0), 2); // covers seq 0 and 1
+        let mut n = Node::new(NodeId(0), 10, Some(store));
+        n.buffer.insert(copy(0), EvictionPolicy::RejectNew);
+        n.buffer.insert(copy(2), EvictionPolicy::RejectNew);
+        n.origin.insert(copy(1), EvictionPolicy::RejectNew);
+        let removed = n.purge_immunized();
+        assert_eq!(removed.len(), 2);
+        assert!(!n.has_bundle(bid(0)));
+        assert!(!n.has_bundle(bid(1)));
+        assert!(n.has_bundle(bid(2)));
+    }
+
+    #[test]
+    fn purge_immunized_without_store_is_noop() {
+        let mut n = node();
+        n.buffer.insert(copy(0), EvictionPolicy::RejectNew);
+        assert!(n.purge_immunized().is_empty());
+        assert!(n.has_bundle(bid(0)));
+    }
+}

@@ -1,0 +1,206 @@
+//! The paper's eight named protocols as preset configurations.
+//!
+//! Sections II and III of the paper define five existing protocols and
+//! three enhancements. Each is a point in the policy space of
+//! [`ProtocolConfig`]; the constructors here pin the paper's exact
+//! parameters as defaults while leaving every knob overridable (the
+//! ablation benches exploit that).
+
+use crate::policy::{AckPropagation, AckScheme, EvictionPolicy, LifetimePolicy, ProtocolConfig, TransmitPolicy};
+use dtn_sim::SimDuration;
+
+/// Pure epidemic (Vahdat & Becker): summary-vector anti-entropy, transmit
+/// everything, keep everything.
+pub fn pure_epidemic() -> ProtocolConfig {
+    ProtocolConfig {
+        name: "Pure epidemic",
+        transmit: TransmitPolicy::Always,
+        lifetime: LifetimePolicy::None,
+        eviction: EvictionPolicy::DropOldest,
+        ack: AckScheme::None,
+        ack_propagation: AckPropagation::Epidemic,
+    }
+}
+
+/// P–Q epidemic (Matsuda & Takine): probabilistic transmission — the
+/// source forwards with probability `p`, relays with probability `q`.
+///
+/// Matsuda & Takine's full design pairs this with anti-packets, but the
+/// paper's *evaluated* P–Q has none: "after bundles are received by the
+/// destination, the protocol does not have any mechanism to purge these
+/// bundles" (Section V-A), and with `p = q = 1` it "is similar to pure
+/// epidemic". We reproduce the evaluated protocol; combining
+/// [`TransmitPolicy::Probabilistic`] with [`AckScheme::PerBundle`]
+/// recovers the original design if wanted.
+pub fn pq_epidemic(p: f64, q: f64) -> ProtocolConfig {
+    ProtocolConfig {
+        name: "P-Q epidemic",
+        transmit: TransmitPolicy::Probabilistic { p, q },
+        lifetime: LifetimePolicy::None,
+        eviction: EvictionPolicy::DropOldest,
+        ack: AckScheme::None,
+        ack_propagation: AckPropagation::Epidemic,
+    }
+}
+
+/// Epidemic with a fixed TTL (Harras et al.); the paper's evaluation
+/// default is 300 s. TTLs renew on transmission.
+pub fn ttl_epidemic(ttl: SimDuration) -> ProtocolConfig {
+    ProtocolConfig {
+        name: "Epidemic with TTL",
+        transmit: TransmitPolicy::Always,
+        lifetime: LifetimePolicy::FixedTtl { ttl },
+        eviction: EvictionPolicy::DropOldest,
+        ack: AckScheme::None,
+        ack_propagation: AckPropagation::Epidemic,
+    }
+}
+
+/// The paper's evaluation default fixed TTL of 300 s.
+pub fn ttl_epidemic_default() -> ProtocolConfig {
+    ttl_epidemic(SimDuration::from_secs(300))
+}
+
+/// Enhancement 1 — dynamic TTL (Algorithm 1): a copy's TTL is twice the
+/// storing node's most recent inter-encounter interval.
+pub fn dynamic_ttl_epidemic() -> ProtocolConfig {
+    ProtocolConfig {
+        name: "Epidemic with dynamic TTL",
+        transmit: TransmitPolicy::Always,
+        lifetime: LifetimePolicy::DynamicTtl { multiplier: 2.0 },
+        eviction: EvictionPolicy::DropOldest,
+        ack: AckScheme::None,
+        ack_propagation: AckPropagation::Epidemic,
+    }
+}
+
+/// Epidemic with encounter counts (Davis et al.): when the buffer is full,
+/// the most-transmitted (highest-EC) resident is evicted for a never-seen
+/// newcomer.
+pub fn ec_epidemic() -> ProtocolConfig {
+    ProtocolConfig {
+        name: "Epidemic with EC",
+        transmit: TransmitPolicy::Always,
+        lifetime: LifetimePolicy::None,
+        eviction: EvictionPolicy::HighestEc,
+        ack: AckScheme::None,
+        ack_propagation: AckPropagation::Epidemic,
+    }
+}
+
+/// Enhancement 2 — EC + TTL (Algorithm 2): copies are immortal until their
+/// EC exceeds 8 transmissions; after that they receive a 300 s TTL shrunk
+/// by 100 s per further transmission. Eviction is additionally guarded by
+/// the same threshold — "a minimum EC value before nodes are allowed to
+/// delete a bundle" — so rarely-duplicated copies are never displaced.
+pub fn ec_ttl_epidemic() -> ProtocolConfig {
+    ProtocolConfig {
+        name: "Epidemic with EC+TTL",
+        transmit: TransmitPolicy::Always,
+        lifetime: LifetimePolicy::EcTtl {
+            threshold: 8,
+            base: SimDuration::from_secs(300),
+            decay: SimDuration::from_secs(100),
+        },
+        eviction: EvictionPolicy::HighestEcMin { min_ec: 8 },
+        ack: AckScheme::None,
+        ack_propagation: AckPropagation::Epidemic,
+    }
+}
+
+/// Epidemic with immunity tables (Mundur et al.): one immunity record per
+/// delivered bundle, i-lists merged on contact, covered copies purged.
+pub fn immunity_epidemic() -> ProtocolConfig {
+    ProtocolConfig {
+        name: "Epidemic with immunity",
+        transmit: TransmitPolicy::Always,
+        lifetime: LifetimePolicy::None,
+        eviction: EvictionPolicy::DropOldest,
+        ack: AckScheme::PerBundle,
+        ack_propagation: AckPropagation::Epidemic,
+    }
+}
+
+/// Enhancement 3 — cumulative immunity: one record per flow acknowledging
+/// a whole prefix of delivered bundles; newer tables supersede older ones.
+pub fn cumulative_immunity_epidemic() -> ProtocolConfig {
+    ProtocolConfig {
+        name: "Epidemic with cumulative immunity",
+        transmit: TransmitPolicy::Always,
+        lifetime: LifetimePolicy::None,
+        eviction: EvictionPolicy::DropOldest,
+        ack: AckScheme::Cumulative,
+        ack_propagation: AckPropagation::Epidemic,
+    }
+}
+
+/// Every protocol in the study, in the paper's presentation order.
+pub fn all_protocols() -> Vec<ProtocolConfig> {
+    vec![
+        pure_epidemic(),
+        pq_epidemic(1.0, 1.0),
+        ttl_epidemic_default(),
+        dynamic_ttl_epidemic(),
+        ec_epidemic(),
+        ec_ttl_epidemic(),
+        immunity_epidemic(),
+        cumulative_immunity_epidemic(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for p in all_protocols() {
+            p.validate();
+        }
+        pq_epidemic(0.1, 0.5).validate();
+        ttl_epidemic(SimDuration::from_secs(50)).validate();
+    }
+
+    #[test]
+    fn presets_have_distinct_names() {
+        let protocols = all_protocols();
+        let mut names: Vec<&str> = protocols.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), protocols.len());
+    }
+
+    #[test]
+    fn pq_1_1_matches_pure_epidemic_except_transmit_policy() {
+        // Section V-A: with P = Q = 1 the evaluated P-Q "is similar to
+        // pure epidemic" — same lifetime/eviction/ack axes, and the
+        // probabilistic gate always fires.
+        let pq = pq_epidemic(1.0, 1.0);
+        let pure = pure_epidemic();
+        assert_eq!(pq.ack, pure.ack);
+        assert_eq!(pq.eviction, pure.eviction);
+        assert_eq!(pq.lifetime, pure.lifetime);
+        assert_eq!(pq.transmit.probability(true), 1.0);
+        assert_eq!(pq.transmit.probability(false), 1.0);
+    }
+
+    #[test]
+    fn paper_parameters_are_pinned() {
+        match ec_ttl_epidemic().lifetime {
+            LifetimePolicy::EcTtl {
+                threshold,
+                base,
+                decay,
+            } => {
+                assert_eq!(threshold, 8);
+                assert_eq!(base, SimDuration::from_secs(300));
+                assert_eq!(decay, SimDuration::from_secs(100));
+            }
+            other => panic!("wrong lifetime: {other:?}"),
+        }
+        match dynamic_ttl_epidemic().lifetime {
+            LifetimePolicy::DynamicTtl { multiplier } => assert_eq!(multiplier, 2.0),
+            other => panic!("wrong lifetime: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,620 @@
+//! The contact session: what happens when two nodes meet.
+//!
+//! Every protocol in the study shares one session procedure — that shared
+//! procedure *is* the paper's unified framework. When a contact starts:
+//!
+//! 1. expired copies are purged (defensively — the engine's expiry events
+//!    normally keep buffers clean between contacts);
+//! 2. both nodes update their inter-encounter interval estimate (the input
+//!    to dynamic TTL);
+//! 3. if the protocol uses acknowledgments, the peers exchange immunity
+//!    tables, merge them, purge covered copies, and the exchanged record
+//!    counts are charged to the signaling-overhead meter;
+//! 4. the peers exchange summary vectors (the anti-entropy step of Vahdat
+//!    & Becker) to learn which bundles the other side lacks;
+//! 5. bundles are transferred, bounded by the contact's capacity
+//!    `⌊duration / tx_time⌋` (the paper fixes `tx_time` = 100 s; its worked
+//!    example sends ⌊314 s / 100 s⌋ = 3 bundles). The lower-ID node sends
+//!    first (the paper's collision-avoidance rule); the higher-ID node uses
+//!    whatever capacity remains. Transfers take effect at session start but
+//!    are *timestamped* `start + slot × tx_time` for the delay metric.
+//!
+//! Per-transfer mechanics implement each policy axis: P/Q coin flips on
+//! the sender, EC increments shared by sender and receiver copies, fixed-
+//! TTL renewal on the sender, dynamic-TTL assignment on the receiver, and
+//! Algorithm 2's EC-triggered TTL on both sides.
+
+use crate::buffer::{InsertOutcome, StoredBundle};
+use crate::bundle::{BundleId, Workload};
+use crate::metrics::{DropReason, MetricsCollector};
+use crate::node::{CopyPlace, Node};
+use crate::policy::{AckScheme, LifetimePolicy, ProtocolConfig};
+use crate::summary::SummaryVector;
+use dtn_mobility::Contact;
+use dtn_sim::{SimRng, SimTime};
+
+/// Simulation-wide configuration shared by every session.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The protocol under test.
+    pub protocol: ProtocolConfig,
+    /// Relay-buffer capacity in bundles (paper: 10).
+    pub buffer_capacity: usize,
+    /// Time to transmit one bundle (paper: 100 s — bundles are large).
+    pub tx_time: dtn_sim::SimDuration,
+    /// Buffer-slot cost of storing one immunity record. Bundles are huge
+    /// (100 s of link time each) and immunity records small, but not
+    /// free: the paper attributes the immunity protocols' occupancy
+    /// differences to "immunity tables stored in each node".
+    pub ack_slot_cost: f64,
+    /// Probability that an individual bundle transfer is lost in flight
+    /// (failure injection; the paper assumes loss-free links, so the
+    /// default is 0). A lost transfer consumes its slot and updates the
+    /// sender exactly like a successful one — in a DTN the sender cannot
+    /// know the reception failed — but the receiver stores nothing.
+    pub transfer_loss_prob: f64,
+    /// Payload size of one bundle in bytes, for the byte-level overhead
+    /// accounting (the paper's bundles are "several hundreds of Megabytes
+    /// to Terabytes"; 10 MB at 100 s/bundle models a ~0.8 Mbit/s radio).
+    pub bundle_bytes: u64,
+    /// Wire size of one immunity record ("anti-packets … are usually
+    /// small in size", §II-B).
+    pub ack_record_bytes: u64,
+}
+
+impl SimConfig {
+    /// The paper's experiment defaults around the given protocol.
+    pub fn paper_defaults(protocol: ProtocolConfig) -> SimConfig {
+        SimConfig {
+            protocol,
+            buffer_capacity: 10,
+            tx_time: dtn_sim::SimDuration::from_secs(100),
+            ack_slot_cost: 0.1,
+            transfer_loss_prob: 0.0,
+            bundle_bytes: 10_000_000,
+            ack_record_bytes: 16,
+        }
+    }
+}
+
+/// Mutable context threaded through a session.
+pub struct SessionCtx<'a> {
+    /// Global configuration.
+    pub config: &'a SimConfig,
+    /// The workload (for flow lookups: who is a bundle's source and
+    /// destination).
+    pub workload: &'a Workload,
+    /// Metrics sink.
+    pub metrics: &'a mut MetricsCollector,
+    /// Randomness (P–Q coin flips).
+    pub rng: &'a mut SimRng,
+}
+
+/// Run the full exchange for one contact. `a` and `b` must be the contact's
+/// endpoints.
+pub fn run_contact(a: &mut Node, b: &mut Node, contact: &Contact, ctx: &mut SessionCtx<'_>) {
+    debug_assert_eq!((a.id, b.id), (contact.a, contact.b));
+    let now = contact.start;
+
+    // 1. Defensive expiry purge (engine expiry events normally precede us).
+    for node in [&mut *a, &mut *b] {
+        for id in node.purge_expired(now) {
+            let idx = ctx.workload.bundle_index(id);
+            ctx.metrics
+                .on_drop(idx, node.id.index(), now, DropReason::Expired);
+        }
+    }
+
+    // 2. Encounter bookkeeping (before any TTL assignment, so a bundle
+    // received in this contact uses the interval *ending* at this contact,
+    // per Algorithm 1).
+    a.record_encounter(now);
+    b.record_encounter(now);
+
+    // 2b. Encounter counts. A relay copy's EC grows with every encounter
+    // its holder takes part in — the count measures how many forwarding
+    // opportunities the copy has lived through. The transmission event of
+    // the paper's Fig. 5 additionally increments the sender's count and
+    // propagates it to the receiver, so a lineage's EC accumulates across
+    // hops. Origin copies are the application's send queue and do not
+    // age. Algorithm 2's EC-dependent TTL is evaluated at
+    // store/transmission time, not here — aging only grows the count that
+    // eviction and the next store decision will read. (DESIGN.md §4
+    // records this interpretation decision.)
+    for node in [&mut *a, &mut *b] {
+        for copy in node.buffer.iter_mut() {
+            copy.ec += 1;
+        }
+    }
+
+    // 3. Immunity exchange.
+    if ctx.config.protocol.ack != AckScheme::None {
+        exchange_immunity(a, b, now, ctx);
+    }
+
+    // 4 + 5. Summary vectors and transfers under the shared capacity.
+    let mut slots_left = contact.duration().div_whole(ctx.config.tx_time);
+    let mut slots_used: u64 = 0;
+    // Lower ID first — `Contact` normalizes a < b.
+    transfer_phase(a, b, now, &mut slots_left, &mut slots_used, ctx);
+    transfer_phase(b, a, now, &mut slots_left, &mut slots_used, ctx);
+}
+
+/// Exchange and merge immunity stores, purge covered copies, and charge
+/// the signaling meter.
+fn exchange_immunity(a: &mut Node, b: &mut Node, now: SimTime, ctx: &mut SessionCtx<'_>) {
+    let (Some(store_a), Some(store_b)) = (a.immunity.as_ref(), b.immunity.as_ref()) else {
+        unreachable!("ack scheme active but immunity stores missing");
+    };
+    // Who gets to share? Under epidemic propagation everyone does; under
+    // destination-only propagation a node shares its table only if it is
+    // itself the destination of some flow — relays consume tables but
+    // never re-disseminate them.
+    let shares = |node: &Node| match ctx.config.protocol.ack_propagation {
+        crate::policy::AckPropagation::Epidemic => true,
+        crate::policy::AckPropagation::DestinationOnly => {
+            ctx.workload.flows().iter().any(|f| f.dst == node.id)
+        }
+    };
+    let a_shares = shares(a);
+    let b_shares = shares(b);
+
+    if a_shares {
+        ctx.metrics.ack_records_sent += store_a.record_count();
+        ctx.metrics.control_bytes_sent +=
+            store_a.record_count() * ctx.config.ack_record_bytes;
+    }
+    if b_shares {
+        ctx.metrics.ack_records_sent += store_b.record_count();
+        ctx.metrics.control_bytes_sent +=
+            store_b.record_count() * ctx.config.ack_record_bytes;
+    }
+
+    let snapshot_a = store_a.clone();
+    let snapshot_b = store_b.clone();
+    if b_shares {
+        a.immunity
+            .as_mut()
+            .expect("checked above")
+            .merge_from(&snapshot_b);
+    }
+    if a_shares {
+        b.immunity
+            .as_mut()
+            .expect("checked above")
+            .merge_from(&snapshot_a);
+    }
+
+    for node in [a, b] {
+        for id in node.purge_immunized() {
+            let idx = ctx.workload.bundle_index(id);
+            ctx.metrics
+                .on_drop(idx, node.id.index(), now, DropReason::Immunized);
+        }
+        let records = node
+            .immunity
+            .as_ref()
+            .map(|s| s.record_count())
+            .unwrap_or(0);
+        ctx.metrics.set_ack_records(node.id.index(), records, now);
+    }
+}
+
+/// One direction of the exchange: `tx` sends to `rx` while capacity lasts.
+fn transfer_phase(
+    tx: &mut Node,
+    rx: &mut Node,
+    now: SimTime,
+    slots_left: &mut u64,
+    slots_used: &mut u64,
+    ctx: &mut SessionCtx<'_>,
+) {
+    if *slots_left == 0 {
+        return;
+    }
+    // Snapshot the candidate list: bundles the receiver lacks.
+    //
+    // Ordering policy (the paper leaves it open; DESIGN.md records it):
+    // * bundles *destined to the receiver* go first, in (flow, seq)
+    //   order — final delivery retires a bundle, so it outranks another
+    //   relay hop, and in-sequence arrival is what lets the cumulative
+    //   immunity table's contiguous frontier advance (the same reason
+    //   cumulative-ACK transports deliver in order);
+    // * relay-bound bundles follow. Under the *cumulative* ack scheme
+    //   they stay in strict (flow, seq) order — in-order forwarding is
+    //   part of a cumulative-ack design (the paper's "table with bundle
+    //   ID 30 means bundles 1 to 30 are delivered" presumes it), since an
+    //   out-of-order delivery stalls the frontier and the table
+    //   acknowledges nothing. Under every other scheme the sorted list is
+    //   rotated by a seeded random offset: with one or two transfer slots
+    //   per contact, a fixed order would let the head of the list
+    //   monopolize transmissions (and the TTL renewals they grant) while
+    //   the tail starves.
+    // The receiver advertises its summary vector once; membership checks
+    // against it are O(1) and it is updated as transfers land. The
+    // advertisement costs one bit per workload bundle on the wire.
+    let mut rx_summary = SummaryVector::of_node(rx, ctx.workload);
+    ctx.metrics.control_bytes_sent += u64::from(rx_summary.capacity()).div_ceil(8);
+    let mut candidates: Vec<BundleId> = tx
+        .copies()
+        .map(|(c, _)| c.id)
+        .filter(|&id| !rx_summary.contains(ctx.workload.bundle_index(id)))
+        .collect();
+    candidates.sort_unstable();
+    let for_rx = |id: &BundleId| ctx.workload.flow(id.flow).dst == rx.id;
+    let split = itertools_partition(&mut candidates, for_rx);
+    if ctx.config.protocol.ack != AckScheme::Cumulative && candidates.len() - split > 1 {
+        let relay = &mut candidates[split..];
+        let pivot = ctx.rng.below(relay.len() as u64) as usize;
+        relay.rotate_left(pivot);
+    }
+
+    for id in candidates {
+        if *slots_left == 0 {
+            break;
+        }
+        let flow = ctx.workload.flow(id.flow);
+        // P–Q gate: the bundle's source transmits with P, relays with Q.
+        let p = ctx
+            .config
+            .protocol
+            .transmit
+            .probability(tx.id == flow.src);
+        if !ctx.rng.bernoulli(p) {
+            continue;
+        }
+        // The defensive purge and the per-transfer EC-TTL updates can
+        // remove a candidate mid-phase; re-check both sides.
+        if !tx.has_bundle(id) || rx_summary.contains(ctx.workload.bundle_index(id)) {
+            continue;
+        }
+
+        *slots_left -= 1;
+        *slots_used += 1;
+        ctx.metrics.bundle_transmissions += 1;
+        ctx.metrics.payload_bytes_sent += ctx.config.bundle_bytes;
+        // The transfer occupies one `tx_time` slot; its completion stamps
+        // the delivery time.
+        let completed_at = now + ctx.config.tx_time * *slots_used;
+
+        // Sender-side updates: EC increment, TTL renewal / EC-TTL.
+        // Lifetime policies govern *relay* copies only: "once they are
+        // transmitted and stored in a buffer, their TTL begins to reduce"
+        // (Section II-B) — a source's own un-retired originals do not
+        // time out (they can still be purged by immunity tables).
+        let (new_ec, sender_copy_expired) = {
+            let (copy, place) = tx.get_copy_mut(id).expect("checked above");
+            copy.ec += 1;
+            let new_ec = copy.ec;
+            if place == CopyPlace::Relay {
+                match ctx.config.protocol.lifetime {
+                    LifetimePolicy::FixedTtl { ttl } => {
+                        // The paper: a transmitted bundle's TTL is renewed.
+                        copy.expires_at = now + ttl;
+                    }
+                    LifetimePolicy::EcTtl { .. } => {
+                        if let Some(ttl) = ctx.config.protocol.lifetime.ec_ttl_at(new_ec) {
+                            copy.expires_at = now + ttl;
+                        }
+                    }
+                    LifetimePolicy::None | LifetimePolicy::DynamicTtl { .. } => {}
+                }
+            }
+            // An EC-TTL of zero means "discard immediately".
+            (new_ec, copy.expires_at <= now)
+        };
+        if sender_copy_expired {
+            tx.remove_copy(id);
+            let idx = ctx.workload.bundle_index(id);
+            ctx.metrics
+                .on_drop(idx, tx.id.index(), now, DropReason::Expired);
+        }
+
+        // Failure injection: the transfer occupied the slot and the
+        // sender behaved as if it succeeded, but the bundle never arrives.
+        let idx = ctx.workload.bundle_index(id);
+        if ctx.rng.bernoulli(ctx.config.transfer_loss_prob) {
+            ctx.metrics.transfer_losses += 1;
+            continue;
+        }
+
+        // Receiver side.
+        if rx.id == flow.dst {
+            deliver(rx, id, now, completed_at, idx, ctx);
+        } else {
+            store_relay_copy(rx, id, new_ec, now, idx, ctx);
+        }
+        if rx.has_bundle(id) {
+            rx_summary.insert(idx);
+        }
+    }
+}
+
+/// The bundle reached its destination: record the delivery, update the
+/// destination's immunity store under the active ack scheme.
+fn deliver(
+    rx: &mut Node,
+    id: BundleId,
+    now: SimTime,
+    completed_at: SimTime,
+    idx: usize,
+    ctx: &mut SessionCtx<'_>,
+) {
+    let tracker = rx.trackers.entry(id.flow).or_default();
+    let fresh = tracker.record(id.seq);
+    debug_assert!(fresh, "summary-vector filter should block duplicates");
+    if !fresh {
+        return;
+    }
+    let frontier = tracker.frontier();
+    ctx.metrics.on_deliver(idx, now, completed_at);
+    if let Some(store) = rx.immunity.as_mut() {
+        store.record_delivery(id, frontier);
+        let records = store.record_count();
+        ctx.metrics.set_ack_records(rx.id.index(), records, now);
+    }
+    // If the destination happened to be carrying a relay copy of this very
+    // bundle (impossible under current semantics, but cheap to guard), the
+    // delivered state supersedes it.
+    if rx.remove_copy(id).is_some() {
+        debug_assert!(false, "destination held a relay copy of its own bundle");
+        ctx.metrics
+            .on_drop(idx, rx.id.index(), completed_at, DropReason::Immunized);
+    }
+}
+
+/// Store an incoming relay copy, applying the receiver-side lifetime policy
+/// and the buffer's eviction policy.
+fn store_relay_copy(
+    rx: &mut Node,
+    id: BundleId,
+    ec: u32,
+    now: SimTime,
+    idx: usize,
+    ctx: &mut SessionCtx<'_>,
+) {
+    let expires_at = match ctx.config.protocol.lifetime {
+        LifetimePolicy::None => SimTime::MAX,
+        LifetimePolicy::FixedTtl { ttl } => now + ttl,
+        LifetimePolicy::DynamicTtl { multiplier } => match rx.last_interval {
+            // Algorithm 1: TTL = multiplier × interval between the node's
+            // last two encounters.
+            Some(interval) => now + interval.mul_f64(multiplier),
+            // No interval estimate yet: hold without expiry.
+            None => SimTime::MAX,
+        },
+        LifetimePolicy::EcTtl { .. } => match ctx.config.protocol.lifetime.ec_ttl_at(ec) {
+            Some(ttl) if ttl.is_zero() => {
+                // Dead on arrival: the transmission happened (and consumed
+                // a slot) but the copy is not stored.
+                ctx.metrics.rejections += 1;
+                return;
+            }
+            Some(ttl) => now + ttl,
+            None => SimTime::MAX,
+        },
+    };
+    let copy = StoredBundle {
+        id,
+        ec,
+        stored_at: now,
+        expires_at,
+    };
+    match rx.buffer.insert(copy, ctx.config.protocol.eviction) {
+        InsertOutcome::Stored => ctx.metrics.on_store(idx, rx.id.index(), now),
+        InsertOutcome::StoredEvicting(victim) => {
+            let victim_idx = ctx.workload.bundle_index(victim);
+            ctx.metrics
+                .on_drop(victim_idx, rx.id.index(), now, DropReason::Evicted);
+            ctx.metrics.on_store(idx, rx.id.index(), now);
+        }
+        InsertOutcome::Rejected => ctx.metrics.rejections += 1,
+        InsertOutcome::Duplicate => {
+            debug_assert!(false, "summary-vector filter should block duplicates")
+        }
+    }
+}
+
+/// Stable partition: reorder `xs` so every element matching `pred` comes
+/// first (relative order preserved on both sides); returns the split
+/// index.
+fn itertools_partition<T: Copy, F: Fn(&T) -> bool>(xs: &mut [T], pred: F) -> usize {
+    let matching: Vec<T> = xs.iter().copied().filter(|x| pred(x)).collect();
+    let rest: Vec<T> = xs.iter().copied().filter(|x| !pred(x)).collect();
+    let split = matching.len();
+    xs[..split].copy_from_slice(&matching);
+    xs[split..].copy_from_slice(&rest);
+    split
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::StoredBundle;
+    use crate::bundle::{BundleId, FlowId, Workload};
+    use crate::metrics::MetricsCollector;
+    use crate::protocols;
+    use dtn_mobility::{Contact, NodeId};
+    use dtn_sim::{SimRng, SimTime};
+
+    fn contact(start: u64, end: u64) -> Contact {
+        Contact::new(NodeId(0), NodeId(1), SimTime::from_secs(start), SimTime::from_secs(end))
+    }
+
+    fn origin_copy(flow: u32, seq: u32) -> StoredBundle {
+        StoredBundle {
+            id: BundleId { flow: FlowId(flow), seq },
+            ec: 0,
+            stored_at: SimTime::ZERO,
+            expires_at: SimTime::MAX,
+        }
+    }
+
+    /// Two opposing flows, capacity 3: the lower-ID node's phase runs
+    /// first and claims two slots; the higher-ID node gets the leftover.
+    #[test]
+    fn lower_id_sends_first_and_capacity_is_shared() {
+        let workload = Workload::new(
+            vec![
+                crate::bundle::Flow {
+                    id: FlowId(0),
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    count: 2,
+                    created_at: SimTime::ZERO,
+                },
+                crate::bundle::Flow {
+                    id: FlowId(1),
+                    src: NodeId(1),
+                    dst: NodeId(0),
+                    count: 2,
+                    created_at: SimTime::ZERO,
+                },
+            ],
+            2,
+        )
+        .unwrap();
+        let config = SimConfig::paper_defaults(protocols::pure_epidemic());
+        let mut a = Node::new(NodeId(0), 10, None);
+        let mut b = Node::new(NodeId(1), 10, None);
+        for seq in 0..2 {
+            a.origin.insert(origin_copy(0, seq), crate::policy::EvictionPolicy::RejectNew);
+            b.origin.insert(origin_copy(1, seq), crate::policy::EvictionPolicy::RejectNew);
+        }
+        let mut metrics = MetricsCollector::new(2, 10, 4, 0.1);
+        metrics.start(SimTime::ZERO);
+        let mut rng = SimRng::new(1);
+        let mut ctx = SessionCtx {
+            config: &config,
+            workload: &workload,
+            metrics: &mut metrics,
+            rng: &mut rng,
+        };
+        // 300..320 gives ⌊300/100⌋ = 3 slots... duration is 300 s.
+        run_contact(&mut a, &mut b, &contact(0, 300), &mut ctx);
+        // Lower-ID node 0 used slots 1-2 delivering both flow-0 bundles;
+        // node 1 got one slot: flow 1 is half-delivered.
+        let b_got = b.trackers.get(&FlowId(0)).map(|t| t.delivered_count()).unwrap_or(0);
+        let a_got = a.trackers.get(&FlowId(1)).map(|t| t.delivered_count()).unwrap_or(0);
+        assert_eq!(b_got, 2, "lower-ID phase should finish its flow");
+        assert_eq!(a_got, 1, "higher-ID phase gets only the leftover slot");
+        assert_eq!(metrics.bundle_transmissions, 3);
+    }
+
+    /// EC bookkeeping across one hop: holder aging + transmission
+    /// increment + receiver inheritance (Fig. 5 semantics).
+    #[test]
+    fn ec_inherited_with_increments() {
+        let workload = Workload::single_flow(NodeId(0), NodeId(9), 1, 10);
+        let config = SimConfig::paper_defaults(protocols::ec_epidemic());
+        let mut a = Node::new(NodeId(0), 10, None);
+        let mut b = Node::new(NodeId(1), 10, None);
+        // A *relay* copy at node 0 with EC 5 (origin copies don't age, so
+        // plant it in the relay buffer).
+        a.buffer.insert(
+            StoredBundle {
+                id: BundleId { flow: FlowId(0), seq: 0 },
+                ec: 5,
+                stored_at: SimTime::ZERO,
+                expires_at: SimTime::MAX,
+            },
+            crate::policy::EvictionPolicy::RejectNew,
+        );
+        let mut metrics = MetricsCollector::new(10, 10, 1, 0.1);
+        metrics.start(SimTime::ZERO);
+        let mut rng = SimRng::new(1);
+        let mut ctx = SessionCtx {
+            config: &config,
+            workload: &workload,
+            metrics: &mut metrics,
+            rng: &mut rng,
+        };
+        let c = Contact::new(NodeId(0), NodeId(1), SimTime::from_secs(0), SimTime::from_secs(150));
+        run_contact(&mut a, &mut b, &c, &mut ctx);
+        // Holder aging: 5 -> 6; transmission: 6 -> 7; receiver inherits 7.
+        assert_eq!(a.buffer.get(BundleId { flow: FlowId(0), seq: 0 }).unwrap().ec, 7);
+        assert_eq!(b.buffer.get(BundleId { flow: FlowId(0), seq: 0 }).unwrap().ec, 7);
+    }
+
+    /// Zero-duration capacity: a contact shorter than one tx_time carries
+    /// nothing, but ack exchange still happens (tables are small).
+    #[test]
+    fn too_short_contact_exchanges_acks_but_no_bundles() {
+        let workload = Workload::single_flow(NodeId(0), NodeId(1), 2, 2);
+        let config = SimConfig::paper_defaults(protocols::immunity_epidemic());
+        let mut a = Node::new(NodeId(0), 10, Some(crate::immunity::ImmunityStore::per_bundle()));
+        let mut b = Node::new(NodeId(1), 10, Some(crate::immunity::ImmunityStore::per_bundle()));
+        a.origin.insert(origin_copy(0, 0), crate::policy::EvictionPolicy::RejectNew);
+        // Node b somehow knows seq 1 was delivered (planted ack).
+        b.immunity
+            .as_mut()
+            .unwrap()
+            .record_delivery(BundleId { flow: FlowId(0), seq: 1 }, 0);
+        let mut metrics = MetricsCollector::new(2, 10, 2, 0.1);
+        metrics.start(SimTime::ZERO);
+        let mut rng = SimRng::new(1);
+        let mut ctx = SessionCtx {
+            config: &config,
+            workload: &workload,
+            metrics: &mut metrics,
+            rng: &mut rng,
+        };
+        run_contact(&mut a, &mut b, &contact(0, 50), &mut ctx);
+        assert_eq!(metrics.bundle_transmissions, 0, "50 s < one 100 s slot");
+        assert!(metrics.ack_records_sent > 0, "immunity tables still flow");
+        assert!(
+            a.immunity.as_ref().unwrap().covers(BundleId { flow: FlowId(0), seq: 1 }),
+            "a merged b's table"
+        );
+    }
+
+    /// Destination-bound bundles outrank relay traffic within a phase.
+    #[test]
+    fn destination_bound_bundles_go_first() {
+        // Node 0 carries: a relay copy for flow 1 (dst elsewhere) with a
+        // *lower* sort key, and origin bundles of flow 0 destined to node
+        // 1. With one slot, flow 0 must win despite sorting later.
+        let workload = Workload::new(
+            vec![
+                crate::bundle::Flow {
+                    id: FlowId(0),
+                    src: NodeId(2),
+                    dst: NodeId(9),
+                    count: 1,
+                    created_at: SimTime::ZERO,
+                },
+                crate::bundle::Flow {
+                    id: FlowId(1),
+                    src: NodeId(0),
+                    dst: NodeId(1),
+                    count: 1,
+                    created_at: SimTime::ZERO,
+                },
+            ],
+            10,
+        )
+        .unwrap();
+        let config = SimConfig::paper_defaults(protocols::pure_epidemic());
+        let mut a = Node::new(NodeId(0), 10, None);
+        let mut b = Node::new(NodeId(1), 10, None);
+        a.buffer.insert(origin_copy(0, 0), crate::policy::EvictionPolicy::RejectNew);
+        a.origin.insert(origin_copy(1, 0), crate::policy::EvictionPolicy::RejectNew);
+        let mut metrics = MetricsCollector::new(10, 10, 2, 0.1);
+        metrics.start(SimTime::ZERO);
+        let mut rng = SimRng::new(1);
+        let mut ctx = SessionCtx {
+            config: &config,
+            workload: &workload,
+            metrics: &mut metrics,
+            rng: &mut rng,
+        };
+        let c = Contact::new(NodeId(0), NodeId(1), SimTime::from_secs(0), SimTime::from_secs(150));
+        run_contact(&mut a, &mut b, &c, &mut ctx);
+        assert_eq!(
+            b.trackers.get(&FlowId(1)).map(|t| t.delivered_count()),
+            Some(1),
+            "the destination-bound bundle took the only slot"
+        );
+        assert!(!b.buffer.contains(BundleId { flow: FlowId(0), seq: 0 }));
+    }
+}

@@ -1,0 +1,540 @@
+//! The per-replication simulation driver.
+//!
+//! [`simulate`] wires a [`ContactTrace`], a [`Workload`] and a
+//! [`SimConfig`] into the `dtn-sim` engine and runs to completion:
+//!
+//! * every contact becomes a `Contact` event at its start time, handled by
+//!   [`crate::session::run_contact`];
+//! * flow creation events inject origin copies at sources;
+//! * copy expiry is event-driven: whenever a node's earliest finite expiry
+//!   changes, an `ExpiryCheck` is (re)scheduled, so the time-weighted
+//!   metrics see drops at the instant they happen rather than at the next
+//!   contact;
+//! * the run ends when every bundle has been delivered (the paper: "once
+//!   the destination received all bundles, the simulation ends") or at the
+//!   trace horizon, whichever comes first. A run that reaches the horizon
+//!   undelivered is a failed transmission and records no delay.
+
+use crate::bundle::Workload;
+use crate::buffer::StoredBundle;
+use crate::immunity::ImmunityStore;
+use crate::metrics::{DropReason, MetricsCollector, RunMetrics};
+use crate::node::Node;
+use crate::policy::AckScheme;
+use crate::session::{run_contact, SessionCtx, SimConfig};
+use dtn_mobility::ContactTrace;
+use dtn_sim::{Engine, Flow, Handler, Scheduler, SimRng, SimTime};
+
+/// Simulation events.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// Inject flow `f`'s bundles at its source.
+    CreateFlow(u32),
+    /// Process contact `i` of the trace.
+    Contact(u32),
+    /// Purge expired copies on a node and reschedule.
+    ExpiryCheck(u16),
+}
+
+struct Sim<'a> {
+    trace: &'a ContactTrace,
+    workload: &'a Workload,
+    config: &'a SimConfig,
+    nodes: Vec<Node>,
+    metrics: MetricsCollector,
+    rng: SimRng,
+    /// Earliest pending `ExpiryCheck` per node, to avoid flooding the
+    /// queue with duplicates.
+    scheduled_expiry: Vec<Option<SimTime>>,
+}
+
+impl Sim<'_> {
+    /// Purge expired copies of `node_idx` at `now`, feeding the metrics.
+    fn purge_node(&mut self, node_idx: usize, now: SimTime) {
+        for id in self.nodes[node_idx].purge_expired(now) {
+            let idx = self.workload.bundle_index(id);
+            self.metrics.on_drop(idx, node_idx, now, DropReason::Expired);
+        }
+    }
+
+    /// Ensure an `ExpiryCheck` is pending at the node's earliest expiry.
+    fn reschedule_expiry(&mut self, node_idx: usize, sched: &mut Scheduler<'_, Ev>) {
+        if let Some(t) = self.nodes[node_idx].earliest_expiry() {
+            let already_pending =
+                matches!(self.scheduled_expiry[node_idx], Some(existing) if existing <= t);
+            if !already_pending {
+                self.scheduled_expiry[node_idx] = Some(t);
+                sched.schedule_at(t.max(sched.now()), Ev::ExpiryCheck(node_idx as u16));
+            }
+        }
+    }
+}
+
+impl Handler<Ev> for Sim<'_> {
+    fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) -> Flow {
+        match event {
+            Ev::CreateFlow(f) => {
+                let flow = self.workload.flows()[f as usize];
+                let src = flow.src.index();
+                // Origin copies are immortal: TTLs "begin to reduce" only
+                // once a bundle is transmitted into a relay buffer
+                // (Section II-B), so the application's own send queue never
+                // times out. Immunity purges still apply to it.
+                let expires_at = SimTime::MAX;
+                for seq in 0..flow.count {
+                    let id = crate::bundle::BundleId { flow: flow.id, seq };
+                    self.nodes[src].origin.insert(
+                        StoredBundle {
+                            id,
+                            ec: 0,
+                            stored_at: now,
+                            expires_at,
+                        },
+                        crate::policy::EvictionPolicy::RejectNew,
+                    );
+                    let idx = self.workload.bundle_index(id);
+                    self.metrics.on_store(idx, src, now);
+                }
+                self.reschedule_expiry(src, sched);
+                Flow::Continue
+            }
+            Ev::Contact(i) => {
+                let contact = self.trace.contacts()[i as usize];
+                let (ai, bi) = (contact.a.index(), contact.b.index());
+                let (na, nb) = two_mut(&mut self.nodes, ai, bi);
+                let mut ctx = SessionCtx {
+                    config: self.config,
+                    workload: self.workload,
+                    metrics: &mut self.metrics,
+                    rng: &mut self.rng,
+                };
+                run_contact(na, nb, &contact, &mut ctx);
+                self.reschedule_expiry(ai, sched);
+                self.reschedule_expiry(bi, sched);
+                if self.metrics.all_delivered() {
+                    Flow::Stop
+                } else {
+                    Flow::Continue
+                }
+            }
+            Ev::ExpiryCheck(n) => {
+                let node_idx = n as usize;
+                self.scheduled_expiry[node_idx] = None;
+                self.purge_node(node_idx, now);
+                self.reschedule_expiry(node_idx, sched);
+                Flow::Continue
+            }
+        }
+    }
+}
+
+/// Split two distinct mutable references out of a slice.
+fn two_mut<T>(xs: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert!(i != j, "aliasing two_mut indices");
+    if i < j {
+        let (lo, hi) = xs.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = xs.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+/// Run one replication and return its metrics.
+///
+/// Identical `(trace, workload, config, rng seed)` inputs produce
+/// bit-identical results; the experiment harness relies on this.
+pub fn simulate(
+    trace: &ContactTrace,
+    workload: &Workload,
+    config: &SimConfig,
+    rng: SimRng,
+) -> RunMetrics {
+    config.protocol.validate();
+    let node_count = trace.node_count();
+
+    let immunity_template = match config.protocol.ack {
+        AckScheme::None => None,
+        AckScheme::PerBundle => Some(ImmunityStore::per_bundle()),
+        AckScheme::Cumulative => Some(ImmunityStore::cumulative()),
+    };
+    let nodes: Vec<Node> = trace
+        .nodes()
+        .map(|id| Node::new(id, config.buffer_capacity, immunity_template.clone()))
+        .collect();
+
+    let mut metrics = MetricsCollector::new(
+        node_count,
+        config.buffer_capacity,
+        workload.total_bundles(),
+        config.ack_slot_cost,
+    );
+    metrics.start(SimTime::ZERO);
+
+    let mut engine = Engine::with_capacity(trace.horizon(), trace.len() + workload.flows().len());
+    for (i, flow) in workload.flows().iter().enumerate() {
+        engine.schedule(flow.created_at, Ev::CreateFlow(i as u32));
+    }
+    for (i, c) in trace.contacts().iter().enumerate() {
+        engine.schedule(c.start, Ev::Contact(i as u32));
+    }
+
+    let mut sim = Sim {
+        trace,
+        workload,
+        config,
+        nodes,
+        metrics,
+        rng,
+        scheduled_expiry: vec![None; node_count],
+    };
+    engine.run(&mut sim);
+
+    let end = sim
+        .metrics
+        .completion_time()
+        .unwrap_or(trace.horizon());
+    sim.metrics.finish(end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::Workload;
+    use crate::protocols;
+    use dtn_mobility::{parse_trace_str, NodeId};
+    use dtn_sim::SimDuration;
+
+    fn two_hop_trace() -> ContactTrace {
+        // 0 meets 1 at t=100 (400 s); 1 meets 2 at t=1000 (400 s).
+        parse_trace_str("% nodes 3\n% horizon 10000\n0 1 100 500\n1 2 1000 1400\n").unwrap()
+    }
+
+    fn cfg(p: crate::policy::ProtocolConfig) -> SimConfig {
+        SimConfig::paper_defaults(p)
+    }
+
+    #[test]
+    fn pure_epidemic_delivers_over_two_hops() {
+        let trace = two_hop_trace();
+        let w = Workload::single_flow(NodeId(0), NodeId(2), 3, 3);
+        let m = simulate(&trace, &w, &cfg(protocols::pure_epidemic()), SimRng::new(1));
+        assert_eq!(m.delivered, 3);
+        assert_eq!(m.delivery_ratio, 1.0);
+        // Node 1 received 3 bundles in contact 1 (capacity ⌊400/100⌋ = 4);
+        // it forwards them in contact 2; third transfer completes at
+        // 1000 + 300 = 1300.
+        assert_eq!(m.completion_time, Some(SimTime::from_secs(1300)));
+        assert_eq!(m.bundle_transmissions, 6);
+    }
+
+    #[test]
+    fn capacity_limits_transfers_per_contact() {
+        // One 250 s contact: ⌊250/100⌋ = 2 bundles max.
+        let trace = parse_trace_str("% nodes 2\n% horizon 10000\n0 1 100 350\n").unwrap();
+        let w = Workload::single_flow(NodeId(0), NodeId(1), 5, 2);
+        let m = simulate(&trace, &w, &cfg(protocols::pure_epidemic()), SimRng::new(1));
+        assert_eq!(m.delivered, 2);
+        assert!((m.delivery_ratio - 0.4).abs() < 1e-12);
+        assert_eq!(m.completion_time, None, "not all bundles arrived");
+    }
+
+    #[test]
+    fn paper_worked_example_three_bundles_in_314s() {
+        // Section IV: nodes 3 and 9 meet for 314 s -> 3 bundles.
+        let trace =
+            parse_trace_str("% nodes 10\n% horizon 524162\n3 9 3568 3882\n").unwrap();
+        let w = Workload::single_flow(NodeId(3), NodeId(9), 10, 10);
+        let m = simulate(&trace, &w, &cfg(protocols::pure_epidemic()), SimRng::new(1));
+        assert_eq!(m.delivered, 3);
+        assert_eq!(m.bundle_transmissions, 3);
+    }
+
+    #[test]
+    fn direct_contact_delivers_and_records_slot_times() {
+        let trace = parse_trace_str("% nodes 2\n% horizon 10000\n0 1 0 1000\n").unwrap();
+        let w = Workload::single_flow(NodeId(0), NodeId(1), 3, 2);
+        let m = simulate(&trace, &w, &cfg(protocols::pure_epidemic()), SimRng::new(1));
+        assert_eq!(m.delivered, 3);
+        // Slots complete at 100, 200, 300.
+        assert_eq!(m.completion_time, Some(SimTime::from_secs(300)));
+    }
+
+    #[test]
+    fn fixed_ttl_expires_relay_copies_but_not_origin_copies() {
+        // TTLs start ticking when a bundle is stored in a *relay* buffer
+        // (Section II-B); the source's own send queue never times out.
+        // Source 0 hands 4 copies to relay 1 at t=5000; relay copies
+        // expire at 5700 (renewed... no further transmission), long before
+        // the destination would have been reachable.
+        let trace = parse_trace_str("% nodes 3\n% horizon 10000\n0 1 5000 5400\n").unwrap();
+        let w = Workload::single_flow(NodeId(0), NodeId(2), 4, 3);
+        let m = simulate(
+            &trace,
+            &w,
+            &cfg(protocols::ttl_epidemic(SimDuration::from_secs(300))),
+            SimRng::new(1),
+        );
+        assert_eq!(m.delivered, 0);
+        assert_eq!(m.bundle_transmissions, 4, "all four copies relayed to 1");
+        assert_eq!(m.expirations, 4, "all four relay copies expired");
+    }
+
+    #[test]
+    fn dynamic_ttl_outlives_fixed_ttl_across_long_gaps() {
+        // Relay 1's encounter gap is 1000 s. Fixed TTL 300 kills its relay
+        // copy before it meets the destination; dynamic TTL (2 × its last
+        // 1000 s interval) keeps the copy alive.
+        let trace = parse_trace_str(
+            "% nodes 4\n% horizon 99999\n1 3 0 100\n0 1 1000 1200\n1 2 2000 2200\n",
+        )
+        .unwrap();
+        let w = Workload::single_flow(NodeId(0), NodeId(2), 1, 4);
+        let fixed = simulate(
+            &trace,
+            &w,
+            &cfg(protocols::ttl_epidemic(SimDuration::from_secs(300))),
+            SimRng::new(1),
+        );
+        assert_eq!(fixed.delivered, 0, "fixed-TTL relay copy expired at 1500");
+        let dynamic = simulate(
+            &trace,
+            &w,
+            &cfg(protocols::dynamic_ttl_epidemic()),
+            SimRng::new(1),
+        );
+        assert_eq!(dynamic.delivered, 1, "dynamic TTL = 2×1000 s survived");
+    }
+
+    #[test]
+    fn fixed_ttl_renews_on_transmission() {
+        // 0->1 at t=100; 1 meets 2 at t=550. Receiver TTL from store time
+        // (t=100 + 300 = 400) would expire before 550... so use contacts
+        // closer together: 0-1 at 100..300, 1-2 at 350..550. Copy stored at
+        // 100 expires 400 > 350: delivered.
+        let trace =
+            parse_trace_str("% nodes 3\n% horizon 10000\n0 1 100 300\n1 2 350 550\n").unwrap();
+        let w = Workload::single_flow(NodeId(0), NodeId(2), 1, 3);
+        let m = simulate(
+            &trace,
+            &w,
+            &cfg(protocols::ttl_epidemic(SimDuration::from_secs(300))),
+            SimRng::new(1),
+        );
+        assert_eq!(m.delivered, 1);
+    }
+
+    #[test]
+    fn immunity_purges_relay_copies_mid_flow() {
+        // 0 hands both bundles to relay 1 (t=0..300, 3 slots). 1 delivers
+        // only seq 0 to destination 2 (t=400..500, 1 slot). When 1 meets 2
+        // again (t=600..700), the ack exchange runs *before* the transfer:
+        // 1 merges 2's immunity table, purges its now-delivered seq-0
+        // copy, then delivers seq 1 — at which point the run completes.
+        let trace = parse_trace_str(
+            "% nodes 3\n% horizon 99999\n0 1 0 300\n1 2 400 500\n1 2 600 700\n",
+        )
+        .unwrap();
+        let w = Workload::single_flow(NodeId(0), NodeId(2), 2, 3);
+        let m = simulate(&trace, &w, &cfg(protocols::immunity_epidemic()), SimRng::new(1));
+        assert_eq!(m.delivered, 2);
+        assert_eq!(m.immunity_purges, 1, "relay copy of seq 0 purged at node 1");
+        assert!(m.ack_records_sent > 0);
+        assert_eq!(m.completion_time, Some(SimTime::from_secs(700)));
+    }
+
+    #[test]
+    fn pq_zero_q_never_relays() {
+        // With q = 0 relays never forward; only source-destination contacts
+        // deliver. Source never meets destination here -> nothing arrives.
+        let trace =
+            parse_trace_str("% nodes 3\n% horizon 9999\n0 1 0 500\n1 2 600 1100\n").unwrap();
+        let w = Workload::single_flow(NodeId(0), NodeId(2), 2, 3);
+        let m = simulate(&trace, &w, &cfg(protocols::pq_epidemic(1.0, 0.0)), SimRng::new(1));
+        assert_eq!(m.delivered, 0);
+        // Source still pushed copies to the relay.
+        assert_eq!(m.bundle_transmissions, 2);
+    }
+
+    #[test]
+    fn pq_zero_p_never_sends_from_source() {
+        let trace = parse_trace_str("% nodes 2\n% horizon 9999\n0 1 0 1000\n").unwrap();
+        let w = Workload::single_flow(NodeId(0), NodeId(1), 2, 2);
+        let m = simulate(&trace, &w, &cfg(protocols::pq_epidemic(0.0, 1.0)), SimRng::new(1));
+        assert_eq!(m.delivered, 0);
+        assert_eq!(m.bundle_transmissions, 0);
+    }
+
+    #[test]
+    fn ec_eviction_replaces_highest_ec_when_full() {
+        // Buffer capacity 2 at relays. Source sends 3 bundles to relay 1;
+        // third insert evicts one. Use small capacity to force it.
+        let trace = parse_trace_str("% nodes 3\n% horizon 9999\n0 1 0 1000\n").unwrap();
+        let w = Workload::single_flow(NodeId(0), NodeId(2), 3, 3);
+        let mut config = cfg(protocols::ec_epidemic());
+        config.buffer_capacity = 2;
+        let m = simulate(&trace, &w, &config, SimRng::new(1));
+        assert_eq!(m.evictions, 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace = dtn_mobility::HaggleParams {
+            horizon: SimTime::from_secs(100_000),
+            ..Default::default()
+        }
+        .generate(&mut SimRng::new(42));
+        let w = Workload::single_flow(NodeId(0), NodeId(5), 10, 12);
+        let run = || {
+            simulate(
+                &trace,
+                &w,
+                &cfg(protocols::pq_epidemic(0.5, 0.5)),
+                SimRng::new(7),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stops_at_horizon_without_completion() {
+        let trace = parse_trace_str("% nodes 3\n% horizon 1000\n0 1 0 150\n").unwrap();
+        let w = Workload::single_flow(NodeId(0), NodeId(2), 1, 3);
+        let m = simulate(&trace, &w, &cfg(protocols::pure_epidemic()), SimRng::new(1));
+        assert_eq!(m.delivered, 0);
+        assert_eq!(m.end_time, SimTime::from_secs(1000));
+    }
+
+    #[test]
+    fn destination_only_propagation_purges_less() {
+        // Under destination-only dissemination, relays never re-share
+        // immunity knowledge, so fewer copies get purged and the
+        // signaling meter charges fewer records.
+        let trace = dtn_mobility::HaggleParams {
+            horizon: SimTime::from_secs(400_000),
+            ..Default::default()
+        }
+        .generate(&mut SimRng::new(41));
+        let w = Workload::single_flow(NodeId(0), NodeId(5), 20, trace.node_count());
+        let run = |propagation| {
+            let mut config = cfg(protocols::immunity_epidemic());
+            config.protocol.ack_propagation = propagation;
+            simulate(&trace, &w, &config, SimRng::new(3))
+        };
+        let epidemic = run(crate::policy::AckPropagation::Epidemic);
+        let dest_only = run(crate::policy::AckPropagation::DestinationOnly);
+        assert!(
+            dest_only.ack_records_sent < epidemic.ack_records_sent,
+            "dest-only sent {} records vs epidemic {}",
+            dest_only.ack_records_sent,
+            epidemic.ack_records_sent
+        );
+        // Propagation mode is a buffer policy, not a routing change:
+        // delivery stays intact either way.
+        assert_eq!(dest_only.delivered, epidemic.delivered);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_transmissions_and_control() {
+        let trace = parse_trace_str("% nodes 3\n% horizon 99999\n0 1 0 300\n1 2 400 500\n").unwrap();
+        let w = Workload::single_flow(NodeId(0), NodeId(2), 2, 3);
+        let m = simulate(&trace, &w, &cfg(protocols::immunity_epidemic()), SimRng::new(1));
+        let config = cfg(protocols::immunity_epidemic());
+        assert_eq!(
+            m.payload_bytes_sent,
+            m.bundle_transmissions * config.bundle_bytes
+        );
+        // Three transfer phases advertised a 2-bundle (1-byte) summary
+        // vector each (the fourth phase found no capacity left and never
+        // advertised), plus any immunity records.
+        assert!(m.control_bytes_sent >= 3, "{}", m.control_bytes_sent);
+        assert!(m.control_overhead_ratio() > 0.0);
+        assert!(m.control_overhead_ratio() < 0.01, "control ≪ payload");
+    }
+
+    #[test]
+    fn total_loss_delivers_nothing() {
+        let trace = parse_trace_str("% nodes 2\n% horizon 10000\n0 1 0 1000\n").unwrap();
+        let w = Workload::single_flow(NodeId(0), NodeId(1), 5, 2);
+        let mut config = cfg(protocols::pure_epidemic());
+        config.transfer_loss_prob = 1.0;
+        let m = simulate(&trace, &w, &config, SimRng::new(1));
+        assert_eq!(m.delivered, 0);
+        assert_eq!(m.transfer_losses, m.bundle_transmissions);
+        assert!(m.bundle_transmissions > 0, "transmissions were attempted");
+    }
+
+    #[test]
+    fn partial_loss_degrades_but_does_not_kill_delivery() {
+        let trace = dtn_mobility::HaggleParams {
+            horizon: SimTime::from_secs(300_000),
+            ..Default::default()
+        }
+        .generate(&mut SimRng::new(31));
+        let w = Workload::single_flow(NodeId(0), NodeId(5), 10, trace.node_count());
+        let run = |loss: f64| {
+            let mut config = cfg(protocols::pure_epidemic());
+            config.transfer_loss_prob = loss;
+            simulate(&trace, &w, &config, SimRng::new(2))
+        };
+        let clean = run(0.0);
+        let lossy = run(0.4);
+        assert_eq!(clean.transfer_losses, 0);
+        assert!(lossy.transfer_losses > 0);
+        // Epidemic redundancy absorbs moderate loss: delivery may drop
+        // but must not vanish.
+        assert!(lossy.delivered > 0);
+        assert!(lossy.delivered <= clean.delivered + 2);
+    }
+
+    #[test]
+    fn poisson_workload_runs_end_to_end() {
+        // Staggered flow arrivals exercise mid-simulation CreateFlow
+        // events: bundles join while earlier flows are already circulating.
+        let trace = dtn_mobility::HaggleParams {
+            horizon: SimTime::from_secs(200_000),
+            ..Default::default()
+        }
+        .generate(&mut SimRng::new(21));
+        let mut wl_rng = SimRng::new(22);
+        let w = Workload::poisson_flows(
+            2e-4,
+            SimTime::from_secs(100_000),
+            4,
+            trace.node_count(),
+            &mut wl_rng,
+        );
+        assert!(w.flows().len() >= 2, "want several staggered flows");
+        let m = simulate(
+            &trace,
+            &w,
+            &cfg(protocols::immunity_epidemic()),
+            SimRng::new(23),
+        );
+        assert!(m.delivered > 0, "some staggered traffic must arrive");
+        assert!(m.delivered <= m.total_bundles);
+    }
+
+    #[test]
+    fn two_mut_splits_correctly() {
+        let mut v = vec![1, 2, 3, 4];
+        {
+            let (a, b) = two_mut(&mut v, 0, 3);
+            std::mem::swap(a, b);
+        }
+        assert_eq!(v, vec![4, 2, 3, 1]);
+        {
+            let (a, b) = two_mut(&mut v, 2, 1);
+            *a += 10;
+            *b += 100;
+        }
+        assert_eq!(v, vec![4, 102, 13, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aliasing")]
+    fn two_mut_rejects_aliasing() {
+        let mut v = vec![1, 2];
+        let _ = two_mut(&mut v, 1, 1);
+    }
+}

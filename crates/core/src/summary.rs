@@ -1,0 +1,229 @@
+//! Summary vectors — the anti-entropy membership structure.
+//!
+//! Pure epidemic's defining mechanism (Vahdat & Becker, paper §II-A) is
+//! the *summary vector*: a compact description of which bundles a node
+//! possesses, exchanged at the start of every contact so peers transfer
+//! only what the other side lacks. [`SummaryVector`] is that structure,
+//! realized as a bitset over the workload's dense bundle indexing — one
+//! bit per bundle, 64 bundles per word, so the paper's whole load-50
+//! workload fits in a single `u64`.
+
+use crate::bundle::{BundleId, Workload};
+use crate::node::Node;
+
+/// A bitset over the workload's bundles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SummaryVector {
+    words: Vec<u64>,
+    total: u32,
+}
+
+impl SummaryVector {
+    /// An empty vector sized for `total` bundles.
+    pub fn empty(total: u32) -> SummaryVector {
+        SummaryVector {
+            words: vec![0; (total as usize).div_ceil(64)],
+            total,
+        }
+    }
+
+    /// The summary a node advertises: every bundle it can prove it has —
+    /// relay copies, origin copies, and (at a destination) completed
+    /// deliveries.
+    pub fn of_node(node: &Node, workload: &Workload) -> SummaryVector {
+        let mut sv = SummaryVector::empty(workload.total_bundles());
+        for (copy, _) in node.copies() {
+            sv.insert(workload.bundle_index(copy.id));
+        }
+        for (flow_id, tracker) in &node.trackers {
+            let flow = workload.flow(*flow_id);
+            for seq in 0..flow.count {
+                if tracker.contains(seq) {
+                    sv.insert(workload.bundle_index(BundleId {
+                        flow: *flow_id,
+                        seq,
+                    }));
+                }
+            }
+        }
+        sv
+    }
+
+    /// Number of bundles the vector covers.
+    pub fn capacity(&self) -> u32 {
+        self.total
+    }
+
+    /// Mark bundle `idx` as possessed.
+    pub fn insert(&mut self, idx: usize) {
+        debug_assert!(idx < self.total as usize);
+        self.words[idx / 64] |= 1 << (idx % 64);
+    }
+
+    /// Is bundle `idx` possessed?
+    pub fn contains(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.total as usize);
+        self.words[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Number of possessed bundles.
+    pub fn len(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// True when nothing is possessed.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Bundle indices possessed by `self` but not by `other` — what the
+    /// anti-entropy session offers the peer. Panics if the vectors cover
+    /// different workloads.
+    pub fn difference<'a>(&'a self, other: &'a SummaryVector) -> impl Iterator<Item = usize> + 'a {
+        assert_eq!(self.total, other.total, "summary vectors of different workloads");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .enumerate()
+            .flat_map(|(wi, (&mine, &theirs))| {
+                let mut bits = mine & !theirs;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        None
+                    } else {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        Some(wi * 64 + b)
+                    }
+                })
+            })
+    }
+
+    /// In-place union (what a node knows after hearing a peer's vector).
+    pub fn union_with(&mut self, other: &SummaryVector) {
+        assert_eq!(self.total, other.total, "summary vectors of different workloads");
+        for (mine, theirs) in self.words.iter_mut().zip(&other.words) {
+            *mine |= *theirs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::StoredBundle;
+    use crate::bundle::{FlowId, Workload};
+    use crate::policy::EvictionPolicy;
+    use dtn_mobility::NodeId;
+    use dtn_sim::SimTime;
+
+    fn bid(seq: u32) -> BundleId {
+        BundleId {
+            flow: FlowId(0),
+            seq,
+        }
+    }
+
+    #[test]
+    fn insert_contains_len() {
+        let mut sv = SummaryVector::empty(130);
+        assert!(sv.is_empty());
+        for idx in [0usize, 63, 64, 129] {
+            sv.insert(idx);
+            assert!(sv.contains(idx));
+        }
+        assert!(!sv.contains(1));
+        assert_eq!(sv.len(), 4);
+    }
+
+    #[test]
+    fn difference_enumerates_missing() {
+        let mut a = SummaryVector::empty(200);
+        let mut b = SummaryVector::empty(200);
+        for idx in [1usize, 5, 70, 150] {
+            a.insert(idx);
+        }
+        b.insert(5);
+        b.insert(150);
+        let missing: Vec<usize> = a.difference(&b).collect();
+        assert_eq!(missing, vec![1, 70]);
+        // Symmetric check: b has nothing a lacks.
+        assert_eq!(b.difference(&a).count(), 0);
+    }
+
+    #[test]
+    fn union_absorbs() {
+        let mut a = SummaryVector::empty(10);
+        let mut b = SummaryVector::empty(10);
+        a.insert(1);
+        b.insert(7);
+        a.union_with(&b);
+        assert!(a.contains(1) && a.contains(7));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different workloads")]
+    fn mismatched_sizes_panic() {
+        let a = SummaryVector::empty(10);
+        let b = SummaryVector::empty(20);
+        let _ = a.difference(&b).count();
+    }
+
+    #[test]
+    fn of_node_covers_all_three_stores() {
+        let workload = Workload::single_flow(NodeId(1), NodeId(0), 8, 2);
+        let mut node = Node::new(NodeId(0), 10, None);
+        node.buffer.insert(
+            StoredBundle {
+                id: bid(2),
+                ec: 0,
+                stored_at: SimTime::ZERO,
+                expires_at: SimTime::MAX,
+            },
+            EvictionPolicy::RejectNew,
+        );
+        node.origin.insert(
+            StoredBundle {
+                id: bid(5),
+                ec: 0,
+                stored_at: SimTime::ZERO,
+                expires_at: SimTime::MAX,
+            },
+            EvictionPolicy::RejectNew,
+        );
+        node.trackers.entry(FlowId(0)).or_default().record(7);
+        let sv = SummaryVector::of_node(&node, &workload);
+        assert!(sv.contains(2), "relay copy");
+        assert!(sv.contains(5), "origin copy");
+        assert!(sv.contains(7), "delivered bundle");
+        assert_eq!(sv.len(), 3);
+    }
+
+    #[test]
+    fn of_node_matches_has_bundle() {
+        // The summary vector and Node::has_bundle must agree bundle by
+        // bundle — they are two views of the same membership.
+        let workload = Workload::single_flow(NodeId(1), NodeId(0), 20, 2);
+        let mut node = Node::new(NodeId(0), 10, None);
+        for seq in [0u32, 3, 9, 19] {
+            node.buffer.insert(
+                StoredBundle {
+                    id: bid(seq),
+                    ec: 0,
+                    stored_at: SimTime::ZERO,
+                    expires_at: SimTime::MAX,
+                },
+                EvictionPolicy::RejectNew,
+            );
+        }
+        let sv = SummaryVector::of_node(&node, &workload);
+        for id in workload.bundle_ids() {
+            assert_eq!(
+                sv.contains(workload.bundle_index(id)),
+                node.has_bundle(id),
+                "disagreement on {id}"
+            );
+        }
+    }
+}

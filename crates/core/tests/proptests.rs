@@ -1,0 +1,373 @@
+//! Property-based tests for the protocol layer.
+
+use dtn_epidemic::{
+    protocols, simulate, AckScheme, Buffer, BundleId, DeliveryTracker, EvictionPolicy, FlowId,
+    ImmunityStore, SimConfig, StoredBundle, Workload,
+};
+use dtn_mobility::{Contact, ContactTrace, NodeId};
+use dtn_sim::{SimRng, SimTime};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn bid(seq: u32) -> BundleId {
+    BundleId {
+        flow: FlowId(0),
+        seq,
+    }
+}
+
+/// One random buffer operation.
+#[derive(Clone, Debug)]
+enum BufOp {
+    Insert { seq: u32, ec: u32, at: u64, expires: Option<u64> },
+    Remove { seq: u32 },
+    PurgeExpired { at: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = BufOp> {
+    prop_oneof![
+        (0u32..40, 0u32..20, 0u64..10_000, prop::option::of(0u64..20_000)).prop_map(
+            |(seq, ec, at, expires)| BufOp::Insert {
+                seq,
+                ec,
+                at,
+                expires
+            }
+        ),
+        (0u32..40).prop_map(|seq| BufOp::Remove { seq }),
+        (0u64..20_000).prop_map(|at| BufOp::PurgeExpired { at }),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = EvictionPolicy> {
+    prop_oneof![
+        Just(EvictionPolicy::RejectNew),
+        Just(EvictionPolicy::DropOldest),
+        Just(EvictionPolicy::HighestEc),
+        (0u32..15).prop_map(|min_ec| EvictionPolicy::HighestEcMin { min_ec }),
+    ]
+}
+
+proptest! {
+    /// Under any operation sequence and any eviction policy, the buffer
+    /// never exceeds its capacity and never holds duplicate ids.
+    #[test]
+    fn buffer_capacity_and_uniqueness_invariants(
+        capacity in 1usize..12,
+        policy in arb_policy(),
+        ops in prop::collection::vec(arb_op(), 0..200),
+    ) {
+        let mut buf = Buffer::new(capacity);
+        for op in ops {
+            match op {
+                BufOp::Insert { seq, ec, at, expires } => {
+                    buf.insert(
+                        StoredBundle {
+                            id: bid(seq),
+                            ec,
+                            stored_at: SimTime::from_secs(at),
+                            expires_at: expires
+                                .map(SimTime::from_secs)
+                                .unwrap_or(SimTime::MAX),
+                        },
+                        policy,
+                    );
+                }
+                BufOp::Remove { seq } => {
+                    buf.remove(bid(seq));
+                }
+                BufOp::PurgeExpired { at } => {
+                    buf.purge_expired(SimTime::from_secs(at));
+                }
+            }
+            prop_assert!(buf.len() <= capacity);
+            let ids: BTreeSet<BundleId> = buf.iter().map(|e| e.id).collect();
+            prop_assert_eq!(ids.len(), buf.len(), "duplicate ids in buffer");
+        }
+    }
+
+    /// purge_expired removes exactly the due entries.
+    #[test]
+    fn purge_expired_is_exact(
+        entries in prop::collection::vec((0u32..100, 1u64..10_000), 0..10),
+        now in 0u64..12_000,
+    ) {
+        let mut buf = Buffer::new(64);
+        let mut expected_kept = BTreeSet::new();
+        let mut seen = BTreeSet::new();
+        for &(seq, expiry) in &entries {
+            if !seen.insert(seq) {
+                continue;
+            }
+            buf.insert(
+                StoredBundle {
+                    id: bid(seq),
+                    ec: 0,
+                    stored_at: SimTime::ZERO,
+                    expires_at: SimTime::from_secs(expiry),
+                },
+                EvictionPolicy::RejectNew,
+            );
+            if expiry > now {
+                expected_kept.insert(seq);
+            }
+        }
+        buf.purge_expired(SimTime::from_secs(now));
+        let kept: BTreeSet<u32> = buf.iter().map(|e| e.id.seq).collect();
+        prop_assert_eq!(kept, expected_kept);
+    }
+
+    /// The delivery tracker's frontier always equals the length of the
+    /// delivered prefix, for any arrival order.
+    #[test]
+    fn tracker_frontier_is_prefix_length(seqs in prop::collection::vec(0u32..60, 0..120)) {
+        let mut tracker = DeliveryTracker::new();
+        let mut reference = BTreeSet::new();
+        for s in seqs {
+            let fresh = tracker.record(s);
+            prop_assert_eq!(fresh, reference.insert(s));
+            let expected_frontier = (0..).take_while(|x| reference.contains(x)).count() as u32;
+            prop_assert_eq!(tracker.frontier(), expected_frontier);
+            prop_assert_eq!(tracker.delivered_count() as usize, reference.len());
+        }
+    }
+
+    /// Cumulative immunity merge is monotone, idempotent and commutative
+    /// in coverage.
+    #[test]
+    fn cumulative_merge_laws(
+        a in prop::collection::btree_map(0u32..6, 0u32..100, 0..6),
+        b in prop::collection::btree_map(0u32..6, 0u32..100, 0..6),
+    ) {
+        let mk = |m: &std::collections::BTreeMap<u32, u32>| {
+            let mut store = ImmunityStore::cumulative();
+            for (&flow, &n) in m {
+                store.record_delivery(
+                    BundleId { flow: FlowId(flow), seq: 0 },
+                    n,
+                );
+            }
+            store
+        };
+        let mut ab = mk(&a);
+        ab.merge_from(&mk(&b));
+        let mut ba = mk(&b);
+        ba.merge_from(&mk(&a));
+        // Commutative coverage.
+        for flow in 0..6u32 {
+            for seq in 0..100u32 {
+                let id = BundleId { flow: FlowId(flow), seq };
+                prop_assert_eq!(ab.covers(id), ba.covers(id));
+            }
+        }
+        // Monotone: merged covers everything either side covered.
+        let ia = mk(&a);
+        for flow in 0..6u32 {
+            for seq in (0..100u32).step_by(7) {
+                let id = BundleId { flow: FlowId(flow), seq };
+                if ia.covers(id) {
+                    prop_assert!(ab.covers(id));
+                }
+            }
+        }
+        // Idempotent.
+        let snapshot = ab.clone();
+        prop_assert!(!ab.merge_from(&snapshot));
+    }
+
+    /// Per-bundle immunity merge is set union.
+    #[test]
+    fn per_bundle_merge_is_union(
+        a in prop::collection::btree_set(0u32..50, 0..20),
+        b in prop::collection::btree_set(0u32..50, 0..20),
+    ) {
+        let mk = |s: &BTreeSet<u32>| {
+            let mut store = ImmunityStore::per_bundle();
+            for &seq in s {
+                store.record_delivery(bid(seq), 0);
+            }
+            store
+        };
+        let mut merged = mk(&a);
+        merged.merge_from(&mk(&b));
+        for seq in 0..50u32 {
+            prop_assert_eq!(
+                merged.covers(bid(seq)),
+                a.contains(&seq) || b.contains(&seq)
+            );
+        }
+        prop_assert_eq!(merged.record_count() as usize, a.union(&b).count());
+    }
+
+    /// End-to-end sanity for random scenarios and every protocol: the
+    /// metrics respect their definitions and identical seeds reproduce
+    /// identical runs.
+    #[test]
+    fn simulation_invariants_hold_for_random_scenarios(
+        seed in any::<u64>(),
+        protocol_idx in 0usize..8,
+        k in 1u32..20,
+        contacts_seed in any::<u64>(),
+    ) {
+        // Random mini-trace: 6 nodes, ~40 contacts.
+        let mut rng = SimRng::new(contacts_seed);
+        let mut contacts = Vec::new();
+        let mut t = 0u64;
+        for _ in 0..40 {
+            t += rng.range_inclusive(10, 2_000);
+            let a = rng.below(6) as u16;
+            let b = {
+                let r = rng.below(5) as u16;
+                if r >= a { r + 1 } else { r }
+            };
+            let dur = rng.range_inclusive(50, 600);
+            contacts.push(Contact::new(
+                NodeId(a),
+                NodeId(b),
+                SimTime::from_secs(t),
+                SimTime::from_secs(t + dur),
+            ));
+        }
+        let horizon = SimTime::from_secs(t + 1_000);
+        let trace = ContactTrace::new(6, horizon, contacts).unwrap();
+        let workload = Workload::single_flow(NodeId(0), NodeId(5), k, 6);
+        let protocol = protocols::all_protocols().swap_remove(protocol_idx);
+        let config = SimConfig::paper_defaults(protocol);
+
+        let run = |s: u64| simulate(&trace, &workload, &config, SimRng::new(s));
+        let m = run(seed);
+        // Determinism.
+        prop_assert_eq!(m, run(seed));
+        // Metric definitions.
+        prop_assert!(m.delivered <= m.total_bundles);
+        prop_assert!((0.0..=1.0).contains(&m.delivery_ratio));
+        prop_assert!(m.avg_duplication_rate >= 0.0 && m.avg_duplication_rate <= 1.0);
+        prop_assert!(m.avg_buffer_occupancy >= 0.0);
+        prop_assert!(m.peak_buffer_occupancy >= m.avg_buffer_occupancy - 1e-9);
+        if let Some(done) = m.completion_time {
+            prop_assert!(m.delivered == m.total_bundles);
+            prop_assert!(done <= horizon);
+            prop_assert_eq!(m.end_time, done);
+        } else {
+            prop_assert!(m.delivered < m.total_bundles);
+            prop_assert_eq!(m.end_time, horizon);
+        }
+        // A delivery requires at least one transmission each.
+        prop_assert!(m.bundle_transmissions >= m.delivered as u64);
+        // Conservation: every transmission ends exactly one way — a
+        // delivery, a store, a rejection, or a loss.
+        prop_assert!(
+            m.delivered as u64 + m.rejections + m.transfer_losses <= m.bundle_transmissions
+        );
+        let stores =
+            m.bundle_transmissions - m.delivered as u64 - m.rejections - m.transfer_losses;
+        // Copies can only be dropped if they were stored or injected at a
+        // source.
+        prop_assert!(
+            m.evictions + m.expirations + m.immunity_purges
+                <= stores + m.total_bundles as u64,
+            "drops exceed stores+injected"
+        );
+        // Byte accounting mirrors the transmission counter.
+        prop_assert_eq!(
+            m.payload_bytes_sent,
+            m.bundle_transmissions * config.bundle_bytes
+        );
+        // Ack-less protocols send no immunity records and purge nothing.
+        if matches!(config.protocol.ack, AckScheme::None) {
+            prop_assert_eq!(m.ack_records_sent, 0);
+            prop_assert_eq!(m.immunity_purges, 0);
+        }
+    }
+
+    /// The invariants hold not just for the eight presets but for
+    /// arbitrary points of the policy space (including lossy links).
+    #[test]
+    fn simulation_invariants_hold_for_arbitrary_configs(
+        seed in any::<u64>(),
+        transmit_idx in 0usize..2,
+        p in 0.0f64..=1.0,
+        q in 0.0f64..=1.0,
+        lifetime_idx in 0usize..4,
+        ttl_secs in 50u64..5_000,
+        multiplier in 0.1f64..8.0,
+        threshold in 0u32..16,
+        eviction in arb_policy(),
+        ack_idx in 0usize..3,
+        dest_only in any::<bool>(),
+        loss in 0.0f64..=1.0,
+    ) {
+        use dtn_epidemic::{AckPropagation, LifetimePolicy, ProtocolConfig, TransmitPolicy};
+        use dtn_sim::SimDuration;
+        let protocol = ProtocolConfig {
+            name: "fuzz",
+            transmit: match transmit_idx {
+                0 => TransmitPolicy::Always,
+                _ => TransmitPolicy::Probabilistic { p, q },
+            },
+            lifetime: match lifetime_idx {
+                0 => LifetimePolicy::None,
+                1 => LifetimePolicy::FixedTtl {
+                    ttl: SimDuration::from_secs(ttl_secs),
+                },
+                2 => LifetimePolicy::DynamicTtl { multiplier },
+                _ => LifetimePolicy::EcTtl {
+                    threshold,
+                    base: SimDuration::from_secs(ttl_secs),
+                    decay: SimDuration::from_secs(100),
+                },
+            },
+            eviction,
+            ack: match ack_idx {
+                0 => AckScheme::None,
+                1 => AckScheme::PerBundle,
+                _ => AckScheme::Cumulative,
+            },
+            ack_propagation: if dest_only {
+                AckPropagation::DestinationOnly
+            } else {
+                AckPropagation::Epidemic
+            },
+        };
+        let trace = dtn_mobility::HaggleParams {
+            nodes: 6,
+            horizon: dtn_sim::SimTime::from_secs(80_000),
+            ..Default::default()
+        }
+        .generate(&mut SimRng::new(seed ^ 0xF00D));
+        let workload = Workload::single_flow(NodeId(0), NodeId(5), 8, 6);
+        let mut config = SimConfig::paper_defaults(protocol);
+        config.transfer_loss_prob = loss;
+        let m = simulate(&trace, &workload, &config, SimRng::new(seed));
+        prop_assert!(m.delivered <= m.total_bundles);
+        prop_assert!((0.0..=1.0).contains(&m.delivery_ratio));
+        prop_assert!(m.avg_duplication_rate >= -1e-12 && m.avg_duplication_rate <= 1.0);
+        prop_assert!(
+            m.delivered as u64 + m.rejections + m.transfer_losses <= m.bundle_transmissions
+        );
+        // Determinism under arbitrary configs too.
+        prop_assert_eq!(m, simulate(&trace, &workload, &config, SimRng::new(seed)));
+    }
+
+    /// Delivery can never exceed what the temporal-reachability oracle
+    /// allows: if the destination is unreachable from the source, nothing
+    /// arrives, under any protocol.
+    #[test]
+    fn unreachable_destination_gets_nothing(
+        seed in any::<u64>(),
+        protocol_idx in 0usize..8,
+    ) {
+        // Source 0 only ever meets node 1 *after* node 1's only contact
+        // with destination 2 — no space-time path exists.
+        let contacts = vec![
+            Contact::new(NodeId(1), NodeId(2), SimTime::from_secs(100), SimTime::from_secs(400)),
+            Contact::new(NodeId(0), NodeId(1), SimTime::from_secs(1_000), SimTime::from_secs(1_400)),
+        ];
+        let trace = ContactTrace::new(3, SimTime::from_secs(10_000), contacts).unwrap();
+        prop_assert!(!trace.temporal_reachability(NodeId(0), SimTime::ZERO)[2]);
+        let workload = Workload::single_flow(NodeId(0), NodeId(2), 5, 3);
+        let protocol = protocols::all_protocols().swap_remove(protocol_idx);
+        let m = simulate(&trace, &workload, &SimConfig::paper_defaults(protocol), SimRng::new(seed));
+        prop_assert_eq!(m.delivered, 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! `dtnsim` — run one (protocol, mobility, load) experiment from the
+//! command line.
+//!
+//! ```text
+//! dtnsim [OPTIONS]
+//!
+//!   --protocol NAME    pure | pq[=P,Q] | ttl[=SECS] | dynttl[=MULT] |
+//!                      ec | ecttl | immunity | cumulative   (default: pure)
+//!   --mobility NAME    trace | rwp | geom-rwp | interval=SECS | FILE.trace
+//!                      (default: trace)
+//!   --load K           bundles per flow                     (default: 25)
+//!   --reps N           replications                         (default: 10)
+//!   --seed S           root seed                            (default: 1)
+//!   --buffer B         relay-buffer capacity                (default: 10)
+//!   --tx-time SECS     per-bundle transmission time
+//!                      (default: the scenario's regime)
+//!   --stats            also print the contact trace's statistical summary
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! dtnsim --protocol ttl=300 --mobility interval=2000 --load 40 --stats
+//! ```
+
+use dtn_epidemic::{protocols, simulate, ProtocolConfig, SimConfig, Workload};
+use dtn_experiments::runner::aggregate_point;
+use dtn_experiments::Mobility;
+use dtn_mobility::{read_trace_file, ContactTrace, TraceSummary};
+use dtn_sim::{par_map_indexed, SimDuration, SimRng, Threads};
+use std::process::ExitCode;
+
+/// Where contacts come from: a built-in scenario or a trace file.
+enum Source {
+    Builtin(Mobility),
+    File(std::path::PathBuf, ContactTrace),
+}
+
+impl Source {
+    fn build(&self, seed: u64, replication: u64) -> ContactTrace {
+        match self {
+            Source::Builtin(m) => m.build(seed, replication),
+            Source::File(_, trace) => trace.clone(),
+        }
+    }
+
+    fn default_tx_time(&self) -> u64 {
+        match self {
+            Source::Builtin(m) => m.tx_time_secs(),
+            Source::File(..) => 100,
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            Source::Builtin(m) => m.label(),
+            Source::File(path, _) => path.display().to_string(),
+        }
+    }
+}
+
+fn parse_protocol(spec: &str) -> Result<ProtocolConfig, String> {
+    let (name, arg) = match spec.split_once('=') {
+        Some((n, a)) => (n, Some(a)),
+        None => (spec, None),
+    };
+    let parse_f64 = |s: &str| s.parse::<f64>().map_err(|e| format!("bad number {s:?}: {e}"));
+    let parse_u64 = |s: &str| s.parse::<u64>().map_err(|e| format!("bad number {s:?}: {e}"));
+    match name {
+        "pure" => Ok(protocols::pure_epidemic()),
+        "pq" => match arg {
+            None => Ok(protocols::pq_epidemic(1.0, 1.0)),
+            Some(a) => {
+                let (p, q) = a
+                    .split_once(',')
+                    .ok_or_else(|| format!("pq wants P,Q — got {a:?}"))?;
+                Ok(protocols::pq_epidemic(parse_f64(p)?, parse_f64(q)?))
+            }
+        },
+        "ttl" => {
+            let secs = arg.map(parse_u64).transpose()?.unwrap_or(300);
+            Ok(protocols::ttl_epidemic(SimDuration::from_secs(secs)))
+        }
+        "dynttl" => match arg {
+            None => Ok(protocols::dynamic_ttl_epidemic()),
+            Some(a) => {
+                let mut p = protocols::dynamic_ttl_epidemic();
+                p.lifetime = dtn_epidemic::LifetimePolicy::DynamicTtl {
+                    multiplier: parse_f64(a)?,
+                };
+                Ok(p)
+            }
+        },
+        "ec" => Ok(protocols::ec_epidemic()),
+        "ecttl" => Ok(protocols::ec_ttl_epidemic()),
+        "immunity" => Ok(protocols::immunity_epidemic()),
+        "cumulative" => Ok(protocols::cumulative_immunity_epidemic()),
+        other => Err(format!(
+            "unknown protocol {other:?} (pure, pq, ttl, dynttl, ec, ecttl, immunity, cumulative)"
+        )),
+    }
+}
+
+fn parse_mobility(spec: &str) -> Result<Source, String> {
+    match spec {
+        "trace" => Ok(Source::Builtin(Mobility::Trace)),
+        "rwp" => Ok(Source::Builtin(Mobility::Rwp)),
+        "geom-rwp" => Ok(Source::Builtin(Mobility::GeometricRwp)),
+        other => {
+            if let Some(max) = other.strip_prefix("interval=") {
+                let max = max
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad interval {max:?}: {e}"))?;
+                return Ok(Source::Builtin(Mobility::Interval(max)));
+            }
+            let path = std::path::PathBuf::from(other);
+            if path.exists() {
+                let trace =
+                    read_trace_file(&path).map_err(|e| format!("loading {other}: {e}"))?;
+                Ok(Source::File(path, trace))
+            } else {
+                Err(format!(
+                    "unknown mobility {other:?} (trace, rwp, geom-rwp, interval=SECS, or a trace file path)"
+                ))
+            }
+        }
+    }
+}
+
+struct Args {
+    protocol: ProtocolConfig,
+    source: Source,
+    load: u32,
+    reps: usize,
+    seed: u64,
+    buffer: usize,
+    tx_time: Option<u64>,
+    stats: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        protocol: protocols::pure_epidemic(),
+        source: Source::Builtin(Mobility::Trace),
+        load: 25,
+        reps: 10,
+        seed: 1,
+        buffer: 10,
+        tx_time: None,
+        stats: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--protocol" => args.protocol = parse_protocol(&value("--protocol")?)?,
+            "--mobility" => args.source = parse_mobility(&value("--mobility")?)?,
+            "--load" => {
+                args.load = value("--load")?
+                    .parse()
+                    .map_err(|e| format!("bad load: {e}"))?
+            }
+            "--reps" => {
+                args.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("bad reps: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--buffer" => {
+                args.buffer = value("--buffer")?
+                    .parse()
+                    .map_err(|e| format!("bad buffer: {e}"))?
+            }
+            "--tx-time" => {
+                args.tx_time = Some(
+                    value("--tx-time")?
+                        .parse()
+                        .map_err(|e| format!("bad tx-time: {e}"))?,
+                )
+            }
+            "--stats" => args.stats = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: dtnsim [--protocol NAME] [--mobility NAME] [--load K] \
+                     [--reps N] [--seed S] [--buffer B] [--tx-time SECS] [--stats]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.load == 0 || args.reps == 0 || args.buffer == 0 {
+        return Err("load, reps and buffer must be positive".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dtnsim: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let tx_time = args.tx_time.unwrap_or_else(|| args.source.default_tx_time());
+    let config = SimConfig {
+        protocol: args.protocol.clone(),
+        buffer_capacity: args.buffer,
+        tx_time: SimDuration::from_secs(tx_time),
+        ack_slot_cost: 0.1,
+        transfer_loss_prob: 0.0,
+        bundle_bytes: 10_000_000,
+        ack_record_bytes: 16,
+    };
+
+    println!(
+        "protocol {:?} | mobility {} | load {} | buffer {} | tx {} s | {} replications",
+        args.protocol.name,
+        args.source.label(),
+        args.load,
+        args.buffer,
+        tx_time,
+        args.reps
+    );
+
+    if args.stats {
+        let trace = args.source.build(args.seed, 0);
+        println!("\ncontact-trace summary:\n{}", TraceSummary::of(&trace).to_text());
+    }
+
+    let root = SimRng::new(args.seed);
+    let source = &args.source;
+    let config_ref = &config;
+    let runs = par_map_indexed(Threads::Auto, args.reps, move |rep| {
+        let rep = rep as u64;
+        let trace = source.build(args.seed, rep);
+        let mut wl_rng = root.derive(rep * 2 + 1);
+        let workload = Workload::single_random_flow(args.load, trace.node_count(), &mut wl_rng);
+        simulate(&trace, &workload, config_ref, root.derive(rep * 2))
+    });
+    let point = aggregate_point(args.load, &runs);
+
+    println!("results over {} replications:", args.reps);
+    println!(
+        "  delivery ratio      {:.1} % ± {:.1}",
+        100.0 * point.delivery_ratio.mean,
+        100.0 * point.delivery_ratio.ci95_half_width()
+    );
+    match point.delay_s.n {
+        0 => println!("  delay               no run completed within the horizon"),
+        _ => println!(
+            "  delay               {:.0} s over {} completed runs ({} failed)",
+            point.delay_s.mean, point.delay_s.n, point.failures
+        ),
+    }
+    println!(
+        "  buffer occupancy    {:.1} %",
+        100.0 * point.buffer_occupancy.mean
+    );
+    println!(
+        "  duplication rate    {:.1} %",
+        100.0 * point.duplication_rate.mean
+    );
+    println!("  transmissions       {:.0}", point.transmissions.mean);
+    println!("  immunity records    {:.0}", point.ack_records.mean);
+    ExitCode::SUCCESS
+}

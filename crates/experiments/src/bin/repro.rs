@@ -1,0 +1,166 @@
+//! `repro` — regenerate the paper's figures and tables.
+//!
+//! ```text
+//! repro [--quick] [--out DIR] [--seed N] [--reps N] TARGET...
+//!
+//! TARGET:  all | fig07..fig20 | table2 | overhead | ablations | mobility
+//!          ("all" covers every paper artifact; "ablations" and
+//!          "mobility" are the extra studies and must be named explicitly)
+//! --quick  3 loads × 3 replications instead of 10 × 10 (smoke runs)
+//! --out    output directory for CSVs (default: results/)
+//! --seed   override the root seed
+//! --reps   override the replication count
+//! ```
+//!
+//! Each figure prints as an aligned table and lands in `DIR/<id>.csv`.
+
+use dtn_experiments::{all_figures, overhead_table, table2, SweepConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    seed: Option<u64>,
+    reps: Option<usize>,
+    targets: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: PathBuf::from("results"),
+        seed: None,
+        reps: None,
+        targets: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => {
+                args.out = PathBuf::from(it.next().ok_or("--out needs a directory")?);
+            }
+            "--seed" => {
+                args.seed = Some(
+                    it.next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad seed: {e}"))?,
+                );
+            }
+            "--reps" => {
+                args.reps = Some(
+                    it.next()
+                        .ok_or("--reps needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad reps: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--quick] [--out DIR] [--seed N] [--reps N] TARGET...\n\
+                     TARGET: all | fig07..fig20 | table2 | overhead"
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => args.targets.push(other.to_string()),
+        }
+    }
+    if args.targets.is_empty() {
+        return Err("no targets given (try `repro all`)".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cfg = if args.quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    if let Some(seed) = args.seed {
+        cfg.base_seed = seed;
+    }
+    if let Some(reps) = args.reps {
+        cfg.replications = reps;
+    }
+
+    let figures = all_figures();
+    let wants = |name: &str| {
+        args.targets
+            .iter()
+            .any(|t| t == name || t == "all")
+    };
+
+    let mut ran_anything = false;
+    for (id, driver) in &figures {
+        if !wants(id) {
+            continue;
+        }
+        ran_anything = true;
+        let started = std::time::Instant::now();
+        let fig = driver(&cfg);
+        if let Err(e) = fig.write_gnuplot(&args.out) {
+            eprintln!("repro: writing {id} plot script: {e}");
+        }
+        match fig.write_csv(&args.out) {
+            Ok(path) => {
+                println!("{}", fig.to_text());
+                println!("  -> {} ({:.1}s)\n", path.display(), started.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("repro: writing {id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if wants("table2") {
+        ran_anything = true;
+        let t = table2(&cfg);
+        print_table(&t, &args.out);
+    }
+    if wants("overhead") {
+        ran_anything = true;
+        let t = overhead_table(&cfg);
+        print_table(&t, &args.out);
+    }
+    if args.targets.iter().any(|t| t == "ablations") {
+        ran_anything = true;
+        for t in dtn_experiments::all_ablations(&cfg) {
+            print_table(&t, &args.out);
+        }
+    }
+    if args.targets.iter().any(|t| t == "mobility") {
+        ran_anything = true;
+        let t = dtn_experiments::mobility_table(&cfg);
+        print_table(&t, &args.out);
+    }
+
+    if !ran_anything {
+        eprintln!(
+            "repro: no such target(s): {} (try fig07..fig20, table2, overhead, all)",
+            args.targets.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_table(t: &dtn_experiments::TextTable, out: &std::path::Path) {
+    println!("{}", t.to_text());
+    match t.write_csv(out) {
+        Ok(path) => println!("  -> {}\n", path.display()),
+        Err(e) => eprintln!("repro: writing {}: {e}", t.id),
+    }
+}

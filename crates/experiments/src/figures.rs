@@ -1,0 +1,447 @@
+//! One driver per paper figure.
+//!
+//! Each `figNN` function regenerates the corresponding figure of the
+//! paper's evaluation (Section V) as a [`Figure`]: the same series, the
+//! same axes, produced by the same protocols under the same workload
+//! sweep. The paper's parameter choices are pinned in the drivers:
+//! P = Q = 1 and TTL = 300 s "result in the best delay" (Section V-A) and
+//! are what Figs. 7–12 use.
+
+use crate::output::{Figure, Series};
+use crate::runner::{run_sweep, SweepConfig, SweepResult};
+use crate::scenarios::Mobility;
+use dtn_epidemic::protocols;
+use dtn_epidemic::ProtocolConfig;
+
+/// Which per-point statistic a figure plots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Mean completion time over successful replications (seconds).
+    Delay,
+    /// Mean delivery ratio.
+    DeliveryRatio,
+    /// Mean buffer occupancy level.
+    BufferOccupancy,
+    /// Mean bundle duplication rate.
+    DuplicationRate,
+}
+
+impl Metric {
+    fn y_label(self) -> &'static str {
+        match self {
+            Metric::Delay => "Average delay (s)",
+            Metric::DeliveryRatio => "Average delivery ratio",
+            Metric::BufferOccupancy => "Average buffer occupancy level",
+            Metric::DuplicationRate => "Average bundle duplication rate",
+        }
+    }
+
+    fn extract(self, sweep: &SweepResult) -> Vec<(f64, f64, f64)> {
+        sweep
+            .points
+            .iter()
+            .filter_map(|p| {
+                let (summary, value) = match self {
+                    Metric::Delay => {
+                        // The paper records no delay for failed runs; a
+                        // point where *no* replication completed has no
+                        // delay sample and is omitted from the series.
+                        if p.delay_s.n == 0 {
+                            return None;
+                        }
+                        (&p.delay_s, p.delay_s.mean)
+                    }
+                    Metric::DeliveryRatio => (&p.delivery_ratio, p.delivery_ratio.mean),
+                    Metric::BufferOccupancy => (&p.buffer_occupancy, p.buffer_occupancy.mean),
+                    Metric::DuplicationRate => (&p.duplication_rate, p.duplication_rate.mean),
+                };
+                Some((p.load as f64, value, summary.ci95_half_width()))
+            })
+            .collect()
+    }
+}
+
+/// Run the sweeps for `(label, protocol, mobility)` triples and assemble a
+/// figure plotting `metric`.
+pub fn build_figure(
+    id: &'static str,
+    title: &str,
+    metric: Metric,
+    entries: &[(&str, ProtocolConfig, Mobility)],
+    cfg: &SweepConfig,
+) -> Figure {
+    let series = entries
+        .iter()
+        .map(|(label, protocol, mobility)| {
+            let sweep = run_sweep(protocol, *mobility, cfg);
+            Series {
+                name: (*label).to_string(),
+                points: metric.extract(&sweep),
+            }
+        })
+        .collect();
+    Figure {
+        id,
+        title: title.to_string(),
+        x_label: "Load",
+        y_label: metric.y_label(),
+        series,
+    }
+}
+
+/// The existing-protocol line-up of Figs. 8–12 (the paper omits pure
+/// epidemic from its plots because P–Q with P = Q = 1 subsumes it).
+fn existing_protocols() -> Vec<(&'static str, ProtocolConfig)> {
+    vec![
+        ("P-Q epidemic", protocols::pq_epidemic(1.0, 1.0)),
+        ("Epidemic with TTL", protocols::ttl_epidemic_default()),
+        ("Epidemic with Immunity", protocols::immunity_epidemic()),
+        ("Epidemic with EC", protocols::ec_epidemic()),
+    ]
+}
+
+/// Fig. 7 — delay vs load, trace scenario. The paper plots only P–Q,
+/// TTL and EC here ("P-Q epidemic and epidemic with immunity have the
+/// same delay in trace-based experiments when P=Q=1, we only plot ... P-Q").
+pub fn fig07(cfg: &SweepConfig) -> Figure {
+    let entries: Vec<_> = vec![
+        ("P-Q epidemic", protocols::pq_epidemic(1.0, 1.0), Mobility::Trace),
+        ("Epidemic with TTL", protocols::ttl_epidemic_default(), Mobility::Trace),
+        ("Epidemic with EC", protocols::ec_epidemic(), Mobility::Trace),
+    ];
+    build_figure(
+        "fig07",
+        "Delay comparison of epidemic-based protocols (trace file)",
+        Metric::Delay,
+        &entries,
+        cfg,
+    )
+}
+
+/// Fig. 8 — delay vs load, RWP scenario.
+pub fn fig08(cfg: &SweepConfig) -> Figure {
+    let entries: Vec<_> = existing_protocols()
+        .into_iter()
+        .map(|(l, p)| (l, p, Mobility::Rwp))
+        .collect();
+    build_figure(
+        "fig08",
+        "Delay comparison of epidemic-based protocols (RWP)",
+        Metric::Delay,
+        &entries,
+        cfg,
+    )
+}
+
+/// Fig. 9 — duplication rate vs load, trace scenario.
+pub fn fig09(cfg: &SweepConfig) -> Figure {
+    let entries: Vec<_> = existing_protocols()
+        .into_iter()
+        .map(|(l, p)| (l, p, Mobility::Trace))
+        .collect();
+    build_figure(
+        "fig09",
+        "Average bundle duplication rate of epidemic-based protocols (trace file)",
+        Metric::DuplicationRate,
+        &entries,
+        cfg,
+    )
+}
+
+/// Fig. 10 — duplication rate vs load, RWP scenario.
+pub fn fig10(cfg: &SweepConfig) -> Figure {
+    let entries: Vec<_> = existing_protocols()
+        .into_iter()
+        .map(|(l, p)| (l, p, Mobility::Rwp))
+        .collect();
+    build_figure(
+        "fig10",
+        "Average bundle duplication rate of epidemic-based protocols (RWP)",
+        Metric::DuplicationRate,
+        &entries,
+        cfg,
+    )
+}
+
+/// Fig. 11 — buffer occupancy vs load, trace scenario.
+pub fn fig11(cfg: &SweepConfig) -> Figure {
+    let entries: Vec<_> = existing_protocols()
+        .into_iter()
+        .map(|(l, p)| (l, p, Mobility::Trace))
+        .collect();
+    build_figure(
+        "fig11",
+        "Buffer occupancy level of epidemic-based protocols (trace file)",
+        Metric::BufferOccupancy,
+        &entries,
+        cfg,
+    )
+}
+
+/// Fig. 12 — buffer occupancy vs load, RWP scenario.
+pub fn fig12(cfg: &SweepConfig) -> Figure {
+    let entries: Vec<_> = existing_protocols()
+        .into_iter()
+        .map(|(l, p)| (l, p, Mobility::Rwp))
+        .collect();
+    build_figure(
+        "fig12",
+        "Average buffer occupancy level of epidemic-based protocols (RWP)",
+        Metric::BufferOccupancy,
+        &entries,
+        cfg,
+    )
+}
+
+/// Fig. 13 — delivery ratio vs load of EC and TTL on the trace (every
+/// other protocol delivers 100 % there, so the paper plots only these
+/// two).
+pub fn fig13(cfg: &SweepConfig) -> Figure {
+    let entries: Vec<_> = vec![
+        ("Epidemic with EC", protocols::ec_epidemic(), Mobility::Trace),
+        ("Epidemic with TTL", protocols::ttl_epidemic_default(), Mobility::Trace),
+    ];
+    build_figure(
+        "fig13",
+        "Delivery ratio comparison of epidemic with TTL and EC (trace file)",
+        Metric::DeliveryRatio,
+        &entries,
+        cfg,
+    )
+}
+
+/// Fig. 14 — delivery ratio of epidemic with TTL = 300 s in the two
+/// controlled-interval scenarios (max gap 400 vs 2000 s).
+pub fn fig14(cfg: &SweepConfig) -> Figure {
+    let entries: Vec<_> = vec![
+        (
+            "Interval time = 400",
+            protocols::ttl_epidemic_default(),
+            Mobility::Interval(400),
+        ),
+        (
+            "Interval time = 2000",
+            protocols::ttl_epidemic_default(),
+            Mobility::Interval(2000),
+        ),
+    ];
+    build_figure(
+        "fig14",
+        "Delivery ratio of epidemic with TTL=300 under two interval times",
+        Metric::DeliveryRatio,
+        &entries,
+        cfg,
+    )
+}
+
+/// The modified-vs-unmodified line-up of the RWP-side enhancement figures
+/// (Figs. 15, 17, 19): dynamic/constant TTL under both controlled-interval
+/// scenarios, plus EC, EC+TTL, immunity and cumulative immunity under RWP.
+fn enhanced_rwp_entries() -> Vec<(&'static str, ProtocolConfig, Mobility)> {
+    vec![
+        (
+            "Dynamic TTL (interval 2000)",
+            protocols::dynamic_ttl_epidemic(),
+            Mobility::Interval(2000),
+        ),
+        (
+            "Dynamic TTL (interval 400)",
+            protocols::dynamic_ttl_epidemic(),
+            Mobility::Interval(400),
+        ),
+        (
+            "TTL=300 (interval 2000)",
+            protocols::ttl_epidemic_default(),
+            Mobility::Interval(2000),
+        ),
+        (
+            "TTL=300 (interval 400)",
+            protocols::ttl_epidemic_default(),
+            Mobility::Interval(400),
+        ),
+        ("Epidemic with EC", protocols::ec_epidemic(), Mobility::Rwp),
+        ("Epidemic with EC+TTL", protocols::ec_ttl_epidemic(), Mobility::Rwp),
+        ("Epidemic with Immunity", protocols::immunity_epidemic(), Mobility::Rwp),
+        (
+            "Epidemic with Cumulative Immunity",
+            protocols::cumulative_immunity_epidemic(),
+            Mobility::Rwp,
+        ),
+    ]
+}
+
+/// The trace-side enhancement line-up (Figs. 16, 18, 20).
+fn enhanced_trace_entries() -> Vec<(&'static str, ProtocolConfig, Mobility)> {
+    vec![
+        (
+            "Epidemic with dynamic TTL",
+            protocols::dynamic_ttl_epidemic(),
+            Mobility::Trace,
+        ),
+        ("Epidemic with TTL=300", protocols::ttl_epidemic_default(), Mobility::Trace),
+        ("Epidemic with EC", protocols::ec_epidemic(), Mobility::Trace),
+        ("Epidemic with EC+TTL", protocols::ec_ttl_epidemic(), Mobility::Trace),
+        ("Epidemic with Immunity", protocols::immunity_epidemic(), Mobility::Trace),
+        (
+            "Epidemic with Cumulative Immunity",
+            protocols::cumulative_immunity_epidemic(),
+            Mobility::Trace,
+        ),
+    ]
+}
+
+/// Fig. 15 — delivery ratio, modified vs unmodified protocols (RWP and
+/// controlled-interval scenarios).
+pub fn fig15(cfg: &SweepConfig) -> Figure {
+    build_figure(
+        "fig15",
+        "Delivery ratio of modified and un-modified protocols (RWP)",
+        Metric::DeliveryRatio,
+        &enhanced_rwp_entries(),
+        cfg,
+    )
+}
+
+/// Fig. 16 — delivery ratio, modified vs unmodified protocols (trace).
+pub fn fig16(cfg: &SweepConfig) -> Figure {
+    build_figure(
+        "fig16",
+        "Delivery ratio of modified and un-modified protocols (trace file)",
+        Metric::DeliveryRatio,
+        &enhanced_trace_entries(),
+        cfg,
+    )
+}
+
+/// Fig. 17 — buffer occupancy, modified vs unmodified protocols (RWP).
+pub fn fig17(cfg: &SweepConfig) -> Figure {
+    build_figure(
+        "fig17",
+        "Buffer occupancy level of modified and un-modified protocols (RWP)",
+        Metric::BufferOccupancy,
+        &enhanced_rwp_entries(),
+        cfg,
+    )
+}
+
+/// Fig. 18 — buffer occupancy, modified vs unmodified protocols (trace).
+pub fn fig18(cfg: &SweepConfig) -> Figure {
+    build_figure(
+        "fig18",
+        "Buffer occupancy level of modified and un-modified protocols (trace file)",
+        Metric::BufferOccupancy,
+        &enhanced_trace_entries(),
+        cfg,
+    )
+}
+
+/// Fig. 19 — duplication rate, modified vs unmodified protocols (RWP).
+pub fn fig19(cfg: &SweepConfig) -> Figure {
+    build_figure(
+        "fig19",
+        "Bundle duplication rate of modified and un-modified protocols (RWP)",
+        Metric::DuplicationRate,
+        &enhanced_rwp_entries(),
+        cfg,
+    )
+}
+
+/// Fig. 20 — duplication rate, modified vs unmodified protocols (trace).
+pub fn fig20(cfg: &SweepConfig) -> Figure {
+    build_figure(
+        "fig20",
+        "Bundle duplication rate of modified and un-modified protocols (trace file)",
+        Metric::DuplicationRate,
+        &enhanced_trace_entries(),
+        cfg,
+    )
+}
+
+/// A figure driver: sweep configuration in, regenerated figure out.
+pub type FigureDriver = fn(&SweepConfig) -> Figure;
+
+/// Every figure driver, keyed by id.
+pub fn all_figures() -> Vec<(&'static str, FigureDriver)> {
+    vec![
+        ("fig07", fig07 as FigureDriver),
+        ("fig08", fig08),
+        ("fig09", fig09),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+        ("fig13", fig13),
+        ("fig14", fig14),
+        ("fig15", fig15),
+        ("fig16", fig16),
+        ("fig17", fig17),
+        ("fig18", fig18),
+        ("fig19", fig19),
+        ("fig20", fig20),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::Threads;
+
+    fn smoke_cfg() -> SweepConfig {
+        SweepConfig {
+            loads: vec![10],
+            replications: 2,
+            threads: Threads::Auto,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn fig07_has_three_series_over_trace() {
+        let fig = fig07(&smoke_cfg());
+        assert_eq!(fig.series.len(), 3);
+        // Delay points exist only where at least one replication
+        // completed; with a 2-replication smoke config a series may be
+        // empty, but never longer than the load axis.
+        assert!(fig.series.iter().all(|s| s.points.len() <= 1));
+        assert!(
+            fig.series.iter().any(|s| !s.points.is_empty()),
+            "no protocol completed any run"
+        );
+        assert_eq!(fig.y_label, "Average delay (s)");
+    }
+
+    #[test]
+    fn fig14_series_are_the_two_intervals() {
+        let fig = fig14(&smoke_cfg());
+        assert_eq!(fig.series.len(), 2);
+        assert!(fig.series[0].name.contains("400"));
+        assert!(fig.series[1].name.contains("2000"));
+    }
+
+    #[test]
+    fn enhancement_figures_have_the_paper_line_up() {
+        assert_eq!(enhanced_rwp_entries().len(), 8);
+        assert_eq!(enhanced_trace_entries().len(), 6);
+    }
+
+    #[test]
+    fn all_figures_registry_is_complete() {
+        let figs = all_figures();
+        assert_eq!(figs.len(), 14);
+        let ids: Vec<&str> = figs.iter().map(|(id, _)| *id).collect();
+        assert!(ids.contains(&"fig07") && ids.contains(&"fig20"));
+    }
+
+    #[test]
+    fn metric_extraction_uses_ci() {
+        let cfg = smoke_cfg();
+        let sweep = run_sweep(
+            &protocols::pure_epidemic(),
+            Mobility::Trace,
+            &cfg,
+        );
+        let pts = Metric::DeliveryRatio.extract(&sweep);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].0, 10.0);
+        assert!(pts[0].2 >= 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # dtn-experiments — the paper's evaluation, regenerated
+//!
+//! Drivers that reproduce every figure and table of Feng & Chin's unified
+//! epidemic-routing study:
+//!
+//! * [`scenarios`] — the mobility sources (trace stand-in, subscriber-
+//!   point RWP, controlled-interval) with the paper's seeding semantics;
+//! * [`runner`] — the load sweep × replication machinery, parallelized
+//!   across cores with deterministic, thread-count-invariant results;
+//! * [`figures`] — `fig07()` … `fig20()`, one driver per paper figure;
+//! * [`tables`] — Table II and the signaling-overhead comparison;
+//! * [`output`] — CSV and aligned-text rendering.
+//!
+//! The `repro` binary ties it together:
+//!
+//! ```text
+//! cargo run --release -p dtn-experiments --bin repro -- all
+//! cargo run --release -p dtn-experiments --bin repro -- fig14 table2
+//! cargo run --release -p dtn-experiments --bin repro -- --quick all
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablations;
+pub mod figures;
+pub mod output;
+pub mod runner;
+pub mod scenarios;
+pub mod tables;
+
+pub use ablations::{all_ablations, mobility_table};
+pub use figures::{all_figures, Metric};
+pub use output::{Figure, Series, TextTable};
+pub use runner::{run_sweep, PointResult, SweepConfig, SweepResult};
+pub use scenarios::Mobility;
+pub use tables::{overhead_table, table2};

@@ -1,0 +1,335 @@
+//! Figure/table data model and rendering (CSV + aligned text).
+//!
+//! The harness regenerates each of the paper's figures as a [`Figure`] —
+//! named series over the load axis — and each table as a [`TextTable`].
+//! CSV output makes the data trivially plottable; the aligned-text
+//! rendering is what `repro` prints and what EXPERIMENTS.md embeds.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One plotted line: `(x, y)` points plus a 95 % CI half-width per point.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y, ci95)` triples in x order.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+/// A regenerated figure.
+#[derive(Clone, Debug)]
+pub struct Figure {
+    /// Identifier, e.g. "fig07".
+    pub id: &'static str,
+    /// Human title, e.g. "Delay vs load (trace)".
+    pub title: String,
+    /// X-axis label.
+    pub x_label: &'static str,
+    /// Y-axis label.
+    pub y_label: &'static str,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Render as CSV: `x, <series 1>, <series 1 ci>, <series 2>, …`.
+    /// Series are aligned on their x values; a series missing an x gets
+    /// empty cells.
+    pub fn to_csv(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+
+        let mut out = String::new();
+        write!(out, "{}", self.x_label).unwrap();
+        for s in &self.series {
+            write!(out, ",{},{} ci95", csv_escape(&s.name), csv_escape(&s.name)).unwrap();
+        }
+        out.push('\n');
+        for &x in &xs {
+            write!(out, "{x}").unwrap();
+            for s in &self.series {
+                match s.points.iter().find(|p| p.0 == x) {
+                    Some(&(_, y, ci)) => write!(out, ",{y:.6},{ci:.6}").unwrap(),
+                    None => out.push_str(",,"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as an aligned text table for the terminal / EXPERIMENTS.md.
+    pub fn to_text(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+
+        let mut out = String::new();
+        writeln!(out, "# {} — {}", self.id, self.title).unwrap();
+        writeln!(out, "#   y: {}", self.y_label).unwrap();
+        let name_width = 4usize.max(self.x_label.len());
+        write!(out, "{:>name_width$}", self.x_label).unwrap();
+        let col = self
+            .series
+            .iter()
+            .map(|s| s.name.len().max(10))
+            .collect::<Vec<_>>();
+        for (s, w) in self.series.iter().zip(&col) {
+            write!(out, "  {:>w$}", s.name).unwrap();
+        }
+        out.push('\n');
+        for &x in &xs {
+            write!(out, "{:>name_width$}", format_num(x)).unwrap();
+            for (s, w) in self.series.iter().zip(&col) {
+                match s.points.iter().find(|p| p.0 == x) {
+                    Some(&(_, y, _)) => write!(out, "  {:>w$}", format_num(y)).unwrap(),
+                    None => write!(out, "  {:>w$}", "-").unwrap(),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV next to the other results.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+
+    /// A gnuplot script that renders this figure from its CSV
+    /// (`gnuplot results/<id>.gp` → `results/<id>.png`), with error bars
+    /// from the 95 % CI columns.
+    pub fn to_gnuplot(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "# {} — {}", self.id, self.title).unwrap();
+        writeln!(out, "set datafile separator ','").unwrap();
+        writeln!(out, "set terminal pngcairo size 900,600").unwrap();
+        writeln!(out, "set output '{}.png'", self.id).unwrap();
+        writeln!(out, "set title {:?}", self.title).unwrap();
+        writeln!(out, "set xlabel {:?}", self.x_label).unwrap();
+        writeln!(out, "set ylabel {:?}", self.y_label).unwrap();
+        writeln!(out, "set key below").unwrap();
+        writeln!(out, "set grid").unwrap();
+        let plots: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                // CSV layout: column 1 = x, then (value, ci) pairs.
+                let val_col = 2 + 2 * i;
+                let ci_col = val_col + 1;
+                format!(
+                    "'{id}.csv' using 1:{val_col}:{ci_col} with yerrorlines title {name:?}",
+                    id = self.id,
+                    name = s.name
+                )
+            })
+            .collect();
+        writeln!(out, "plot \\\n  {}", plots.join(", \\\n  ")).unwrap();
+        out
+    }
+
+    /// Write the gnuplot script next to the CSV.
+    pub fn write_gnuplot(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.gp", self.id));
+        std::fs::write(&path, self.to_gnuplot())?;
+        Ok(path)
+    }
+}
+
+/// A plain text table (Table II, the overhead comparison).
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    /// Identifier, e.g. "table2".
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Column headers; the first column is the row label.
+    pub headers: Vec<String>,
+    /// Rows of cells (first cell = label).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| csv_escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter()
+                    .map(|c| csv_escape(c))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as aligned text.
+    pub fn to_text(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "# {} — {}", self.id, self.title).unwrap();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, width) in widths.iter().copied().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    write!(out, "{cell:<width$}").unwrap();
+                } else {
+                    write!(out, "  {cell:>width$}").unwrap();
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        let total = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        writeln!(out, "{}", "-".repeat(total)).unwrap();
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Write the CSV next to the other results.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Compact numeric formatting: integers stay integral, large values use
+/// fewer decimals.
+pub fn format_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e9 {
+        format!("{}", x as i64)
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> Figure {
+        Figure {
+            id: "figX",
+            title: "Sample".into(),
+            x_label: "Load",
+            y_label: "Delivery ratio",
+            series: vec![
+                Series {
+                    name: "A".into(),
+                    points: vec![(5.0, 0.5, 0.01), (10.0, 0.75, 0.02)],
+                },
+                Series {
+                    name: "B".into(),
+                    points: vec![(5.0, 1.0, 0.0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_aligns_series_on_x() {
+        let csv = sample_figure().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "Load,A,A ci95,B,B ci95");
+        assert!(lines[1].starts_with("5,0.5"));
+        assert!(lines[2].starts_with("10,0.75"));
+        assert!(lines[2].ends_with(",,"), "missing point leaves empty cells");
+    }
+
+    #[test]
+    fn text_rendering_contains_all_points() {
+        let text = sample_figure().to_text();
+        assert!(text.contains("figX"));
+        assert!(text.contains("0.50") || text.contains("0.5"));
+        assert!(text.contains('-'), "missing B point rendered as dash");
+    }
+
+    #[test]
+    fn gnuplot_script_references_every_series() {
+        let gp = sample_figure().to_gnuplot();
+        assert!(gp.contains("set output 'figX.png'"));
+        assert!(gp.contains("'figX.csv' using 1:2:3"), "{gp}");
+        assert!(gp.contains("'figX.csv' using 1:4:5"), "{gp}");
+        assert!(gp.contains("\"A\"") && gp.contains("\"B\""));
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let t = TextTable {
+            id: "t",
+            title: "demo".into(),
+            headers: vec!["Protocol".into(), "X".into()],
+            rows: vec![vec!["pure, epidemic".into(), "1".into()]],
+        };
+        let csv = t.to_csv();
+        assert!(csv.contains("\"pure, epidemic\""), "comma cell is quoted");
+        let text = t.to_text();
+        assert!(text.contains("Protocol"));
+        assert!(text.contains("pure, epidemic"));
+    }
+
+    #[test]
+    fn figure_csv_writes_to_disk() {
+        let dir = std::env::temp_dir().join("dtn_output_test");
+        let path = sample_figure().write_csv(&dir).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains("Load,A"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_num(5.0), "5");
+        assert_eq!(format_num(0.123456), "0.123");
+        assert_eq!(format_num(4.5678), "4.57");
+        assert_eq!(format_num(52416.2), "52416");
+    }
+}

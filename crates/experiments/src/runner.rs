@@ -1,0 +1,266 @@
+//! The sweep runner: load sweeps × replications, fanned out over cores.
+//!
+//! Every figure in the paper is a sweep over the load axis
+//! `k ∈ {5, 10, …, 50}` with ten replications per point, a fresh random
+//! source/destination pair per replication, and metrics averaged per
+//! point. [`run_sweep`] produces exactly that for one
+//! (protocol, mobility) pair; figures are assembled from several sweeps.
+
+use crate::scenarios::Mobility;
+use dtn_epidemic::{simulate, ProtocolConfig, RunMetrics, SimConfig, Workload};
+use dtn_sim::{par_map_indexed, SimRng, Summary, Threads, Welford};
+
+/// Sweep-level configuration (defaults are the paper's).
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// The load (bundle-count) axis; paper: 5, 10, …, 50.
+    pub loads: Vec<u32>,
+    /// Replications per point; paper: 10.
+    pub replications: usize,
+    /// Root seed; every replication's randomness derives from it.
+    pub base_seed: u64,
+    /// Worker-thread policy.
+    pub threads: Threads,
+    /// Relay-buffer capacity (paper: 10).
+    pub buffer_capacity: usize,
+    /// Per-bundle transmission time override in seconds. `None` uses the
+    /// scenario's own regime ([`Mobility::tx_time_secs`]): 100 s on the
+    /// trace and RWP, 10 s in the interval scenarios.
+    pub tx_time_secs: Option<u64>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            loads: (1..=10).map(|i| i * 5).collect(),
+            replications: 10,
+            base_seed: 0xD7_2012,
+            threads: Threads::Auto,
+            buffer_capacity: 10,
+            tx_time_secs: None,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A cheap variant for smoke tests and benches: fewer loads and
+    /// replications.
+    pub fn quick() -> SweepConfig {
+        SweepConfig {
+            loads: vec![10, 30, 50],
+            replications: 3,
+            ..SweepConfig::default()
+        }
+    }
+}
+
+/// Aggregated results at one load level.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// The load k.
+    pub load: u32,
+    /// Delivery-ratio statistics across replications.
+    pub delivery_ratio: Summary,
+    /// Delay statistics across *successful* replications (completion time
+    /// in seconds). The paper records no delay for failed runs.
+    pub delay_s: Summary,
+    /// Replications that failed to deliver everything within the horizon.
+    pub failures: usize,
+    /// Buffer-occupancy statistics.
+    pub buffer_occupancy: Summary,
+    /// Duplication-rate statistics.
+    pub duplication_rate: Summary,
+    /// Immunity records transmitted (signaling overhead).
+    pub ack_records: Summary,
+    /// Bundle payload transmissions.
+    pub transmissions: Summary,
+}
+
+/// A full sweep for one protocol on one mobility source.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// The protocol's display name.
+    pub protocol: &'static str,
+    /// The mobility label.
+    pub mobility: String,
+    /// One aggregate per load level, in load order.
+    pub points: Vec<PointResult>,
+}
+
+impl SweepResult {
+    /// Mean of a per-point statistic across all loads (the aggregation
+    /// used by the paper's Table II).
+    pub fn grand_mean<F: Fn(&PointResult) -> f64>(&self, f: F) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(f).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// Run all replications of one (protocol, mobility, load) point and
+/// return the raw per-replication metrics (used directly by some tests
+/// and the overhead study).
+pub fn run_point_raw(
+    protocol: &ProtocolConfig,
+    mobility: Mobility,
+    load: u32,
+    cfg: &SweepConfig,
+) -> Vec<RunMetrics> {
+    let sim_config = SimConfig {
+        protocol: protocol.clone(),
+        buffer_capacity: cfg.buffer_capacity,
+        tx_time: dtn_sim::SimDuration::from_secs(
+            cfg.tx_time_secs.unwrap_or_else(|| mobility.tx_time_secs()),
+        ),
+        ack_slot_cost: 0.1,
+        transfer_loss_prob: 0.0,
+        bundle_bytes: 10_000_000,
+        ack_record_bytes: 16,
+    };
+    // Namespace the seeds so (protocol, load, replication) never collides
+    // across sweeps while staying deterministic.
+    let root = SimRng::new(cfg.base_seed ^ (load as u64) << 32);
+    par_map_indexed(cfg.threads, cfg.replications, move |rep| {
+        let rep = rep as u64;
+        let trace = mobility.build(cfg.base_seed, rep);
+        let mut wl_rng = root.derive(rep * 2 + 1);
+        let workload = Workload::single_random_flow(load, trace.node_count(), &mut wl_rng);
+        let sim_rng = root.derive(rep * 2);
+        simulate(&trace, &workload, &sim_config, sim_rng)
+    })
+}
+
+/// Aggregate raw replication metrics into a [`PointResult`].
+pub fn aggregate_point(load: u32, runs: &[RunMetrics]) -> PointResult {
+    let mut delivery = Welford::new();
+    let mut delay = Welford::new();
+    let mut buffer = Welford::new();
+    let mut duplication = Welford::new();
+    let mut acks = Welford::new();
+    let mut tx = Welford::new();
+    let mut failures = 0usize;
+    for m in runs {
+        delivery.push(m.delivery_ratio);
+        match m.delay_secs() {
+            Some(d) => delay.push(d),
+            None => failures += 1,
+        }
+        buffer.push(m.avg_buffer_occupancy);
+        duplication.push(m.avg_duplication_rate);
+        acks.push(m.ack_records_sent as f64);
+        tx.push(m.bundle_transmissions as f64);
+    }
+    PointResult {
+        load,
+        delivery_ratio: delivery.summary(),
+        delay_s: delay.summary(),
+        failures,
+        buffer_occupancy: buffer.summary(),
+        duplication_rate: duplication.summary(),
+        ack_records: acks.summary(),
+        transmissions: tx.summary(),
+    }
+}
+
+/// Run the full load sweep for one protocol on one mobility source.
+pub fn run_sweep(
+    protocol: &ProtocolConfig,
+    mobility: Mobility,
+    cfg: &SweepConfig,
+) -> SweepResult {
+    let points = cfg
+        .loads
+        .iter()
+        .map(|&load| aggregate_point(load, &run_point_raw(protocol, mobility, load, cfg)))
+        .collect();
+    SweepResult {
+        protocol: protocol.name,
+        mobility: mobility.label(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_epidemic::protocols;
+
+    fn tiny() -> SweepConfig {
+        SweepConfig {
+            loads: vec![5],
+            replications: 3,
+            threads: Threads::Sequential,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_load() {
+        let cfg = SweepConfig {
+            loads: vec![5, 10],
+            replications: 2,
+            threads: Threads::Sequential,
+            ..SweepConfig::default()
+        };
+        let result = run_sweep(&protocols::pure_epidemic(), Mobility::Trace, &cfg);
+        assert_eq!(result.points.len(), 2);
+        assert_eq!(result.points[0].load, 5);
+        assert_eq!(result.points[1].load, 10);
+        assert_eq!(result.protocol, "Pure epidemic");
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_thread_invariant() {
+        let cfg_seq = tiny();
+        let mut cfg_par = tiny();
+        cfg_par.threads = Threads::Auto;
+        let a = run_sweep(&protocols::pure_epidemic(), Mobility::Rwp, &cfg_seq);
+        let b = run_sweep(&protocols::pure_epidemic(), Mobility::Rwp, &cfg_par);
+        assert_eq!(
+            a.points[0].delivery_ratio.mean,
+            b.points[0].delivery_ratio.mean
+        );
+        assert_eq!(a.points[0].delay_s.mean, b.points[0].delay_s.mean);
+    }
+
+    #[test]
+    fn pure_epidemic_delivers_well_on_trace_at_low_load() {
+        let result = run_sweep(&protocols::pure_epidemic(), Mobility::Trace, &tiny());
+        let p = &result.points[0];
+        assert!(
+            p.delivery_ratio.mean > 0.9,
+            "delivery at load 5: {}",
+            p.delivery_ratio.mean
+        );
+    }
+
+    #[test]
+    fn aggregate_separates_failures_from_delays() {
+        let runs = run_point_raw(
+            &protocols::ttl_epidemic(dtn_sim::SimDuration::from_secs(50)),
+            Mobility::Trace,
+            50,
+            &tiny(),
+        );
+        let point = aggregate_point(50, &runs);
+        // With a 50 s TTL on a sparse trace, at least some replication
+        // fails; the delay summary must then have fewer samples than the
+        // replication count.
+        assert_eq!(point.delivery_ratio.n as usize, runs.len());
+        assert_eq!(point.delay_s.n as usize + point.failures, runs.len());
+    }
+
+    #[test]
+    fn grand_mean_averages_points() {
+        let cfg = SweepConfig {
+            loads: vec![5, 10],
+            replications: 2,
+            threads: Threads::Sequential,
+            ..SweepConfig::default()
+        };
+        let r = run_sweep(&protocols::pure_epidemic(), Mobility::Trace, &cfg);
+        let manual = (r.points[0].delivery_ratio.mean + r.points[1].delivery_ratio.mean) / 2.0;
+        assert!((r.grand_mean(|p| p.delivery_ratio.mean) - manual).abs() < 1e-12);
+    }
+}

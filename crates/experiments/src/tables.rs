@@ -1,0 +1,137 @@
+//! Table II and the signaling-overhead comparison.
+//!
+//! Table II of the paper summarizes each protocol's *average* delivery
+//! rate, buffer occupancy and duplication rate over the whole load sweep,
+//! for both mobility scenarios. The overhead comparison quantifies the
+//! abstract's "order of magnitude less signaling" claim for cumulative
+//! vs per-bundle immunity tables.
+
+use crate::output::TextTable;
+use crate::runner::{run_sweep, SweepConfig};
+use crate::scenarios::Mobility;
+use dtn_epidemic::{protocols, ProtocolConfig};
+
+/// The six protocols Table II compares (original/enhanced pairs).
+pub fn table2_protocols() -> Vec<(&'static str, ProtocolConfig)> {
+    vec![
+        ("Epidemic with TTL", protocols::ttl_epidemic_default()),
+        ("Epidemic with Dynamic TTL", protocols::dynamic_ttl_epidemic()),
+        ("Epidemic with EC", protocols::ec_epidemic()),
+        ("Epidemic with EC+TTL", protocols::ec_ttl_epidemic()),
+        ("Epidemic with Immunity table", protocols::immunity_epidemic()),
+        (
+            "Epidemic with Cumulative Immunity table",
+            protocols::cumulative_immunity_epidemic(),
+        ),
+    ]
+}
+
+/// Regenerate Table II: per protocol, the sweep-average delivery rate,
+/// buffer occupancy and duplication rate (percent) under RWP and trace.
+pub fn table2(cfg: &SweepConfig) -> TextTable {
+    let mut rows = Vec::new();
+    for (name, protocol) in table2_protocols() {
+        let rwp = run_sweep(&protocol, Mobility::Rwp, cfg);
+        let trace = run_sweep(&protocol, Mobility::Trace, cfg);
+        let pct = |x: f64| format!("{:.1}", 100.0 * x);
+        rows.push(vec![
+            name.to_string(),
+            pct(rwp.grand_mean(|p| p.delivery_ratio.mean)),
+            pct(trace.grand_mean(|p| p.delivery_ratio.mean)),
+            pct(rwp.grand_mean(|p| p.buffer_occupancy.mean)),
+            pct(trace.grand_mean(|p| p.buffer_occupancy.mean)),
+            pct(rwp.grand_mean(|p| p.duplication_rate.mean)),
+            pct(trace.grand_mean(|p| p.duplication_rate.mean)),
+        ]);
+    }
+    TextTable {
+        id: "table2",
+        title: "Comparison of original and enhanced protocols (sweep averages, %)".into(),
+        headers: vec![
+            "Protocol".into(),
+            "Delivery RWP".into(),
+            "Delivery Trace".into(),
+            "Buffer RWP".into(),
+            "Buffer Trace".into(),
+            "Duplication RWP".into(),
+            "Duplication Trace".into(),
+        ],
+        rows,
+    }
+}
+
+/// The signaling-overhead study: mean immunity records transmitted per
+/// run, per-bundle vs cumulative, under both mobility models, plus the
+/// ratio the abstract's "order of magnitude" claim refers to.
+pub fn overhead_table(cfg: &SweepConfig) -> TextTable {
+    let mut rows = Vec::new();
+    for mobility in [Mobility::Rwp, Mobility::Trace] {
+        let per_bundle = run_sweep(&protocols::immunity_epidemic(), mobility, cfg);
+        let cumulative = run_sweep(&protocols::cumulative_immunity_epidemic(), mobility, cfg);
+        let pb = per_bundle.grand_mean(|p| p.ack_records.mean);
+        let cu = cumulative.grand_mean(|p| p.ack_records.mean);
+        let ratio = if cu > 0.0 { pb / cu } else { f64::INFINITY };
+        rows.push(vec![
+            mobility.label(),
+            format!("{pb:.0}"),
+            format!("{cu:.0}"),
+            format!("{ratio:.1}x"),
+        ]);
+    }
+    TextTable {
+        id: "overhead",
+        title: "Signaling overhead: immunity records transmitted per run (sweep average)"
+            .into(),
+        headers: vec![
+            "Scenario".into(),
+            "Per-bundle immunity".into(),
+            "Cumulative immunity".into(),
+            "Reduction".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::Threads;
+
+    fn smoke_cfg() -> SweepConfig {
+        SweepConfig {
+            loads: vec![20],
+            replications: 2,
+            threads: Threads::Auto,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn table2_has_six_protocol_rows() {
+        let t = table2(&smoke_cfg());
+        assert_eq!(t.rows.len(), 6);
+        assert_eq!(t.headers.len(), 7);
+        for row in &t.rows {
+            assert_eq!(row.len(), 7);
+            // Every percentage cell parses as a number.
+            for cell in &row[1..] {
+                cell.parse::<f64>().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_table_shows_cumulative_savings() {
+        let t = overhead_table(&smoke_cfg());
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            let pb: f64 = row[1].parse().unwrap();
+            let cu: f64 = row[2].parse().unwrap();
+            assert!(
+                pb > cu,
+                "per-bundle ({pb}) must out-signal cumulative ({cu}) in {}",
+                row[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Contact-trace analysis.
+//!
+//! The paper's methodology rests on the statistical anatomy of its
+//! mobility inputs — heavy-tailed inter-contact times most of all. This
+//! module provides the estimators needed to *verify* that a trace
+//! (synthetic or real) has the right anatomy:
+//!
+//! * empirical CCDFs of inter-contact gaps and contact durations;
+//! * the Hill estimator for the power-law (Pareto) tail exponent, the
+//!   quantity Chaintreau et al. report as ≈ 0.4 for the Cambridge data;
+//! * a [`TraceSummary`] one-stop report used by the `trace_stats` example
+//!   and the calibration tests.
+//!
+//! All estimators are deterministic pure functions of the trace.
+
+use crate::contact::{ContactTrace, NodeId};
+use dtn_sim::SimTime;
+use std::collections::HashMap;
+
+/// An empirical complementary CDF: for each sample value `x`,
+/// `P(X > x)` estimated from the data.
+#[derive(Clone, Debug)]
+pub struct Ccdf {
+    /// Sorted sample values.
+    sorted: Vec<f64>,
+}
+
+impl Ccdf {
+    /// Build from raw samples (non-finite values are dropped).
+    pub fn new(mut samples: Vec<f64>) -> Ccdf {
+        samples.retain(|x| x.is_finite());
+        samples.sort_by(f64::total_cmp);
+        Ccdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples survived.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X > x)`.
+    pub fn tail(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // Index of the first element > x.
+        let above = self.sorted.partition_point(|&v| v <= x);
+        (self.sorted.len() - above) as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`, nearest-rank).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+        self.sorted[rank]
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// Evenly spaced `(x, P(X > x))` points in log-x space, suitable for
+    /// plotting a power-law tail.
+    pub fn log_spaced_points(&self, count: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0].max(1e-9);
+        let hi = *self.sorted.last().expect("non-empty");
+        if hi <= lo {
+            return vec![(lo, self.tail(lo))];
+        }
+        let (ln_lo, ln_hi) = (lo.ln(), hi.ln());
+        (0..count)
+            .map(|i| {
+                let x = (ln_lo + (ln_hi - ln_lo) * i as f64 / (count - 1).max(1) as f64).exp();
+                (x, self.tail(x))
+            })
+            .collect()
+    }
+}
+
+/// Hill estimator of the tail exponent α of `P(X > x) ~ x^{-α}`, using
+/// the top `k` order statistics. Returns `None` with insufficient data.
+///
+/// The estimator is `α̂ = k / Σ_{i=1..k} ln(x_(n-i+1) / x_(n-k))` — the
+/// standard MLE for a Pareto tail.
+pub fn hill_estimator(samples: &[f64], k: usize) -> Option<f64> {
+    let mut xs: Vec<f64> = samples
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .collect();
+    if k < 2 || xs.len() <= k {
+        return None;
+    }
+    xs.sort_by(f64::total_cmp);
+    let threshold = xs[xs.len() - k - 1];
+    if threshold <= 0.0 {
+        return None;
+    }
+    let sum: f64 = xs[xs.len() - k..]
+        .iter()
+        .map(|&x| (x / threshold).ln())
+        .sum();
+    if sum <= 0.0 {
+        None
+    } else {
+        Some(k as f64 / sum)
+    }
+}
+
+/// Degree of a node in the contact graph: how many distinct peers it
+/// ever meets.
+pub fn contact_degrees(trace: &ContactTrace) -> Vec<usize> {
+    let mut peers: Vec<std::collections::BTreeSet<NodeId>> =
+        vec![Default::default(); trace.node_count()];
+    for c in trace.contacts() {
+        peers[c.a.index()].insert(c.b);
+        peers[c.b.index()].insert(c.a);
+    }
+    peers.into_iter().map(|s| s.len()).collect()
+}
+
+/// Pair-level inter-contact gaps in seconds (time from the end of one
+/// contact of a pair to the start of its next).
+pub fn pair_intercontact_gaps(trace: &ContactTrace) -> Vec<f64> {
+    let mut last_end: HashMap<(NodeId, NodeId), SimTime> = HashMap::new();
+    let mut gaps = Vec::new();
+    for c in trace.contacts() {
+        if let Some(prev) = last_end.get(&(c.a, c.b)) {
+            gaps.push(c.start.saturating_since(*prev).as_secs_f64());
+        }
+        last_end.insert((c.a, c.b), c.end);
+    }
+    gaps
+}
+
+/// Contact durations in seconds.
+pub fn contact_durations(trace: &ContactTrace) -> Vec<f64> {
+    trace
+        .contacts()
+        .iter()
+        .map(|c| c.duration().as_secs_f64())
+        .collect()
+}
+
+/// A one-stop statistical report over a trace.
+#[derive(Clone, Debug)]
+pub struct TraceSummary {
+    /// Node count.
+    pub nodes: usize,
+    /// Contact count.
+    pub contacts: usize,
+    /// Observation horizon in seconds.
+    pub horizon_s: f64,
+    /// Mean contact duration (s).
+    pub mean_duration_s: f64,
+    /// Median contact duration (s).
+    pub median_duration_s: f64,
+    /// Mean pair-level inter-contact gap (s).
+    pub mean_pair_gap_s: f64,
+    /// Median pair-level inter-contact gap (s).
+    pub median_pair_gap_s: f64,
+    /// Share of pair gaps exceeding one hour.
+    pub pair_gaps_over_1h: f64,
+    /// Hill tail-exponent estimate of the pair-gap distribution (the
+    /// Cambridge dataset's is ≈ 0.4), when estimable.
+    pub gap_tail_exponent: Option<f64>,
+    /// Mean contacts per unordered node pair.
+    pub contacts_per_pair: f64,
+    /// Smallest contact-graph degree (a 0 means an isolated node).
+    pub min_degree: usize,
+    /// True when every pair is joined by a space-time path from t = 0.
+    pub temporally_connected: bool,
+}
+
+impl TraceSummary {
+    /// Compute the report.
+    pub fn of(trace: &ContactTrace) -> TraceSummary {
+        let durations = Ccdf::new(contact_durations(trace));
+        let gaps_raw = pair_intercontact_gaps(trace);
+        let gaps = Ccdf::new(gaps_raw.clone());
+        let pairs = trace.node_count() * (trace.node_count() - 1) / 2;
+        let degrees = contact_degrees(trace);
+        TraceSummary {
+            nodes: trace.node_count(),
+            contacts: trace.len(),
+            horizon_s: trace.horizon().as_secs_f64(),
+            mean_duration_s: durations.mean(),
+            median_duration_s: durations.quantile(0.5),
+            mean_pair_gap_s: gaps.mean(),
+            median_pair_gap_s: gaps.quantile(0.5),
+            pair_gaps_over_1h: gaps.tail(3_600.0),
+            gap_tail_exponent: hill_estimator(&gaps_raw, gaps_raw.len() / 4),
+            contacts_per_pair: trace.len() as f64 / pairs.max(1) as f64,
+            min_degree: degrees.into_iter().min().unwrap_or(0),
+            temporally_connected: trace.is_temporally_connected(SimTime::ZERO),
+        }
+    }
+
+    /// Render as an aligned key/value block.
+    pub fn to_text(&self) -> String {
+        format!(
+            "nodes                     {}\n\
+             contacts                  {}\n\
+             horizon                   {:.0} s\n\
+             contact duration          mean {:.0} s, median {:.0} s\n\
+             pair inter-contact gap    mean {:.0} s, median {:.0} s\n\
+             pair gaps > 1 h           {:.1} %\n\
+             gap tail exponent (Hill)  {}\n\
+             contacts per pair         {:.1}\n\
+             min contact-graph degree  {}\n\
+             temporally connected      {}\n",
+            self.nodes,
+            self.contacts,
+            self.horizon_s,
+            self.mean_duration_s,
+            self.median_duration_s,
+            self.mean_pair_gap_s,
+            self.median_pair_gap_s,
+            100.0 * self.pair_gaps_over_1h,
+            self.gap_tail_exponent
+                .map(|a| format!("{a:.2}"))
+                .unwrap_or_else(|| "n/a".into()),
+            self.contacts_per_pair,
+            self.min_degree,
+            self.temporally_connected,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::Contact;
+    use crate::synthetic::HaggleParams;
+    use dtn_sim::SimRng;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn ccdf_basics() {
+        let ccdf = Ccdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ccdf.len(), 4);
+        assert_eq!(ccdf.tail(0.0), 1.0);
+        assert_eq!(ccdf.tail(2.0), 0.5);
+        assert_eq!(ccdf.tail(4.0), 0.0);
+        assert_eq!(ccdf.quantile(0.0), 1.0);
+        assert_eq!(ccdf.quantile(1.0), 4.0);
+        assert_eq!(ccdf.mean(), 2.5);
+    }
+
+    #[test]
+    fn ccdf_handles_empty_and_nan() {
+        let ccdf = Ccdf::new(vec![f64::NAN, f64::INFINITY]);
+        // Infinity is finite? No: retained only finite; INFINITY dropped.
+        assert!(ccdf.is_empty());
+        assert_eq!(ccdf.tail(1.0), 0.0);
+        assert_eq!(ccdf.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn ccdf_log_points_span_the_range() {
+        let ccdf = Ccdf::new((1..=1000).map(|i| i as f64).collect());
+        let pts = ccdf.log_spaced_points(10);
+        assert_eq!(pts.len(), 10);
+        assert!(pts[0].0 <= 1.0 + 1e-9);
+        assert!((pts[9].0 - 1000.0).abs() < 1e-6);
+        // Tail probabilities decrease along x.
+        for w in pts.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn hill_recovers_pareto_exponent() {
+        // Draw from a known Pareto(x_min = 1, alpha = 0.7) and recover α.
+        let mut rng = SimRng::new(5);
+        let samples: Vec<f64> = (0..20_000).map(|_| rng.pareto(1.0, 0.7)).collect();
+        let alpha = hill_estimator(&samples, 2_000).expect("estimable");
+        assert!(
+            (alpha - 0.7).abs() < 0.08,
+            "Hill estimate {alpha} too far from 0.7"
+        );
+    }
+
+    #[test]
+    fn hill_rejects_degenerate_input() {
+        assert_eq!(hill_estimator(&[], 10), None);
+        assert_eq!(hill_estimator(&[1.0, 2.0], 5), None);
+        assert_eq!(hill_estimator(&[1.0; 100], 10), None, "zero log-sum");
+    }
+
+    #[test]
+    fn degrees_and_gaps() {
+        let contacts = vec![
+            Contact::new(NodeId(0), NodeId(1), t(0), t(10)),
+            Contact::new(NodeId(0), NodeId(2), t(20), t(30)),
+            Contact::new(NodeId(0), NodeId(1), t(100), t(110)),
+        ];
+        let trace = ContactTrace::new(4, t(1_000), contacts).unwrap();
+        assert_eq!(contact_degrees(&trace), vec![2, 1, 1, 0]);
+        // One repeated pair (0,1): gap from end 10 to start 100.
+        assert_eq!(pair_intercontact_gaps(&trace), vec![90.0]);
+        assert_eq!(contact_durations(&trace), vec![10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn summary_of_synthetic_trace_matches_design_targets() {
+        let trace = HaggleParams::default().generate(&mut SimRng::new(3));
+        let summary = TraceSummary::of(&trace);
+        assert_eq!(summary.nodes, 12);
+        assert!(summary.contacts_per_pair > 2.0, "{}", summary.contacts_per_pair);
+        assert!(
+            summary.pair_gaps_over_1h > 0.5,
+            "heavy tail missing: {}",
+            summary.pair_gaps_over_1h
+        );
+        if let Some(alpha) = summary.gap_tail_exponent {
+            assert!(
+                (0.1..2.5).contains(&alpha),
+                "implausible tail exponent {alpha}"
+            );
+        }
+        let text = summary.to_text();
+        assert!(text.contains("temporally connected"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Contact-trace file IO.
+//!
+//! The paper replays the CRAWDAD `cambridge/haggle/imote/intel` dataset
+//! (Scott et al.): 12 short-range devices carried by students for five days,
+//! each record giving the pair of devices, the rendezvous begin time and the
+//! duration/end time. The raw dataset is distributed under a CRAWDAD
+//! agreement and cannot be vendored, so this module defines a plain-text
+//! interchange format that the published records map onto line-for-line,
+//! and [`crate::synthetic`] generates statistically matched stand-ins.
+//!
+//! ## Format
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! % nodes 12
+//! % horizon 524162
+//! <node_a> <node_b> <start_seconds> <end_seconds> [ignored extra columns...]
+//! ```
+//!
+//! * header directives (`% nodes`, `% horizon`) are optional; when absent,
+//!   the node count is `max id + 1` and the horizon is the latest end time;
+//! * node ids are non-negative integers; times are integer seconds (matching
+//!   the dataset's resolution) or decimal seconds;
+//! * extra trailing columns (the dataset carries an encounter sequence
+//!   number) are ignored, so real exports drop in unchanged;
+//! * zero-length or inverted records and self-contacts are reported as
+//!   errors with their line number rather than silently dropped.
+
+use crate::contact::{Contact, ContactTrace, NodeId, TraceInvariantError};
+use dtn_sim::SimTime;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors from [`parse_trace`].
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A malformed line (wrong arity, unparsable field, self-contact,
+    /// inverted interval…), with its 1-based line number.
+    Malformed {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The parsed records violate trace-level invariants.
+    Invariant(TraceInvariantError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace IO error: {e}"),
+            TraceError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            TraceError::Invariant(e) => write!(f, "invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<TraceInvariantError> for TraceError {
+    fn from(e: TraceInvariantError) -> Self {
+        TraceError::Invariant(e)
+    }
+}
+
+fn malformed(line: usize, reason: impl Into<String>) -> TraceError {
+    TraceError::Malformed {
+        line,
+        reason: reason.into(),
+    }
+}
+
+/// Parse seconds (integer or decimal) into a [`SimTime`].
+fn parse_time(field: &str, line: usize) -> Result<SimTime, TraceError> {
+    if let Ok(secs) = field.parse::<u64>() {
+        return Ok(SimTime::from_secs(secs));
+    }
+    match field.parse::<f64>() {
+        Ok(secs) if secs.is_finite() && secs >= 0.0 => Ok(SimTime::from_secs_f64(secs)),
+        _ => Err(malformed(line, format!("unparsable time {field:?}"))),
+    }
+}
+
+/// Parse a contact trace from any buffered reader.
+pub fn parse_trace<R: BufRead>(reader: R) -> Result<ContactTrace, TraceError> {
+    let mut contacts = Vec::new();
+    let mut declared_nodes: Option<usize> = None;
+    let mut declared_horizon: Option<SimTime> = None;
+    let mut max_node: u16 = 0;
+    let mut max_end = SimTime::ZERO;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let body = line.trim();
+        if body.is_empty() || body.starts_with('#') {
+            continue;
+        }
+        if let Some(directive) = body.strip_prefix('%') {
+            let mut parts = directive.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some("nodes"), Some(v)) => {
+                    declared_nodes = Some(
+                        v.parse::<usize>()
+                            .map_err(|_| malformed(line_no, format!("bad node count {v:?}")))?,
+                    );
+                }
+                (Some("horizon"), Some(v)) => {
+                    declared_horizon = Some(parse_time(v, line_no)?);
+                }
+                (Some(other), _) => {
+                    return Err(malformed(line_no, format!("unknown directive %{other}")))
+                }
+                (None, _) => return Err(malformed(line_no, "empty directive")),
+            }
+            continue;
+        }
+
+        let mut fields = body.split_whitespace();
+        let mut next_field = |name: &str| {
+            fields
+                .next()
+                .ok_or_else(|| malformed(line_no, format!("missing field <{name}>")))
+        };
+        let a_raw = next_field("node_a")?;
+        let b_raw = next_field("node_b")?;
+        let start_raw = next_field("start")?;
+        let end_raw = next_field("end")?;
+
+        let a: u16 = a_raw
+            .parse()
+            .map_err(|_| malformed(line_no, format!("bad node id {a_raw:?}")))?;
+        let b: u16 = b_raw
+            .parse()
+            .map_err(|_| malformed(line_no, format!("bad node id {b_raw:?}")))?;
+        if a == b {
+            return Err(malformed(line_no, format!("self-contact on node {a}")));
+        }
+        let start = parse_time(start_raw, line_no)?;
+        let end = parse_time(end_raw, line_no)?;
+        if end <= start {
+            return Err(malformed(
+                line_no,
+                format!(
+                    "contact interval is empty or inverted ({}..{})",
+                    start.as_secs_f64(),
+                    end.as_secs_f64()
+                ),
+            ));
+        }
+
+        max_node = max_node.max(a).max(b);
+        max_end = max_end.max(end);
+        contacts.push(Contact::new(NodeId(a), NodeId(b), start, end));
+    }
+
+    let node_count = declared_nodes.unwrap_or(max_node as usize + 1);
+    let horizon = declared_horizon.unwrap_or(max_end);
+    Ok(ContactTrace::new(node_count, horizon, contacts)?)
+}
+
+/// Parse a trace from an in-memory string (convenience for tests and
+/// embedded scenarios).
+pub fn parse_trace_str(text: &str) -> Result<ContactTrace, TraceError> {
+    parse_trace(std::io::Cursor::new(text))
+}
+
+/// Read a trace from a file path.
+pub fn read_trace_file(path: &std::path::Path) -> Result<ContactTrace, TraceError> {
+    let file = std::fs::File::open(path)?;
+    parse_trace(std::io::BufReader::new(file))
+}
+
+/// Serialize a trace in the format [`parse_trace`] accepts (header
+/// directives included, so node count and horizon round-trip exactly).
+pub fn write_trace<W: Write>(trace: &ContactTrace, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "# contact trace: {} contacts", trace.len())?;
+    writeln!(out, "% nodes {}", trace.node_count())?;
+    writeln!(out, "% horizon {}", trace.horizon().as_secs_f64())?;
+    for c in trace.contacts() {
+        writeln!(
+            out,
+            "{} {} {} {}",
+            c.a.0,
+            c.b.0,
+            c.start.as_secs_f64(),
+            c.end.as_secs_f64()
+        )?;
+    }
+    Ok(())
+}
+
+/// Serialize a trace to a string.
+pub fn write_trace_string(trace: &ContactTrace) -> String {
+    let mut buf = Vec::new();
+    write_trace(trace, &mut buf).expect("write to Vec cannot fail");
+    String::from_utf8(buf).expect("trace text is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::SimDuration;
+
+    #[test]
+    fn parses_minimal_trace() {
+        let trace = parse_trace_str("0 1 100 200\n1 2 300 450\n").unwrap();
+        assert_eq!(trace.node_count(), 3);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.horizon(), SimTime::from_secs(450));
+        assert_eq!(trace.contacts()[0].duration(), SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn honors_header_directives() {
+        let trace = parse_trace_str("% nodes 12\n% horizon 524162\n3 9 3568 3882\n").unwrap();
+        assert_eq!(trace.node_count(), 12);
+        assert_eq!(trace.horizon(), SimTime::from_secs(524_162));
+        // The paper's worked example: nodes 3 and 9, 314 s encounter.
+        assert_eq!(trace.contacts()[0].duration(), SimDuration::from_secs(314));
+    }
+
+    #[test]
+    fn skips_comments_blank_lines_and_extra_columns() {
+        let text = "# a comment\n\n0 1 10 20 7 extra junk\n   \n# another\n1 0 30 40\n";
+        let trace = parse_trace_str(text).unwrap();
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn accepts_decimal_times() {
+        let trace = parse_trace_str("0 1 10.5 20.25\n").unwrap();
+        assert_eq!(trace.contacts()[0].start, SimTime::from_millis(10_500));
+        assert_eq!(trace.contacts()[0].end, SimTime::from_millis(20_250));
+    }
+
+    #[test]
+    fn rejects_self_contact_with_line_number() {
+        let err = parse_trace_str("0 1 0 5\n3 3 10 20\n").unwrap_err();
+        match err {
+            TraceError::Malformed { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("self-contact"), "{reason}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_inverted_interval() {
+        let err = parse_trace_str("0 1 50 50\n").unwrap_err();
+        assert!(matches!(err, TraceError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let err = parse_trace_str("0 1 50\n").unwrap_err();
+        match err {
+            TraceError::Malformed { reason, .. } => assert!(reason.contains("<end>")),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_node_id() {
+        let err = parse_trace_str("zero 1 0 5\n").unwrap_err();
+        assert!(matches!(err, TraceError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        let err = parse_trace_str("% speed 12\n").unwrap_err();
+        match err {
+            TraceError::Malformed { reason, .. } => assert!(reason.contains("speed")),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_contact_past_declared_horizon() {
+        let err = parse_trace_str("% horizon 100\n0 1 90 150\n").unwrap_err();
+        assert!(matches!(err, TraceError::Invariant(_)));
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let original = parse_trace_str("% nodes 5\n% horizon 1000\n0 4 1 99\n2 3 50.5 60.75\n")
+            .unwrap();
+        let text = write_trace_string(&original);
+        let reparsed = parse_trace_str(&text).unwrap();
+        assert_eq!(reparsed.node_count(), original.node_count());
+        assert_eq!(reparsed.horizon(), original.horizon());
+        assert_eq!(reparsed.contacts(), original.contacts());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let trace = parse_trace_str("0 1 5 10\n").unwrap();
+        let dir = std::env::temp_dir().join("dtn_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        std::fs::write(&path, write_trace_string(&trace)).unwrap();
+        let back = read_trace_file(&path).unwrap();
+        assert_eq!(back.contacts(), trace.contacts());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests for the mobility substrate.
+
+use dtn_mobility::rwp::merge_intervals;
+use dtn_mobility::trace_io::{parse_trace_str, write_trace_string};
+use dtn_mobility::{Contact, ContactTrace, HaggleParams, IntervalScenario, NodeId, SubscriberParams};
+use dtn_sim::{SimRng, SimTime};
+use proptest::prelude::*;
+
+/// Strategy: a structurally valid contact list over `nodes` nodes.
+fn arb_contacts(nodes: u16, max_len: usize) -> impl Strategy<Value = Vec<Contact>> {
+    prop::collection::vec(
+        (0..nodes, 0..nodes, 0u64..100_000, 1u64..10_000).prop_filter_map(
+            "self contacts are invalid",
+            |(a, b, start, len)| {
+                (a != b).then(|| {
+                    Contact::new(
+                        NodeId(a),
+                        NodeId(b),
+                        SimTime::from_secs(start),
+                        SimTime::from_secs(start + len),
+                    )
+                })
+            },
+        ),
+        0..max_len,
+    )
+}
+
+proptest! {
+    /// Any valid contact list round-trips exactly through the text format.
+    #[test]
+    fn trace_io_round_trip(contacts in arb_contacts(12, 60)) {
+        let trace = ContactTrace::new(12, SimTime::from_secs(200_000), contacts).unwrap();
+        let text = write_trace_string(&trace);
+        let back = parse_trace_str(&text).unwrap();
+        prop_assert_eq!(back.node_count(), trace.node_count());
+        prop_assert_eq!(back.horizon(), trace.horizon());
+        prop_assert_eq!(back.contacts(), trace.contacts());
+    }
+
+    /// The trace constructor sorts without losing or inventing contacts.
+    #[test]
+    fn trace_is_sorted_permutation(contacts in arb_contacts(8, 60)) {
+        let n = contacts.len();
+        let trace = ContactTrace::new(8, SimTime::from_secs(200_000), contacts.clone()).unwrap();
+        prop_assert_eq!(trace.len(), n);
+        for w in trace.contacts().windows(2) {
+            prop_assert!((w[0].start, w[0].a, w[0].b) <= (w[1].start, w[1].a, w[1].b));
+        }
+        let mut expected = contacts;
+        expected.sort_by_key(|c| (c.start, c.a, c.b));
+        prop_assert_eq!(trace.contacts(), &expected[..]);
+    }
+
+    /// Inter-contact gaps are consistent with encounter counts: a node
+    /// with k encounters has at most k-1 gaps.
+    #[test]
+    fn gaps_bounded_by_encounters(contacts in arb_contacts(8, 60)) {
+        let trace = ContactTrace::new(8, SimTime::from_secs(200_000), contacts).unwrap();
+        let counts = trace.encounter_counts();
+        let gaps = trace.intercontact_gaps();
+        for (node, node_gaps) in gaps.iter().enumerate() {
+            prop_assert!(node_gaps.len() == counts[node].saturating_sub(1));
+        }
+    }
+
+    /// Temporal reachability is monotone in the start time: starting later
+    /// can never reach MORE nodes.
+    #[test]
+    fn reachability_monotone_in_start(contacts in arb_contacts(8, 40), from in 0u64..50_000) {
+        let trace = ContactTrace::new(8, SimTime::from_secs(200_000), contacts).unwrap();
+        let early = trace.temporal_reachability(NodeId(0), SimTime::ZERO);
+        let late = trace.temporal_reachability(NodeId(0), SimTime::from_secs(from));
+        for (e, l) in early.iter().zip(late.iter()) {
+            prop_assert!(*e || !*l, "late reach must be a subset of early reach");
+        }
+    }
+
+    /// merge_intervals output is sorted, disjoint (beyond the 1 ms join
+    /// epsilon) and covers exactly the union of the input.
+    #[test]
+    fn merge_intervals_is_a_union(
+        raw in prop::collection::vec((0.0f64..1_000.0, 0.01f64..100.0), 0..40),
+    ) {
+        let intervals: Vec<(f64, f64)> = raw.iter().map(|&(s, l)| (s, s + l)).collect();
+        let merged = merge_intervals(intervals.clone());
+        // Sorted and disjoint.
+        for w in merged.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "overlap after merge: {:?}", w);
+        }
+        // Every input point stays covered; sample each input interval.
+        for &(s, e) in &intervals {
+            for p in [s, (s + e) / 2.0, e - 1e-9] {
+                prop_assert!(
+                    merged.iter().any(|&(ms, me)| ms <= p && p <= me),
+                    "point {p} lost"
+                );
+            }
+        }
+        // Total measure never grows beyond the sum of inputs.
+        let merged_len: f64 = merged.iter().map(|&(s, e)| e - s).sum();
+        let input_len: f64 = intervals.iter().map(|&(s, e)| e - s).sum();
+        prop_assert!(merged_len <= input_len + 1e-3 * intervals.len() as f64);
+    }
+
+    /// The synthetic Haggle generator always yields well-formed traces
+    /// across its parameter space.
+    #[test]
+    fn haggle_generator_is_well_formed(
+        seed in any::<u64>(),
+        nodes in 2usize..8,
+        gap_min in 100.0f64..5_000.0,
+        alpha in 0.2f64..1.5,
+    ) {
+        let params = HaggleParams {
+            nodes,
+            horizon: SimTime::from_secs(100_000),
+            gap_min_s: gap_min,
+            gap_max_s: gap_min * 50.0,
+            gap_alpha: alpha,
+            ..HaggleParams::default()
+        };
+        let trace = params.generate(&mut SimRng::new(seed));
+        prop_assert_eq!(trace.node_count(), nodes);
+        for c in trace.contacts() {
+            prop_assert!(c.a < c.b);
+            prop_assert!(c.start < c.end);
+            prop_assert!(c.end <= trace.horizon());
+        }
+    }
+
+    /// The subscriber-point model respects its contact cap and universe
+    /// for any seed.
+    #[test]
+    fn subscriber_generator_is_well_formed(seed in any::<u64>(), points in 2usize..40) {
+        let params = SubscriberParams {
+            points,
+            horizon: SimTime::from_secs(50_000),
+            ..SubscriberParams::default()
+        };
+        let trace = params.generate(&mut SimRng::new(seed));
+        for c in trace.contacts() {
+            prop_assert!(c.duration() <= params.contact_cap);
+            prop_assert!(c.a.index() < params.nodes && c.b.index() < params.nodes);
+        }
+    }
+
+    /// The trace parser never panics: arbitrary byte soup either parses
+    /// or yields a structured error.
+    #[test]
+    fn parser_never_panics_on_garbage(input in "\\PC{0,400}") {
+        let _ = parse_trace_str(&input);
+    }
+
+    /// Near-miss inputs (valid-looking lines with one field corrupted)
+    /// yield `Malformed` errors carrying the right line number.
+    #[test]
+    fn parser_reports_the_corrupted_line(
+        good_lines in 0usize..5,
+        corruption in prop_oneof![
+            Just("x 1 0 5"),
+            Just("0 0 0 5"),
+            Just("0 1 9 3"),
+            Just("0 1"),
+            Just("% bogus 7"),
+        ],
+    ) {
+        let mut text = String::new();
+        for i in 0..good_lines {
+            text.push_str(&format!("0 1 {} {}\n", i * 100, i * 100 + 50));
+        }
+        text.push_str(corruption);
+        text.push('\n');
+        match parse_trace_str(&text) {
+            Err(dtn_mobility::TraceError::Malformed { line, .. }) => {
+                prop_assert_eq!(line, good_lines + 1);
+            }
+            other => prop_assert!(false, "expected Malformed, got {:?}", other.is_ok()),
+        }
+    }
+
+    /// The interval scenario respects every node's encounter budget for
+    /// any seed and interval bound.
+    #[test]
+    fn interval_scenario_respects_budget(seed in any::<u64>(), max_gap in 100u64..5_000) {
+        let scenario = IntervalScenario::with_max_interval(max_gap);
+        let trace = scenario.generate(&mut SimRng::new(seed));
+        for count in trace.encounter_counts() {
+            prop_assert!(count <= scenario.encounters_per_node);
+        }
+        // Per-pair intervals do not overlap for the same node: checked via
+        // validity of the trace itself (sorted, positive durations).
+        for c in trace.contacts() {
+            prop_assert!(c.start < c.end);
+        }
+    }
+}

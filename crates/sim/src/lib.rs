@@ -1,0 +1,38 @@
+//! # dtn-sim — discrete-event simulation substrate
+//!
+//! The foundation layer of the unified epidemic-routing study
+//! (Feng & Chin, IPDPSW 2012). The paper evaluates every protocol inside a
+//! single custom simulator; this crate is that simulator's engine room:
+//!
+//! * [`time`] — an integer, totally ordered simulation clock
+//!   ([`SimTime`]/[`SimDuration`], millisecond granularity);
+//! * [`events`] — a stable priority queue of timestamped events;
+//! * [`engine`] — the event loop ([`Engine`]) with horizon, early-stop and
+//!   runaway-budget handling;
+//! * [`rng`] — deterministic xoshiro256\*\* randomness ([`SimRng`]) with
+//!   per-replication substream derivation;
+//! * [`stats`] — Welford and time-weighted accumulators for the paper's
+//!   metrics;
+//! * [`parallel`] — a crossbeam-based fork–join executor that fans
+//!   replications out across cores while keeping results in deterministic
+//!   order.
+//!
+//! Nothing in this crate knows about bundles, buffers or mobility — those
+//! live in `dtn-mobility` and `dtn-epidemic` on top.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod events;
+pub mod parallel;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Engine, Flow, Handler, Scheduler, StopReason};
+pub use events::EventQueue;
+pub use parallel::{par_map_indexed, Pool, Threads};
+pub use rng::SimRng;
+pub use stats::{Summary, TimeWeighted, Welford};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,183 @@
+//! Parallel replication executor.
+//!
+//! Every plotted point in the paper averages ten independent replications;
+//! a full figure is a sweep of ten load levels × several protocols, and the
+//! repository regenerates sixteen figures/tables. Those replications are
+//! embarrassingly parallel, so this module provides a small, dependency-light
+//! fork–join pool built on `crossbeam::scope`:
+//!
+//! * [`par_map_indexed`] — run `f(0..n)` across worker threads, returning
+//!   results **in index order** regardless of completion order (ordering is
+//!   part of determinism: figure CSVs must be byte-identical across runs);
+//! * [`Pool`] — a reusable handle carrying the desired worker count.
+//!
+//! Work distribution is dynamic (an atomic work-stealing counter) because
+//! replication run times vary wildly — a failed delivery runs to the full
+//! trace horizon while an easy one stops early — so static chunking would
+//! leave cores idle.
+
+use parking_lot::Mutex;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Thread-count policy for parallel sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Threads {
+    /// Use `std::thread::available_parallelism` (min 1).
+    #[default]
+    Auto,
+    /// Use exactly this many workers.
+    Fixed(NonZeroUsize),
+    /// Run everything on the calling thread (useful under Criterion, which
+    /// wants to own the machine's parallelism, and in tests that assert
+    /// determinism).
+    Sequential,
+}
+
+impl Threads {
+    /// Resolve to a concrete worker count.
+    pub fn count(self) -> usize {
+        match self {
+            Threads::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            Threads::Fixed(n) => n.get(),
+            Threads::Sequential => 1,
+        }
+    }
+}
+
+/// A reusable parallel-execution policy (worker count only — threads are
+/// scoped per call, so a `Pool` is freely clonable and never leaks).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Pool {
+    threads: Threads,
+}
+
+impl Pool {
+    /// Pool with the given thread policy.
+    pub fn new(threads: Threads) -> Self {
+        Pool { threads }
+    }
+
+    /// Map `f` over `0..n` in parallel; see [`par_map_indexed`].
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        par_map_indexed(self.threads, n, f)
+    }
+}
+
+/// Run `f(i)` for every `i in 0..n`, spreading the calls across worker
+/// threads, and collect the results in index order.
+///
+/// `f` must derive all randomness from `i` (e.g. `root_rng.derive(i)`), so
+/// the output is independent of scheduling — this is how the whole harness
+/// stays deterministic while saturating the machine.
+pub fn par_map_indexed<T, F>(threads: Threads, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.count().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let slots = Mutex::new(&mut slots);
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let slots_ref = &slots;
+    let next_ref = &next;
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move |_| loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                // Store under a short critical section. The computation ran
+                // outside the lock; contention here is one pointer write per
+                // replication and is immeasurable next to a simulation run.
+                slots_ref.lock()[i] = Some(result);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    slots
+        .into_inner()
+        .iter_mut()
+        .map(|slot| slot.take().expect("every index filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = par_map_indexed(Threads::Auto, 257, |i| i * 3);
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<u32> = par_map_indexed(Threads::Auto, 0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sequential_matches_parallel() {
+        let work = |i: usize| {
+            // A little CPU so threads interleave.
+            let mut acc = i as u64;
+            for _ in 0..100 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let seq = par_map_indexed(Threads::Sequential, 100, work);
+        let par = par_map_indexed(Threads::Fixed(NonZeroUsize::new(8).unwrap()), 100, work);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn uses_multiple_threads_when_asked() {
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        let ids = StdMutex::new(HashSet::new());
+        par_map_indexed(Threads::Fixed(NonZeroUsize::new(4).unwrap()), 64, |_| {
+            // Slow each job slightly so all workers pick up work.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(ids.lock().unwrap().len() > 1, "expected >1 worker thread");
+    }
+
+    #[test]
+    fn threads_resolution() {
+        assert_eq!(Threads::Sequential.count(), 1);
+        assert_eq!(Threads::Fixed(NonZeroUsize::new(5).unwrap()).count(), 5);
+        assert!(Threads::Auto.count() >= 1);
+    }
+
+    #[test]
+    fn pool_map_delegates() {
+        let pool = Pool::new(Threads::Sequential);
+        assert_eq!(pool.map(4, |i| i + 1), vec![1, 2, 3, 4]);
+    }
+}

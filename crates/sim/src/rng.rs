@@ -1,0 +1,468 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic choice in the study — waypoint selection, pause times,
+//! source/destination sampling, P–Q transmission coin flips, synthetic trace
+//! gaps — flows through [`SimRng`], a xoshiro256\*\* generator seeded through
+//! splitmix64. Both algorithms are implemented here (public domain, Blackman
+//! & Vigna) rather than pulled from `rand` so that:
+//!
+//! * a `(scenario seed, replication index)` pair produces bit-identical
+//!   streams on every platform and toolchain, which the experiment harness
+//!   relies on for reproducible figures;
+//! * independent replications get *provably disjoint-feeling* streams via
+//!   splitmix64-based stream derivation plus xoshiro's `long_jump`.
+//!
+//! The distribution helpers implement exactly the samplers the mobility and
+//! workload generators need: uniform ranges, Bernoulli, exponential, and
+//! (truncated) Pareto/power-law — the last being the empirical shape of
+//! inter-contact gaps in the Cambridge Haggle dataset the paper uses.
+
+use crate::time::SimDuration;
+
+/// splitmix64 step: the standard seeding sequence for xoshiro generators.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256\*\* generator.
+///
+/// Not cryptographically secure; statistically excellent and extremely fast,
+/// which is what a discrete-event simulator needs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Seed via splitmix64 so that low-entropy seeds (0, 1, 2, …) still give
+    /// well-mixed initial states.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // xoshiro must not start from the all-zero state; splitmix64 of any
+        // seed cannot produce four zeros, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            SimRng { s: [1, 2, 3, 4] }
+        } else {
+            SimRng { s }
+        }
+    }
+
+    /// Derive an independent generator for substream `index` (e.g. one per
+    /// replication). Mixes the index through splitmix64 and then long-jumps
+    /// `index % 64 + 1` times for defence in depth against correlated
+    /// starting points.
+    pub fn derive(&self, index: u64) -> SimRng {
+        let mut mix = self.s[0] ^ self.s[2] ^ index.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut child = SimRng::new(splitmix64(&mut mix));
+        for _ in 0..(index % 64) + 1 {
+            child.long_jump();
+        }
+        child
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output (upper half of the 64-bit stream).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// The 2^192-step jump, used to decorrelate derived substreams.
+    pub fn long_jump(&mut self) {
+        const LONG_JUMP: [u64; 4] = [
+            0x7674_3211_5B36_C4E9,
+            0x2F42_EAA6_42C2_03AE,
+            0x3927_39C3_2E2A_61AF,
+            0x39AB_DC45_29B1_661C,
+        ];
+        let mut s = [0u64; 4];
+        for jump in LONG_JUMP {
+            for b in 0..64 {
+                if (jump >> b) & 1 == 1 {
+                    s[0] ^= self.s[0];
+                    s[1] ^= self.s[1];
+                    s[2] ^= self.s[2];
+                    s[3] ^= self.s[3];
+                }
+                self.next_u64();
+            }
+        }
+        self.s = s;
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. Uses Lemire's multiply-shift with a
+    /// rejection step to avoid modulo bias. Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "SimRng::below(0)");
+        // Lemire 2019: unbiased bounded integers without division in the
+        // common case.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`. Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "SimRng::range_inclusive: {lo} > {hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            self.next_u64()
+        } else {
+            lo + self.below(span + 1)
+        }
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            true
+        } else if p <= 0.0 {
+            false
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Exponential variate with the given mean (inverse-CDF method).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // 1 - f64() is in (0, 1], so ln() is finite and <= 0.
+        -mean * (1.0 - self.f64()).ln()
+    }
+
+    /// Pareto (power-law) variate with scale `x_min > 0` and shape
+    /// `alpha > 0`: `P(X > x) = (x_min / x)^alpha` for `x >= x_min`.
+    ///
+    /// Heavy-tailed inter-contact gaps in human-mobility traces follow this
+    /// shape with `alpha` well below 1 (Chaintreau et al., the analysis of
+    /// the very dataset the paper replays).
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        debug_assert!(x_min > 0.0 && alpha > 0.0);
+        x_min / (1.0 - self.f64()).powf(1.0 / alpha)
+    }
+
+    /// Pareto variate truncated to `[x_min, x_max]` by inverse-CDF of the
+    /// conditional distribution (no rejection loop, so heavy tails cannot
+    /// stall the generator).
+    pub fn pareto_truncated(&mut self, x_min: f64, x_max: f64, alpha: f64) -> f64 {
+        debug_assert!(x_min > 0.0 && x_max > x_min && alpha > 0.0);
+        let a = (x_min / x_max).powf(alpha); // CCDF at x_max
+        let u = self.f64(); // in [0,1)
+        // Conditional CCDF uniform on [a, 1]; invert.
+        let ccdf = a + (1.0 - a) * (1.0 - u);
+        x_min / ccdf.powf(1.0 / alpha)
+    }
+
+    /// Uniformly random duration in `[lo, hi]` at millisecond granularity.
+    pub fn duration_in(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        SimDuration::from_millis(self.range_inclusive(lo.as_millis(), hi.as_millis()))
+    }
+
+    /// Choose a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "SimRng::choose on empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Choose a uniformly random index different from `exclude`
+    /// (for source/destination sampling). Panics if `n < 2`.
+    pub fn index_excluding(&mut self, n: usize, exclude: usize) -> usize {
+        assert!(n >= 2, "need at least two choices");
+        assert!(exclude < n);
+        let raw = self.below(n as u64 - 1) as usize;
+        if raw >= exclude {
+            raw + 1
+        } else {
+            raw
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors for xoshiro256** seeded with state {1, 2, 3, 4},
+    /// cross-checked against an independent implementation of the reference
+    /// algorithm (Blackman & Vigna).
+    #[test]
+    fn xoshiro_reference_vectors() {
+        let mut rng = SimRng { s: [1, 2, 3, 4] };
+        let expected: [u64; 6] = [
+            11520,
+            0,
+            1509978240,
+            1215971899390074240,
+            1216172134540287360,
+            607988272756665600,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn splitmix_seeding_is_stable() {
+        // Pin the seeded state so that a refactor cannot silently change
+        // every experiment in the repo.
+        let rng = SimRng::new(0);
+        assert_eq!(
+            rng.s,
+            [
+                0xE220_A839_7B1D_CDAF,
+                0x6E78_9E6A_A1B9_65F4,
+                0x06C4_5D18_8009_454F,
+                0xF88B_B8A8_724C_81EC
+            ]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derived_streams_are_reproducible_and_distinct() {
+        let root = SimRng::new(7);
+        let mut c0 = root.derive(0);
+        let mut c0b = root.derive(0);
+        let mut c1 = root.derive(1);
+        for _ in 0..100 {
+            assert_eq!(c0.next_u64(), c0b.next_u64());
+        }
+        let mut c0 = root.derive(0);
+        let same = (0..64).filter(|_| c0.next_u64() == c1.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = SimRng::new(9);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        // chi-square-ish sanity check: 6 buckets, 60k draws, each bucket
+        // should be within 5% of 10k.
+        let mut rng = SimRng::new(11);
+        let mut counts = [0u32; 6];
+        for _ in 0..60_000 {
+            counts[rng.below(6) as usize] += 1;
+        }
+        for c in counts {
+            assert!((9_500..=10_500).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut rng = SimRng::new(5);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            match rng.range_inclusive(10, 12) {
+                10 => lo_seen = true,
+                12 => hi_seen = true,
+                11 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = SimRng::new(1);
+        assert!(rng.bernoulli(1.0));
+        assert!(rng.bernoulli(2.0));
+        assert!(!rng.bernoulli(0.0));
+        assert!(!rng.bernoulli(-1.0));
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = SimRng::new(13);
+        let hits = (0..100_000).filter(|_| rng.bernoulli(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SimRng::new(17);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(50.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = SimRng::new(19);
+        for _ in 0..10_000 {
+            assert!(rng.pareto(100.0, 0.4) >= 100.0);
+        }
+    }
+
+    #[test]
+    fn pareto_truncated_stays_in_bounds() {
+        let mut rng = SimRng::new(23);
+        for _ in 0..10_000 {
+            let x = rng.pareto_truncated(10.0, 5_000.0, 0.4);
+            assert!(
+                (10.0..=5_000.0 + 1e-6).contains(&x),
+                "out of bounds: {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_truncated_is_heavy_tailed() {
+        // With alpha = 0.4, the conditional mass above 10*x_min should be
+        // substantial (CCDF(100)/normalization ~ 0.39 for x_min=10,
+        // x_max=5000) — verify we are not accidentally sampling something
+        // light-tailed.
+        let mut rng = SimRng::new(29);
+        let n = 50_000;
+        let above = (0..n)
+            .filter(|_| rng.pareto_truncated(10.0, 5_000.0, 0.4) > 100.0)
+            .count();
+        let frac = above as f64 / n as f64;
+        assert!(frac > 0.25, "tail too light: {frac}");
+    }
+
+    #[test]
+    fn index_excluding_never_returns_excluded() {
+        let mut rng = SimRng::new(31);
+        let mut seen = [false; 12];
+        for _ in 0..5_000 {
+            let i = rng.index_excluding(12, 4);
+            assert_ne!(i, 4);
+            seen[i] = true;
+        }
+        let covered = seen.iter().filter(|&&s| s).count();
+        assert_eq!(covered, 11);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::new(37);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn choose_uniformity() {
+        let mut rng = SimRng::new(41);
+        let items = [0usize, 1, 2, 3];
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[*rng.choose(&items)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..=11_000).contains(&c));
+        }
+    }
+
+    #[test]
+    fn duration_in_bounds() {
+        let mut rng = SimRng::new(43);
+        let lo = SimDuration::from_secs(1);
+        let hi = SimDuration::from_secs(10);
+        for _ in 0..1_000 {
+            let d = rng.duration_in(lo, hi);
+            assert!(d >= lo && d <= hi);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Statistical accumulators used by the metrics pipeline and the experiment
+//! harness.
+//!
+//! Three accumulator shapes cover everything in the paper's evaluation:
+//!
+//! * [`Welford`] — numerically stable running mean / variance over i.i.d.
+//!   samples (e.g. the per-replication delivery ratios averaged into each
+//!   plotted point);
+//! * [`TimeWeighted`] — mean of a piecewise-constant signal over simulated
+//!   time (buffer occupancy and duplication rate are sampled this way: the
+//!   level holds between events and each segment is weighted by its
+//!   duration);
+//! * [`Summary`] — a frozen snapshot (n, mean, std-dev, min, max, 95 % CI
+//!   half-width) suitable for CSV/table output.
+
+use crate::time::SimTime;
+
+/// Welford's online algorithm for mean and variance.
+#[derive(Clone, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel reduction; Chan et
+    /// al. pairwise update).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Freeze into a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            n: self.n,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: if self.n == 0 { 0.0 } else { self.min },
+            max: if self.n == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+/// Frozen sample statistics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased standard deviation.
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Half-width of the normal-approximation 95 % confidence interval for
+    /// the mean (`1.96 · s/√n`; zero with fewer than two samples). With the
+    /// paper's 10 replications per point the normal approximation is the
+    /// same convention the paper's "additional runs did not yield
+    /// discernible changes" claim implies.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Time-weighted mean of a piecewise-constant signal.
+///
+/// `set(t, level)` records that the signal changed to `level` at time `t`;
+/// `finish(t_end)` closes the last segment. The mean is
+/// `∫ level dt / (t_end − t_start)`.
+#[derive(Clone, Debug)]
+pub struct TimeWeighted {
+    start: Option<SimTime>,
+    last_time: SimTime,
+    last_level: f64,
+    weighted_sum: f64,
+    peak: f64,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Empty accumulator; the first `set` call defines the signal origin.
+    pub fn new() -> Self {
+        TimeWeighted {
+            start: None,
+            last_time: SimTime::ZERO,
+            last_level: 0.0,
+            weighted_sum: 0.0,
+            peak: 0.0,
+        }
+    }
+
+    /// Record a level change at `t`. Out-of-order timestamps are a model
+    /// bug; debug builds panic, release builds clamp (the segment gets zero
+    /// weight).
+    pub fn set(&mut self, t: SimTime, level: f64) {
+        match self.start {
+            None => {
+                self.start = Some(t);
+                self.last_time = t;
+                self.last_level = level;
+            }
+            Some(_) => {
+                debug_assert!(t >= self.last_time, "TimeWeighted went backwards");
+                let dt = t.saturating_since(self.last_time).as_secs_f64();
+                self.weighted_sum += self.last_level * dt;
+                self.last_time = t.max(self.last_time);
+                self.last_level = level;
+            }
+        }
+        self.peak = self.peak.max(level);
+    }
+
+    /// Close the final segment at `t_end` and return the time-weighted mean.
+    /// Returns 0 for an empty or zero-length observation window.
+    pub fn finish(&self, t_end: SimTime) -> f64 {
+        let Some(start) = self.start else { return 0.0 };
+        let total = t_end.saturating_since(start).as_secs_f64();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let tail = t_end.saturating_since(self.last_time).as_secs_f64();
+        (self.weighted_sum + self.last_level * tail) / total
+    }
+
+    /// Highest level ever recorded.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+}
+
+/// Convenience: mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // naive unbiased variance = 32/7
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        let s = w.summary();
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn welford_empty_is_zero() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.summary().ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_merge_with_empty_sides() {
+        let mut a = Welford::new();
+        a.push(3.0);
+        let empty = Welford::new();
+        let mut b = a.clone();
+        b.merge(&empty);
+        assert_eq!(b.mean(), 3.0);
+        let mut c = Welford::new();
+        c.merge(&a);
+        assert_eq!(c.mean(), 3.0);
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn ci95_shrinks_with_n() {
+        let mut small = Welford::new();
+        let mut large = Welford::new();
+        for i in 0..10 {
+            small.push((i % 2) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 2) as f64);
+        }
+        assert!(large.summary().ci95_half_width() < small.summary().ci95_half_width());
+    }
+
+    #[test]
+    fn time_weighted_basic() {
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::from_secs(0), 1.0);
+        tw.set(SimTime::from_secs(10), 3.0);
+        // 10 s at level 1, then 10 s at level 3 => mean 2.
+        assert!((tw.finish(SimTime::from_secs(20)) - 2.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 3.0);
+    }
+
+    #[test]
+    fn time_weighted_ignores_pre_start() {
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::from_secs(100), 4.0);
+        // Window is [100, 200]; constant level 4.
+        assert!((tw.finish(SimTime::from_secs(200)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_empty_and_degenerate() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.finish(SimTime::from_secs(5)), 0.0);
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::from_secs(5), 2.0);
+        assert_eq!(tw.finish(SimTime::from_secs(5)), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_repeated_same_instant_takes_last() {
+        let mut tw = TimeWeighted::new();
+        tw.set(SimTime::from_secs(0), 1.0);
+        tw.set(SimTime::from_secs(0), 5.0);
+        assert!((tw.finish(SimTime::from_secs(10)) - 5.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 5.0);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,372 @@
+//! Simulation time.
+//!
+//! The whole study runs on a single, totally ordered, integer time axis.
+//! [`SimTime`] is a newtype over *milliseconds* stored in a `u64`:
+//!
+//! * the paper's traces are recorded in whole seconds, so they embed exactly;
+//! * the geometric random-waypoint model produces fractional contact times
+//!   (range-crossing roots of a quadratic), which round to the nearest
+//!   millisecond without affecting any protocol decision (all protocol
+//!   timers are tens of seconds or longer);
+//! * integer times give a total order and bit-exact determinism across
+//!   platforms, unlike `f64` keys in an event queue.
+//!
+//! [`SimDuration`] is the corresponding length type. Arithmetic saturates at
+//! the representable extremes rather than wrapping: a saturated time is
+//! "beyond the end of every simulation" (the horizon is ~600 000 s, far from
+//! `u64::MAX` ms) so saturation is both safe and the intended semantics for
+//! "never expires" style timestamps.
+
+use core::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Milliseconds per second, the scaling factor between the public
+/// seconds-based constructors and the internal representation.
+const MILLIS_PER_SEC: u64 = 1_000;
+
+/// An absolute instant on the simulation clock (milliseconds since t = 0).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A non-negative span of simulation time (milliseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0);
+    /// A time later than every representable event; used as an "infinite"
+    /// horizon or a "never" timestamp.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs.saturating_mul(MILLIS_PER_SEC))
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// millisecond. Negative or non-finite inputs clamp to zero; values past
+    /// the representable range clamp to [`SimTime::MAX`].
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs.is_nan() || secs <= 0.0 {
+            return SimTime(0);
+        }
+        let ms = secs * MILLIS_PER_SEC as f64;
+        if ms >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(ms.round() as u64)
+        }
+    }
+
+    /// Whole seconds (truncating).
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0 / MILLIS_PER_SEC
+    }
+
+    /// Milliseconds since t = 0.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since t = 0.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_SEC as f64
+    }
+
+    /// The span from `earlier` to `self`, or zero if `earlier` is later
+    /// (saturating, mirroring `std::time::Instant::saturating_duration_since`).
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The span from `earlier` to `self` if `earlier <= self`.
+    #[inline]
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable span; used as "infinite" lifetime.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs.saturating_mul(MILLIS_PER_SEC))
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Construct from fractional seconds (clamped like
+    /// [`SimTime::from_secs_f64`]).
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(SimTime::from_secs_f64(secs).0)
+    }
+
+    /// Whole seconds (truncating).
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0 / MILLIS_PER_SEC
+    }
+
+    /// Milliseconds.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_SEC as f64
+    }
+
+    /// True when the span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scale by a non-negative float, rounding to the nearest millisecond
+    /// and saturating. Panics in debug builds if `factor` is negative or NaN.
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        debug_assert!(factor >= 0.0, "negative duration scale: {factor}");
+        let ms = self.0 as f64 * factor;
+        if !ms.is_finite() || ms >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else if ms <= 0.0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration(ms.round() as u64)
+        }
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// How many whole `unit` spans fit in `self` (integer division).
+    /// Returns `u64::MAX` when `unit` is zero, matching the "infinite
+    /// capacity" reading of a zero per-item cost.
+    #[inline]
+    pub fn div_whole(self, unit: SimDuration) -> u64 {
+        self.0.checked_div(unit.0).unwrap_or(u64::MAX)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Saturating: `a - b` is zero when `b > a`.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.saturating_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == SimTime::MAX {
+            write!(f, "t=∞")
+        } else if self.0 % MILLIS_PER_SEC == 0 {
+            write!(f, "t={}s", self.as_secs())
+        } else {
+            write!(f, "t={:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == SimDuration::MAX {
+            write!(f, "∞")
+        } else if self.0 % MILLIS_PER_SEC == 0 {
+            write!(f, "{}s", self.as_secs())
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_round_trip() {
+        let t = SimTime::from_secs(524_162);
+        assert_eq!(t.as_secs(), 524_162);
+        assert_eq!(t.as_millis(), 524_162_000);
+    }
+
+    #[test]
+    fn fractional_seconds_round_to_millis() {
+        let t = SimTime::from_secs_f64(1.2345);
+        assert_eq!(t.as_millis(), 1235);
+        assert!((t.as_secs_f64() - 1.235).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_garbage() {
+        assert_eq!(SimTime::from_secs_f64(-5.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::INFINITY), SimTime::MAX);
+    }
+
+    #[test]
+    fn time_subtraction_saturates() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(30);
+        assert_eq!(b - a, SimDuration::from_secs(20));
+        assert_eq!(a - b, SimDuration::ZERO);
+        assert_eq!(a.checked_since(b), None);
+        assert_eq!(b.checked_since(a), Some(SimDuration::from_secs(20)));
+    }
+
+    #[test]
+    fn add_saturates_at_max() {
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
+    }
+
+    #[test]
+    fn div_whole_matches_paper_example() {
+        // 314 s contact, 100 s per bundle -> 3 bundles (paper Section IV).
+        let contact = SimDuration::from_secs(314);
+        let tx = SimDuration::from_secs(100);
+        assert_eq!(contact.div_whole(tx), 3);
+    }
+
+    #[test]
+    fn div_whole_zero_unit_is_unbounded() {
+        assert_eq!(SimDuration::from_secs(5).div_whole(SimDuration::ZERO), u64::MAX);
+    }
+
+    #[test]
+    fn mul_f64_scales_and_clamps() {
+        let d = SimDuration::from_secs(400);
+        assert_eq!(d.mul_f64(2.0), SimDuration::from_secs(800));
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+        assert_eq!(d.mul_f64(f64::INFINITY), SimDuration::MAX);
+    }
+
+    #[test]
+    fn ordering_is_total_and_millisecond_granular() {
+        let a = SimTime::from_millis(999);
+        let b = SimTime::from_secs(1);
+        assert!(a < b);
+        assert_eq!(a.as_secs(), 0);
+        assert_eq!(b.as_secs(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(42).to_string(), "t=42s");
+        assert_eq!(SimDuration::from_millis(1500).to_string(), "1.500s");
+        assert_eq!(SimTime::MAX.to_string(), "t=∞");
+    }
+}

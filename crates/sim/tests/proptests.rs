@@ -1,0 +1,164 @@
+//! Property-based tests for the simulation substrate.
+
+use dtn_sim::{
+    events::EventQueue,
+    par_map_indexed,
+    stats::{mean, TimeWeighted, Welford},
+    SimDuration, SimRng, SimTime, Threads,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping the queue yields events in (time, insertion) order for any
+    /// schedule.
+    #[test]
+    fn event_queue_is_a_stable_total_order(times in prop::collection::vec(0u64..1_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    /// Welford matches the naive two-pass mean/variance.
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let m = mean(&xs);
+        prop_assert!((w.mean() - m).abs() < 1e-6 * (1.0 + m.abs()));
+        if xs.len() >= 2 {
+            let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+            prop_assert!((w.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+        }
+    }
+
+    /// Merging any split of the sample equals processing it whole.
+    #[test]
+    fn welford_merge_is_split_invariant(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+        split in 0usize..100,
+    ) {
+        let cut = split % xs.len();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..cut] {
+            left.push(x);
+        }
+        for &x in &xs[cut..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-8);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    /// The time-weighted mean equals a brute-force integral of the
+    /// piecewise-constant signal.
+    #[test]
+    fn time_weighted_matches_brute_force(
+        steps in prop::collection::vec((1u64..1_000, 0.0f64..100.0), 1..50),
+    ) {
+        let mut tw = TimeWeighted::new();
+        let mut t = 0u64;
+        let mut segments: Vec<(u64, u64, f64)> = Vec::new();
+        let mut prev_level = 0.0;
+        tw.set(SimTime::from_secs(0), 0.0);
+        for &(dt, level) in &steps {
+            let next = t + dt;
+            segments.push((t, next, prev_level));
+            tw.set(SimTime::from_secs(next), level);
+            prev_level = level;
+            t = next;
+        }
+        let end = t + 100;
+        segments.push((t, end, prev_level));
+        let total: f64 = segments.iter().map(|&(a, b, l)| (b - a) as f64 * l).sum();
+        let expected = total / end as f64;
+        let got = tw.finish(SimTime::from_secs(end));
+        prop_assert!((got - expected).abs() < 1e-9 * (1.0 + expected.abs()),
+            "got {got}, expected {expected}");
+    }
+
+    /// `below(n)` is always `< n`; `range_inclusive` respects both ends.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u64..1_000_000, lo in 0u64..1000, span in 0u64..1000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+            let v = rng.range_inclusive(lo, lo + span);
+            prop_assert!((lo..=lo + span).contains(&v));
+        }
+    }
+
+    /// Derived substreams are reproducible and differ from the parent.
+    #[test]
+    fn rng_derive_reproducible(seed in any::<u64>(), index in 0u64..1_000) {
+        let root = SimRng::new(seed);
+        let mut a = root.derive(index);
+        let mut b = root.derive(index);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Truncated Pareto samples stay in their configured support.
+    #[test]
+    fn pareto_truncated_support(seed in any::<u64>(), lo in 1.0f64..100.0, scale in 1.1f64..100.0, alpha in 0.1f64..3.0) {
+        let hi = lo * scale;
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            let x = rng.pareto_truncated(lo, hi, alpha);
+            prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9, "{x} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Parallel map is order-preserving and matches sequential execution
+    /// regardless of thread count.
+    #[test]
+    fn par_map_matches_sequential(n in 0usize..200, threads in 1usize..8) {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 7;
+        let seq = par_map_indexed(Threads::Sequential, n, f);
+        let par = par_map_indexed(
+            Threads::Fixed(std::num::NonZeroUsize::new(threads).unwrap()),
+            n,
+            f,
+        );
+        prop_assert_eq!(seq, par);
+    }
+
+    /// SimTime arithmetic is consistent: (t + d) - t == d away from
+    /// saturation.
+    #[test]
+    fn time_add_sub_roundtrip(t in 0u64..1_000_000_000, d in 0u64..1_000_000_000) {
+        let time = SimTime::from_millis(t);
+        let dur = SimDuration::from_millis(d);
+        prop_assert_eq!((time + dur) - time, dur);
+        prop_assert_eq!((time + dur).saturating_since(time).as_millis(), d);
+    }
+
+    /// Duration division counts whole units exactly.
+    #[test]
+    fn div_whole_is_integer_division(total in 0u64..1_000_000, unit in 1u64..10_000) {
+        let d = SimDuration::from_millis(total);
+        let u = SimDuration::from_millis(unit);
+        prop_assert_eq!(d.div_whole(u), total / unit);
+    }
+}

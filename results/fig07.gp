@@ -1,0 +1,13 @@
+# fig07 — Delay comparison of epidemic-based protocols (trace file)
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig07.png'
+set title "Delay comparison of epidemic-based protocols (trace file)"
+set xlabel "Load"
+set ylabel "Average delay (s)"
+set key below
+set grid
+plot \
+  'fig07.csv' using 1:2:3 with yerrorlines title "P-Q epidemic", \
+  'fig07.csv' using 1:4:5 with yerrorlines title "Epidemic with TTL", \
+  'fig07.csv' using 1:6:7 with yerrorlines title "Epidemic with EC"

@@ -1,0 +1,14 @@
+# fig08 — Delay comparison of epidemic-based protocols (RWP)
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig08.png'
+set title "Delay comparison of epidemic-based protocols (RWP)"
+set xlabel "Load"
+set ylabel "Average delay (s)"
+set key below
+set grid
+plot \
+  'fig08.csv' using 1:2:3 with yerrorlines title "P-Q epidemic", \
+  'fig08.csv' using 1:4:5 with yerrorlines title "Epidemic with TTL", \
+  'fig08.csv' using 1:6:7 with yerrorlines title "Epidemic with Immunity", \
+  'fig08.csv' using 1:8:9 with yerrorlines title "Epidemic with EC"

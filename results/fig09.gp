@@ -1,0 +1,14 @@
+# fig09 — Average bundle duplication rate of epidemic-based protocols (trace file)
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig09.png'
+set title "Average bundle duplication rate of epidemic-based protocols (trace file)"
+set xlabel "Load"
+set ylabel "Average bundle duplication rate"
+set key below
+set grid
+plot \
+  'fig09.csv' using 1:2:3 with yerrorlines title "P-Q epidemic", \
+  'fig09.csv' using 1:4:5 with yerrorlines title "Epidemic with TTL", \
+  'fig09.csv' using 1:6:7 with yerrorlines title "Epidemic with Immunity", \
+  'fig09.csv' using 1:8:9 with yerrorlines title "Epidemic with EC"

@@ -1,0 +1,14 @@
+# fig10 — Average bundle duplication rate of epidemic-based protocols (RWP)
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig10.png'
+set title "Average bundle duplication rate of epidemic-based protocols (RWP)"
+set xlabel "Load"
+set ylabel "Average bundle duplication rate"
+set key below
+set grid
+plot \
+  'fig10.csv' using 1:2:3 with yerrorlines title "P-Q epidemic", \
+  'fig10.csv' using 1:4:5 with yerrorlines title "Epidemic with TTL", \
+  'fig10.csv' using 1:6:7 with yerrorlines title "Epidemic with Immunity", \
+  'fig10.csv' using 1:8:9 with yerrorlines title "Epidemic with EC"

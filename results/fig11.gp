@@ -1,0 +1,14 @@
+# fig11 — Buffer occupancy level of epidemic-based protocols (trace file)
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig11.png'
+set title "Buffer occupancy level of epidemic-based protocols (trace file)"
+set xlabel "Load"
+set ylabel "Average buffer occupancy level"
+set key below
+set grid
+plot \
+  'fig11.csv' using 1:2:3 with yerrorlines title "P-Q epidemic", \
+  'fig11.csv' using 1:4:5 with yerrorlines title "Epidemic with TTL", \
+  'fig11.csv' using 1:6:7 with yerrorlines title "Epidemic with Immunity", \
+  'fig11.csv' using 1:8:9 with yerrorlines title "Epidemic with EC"

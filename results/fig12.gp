@@ -1,0 +1,14 @@
+# fig12 — Average buffer occupancy level of epidemic-based protocols (RWP)
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig12.png'
+set title "Average buffer occupancy level of epidemic-based protocols (RWP)"
+set xlabel "Load"
+set ylabel "Average buffer occupancy level"
+set key below
+set grid
+plot \
+  'fig12.csv' using 1:2:3 with yerrorlines title "P-Q epidemic", \
+  'fig12.csv' using 1:4:5 with yerrorlines title "Epidemic with TTL", \
+  'fig12.csv' using 1:6:7 with yerrorlines title "Epidemic with Immunity", \
+  'fig12.csv' using 1:8:9 with yerrorlines title "Epidemic with EC"

@@ -1,0 +1,12 @@
+# fig13 — Delivery ratio comparison of epidemic with TTL and EC (trace file)
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig13.png'
+set title "Delivery ratio comparison of epidemic with TTL and EC (trace file)"
+set xlabel "Load"
+set ylabel "Average delivery ratio"
+set key below
+set grid
+plot \
+  'fig13.csv' using 1:2:3 with yerrorlines title "Epidemic with EC", \
+  'fig13.csv' using 1:4:5 with yerrorlines title "Epidemic with TTL"

@@ -1,0 +1,12 @@
+# fig14 — Delivery ratio of epidemic with TTL=300 under two interval times
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig14.png'
+set title "Delivery ratio of epidemic with TTL=300 under two interval times"
+set xlabel "Load"
+set ylabel "Average delivery ratio"
+set key below
+set grid
+plot \
+  'fig14.csv' using 1:2:3 with yerrorlines title "Interval time = 400", \
+  'fig14.csv' using 1:4:5 with yerrorlines title "Interval time = 2000"

@@ -1,0 +1,16 @@
+# fig18 — Buffer occupancy level of modified and un-modified protocols (trace file)
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig18.png'
+set title "Buffer occupancy level of modified and un-modified protocols (trace file)"
+set xlabel "Load"
+set ylabel "Average buffer occupancy level"
+set key below
+set grid
+plot \
+  'fig18.csv' using 1:2:3 with yerrorlines title "Epidemic with dynamic TTL", \
+  'fig18.csv' using 1:4:5 with yerrorlines title "Epidemic with TTL=300", \
+  'fig18.csv' using 1:6:7 with yerrorlines title "Epidemic with EC", \
+  'fig18.csv' using 1:8:9 with yerrorlines title "Epidemic with EC+TTL", \
+  'fig18.csv' using 1:10:11 with yerrorlines title "Epidemic with Immunity", \
+  'fig18.csv' using 1:12:13 with yerrorlines title "Epidemic with Cumulative Immunity"

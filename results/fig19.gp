@@ -1,0 +1,18 @@
+# fig19 — Bundle duplication rate of modified and un-modified protocols (RWP)
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output 'fig19.png'
+set title "Bundle duplication rate of modified and un-modified protocols (RWP)"
+set xlabel "Load"
+set ylabel "Average bundle duplication rate"
+set key below
+set grid
+plot \
+  'fig19.csv' using 1:2:3 with yerrorlines title "Dynamic TTL (interval 2000)", \
+  'fig19.csv' using 1:4:5 with yerrorlines title "Dynamic TTL (interval 400)", \
+  'fig19.csv' using 1:6:7 with yerrorlines title "TTL=300 (interval 2000)", \
+  'fig19.csv' using 1:8:9 with yerrorlines title "TTL=300 (interval 400)", \
+  'fig19.csv' using 1:10:11 with yerrorlines title "Epidemic with EC", \
+  'fig19.csv' using 1:12:13 with yerrorlines title "Epidemic with EC+TTL", \
+  'fig19.csv' using 1:14:15 with yerrorlines title "Epidemic with Immunity", \
+  'fig19.csv' using 1:16:17 with yerrorlines title "Epidemic with Cumulative Immunity"

@@ -1,0 +1,159 @@
+//! End-to-end integration: every protocol on every mobility source.
+//!
+//! These tests cross all crate boundaries — mobility generation →
+//! workload → protocol simulation → metrics — and assert the properties
+//! that must hold regardless of calibration: metric definitions,
+//! determinism (including thread-count invariance of the parallel
+//! runner), and basic protocol semantics.
+
+use dtn_epidemic::{protocols, simulate, AckScheme, SimConfig, Workload};
+use dtn_experiments::{run_sweep, Mobility, SweepConfig};
+use dtn_sim::{SimRng, Threads};
+
+fn all_mobilities() -> Vec<Mobility> {
+    vec![
+        Mobility::Trace,
+        Mobility::Rwp,
+        Mobility::Interval(400),
+        Mobility::Interval(2000),
+    ]
+}
+
+#[test]
+fn every_protocol_runs_on_every_mobility_source() {
+    for mobility in all_mobilities() {
+        let trace = mobility.build(1, 0);
+        for protocol in protocols::all_protocols() {
+            let name = protocol.name;
+            let mut rng = SimRng::new(7);
+            let workload = Workload::single_random_flow(10, trace.node_count(), &mut rng);
+            let mut config = SimConfig::paper_defaults(protocol);
+            config.tx_time = dtn_sim::SimDuration::from_secs(mobility.tx_time_secs());
+            let m = simulate(&trace, &workload, &config, SimRng::new(3));
+
+            assert!(m.delivered <= m.total_bundles, "{name} on {mobility:?}");
+            assert!(
+                (0.0..=1.0).contains(&m.delivery_ratio),
+                "{name} on {mobility:?}: ratio {}",
+                m.delivery_ratio
+            );
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&m.avg_duplication_rate),
+                "{name} on {mobility:?}: dup {}",
+                m.avg_duplication_rate
+            );
+            assert!(m.avg_buffer_occupancy >= 0.0);
+            if m.completion_time.is_some() {
+                assert_eq!(m.delivered, m.total_bundles, "{name}: completed but not all delivered");
+            }
+            if config.protocol.ack == AckScheme::None {
+                assert_eq!(m.ack_records_sent, 0, "{name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_per_seed_everywhere() {
+    for mobility in all_mobilities() {
+        let trace = mobility.build(2, 1);
+        let workload = Workload::single_random_flow(15, trace.node_count(), &mut SimRng::new(9));
+        for protocol in protocols::all_protocols() {
+            let config = SimConfig::paper_defaults(protocol);
+            let a = simulate(&trace, &workload, &config, SimRng::new(11));
+            let b = simulate(&trace, &workload, &config, SimRng::new(11));
+            assert_eq!(a, b, "{} on {mobility:?}", config.protocol.name);
+        }
+    }
+}
+
+#[test]
+fn sweeps_are_thread_count_invariant() {
+    // The figure data must not depend on how many workers ran the sweep.
+    let base = SweepConfig {
+        loads: vec![10, 30],
+        replications: 4,
+        threads: Threads::Sequential,
+        ..SweepConfig::default()
+    };
+    let mut par = base.clone();
+    par.threads = Threads::Fixed(std::num::NonZeroUsize::new(7).unwrap());
+
+    for protocol in [protocols::pq_epidemic(1.0, 1.0), protocols::ec_ttl_epidemic()] {
+        let seq_result = run_sweep(&protocol, Mobility::Rwp, &base);
+        let par_result = run_sweep(&protocol, Mobility::Rwp, &par);
+        for (s, p) in seq_result.points.iter().zip(&par_result.points) {
+            assert_eq!(s.delivery_ratio.mean, p.delivery_ratio.mean);
+            assert_eq!(s.buffer_occupancy.mean, p.buffer_occupancy.mean);
+            assert_eq!(s.duplication_rate.mean, p.duplication_rate.mean);
+            assert_eq!(s.failures, p.failures);
+        }
+    }
+}
+
+#[test]
+fn one_to_all_dissemination_reaches_many_destinations() {
+    // The paper motivates epidemic routing with one-to-all dissemination
+    // (advertisements, events). Flood from node 0 to everyone on the
+    // trace and require broad coverage.
+    let trace = Mobility::Trace.build(5, 0);
+    let workload = Workload::one_to_all(dtn_mobility::NodeId(0), 3, trace.node_count());
+    let config = SimConfig::paper_defaults(protocols::pure_epidemic());
+    let m = simulate(&trace, &workload, &config, SimRng::new(5));
+    assert_eq!(workload.flows().len(), 11);
+    assert!(
+        m.delivery_ratio > 0.6,
+        "one-to-all coverage too low: {}",
+        m.delivery_ratio
+    );
+}
+
+#[test]
+fn higher_load_never_increases_absolute_deliveries_capacity() {
+    // Sanity on the load axis: delivered *count* is non-decreasing in k
+    // for a flooding protocol (more bundles in flight can only add
+    // deliveries), while the *ratio* typically falls.
+    let trace = Mobility::Trace.build(3, 0);
+    let config = SimConfig::paper_defaults(protocols::pq_epidemic(1.0, 1.0));
+    let mut last_count = 0;
+    for k in [5u32, 25, 50] {
+        let workload = Workload::single_flow(
+            dtn_mobility::NodeId(2),
+            dtn_mobility::NodeId(9),
+            k,
+            trace.node_count(),
+        );
+        let m = simulate(&trace, &workload, &config, SimRng::new(1));
+        assert!(
+            m.delivered >= last_count,
+            "delivered count dropped from {last_count} to {} at k={k}",
+            m.delivered
+        );
+        last_count = m.delivered;
+    }
+}
+
+#[test]
+fn pq_probability_monotonicity() {
+    // Lower transmission probabilities can only slow delivery down:
+    // P=Q=1 must deliver at least as much as P=Q=0.1 at the same seed.
+    let trace = Mobility::Trace.build(8, 0);
+    let workload = Workload::single_random_flow(20, trace.node_count(), &mut SimRng::new(2));
+    let run = |p: f64| {
+        simulate(
+            &trace,
+            &workload,
+            &SimConfig::paper_defaults(protocols::pq_epidemic(p, p)),
+            SimRng::new(4),
+        )
+    };
+    let full = run(1.0);
+    let sparse = run(0.1);
+    assert!(
+        full.delivered >= sparse.delivered,
+        "P=Q=1 delivered {} < P=Q=0.1 delivered {}",
+        full.delivered,
+        sparse.delivered
+    );
+    assert!(full.bundle_transmissions >= sparse.bundle_transmissions);
+}
