@@ -12,7 +12,10 @@ fn benches(c: &mut Criterion) {
         ("reject_new", EvictionPolicy::RejectNew),
         ("drop_oldest", EvictionPolicy::DropOldest),
         ("highest_ec", EvictionPolicy::HighestEc),
-        ("highest_ec_min8", EvictionPolicy::HighestEcMin { min_ec: 8 }),
+        (
+            "highest_ec_min8",
+            EvictionPolicy::HighestEcMin { min_ec: 8 },
+        ),
     ]
     .into_iter()
     .map(|(label, eviction)| {

@@ -20,7 +20,10 @@ fn benches(c: &mut Criterion) {
         Mobility::Trace,
         vec![
             ("per_bundle".into(), protocols::immunity_epidemic()),
-            ("cumulative".into(), protocols::cumulative_immunity_epidemic()),
+            (
+                "cumulative".into(),
+                protocols::cumulative_immunity_epidemic(),
+            ),
             ("no_acks".into(), protocols::pure_epidemic()),
         ],
     );

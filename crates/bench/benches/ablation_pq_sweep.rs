@@ -10,9 +10,9 @@ fn benches(c: &mut Criterion) {
     let variants = [0.1, 0.5, 1.0]
         .into_iter()
         .flat_map(|p| {
-            [0.1, 0.5, 1.0].into_iter().map(move |q| {
-                (format!("p{p}_q{q}"), protocols::pq_epidemic(p, q))
-            })
+            [0.1, 0.5, 1.0]
+                .into_iter()
+                .map(move |q| (format!("p{p}_q{q}"), protocols::pq_epidemic(p, q)))
         })
         .collect();
     bench_variants(c, "ablation_pq_sweep", Mobility::Trace, variants);

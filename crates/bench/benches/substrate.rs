@@ -53,14 +53,10 @@ fn bench_rng(c: &mut Criterion) {
 
 fn bench_generators(c: &mut Criterion) {
     c.bench_function("substrate/gen_haggle_trace", |b| {
-        b.iter(|| {
-            std::hint::black_box(HaggleParams::default().generate(&mut SimRng::new(1)))
-        });
+        b.iter(|| std::hint::black_box(HaggleParams::default().generate(&mut SimRng::new(1))));
     });
     c.bench_function("substrate/gen_subscriber_rwp", |b| {
-        b.iter(|| {
-            std::hint::black_box(SubscriberParams::default().generate(&mut SimRng::new(1)))
-        });
+        b.iter(|| std::hint::black_box(SubscriberParams::default().generate(&mut SimRng::new(1))));
     });
     c.bench_function("substrate/gen_geometric_rwp", |b| {
         let params = RwpParams {

@@ -184,6 +184,13 @@ impl Buffer {
     /// removed ids in insertion order.
     pub fn purge_expired(&mut self, now: SimTime) -> Vec<BundleId> {
         let mut removed = Vec::new();
+        self.purge_expired_into(now, &mut removed);
+        removed
+    }
+
+    /// [`Buffer::purge_expired`] appending into a caller-supplied scratch
+    /// vector — the allocation-free form the session hot path uses.
+    pub fn purge_expired_into(&mut self, now: SimTime, removed: &mut Vec<BundleId>) {
         self.entries.retain(|e| {
             if e.expires_at <= now {
                 removed.push(e.id);
@@ -192,13 +199,23 @@ impl Buffer {
                 true
             }
         });
-        removed
     }
 
     /// Remove every copy covered by `predicate` (immunity purge); returns
     /// removed ids.
-    pub fn purge_if<F: FnMut(BundleId) -> bool>(&mut self, mut predicate: F) -> Vec<BundleId> {
+    pub fn purge_if<F: FnMut(BundleId) -> bool>(&mut self, predicate: F) -> Vec<BundleId> {
         let mut removed = Vec::new();
+        self.purge_if_into(predicate, &mut removed);
+        removed
+    }
+
+    /// [`Buffer::purge_if`] appending into a caller-supplied scratch
+    /// vector.
+    pub fn purge_if_into<F: FnMut(BundleId) -> bool>(
+        &mut self,
+        mut predicate: F,
+        removed: &mut Vec<BundleId>,
+    ) {
         self.entries.retain(|e| {
             if predicate(e.id) {
                 removed.push(e.id);
@@ -207,7 +224,6 @@ impl Buffer {
                 true
             }
         });
-        removed
     }
 
     /// The earliest finite expiry among stored copies.
@@ -245,7 +261,10 @@ mod tests {
     fn stores_until_capacity() {
         let mut buf = Buffer::new(3);
         for i in 0..3 {
-            assert_eq!(buf.insert(stored(i, 0, 0), EvictionPolicy::RejectNew), InsertOutcome::Stored);
+            assert_eq!(
+                buf.insert(stored(i, 0, 0), EvictionPolicy::RejectNew),
+                InsertOutcome::Stored
+            );
         }
         assert!(buf.is_full());
         assert_eq!(

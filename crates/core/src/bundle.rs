@@ -259,12 +259,9 @@ impl Workload {
 
     /// Iterate over every bundle id in dense-index order.
     pub fn bundle_ids(&self) -> impl Iterator<Item = BundleId> + '_ {
-        self.flows.iter().flat_map(|f| {
-            (0..f.count).map(move |seq| BundleId {
-                flow: f.id,
-                seq,
-            })
-        })
+        self.flows
+            .iter()
+            .flat_map(|f| (0..f.count).map(move |seq| BundleId { flow: f.id, seq }))
     }
 }
 
@@ -401,7 +398,10 @@ mod tests {
             }],
             4,
         );
-        assert!(matches!(oob.unwrap_err(), WorkloadError::NodeOutOfRange(..)));
+        assert!(matches!(
+            oob.unwrap_err(),
+            WorkloadError::NodeOutOfRange(..)
+        ));
     }
 
     #[test]

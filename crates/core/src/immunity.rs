@@ -18,15 +18,129 @@
 //! layer is encoding-agnostic; [`DeliveryTracker`] is the destination-side
 //! bookkeeping that turns out-of-order deliveries into a contiguous ack
 //! frontier.
+//!
+//! The per-bundle encoding stores one dense sequence bitset per flow
+//! ([`SeqBits`]) with the total record count cached, so the session hot
+//! path's `covers` lookups and `record_count` meter reads are O(1) instead
+//! of tree walks.
 
 use crate::bundle::{BundleId, FlowId};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// A dense, growable bitset over one flow's sequence numbers.
+#[derive(Clone, Debug, Default)]
+pub struct SeqBits {
+    words: Vec<u64>,
+}
+
+impl SeqBits {
+    /// Is `seq` set?
+    #[inline]
+    pub fn contains(&self, seq: u32) -> bool {
+        let wi = (seq / 64) as usize;
+        self.words
+            .get(wi)
+            .is_some_and(|w| w & (1 << (seq % 64)) != 0)
+    }
+
+    /// Set `seq`; returns `true` if it was newly set.
+    pub fn insert(&mut self, seq: u32) -> bool {
+        let wi = (seq / 64) as usize;
+        if wi >= self.words.len() {
+            self.words.resize(wi + 1, 0);
+        }
+        let mask = 1 << (seq % 64);
+        let fresh = self.words[wi] & mask == 0;
+        self.words[wi] |= mask;
+        fresh
+    }
+
+    /// Union `other` into `self`; returns how many bits were newly set.
+    pub fn union_from(&mut self, other: &SeqBits) -> u64 {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut added = 0u64;
+        for (mine, &theirs) in self.words.iter_mut().zip(&other.words) {
+            added += (theirs & !*mine).count_ones() as u64;
+            *mine |= theirs;
+        }
+        added
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+}
+
+impl PartialEq for SeqBits {
+    /// Logical equality: trailing zero words are irrelevant (two sets with
+    /// the same members compare equal regardless of growth history).
+    fn eq(&self, other: &Self) -> bool {
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        short.iter().zip(long.iter()).all(|(a, b)| a == b)
+            && long[short.len()..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for SeqBits {}
+
+/// The per-bundle encoding's storage: one sequence bitset per flow, with
+/// the total delivered-bundle count cached (it is read on every immunity
+/// exchange as the signaling meter).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PerBundleSet {
+    flows: BTreeMap<FlowId, SeqBits>,
+    records: u64,
+}
+
+impl PerBundleSet {
+    /// Is `id` recorded as delivered?
+    #[inline]
+    pub fn contains(&self, id: BundleId) -> bool {
+        self.flows
+            .get(&id.flow)
+            .is_some_and(|bits| bits.contains(id.seq))
+    }
+
+    /// Record `id`; returns `true` if it was new.
+    pub fn insert(&mut self, id: BundleId) -> bool {
+        let fresh = self.flows.entry(id.flow).or_default().insert(id.seq);
+        self.records += fresh as u64;
+        fresh
+    }
+
+    /// Total records (delivered bundles) — O(1), cached.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// True when no delivery has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Union `other` into `self`; returns `true` if anything was added.
+    pub fn merge_from(&mut self, other: &PerBundleSet) -> bool {
+        let mut added = 0u64;
+        for (&flow, theirs) in &other.flows {
+            added += self.flows.entry(flow).or_default().union_from(theirs);
+        }
+        self.records += added;
+        added > 0
+    }
+}
 
 /// A node's immunity knowledge, in one of the two encodings.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ImmunityStore {
     /// One record per delivered bundle.
-    PerBundle(BTreeSet<BundleId>),
+    PerBundle(PerBundleSet),
     /// Per flow, the count `n` of contiguously delivered bundles
     /// (sequences `0..n` are covered).
     Cumulative(BTreeMap<FlowId, u32>),
@@ -35,7 +149,7 @@ pub enum ImmunityStore {
 impl ImmunityStore {
     /// An empty per-bundle store.
     pub fn per_bundle() -> ImmunityStore {
-        ImmunityStore::PerBundle(BTreeSet::new())
+        ImmunityStore::PerBundle(PerBundleSet::default())
     }
 
     /// An empty cumulative store.
@@ -46,10 +160,8 @@ impl ImmunityStore {
     /// Does the store certify that `id` has been delivered?
     pub fn covers(&self, id: BundleId) -> bool {
         match self {
-            ImmunityStore::PerBundle(set) => set.contains(&id),
-            ImmunityStore::Cumulative(map) => {
-                map.get(&id.flow).is_some_and(|&n| id.seq < n)
-            }
+            ImmunityStore::PerBundle(set) => set.contains(id),
+            ImmunityStore::Cumulative(map) => map.get(&id.flow).is_some_and(|&n| id.seq < n),
         }
     }
 
@@ -58,23 +170,24 @@ impl ImmunityStore {
     /// per delivered bundle. Cumulative: one record per flow.
     pub fn record_count(&self) -> u64 {
         match self {
-            ImmunityStore::PerBundle(set) => set.len() as u64,
+            ImmunityStore::PerBundle(set) => set.len(),
             ImmunityStore::Cumulative(map) => map.len() as u64,
         }
     }
 
     /// Merge a peer's store into this one; returns `true` if anything
     /// changed. Merging a cumulative store takes the per-flow maximum —
-    /// the "delete the table that covers fewer bundles" rule.
+    /// the "delete the table that covers fewer bundles" rule. Both
+    /// encodings' merges are idempotent and monotone (set union / per-flow
+    /// max), which is what lets the session layer merge the two directions
+    /// sequentially in place instead of snapshotting.
     ///
     /// Panics if the two stores use different encodings: a deployment runs
     /// one protocol, so mixed encodings are a configuration bug.
     pub fn merge_from(&mut self, other: &ImmunityStore) -> bool {
         match (self, other) {
             (ImmunityStore::PerBundle(mine), ImmunityStore::PerBundle(theirs)) => {
-                let before = mine.len();
-                mine.extend(theirs.iter().copied());
-                mine.len() != before
+                mine.merge_from(theirs)
             }
             (ImmunityStore::Cumulative(mine), ImmunityStore::Cumulative(theirs)) => {
                 let mut changed = false;
@@ -140,6 +253,13 @@ impl DeliveryTracker {
         self.frontier
     }
 
+    /// Every delivered sequence number: the contiguous prefix, then the
+    /// out-of-order pending set. Lets the summary-vector refill walk the
+    /// delivered set directly instead of probing every sequence.
+    pub fn delivered_seqs(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.frontier).chain(self.pending.iter().copied())
+    }
+
     /// Record a delivery; returns `true` if `seq` was new.
     pub fn record(&mut self, seq: u32) -> bool {
         if self.contains(seq) {
@@ -197,6 +317,15 @@ mod tests {
     }
 
     #[test]
+    fn per_bundle_count_ignores_duplicates() {
+        let mut store = ImmunityStore::per_bundle();
+        store.record_delivery(bid(0, 7), 0);
+        store.record_delivery(bid(0, 7), 0);
+        store.record_delivery(bid(1, 7), 0);
+        assert_eq!(store.record_count(), 2, "cached count stays exact");
+    }
+
+    #[test]
     fn merge_per_bundle_is_union() {
         let mut a = ImmunityStore::per_bundle();
         a.record_delivery(bid(0, 1), 0);
@@ -204,7 +333,22 @@ mod tests {
         b.record_delivery(bid(0, 2), 0);
         assert!(a.merge_from(&b));
         assert!(a.covers(bid(0, 1)) && a.covers(bid(0, 2)));
+        assert_eq!(a.record_count(), 2);
         assert!(!a.merge_from(&b), "re-merge changes nothing");
+        assert_eq!(a.record_count(), 2);
+    }
+
+    #[test]
+    fn merge_per_bundle_counts_overlap_once() {
+        let mut a = ImmunityStore::per_bundle();
+        a.record_delivery(bid(0, 1), 0);
+        a.record_delivery(bid(0, 2), 0);
+        let mut b = ImmunityStore::per_bundle();
+        b.record_delivery(bid(0, 2), 0);
+        b.record_delivery(bid(0, 3), 0);
+        b.record_delivery(bid(2, 0), 0);
+        assert!(a.merge_from(&b));
+        assert_eq!(a.record_count(), 4, "overlap {{0,2}} counted once");
     }
 
     #[test]
@@ -234,6 +378,28 @@ mod tests {
         let mut b = snapshot.clone();
         assert!(!b.merge_from(&snapshot));
         assert_eq!(b, snapshot);
+    }
+
+    #[test]
+    fn seq_bits_equality_is_logical() {
+        let mut grown = SeqBits::default();
+        grown.insert(200);
+        let mut small = SeqBits::default();
+        small.insert(3);
+        // `grown` has 4 words; force the same logical contents.
+        let mut grown2 = SeqBits::default();
+        grown2.insert(200);
+        grown2.insert(3);
+        assert_ne!(grown, small);
+        let mut small2 = SeqBits::default();
+        small2.insert(3);
+        assert_eq!(small, small2);
+        // Same members, different word-vector lengths.
+        let mut padded = SeqBits::default();
+        padded.insert(200);
+        padded.insert(3);
+        assert_eq!(grown2, padded);
+        assert_eq!(grown2.count(), 2);
     }
 
     #[test]
@@ -283,5 +449,20 @@ mod tests {
         assert!(t.contains(0));
         assert!(t.contains(3));
         assert!(!t.contains(1));
+    }
+
+    #[test]
+    fn delivered_seqs_walks_prefix_and_pending() {
+        let mut t = DeliveryTracker::new();
+        t.record(0);
+        t.record(1);
+        t.record(5);
+        t.record(3);
+        let seqs: Vec<u32> = t.delivered_seqs().collect();
+        assert_eq!(seqs, vec![0, 1, 3, 5]);
+        // Exactly the set `contains` reports.
+        for seq in 0..8 {
+            assert_eq!(t.contains(seq), seqs.contains(&seq));
+        }
     }
 }

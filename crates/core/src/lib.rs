@@ -59,7 +59,9 @@ pub use bundle::{BundleId, Flow, FlowId, Workload, WorkloadError};
 pub use immunity::{DeliveryTracker, ImmunityStore};
 pub use metrics::{DropReason, MetricsCollector, RunMetrics};
 pub use node::Node;
-pub use policy::{AckPropagation, AckScheme, EvictionPolicy, LifetimePolicy, ProtocolConfig, TransmitPolicy};
-pub use session::SimConfig;
+pub use policy::{
+    AckPropagation, AckScheme, EvictionPolicy, LifetimePolicy, ProtocolConfig, TransmitPolicy,
+};
+pub use session::{SessionScratch, SimConfig};
 pub use simulation::simulate;
 pub use summary::SummaryVector;

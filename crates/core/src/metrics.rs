@@ -63,6 +63,9 @@ pub struct MetricsCollector {
     delivery_times: Vec<Option<SimTime>>,
     delivered: u32,
 
+    /// Contact sessions processed (the hot-path unit; throughput is
+    /// reported as contacts/sec by the bench harness).
+    pub contacts_processed: u64,
     /// Bundle payload transmissions (every copy handed across a contact).
     pub bundle_transmissions: u64,
     /// Immunity records transmitted (the signaling-overhead unit).
@@ -108,6 +111,7 @@ impl MetricsCollector {
             live_bundle_count: 0,
             delivery_times: vec![None; total_bundles as usize],
             delivered: 0,
+            contacts_processed: 0,
             bundle_transmissions: 0,
             ack_records_sent: 0,
             evictions: 0,
@@ -222,8 +226,7 @@ impl MetricsCollector {
         let level = if self.live_bundle_count == 0 {
             0.0
         } else {
-            self.live_copy_sum as f64
-                / (self.node_count as f64 * self.live_bundle_count as f64)
+            self.live_copy_sum as f64 / (self.node_count as f64 * self.live_bundle_count as f64)
         };
         self.duplication.set(now, level);
     }
@@ -261,6 +264,7 @@ impl MetricsCollector {
             avg_buffer_occupancy,
             peak_buffer_occupancy,
             avg_duplication_rate: self.duplication.finish(end),
+            contacts_processed: self.contacts_processed,
             bundle_transmissions: self.bundle_transmissions,
             ack_records_sent: self.ack_records_sent,
             evictions: self.evictions,
@@ -295,6 +299,9 @@ pub struct RunMetrics {
     pub peak_buffer_occupancy: f64,
     /// Time-weighted mean duplication over undelivered, extant bundles.
     pub avg_duplication_rate: f64,
+    /// Contact sessions processed during the run (the hot-path unit the
+    /// bench harness reports throughput in).
+    pub contacts_processed: u64,
     /// Bundle payload transmissions.
     pub bundle_transmissions: u64,
     /// Immunity records transmitted (signaling overhead).
@@ -428,7 +435,10 @@ mod tests {
         // 4 records at 0.5 slots each = 2 slots = 0.2 occupancy on node 0.
         m.set_ack_records(0, 4, t(0));
         let run = m.finish(t(100));
-        assert!((run.avg_buffer_occupancy - 0.1).abs() < 1e-12, "mean over 2 nodes");
+        assert!(
+            (run.avg_buffer_occupancy - 0.1).abs() < 1e-12,
+            "mean over 2 nodes"
+        );
         assert!((run.peak_buffer_occupancy - 0.2).abs() < 1e-12);
     }
 

@@ -136,41 +136,43 @@ impl Node {
 
     /// Remove all expired copies at `now`; returns their ids.
     pub fn purge_expired(&mut self, now: SimTime) -> Vec<BundleId> {
-        let mut removed = self.buffer.purge_expired(now);
-        removed.extend(self.origin.purge_expired(now));
+        let mut removed = Vec::new();
+        self.purge_expired_into(now, &mut removed);
         removed
+    }
+
+    /// [`Node::purge_expired`] appending into a caller-supplied scratch
+    /// vector (relay copies first, then origin copies) — the
+    /// allocation-free form the session hot path uses.
+    pub fn purge_expired_into(&mut self, now: SimTime, removed: &mut Vec<BundleId>) {
+        self.buffer.purge_expired_into(now, removed);
+        self.origin.purge_expired_into(now, removed);
     }
 
     /// Remove all copies covered by this node's immunity store; returns
     /// their ids. No-op for ack-less protocols.
     pub fn purge_immunized(&mut self) -> Vec<BundleId> {
-        let Some(store) = &self.immunity else {
-            return Vec::new();
-        };
-        // Collect coverage first (cannot borrow `store` inside the
-        // `purge_if` closures while mutating the buffers).
-        let covered_relay: Vec<BundleId> = self
-            .buffer
-            .iter()
-            .map(|c| c.id)
-            .filter(|&id| store.covers(id))
-            .collect();
-        let covered_origin: Vec<BundleId> = self
-            .origin
-            .iter()
-            .map(|c| c.id)
-            .filter(|&id| store.covers(id))
-            .collect();
-        let mut removed = Vec::with_capacity(covered_relay.len() + covered_origin.len());
-        for id in covered_relay {
-            self.buffer.remove(id);
-            removed.push(id);
-        }
-        for id in covered_origin {
-            self.origin.remove(id);
-            removed.push(id);
-        }
+        let mut removed = Vec::new();
+        self.purge_immunized_into(&mut removed);
         removed
+    }
+
+    /// [`Node::purge_immunized`] appending into a caller-supplied scratch
+    /// vector (relay copies first, then origin copies).
+    pub fn purge_immunized_into(&mut self, removed: &mut Vec<BundleId>) {
+        // Destructure so the closures can borrow the store while the
+        // buffers are mutated.
+        let Node {
+            buffer,
+            origin,
+            immunity,
+            ..
+        } = self;
+        let Some(store) = immunity else {
+            return;
+        };
+        buffer.purge_if_into(|id| store.covers(id), removed);
+        origin.purge_if_into(|id| store.covers(id), removed);
     }
 }
 

@@ -6,7 +6,9 @@
 //! parameters as defaults while leaving every knob overridable (the
 //! ablation benches exploit that).
 
-use crate::policy::{AckPropagation, AckScheme, EvictionPolicy, LifetimePolicy, ProtocolConfig, TransmitPolicy};
+use crate::policy::{
+    AckPropagation, AckScheme, EvictionPolicy, LifetimePolicy, ProtocolConfig, TransmitPolicy,
+};
 use dtn_sim::SimDuration;
 
 /// Pure epidemic (Vahdat & Becker): summary-vector anti-entropy, transmit

@@ -77,6 +77,26 @@ impl SimConfig {
     }
 }
 
+/// Reusable scratch space for the session hot path.
+///
+/// One instance lives in the simulation engine and is threaded through
+/// every contact, so the per-contact summary vector and candidate/purge
+/// lists reuse the same allocations for the whole run instead of being
+/// rebuilt thousands of times. All fields are implementation detail: a
+/// session treats them as uninitialized on entry and leaves them in an
+/// unspecified state.
+#[derive(Debug, Default)]
+pub struct SessionScratch {
+    /// The receiver's advertised summary vector for one transfer phase.
+    rx_summary: SummaryVector,
+    /// Transfer candidates destined to the receiver.
+    dest: Vec<BundleId>,
+    /// Transfer candidates bound for another relay hop.
+    relay: Vec<BundleId>,
+    /// Ids collected by the expiry/immunity purges.
+    purged: Vec<BundleId>,
+}
+
 /// Mutable context threaded through a session.
 pub struct SessionCtx<'a> {
     /// Global configuration.
@@ -88,22 +108,31 @@ pub struct SessionCtx<'a> {
     pub metrics: &'a mut MetricsCollector,
     /// Randomness (P–Q coin flips).
     pub rng: &'a mut SimRng,
+    /// Run-lived scratch allocations.
+    pub scratch: &'a mut SessionScratch,
 }
 
 /// Run the full exchange for one contact. `a` and `b` must be the contact's
 /// endpoints.
 pub fn run_contact(a: &mut Node, b: &mut Node, contact: &Contact, ctx: &mut SessionCtx<'_>) {
     debug_assert_eq!((a.id, b.id), (contact.a, contact.b));
+    ctx.metrics.contacts_processed += 1;
     let now = contact.start;
 
     // 1. Defensive expiry purge (engine expiry events normally precede us).
+    // The purge list is scratch taken out of the context so the metrics
+    // sink stays borrowable inside the loop.
+    let mut purged = std::mem::take(&mut ctx.scratch.purged);
     for node in [&mut *a, &mut *b] {
-        for id in node.purge_expired(now) {
+        purged.clear();
+        node.purge_expired_into(now, &mut purged);
+        for &id in &purged {
             let idx = ctx.workload.bundle_index(id);
             ctx.metrics
                 .on_drop(idx, node.id.index(), now, DropReason::Expired);
         }
     }
+    ctx.scratch.purged = purged;
 
     // 2. Encounter bookkeeping (before any TTL assignment, so a bundle
     // received in this contact uses the interval *ending* at this contact,
@@ -159,34 +188,42 @@ fn exchange_immunity(a: &mut Node, b: &mut Node, now: SimTime, ctx: &mut Session
     let a_shares = shares(a);
     let b_shares = shares(b);
 
+    // Meter before merging: each side transmits its *pre-exchange* table.
+    let count_a = store_a.record_count();
+    let count_b = store_b.record_count();
     if a_shares {
-        ctx.metrics.ack_records_sent += store_a.record_count();
-        ctx.metrics.control_bytes_sent +=
-            store_a.record_count() * ctx.config.ack_record_bytes;
+        ctx.metrics.ack_records_sent += count_a;
+        ctx.metrics.control_bytes_sent += count_a * ctx.config.ack_record_bytes;
     }
     if b_shares {
-        ctx.metrics.ack_records_sent += store_b.record_count();
-        ctx.metrics.control_bytes_sent +=
-            store_b.record_count() * ctx.config.ack_record_bytes;
+        ctx.metrics.ack_records_sent += count_b;
+        ctx.metrics.control_bytes_sent += count_b * ctx.config.ack_record_bytes;
     }
 
-    let snapshot_a = store_a.clone();
-    let snapshot_b = store_b.clone();
+    // Merge in place, no snapshots: both encodings' merges are idempotent
+    // and monotone (set union / per-flow max), so merging b's original
+    // table into a first and then a's *merged* table into b yields exactly
+    // the snapshot semantics — b ∪ (a₀ ∪ b₀) = b₀ ∪ a₀.
     if b_shares {
+        let theirs = b.immunity.as_ref().expect("checked above");
         a.immunity
             .as_mut()
             .expect("checked above")
-            .merge_from(&snapshot_b);
+            .merge_from(theirs);
     }
     if a_shares {
+        let theirs = a.immunity.as_ref().expect("checked above");
         b.immunity
             .as_mut()
             .expect("checked above")
-            .merge_from(&snapshot_a);
+            .merge_from(theirs);
     }
 
+    let mut purged = std::mem::take(&mut ctx.scratch.purged);
     for node in [a, b] {
-        for id in node.purge_immunized() {
+        purged.clear();
+        node.purge_immunized_into(&mut purged);
+        for &id in &purged {
             let idx = ctx.workload.bundle_index(id);
             ctx.metrics
                 .on_drop(idx, node.id.index(), now, DropReason::Immunized);
@@ -198,6 +235,7 @@ fn exchange_immunity(a: &mut Node, b: &mut Node, now: SimTime, ctx: &mut Session
             .unwrap_or(0);
         ctx.metrics.set_ack_records(node.id.index(), records, now);
     }
+    ctx.scratch.purged = purged;
 }
 
 /// One direction of the exchange: `tx` sends to `rx` while capacity lasts.
@@ -233,33 +271,46 @@ fn transfer_phase(
     // The receiver advertises its summary vector once; membership checks
     // against it are O(1) and it is updated as transfers land. The
     // advertisement costs one bit per workload bundle on the wire.
-    let mut rx_summary = SummaryVector::of_node(rx, ctx.workload);
+    //
+    // The vector and the two candidate lists are scratch taken out of the
+    // context (and restored at the end), so a phase allocates nothing.
+    // Candidates are split into the two priority classes during the single
+    // scan of the sender's stores and each class is sorted on its own —
+    // candidate ids are distinct (the summary-vector filter excludes
+    // duplicates), so this equals the seed's sort-then-stable-partition
+    // both in membership and in order.
+    let mut rx_summary = std::mem::take(&mut ctx.scratch.rx_summary);
+    rx_summary.refill_from_node(rx, ctx.workload);
     ctx.metrics.control_bytes_sent += u64::from(rx_summary.capacity()).div_ceil(8);
-    let mut candidates: Vec<BundleId> = tx
-        .copies()
-        .map(|(c, _)| c.id)
-        .filter(|&id| !rx_summary.contains(ctx.workload.bundle_index(id)))
-        .collect();
-    candidates.sort_unstable();
-    let for_rx = |id: &BundleId| ctx.workload.flow(id.flow).dst == rx.id;
-    let split = itertools_partition(&mut candidates, for_rx);
-    if ctx.config.protocol.ack != AckScheme::Cumulative && candidates.len() - split > 1 {
-        let relay = &mut candidates[split..];
+    let mut dest = std::mem::take(&mut ctx.scratch.dest);
+    let mut relay = std::mem::take(&mut ctx.scratch.relay);
+    dest.clear();
+    relay.clear();
+    for (copy, _) in tx.copies() {
+        let id = copy.id;
+        if rx_summary.contains(ctx.workload.bundle_index(id)) {
+            continue;
+        }
+        if ctx.workload.flow(id.flow).dst == rx.id {
+            dest.push(id);
+        } else {
+            relay.push(id);
+        }
+    }
+    dest.sort_unstable();
+    relay.sort_unstable();
+    if ctx.config.protocol.ack != AckScheme::Cumulative && relay.len() > 1 {
         let pivot = ctx.rng.below(relay.len() as u64) as usize;
         relay.rotate_left(pivot);
     }
 
-    for id in candidates {
+    for &id in dest.iter().chain(relay.iter()) {
         if *slots_left == 0 {
             break;
         }
         let flow = ctx.workload.flow(id.flow);
         // P–Q gate: the bundle's source transmits with P, relays with Q.
-        let p = ctx
-            .config
-            .protocol
-            .transmit
-            .probability(tx.id == flow.src);
+        let p = ctx.config.protocol.transmit.probability(tx.id == flow.src);
         if !ctx.rng.bernoulli(p) {
             continue;
         }
@@ -328,6 +379,10 @@ fn transfer_phase(
             rx_summary.insert(idx);
         }
     }
+
+    ctx.scratch.rx_summary = rx_summary;
+    ctx.scratch.dest = dest;
+    ctx.scratch.relay = relay;
 }
 
 /// The bundle reached its destination: record the delivery, update the
@@ -415,18 +470,6 @@ fn store_relay_copy(
     }
 }
 
-/// Stable partition: reorder `xs` so every element matching `pred` comes
-/// first (relative order preserved on both sides); returns the split
-/// index.
-fn itertools_partition<T: Copy, F: Fn(&T) -> bool>(xs: &mut [T], pred: F) -> usize {
-    let matching: Vec<T> = xs.iter().copied().filter(|x| pred(x)).collect();
-    let rest: Vec<T> = xs.iter().copied().filter(|x| !pred(x)).collect();
-    let split = matching.len();
-    xs[..split].copy_from_slice(&matching);
-    xs[split..].copy_from_slice(&rest);
-    split
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,12 +481,20 @@ mod tests {
     use dtn_sim::{SimRng, SimTime};
 
     fn contact(start: u64, end: u64) -> Contact {
-        Contact::new(NodeId(0), NodeId(1), SimTime::from_secs(start), SimTime::from_secs(end))
+        Contact::new(
+            NodeId(0),
+            NodeId(1),
+            SimTime::from_secs(start),
+            SimTime::from_secs(end),
+        )
     }
 
     fn origin_copy(flow: u32, seq: u32) -> StoredBundle {
         StoredBundle {
-            id: BundleId { flow: FlowId(flow), seq },
+            id: BundleId {
+                flow: FlowId(flow),
+                seq,
+            },
             ec: 0,
             stored_at: SimTime::ZERO,
             expires_at: SimTime::MAX,
@@ -478,24 +529,40 @@ mod tests {
         let mut a = Node::new(NodeId(0), 10, None);
         let mut b = Node::new(NodeId(1), 10, None);
         for seq in 0..2 {
-            a.origin.insert(origin_copy(0, seq), crate::policy::EvictionPolicy::RejectNew);
-            b.origin.insert(origin_copy(1, seq), crate::policy::EvictionPolicy::RejectNew);
+            a.origin.insert(
+                origin_copy(0, seq),
+                crate::policy::EvictionPolicy::RejectNew,
+            );
+            b.origin.insert(
+                origin_copy(1, seq),
+                crate::policy::EvictionPolicy::RejectNew,
+            );
         }
         let mut metrics = MetricsCollector::new(2, 10, 4, 0.1);
         metrics.start(SimTime::ZERO);
         let mut rng = SimRng::new(1);
+        let mut scratch = SessionScratch::default();
         let mut ctx = SessionCtx {
             config: &config,
             workload: &workload,
             metrics: &mut metrics,
             rng: &mut rng,
+            scratch: &mut scratch,
         };
         // 300..320 gives ⌊300/100⌋ = 3 slots... duration is 300 s.
         run_contact(&mut a, &mut b, &contact(0, 300), &mut ctx);
         // Lower-ID node 0 used slots 1-2 delivering both flow-0 bundles;
         // node 1 got one slot: flow 1 is half-delivered.
-        let b_got = b.trackers.get(&FlowId(0)).map(|t| t.delivered_count()).unwrap_or(0);
-        let a_got = a.trackers.get(&FlowId(1)).map(|t| t.delivered_count()).unwrap_or(0);
+        let b_got = b
+            .trackers
+            .get(&FlowId(0))
+            .map(|t| t.delivered_count())
+            .unwrap_or(0);
+        let a_got = a
+            .trackers
+            .get(&FlowId(1))
+            .map(|t| t.delivered_count())
+            .unwrap_or(0);
         assert_eq!(b_got, 2, "lower-ID phase should finish its flow");
         assert_eq!(a_got, 1, "higher-ID phase gets only the leftover slot");
         assert_eq!(metrics.bundle_transmissions, 3);
@@ -513,7 +580,10 @@ mod tests {
         // plant it in the relay buffer).
         a.buffer.insert(
             StoredBundle {
-                id: BundleId { flow: FlowId(0), seq: 0 },
+                id: BundleId {
+                    flow: FlowId(0),
+                    seq: 0,
+                },
                 ec: 5,
                 stored_at: SimTime::ZERO,
                 expires_at: SimTime::MAX,
@@ -523,17 +593,42 @@ mod tests {
         let mut metrics = MetricsCollector::new(10, 10, 1, 0.1);
         metrics.start(SimTime::ZERO);
         let mut rng = SimRng::new(1);
+        let mut scratch = SessionScratch::default();
         let mut ctx = SessionCtx {
             config: &config,
             workload: &workload,
             metrics: &mut metrics,
             rng: &mut rng,
+            scratch: &mut scratch,
         };
-        let c = Contact::new(NodeId(0), NodeId(1), SimTime::from_secs(0), SimTime::from_secs(150));
+        let c = Contact::new(
+            NodeId(0),
+            NodeId(1),
+            SimTime::from_secs(0),
+            SimTime::from_secs(150),
+        );
         run_contact(&mut a, &mut b, &c, &mut ctx);
         // Holder aging: 5 -> 6; transmission: 6 -> 7; receiver inherits 7.
-        assert_eq!(a.buffer.get(BundleId { flow: FlowId(0), seq: 0 }).unwrap().ec, 7);
-        assert_eq!(b.buffer.get(BundleId { flow: FlowId(0), seq: 0 }).unwrap().ec, 7);
+        assert_eq!(
+            a.buffer
+                .get(BundleId {
+                    flow: FlowId(0),
+                    seq: 0
+                })
+                .unwrap()
+                .ec,
+            7
+        );
+        assert_eq!(
+            b.buffer
+                .get(BundleId {
+                    flow: FlowId(0),
+                    seq: 0
+                })
+                .unwrap()
+                .ec,
+            7
+        );
     }
 
     /// Zero-duration capacity: a contact shorter than one tx_time carries
@@ -542,28 +637,45 @@ mod tests {
     fn too_short_contact_exchanges_acks_but_no_bundles() {
         let workload = Workload::single_flow(NodeId(0), NodeId(1), 2, 2);
         let config = SimConfig::paper_defaults(protocols::immunity_epidemic());
-        let mut a = Node::new(NodeId(0), 10, Some(crate::immunity::ImmunityStore::per_bundle()));
-        let mut b = Node::new(NodeId(1), 10, Some(crate::immunity::ImmunityStore::per_bundle()));
-        a.origin.insert(origin_copy(0, 0), crate::policy::EvictionPolicy::RejectNew);
+        let mut a = Node::new(
+            NodeId(0),
+            10,
+            Some(crate::immunity::ImmunityStore::per_bundle()),
+        );
+        let mut b = Node::new(
+            NodeId(1),
+            10,
+            Some(crate::immunity::ImmunityStore::per_bundle()),
+        );
+        a.origin
+            .insert(origin_copy(0, 0), crate::policy::EvictionPolicy::RejectNew);
         // Node b somehow knows seq 1 was delivered (planted ack).
-        b.immunity
-            .as_mut()
-            .unwrap()
-            .record_delivery(BundleId { flow: FlowId(0), seq: 1 }, 0);
+        b.immunity.as_mut().unwrap().record_delivery(
+            BundleId {
+                flow: FlowId(0),
+                seq: 1,
+            },
+            0,
+        );
         let mut metrics = MetricsCollector::new(2, 10, 2, 0.1);
         metrics.start(SimTime::ZERO);
         let mut rng = SimRng::new(1);
+        let mut scratch = SessionScratch::default();
         let mut ctx = SessionCtx {
             config: &config,
             workload: &workload,
             metrics: &mut metrics,
             rng: &mut rng,
+            scratch: &mut scratch,
         };
         run_contact(&mut a, &mut b, &contact(0, 50), &mut ctx);
         assert_eq!(metrics.bundle_transmissions, 0, "50 s < one 100 s slot");
         assert!(metrics.ack_records_sent > 0, "immunity tables still flow");
         assert!(
-            a.immunity.as_ref().unwrap().covers(BundleId { flow: FlowId(0), seq: 1 }),
+            a.immunity.as_ref().unwrap().covers(BundleId {
+                flow: FlowId(0),
+                seq: 1
+            }),
             "a merged b's table"
         );
     }
@@ -597,24 +709,36 @@ mod tests {
         let config = SimConfig::paper_defaults(protocols::pure_epidemic());
         let mut a = Node::new(NodeId(0), 10, None);
         let mut b = Node::new(NodeId(1), 10, None);
-        a.buffer.insert(origin_copy(0, 0), crate::policy::EvictionPolicy::RejectNew);
-        a.origin.insert(origin_copy(1, 0), crate::policy::EvictionPolicy::RejectNew);
+        a.buffer
+            .insert(origin_copy(0, 0), crate::policy::EvictionPolicy::RejectNew);
+        a.origin
+            .insert(origin_copy(1, 0), crate::policy::EvictionPolicy::RejectNew);
         let mut metrics = MetricsCollector::new(10, 10, 2, 0.1);
         metrics.start(SimTime::ZERO);
         let mut rng = SimRng::new(1);
+        let mut scratch = SessionScratch::default();
         let mut ctx = SessionCtx {
             config: &config,
             workload: &workload,
             metrics: &mut metrics,
             rng: &mut rng,
+            scratch: &mut scratch,
         };
-        let c = Contact::new(NodeId(0), NodeId(1), SimTime::from_secs(0), SimTime::from_secs(150));
+        let c = Contact::new(
+            NodeId(0),
+            NodeId(1),
+            SimTime::from_secs(0),
+            SimTime::from_secs(150),
+        );
         run_contact(&mut a, &mut b, &c, &mut ctx);
         assert_eq!(
             b.trackers.get(&FlowId(1)).map(|t| t.delivered_count()),
             Some(1),
             "the destination-bound bundle took the only slot"
         );
-        assert!(!b.buffer.contains(BundleId { flow: FlowId(0), seq: 0 }));
+        assert!(!b.buffer.contains(BundleId {
+            flow: FlowId(0),
+            seq: 0
+        }));
     }
 }

@@ -15,13 +15,14 @@
 //!   trace horizon, whichever comes first. A run that reaches the horizon
 //!   undelivered is a failed transmission and records no delay.
 
-use crate::bundle::Workload;
 use crate::buffer::StoredBundle;
+use crate::bundle::BundleId;
+use crate::bundle::Workload;
 use crate::immunity::ImmunityStore;
 use crate::metrics::{DropReason, MetricsCollector, RunMetrics};
 use crate::node::Node;
 use crate::policy::AckScheme;
-use crate::session::{run_contact, SessionCtx, SimConfig};
+use crate::session::{run_contact, SessionCtx, SessionScratch, SimConfig};
 use dtn_mobility::ContactTrace;
 use dtn_sim::{Engine, Flow, Handler, Scheduler, SimRng, SimTime};
 
@@ -46,14 +47,21 @@ struct Sim<'a> {
     /// Earliest pending `ExpiryCheck` per node, to avoid flooding the
     /// queue with duplicates.
     scheduled_expiry: Vec<Option<SimTime>>,
+    /// Session scratch allocations, reused across every contact.
+    scratch: SessionScratch,
+    /// Scratch for expiry purges.
+    purged: Vec<BundleId>,
 }
 
 impl Sim<'_> {
     /// Purge expired copies of `node_idx` at `now`, feeding the metrics.
     fn purge_node(&mut self, node_idx: usize, now: SimTime) {
-        for id in self.nodes[node_idx].purge_expired(now) {
+        self.purged.clear();
+        self.nodes[node_idx].purge_expired_into(now, &mut self.purged);
+        for &id in &self.purged {
             let idx = self.workload.bundle_index(id);
-            self.metrics.on_drop(idx, node_idx, now, DropReason::Expired);
+            self.metrics
+                .on_drop(idx, node_idx, now, DropReason::Expired);
         }
     }
 
@@ -107,6 +115,7 @@ impl Handler<Ev> for Sim<'_> {
                     workload: self.workload,
                     metrics: &mut self.metrics,
                     rng: &mut self.rng,
+                    scratch: &mut self.scratch,
                 };
                 run_contact(na, nb, &contact, &mut ctx);
                 self.reschedule_expiry(ai, sched);
@@ -187,13 +196,12 @@ pub fn simulate(
         metrics,
         rng,
         scheduled_expiry: vec![None; node_count],
+        scratch: SessionScratch::default(),
+        purged: Vec::new(),
     };
     engine.run(&mut sim);
 
-    let end = sim
-        .metrics
-        .completion_time()
-        .unwrap_or(trace.horizon());
+    let end = sim.metrics.completion_time().unwrap_or(trace.horizon());
     sim.metrics.finish(end)
 }
 
@@ -242,8 +250,7 @@ mod tests {
     #[test]
     fn paper_worked_example_three_bundles_in_314s() {
         // Section IV: nodes 3 and 9 meet for 314 s -> 3 bundles.
-        let trace =
-            parse_trace_str("% nodes 10\n% horizon 524162\n3 9 3568 3882\n").unwrap();
+        let trace = parse_trace_str("% nodes 10\n% horizon 524162\n3 9 3568 3882\n").unwrap();
         let w = Workload::single_flow(NodeId(3), NodeId(9), 10, 10);
         let m = simulate(&trace, &w, &cfg(protocols::pure_epidemic()), SimRng::new(1));
         assert_eq!(m.delivered, 3);
@@ -331,12 +338,16 @@ mod tests {
         // again (t=600..700), the ack exchange runs *before* the transfer:
         // 1 merges 2's immunity table, purges its now-delivered seq-0
         // copy, then delivers seq 1 — at which point the run completes.
-        let trace = parse_trace_str(
-            "% nodes 3\n% horizon 99999\n0 1 0 300\n1 2 400 500\n1 2 600 700\n",
-        )
-        .unwrap();
+        let trace =
+            parse_trace_str("% nodes 3\n% horizon 99999\n0 1 0 300\n1 2 400 500\n1 2 600 700\n")
+                .unwrap();
         let w = Workload::single_flow(NodeId(0), NodeId(2), 2, 3);
-        let m = simulate(&trace, &w, &cfg(protocols::immunity_epidemic()), SimRng::new(1));
+        let m = simulate(
+            &trace,
+            &w,
+            &cfg(protocols::immunity_epidemic()),
+            SimRng::new(1),
+        );
         assert_eq!(m.delivered, 2);
         assert_eq!(m.immunity_purges, 1, "relay copy of seq 0 purged at node 1");
         assert!(m.ack_records_sent > 0);
@@ -350,7 +361,12 @@ mod tests {
         let trace =
             parse_trace_str("% nodes 3\n% horizon 9999\n0 1 0 500\n1 2 600 1100\n").unwrap();
         let w = Workload::single_flow(NodeId(0), NodeId(2), 2, 3);
-        let m = simulate(&trace, &w, &cfg(protocols::pq_epidemic(1.0, 0.0)), SimRng::new(1));
+        let m = simulate(
+            &trace,
+            &w,
+            &cfg(protocols::pq_epidemic(1.0, 0.0)),
+            SimRng::new(1),
+        );
         assert_eq!(m.delivered, 0);
         // Source still pushed copies to the relay.
         assert_eq!(m.bundle_transmissions, 2);
@@ -360,7 +376,12 @@ mod tests {
     fn pq_zero_p_never_sends_from_source() {
         let trace = parse_trace_str("% nodes 2\n% horizon 9999\n0 1 0 1000\n").unwrap();
         let w = Workload::single_flow(NodeId(0), NodeId(1), 2, 2);
-        let m = simulate(&trace, &w, &cfg(protocols::pq_epidemic(0.0, 1.0)), SimRng::new(1));
+        let m = simulate(
+            &trace,
+            &w,
+            &cfg(protocols::pq_epidemic(0.0, 1.0)),
+            SimRng::new(1),
+        );
         assert_eq!(m.delivered, 0);
         assert_eq!(m.bundle_transmissions, 0);
     }
@@ -436,9 +457,15 @@ mod tests {
 
     #[test]
     fn byte_accounting_tracks_transmissions_and_control() {
-        let trace = parse_trace_str("% nodes 3\n% horizon 99999\n0 1 0 300\n1 2 400 500\n").unwrap();
+        let trace =
+            parse_trace_str("% nodes 3\n% horizon 99999\n0 1 0 300\n1 2 400 500\n").unwrap();
         let w = Workload::single_flow(NodeId(0), NodeId(2), 2, 3);
-        let m = simulate(&trace, &w, &cfg(protocols::immunity_epidemic()), SimRng::new(1));
+        let m = simulate(
+            &trace,
+            &w,
+            &cfg(protocols::immunity_epidemic()),
+            SimRng::new(1),
+        );
         let config = cfg(protocols::immunity_epidemic());
         assert_eq!(
             m.payload_bytes_sent,

@@ -7,46 +7,98 @@
 //! realized as a bitset over the workload's dense bundle indexing — one
 //! bit per bundle, 64 bundles per word, so the paper's whole load-50
 //! workload fits in a single `u64`.
+//!
+//! The word storage is a fixed inline array ([`INLINE_WORDS`] × 64
+//! bundles) with a heap spill only for workloads too large to fit — on
+//! every workload the study runs, building and refilling a vector never
+//! allocates. The session layer additionally reuses one vector across
+//! contacts via [`SummaryVector::refill_from_node`] instead of
+//! constructing a fresh one per transfer phase.
 
 use crate::bundle::{BundleId, Workload};
 use crate::node::Node;
 
+/// Words stored inline before spilling to the heap: 512 bundles, several
+/// times the paper's maximum load.
+const INLINE_WORDS: usize = 8;
+
 /// A bitset over the workload's bundles.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SummaryVector {
-    words: Vec<u64>,
     total: u32,
+    inline: [u64; INLINE_WORDS],
+    /// Words beyond the inline block; always exactly
+    /// `word_count - INLINE_WORDS` long (empty for small workloads), so
+    /// derived equality is correct.
+    spill: Vec<u64>,
 }
 
 impl SummaryVector {
     /// An empty vector sized for `total` bundles.
     pub fn empty(total: u32) -> SummaryVector {
-        SummaryVector {
-            words: vec![0; (total as usize).div_ceil(64)],
-            total,
-        }
+        let mut sv = SummaryVector::default();
+        sv.reset(total);
+        sv
+    }
+
+    /// Clear and resize for `total` bundles, keeping any spill capacity.
+    pub fn reset(&mut self, total: u32) {
+        self.total = total;
+        self.inline = [0; INLINE_WORDS];
+        self.spill.clear();
+        let words = (total as usize).div_ceil(64);
+        self.spill.resize(words.saturating_sub(INLINE_WORDS), 0);
     }
 
     /// The summary a node advertises: every bundle it can prove it has —
     /// relay copies, origin copies, and (at a destination) completed
     /// deliveries.
     pub fn of_node(node: &Node, workload: &Workload) -> SummaryVector {
-        let mut sv = SummaryVector::empty(workload.total_bundles());
+        let mut sv = SummaryVector::default();
+        sv.refill_from_node(node, workload);
+        sv
+    }
+
+    /// [`SummaryVector::of_node`] into an existing vector — the zero-
+    /// allocation path the session layer uses, one scratch vector reused
+    /// across every contact of a run.
+    pub fn refill_from_node(&mut self, node: &Node, workload: &Workload) {
+        self.reset(workload.total_bundles());
         for (copy, _) in node.copies() {
-            sv.insert(workload.bundle_index(copy.id));
+            self.insert(workload.bundle_index(copy.id));
         }
         for (flow_id, tracker) in &node.trackers {
-            let flow = workload.flow(*flow_id);
-            for seq in 0..flow.count {
-                if tracker.contains(seq) {
-                    sv.insert(workload.bundle_index(BundleId {
-                        flow: *flow_id,
-                        seq,
-                    }));
-                }
+            for seq in tracker.delivered_seqs() {
+                self.insert(workload.bundle_index(BundleId {
+                    flow: *flow_id,
+                    seq,
+                }));
             }
         }
-        sv
+    }
+
+    /// Number of words covering `total` bundles.
+    #[inline]
+    fn word_count(&self) -> usize {
+        (self.total as usize).div_ceil(64)
+    }
+
+    #[inline]
+    fn word(&self, wi: usize) -> u64 {
+        if wi < INLINE_WORDS {
+            self.inline[wi]
+        } else {
+            self.spill[wi - INLINE_WORDS]
+        }
+    }
+
+    #[inline]
+    fn word_mut(&mut self, wi: usize) -> &mut u64 {
+        if wi < INLINE_WORDS {
+            &mut self.inline[wi]
+        } else {
+            &mut self.spill[wi - INLINE_WORDS]
+        }
     }
 
     /// Number of bundles the vector covers.
@@ -55,55 +107,61 @@ impl SummaryVector {
     }
 
     /// Mark bundle `idx` as possessed.
+    #[inline]
     pub fn insert(&mut self, idx: usize) {
         debug_assert!(idx < self.total as usize);
-        self.words[idx / 64] |= 1 << (idx % 64);
+        *self.word_mut(idx / 64) |= 1 << (idx % 64);
     }
 
     /// Is bundle `idx` possessed?
+    #[inline]
     pub fn contains(&self, idx: usize) -> bool {
         debug_assert!(idx < self.total as usize);
-        self.words[idx / 64] & (1 << (idx % 64)) != 0
+        self.word(idx / 64) & (1 << (idx % 64)) != 0
     }
 
     /// Number of possessed bundles.
     pub fn len(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        (0..self.word_count())
+            .map(|wi| self.word(wi).count_ones())
+            .sum()
     }
 
     /// True when nothing is possessed.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        (0..self.word_count()).all(|wi| self.word(wi) == 0)
     }
 
     /// Bundle indices possessed by `self` but not by `other` — what the
     /// anti-entropy session offers the peer. Panics if the vectors cover
     /// different workloads.
     pub fn difference<'a>(&'a self, other: &'a SummaryVector) -> impl Iterator<Item = usize> + 'a {
-        assert_eq!(self.total, other.total, "summary vectors of different workloads");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .enumerate()
-            .flat_map(|(wi, (&mine, &theirs))| {
-                let mut bits = mine & !theirs;
-                std::iter::from_fn(move || {
-                    if bits == 0 {
-                        None
-                    } else {
-                        let b = bits.trailing_zeros() as usize;
-                        bits &= bits - 1;
-                        Some(wi * 64 + b)
-                    }
-                })
+        assert_eq!(
+            self.total, other.total,
+            "summary vectors of different workloads"
+        );
+        (0..self.word_count()).flat_map(move |wi| {
+            let mut bits = self.word(wi) & !other.word(wi);
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
             })
+        })
     }
 
     /// In-place union (what a node knows after hearing a peer's vector).
     pub fn union_with(&mut self, other: &SummaryVector) {
-        assert_eq!(self.total, other.total, "summary vectors of different workloads");
-        for (mine, theirs) in self.words.iter_mut().zip(&other.words) {
-            *mine |= *theirs;
+        assert_eq!(
+            self.total, other.total,
+            "summary vectors of different workloads"
+        );
+        for wi in 0..self.word_count() {
+            *self.word_mut(wi) |= other.word(wi);
         }
     }
 }
@@ -134,6 +192,52 @@ mod tests {
         }
         assert!(!sv.contains(1));
         assert_eq!(sv.len(), 4);
+    }
+
+    #[test]
+    fn spill_storage_works_past_the_inline_block() {
+        // INLINE_WORDS * 64 = 512 bits inline; 600 forces a heap spill.
+        let mut sv = SummaryVector::empty(600);
+        for idx in [0usize, 511, 512, 599] {
+            sv.insert(idx);
+            assert!(sv.contains(idx));
+        }
+        assert_eq!(sv.len(), 4);
+        assert!(!sv.contains(513));
+        let mut other = SummaryVector::empty(600);
+        other.insert(599);
+        let missing: Vec<usize> = sv.difference(&other).collect();
+        assert_eq!(missing, vec![0, 511, 512]);
+    }
+
+    #[test]
+    fn reset_reuses_and_clears() {
+        let mut sv = SummaryVector::empty(600);
+        sv.insert(0);
+        sv.insert(599);
+        sv.reset(50);
+        assert_eq!(sv.capacity(), 50);
+        assert!(sv.is_empty());
+        sv.insert(49);
+        assert_eq!(sv.len(), 1);
+        // Growing again after shrinking still works.
+        sv.reset(700);
+        assert!(sv.is_empty());
+        sv.insert(699);
+        assert!(sv.contains(699));
+    }
+
+    #[test]
+    fn equality_ignores_storage_history() {
+        // A vector that once spilled and was reset compares equal to a
+        // freshly built one of the same size and contents.
+        let mut recycled = SummaryVector::empty(600);
+        recycled.insert(599);
+        recycled.reset(10);
+        recycled.insert(3);
+        let mut fresh = SummaryVector::empty(10);
+        fresh.insert(3);
+        assert_eq!(recycled, fresh);
     }
 
     #[test]
@@ -225,5 +329,21 @@ mod tests {
                 "disagreement on {id}"
             );
         }
+    }
+
+    #[test]
+    fn refill_equals_of_node_with_out_of_order_deliveries() {
+        let workload = Workload::single_flow(NodeId(1), NodeId(0), 12, 2);
+        let mut node = Node::new(NodeId(0), 10, None);
+        // Out-of-order deliveries: frontier stalls at 0 with pending 3, 7.
+        let tracker = node.trackers.entry(FlowId(0)).or_default();
+        tracker.record(3);
+        tracker.record(7);
+        let fresh = SummaryVector::of_node(&node, &workload);
+        let mut recycled = SummaryVector::empty(600);
+        recycled.insert(42);
+        recycled.refill_from_node(&node, &workload);
+        assert_eq!(fresh, recycled);
+        assert!(fresh.contains(3) && fresh.contains(7) && !fresh.contains(0));
     }
 }

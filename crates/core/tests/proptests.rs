@@ -19,21 +19,34 @@ fn bid(seq: u32) -> BundleId {
 /// One random buffer operation.
 #[derive(Clone, Debug)]
 enum BufOp {
-    Insert { seq: u32, ec: u32, at: u64, expires: Option<u64> },
-    Remove { seq: u32 },
-    PurgeExpired { at: u64 },
+    Insert {
+        seq: u32,
+        ec: u32,
+        at: u64,
+        expires: Option<u64>,
+    },
+    Remove {
+        seq: u32,
+    },
+    PurgeExpired {
+        at: u64,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = BufOp> {
     prop_oneof![
-        (0u32..40, 0u32..20, 0u64..10_000, prop::option::of(0u64..20_000)).prop_map(
-            |(seq, ec, at, expires)| BufOp::Insert {
+        (
+            0u32..40,
+            0u32..20,
+            0u64..10_000,
+            prop::option::of(0u64..20_000)
+        )
+            .prop_map(|(seq, ec, at, expires)| BufOp::Insert {
                 seq,
                 ec,
                 at,
                 expires
-            }
-        ),
+            }),
         (0u32..40).prop_map(|seq| BufOp::Remove { seq }),
         (0u64..20_000).prop_map(|at| BufOp::PurgeExpired { at }),
     ]

@@ -108,7 +108,10 @@ pub fn eviction_table(cfg: &SweepConfig) -> TextTable {
         ("reject new", EvictionPolicy::RejectNew),
         ("drop oldest", EvictionPolicy::DropOldest),
         ("highest EC", EvictionPolicy::HighestEc),
-        ("highest EC (min 8)", EvictionPolicy::HighestEcMin { min_ec: 8 }),
+        (
+            "highest EC (min 8)",
+            EvictionPolicy::HighestEcMin { min_ec: 8 },
+        ),
     ]
     .into_iter()
     .map(|(label, eviction)| {
@@ -197,8 +200,7 @@ pub fn mobility_table(cfg: &SweepConfig) -> TextTable {
     }
     TextTable {
         id: "mobility_models",
-        title: "Contact anatomy of every mobility source (+ immunity-protocol delivery)"
-            .into(),
+        title: "Contact anatomy of every mobility source (+ immunity-protocol delivery)".into(),
         headers: vec![
             "Scenario".into(),
             "Contacts".into(),
@@ -223,13 +225,9 @@ pub fn loss_table(cfg: &SweepConfig) -> TextTable {
             let trace = Mobility::Trace.build(cfg.base_seed, rep);
             let root = dtn_sim::SimRng::new(cfg.base_seed ^ 0x1055);
             let mut wl_rng = root.derive(rep * 2 + 1);
-            let workload = dtn_epidemic::Workload::single_random_flow(
-                25,
-                trace.node_count(),
-                &mut wl_rng,
-            );
-            let mut config =
-                dtn_epidemic::SimConfig::paper_defaults(protocols::pure_epidemic());
+            let workload =
+                dtn_epidemic::Workload::single_random_flow(25, trace.node_count(), &mut wl_rng);
+            let mut config = dtn_epidemic::SimConfig::paper_defaults(protocols::pure_epidemic());
             config.transfer_loss_prob = loss;
             runs.push(dtn_epidemic::simulate(
                 &trace,
@@ -248,7 +246,11 @@ pub fn loss_table(cfg: &SweepConfig) -> TextTable {
     TextTable {
         id: "ablation_loss",
         title: "Transfer-loss sensitivity of pure epidemic on the trace (load 25)".into(),
-        headers: vec!["Loss probability".into(), "Delivery %".into(), "Transmissions".into()],
+        headers: vec![
+            "Loss probability".into(),
+            "Delivery %".into(),
+            "Transmissions".into(),
+        ],
         rows,
     }
 }
@@ -264,7 +266,10 @@ pub fn ack_propagation_table(cfg: &SweepConfig) -> TextTable {
     ] {
         for (prop_name, propagation) in [
             ("epidemic", dtn_epidemic::AckPropagation::Epidemic),
-            ("destination-only", dtn_epidemic::AckPropagation::DestinationOnly),
+            (
+                "destination-only",
+                dtn_epidemic::AckPropagation::DestinationOnly,
+            ),
         ] {
             let mut protocol = base.clone();
             protocol.ack_propagation = propagation;
@@ -272,7 +277,10 @@ pub fn ack_propagation_table(cfg: &SweepConfig) -> TextTable {
             rows.push(vec![
                 format!("{scheme_name} / {prop_name}"),
                 format!("{:.1}", 100.0 * sweep.grand_mean(|p| p.delivery_ratio.mean)),
-                format!("{:.1}", 100.0 * sweep.grand_mean(|p| p.buffer_occupancy.mean)),
+                format!(
+                    "{:.1}",
+                    100.0 * sweep.grand_mean(|p| p.buffer_occupancy.mean)
+                ),
                 format!("{:.0}", sweep.grand_mean(|p| p.ack_records.mean)),
             ]);
         }
@@ -297,10 +305,16 @@ pub fn steady_state_table(cfg: &SweepConfig) -> TextTable {
     let mut rows = Vec::new();
     for (name, protocol) in [
         ("Pure epidemic", protocols::pure_epidemic()),
-        ("Epidemic with dynamic TTL", protocols::dynamic_ttl_epidemic()),
+        (
+            "Epidemic with dynamic TTL",
+            protocols::dynamic_ttl_epidemic(),
+        ),
         ("Epidemic with EC+TTL", protocols::ec_ttl_epidemic()),
         ("Epidemic with immunity", protocols::immunity_epidemic()),
-        ("Epidemic with cumulative immunity", protocols::cumulative_immunity_epidemic()),
+        (
+            "Epidemic with cumulative immunity",
+            protocols::cumulative_immunity_epidemic(),
+        ),
     ] {
         let mut runs = Vec::new();
         for rep in 0..cfg.replications as u64 {

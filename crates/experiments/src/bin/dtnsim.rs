@@ -64,8 +64,14 @@ fn parse_protocol(spec: &str) -> Result<ProtocolConfig, String> {
         Some((n, a)) => (n, Some(a)),
         None => (spec, None),
     };
-    let parse_f64 = |s: &str| s.parse::<f64>().map_err(|e| format!("bad number {s:?}: {e}"));
-    let parse_u64 = |s: &str| s.parse::<u64>().map_err(|e| format!("bad number {s:?}: {e}"));
+    let parse_f64 = |s: &str| {
+        s.parse::<f64>()
+            .map_err(|e| format!("bad number {s:?}: {e}"))
+    };
+    let parse_u64 = |s: &str| {
+        s.parse::<u64>()
+            .map_err(|e| format!("bad number {s:?}: {e}"))
+    };
     match name {
         "pure" => Ok(protocols::pure_epidemic()),
         "pq" => match arg {
@@ -115,8 +121,7 @@ fn parse_mobility(spec: &str) -> Result<Source, String> {
             }
             let path = std::path::PathBuf::from(other);
             if path.exists() {
-                let trace =
-                    read_trace_file(&path).map_err(|e| format!("loading {other}: {e}"))?;
+                let trace = read_trace_file(&path).map_err(|e| format!("loading {other}: {e}"))?;
                 Ok(Source::File(path, trace))
             } else {
                 Err(format!(
@@ -151,10 +156,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--protocol" => args.protocol = parse_protocol(&value("--protocol")?)?,
             "--mobility" => args.source = parse_mobility(&value("--mobility")?)?,
@@ -211,7 +213,9 @@ fn main() -> ExitCode {
         }
     };
 
-    let tx_time = args.tx_time.unwrap_or_else(|| args.source.default_tx_time());
+    let tx_time = args
+        .tx_time
+        .unwrap_or_else(|| args.source.default_tx_time());
     let config = SimConfig {
         protocol: args.protocol.clone(),
         buffer_capacity: args.buffer,
@@ -234,7 +238,10 @@ fn main() -> ExitCode {
 
     if args.stats {
         let trace = args.source.build(args.seed, 0);
-        println!("\ncontact-trace summary:\n{}", TraceSummary::of(&trace).to_text());
+        println!(
+            "\ncontact-trace summary:\n{}",
+            TraceSummary::of(&trace).to_text()
+        );
     }
 
     let root = SimRng::new(args.seed);

@@ -96,11 +96,7 @@ fn main() -> ExitCode {
     }
 
     let figures = all_figures();
-    let wants = |name: &str| {
-        args.targets
-            .iter()
-            .any(|t| t == name || t == "all")
-    };
+    let wants = |name: &str| args.targets.iter().any(|t| t == name || t == "all");
 
     let mut ran_anything = false;
     for (id, driver) in &figures {
@@ -116,7 +112,11 @@ fn main() -> ExitCode {
         match fig.write_csv(&args.out) {
             Ok(path) => {
                 println!("{}", fig.to_text());
-                println!("  -> {} ({:.1}s)\n", path.display(), started.elapsed().as_secs_f64());
+                println!(
+                    "  -> {} ({:.1}s)\n",
+                    path.display(),
+                    started.elapsed().as_secs_f64()
+                );
             }
             Err(e) => {
                 eprintln!("repro: writing {id}: {e}");

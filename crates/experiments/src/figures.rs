@@ -8,10 +8,11 @@
 //! are what Figs. 7–12 use.
 
 use crate::output::{Figure, Series};
-use crate::runner::{run_sweep, SweepConfig, SweepResult};
+use crate::runner::{run_sweep_cached, SweepConfig, SweepResult};
 use crate::scenarios::Mobility;
 use dtn_epidemic::protocols;
 use dtn_epidemic::ProtocolConfig;
+use dtn_mobility::TraceCache;
 
 /// Which per-point statistic a figure plots.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,10 +71,14 @@ pub fn build_figure(
     entries: &[(&str, ProtocolConfig, Mobility)],
     cfg: &SweepConfig,
 ) -> Figure {
+    // A figure's series differ only in protocol (and occasionally
+    // scenario parameters): one shared cache generates each distinct
+    // trace once for the whole figure.
+    let cache = TraceCache::new();
     let series = entries
         .iter()
         .map(|(label, protocol, mobility)| {
-            let sweep = run_sweep(protocol, *mobility, cfg);
+            let sweep = run_sweep_cached(protocol, *mobility, cfg, &cache);
             Series {
                 name: (*label).to_string(),
                 points: metric.extract(&sweep),
@@ -105,9 +110,21 @@ fn existing_protocols() -> Vec<(&'static str, ProtocolConfig)> {
 /// same delay in trace-based experiments when P=Q=1, we only plot ... P-Q").
 pub fn fig07(cfg: &SweepConfig) -> Figure {
     let entries: Vec<_> = vec![
-        ("P-Q epidemic", protocols::pq_epidemic(1.0, 1.0), Mobility::Trace),
-        ("Epidemic with TTL", protocols::ttl_epidemic_default(), Mobility::Trace),
-        ("Epidemic with EC", protocols::ec_epidemic(), Mobility::Trace),
+        (
+            "P-Q epidemic",
+            protocols::pq_epidemic(1.0, 1.0),
+            Mobility::Trace,
+        ),
+        (
+            "Epidemic with TTL",
+            protocols::ttl_epidemic_default(),
+            Mobility::Trace,
+        ),
+        (
+            "Epidemic with EC",
+            protocols::ec_epidemic(),
+            Mobility::Trace,
+        ),
     ];
     build_figure(
         "fig07",
@@ -198,8 +215,16 @@ pub fn fig12(cfg: &SweepConfig) -> Figure {
 /// two).
 pub fn fig13(cfg: &SweepConfig) -> Figure {
     let entries: Vec<_> = vec![
-        ("Epidemic with EC", protocols::ec_epidemic(), Mobility::Trace),
-        ("Epidemic with TTL", protocols::ttl_epidemic_default(), Mobility::Trace),
+        (
+            "Epidemic with EC",
+            protocols::ec_epidemic(),
+            Mobility::Trace,
+        ),
+        (
+            "Epidemic with TTL",
+            protocols::ttl_epidemic_default(),
+            Mobility::Trace,
+        ),
     ];
     build_figure(
         "fig13",
@@ -260,8 +285,16 @@ fn enhanced_rwp_entries() -> Vec<(&'static str, ProtocolConfig, Mobility)> {
             Mobility::Interval(400),
         ),
         ("Epidemic with EC", protocols::ec_epidemic(), Mobility::Rwp),
-        ("Epidemic with EC+TTL", protocols::ec_ttl_epidemic(), Mobility::Rwp),
-        ("Epidemic with Immunity", protocols::immunity_epidemic(), Mobility::Rwp),
+        (
+            "Epidemic with EC+TTL",
+            protocols::ec_ttl_epidemic(),
+            Mobility::Rwp,
+        ),
+        (
+            "Epidemic with Immunity",
+            protocols::immunity_epidemic(),
+            Mobility::Rwp,
+        ),
         (
             "Epidemic with Cumulative Immunity",
             protocols::cumulative_immunity_epidemic(),
@@ -278,10 +311,26 @@ fn enhanced_trace_entries() -> Vec<(&'static str, ProtocolConfig, Mobility)> {
             protocols::dynamic_ttl_epidemic(),
             Mobility::Trace,
         ),
-        ("Epidemic with TTL=300", protocols::ttl_epidemic_default(), Mobility::Trace),
-        ("Epidemic with EC", protocols::ec_epidemic(), Mobility::Trace),
-        ("Epidemic with EC+TTL", protocols::ec_ttl_epidemic(), Mobility::Trace),
-        ("Epidemic with Immunity", protocols::immunity_epidemic(), Mobility::Trace),
+        (
+            "Epidemic with TTL=300",
+            protocols::ttl_epidemic_default(),
+            Mobility::Trace,
+        ),
+        (
+            "Epidemic with EC",
+            protocols::ec_epidemic(),
+            Mobility::Trace,
+        ),
+        (
+            "Epidemic with EC+TTL",
+            protocols::ec_ttl_epidemic(),
+            Mobility::Trace,
+        ),
+        (
+            "Epidemic with Immunity",
+            protocols::immunity_epidemic(),
+            Mobility::Trace,
+        ),
         (
             "Epidemic with Cumulative Immunity",
             protocols::cumulative_immunity_epidemic(),
@@ -383,6 +432,7 @@ pub fn all_figures() -> Vec<(&'static str, FigureDriver)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_sweep;
     use dtn_sim::Threads;
 
     fn smoke_cfg() -> SweepConfig {
@@ -434,11 +484,7 @@ mod tests {
     #[test]
     fn metric_extraction_uses_ci() {
         let cfg = smoke_cfg();
-        let sweep = run_sweep(
-            &protocols::pure_epidemic(),
-            Mobility::Trace,
-            &cfg,
-        );
+        let sweep = run_sweep(&protocols::pure_epidemic(), Mobility::Trace, &cfg);
         let pts = Metric::DeliveryRatio.extract(&sweep);
         assert_eq!(pts.len(), 1);
         assert_eq!(pts[0].0, 10.0);

@@ -32,6 +32,11 @@ pub mod tables;
 pub use ablations::{all_ablations, mobility_table};
 pub use figures::{all_figures, Metric};
 pub use output::{Figure, Series, TextTable};
-pub use runner::{run_sweep, PointResult, SweepConfig, SweepResult};
+pub use runner::{
+    aggregate_point, run_point_raw, run_point_raw_cached, run_sweep, run_sweep_cached, PointResult,
+    SweepConfig, SweepResult,
+};
 pub use scenarios::Mobility;
 pub use tables::{overhead_table, table2};
+
+pub use dtn_mobility::{TraceCache, TraceKey};

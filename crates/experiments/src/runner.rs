@@ -8,7 +8,8 @@
 
 use crate::scenarios::Mobility;
 use dtn_epidemic::{simulate, ProtocolConfig, RunMetrics, SimConfig, Workload};
-use dtn_sim::{par_map_indexed, SimRng, Summary, Threads, Welford};
+use dtn_mobility::TraceCache;
+use dtn_sim::{Pool, SimRng, Summary, Threads, Welford};
 
 /// Sweep-level configuration (defaults are the paper's).
 #[derive(Clone, Debug)]
@@ -100,12 +101,38 @@ impl SweepResult {
 
 /// Run all replications of one (protocol, mobility, load) point and
 /// return the raw per-replication metrics (used directly by some tests
-/// and the overhead study).
+/// and the overhead study). Traces are generated fresh per replication;
+/// prefer [`run_point_raw_cached`] when several points or sweeps share
+/// mobility.
 pub fn run_point_raw(
     protocol: &ProtocolConfig,
     mobility: Mobility,
     load: u32,
     cfg: &SweepConfig,
+) -> Vec<RunMetrics> {
+    run_point(protocol, mobility, load, cfg, None)
+}
+
+/// [`run_point_raw`] with trace generation deduplicated through a shared
+/// [`TraceCache`]: every replication (and every other sweep handed the
+/// same cache) reuses one read-only `Arc`'d trace per distinct
+/// (scenario, seed, replication) key.
+pub fn run_point_raw_cached(
+    protocol: &ProtocolConfig,
+    mobility: Mobility,
+    load: u32,
+    cfg: &SweepConfig,
+    cache: &TraceCache,
+) -> Vec<RunMetrics> {
+    run_point(protocol, mobility, load, cfg, Some(cache))
+}
+
+fn run_point(
+    protocol: &ProtocolConfig,
+    mobility: Mobility,
+    load: u32,
+    cfg: &SweepConfig,
+    cache: Option<&TraceCache>,
 ) -> Vec<RunMetrics> {
     let sim_config = SimConfig {
         protocol: protocol.clone(),
@@ -121,13 +148,18 @@ pub fn run_point_raw(
     // Namespace the seeds so (protocol, load, replication) never collides
     // across sweeps while staying deterministic.
     let root = SimRng::new(cfg.base_seed ^ (load as u64) << 32);
-    par_map_indexed(cfg.threads, cfg.replications, move |rep| {
+    Pool::new(cfg.threads).map(cfg.replications, move |rep| {
         let rep = rep as u64;
-        let trace = mobility.build(cfg.base_seed, rep);
         let mut wl_rng = root.derive(rep * 2 + 1);
-        let workload = Workload::single_random_flow(load, trace.node_count(), &mut wl_rng);
         let sim_rng = root.derive(rep * 2);
-        simulate(&trace, &workload, &sim_config, sim_rng)
+        let run = |trace: &dtn_mobility::ContactTrace| {
+            let workload = Workload::single_random_flow(load, trace.node_count(), &mut wl_rng);
+            simulate(trace, &workload, &sim_config, sim_rng)
+        };
+        match cache {
+            Some(cache) => run(&mobility.build_cached(cfg.base_seed, rep, cache)),
+            None => run(&mobility.build(cfg.base_seed, rep)),
+        }
     })
 }
 
@@ -164,15 +196,32 @@ pub fn aggregate_point(load: u32, runs: &[RunMetrics]) -> PointResult {
 }
 
 /// Run the full load sweep for one protocol on one mobility source.
-pub fn run_sweep(
+///
+/// Internally shares one [`TraceCache`] across the sweep's points —
+/// every load level replays the same per-replication traces. Callers
+/// running *several* sweeps under the same mobility (a figure) should
+/// pass one cache to [`run_sweep_cached`] instead.
+pub fn run_sweep(protocol: &ProtocolConfig, mobility: Mobility, cfg: &SweepConfig) -> SweepResult {
+    run_sweep_cached(protocol, mobility, cfg, &TraceCache::new())
+}
+
+/// [`run_sweep`] with trace generation deduplicated through a shared,
+/// possibly cross-sweep [`TraceCache`].
+pub fn run_sweep_cached(
     protocol: &ProtocolConfig,
     mobility: Mobility,
     cfg: &SweepConfig,
+    cache: &TraceCache,
 ) -> SweepResult {
     let points = cfg
         .loads
         .iter()
-        .map(|&load| aggregate_point(load, &run_point_raw(protocol, mobility, load, cfg)))
+        .map(|&load| {
+            aggregate_point(
+                load,
+                &run_point_raw_cached(protocol, mobility, load, cfg, cache),
+            )
+        })
         .collect();
     SweepResult {
         protocol: protocol.name,

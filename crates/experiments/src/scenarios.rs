@@ -17,8 +17,11 @@
 //!   replication gets a freshly generated trace (seeded by scenario seed
 //!   ⊕ replication index).
 
-use dtn_mobility::{ContactTrace, HaggleParams, IntervalScenario, RwpParams, SubscriberParams};
+use dtn_mobility::{
+    ContactTrace, HaggleParams, IntervalScenario, RwpParams, SubscriberParams, TraceCache, TraceKey,
+};
 use dtn_sim::SimRng;
+use std::sync::Arc;
 
 /// The mobility source of an experiment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,6 +65,46 @@ impl Mobility {
             Mobility::Interval(max) => format!("interval{max}"),
             Mobility::GeometricRwp => "geom-rwp".into(),
         }
+    }
+
+    /// Scenario discriminant for [`TraceKey`]: packs the mobility kind
+    /// and its parameters so distinct scenarios never share a cache slot.
+    pub fn cache_key(&self) -> u64 {
+        match self {
+            Mobility::Trace => 1,
+            Mobility::Rwp => 2,
+            // Golden-ratio mix keeps any two max-gap values apart from
+            // the plain discriminants above.
+            Mobility::Interval(max) => 3u64.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(*max),
+            Mobility::GeometricRwp => 4,
+        }
+    }
+
+    /// The replication index that actually varies the generated trace:
+    /// the trace scenario is a fixed dataset (see [`Mobility::build`]),
+    /// so all its replications collapse onto one cache entry.
+    fn effective_replication(&self, replication: u64) -> u64 {
+        match self {
+            Mobility::Trace => 0,
+            _ => replication,
+        }
+    }
+
+    /// Build the contact trace for one replication through a shared
+    /// [`TraceCache`]: generated once per distinct
+    /// (scenario, seed, replication), shared read-only afterwards.
+    pub fn build_cached(
+        &self,
+        scenario_seed: u64,
+        replication: u64,
+        cache: &TraceCache,
+    ) -> Arc<ContactTrace> {
+        let key = TraceKey {
+            scenario: self.cache_key(),
+            seed: scenario_seed,
+            replication: self.effective_replication(replication),
+        };
+        cache.get_or_build(key, || self.build(scenario_seed, replication))
     }
 
     /// Build the contact trace for one replication.

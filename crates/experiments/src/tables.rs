@@ -15,10 +15,16 @@ use dtn_epidemic::{protocols, ProtocolConfig};
 pub fn table2_protocols() -> Vec<(&'static str, ProtocolConfig)> {
     vec![
         ("Epidemic with TTL", protocols::ttl_epidemic_default()),
-        ("Epidemic with Dynamic TTL", protocols::dynamic_ttl_epidemic()),
+        (
+            "Epidemic with Dynamic TTL",
+            protocols::dynamic_ttl_epidemic(),
+        ),
         ("Epidemic with EC", protocols::ec_epidemic()),
         ("Epidemic with EC+TTL", protocols::ec_ttl_epidemic()),
-        ("Epidemic with Immunity table", protocols::immunity_epidemic()),
+        (
+            "Epidemic with Immunity table",
+            protocols::immunity_epidemic(),
+        ),
         (
             "Epidemic with Cumulative Immunity table",
             protocols::cumulative_immunity_epidemic(),
@@ -80,8 +86,7 @@ pub fn overhead_table(cfg: &SweepConfig) -> TextTable {
     }
     TextTable {
         id: "overhead",
-        title: "Signaling overhead: immunity records transmitted per run (sweep average)"
-            .into(),
+        title: "Signaling overhead: immunity records transmitted per run (sweep average)".into(),
         headers: vec![
             "Scenario".into(),
             "Per-bundle immunity".into(),

@@ -326,7 +326,11 @@ mod tests {
         let trace = HaggleParams::default().generate(&mut SimRng::new(3));
         let summary = TraceSummary::of(&trace);
         assert_eq!(summary.nodes, 12);
-        assert!(summary.contacts_per_pair > 2.0, "{}", summary.contacts_per_pair);
+        assert!(
+            summary.contacts_per_pair > 2.0,
+            "{}",
+            summary.contacts_per_pair
+        );
         assert!(
             summary.pair_gaps_over_1h > 0.5,
             "heavy tail missing: {}",

@@ -50,9 +50,9 @@ pub fn parse_association_log<R: BufRead>(reader: R) -> Result<ContactTrace, Trac
     let mut max_time = SimTime::ZERO;
 
     let close = |node: u16,
-                     at: SimTime,
-                     open: &mut HashMap<u16, (usize, SimTime)>,
-                     visits: &mut Vec<Visit>| {
+                 at: SimTime,
+                 open: &mut HashMap<u16, (usize, SimTime)>,
+                 visits: &mut Vec<Visit>| {
         if let Some((ap, since)) = open.remove(&node) {
             if at > since {
                 visits.push(Visit {
@@ -145,8 +145,7 @@ pub fn parse_association_log<R: BufRead>(reader: R) -> Result<ContactTrace, Trac
     }
 
     let node_count = (max_node as usize + 1).max(2);
-    let contacts =
-        co_location_contacts(&mut visits, cap.unwrap_or(SimDuration::MAX), horizon);
+    let contacts = co_location_contacts(&mut visits, cap.unwrap_or(SimDuration::MAX), horizon);
     ContactTrace::new(node_count, horizon, contacts).map_err(TraceError::Invariant)
 }
 
@@ -207,10 +206,7 @@ mod tests {
     fn cap_clamps_long_colocations() {
         let text = "% horizon 2000\n% cap 300\n0 0 lib\n0 1 lib\n";
         let trace = parse_association_str(text).unwrap();
-        assert_eq!(
-            trace.contacts()[0].duration(),
-            SimDuration::from_secs(300)
-        );
+        assert_eq!(trace.contacts()[0].duration(), SimDuration::from_secs(300));
     }
 
     #[test]

@@ -125,11 +125,19 @@ pub enum TraceInvariantError {
 impl fmt::Display for TraceInvariantError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceInvariantError::NodeOutOfRange { index, node, node_count } => write!(
+            TraceInvariantError::NodeOutOfRange {
+                index,
+                node,
+                node_count,
+            } => write!(
                 f,
                 "contact #{index} references {node} outside universe of {node_count} nodes"
             ),
-            TraceInvariantError::PastHorizon { index, end, horizon } => {
+            TraceInvariantError::PastHorizon {
+                index,
+                end,
+                horizon,
+            } => {
                 write!(f, "contact #{index} ends at {end}, past horizon {horizon}")
             }
             TraceInvariantError::TooFewNodes => write!(f, "a trace needs at least two nodes"),
@@ -152,11 +160,19 @@ impl ContactTrace {
         for (index, c) in contacts.iter().enumerate() {
             for node in [c.a, c.b] {
                 if node.index() >= node_count {
-                    return Err(TraceInvariantError::NodeOutOfRange { index, node, node_count });
+                    return Err(TraceInvariantError::NodeOutOfRange {
+                        index,
+                        node,
+                        node_count,
+                    });
                 }
             }
             if c.end > horizon {
-                return Err(TraceInvariantError::PastHorizon { index, end: c.end, horizon });
+                return Err(TraceInvariantError::PastHorizon {
+                    index,
+                    end: c.end,
+                    horizon,
+                });
             }
         }
         contacts.sort_by_key(|c| (c.start, c.a, c.b));
@@ -358,7 +374,11 @@ mod tests {
         let trace = ContactTrace::new(
             3,
             t(100),
-            vec![contact(0, 1, 50, 60), contact(1, 2, 10, 20), contact(0, 2, 10, 15)],
+            vec![
+                contact(0, 1, 50, 60),
+                contact(1, 2, 10, 20),
+                contact(0, 2, 10, 15),
+            ],
         )
         .unwrap();
         let starts: Vec<u64> = trace.contacts().iter().map(|c| c.start.as_secs()).collect();
@@ -370,7 +390,13 @@ mod tests {
     #[test]
     fn trace_rejects_out_of_range_nodes() {
         let err = ContactTrace::new(2, t(100), vec![contact(0, 5, 0, 1)]).unwrap_err();
-        assert!(matches!(err, TraceInvariantError::NodeOutOfRange { node: NodeId(5), .. }));
+        assert!(matches!(
+            err,
+            TraceInvariantError::NodeOutOfRange {
+                node: NodeId(5),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -392,7 +418,11 @@ mod tests {
         let trace = ContactTrace::new(
             4,
             t(100),
-            vec![contact(0, 1, 0, 5), contact(0, 2, 10, 15), contact(0, 3, 20, 25)],
+            vec![
+                contact(0, 1, 0, 5),
+                contact(0, 2, 10, 15),
+                contact(0, 3, 20, 25),
+            ],
         )
         .unwrap();
         assert_eq!(trace.encounter_counts(), vec![3, 1, 1, 1]);
@@ -403,17 +433,27 @@ mod tests {
         let trace = ContactTrace::new(
             3,
             t(1_000),
-            vec![contact(0, 1, 0, 10), contact(0, 2, 110, 120), contact(0, 1, 620, 640)],
+            vec![
+                contact(0, 1, 0, 10),
+                contact(0, 2, 110, 120),
+                contact(0, 1, 620, 640),
+            ],
         )
         .unwrap();
         let gaps = trace.intercontact_gaps();
         // Node 0: end 10 -> start 110 (gap 100), end 120 -> start 620 (gap 500).
-        assert_eq!(gaps[0], vec![SimDuration::from_secs(100), SimDuration::from_secs(500)]);
+        assert_eq!(
+            gaps[0],
+            vec![SimDuration::from_secs(100), SimDuration::from_secs(500)]
+        );
         // Node 1: end 10 -> start 620.
         assert_eq!(gaps[1], vec![SimDuration::from_secs(610)]);
         assert!(gaps[2].is_empty());
         // Mean over {100, 500, 610}.
-        assert_eq!(trace.mean_intercontact_gap(), SimDuration::from_millis(403_333));
+        assert_eq!(
+            trace.mean_intercontact_gap(),
+            SimDuration::from_millis(403_333)
+        );
     }
 
     #[test]
@@ -449,7 +489,11 @@ mod tests {
         let trace = ContactTrace::new(
             4,
             t(1_000),
-            vec![contact(0, 1, 10, 20), contact(1, 2, 30, 40), contact(2, 3, 50, 60)],
+            vec![
+                contact(0, 1, 10, 20),
+                contact(1, 2, 30, 40),
+                contact(2, 3, 50, 60),
+            ],
         )
         .unwrap();
         let reach = trace.temporal_reachability(NodeId(0), SimTime::ZERO);
@@ -468,7 +512,11 @@ mod tests {
         let trace = ContactTrace::new(
             3,
             t(1_000),
-            vec![contact(0, 1, 0, 5), contact(1, 0, 10, 15), contact(1, 2, 20, 25)],
+            vec![
+                contact(0, 1, 0, 5),
+                contact(1, 0, 10, 15),
+                contact(1, 2, 20, 25),
+            ],
         )
         .unwrap();
         let counts = trace.pair_contact_counts();

@@ -27,6 +27,7 @@
 
 pub mod analysis;
 pub mod association;
+pub mod cache;
 pub mod contact;
 pub mod rwp;
 pub mod scenario;
@@ -36,6 +37,7 @@ pub mod trace_io;
 
 pub use analysis::{Ccdf, TraceSummary};
 pub use association::{parse_association_log, parse_association_str};
+pub use cache::{TraceCache, TraceKey};
 pub use contact::{Contact, ContactTrace, NodeId, TraceInvariantError};
 pub use rwp::RwpParams;
 pub use scenario::IntervalScenario;

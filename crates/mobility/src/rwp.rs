@@ -122,7 +122,10 @@ impl RwpParams {
         assert!(self.nodes >= 2);
         assert!(self.area_side_m > 0.0);
         assert!(self.range_m > 0.0 && self.range_m < self.area_side_m);
-        assert!(self.speed_min_mps > 0.0, "zero min speed causes RWP speed decay");
+        assert!(
+            self.speed_min_mps > 0.0,
+            "zero min speed causes RWP speed decay"
+        );
         assert!(self.speed_max_mps >= self.speed_min_mps);
         assert!(self.pause_max_s >= 0.0);
     }
@@ -210,12 +213,7 @@ impl RwpParams {
 /// Sub-intervals of `[0, horizon]` during which two piecewise-linear
 /// trajectories stay within `range` of each other, found analytically and
 /// merged.
-pub fn contact_intervals(
-    ta: &[Leg],
-    tb: &[Leg],
-    range: f64,
-    horizon_s: f64,
-) -> Vec<(f64, f64)> {
+pub fn contact_intervals(ta: &[Leg], tb: &[Leg], range: f64, horizon_s: f64) -> Vec<(f64, f64)> {
     let mut raw: Vec<(f64, f64)> = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
     while i < ta.len() && j < tb.len() {
@@ -364,7 +362,10 @@ mod tests {
         };
         let trace = params.generate(&mut SimRng::new(2));
         assert_eq!(trace.node_count(), 12);
-        assert!(!trace.is_empty(), "12 nodes in 1 km² for 50 000 s must meet");
+        assert!(
+            !trace.is_empty(),
+            "12 nodes in 1 km² for 50 000 s must meet"
+        );
         for c in trace.contacts() {
             assert!(c.start < c.end && c.end <= trace.horizon());
         }

@@ -81,10 +81,16 @@ impl SubscriberParams {
     fn validate(&self) {
         assert!(self.nodes >= 2);
         assert!(self.points >= 2, "need at least two subscriber points");
-        assert!(self.points < 100, "paper bounds subscriber points below 100/km²");
+        assert!(
+            self.points < 100,
+            "paper bounds subscriber points below 100/km²"
+        );
         assert!(self.area_side_m > 0.0);
         assert!(self.speed_min_mps > 0.0 && self.speed_max_mps >= self.speed_min_mps);
-        assert!(!self.pause_max.is_zero(), "zero pause makes contacts impossible");
+        assert!(
+            !self.pause_max.is_zero(),
+            "zero pause makes contacts impossible"
+        );
     }
 
     /// Generate the contact trace.
@@ -271,7 +277,7 @@ mod tests {
             depart: SimTime::from_secs(depart),
         };
         // Artificial overlap of the same node with itself must be ignored.
-        let mut visits = vec![mk(0, 0, 100), mk(0, 0, 50, )];
+        let mut visits = vec![mk(0, 0, 100), mk(0, 0, 50)];
         let contacts = co_location_contacts(
             &mut visits,
             SimDuration::from_secs(500),

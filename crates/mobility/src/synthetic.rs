@@ -84,7 +84,10 @@ impl HaggleParams {
     /// inputs, not user data).
     fn validate(&self) {
         assert!(self.nodes >= 2, "need at least 2 nodes");
-        assert!(self.nodes <= u16::MAX as usize + 1, "node id space overflow");
+        assert!(
+            self.nodes <= u16::MAX as usize + 1,
+            "node id space overflow"
+        );
         assert!(self.gap_min_s > 0.0 && self.gap_max_s > self.gap_min_s);
         assert!(self.dur_min_s > 0.0 && self.dur_max_s > self.dur_min_s);
         assert!(self.gap_alpha > 0.0 && self.dur_alpha > 0.0);
@@ -118,9 +121,8 @@ impl HaggleParams {
                         SimTime::from_secs_f64(t),
                         SimTime::from_secs_f64(end),
                     ));
-                    let gap =
-                        rng.pareto_truncated(self.gap_min_s, self.gap_max_s, self.gap_alpha)
-                            * social;
+                    let gap = rng.pareto_truncated(self.gap_min_s, self.gap_max_s, self.gap_alpha)
+                        * social;
                     t = end + gap;
                 }
             }

@@ -293,8 +293,8 @@ mod tests {
 
     #[test]
     fn round_trips_exactly() {
-        let original = parse_trace_str("% nodes 5\n% horizon 1000\n0 4 1 99\n2 3 50.5 60.75\n")
-            .unwrap();
+        let original =
+            parse_trace_str("% nodes 5\n% horizon 1000\n0 4 1 99\n2 3 50.5 60.75\n").unwrap();
         let text = write_trace_string(&original);
         let reparsed = parse_trace_str(&text).unwrap();
         assert_eq!(reparsed.node_count(), original.node_count());

@@ -2,7 +2,9 @@
 
 use dtn_mobility::rwp::merge_intervals;
 use dtn_mobility::trace_io::{parse_trace_str, write_trace_string};
-use dtn_mobility::{Contact, ContactTrace, HaggleParams, IntervalScenario, NodeId, SubscriberParams};
+use dtn_mobility::{
+    Contact, ContactTrace, HaggleParams, IntervalScenario, NodeId, SubscriberParams,
+};
 use dtn_sim::{SimRng, SimTime};
 use proptest::prelude::*;
 

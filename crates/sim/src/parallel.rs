@@ -3,8 +3,8 @@
 //! Every plotted point in the paper averages ten independent replications;
 //! a full figure is a sweep of ten load levels × several protocols, and the
 //! repository regenerates sixteen figures/tables. Those replications are
-//! embarrassingly parallel, so this module provides a small, dependency-light
-//! fork–join pool built on `crossbeam::scope`:
+//! embarrassingly parallel, so this module provides a small,
+//! dependency-free fork–join pool built on `std::thread::scope`:
 //!
 //! * [`par_map_indexed`] — run `f(0..n)` across worker threads, returning
 //!   results **in index order** regardless of completion order (ordering is
@@ -16,9 +16,9 @@
 //! trace horizon while an easy one stops early — so static chunking would
 //! leave cores idle.
 
-use parking_lot::Mutex;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Thread-count policy for parallel sweeps.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -28,9 +28,9 @@ pub enum Threads {
     Auto,
     /// Use exactly this many workers.
     Fixed(NonZeroUsize),
-    /// Run everything on the calling thread (useful under Criterion, which
-    /// wants to own the machine's parallelism, and in tests that assert
-    /// determinism).
+    /// Run everything on the calling thread (useful under benchmarks,
+    /// which want to own the machine's parallelism, and in tests that
+    /// assert determinism).
     Sequential,
 }
 
@@ -58,6 +58,11 @@ impl Pool {
     /// Pool with the given thread policy.
     pub fn new(threads: Threads) -> Self {
         Pool { threads }
+    }
+
+    /// The thread policy this pool runs under.
+    pub fn threads(&self) -> Threads {
+        self.threads
     }
 
     /// Map `f` over `0..n` in parallel; see [`par_map_indexed`].
@@ -97,9 +102,9 @@ where
     let slots_ref = &slots;
     let next_ref = &next;
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next_ref.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -108,14 +113,14 @@ where
                 // Store under a short critical section. The computation ran
                 // outside the lock; contention here is one pointer write per
                 // replication and is immeasurable next to a simulation run.
-                slots_ref.lock()[i] = Some(result);
+                slots_ref.lock().expect("worker thread panicked")[i] = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots
         .into_inner()
+        .expect("worker thread panicked")
         .iter_mut()
         .map(|slot| slot.take().expect("every index filled"))
         .collect()

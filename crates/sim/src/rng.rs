@@ -74,10 +74,7 @@ impl SimRng {
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -198,7 +195,7 @@ impl SimRng {
         debug_assert!(x_min > 0.0 && x_max > x_min && alpha > 0.0);
         let a = (x_min / x_max).powf(alpha); // CCDF at x_max
         let u = self.f64(); // in [0,1)
-        // Conditional CCDF uniform on [a, 1]; invert.
+                            // Conditional CCDF uniform on [a, 1]; invert.
         let ccdf = a + (1.0 - a) * (1.0 - u);
         x_min / ccdf.powf(1.0 / alpha)
     }
@@ -396,10 +393,7 @@ mod tests {
         let mut rng = SimRng::new(23);
         for _ in 0..10_000 {
             let x = rng.pareto_truncated(10.0, 5_000.0, 0.4);
-            assert!(
-                (10.0..=5_000.0 + 1e-6).contains(&x),
-                "out of bounds: {x}"
-            );
+            assert!((10.0..=5_000.0 + 1e-6).contains(&x), "out of bounds: {x}");
         }
     }
 

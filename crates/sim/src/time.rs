@@ -330,7 +330,10 @@ mod tests {
     #[test]
     fn add_saturates_at_max() {
         assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
-        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::MAX + SimDuration::from_secs(1),
+            SimDuration::MAX
+        );
     }
 
     #[test]
@@ -343,7 +346,10 @@ mod tests {
 
     #[test]
     fn div_whole_zero_unit_is_unbounded() {
-        assert_eq!(SimDuration::from_secs(5).div_whole(SimDuration::ZERO), u64::MAX);
+        assert_eq!(
+            SimDuration::from_secs(5).div_whole(SimDuration::ZERO),
+            u64::MAX
+        );
     }
 
     #[test]

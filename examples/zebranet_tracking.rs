@@ -26,13 +26,13 @@ fn main() {
     let savanna = HaggleParams {
         nodes: 20,
         horizon: SimTime::from_secs(14 * 86_400),
-        gap_min_s: 3_600.0,          // at least an hour apart
-        gap_max_s: 4.0 * 86_400.0,   // up to four days
+        gap_min_s: 3_600.0,        // at least an hour apart
+        gap_max_s: 4.0 * 86_400.0, // up to four days
         gap_alpha: 0.5,
         dur_min_s: 120.0,
         dur_max_s: 1_200.0,
         dur_alpha: 1.2,
-        sociability: (0.3, 3.0),     // herds: some pairs graze together
+        sociability: (0.3, 3.0), // herds: some pairs graze together
     };
 
     let base_station = NodeId(0);
@@ -46,7 +46,8 @@ fn main() {
         let mut failures = 0u32;
         for rep in 0..replications {
             let trace = savanna.generate(&mut SimRng::new(500 + rep));
-            let workload = Workload::single_flow(collar, base_station, readings, trace.node_count());
+            let workload =
+                Workload::single_flow(collar, base_station, readings, trace.node_count());
             let config = SimConfig::paper_defaults(protocol.clone());
             let m = simulate(&trace, &workload, &config, SimRng::new(rep));
             delivery.push(m.delivery_ratio);
@@ -76,7 +77,10 @@ fn main() {
         );
     }
     println!("\nthe paper's adaptive policy:");
-    evaluate("  dynamic TTL (2× interval)".into(), protocols::dynamic_ttl_epidemic());
+    evaluate(
+        "  dynamic TTL (2× interval)".into(),
+        protocols::dynamic_ttl_epidemic(),
+    );
     println!("\nreference (infinite lifetimes):");
     evaluate("  pure epidemic".into(), protocols::pure_epidemic());
 }

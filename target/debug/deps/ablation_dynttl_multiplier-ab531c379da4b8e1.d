@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dynttl_multiplier-ab531c379da4b8e1.d: crates/bench/benches/ablation_dynttl_multiplier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dynttl_multiplier-ab531c379da4b8e1.rmeta: crates/bench/benches/ablation_dynttl_multiplier.rs Cargo.toml
+
+crates/bench/benches/ablation_dynttl_multiplier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

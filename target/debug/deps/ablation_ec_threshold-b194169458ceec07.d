@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ec_threshold-b194169458ceec07.d: crates/bench/benches/ablation_ec_threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ec_threshold-b194169458ceec07.rmeta: crates/bench/benches/ablation_ec_threshold.rs Cargo.toml
+
+crates/bench/benches/ablation_ec_threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

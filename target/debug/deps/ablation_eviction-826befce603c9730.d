@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_eviction-826befce603c9730.d: crates/bench/benches/ablation_eviction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_eviction-826befce603c9730.rmeta: crates/bench/benches/ablation_eviction.rs Cargo.toml
+
+crates/bench/benches/ablation_eviction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

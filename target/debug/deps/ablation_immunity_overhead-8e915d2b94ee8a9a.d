@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_immunity_overhead-8e915d2b94ee8a9a.d: crates/bench/benches/ablation_immunity_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_immunity_overhead-8e915d2b94ee8a9a.rmeta: crates/bench/benches/ablation_immunity_overhead.rs Cargo.toml
+
+crates/bench/benches/ablation_immunity_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

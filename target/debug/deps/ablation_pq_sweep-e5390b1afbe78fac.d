@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pq_sweep-e5390b1afbe78fac.d: crates/bench/benches/ablation_pq_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pq_sweep-e5390b1afbe78fac.rmeta: crates/bench/benches/ablation_pq_sweep.rs Cargo.toml
+
+crates/bench/benches/ablation_pq_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ttl_sweep-6867df6a953000c0.d: crates/bench/benches/ablation_ttl_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ttl_sweep-6867df6a953000c0.rmeta: crates/bench/benches/ablation_ttl_sweep.rs Cargo.toml
+
+crates/bench/benches/ablation_ttl_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sweep-a67bc7ac7b5b9573.d: crates/bench/src/bin/bench_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sweep-a67bc7ac7b5b9573.rmeta: crates/bench/src/bin/bench_sweep.rs Cargo.toml
+
+crates/bench/src/bin/bench_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

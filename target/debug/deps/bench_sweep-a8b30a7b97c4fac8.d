@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_sweep-a8b30a7b97c4fac8.d: crates/bench/src/bin/bench_sweep.rs
+
+/root/repo/target/debug/deps/bench_sweep-a8b30a7b97c4fac8: crates/bench/src/bin/bench_sweep.rs
+
+crates/bench/src/bin/bench_sweep.rs:

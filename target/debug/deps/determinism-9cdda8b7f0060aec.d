@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-9cdda8b7f0060aec.d: crates/experiments/../../tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-9cdda8b7f0060aec.rmeta: crates/experiments/../../tests/determinism.rs Cargo.toml
+
+crates/experiments/../../tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ebbf5481077ec640.d: crates/experiments/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-ebbf5481077ec640: crates/experiments/../../tests/determinism.rs
+
+crates/experiments/../../tests/determinism.rs:

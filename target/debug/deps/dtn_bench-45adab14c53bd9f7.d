@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dtn_bench-45adab14c53bd9f7.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdtn_bench-45adab14c53bd9f7.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

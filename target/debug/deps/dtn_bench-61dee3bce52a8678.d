@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dtn_bench-61dee3bce52a8678.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdtn_bench-61dee3bce52a8678.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdtn_bench-61dee3bce52a8678.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

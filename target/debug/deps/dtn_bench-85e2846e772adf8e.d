@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dtn_bench-85e2846e772adf8e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dtn_bench-85e2846e772adf8e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dtn_mobility-f1703925a1bbe23f.d: crates/mobility/src/lib.rs crates/mobility/src/analysis.rs crates/mobility/src/association.rs crates/mobility/src/cache.rs crates/mobility/src/contact.rs crates/mobility/src/rwp.rs crates/mobility/src/scenario.rs crates/mobility/src/subscriber.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace_io.rs
+
+/root/repo/target/debug/deps/dtn_mobility-f1703925a1bbe23f: crates/mobility/src/lib.rs crates/mobility/src/analysis.rs crates/mobility/src/association.rs crates/mobility/src/cache.rs crates/mobility/src/contact.rs crates/mobility/src/rwp.rs crates/mobility/src/scenario.rs crates/mobility/src/subscriber.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace_io.rs
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/analysis.rs:
+crates/mobility/src/association.rs:
+crates/mobility/src/cache.rs:
+crates/mobility/src/contact.rs:
+crates/mobility/src/rwp.rs:
+crates/mobility/src/scenario.rs:
+crates/mobility/src/subscriber.rs:
+crates/mobility/src/synthetic.rs:
+crates/mobility/src/trace_io.rs:

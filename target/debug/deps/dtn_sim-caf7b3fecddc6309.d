@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dtn_sim-caf7b3fecddc6309.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/parallel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libdtn_sim-caf7b3fecddc6309.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/parallel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libdtn_sim-caf7b3fecddc6309.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/parallel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/events.rs:
+crates/sim/src/parallel.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dtnsim-07a1887b27ffec24.d: crates/experiments/src/bin/dtnsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdtnsim-07a1887b27ffec24.rmeta: crates/experiments/src/bin/dtnsim.rs Cargo.toml
+
+crates/experiments/src/bin/dtnsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dtnsim-914b79ac69ec5b51.d: crates/experiments/src/bin/dtnsim.rs
+
+/root/repo/target/debug/deps/dtnsim-914b79ac69ec5b51: crates/experiments/src/bin/dtnsim.rs
+
+crates/experiments/src/bin/dtnsim.rs:

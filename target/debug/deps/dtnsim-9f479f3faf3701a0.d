@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dtnsim-9f479f3faf3701a0.d: crates/experiments/src/bin/dtnsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdtnsim-9f479f3faf3701a0.rmeta: crates/experiments/src/bin/dtnsim.rs Cargo.toml
+
+crates/experiments/src/bin/dtnsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dtnsim-dad00cf2d8df041c.d: crates/experiments/src/bin/dtnsim.rs
+
+/root/repo/target/debug/deps/dtnsim-dad00cf2d8df041c: crates/experiments/src/bin/dtnsim.rs
+
+crates/experiments/src/bin/dtnsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-643d7a910564bf43.d: crates/experiments/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-643d7a910564bf43: crates/experiments/../../tests/end_to_end.rs
+
+crates/experiments/../../tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07-ecc45d5377851729.d: crates/bench/benches/fig07.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07-ecc45d5377851729.rmeta: crates/bench/benches/fig07.rs Cargo.toml
+
+crates/bench/benches/fig07.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08-24fcbcc392150d3f.d: crates/bench/benches/fig08.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08-24fcbcc392150d3f.rmeta: crates/bench/benches/fig08.rs Cargo.toml
+
+crates/bench/benches/fig08.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10-cef6d5092561730a.d: crates/bench/benches/fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10-cef6d5092561730a.rmeta: crates/bench/benches/fig10.rs Cargo.toml
+
+crates/bench/benches/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17-9310f3c8d01e680f.d: crates/bench/benches/fig17.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17-9310f3c8d01e680f.rmeta: crates/bench/benches/fig17.rs Cargo.toml
+
+crates/bench/benches/fig17.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19-42e8b51fef53a9ca.d: crates/bench/benches/fig19.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19-42e8b51fef53a9ca.rmeta: crates/bench/benches/fig19.rs Cargo.toml
+
+crates/bench/benches/fig19.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

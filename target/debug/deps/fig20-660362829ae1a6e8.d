@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig20-660362829ae1a6e8.d: crates/bench/benches/fig20.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig20-660362829ae1a6e8.rmeta: crates/bench/benches/fig20.rs Cargo.toml
+
+crates/bench/benches/fig20.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_equivalence-54bb9f007e9aca52.d: crates/experiments/../../tests/golden_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_equivalence-54bb9f007e9aca52.rmeta: crates/experiments/../../tests/golden_equivalence.rs Cargo.toml
+
+crates/experiments/../../tests/golden_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_equivalence-876f83b74ebbb060.d: crates/experiments/../../tests/golden_equivalence.rs
+
+/root/repo/target/debug/deps/golden_equivalence-876f83b74ebbb060: crates/experiments/../../tests/golden_equivalence.rs
+
+crates/experiments/../../tests/golden_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-3e098ef4cd305692.d: crates/experiments/../../tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-3e098ef4cd305692: crates/experiments/../../tests/paper_claims.rs
+
+crates/experiments/../../tests/paper_claims.rs:

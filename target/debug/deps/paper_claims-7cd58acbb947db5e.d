@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_claims-7cd58acbb947db5e.d: crates/experiments/../../tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-7cd58acbb947db5e.rmeta: crates/experiments/../../tests/paper_claims.rs Cargo.toml
+
+crates/experiments/../../tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

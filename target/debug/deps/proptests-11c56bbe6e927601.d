@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-11c56bbe6e927601.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-11c56bbe6e927601: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

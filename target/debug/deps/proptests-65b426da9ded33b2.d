@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-65b426da9ded33b2.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-65b426da9ded33b2: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7b0c9e22e73e67e4.d: crates/mobility/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7b0c9e22e73e67e4: crates/mobility/tests/proptests.rs
+
+crates/mobility/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c15e9c18fd36d5a1.d: crates/mobility/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c15e9c18fd36d5a1.rmeta: crates/mobility/tests/proptests.rs Cargo.toml
+
+crates/mobility/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-4c4476a1e8324265.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-4c4476a1e8324265: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-f48392e6ea0c72db.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-f48392e6ea0c72db: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

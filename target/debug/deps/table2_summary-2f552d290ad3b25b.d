@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_summary-2f552d290ad3b25b.d: crates/bench/benches/table2_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_summary-2f552d290ad3b25b.rmeta: crates/bench/benches/table2_summary.rs Cargo.toml
+
+crates/bench/benches/table2_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_replay-7c2beff40fd74560.d: crates/experiments/../../tests/trace_replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_replay-7c2beff40fd74560.rmeta: crates/experiments/../../tests/trace_replay.rs Cargo.toml
+
+crates/experiments/../../tests/trace_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

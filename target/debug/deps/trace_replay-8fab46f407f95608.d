@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_replay-8fab46f407f95608.d: crates/experiments/../../tests/trace_replay.rs
+
+/root/repo/target/debug/deps/trace_replay-8fab46f407f95608: crates/experiments/../../tests/trace_replay.rs
+
+crates/experiments/../../tests/trace_replay.rs:

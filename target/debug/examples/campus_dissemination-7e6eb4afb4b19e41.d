@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/campus_dissemination-7e6eb4afb4b19e41.d: crates/experiments/../../examples/campus_dissemination.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcampus_dissemination-7e6eb4afb4b19e41.rmeta: crates/experiments/../../examples/campus_dissemination.rs Cargo.toml
+
+crates/experiments/../../examples/campus_dissemination.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campus_dissemination-8a0651b32fd494ab.d: crates/experiments/../../examples/campus_dissemination.rs
+
+/root/repo/target/debug/examples/campus_dissemination-8a0651b32fd494ab: crates/experiments/../../examples/campus_dissemination.rs
+
+crates/experiments/../../examples/campus_dissemination.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e8bad311bbd98904.d: crates/experiments/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e8bad311bbd98904: crates/experiments/../../examples/quickstart.rs
+
+crates/experiments/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_replay-6c099637d24a0892.d: crates/experiments/../../examples/trace_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_replay-6c099637d24a0892.rmeta: crates/experiments/../../examples/trace_replay.rs Cargo.toml
+
+crates/experiments/../../examples/trace_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

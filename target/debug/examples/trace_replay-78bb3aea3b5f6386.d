@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-78bb3aea3b5f6386.d: crates/experiments/../../examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-78bb3aea3b5f6386: crates/experiments/../../examples/trace_replay.rs
+
+crates/experiments/../../examples/trace_replay.rs:

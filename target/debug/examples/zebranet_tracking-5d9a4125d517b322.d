@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zebranet_tracking-5d9a4125d517b322.d: crates/experiments/../../examples/zebranet_tracking.rs
+
+/root/repo/target/debug/examples/zebranet_tracking-5d9a4125d517b322: crates/experiments/../../examples/zebranet_tracking.rs
+
+crates/experiments/../../examples/zebranet_tracking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/zebranet_tracking-65c4c36b441a28c9.d: crates/experiments/../../examples/zebranet_tracking.rs Cargo.toml
+
+/root/repo/target/debug/examples/libzebranet_tracking-65c4c36b441a28c9.rmeta: crates/experiments/../../examples/zebranet_tracking.rs Cargo.toml
+
+crates/experiments/../../examples/zebranet_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

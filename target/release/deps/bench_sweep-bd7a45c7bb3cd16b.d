@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_sweep-bd7a45c7bb3cd16b.d: crates/bench/src/bin/bench_sweep.rs
+
+/root/repo/target/release/deps/bench_sweep-bd7a45c7bb3cd16b: crates/bench/src/bin/bench_sweep.rs
+
+crates/bench/src/bin/bench_sweep.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dtn_bench-f47062ab60320fe1.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdtn_bench-f47062ab60320fe1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdtn_bench-f47062ab60320fe1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dtn_sim-ba22856808e32c9c.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/parallel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libdtn_sim-ba22856808e32c9c.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/parallel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libdtn_sim-ba22856808e32c9c.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/parallel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/events.rs:
+crates/sim/src/parallel.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dtnsim-bc3eeb1eb2502f3d.d: crates/experiments/src/bin/dtnsim.rs
+
+/root/repo/target/release/deps/dtnsim-bc3eeb1eb2502f3d: crates/experiments/src/bin/dtnsim.rs
+
+crates/experiments/src/bin/dtnsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden_equivalence-b2a94835219a6f3e.d: crates/experiments/../../tests/golden_equivalence.rs
+
+/root/repo/target/release/deps/golden_equivalence-b2a94835219a6f3e: crates/experiments/../../tests/golden_equivalence.rs
+
+crates/experiments/../../tests/golden_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-ddc5f02d3cd4be8c.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-ddc5f02d3cd4be8c: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

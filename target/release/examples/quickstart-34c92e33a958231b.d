@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-34c92e33a958231b.d: crates/experiments/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-34c92e33a958231b: crates/experiments/../../examples/quickstart.rs
+
+crates/experiments/../../examples/quickstart.rs:

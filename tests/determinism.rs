@@ -1,0 +1,102 @@
+//! Thread-policy determinism: the sweep driver must produce byte-identical
+//! aggregates no matter how the replication work is scheduled.
+//!
+//! Every replication's randomness derives from `base_seed` by index, and
+//! the parallel map reassembles results in index order, so `Sequential`,
+//! `Fixed(2)`, and `Auto` worker policies are required to agree on every
+//! float *bit for bit* — not merely within tolerance. A scheduling-
+//! dependent accumulation order anywhere in the pipeline fails this test.
+
+use std::num::NonZeroUsize;
+
+use dtn_epidemic::protocols;
+use dtn_experiments::{run_sweep, Mobility, PointResult, SweepConfig, SweepResult};
+use dtn_sim::Threads;
+
+/// Hex bit pattern of an `f64`: exact, stable, and diff-friendly.
+fn bits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn summary_bits(s: &dtn_sim::Summary) -> String {
+    format!(
+        "n={} mean={} sd={} min={} max={}",
+        s.n,
+        bits(s.mean),
+        bits(s.std_dev),
+        bits(s.min),
+        bits(s.max)
+    )
+}
+
+fn point_fingerprint(p: &PointResult) -> String {
+    format!(
+        "load={} fail={} dr[{}] delay[{}] occ[{}] dup[{}] ack[{}] tx[{}]",
+        p.load,
+        p.failures,
+        summary_bits(&p.delivery_ratio),
+        summary_bits(&p.delay_s),
+        summary_bits(&p.buffer_occupancy),
+        summary_bits(&p.duplication_rate),
+        summary_bits(&p.ack_records),
+        summary_bits(&p.transmissions),
+    )
+}
+
+fn sweep_fingerprint(r: &SweepResult) -> String {
+    let mut out = format!("{} / {}\n", r.protocol, r.mobility);
+    for p in &r.points {
+        out.push_str(&point_fingerprint(p));
+        out.push('\n');
+    }
+    out
+}
+
+fn config_with(threads: Threads) -> SweepConfig {
+    SweepConfig {
+        loads: vec![10, 30],
+        replications: 3,
+        threads,
+        ..SweepConfig::default()
+    }
+}
+
+/// One sweep per protocol family under each thread policy; all three
+/// fingerprints must match exactly.
+#[test]
+fn sweep_summaries_are_thread_policy_invariant() {
+    let policies = [
+        Threads::Sequential,
+        Threads::Fixed(NonZeroUsize::new(2).unwrap()),
+        Threads::Auto,
+    ];
+    for protocol in protocols::all_protocols() {
+        for mobility in [Mobility::Trace, Mobility::Rwp] {
+            let baseline = sweep_fingerprint(&run_sweep(
+                &protocol,
+                mobility,
+                &config_with(Threads::Sequential),
+            ));
+            for &threads in &policies {
+                let got = sweep_fingerprint(&run_sweep(&protocol, mobility, &config_with(threads)));
+                assert_eq!(
+                    got, baseline,
+                    "{} on {:?} diverged under {:?}",
+                    protocol.name, mobility, threads
+                );
+            }
+        }
+    }
+}
+
+/// Repeating the identical sequential sweep must reproduce itself — the
+/// cheap sanity check that nothing in the pipeline consults ambient state
+/// (time, addresses, map iteration order, …).
+#[test]
+fn sequential_sweep_is_self_reproducible() {
+    let protocol = &protocols::all_protocols()[0];
+    let cfg = config_with(Threads::Sequential);
+    let a = sweep_fingerprint(&run_sweep(protocol, Mobility::Interval(400), &cfg));
+    let b = sweep_fingerprint(&run_sweep(protocol, Mobility::Interval(400), &cfg));
+    assert_eq!(a, b);
+}

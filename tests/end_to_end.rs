@@ -44,7 +44,10 @@ fn every_protocol_runs_on_every_mobility_source() {
             );
             assert!(m.avg_buffer_occupancy >= 0.0);
             if m.completion_time.is_some() {
-                assert_eq!(m.delivered, m.total_bundles, "{name}: completed but not all delivered");
+                assert_eq!(
+                    m.delivered, m.total_bundles,
+                    "{name}: completed but not all delivered"
+                );
             }
             if config.protocol.ack == AckScheme::None {
                 assert_eq!(m.ack_records_sent, 0, "{name}");
@@ -79,7 +82,10 @@ fn sweeps_are_thread_count_invariant() {
     let mut par = base.clone();
     par.threads = Threads::Fixed(std::num::NonZeroUsize::new(7).unwrap());
 
-    for protocol in [protocols::pq_epidemic(1.0, 1.0), protocols::ec_ttl_epidemic()] {
+    for protocol in [
+        protocols::pq_epidemic(1.0, 1.0),
+        protocols::ec_ttl_epidemic(),
+    ] {
         let seq_result = run_sweep(&protocol, Mobility::Rwp, &base);
         let par_result = run_sweep(&protocol, Mobility::Rwp, &par);
         for (s, p) in seq_result.points.iter().zip(&par_result.points) {

@@ -147,7 +147,10 @@ fn trace_delivery_ordering_immunity_ec_ttl() {
         immunity > ec && ec > ttl,
         "expected immunity ({immunity:.3}) > EC ({ec:.3}) > TTL ({ttl:.3}) at high load"
     );
-    assert!(immunity > 0.85, "immunity delivery should stay high: {immunity:.3}");
+    assert!(
+        immunity > 0.85,
+        "immunity delivery should stay high: {immunity:.3}"
+    );
     assert!(ttl < 0.5, "fixed TTL must collapse at high load: {ttl:.3}");
 }
 
@@ -194,9 +197,8 @@ fn cumulative_immunity_keeps_delivery_high() {
     for mobility in [Mobility::Trace, Mobility::Rwp] {
         let immunity = run_sweep(&protocols::immunity_epidemic(), mobility, &cfg)
             .grand_mean(|p| p.delivery_ratio.mean);
-        let cumulative =
-            run_sweep(&protocols::cumulative_immunity_epidemic(), mobility, &cfg)
-                .grand_mean(|p| p.delivery_ratio.mean);
+        let cumulative = run_sweep(&protocols::cumulative_immunity_epidemic(), mobility, &cfg)
+            .grand_mean(|p| p.delivery_ratio.mean);
         assert!(
             cumulative > immunity - 0.15,
             "{mobility:?}: cumulative delivery ({cumulative:.3}) must track immunity's ({immunity:.3})"

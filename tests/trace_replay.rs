@@ -33,7 +33,11 @@ fn file_replay_matches_in_memory_simulation() {
         let config = SimConfig::paper_defaults(protocol);
         let direct = simulate(&trace, &workload, &config, SimRng::new(13));
         let via_file = simulate(&replayed, &workload, &config, SimRng::new(13));
-        assert_eq!(direct, via_file, "{} diverged after file round-trip", config.protocol.name);
+        assert_eq!(
+            direct, via_file,
+            "{} diverged after file round-trip",
+            config.protocol.name
+        );
     }
     std::fs::remove_file(&path).ok();
 }
