@@ -1,0 +1,182 @@
+//! Probe-overhead guard: proves the telemetry layer costs nothing when
+//! disabled.
+//!
+//! The simulator's hot path is generic over a [`Probe`]; production runs
+//! use [`NullProbe`], whose `ENABLED = false` constant dead-codes every
+//! event emission at monomorphization time. This bench re-times the exact
+//! `bench_sweep` workload (sequential, cached, NullProbe — i.e. the plain
+//! `simulate` everyone calls) and compares contacts/sec against the
+//! committed `BENCH_sweep.json` baseline. A regression beyond the guard
+//! threshold fails the process, which is how CI catches an accidentally
+//! non-zero-cost probe.
+//!
+//! ```text
+//! bench_probe_overhead [BASELINE_JSON]     (default: BENCH_sweep.json)
+//!
+//!   PROBE_GUARD_PCT=N     allowed regression in percent   (default: 3)
+//!   PROBE_GUARD_PASSES=N  timed passes, best-of           (default: 3)
+//! ```
+//!
+//! An enabled-probe pass (`CountingProbe`, the cheapest live probe) is
+//! also timed and reported for context; it is informational only — an
+//! *enabled* probe is allowed to cost something.
+
+use dtn_epidemic::{protocols, simulate_probed, CountingProbe, Workload};
+use dtn_experiments::{point_sim_config, Mobility, SweepConfig, TraceCache};
+use dtn_sim::{SimRng, Threads};
+use std::time::Instant;
+
+const LOADS: [u32; 5] = [10, 20, 30, 40, 50];
+const REPLICATIONS: usize = 5;
+const MOBILITIES: [Mobility; 2] = [Mobility::Trace, Mobility::Rwp];
+
+fn sweep_config() -> SweepConfig {
+    SweepConfig {
+        loads: LOADS.to_vec(),
+        replications: REPLICATIONS,
+        threads: Threads::Sequential,
+        ..SweepConfig::default()
+    }
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Extract `"contacts_per_sec": <number>` from the baseline JSON by
+/// string search — the baseline is our own hand-shaped file, and a full
+/// parser would be overkill for one numeric key.
+fn baseline_contacts_per_sec(json: &str) -> Option<f64> {
+    let key = "\"contacts_per_sec\":";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One timed pass over the bench_sweep workload with NullProbe (the
+/// plain `simulate` path). Returns (contacts, wall seconds).
+fn timed_pass(cfg: &SweepConfig, cache: &TraceCache) -> (u64, f64) {
+    let protocols = protocols::all_protocols();
+    let start = Instant::now();
+    let mut contacts = 0u64;
+    for mobility in MOBILITIES {
+        for protocol in &protocols {
+            for &load in &cfg.loads {
+                let metrics =
+                    dtn_experiments::run_point_raw_cached(protocol, mobility, load, cfg, cache);
+                contacts += metrics.iter().map(|m| m.contacts_processed).sum::<u64>();
+                std::hint::black_box(dtn_experiments::aggregate_point(load, &metrics));
+            }
+        }
+    }
+    (contacts, start.elapsed().as_secs_f64())
+}
+
+/// The same workload with an *enabled* probe, for context.
+fn counting_pass(cfg: &SweepConfig, cache: &TraceCache) -> (u64, u64, f64) {
+    let protocols = protocols::all_protocols();
+    let start = Instant::now();
+    let mut contacts = 0u64;
+    let mut events = 0u64;
+    for mobility in MOBILITIES {
+        for protocol in &protocols {
+            for &load in &cfg.loads {
+                let sim_config = point_sim_config(protocol, mobility, cfg);
+                let root = SimRng::new(cfg.base_seed ^ (load as u64) << 32);
+                for rep in 0..cfg.replications as u64 {
+                    let mut wl_rng = root.derive(rep * 2 + 1);
+                    let sim_rng = root.derive(rep * 2);
+                    let trace = mobility.build_cached(cfg.base_seed, rep, cache);
+                    let workload =
+                        Workload::single_random_flow(load, trace.node_count(), &mut wl_rng);
+                    let mut probe = CountingProbe::default();
+                    let m = simulate_probed(&trace, &workload, &sim_config, sim_rng, &mut probe);
+                    contacts += m.contacts_processed;
+                    events += probe.events;
+                }
+            }
+        }
+    }
+    (contacts, events, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let baseline_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".into());
+    let guard_pct = env_f64("PROBE_GUARD_PCT", 3.0);
+    let passes = env_f64("PROBE_GUARD_PASSES", 3.0).max(1.0) as usize;
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(json) => match baseline_contacts_per_sec(&json) {
+            Some(v) => v,
+            None => {
+                eprintln!("bench_probe_overhead: no contacts_per_sec in {baseline_path}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("bench_probe_overhead: cannot read {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let cfg = sweep_config();
+    let cache = TraceCache::new();
+    // Warm-up: populate the trace cache and fault in the binary.
+    let _ = timed_pass(&cfg, &cache);
+
+    // Best-of-N guards against scheduler noise on shared CI machines.
+    let mut best = 0.0f64;
+    for pass in 0..passes {
+        let (contacts, wall) = timed_pass(&cfg, &cache);
+        let rate = contacts as f64 / wall;
+        eprintln!(
+            "pass {}/{}: {} contacts in {:.3} s = {:.0} contacts/s",
+            pass + 1,
+            passes,
+            contacts,
+            wall,
+            rate
+        );
+        best = best.max(rate);
+    }
+
+    let (c_contacts, c_events, c_wall) = counting_pass(&cfg, &cache);
+    let counting_rate = c_contacts as f64 / c_wall;
+
+    let ratio = best / baseline;
+    let verdict = if ratio >= 1.0 - guard_pct / 100.0 {
+        "ok"
+    } else {
+        "REGRESSION"
+    };
+    println!(
+        concat!(
+            "{{\n",
+            "  \"baseline_contacts_per_sec\": {:.0},\n",
+            "  \"null_probe_contacts_per_sec\": {:.0},\n",
+            "  \"ratio\": {:.4},\n",
+            "  \"guard_pct\": {},\n",
+            "  \"counting_probe_contacts_per_sec\": {:.0},\n",
+            "  \"counting_probe_events\": {},\n",
+            "  \"verdict\": \"{}\"\n",
+            "}}"
+        ),
+        baseline, best, ratio, guard_pct, counting_rate, c_events, verdict
+    );
+    if verdict != "ok" {
+        eprintln!(
+            "bench_probe_overhead: NullProbe path at {:.1}% of baseline (allowed floor {:.1}%)",
+            100.0 * ratio,
+            100.0 - guard_pct
+        );
+        std::process::exit(1);
+    }
+}

@@ -4,9 +4,13 @@
 //! `BENCH_sweep.json` with contacts/sec, sweeps/sec, and peak RSS. The
 //! JSON is the repo's performance trajectory: re-run after a hot-path
 //! change and compare against the committed numbers.
+//!
+//! The file is rendered through the unified [`SweepReport`] pipeline, so
+//! alongside the legacy top-level counters it now carries per-sweep wall
+//! timings, per-point metric aggregates and delivery-delay histograms.
 
 use dtn_epidemic::protocols;
-use dtn_experiments::{aggregate_point, Mobility, SweepConfig, TraceCache};
+use dtn_experiments::{aggregate_point, Mobility, SweepConfig, SweepReport, TraceCache};
 use dtn_sim::Threads;
 use std::time::Instant;
 
@@ -24,15 +28,6 @@ fn sweep_config() -> SweepConfig {
         threads: Threads::Sequential,
         ..SweepConfig::default()
     }
-}
-
-/// Peak resident set size in bytes (`VmHWM` from /proc/self/status);
-/// `None` off Linux.
-fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
 }
 
 fn main() {
@@ -55,71 +50,42 @@ fn main() {
         );
     }
 
+    let mut report = SweepReport::new(format!(
+        "{} protocols x {} mobilities x loads {:?} x {} replications, sequential",
+        protocols.len(),
+        MOBILITIES.len(),
+        LOADS,
+        REPLICATIONS,
+    ));
+
     let start = Instant::now();
-    let mut contacts: u64 = 0;
-    let mut transmissions: u64 = 0;
-    let mut runs: u64 = 0;
-    let mut sweeps: u64 = 0;
     // A figure compares protocols under identical mobility, so all sweeps
     // of one workload share a single trace cache — exactly how
     // `build_figure` wires it.
     let cache = TraceCache::new();
     for mobility in MOBILITIES {
         for protocol in &protocols {
+            let sweep_started = Instant::now();
             for &load in &cfg.loads {
                 let metrics = if uncached {
                     dtn_experiments::run_point_raw(protocol, mobility, load, &cfg)
                 } else {
                     dtn_experiments::run_point_raw_cached(protocol, mobility, load, &cfg, &cache)
                 };
-                contacts += metrics.iter().map(|m| m.contacts_processed).sum::<u64>();
-                transmissions += metrics.iter().map(|m| m.bundle_transmissions).sum::<u64>();
-                runs += metrics.len() as u64;
+                report.record_point(protocol.name, &mobility.label(), load, &metrics);
                 // Aggregation is part of the sweep path; include its cost.
                 std::hint::black_box(aggregate_point(load, &metrics));
             }
-            sweeps += 1;
+            report.record_sweep(
+                format!("{} @ {}", protocol.name, mobility.label()),
+                sweep_started.elapsed().as_secs_f64(),
+            );
         }
     }
-    let wall = start.elapsed().as_secs_f64();
+    report.record_cache(cache.stats());
+    report.finish(start.elapsed().as_secs_f64());
 
-    let contacts_per_sec = contacts as f64 / wall;
-    let sweeps_per_sec = sweeps as f64 / wall;
-    let (hits, misses) = cache.stats();
-    let rss = peak_rss_bytes();
-
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"workload\": \"{} protocols x {} mobilities x loads {:?} x {} replications, sequential\",\n",
-            "  \"wall_secs\": {:.3},\n",
-            "  \"simulation_runs\": {},\n",
-            "  \"sweeps\": {},\n",
-            "  \"sweeps_per_sec\": {:.3},\n",
-            "  \"contacts_processed\": {},\n",
-            "  \"contacts_per_sec\": {:.0},\n",
-            "  \"bundle_transmissions\": {},\n",
-            "  \"trace_cache_hits\": {},\n",
-            "  \"trace_cache_misses\": {},\n",
-            "  \"peak_rss_bytes\": {}\n",
-            "}}\n"
-        ),
-        protocols.len(),
-        MOBILITIES.len(),
-        LOADS,
-        REPLICATIONS,
-        wall,
-        runs,
-        sweeps,
-        sweeps_per_sec,
-        contacts,
-        contacts_per_sec,
-        transmissions,
-        hits,
-        misses,
-        rss.map(|b| b.to_string()).unwrap_or_else(|| "null".into()),
-    );
-
+    let json = report.to_json();
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_sweep.json".into());

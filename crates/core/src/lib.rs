@@ -22,7 +22,9 @@
 //! * [`session`] — the shared contact-session procedure (anti-entropy,
 //!   capacity accounting, lower-ID-first ordering);
 //! * [`simulation`] — the event-driven per-replication driver;
-//! * [`metrics`] — the paper's four metrics plus signaling overhead.
+//! * [`metrics`] — the paper's four metrics plus signaling overhead;
+//! * [`probe`] — zero-overhead typed event tracing (monomorphized
+//!   [`Probe`] observers; `NullProbe` compiles to nothing).
 //!
 //! ## Quick example
 //!
@@ -49,6 +51,7 @@ pub mod immunity;
 pub mod metrics;
 pub mod node;
 pub mod policy;
+pub mod probe;
 pub mod protocols;
 pub mod session;
 pub mod simulation;
@@ -62,6 +65,10 @@ pub use node::Node;
 pub use policy::{
     AckPropagation, AckScheme, EvictionPolicy, LifetimePolicy, ProtocolConfig, TransmitPolicy,
 };
+pub use probe::{
+    replay_jsonl, replay_metrics, CountingProbe, Event, JsonlProbe, MemoryProbe, NullProbe, Probe,
+    SeriesSample, TimeSeriesProbe,
+};
 pub use session::{SessionScratch, SimConfig};
-pub use simulation::simulate;
+pub use simulation::{simulate, simulate_probed};
 pub use summary::SummaryVector;

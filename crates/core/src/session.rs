@@ -29,6 +29,7 @@ use crate::bundle::{BundleId, Workload};
 use crate::metrics::{DropReason, MetricsCollector};
 use crate::node::{CopyPlace, Node};
 use crate::policy::{AckScheme, LifetimePolicy, ProtocolConfig};
+use crate::probe::{Event, NullProbe, Probe};
 use crate::summary::SummaryVector;
 use dtn_mobility::Contact;
 use dtn_sim::{SimRng, SimTime};
@@ -98,7 +99,11 @@ pub struct SessionScratch {
 }
 
 /// Mutable context threaded through a session.
-pub struct SessionCtx<'a> {
+///
+/// The probe parameter is *monomorphized* (never `dyn`): with the default
+/// [`NullProbe`] every `emit` site is an `if false` the optimizer deletes,
+/// so the un-instrumented hot path is bit-identical to the pre-probe code.
+pub struct SessionCtx<'a, P: Probe = NullProbe> {
     /// Global configuration.
     pub config: &'a SimConfig,
     /// The workload (for flow lookups: who is a bundle's source and
@@ -110,14 +115,38 @@ pub struct SessionCtx<'a> {
     pub rng: &'a mut SimRng,
     /// Run-lived scratch allocations.
     pub scratch: &'a mut SessionScratch,
+    /// Event observer (see [`crate::probe`]).
+    pub probe: &'a mut P,
+}
+
+impl<P: Probe> SessionCtx<'_, P> {
+    /// Record an event. The closure only runs when the probe is enabled,
+    /// so a disabled probe pays neither the call nor the event
+    /// construction.
+    #[inline(always)]
+    pub(crate) fn emit(&mut self, make: impl FnOnce() -> Event) {
+        if P::ENABLED {
+            self.probe.record(&make());
+        }
+    }
 }
 
 /// Run the full exchange for one contact. `a` and `b` must be the contact's
 /// endpoints.
-pub fn run_contact(a: &mut Node, b: &mut Node, contact: &Contact, ctx: &mut SessionCtx<'_>) {
+pub fn run_contact<P: Probe>(
+    a: &mut Node,
+    b: &mut Node,
+    contact: &Contact,
+    ctx: &mut SessionCtx<'_, P>,
+) {
     debug_assert_eq!((a.id, b.id), (contact.a, contact.b));
     ctx.metrics.contacts_processed += 1;
     let now = contact.start;
+    ctx.emit(|| Event::ContactBegin {
+        a: contact.a.index() as u32,
+        b: contact.b.index() as u32,
+        t: now.as_millis(),
+    });
 
     // 1. Defensive expiry purge (engine expiry events normally precede us).
     // The purge list is scratch taken out of the context so the metrics
@@ -126,10 +155,18 @@ pub fn run_contact(a: &mut Node, b: &mut Node, contact: &Contact, ctx: &mut Sess
     for node in [&mut *a, &mut *b] {
         purged.clear();
         node.purge_expired_into(now, &mut purged);
+        let nid = node.id.index() as u32;
         for &id in &purged {
             let idx = ctx.workload.bundle_index(id);
             ctx.metrics
                 .on_drop(idx, node.id.index(), now, DropReason::Expired);
+            ctx.emit(|| Event::Drop {
+                flow: id.flow.0,
+                seq: id.seq,
+                node: nid,
+                t: now.as_millis(),
+                reason: DropReason::Expired,
+            });
         }
     }
     ctx.scratch.purged = purged;
@@ -164,14 +201,43 @@ pub fn run_contact(a: &mut Node, b: &mut Node, contact: &Contact, ctx: &mut Sess
     // 4 + 5. Summary vectors and transfers under the shared capacity.
     let mut slots_left = contact.duration().div_whole(ctx.config.tx_time);
     let mut slots_used: u64 = 0;
+    let mut advert_bytes: u64 = 0;
     // Lower ID first — `Contact` normalizes a < b.
-    transfer_phase(a, b, now, &mut slots_left, &mut slots_used, ctx);
-    transfer_phase(b, a, now, &mut slots_left, &mut slots_used, ctx);
+    transfer_phase(
+        a,
+        b,
+        now,
+        &mut slots_left,
+        &mut slots_used,
+        &mut advert_bytes,
+        ctx,
+    );
+    transfer_phase(
+        b,
+        a,
+        now,
+        &mut slots_left,
+        &mut slots_used,
+        &mut advert_bytes,
+        ctx,
+    );
+    ctx.emit(|| Event::ContactEnd {
+        a: contact.a.index() as u32,
+        b: contact.b.index() as u32,
+        t: now.as_millis(),
+        slots_used,
+        control_bytes: advert_bytes,
+    });
 }
 
 /// Exchange and merge immunity stores, purge covered copies, and charge
 /// the signaling meter.
-fn exchange_immunity(a: &mut Node, b: &mut Node, now: SimTime, ctx: &mut SessionCtx<'_>) {
+fn exchange_immunity<P: Probe>(
+    a: &mut Node,
+    b: &mut Node,
+    now: SimTime,
+    ctx: &mut SessionCtx<'_, P>,
+) {
     let (Some(store_a), Some(store_b)) = (a.immunity.as_ref(), b.immunity.as_ref()) else {
         unreachable!("ack scheme active but immunity stores missing");
     };
@@ -220,13 +286,22 @@ fn exchange_immunity(a: &mut Node, b: &mut Node, now: SimTime, ctx: &mut Session
     }
 
     let mut purged = std::mem::take(&mut ctx.scratch.purged);
-    for node in [a, b] {
+    let sent_a = if a_shares { count_a } else { 0 };
+    let sent_b = if b_shares { count_b } else { 0 };
+    for (node, sent) in [(&mut *a, sent_a), (&mut *b, sent_b)] {
         purged.clear();
         node.purge_immunized_into(&mut purged);
+        let nid = node.id.index() as u32;
         for &id in &purged {
             let idx = ctx.workload.bundle_index(id);
             ctx.metrics
                 .on_drop(idx, node.id.index(), now, DropReason::Immunized);
+            ctx.emit(|| Event::AckPurge {
+                flow: id.flow.0,
+                seq: id.seq,
+                node: nid,
+                t: now.as_millis(),
+            });
         }
         let records = node
             .immunity
@@ -234,18 +309,26 @@ fn exchange_immunity(a: &mut Node, b: &mut Node, now: SimTime, ctx: &mut Session
             .map(|s| s.record_count())
             .unwrap_or(0);
         ctx.metrics.set_ack_records(node.id.index(), records, now);
+        ctx.emit(|| Event::ImmunityMerge {
+            node: nid,
+            sent,
+            records,
+            t: now.as_millis(),
+        });
     }
     ctx.scratch.purged = purged;
 }
 
 /// One direction of the exchange: `tx` sends to `rx` while capacity lasts.
-fn transfer_phase(
+#[allow(clippy::too_many_arguments)]
+fn transfer_phase<P: Probe>(
     tx: &mut Node,
     rx: &mut Node,
     now: SimTime,
     slots_left: &mut u64,
     slots_used: &mut u64,
-    ctx: &mut SessionCtx<'_>,
+    advert_bytes: &mut u64,
+    ctx: &mut SessionCtx<'_, P>,
 ) {
     if *slots_left == 0 {
         return;
@@ -281,7 +364,11 @@ fn transfer_phase(
     // both in membership and in order.
     let mut rx_summary = std::mem::take(&mut ctx.scratch.rx_summary);
     rx_summary.refill_from_node(rx, ctx.workload);
-    ctx.metrics.control_bytes_sent += u64::from(rx_summary.capacity()).div_ceil(8);
+    let advert = u64::from(rx_summary.capacity()).div_ceil(8);
+    ctx.metrics.control_bytes_sent += advert;
+    if P::ENABLED {
+        *advert_bytes += advert;
+    }
     let mut dest = std::mem::take(&mut ctx.scratch.dest);
     let mut relay = std::mem::take(&mut ctx.scratch.relay);
     dest.clear();
@@ -359,12 +446,29 @@ fn transfer_phase(
             let idx = ctx.workload.bundle_index(id);
             ctx.metrics
                 .on_drop(idx, tx.id.index(), now, DropReason::Expired);
+            ctx.emit(|| Event::Drop {
+                flow: id.flow.0,
+                seq: id.seq,
+                node: tx.id.index() as u32,
+                t: now.as_millis(),
+                reason: DropReason::Expired,
+            });
         }
 
         // Failure injection: the transfer occupied the slot and the
         // sender behaved as if it succeeded, but the bundle never arrives.
         let idx = ctx.workload.bundle_index(id);
-        if ctx.rng.bernoulli(ctx.config.transfer_loss_prob) {
+        let lost = ctx.rng.bernoulli(ctx.config.transfer_loss_prob);
+        ctx.emit(|| Event::Transmit {
+            flow: id.flow.0,
+            seq: id.seq,
+            from: tx.id.index() as u32,
+            to: rx.id.index() as u32,
+            t: now.as_millis(),
+            done: completed_at.as_millis(),
+            lost,
+        });
+        if lost {
             ctx.metrics.transfer_losses += 1;
             continue;
         }
@@ -387,13 +491,13 @@ fn transfer_phase(
 
 /// The bundle reached its destination: record the delivery, update the
 /// destination's immunity store under the active ack scheme.
-fn deliver(
+fn deliver<P: Probe>(
     rx: &mut Node,
     id: BundleId,
     now: SimTime,
     completed_at: SimTime,
     idx: usize,
-    ctx: &mut SessionCtx<'_>,
+    ctx: &mut SessionCtx<'_, P>,
 ) {
     let tracker = rx.trackers.entry(id.flow).or_default();
     let fresh = tracker.record(id.seq);
@@ -403,10 +507,23 @@ fn deliver(
     }
     let frontier = tracker.frontier();
     ctx.metrics.on_deliver(idx, now, completed_at);
+    ctx.emit(|| Event::Deliver {
+        flow: id.flow.0,
+        seq: id.seq,
+        node: rx.id.index() as u32,
+        t: now.as_millis(),
+        done: completed_at.as_millis(),
+    });
     if let Some(store) = rx.immunity.as_mut() {
         store.record_delivery(id, frontier);
         let records = store.record_count();
         ctx.metrics.set_ack_records(rx.id.index(), records, now);
+        ctx.emit(|| Event::ImmunityMerge {
+            node: rx.id.index() as u32,
+            sent: 0,
+            records,
+            t: now.as_millis(),
+        });
     }
     // If the destination happened to be carrying a relay copy of this very
     // bundle (impossible under current semantics, but cheap to guard), the
@@ -415,18 +532,24 @@ fn deliver(
         debug_assert!(false, "destination held a relay copy of its own bundle");
         ctx.metrics
             .on_drop(idx, rx.id.index(), completed_at, DropReason::Immunized);
+        ctx.emit(|| Event::AckPurge {
+            flow: id.flow.0,
+            seq: id.seq,
+            node: rx.id.index() as u32,
+            t: completed_at.as_millis(),
+        });
     }
 }
 
 /// Store an incoming relay copy, applying the receiver-side lifetime policy
 /// and the buffer's eviction policy.
-fn store_relay_copy(
+fn store_relay_copy<P: Probe>(
     rx: &mut Node,
     id: BundleId,
     ec: u32,
     now: SimTime,
     idx: usize,
-    ctx: &mut SessionCtx<'_>,
+    ctx: &mut SessionCtx<'_, P>,
 ) {
     let expires_at = match ctx.config.protocol.lifetime {
         LifetimePolicy::None => SimTime::MAX,
@@ -443,6 +566,12 @@ fn store_relay_copy(
                 // Dead on arrival: the transmission happened (and consumed
                 // a slot) but the copy is not stored.
                 ctx.metrics.rejections += 1;
+                ctx.emit(|| Event::Reject {
+                    flow: id.flow.0,
+                    seq: id.seq,
+                    node: rx.id.index() as u32,
+                    t: now.as_millis(),
+                });
                 return;
             }
             Some(ttl) => now + ttl,
@@ -455,15 +584,41 @@ fn store_relay_copy(
         stored_at: now,
         expires_at,
     };
+    let nid = rx.id.index() as u32;
+    let store_event = move || Event::Store {
+        flow: id.flow.0,
+        seq: id.seq,
+        node: nid,
+        t: now.as_millis(),
+    };
     match rx.buffer.insert(copy, ctx.config.protocol.eviction) {
-        InsertOutcome::Stored => ctx.metrics.on_store(idx, rx.id.index(), now),
+        InsertOutcome::Stored => {
+            ctx.metrics.on_store(idx, rx.id.index(), now);
+            ctx.emit(store_event);
+        }
         InsertOutcome::StoredEvicting(victim) => {
             let victim_idx = ctx.workload.bundle_index(victim);
             ctx.metrics
                 .on_drop(victim_idx, rx.id.index(), now, DropReason::Evicted);
+            ctx.emit(|| Event::Drop {
+                flow: victim.flow.0,
+                seq: victim.seq,
+                node: nid,
+                t: now.as_millis(),
+                reason: DropReason::Evicted,
+            });
             ctx.metrics.on_store(idx, rx.id.index(), now);
+            ctx.emit(store_event);
         }
-        InsertOutcome::Rejected => ctx.metrics.rejections += 1,
+        InsertOutcome::Rejected => {
+            ctx.metrics.rejections += 1;
+            ctx.emit(|| Event::Reject {
+                flow: id.flow.0,
+                seq: id.seq,
+                node: nid,
+                t: now.as_millis(),
+            });
+        }
         InsertOutcome::Duplicate => {
             debug_assert!(false, "summary-vector filter should block duplicates")
         }
@@ -542,12 +697,14 @@ mod tests {
         metrics.start(SimTime::ZERO);
         let mut rng = SimRng::new(1);
         let mut scratch = SessionScratch::default();
+        let mut probe = NullProbe;
         let mut ctx = SessionCtx {
             config: &config,
             workload: &workload,
             metrics: &mut metrics,
             rng: &mut rng,
             scratch: &mut scratch,
+            probe: &mut probe,
         };
         // 300..320 gives ⌊300/100⌋ = 3 slots... duration is 300 s.
         run_contact(&mut a, &mut b, &contact(0, 300), &mut ctx);
@@ -594,12 +751,14 @@ mod tests {
         metrics.start(SimTime::ZERO);
         let mut rng = SimRng::new(1);
         let mut scratch = SessionScratch::default();
+        let mut probe = NullProbe;
         let mut ctx = SessionCtx {
             config: &config,
             workload: &workload,
             metrics: &mut metrics,
             rng: &mut rng,
             scratch: &mut scratch,
+            probe: &mut probe,
         };
         let c = Contact::new(
             NodeId(0),
@@ -661,12 +820,14 @@ mod tests {
         metrics.start(SimTime::ZERO);
         let mut rng = SimRng::new(1);
         let mut scratch = SessionScratch::default();
+        let mut probe = NullProbe;
         let mut ctx = SessionCtx {
             config: &config,
             workload: &workload,
             metrics: &mut metrics,
             rng: &mut rng,
             scratch: &mut scratch,
+            probe: &mut probe,
         };
         run_contact(&mut a, &mut b, &contact(0, 50), &mut ctx);
         assert_eq!(metrics.bundle_transmissions, 0, "50 s < one 100 s slot");
@@ -717,12 +878,14 @@ mod tests {
         metrics.start(SimTime::ZERO);
         let mut rng = SimRng::new(1);
         let mut scratch = SessionScratch::default();
+        let mut probe = NullProbe;
         let mut ctx = SessionCtx {
             config: &config,
             workload: &workload,
             metrics: &mut metrics,
             rng: &mut rng,
             scratch: &mut scratch,
+            probe: &mut probe,
         };
         let c = Contact::new(
             NodeId(0),

@@ -22,6 +22,7 @@ use crate::immunity::ImmunityStore;
 use crate::metrics::{DropReason, MetricsCollector, RunMetrics};
 use crate::node::Node;
 use crate::policy::AckScheme;
+use crate::probe::{Event, NullProbe, Probe};
 use crate::session::{run_contact, SessionCtx, SessionScratch, SimConfig};
 use dtn_mobility::ContactTrace;
 use dtn_sim::{Engine, Flow, Handler, Scheduler, SimRng, SimTime};
@@ -37,7 +38,7 @@ enum Ev {
     ExpiryCheck(u16),
 }
 
-struct Sim<'a> {
+struct Sim<'a, P: Probe = NullProbe> {
     trace: &'a ContactTrace,
     workload: &'a Workload,
     config: &'a SimConfig,
@@ -51,9 +52,11 @@ struct Sim<'a> {
     scratch: SessionScratch,
     /// Scratch for expiry purges.
     purged: Vec<BundleId>,
+    /// Event observer (monomorphized; `NullProbe` costs nothing).
+    probe: &'a mut P,
 }
 
-impl Sim<'_> {
+impl<P: Probe> Sim<'_, P> {
     /// Purge expired copies of `node_idx` at `now`, feeding the metrics.
     fn purge_node(&mut self, node_idx: usize, now: SimTime) {
         self.purged.clear();
@@ -62,6 +65,15 @@ impl Sim<'_> {
             let idx = self.workload.bundle_index(id);
             self.metrics
                 .on_drop(idx, node_idx, now, DropReason::Expired);
+            if P::ENABLED {
+                self.probe.record(&Event::Drop {
+                    flow: id.flow.0,
+                    seq: id.seq,
+                    node: node_idx as u32,
+                    t: now.as_millis(),
+                    reason: DropReason::Expired,
+                });
+            }
         }
     }
 
@@ -78,7 +90,7 @@ impl Sim<'_> {
     }
 }
 
-impl Handler<Ev> for Sim<'_> {
+impl<P: Probe> Handler<Ev> for Sim<'_, P> {
     fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) -> Flow {
         match event {
             Ev::CreateFlow(f) => {
@@ -102,6 +114,14 @@ impl Handler<Ev> for Sim<'_> {
                     );
                     let idx = self.workload.bundle_index(id);
                     self.metrics.on_store(idx, src, now);
+                    if P::ENABLED {
+                        self.probe.record(&Event::Store {
+                            flow: id.flow.0,
+                            seq: id.seq,
+                            node: src as u32,
+                            t: now.as_millis(),
+                        });
+                    }
                 }
                 self.reschedule_expiry(src, sched);
                 Flow::Continue
@@ -116,6 +136,7 @@ impl Handler<Ev> for Sim<'_> {
                     metrics: &mut self.metrics,
                     rng: &mut self.rng,
                     scratch: &mut self.scratch,
+                    probe: &mut *self.probe,
                 };
                 run_contact(na, nb, &contact, &mut ctx);
                 self.reschedule_expiry(ai, sched);
@@ -159,6 +180,25 @@ pub fn simulate(
     config: &SimConfig,
     rng: SimRng,
 ) -> RunMetrics {
+    simulate_probed(trace, workload, config, rng, &mut NullProbe)
+}
+
+/// [`simulate`] with an event observer attached.
+///
+/// The probe is monomorphized into the simulation loop: `simulate` itself
+/// is this function with [`NullProbe`], whose `ENABLED = false` makes
+/// every emission site dead code — the un-instrumented build is
+/// bit-identical (results *and* machine code) to the pre-probe simulator.
+/// Events are emitted in the exact order the metrics collector is fed, so
+/// [`crate::probe::replay_metrics`] over the captured stream reproduces
+/// this function's return value bit for bit.
+pub fn simulate_probed<P: Probe>(
+    trace: &ContactTrace,
+    workload: &Workload,
+    config: &SimConfig,
+    rng: SimRng,
+    probe: &mut P,
+) -> RunMetrics {
     config.protocol.validate();
     let node_count = trace.node_count();
 
@@ -198,6 +238,7 @@ pub fn simulate(
         scheduled_expiry: vec![None; node_count],
         scratch: SessionScratch::default(),
         purged: Vec::new(),
+        probe,
     };
     engine.run(&mut sim);
 

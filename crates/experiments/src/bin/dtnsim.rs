@@ -14,21 +14,37 @@
 //!   --buffer B         relay-buffer capacity                (default: 10)
 //!   --tx-time SECS     per-bundle transmission time
 //!                      (default: the scenario's regime)
-//!   --stats            also print the contact trace's statistical summary
+//!   --stats            also report the contact trace's statistical summary
+//!   --trace PATH       capture the typed event stream as JSONL (manifest
+//!                      line first, then one JSON object per event)
+//!   --series PATH      write sampled occupancy/duplication/delivery
+//!                      curves as CSV
+//!   -v, --verbose      extra stderr diagnostics
+//!   -q, --quiet        errors only on stderr
 //! ```
+//!
+//! stdout carries exactly one machine-readable JSON report (the unified
+//! `SweepReport` schema); all human-facing progress goes to stderr.
 //!
 //! Example:
 //!
 //! ```text
-//! dtnsim --protocol ttl=300 --mobility interval=2000 --load 40 --stats
+//! dtnsim --protocol ttl=300 --mobility interval=2000 --load 40 \
+//!        --trace run.jsonl --series run.csv > report.json
 //! ```
 
-use dtn_epidemic::{protocols, simulate, ProtocolConfig, SimConfig, Workload};
+use dtn_epidemic::{
+    protocols, simulate, simulate_probed, JsonlProbe, ProtocolConfig, SimConfig, TimeSeriesProbe,
+    Workload,
+};
 use dtn_experiments::runner::aggregate_point;
-use dtn_experiments::Mobility;
+use dtn_experiments::{Mobility, Reporter, RunManifest, SweepReport, TraceCache, Verbosity};
 use dtn_mobility::{read_trace_file, ContactTrace, TraceSummary};
-use dtn_sim::{par_map_indexed, SimDuration, SimRng, Threads};
+use dtn_sim::{par_map_indexed, Histogram, SimDuration, SimRng, Threads};
+use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Where contacts come from: a built-in scenario or a trace file.
 enum Source {
@@ -37,10 +53,12 @@ enum Source {
 }
 
 impl Source {
-    fn build(&self, seed: u64, replication: u64) -> ContactTrace {
+    /// Build the trace for one replication, deduplicated through `cache`
+    /// for the built-in scenarios (a file trace is already in memory).
+    fn build(&self, seed: u64, replication: u64, cache: &TraceCache) -> Arc<ContactTrace> {
         match self {
-            Source::Builtin(m) => m.build(seed, replication),
-            Source::File(_, trace) => trace.clone(),
+            Source::Builtin(m) => m.build_cached(seed, replication, cache),
+            Source::File(_, trace) => Arc::new(trace.clone()),
         }
     }
 
@@ -141,6 +159,9 @@ struct Args {
     buffer: usize,
     tx_time: Option<u64>,
     stats: bool,
+    trace_out: Option<std::path::PathBuf>,
+    series_out: Option<std::path::PathBuf>,
+    verbosity: Verbosity,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -153,6 +174,9 @@ fn parse_args() -> Result<Args, String> {
         buffer: 10,
         tx_time: None,
         stats: false,
+        trace_out: None,
+        series_out: None,
+        verbosity: Verbosity::Normal,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -188,10 +212,15 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--stats" => args.stats = true,
+            "--trace" => args.trace_out = Some(value("--trace")?.into()),
+            "--series" => args.series_out = Some(value("--series")?.into()),
+            "-v" | "--verbose" => args.verbosity = Verbosity::Verbose,
+            "-q" | "--quiet" => args.verbosity = Verbosity::Quiet,
             "--help" | "-h" => {
                 println!(
                     "usage: dtnsim [--protocol NAME] [--mobility NAME] [--load K] \
-                     [--reps N] [--seed S] [--buffer B] [--tx-time SECS] [--stats]"
+                     [--reps N] [--seed S] [--buffer B] [--tx-time SECS] [--stats] \
+                     [--trace PATH] [--series PATH] [-v | -q]"
                 );
                 std::process::exit(0);
             }
@@ -212,6 +241,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let log = Reporter::new(args.verbosity);
 
     let tx_time = args
         .tx_time
@@ -226,7 +256,7 @@ fn main() -> ExitCode {
         ack_record_bytes: 16,
     };
 
-    println!(
+    log.info(format!(
         "protocol {:?} | mobility {} | load {} | buffer {} | tx {} s | {} replications",
         args.protocol.name,
         args.source.label(),
@@ -234,50 +264,181 @@ fn main() -> ExitCode {
         args.buffer,
         tx_time,
         args.reps
-    );
+    ));
 
+    let cache = TraceCache::new();
     if args.stats {
-        let trace = args.source.build(args.seed, 0);
-        println!(
+        let trace = args.source.build(args.seed, 0, &cache);
+        log.info(format!(
             "\ncontact-trace summary:\n{}",
             TraceSummary::of(&trace).to_text()
-        );
+        ));
     }
 
+    let probed = args.trace_out.is_some() || args.series_out.is_some();
+    let started = Instant::now();
     let root = SimRng::new(args.seed);
     let source = &args.source;
     let config_ref = &config;
-    let runs = par_map_indexed(Threads::Auto, args.reps, move |rep| {
-        let rep = rep as u64;
-        let trace = source.build(args.seed, rep);
-        let mut wl_rng = root.derive(rep * 2 + 1);
-        let workload = Workload::single_random_flow(args.load, trace.node_count(), &mut wl_rng);
-        simulate(&trace, &workload, config_ref, root.derive(rep * 2))
-    });
-    let point = aggregate_point(args.load, &runs);
+    let cache_ref = &cache;
+    // Each replication returns (metrics, jsonl events, series probe); the
+    // probe pair is monomorphized in, so the un-probed path stays the
+    // plain `simulate` the benches measure.
+    let results: Vec<(dtn_epidemic::RunMetrics, String, Option<TimeSeriesProbe>)> =
+        par_map_indexed(Threads::Auto, args.reps, move |rep| {
+            let rep = rep as u64;
+            let trace = source.build(args.seed, rep, cache_ref);
+            let mut wl_rng = root.derive(rep * 2 + 1);
+            let workload = Workload::single_random_flow(args.load, trace.node_count(), &mut wl_rng);
+            let sim_rng = root.derive(rep * 2);
+            if probed {
+                let interval =
+                    SimDuration::from_millis((trace.horizon().as_millis() / 256).max(1000));
+                let mut probe = (
+                    JsonlProbe::new(),
+                    TimeSeriesProbe::for_config(trace.node_count(), config_ref, interval),
+                );
+                let m = simulate_probed(&trace, &workload, config_ref, sim_rng, &mut probe);
+                probe.1.finish(m.end_time);
+                (m, probe.0.into_jsonl(), Some(probe.1))
+            } else {
+                let m = simulate(&trace, &workload, config_ref, sim_rng);
+                (m, String::new(), None)
+            }
+        });
+    let wall = started.elapsed().as_secs_f64();
+    let runs: Vec<dtn_epidemic::RunMetrics> = results.iter().map(|(m, _, _)| *m).collect();
 
-    println!("results over {} replications:", args.reps);
-    println!(
+    // Event capture: manifest line, then each replication's events behind
+    // a `{"rep":i}` marker. Replications land in index order, so the file
+    // is byte-identical for a fixed seed regardless of the thread policy
+    // (the manifest's wall-clock is the only non-deterministic line).
+    if let Some(path) = &args.trace_out {
+        let manifest = RunManifest {
+            tool: "dtnsim".into(),
+            protocol: args.protocol.name.into(),
+            mobility: args.source.label(),
+            load: args.load,
+            replications: args.reps,
+            seed: args.seed,
+            buffer_capacity: args.buffer,
+            tx_time_secs: tx_time,
+            git_rev: dtn_experiments::git_rev(),
+            unix_time_secs: dtn_experiments::unix_time_secs(),
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", manifest.to_jsonl());
+        let mut events = 0usize;
+        for (rep, (_, jsonl, _)) in results.iter().enumerate() {
+            let _ = writeln!(out, "{{\"rep\":{rep}}}");
+            out.push_str(jsonl);
+            events += jsonl.lines().count();
+        }
+        if let Err(e) = std::fs::write(path, &out) {
+            log.error(format!("dtnsim: cannot write {}: {e}", path.display()));
+            return ExitCode::FAILURE;
+        }
+        log.debug(format!(
+            "wrote {} events for {} replications to {}",
+            events,
+            args.reps,
+            path.display()
+        ));
+    }
+
+    // Time-series CSV: one row per (replication, sample).
+    let mut gap_hist = Histogram::new();
+    let mut bundles_hist = Histogram::new();
+    if let Some(path) = &args.series_out {
+        let mut csv = String::from("rep,t_secs,occupancy,duplication,delivered,transmissions\n");
+        for (rep, (_, _, probe)) in results.iter().enumerate() {
+            let probe = probe.as_ref().expect("series requested implies probed run");
+            for s in &probe.samples {
+                let _ = writeln!(
+                    csv,
+                    "{},{},{:.6},{:.6},{},{}",
+                    rep,
+                    s.t.as_secs(),
+                    s.occupancy,
+                    s.duplication,
+                    s.delivered,
+                    s.transmissions
+                );
+            }
+        }
+        if let Err(e) = std::fs::write(path, &csv) {
+            log.error(format!("dtnsim: cannot write {}: {e}", path.display()));
+            return ExitCode::FAILURE;
+        }
+        log.debug(format!("wrote series CSV to {}", path.display()));
+    }
+    for (_, _, probe) in &results {
+        if let Some(p) = probe {
+            gap_hist.merge(&p.contact_gap);
+            bundles_hist.merge(&p.bundles_per_contact);
+        }
+    }
+
+    let point = aggregate_point(args.load, &runs);
+    log.info(format!("results over {} replications:", args.reps));
+    log.info(format!(
         "  delivery ratio      {:.1} % ± {:.1}",
         100.0 * point.delivery_ratio.mean,
         100.0 * point.delivery_ratio.ci95_half_width()
-    );
+    ));
     match point.delay_s.n {
-        0 => println!("  delay               no run completed within the horizon"),
-        _ => println!(
+        0 => log.info("  delay               no run completed within the horizon"),
+        _ => log.info(format!(
             "  delay               {:.0} s over {} completed runs ({} failed)",
             point.delay_s.mean, point.delay_s.n, point.failures
-        ),
+        )),
     }
-    println!(
+    log.info(format!(
         "  buffer occupancy    {:.1} %",
         100.0 * point.buffer_occupancy.mean
-    );
-    println!(
+    ));
+    log.info(format!(
         "  duplication rate    {:.1} %",
         100.0 * point.duplication_rate.mean
+    ));
+    log.info(format!(
+        "  transmissions       {:.0}",
+        point.transmissions.mean
+    ));
+    log.info(format!(
+        "  immunity records    {:.0}",
+        point.ack_records.mean
+    ));
+    if probed && !gap_hist.is_empty() {
+        log.debug(format!(
+            "  inter-contact gap   p50 {:.0} s, p90 {:.0} s over {} gaps",
+            gap_hist.quantile(0.5).unwrap_or(0.0),
+            gap_hist.quantile(0.9).unwrap_or(0.0),
+            gap_hist.count()
+        ));
+    }
+
+    // The machine-readable report is the only thing on stdout.
+    let mut report = SweepReport::new(format!(
+        "dtnsim: {} @ {} load {} x {} replications",
+        args.protocol.name,
+        args.source.label(),
+        args.load,
+        args.reps
+    ));
+    report.record_point(args.protocol.name, &args.source.label(), args.load, &runs);
+    report.record_sweep(
+        format!("{} @ {}", args.protocol.name, args.source.label()),
+        wall,
     );
-    println!("  transmissions       {:.0}", point.transmissions.mean);
-    println!("  immunity records    {:.0}", point.ack_records.mean);
+    report.record_cache(cache.stats());
+    if !gap_hist.is_empty() {
+        report.attach_histogram("inter_contact_gap_s", gap_hist);
+    }
+    if !bundles_hist.is_empty() {
+        report.attach_histogram("bundles_per_contact", bundles_hist);
+    }
+    report.finish(wall);
+    print!("{}", report.to_json());
     ExitCode::SUCCESS
 }

@@ -13,8 +13,11 @@
 //! ```
 //!
 //! Each figure prints as an aligned table and lands in `DIR/<id>.csv`.
+//! Tables and CSVs go to stdout/disk; progress lines (`-> path (secs)`)
+//! go through a leveled stderr reporter (`-v` for more, `--quiet` for
+//! errors only).
 
-use dtn_experiments::{all_figures, overhead_table, table2, SweepConfig};
+use dtn_experiments::{all_figures, overhead_table, table2, Reporter, SweepConfig, Verbosity};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -24,6 +27,7 @@ struct Args {
     seed: Option<u64>,
     reps: Option<usize>,
     targets: Vec<String>,
+    verbosity: Verbosity,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         seed: None,
         reps: None,
         targets: Vec::new(),
+        verbosity: Verbosity::Normal,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -57,9 +62,11 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad reps: {e}"))?,
                 );
             }
+            "-v" | "--verbose" => args.verbosity = Verbosity::Verbose,
+            "-q" | "--quiet" => args.verbosity = Verbosity::Quiet,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--out DIR] [--seed N] [--reps N] TARGET...\n\
+                    "usage: repro [--quick] [--out DIR] [--seed N] [--reps N] [-v | -q] TARGET...\n\
                      TARGET: all | fig07..fig20 | table2 | overhead"
                 );
                 std::process::exit(0);
@@ -82,6 +89,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let log = Reporter::new(args.verbosity);
 
     let mut cfg = if args.quick {
         SweepConfig::quick()
@@ -95,6 +103,14 @@ fn main() -> ExitCode {
         cfg.replications = reps;
     }
 
+    log.debug(format!(
+        "seed {} | {} replications | loads {:?} | out {}",
+        cfg.base_seed,
+        cfg.replications,
+        cfg.loads,
+        args.out.display()
+    ));
+
     let figures = all_figures();
     let wants = |name: &str| args.targets.iter().any(|t| t == name || t == "all");
 
@@ -107,19 +123,19 @@ fn main() -> ExitCode {
         let started = std::time::Instant::now();
         let fig = driver(&cfg);
         if let Err(e) = fig.write_gnuplot(&args.out) {
-            eprintln!("repro: writing {id} plot script: {e}");
+            log.error(format!("repro: writing {id} plot script: {e}"));
         }
         match fig.write_csv(&args.out) {
             Ok(path) => {
                 println!("{}", fig.to_text());
-                println!(
+                log.info(format!(
                     "  -> {} ({:.1}s)\n",
                     path.display(),
                     started.elapsed().as_secs_f64()
-                );
+                ));
             }
             Err(e) => {
-                eprintln!("repro: writing {id}: {e}");
+                log.error(format!("repro: writing {id}: {e}"));
                 return ExitCode::FAILURE;
             }
         }
@@ -128,39 +144,39 @@ fn main() -> ExitCode {
     if wants("table2") {
         ran_anything = true;
         let t = table2(&cfg);
-        print_table(&t, &args.out);
+        print_table(&t, &args.out, &log);
     }
     if wants("overhead") {
         ran_anything = true;
         let t = overhead_table(&cfg);
-        print_table(&t, &args.out);
+        print_table(&t, &args.out, &log);
     }
     if args.targets.iter().any(|t| t == "ablations") {
         ran_anything = true;
         for t in dtn_experiments::all_ablations(&cfg) {
-            print_table(&t, &args.out);
+            print_table(&t, &args.out, &log);
         }
     }
     if args.targets.iter().any(|t| t == "mobility") {
         ran_anything = true;
         let t = dtn_experiments::mobility_table(&cfg);
-        print_table(&t, &args.out);
+        print_table(&t, &args.out, &log);
     }
 
     if !ran_anything {
-        eprintln!(
+        log.error(format!(
             "repro: no such target(s): {} (try fig07..fig20, table2, overhead, all)",
             args.targets.join(", ")
-        );
+        ));
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
 
-fn print_table(t: &dtn_experiments::TextTable, out: &std::path::Path) {
+fn print_table(t: &dtn_experiments::TextTable, out: &std::path::Path, log: &Reporter) {
     println!("{}", t.to_text());
     match t.write_csv(out) {
-        Ok(path) => println!("  -> {}\n", path.display()),
-        Err(e) => eprintln!("repro: writing {}: {e}", t.id),
+        Ok(path) => log.info(format!("  -> {}\n", path.display())),
+        Err(e) => log.error(format!("repro: writing {}: {e}", t.id)),
     }
 }

@@ -9,7 +9,10 @@
 //!   across cores with deterministic, thread-count-invariant results;
 //! * [`figures`] — `fig07()` … `fig20()`, one driver per paper figure;
 //! * [`tables`] — Table II and the signaling-overhead comparison;
-//! * [`output`] — CSV and aligned-text rendering.
+//! * [`output`] — CSV and aligned-text rendering;
+//! * [`report`] — the unified [`SweepReport`]/[`RunManifest`] pipeline
+//!   (per-point delay histograms, cache/timing counters, peak RSS);
+//! * [`reporter`] — leveled stderr progress reporting (`-v`/`--quiet`).
 //!
 //! The `repro` binary ties it together:
 //!
@@ -25,6 +28,8 @@
 pub mod ablations;
 pub mod figures;
 pub mod output;
+pub mod report;
+pub mod reporter;
 pub mod runner;
 pub mod scenarios;
 pub mod tables;
@@ -32,9 +37,14 @@ pub mod tables;
 pub use ablations::{all_ablations, mobility_table};
 pub use figures::{all_figures, Metric};
 pub use output::{Figure, Series, TextTable};
+pub use report::{
+    git_rev, peak_rss_bytes, unix_time_secs, NamedHistogram, PointReport, RunManifest, SweepReport,
+    SweepTiming,
+};
+pub use reporter::{Reporter, Verbosity};
 pub use runner::{
-    aggregate_point, run_point_raw, run_point_raw_cached, run_sweep, run_sweep_cached, PointResult,
-    SweepConfig, SweepResult,
+    aggregate_point, point_sim_config, run_point_raw, run_point_raw_cached, run_point_series,
+    run_point_traced, run_sweep, run_sweep_cached, PointResult, SweepConfig, SweepResult,
 };
 pub use scenarios::Mobility;
 pub use tables::{overhead_table, table2};

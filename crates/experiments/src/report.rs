@@ -1,0 +1,529 @@
+//! The unified run/sweep report.
+//!
+//! Before this module the pipeline's outputs were scattered: `bench_sweep`
+//! hand-formatted its own JSON, figure drivers wrote bare CSV, and
+//! `dtnsim` printed ad-hoc text. [`SweepReport`] unifies them: one
+//! structured aggregate holding the workload description, wall-clock and
+//! per-sweep timings, trace-cache hit/miss counters, peak RSS (Linux),
+//! per-point metric summaries with log-bucketed delay histograms, and any
+//! probe-derived distribution the caller attaches. Its [`to_json`]
+//! rendering keeps every key the committed `BENCH_sweep.json` baseline
+//! uses (`contacts_per_sec`, `trace_cache_hits`, …) so existing tooling —
+//! including the CI probe-overhead guard — keeps parsing it.
+//!
+//! [`RunManifest`] is the companion header for `dtnsim --trace` captures:
+//! one JSON line recording the configuration, seed, git revision and
+//! wall-clock so a JSONL event stream is self-describing.
+//!
+//! [`to_json`]: SweepReport::to_json
+
+use dtn_epidemic::RunMetrics;
+use dtn_sim::Histogram;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Peak resident set size in bytes (`VmHWM` from `/proc/self/status`);
+/// `None` off Linux.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Best-effort git revision of the working tree: walks up from the
+/// current directory to the first `.git`, reads `HEAD` and follows one
+/// level of ref indirection. `None` outside a repository.
+pub fn git_rev() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+            let head = head.trim();
+            let rev = match head.strip_prefix("ref: ") {
+                Some(refname) => std::fs::read_to_string(git.join(refname.trim()))
+                    .ok()?
+                    .trim()
+                    .to_string(),
+                None => head.to_string(),
+            };
+            return (!rev.is_empty()).then_some(rev);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Seconds since the Unix epoch (wall clock, for manifests).
+pub fn unix_time_secs() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON token (`null` for non-finite values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Render an optional quantity as a JSON token.
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "null".into())
+}
+
+/// The self-describing first line of a `dtnsim --trace` capture: run
+/// configuration, seeds, git revision and wall-clock. Parsers looking for
+/// events skip it — it carries no `"ev"` key.
+#[derive(Clone, Debug)]
+pub struct RunManifest {
+    /// The producing tool (e.g. `"dtnsim"`).
+    pub tool: String,
+    /// Protocol display name.
+    pub protocol: String,
+    /// Mobility label (scenario name or trace-file path).
+    pub mobility: String,
+    /// The load k (bundles per flow).
+    pub load: u32,
+    /// Number of replications in the capture.
+    pub replications: usize,
+    /// Root seed every replication derives from.
+    pub seed: u64,
+    /// Relay-buffer capacity.
+    pub buffer_capacity: usize,
+    /// Per-bundle transmission time in seconds.
+    pub tx_time_secs: u64,
+    /// Git revision of the producing tree, when discoverable.
+    pub git_rev: Option<String>,
+    /// Wall-clock seconds since the Unix epoch at capture time.
+    pub unix_time_secs: u64,
+}
+
+impl RunManifest {
+    /// The manifest as one JSON line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"manifest\":\"{}\",\"protocol\":\"{}\",\"mobility\":\"{}\",\
+             \"load\":{},\"replications\":{},\"seed\":{},\"buffer\":{},\
+             \"tx_time_secs\":{},\"git_rev\":{},\"unix_time\":{}}}",
+            json_escape(&self.tool),
+            json_escape(&self.protocol),
+            json_escape(&self.mobility),
+            self.load,
+            self.replications,
+            self.seed,
+            self.buffer_capacity,
+            self.tx_time_secs,
+            self.git_rev
+                .as_deref()
+                .map(|r| format!("\"{}\"", json_escape(r)))
+                .unwrap_or_else(|| "null".into()),
+            self.unix_time_secs,
+        )
+    }
+}
+
+/// Wall-clock timing of one sweep (or any labelled phase of a run).
+#[derive(Clone, Debug)]
+pub struct SweepTiming {
+    /// What was timed (e.g. `"Pure epidemic @ trace"`).
+    pub label: String,
+    /// Elapsed wall-clock seconds.
+    pub wall_secs: f64,
+}
+
+/// Aggregated results at one (protocol, mobility, load) point.
+#[derive(Clone, Debug)]
+pub struct PointReport {
+    /// Protocol display name.
+    pub protocol: String,
+    /// Mobility label.
+    pub mobility: String,
+    /// The load k.
+    pub load: u32,
+    /// Replications aggregated.
+    pub runs: usize,
+    /// Replications that missed the horizon (no completion).
+    pub failures: usize,
+    /// Mean delivery ratio across replications.
+    pub delivery_ratio_mean: f64,
+    /// Mean time-weighted buffer occupancy.
+    pub buffer_occupancy_mean: f64,
+    /// Mean duplication rate.
+    pub duplication_rate_mean: f64,
+    /// Log-bucketed delivery-delay histogram (seconds; successful
+    /// replications only — the paper records no delay for failed runs).
+    pub delay_hist: Histogram,
+}
+
+/// A named distribution attached to the report (probe-derived:
+/// inter-contact gaps, bundles per contact, …).
+#[derive(Clone, Debug)]
+pub struct NamedHistogram {
+    /// Metric name (used as the JSON key).
+    pub name: String,
+    /// The distribution.
+    pub hist: Histogram,
+}
+
+/// The unified report: one structured aggregate for everything a run or
+/// sweep produces. See the module docs for the rationale; the JSON layout
+/// is a superset of the legacy `BENCH_sweep.json` schema.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// Human description of the workload.
+    pub workload: String,
+    /// Total wall-clock seconds (set by [`SweepReport::finish`]).
+    pub wall_secs: f64,
+    /// Individual `simulate` invocations aggregated.
+    pub simulation_runs: u64,
+    /// Complete protocol sweeps aggregated.
+    pub sweeps: u64,
+    /// Total contact sessions processed.
+    pub contacts_processed: u64,
+    /// Total bundle transmissions.
+    pub bundle_transmissions: u64,
+    /// Trace-cache hits across the run.
+    pub trace_cache_hits: u64,
+    /// Trace-cache misses across the run.
+    pub trace_cache_misses: u64,
+    /// Peak resident set size in bytes (Linux; `None` elsewhere).
+    pub peak_rss_bytes: Option<u64>,
+    /// Per-sweep wall timings.
+    pub timings: Vec<SweepTiming>,
+    /// Per-point aggregates with delay histograms.
+    pub points: Vec<PointReport>,
+    /// Extra probe-derived distributions.
+    pub histograms: Vec<NamedHistogram>,
+}
+
+impl SweepReport {
+    /// An empty report for the given workload description.
+    pub fn new(workload: impl Into<String>) -> SweepReport {
+        SweepReport {
+            workload: workload.into(),
+            ..SweepReport::default()
+        }
+    }
+
+    /// Fold one point's raw replication metrics into the report: global
+    /// counters plus a [`PointReport`] with its delay histogram.
+    pub fn record_point(&mut self, protocol: &str, mobility: &str, load: u32, runs: &[RunMetrics]) {
+        let mut delay_hist = Histogram::new();
+        let mut delivery = 0.0;
+        let mut occupancy = 0.0;
+        let mut duplication = 0.0;
+        let mut failures = 0usize;
+        for m in runs {
+            self.simulation_runs += 1;
+            self.contacts_processed += m.contacts_processed;
+            self.bundle_transmissions += m.bundle_transmissions;
+            delivery += m.delivery_ratio;
+            occupancy += m.avg_buffer_occupancy;
+            duplication += m.avg_duplication_rate;
+            match m.delay_secs() {
+                Some(d) => delay_hist.record(d),
+                None => failures += 1,
+            }
+        }
+        let n = runs.len().max(1) as f64;
+        self.points.push(PointReport {
+            protocol: protocol.to_string(),
+            mobility: mobility.to_string(),
+            load,
+            runs: runs.len(),
+            failures,
+            delivery_ratio_mean: delivery / n,
+            buffer_occupancy_mean: occupancy / n,
+            duplication_rate_mean: duplication / n,
+            delay_hist,
+        });
+    }
+
+    /// Count one finished sweep and record its wall timing.
+    pub fn record_sweep(&mut self, label: impl Into<String>, wall_secs: f64) {
+        self.sweeps += 1;
+        self.timings.push(SweepTiming {
+            label: label.into(),
+            wall_secs,
+        });
+    }
+
+    /// Record trace-cache counters (pass `cache.stats()`).
+    pub fn record_cache(&mut self, (hits, misses): (u64, u64)) {
+        self.trace_cache_hits = hits;
+        self.trace_cache_misses = misses;
+    }
+
+    /// Attach a named probe-derived distribution.
+    pub fn attach_histogram(&mut self, name: impl Into<String>, hist: Histogram) {
+        self.histograms.push(NamedHistogram {
+            name: name.into(),
+            hist,
+        });
+    }
+
+    /// Close the report: total wall-clock and peak RSS.
+    pub fn finish(&mut self, wall_secs: f64) {
+        self.wall_secs = wall_secs;
+        self.peak_rss_bytes = peak_rss_bytes();
+    }
+
+    /// Sweeps per wall-clock second.
+    pub fn sweeps_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.sweeps as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Contact sessions per wall-clock second — the repo's headline
+    /// throughput number.
+    pub fn contacts_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.contacts_processed as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Render the report as JSON. Top-level keys are a superset of the
+    /// legacy `BENCH_sweep.json` schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"workload\": \"{}\",", json_escape(&self.workload));
+        let _ = writeln!(out, "  \"wall_secs\": {:.3},", self.wall_secs);
+        let _ = writeln!(out, "  \"simulation_runs\": {},", self.simulation_runs);
+        let _ = writeln!(out, "  \"sweeps\": {},", self.sweeps);
+        let _ = writeln!(out, "  \"sweeps_per_sec\": {:.3},", self.sweeps_per_sec());
+        let _ = writeln!(
+            out,
+            "  \"contacts_processed\": {},",
+            self.contacts_processed
+        );
+        let _ = writeln!(
+            out,
+            "  \"contacts_per_sec\": {:.0},",
+            self.contacts_per_sec()
+        );
+        let _ = writeln!(
+            out,
+            "  \"bundle_transmissions\": {},",
+            self.bundle_transmissions
+        );
+        let _ = writeln!(out, "  \"trace_cache_hits\": {},", self.trace_cache_hits);
+        let _ = writeln!(
+            out,
+            "  \"trace_cache_misses\": {},",
+            self.trace_cache_misses
+        );
+        let _ = writeln!(
+            out,
+            "  \"peak_rss_bytes\": {},",
+            json_opt_u64(self.peak_rss_bytes)
+        );
+
+        out.push_str("  \"sweep_timings\": [");
+        for (i, t) in self.timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"label\": \"{}\", \"wall_secs\": {:.3}}}",
+                json_escape(&t.label),
+                t.wall_secs
+            );
+        }
+        out.push_str(if self.timings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+
+        out.push_str("  \"points\": [");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"protocol\": \"{}\", \"mobility\": \"{}\", \"load\": {}, \
+                 \"runs\": {}, \"failures\": {}, \"delivery_ratio\": {}, \
+                 \"buffer_occupancy\": {}, \"duplication_rate\": {}, \"delay_s\": {}}}",
+                json_escape(&p.protocol),
+                json_escape(&p.mobility),
+                p.load,
+                p.runs,
+                p.failures,
+                json_f64(p.delivery_ratio_mean),
+                json_f64(p.buffer_occupancy_mean),
+                json_f64(p.duplication_rate_mean),
+                hist_json(&p.delay_hist),
+            );
+        }
+        out.push_str(if self.points.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+
+        out.push_str("  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{}\": {}",
+                json_escape(&h.name),
+                hist_json(&h.hist)
+            );
+        }
+        out.push_str(if self.histograms.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Write the JSON rendering to `path`.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// One histogram as a compact JSON object: count, moments, quantiles.
+fn hist_json(h: &Histogram) -> String {
+    let q = |q: f64| h.quantile(q).map(json_f64).unwrap_or_else(|| "null".into());
+    format!(
+        "{{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+        h.count(),
+        if h.is_empty() {
+            "null".into()
+        } else {
+            json_f64(h.mean())
+        },
+        q(0.5),
+        q(0.9),
+        q(0.99),
+        if h.is_empty() {
+            "null".into()
+        } else {
+            json_f64(h.max())
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_keeps_legacy_keys() {
+        let mut r = SweepReport::new("smoke");
+        r.record_sweep("only", 0.5);
+        r.finish(1.0);
+        let json = r.to_json();
+        for key in [
+            "\"workload\"",
+            "\"wall_secs\"",
+            "\"simulation_runs\"",
+            "\"sweeps\"",
+            "\"sweeps_per_sec\"",
+            "\"contacts_processed\"",
+            "\"contacts_per_sec\"",
+            "\"bundle_transmissions\"",
+            "\"trace_cache_hits\"",
+            "\"trace_cache_misses\"",
+            "\"peak_rss_bytes\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn record_point_accumulates_counters_and_histogram() {
+        let mut r = SweepReport::new("w");
+        let m = crate::runner::run_point_raw(
+            &dtn_epidemic::protocols::pure_epidemic(),
+            crate::Mobility::Trace,
+            5,
+            &crate::SweepConfig {
+                loads: vec![5],
+                replications: 2,
+                threads: dtn_sim::Threads::Sequential,
+                ..Default::default()
+            },
+        );
+        r.record_point("Pure epidemic", "trace", 5, &m);
+        assert_eq!(r.simulation_runs, 2);
+        assert!(r.contacts_processed > 0);
+        let p = &r.points[0];
+        assert_eq!(p.runs, 2);
+        assert_eq!(p.failures + p.delay_hist.count() as usize, 2);
+        let json = r.to_json();
+        assert!(json.contains("\"delay_s\""), "{json}");
+    }
+
+    #[test]
+    fn manifest_line_is_parseable_and_skipped_by_event_parser() {
+        let m = RunManifest {
+            tool: "dtnsim".into(),
+            protocol: "Pure epidemic".into(),
+            mobility: "trace".into(),
+            load: 25,
+            replications: 10,
+            seed: 1,
+            buffer_capacity: 10,
+            tx_time_secs: 100,
+            git_rev: Some("abc123".into()),
+            unix_time_secs: 1_722_000_000,
+        };
+        let line = m.to_jsonl();
+        assert!(line.starts_with("{\"manifest\":\"dtnsim\""), "{line}");
+        assert_eq!(dtn_epidemic::Event::parse_jsonl(&line), None);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn unix_time_and_rss_are_sane() {
+        assert!(unix_time_secs() > 1_700_000_000, "clock after Nov 2023");
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes().unwrap_or(0) > 0);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Leveled progress reporting for the command-line tools.
+//!
+//! `dtnsim` and `repro` print machine-readable results (JSON, aligned
+//! tables, CSV) on **stdout** and route every human-facing progress or
+//! diagnostic line through a [`Reporter`] on **stderr**, so piping stdout
+//! into a file or another tool never captures chatter. `-v` raises the
+//! level to debug, `--quiet` drops everything but errors.
+
+use std::io::Write as _;
+
+/// How much stderr chatter the user asked for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Verbosity {
+    /// `--quiet`: errors only.
+    Quiet,
+    /// Default: progress and results commentary.
+    #[default]
+    Normal,
+    /// `-v`: extra diagnostics (per-step timings, cache stats).
+    Verbose,
+}
+
+/// A leveled stderr logger. Every line goes to stderr; stdout stays
+/// machine-clean for the tool's actual output.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Reporter {
+    verbosity: Verbosity,
+}
+
+impl Reporter {
+    /// A reporter at the given level.
+    pub fn new(verbosity: Verbosity) -> Reporter {
+        Reporter { verbosity }
+    }
+
+    /// The active level.
+    pub fn verbosity(&self) -> Verbosity {
+        self.verbosity
+    }
+
+    /// Progress line (suppressed by `--quiet`).
+    pub fn info(&self, msg: impl AsRef<str>) {
+        if self.verbosity >= Verbosity::Normal {
+            let _ = writeln!(std::io::stderr(), "{}", msg.as_ref());
+        }
+    }
+
+    /// Diagnostic line (shown only with `-v`).
+    pub fn debug(&self, msg: impl AsRef<str>) {
+        if self.verbosity >= Verbosity::Verbose {
+            let _ = writeln!(std::io::stderr(), "{}", msg.as_ref());
+        }
+    }
+
+    /// Error line (always shown).
+    pub fn error(&self, msg: impl AsRef<str>) {
+        let _ = writeln!(std::io::stderr(), "{}", msg.as_ref());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbosity_orders_quiet_below_verbose() {
+        assert!(Verbosity::Quiet < Verbosity::Normal);
+        assert!(Verbosity::Normal < Verbosity::Verbose);
+        assert_eq!(Verbosity::default(), Verbosity::Normal);
+    }
+
+    #[test]
+    fn reporter_levels_do_not_panic() {
+        let r = Reporter::new(Verbosity::Quiet);
+        r.info("suppressed");
+        r.debug("suppressed");
+        r.error("shown");
+        assert_eq!(r.verbosity(), Verbosity::Quiet);
+    }
+}

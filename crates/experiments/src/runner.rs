@@ -7,9 +7,12 @@
 //! (protocol, mobility) pair; figures are assembled from several sweeps.
 
 use crate::scenarios::Mobility;
-use dtn_epidemic::{simulate, ProtocolConfig, RunMetrics, SimConfig, Workload};
+use dtn_epidemic::{
+    simulate, simulate_probed, JsonlProbe, ProtocolConfig, RunMetrics, SimConfig, TimeSeriesProbe,
+    Workload,
+};
 use dtn_mobility::TraceCache;
-use dtn_sim::{Pool, SimRng, Summary, Threads, Welford};
+use dtn_sim::{Pool, SimDuration, SimRng, Summary, Threads, Welford};
 
 /// Sweep-level configuration (defaults are the paper's).
 #[derive(Clone, Debug)]
@@ -127,6 +130,34 @@ pub fn run_point_raw_cached(
     run_point(protocol, mobility, load, cfg, Some(cache))
 }
 
+/// The [`SimConfig`] a sweep point runs under (the paper's constants plus
+/// the sweep's overrides). Shared by the plain, traced and series runners
+/// so their runs are interchangeable.
+pub fn point_sim_config(
+    protocol: &ProtocolConfig,
+    mobility: Mobility,
+    cfg: &SweepConfig,
+) -> SimConfig {
+    SimConfig {
+        protocol: protocol.clone(),
+        buffer_capacity: cfg.buffer_capacity,
+        tx_time: SimDuration::from_secs(
+            cfg.tx_time_secs.unwrap_or_else(|| mobility.tx_time_secs()),
+        ),
+        ack_slot_cost: 0.1,
+        transfer_loss_prob: 0.0,
+        bundle_bytes: 10_000_000,
+        ack_record_bytes: 16,
+    }
+}
+
+/// Namespaced root RNG for one (load) point; every replication's
+/// randomness derives from it so (protocol, load, replication) never
+/// collides across sweeps while staying deterministic.
+fn point_root_rng(load: u32, cfg: &SweepConfig) -> SimRng {
+    SimRng::new(cfg.base_seed ^ (load as u64) << 32)
+}
+
 fn run_point(
     protocol: &ProtocolConfig,
     mobility: Mobility,
@@ -134,20 +165,8 @@ fn run_point(
     cfg: &SweepConfig,
     cache: Option<&TraceCache>,
 ) -> Vec<RunMetrics> {
-    let sim_config = SimConfig {
-        protocol: protocol.clone(),
-        buffer_capacity: cfg.buffer_capacity,
-        tx_time: dtn_sim::SimDuration::from_secs(
-            cfg.tx_time_secs.unwrap_or_else(|| mobility.tx_time_secs()),
-        ),
-        ack_slot_cost: 0.1,
-        transfer_loss_prob: 0.0,
-        bundle_bytes: 10_000_000,
-        ack_record_bytes: 16,
-    };
-    // Namespace the seeds so (protocol, load, replication) never collides
-    // across sweeps while staying deterministic.
-    let root = SimRng::new(cfg.base_seed ^ (load as u64) << 32);
+    let sim_config = point_sim_config(protocol, mobility, cfg);
+    let root = point_root_rng(load, cfg);
     Pool::new(cfg.threads).map(cfg.replications, move |rep| {
         let rep = rep as u64;
         let mut wl_rng = root.derive(rep * 2 + 1);
@@ -160,6 +179,60 @@ fn run_point(
             Some(cache) => run(&mobility.build_cached(cfg.base_seed, rep, cache)),
             None => run(&mobility.build(cfg.base_seed, rep)),
         }
+    })
+}
+
+/// [`run_point_raw_cached`] with a [`JsonlProbe`] attached to every
+/// replication: returns each replication's metrics plus its JSONL event
+/// capture. Replications use the same seeding as the plain runner, so the
+/// metrics are bit-identical to an un-traced run; results come back in
+/// replication order regardless of the thread policy, so concatenating
+/// the captures yields a byte-deterministic stream.
+pub fn run_point_traced(
+    protocol: &ProtocolConfig,
+    mobility: Mobility,
+    load: u32,
+    cfg: &SweepConfig,
+    cache: &TraceCache,
+) -> Vec<(RunMetrics, String)> {
+    let sim_config = point_sim_config(protocol, mobility, cfg);
+    let root = point_root_rng(load, cfg);
+    Pool::new(cfg.threads).map(cfg.replications, move |rep| {
+        let rep = rep as u64;
+        let mut wl_rng = root.derive(rep * 2 + 1);
+        let sim_rng = root.derive(rep * 2);
+        let trace = mobility.build_cached(cfg.base_seed, rep, cache);
+        let workload = Workload::single_random_flow(load, trace.node_count(), &mut wl_rng);
+        let mut probe = JsonlProbe::new();
+        let metrics = simulate_probed(&trace, &workload, &sim_config, sim_rng, &mut probe);
+        (metrics, probe.into_jsonl())
+    })
+}
+
+/// [`run_point_raw_cached`] with a [`TimeSeriesProbe`] attached to every
+/// replication: returns each replication's metrics plus its sampled
+/// level curves and distribution histograms. The sampling interval is
+/// `horizon / 256`, floored at one second.
+pub fn run_point_series(
+    protocol: &ProtocolConfig,
+    mobility: Mobility,
+    load: u32,
+    cfg: &SweepConfig,
+    cache: &TraceCache,
+) -> Vec<(RunMetrics, TimeSeriesProbe)> {
+    let sim_config = point_sim_config(protocol, mobility, cfg);
+    let root = point_root_rng(load, cfg);
+    Pool::new(cfg.threads).map(cfg.replications, move |rep| {
+        let rep = rep as u64;
+        let mut wl_rng = root.derive(rep * 2 + 1);
+        let sim_rng = root.derive(rep * 2);
+        let trace = mobility.build_cached(cfg.base_seed, rep, cache);
+        let workload = Workload::single_random_flow(load, trace.node_count(), &mut wl_rng);
+        let interval = SimDuration::from_millis((trace.horizon().as_millis() / 256).max(1000));
+        let mut probe = TimeSeriesProbe::for_config(trace.node_count(), &sim_config, interval);
+        let metrics = simulate_probed(&trace, &workload, &sim_config, sim_rng, &mut probe);
+        probe.finish(metrics.end_time);
+        (metrics, probe)
     })
 }
 
@@ -298,6 +371,26 @@ mod tests {
         // replication count.
         assert_eq!(point.delivery_ratio.n as usize, runs.len());
         assert_eq!(point.delay_s.n as usize + point.failures, runs.len());
+    }
+
+    #[test]
+    fn traced_and_series_runs_match_the_plain_runner() {
+        let cfg = tiny();
+        let cache = TraceCache::new();
+        let proto = protocols::immunity_epidemic();
+        let plain = run_point_raw_cached(&proto, Mobility::Trace, 5, &cfg, &cache);
+        let traced = run_point_traced(&proto, Mobility::Trace, 5, &cfg, &cache);
+        let series = run_point_series(&proto, Mobility::Trace, 5, &cfg, &cache);
+        assert_eq!(plain.len(), traced.len());
+        for (p, (t, jsonl)) in plain.iter().zip(&traced) {
+            assert_eq!(p, t, "probe must not perturb the simulation");
+            assert!(!jsonl.is_empty(), "events were captured");
+        }
+        for (p, (s, probe)) in plain.iter().zip(&series) {
+            assert_eq!(p, s);
+            assert!(!probe.samples.is_empty(), "curves were sampled");
+            assert_eq!(probe.delay.count(), u64::from(p.delivered));
+        }
     }
 
     #[test]

@@ -34,5 +34,5 @@ pub use engine::{Engine, Flow, Handler, Scheduler, StopReason};
 pub use events::EventQueue;
 pub use parallel::{par_map_indexed, Pool, Threads};
 pub use rng::SimRng;
-pub use stats::{Summary, TimeWeighted, Welford};
+pub use stats::{Histogram, HistogramBucket, Summary, TimeWeighted, Welford};
 pub use time::{SimDuration, SimTime};

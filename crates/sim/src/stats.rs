@@ -1,7 +1,7 @@
 //! Statistical accumulators used by the metrics pipeline and the experiment
 //! harness.
 //!
-//! Three accumulator shapes cover everything in the paper's evaluation:
+//! Four accumulator shapes cover everything in the paper's evaluation:
 //!
 //! * [`Welford`] — numerically stable running mean / variance over i.i.d.
 //!   samples (e.g. the per-replication delivery ratios averaged into each
@@ -10,10 +10,15 @@
 //!   time (buffer occupancy and duplication rate are sampled this way: the
 //!   level holds between events and each segment is weighted by its
 //!   duration);
+//! * [`Histogram`] — a log-bucketed distribution sketch (delay, inter-
+//!   contact gaps, per-contact bundle counts) whose merge is exact on
+//!   bucket counts and Welford-style on the moments, so the parallel sweep
+//!   reduction can combine per-replication histograms in any order;
 //! * [`Summary`] — a frozen snapshot (n, mean, std-dev, min, max, 95 % CI
 //!   half-width) suitable for CSV/table output.
 
 use crate::time::SimTime;
+use std::collections::BTreeMap;
 
 /// Welford's online algorithm for mean and variance.
 #[derive(Clone, Debug, Default)]
@@ -210,6 +215,183 @@ impl TimeWeighted {
     }
 }
 
+/// Sub-buckets per power-of-two octave (8 → ~9 % relative bucket width).
+const HIST_SUBDIV_BITS: u32 = 3;
+const HIST_SUBDIV: i64 = 1 << HIST_SUBDIV_BITS;
+
+/// A log-bucketed histogram over non-negative `f64` samples.
+///
+/// Buckets subdivide each power-of-two octave into [`HIST_SUBDIV`] equal
+/// mantissa slices, so the bucket index is pure integer bit arithmetic on
+/// the sample's IEEE-754 representation — deterministic across platforms,
+/// no `log2` rounding in sight. Zero (and any non-positive or non-finite
+/// sample) is counted in a dedicated underflow bin rather than being
+/// force-fitted into a log scale.
+///
+/// Merging adds bucket counts exactly and combines the moment accumulator
+/// with the Welford/Chan update, which is what lets the parallel sweep
+/// reduction fold per-replication histograms together in completion order
+/// without changing any reported count.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    /// Sparse bucket counts keyed by log-bucket index (sorted — iteration
+    /// order is part of the deterministic output contract).
+    buckets: BTreeMap<i64, u64>,
+    /// Samples ≤ 0 or non-finite (conceptually the `[−∞, smallest bucket)`
+    /// bin at value zero).
+    underflow: u64,
+    /// Exact-count moment accumulator over every recorded sample.
+    moments: Welford,
+}
+
+/// One rendered histogram bucket: `[lo, hi)` and its count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramBucket {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+    /// Samples that landed in `[lo, hi)`.
+    pub count: u64,
+}
+
+/// Log-bucket index of a positive, finite, normal `f64`: octave (unbiased
+/// exponent) × subdivisions + top mantissa bits.
+fn hist_index(v: f64) -> i64 {
+    debug_assert!(v > 0.0 && v.is_finite());
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64;
+    if exp == 0 {
+        // Subnormals: clamp into the lowest normal bucket.
+        return (1 - 1023) * HIST_SUBDIV;
+    }
+    let sub = ((bits >> (52 - HIST_SUBDIV_BITS)) & (HIST_SUBDIV as u64 - 1)) as i64;
+    (exp - 1023) * HIST_SUBDIV + sub
+}
+
+/// The `[lo, hi)` value range of bucket `idx`.
+fn hist_bounds(idx: i64) -> (f64, f64) {
+    let e = idx.div_euclid(HIST_SUBDIV) as i32;
+    let s = idx.rem_euclid(HIST_SUBDIV) as f64;
+    let base = 2f64.powi(e);
+    let lo = base * (1.0 + s / HIST_SUBDIV as f64);
+    let hi = base * (1.0 + (s + 1.0) / HIST_SUBDIV as f64);
+    (lo, hi)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample. Non-positive and non-finite samples land in the
+    /// underflow bin (and still count toward `count()`; non-finite samples
+    /// are excluded from the moments so a stray NaN cannot poison the
+    /// mean).
+    pub fn record(&mut self, v: f64) {
+        if v.is_finite() {
+            self.moments.push(v.max(0.0));
+        }
+        if v.is_finite() && v > 0.0 {
+            *self.buckets.entry(hist_index(v)).or_insert(0) += 1;
+        } else {
+            self.underflow += 1;
+        }
+    }
+
+    /// Merge another histogram into this one. Bucket counts add exactly;
+    /// the moments combine with the Welford/Chan pairwise update, so the
+    /// merge is commutative and associative up to float rounding in the
+    /// mean (and *bit-exact* in every count).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        self.underflow += other.underflow;
+        self.moments.merge(&other.moments);
+    }
+
+    /// Total recorded samples (including underflow).
+    pub fn count(&self) -> u64 {
+        self.underflow + self.buckets.values().sum::<u64>()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Mean of all finite samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// Largest finite sample seen (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.moments.count() == 0 {
+            0.0
+        } else {
+            self.moments.summary().max
+        }
+    }
+
+    /// Frozen moment statistics over the recorded samples.
+    pub fn summary(&self) -> Summary {
+        self.moments.summary()
+    }
+
+    /// The nearest-rank `q`-quantile (`q ∈ [0, 1]`), resolved to the
+    /// midpoint of the bucket holding that rank — so the true quantile is
+    /// guaranteed to lie within half a bucket width (≈ ±4.5 % relative).
+    /// Underflow samples resolve to 0. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank (1-based): smallest rank with cum ≥ ceil(q·n).
+        let target = ((q * n as f64).ceil() as u64).max(1);
+        let mut cum = self.underflow;
+        if cum >= target {
+            return Some(0.0);
+        }
+        for (&idx, &count) in &self.buckets {
+            cum += count;
+            if cum >= target {
+                let (lo, hi) = hist_bounds(idx);
+                return Some((lo + hi) / 2.0);
+            }
+        }
+        unreachable!("rank {target} beyond total count {n}")
+    }
+
+    /// Non-empty buckets in ascending value order, underflow first (as a
+    /// `[0, smallest-bucket-lo)` pseudo-bucket).
+    pub fn nonzero_buckets(&self) -> Vec<HistogramBucket> {
+        let mut out = Vec::with_capacity(self.buckets.len() + 1);
+        if self.underflow > 0 {
+            let hi = self
+                .buckets
+                .keys()
+                .next()
+                .map(|&idx| hist_bounds(idx).0)
+                .unwrap_or(0.0);
+            out.push(HistogramBucket {
+                lo: 0.0,
+                hi,
+                count: self.underflow,
+            });
+        }
+        for (&idx, &count) in &self.buckets {
+            let (lo, hi) = hist_bounds(idx);
+            out.push(HistogramBucket { lo, hi, count });
+        }
+        out
+    }
+}
+
 /// Convenience: mean of a slice (0 for empty input).
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -335,5 +517,75 @@ mod tests {
     fn mean_helper() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn histogram_buckets_contain_their_samples() {
+        for v in [0.001, 0.5, 1.0, 1.3, 2.0, 3.7, 100.0, 524_162.0, 1e12] {
+            let idx = hist_index(v);
+            let (lo, hi) = hist_bounds(idx);
+            assert!(lo <= v && v < hi, "{v} outside [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn histogram_bounds_are_contiguous_and_monotone() {
+        for idx in -50..50 {
+            let (lo, hi) = hist_bounds(idx);
+            let (next_lo, _) = hist_bounds(idx + 1);
+            assert!(lo < hi);
+            assert_eq!(hi, next_lo, "bucket {idx} not contiguous");
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 4.0, 8.0, 0.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.quantile(0.0), Some(0.0), "underflow holds rank 1");
+        let q1 = h.quantile(1.0).unwrap();
+        assert!((8.0..=9.0).contains(&q1), "top quantile near 8: {q1}");
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(h.max(), 8.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts_exactly() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 0..100 {
+            let v = (i as f64) * 1.37;
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.nonzero_buckets(), whole.nonzero_buckets());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_ignores_nan_in_moments_but_counts_it() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(2.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), 2.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert!(h.is_empty());
+        assert!(h.nonzero_buckets().is_empty());
     }
 }

@@ -3,10 +3,27 @@
 use dtn_sim::{
     events::EventQueue,
     par_map_indexed,
-    stats::{mean, TimeWeighted, Welford},
+    stats::{mean, Histogram, TimeWeighted, Welford},
     SimDuration, SimRng, SimTime, Threads,
 };
 use proptest::prelude::*;
+
+fn hist_of(xs: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &x in xs {
+        h.record(x);
+    }
+    h
+}
+
+/// Bucket counts as a comparable fingerprint: `(lo-bits, hi-bits, count)`
+/// per non-empty bucket, in value order.
+fn bucket_fingerprint(h: &Histogram) -> Vec<(u64, u64, u64)> {
+    h.nonzero_buckets()
+        .iter()
+        .map(|b| (b.lo.to_bits(), b.hi.to_bits(), b.count))
+        .collect()
+}
 
 proptest! {
     /// Popping the queue yields events in (time, insertion) order for any
@@ -160,5 +177,97 @@ proptest! {
         let d = SimDuration::from_millis(total);
         let u = SimDuration::from_millis(unit);
         prop_assert_eq!(d.div_whole(u), total / unit);
+    }
+
+    /// Histogram merge is commutative: a∪b and b∪a agree bucket-for-bucket
+    /// (exactly) and on the moments (within float rounding).
+    #[test]
+    fn histogram_merge_is_commutative(
+        xs in prop::collection::vec(1e-3f64..1e6, 0..100),
+        ys in prop::collection::vec(1e-3f64..1e6, 0..100),
+    ) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(bucket_fingerprint(&ab), bucket_fingerprint(&ba));
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9 * (1.0 + ab.mean().abs()));
+        prop_assert_eq!(ab.max().to_bits(), ba.max().to_bits());
+    }
+
+    /// Histogram merge is associative: (a∪b)∪c and a∪(b∪c) agree, and
+    /// both equal recording every sample into one histogram — the
+    /// property the parallel sweep reduction relies on.
+    #[test]
+    fn histogram_merge_is_associative_and_split_invariant(
+        xs in prop::collection::vec(1e-3f64..1e6, 3..150),
+        cut_a in 0usize..150,
+        cut_b in 0usize..150,
+    ) {
+        let i = cut_a % xs.len();
+        let j = i + (cut_b % (xs.len() - i));
+        let (a, b, c) = (hist_of(&xs[..i]), hist_of(&xs[i..j]), hist_of(&xs[j..]));
+        let whole = hist_of(&xs);
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(bucket_fingerprint(&left), bucket_fingerprint(&right));
+        prop_assert_eq!(bucket_fingerprint(&left), bucket_fingerprint(&whole));
+        prop_assert_eq!(left.count(), xs.len() as u64);
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
+    }
+
+    /// Every reported quantile lies within the recorded sample range, and
+    /// quantiles are monotone in `q`.
+    #[test]
+    fn histogram_quantiles_are_bounded_and_monotone(
+        xs in prop::collection::vec(1e-3f64..1e6, 1..150),
+    ) {
+        let h = hist_of(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(0.0f64, f64::max);
+        // A quantile resolves to its bucket midpoint, so it can sit up to
+        // half a bucket (one subdivision, 1/8 relative) off the true value.
+        let slack = 1.0 + 1.0 / 8.0;
+        let mut prev = 0.0f64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q).expect("non-empty");
+            prop_assert!(v >= lo / slack, "q{q}: {v} below min {lo}");
+            prop_assert!(v <= hi * slack, "q{q}: {v} above max {hi}");
+            prop_assert!(v >= prev, "quantiles must be monotone in q");
+            prev = v;
+        }
+    }
+
+    /// Rendered buckets are disjoint, ascending, and cover every sample:
+    /// bucket bounds are monotone and counts sum to `count()`.
+    #[test]
+    fn histogram_buckets_are_monotone_and_complete(
+        xs in prop::collection::vec(0.0f64..1e9, 0..200),
+    ) {
+        let h = hist_of(&xs);
+        let buckets = h.nonzero_buckets();
+        let total: u64 = buckets.iter().map(|b| b.count).sum();
+        prop_assert_eq!(total, h.count());
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        for b in &buckets {
+            prop_assert!(b.lo < b.hi, "bucket [{}, {}) is empty-range", b.lo, b.hi);
+            prop_assert!(b.count > 0, "nonzero_buckets returned an empty bucket");
+        }
+        for w in buckets.windows(2) {
+            prop_assert!(
+                w[0].hi <= w[1].lo,
+                "buckets [{}, {}) and [{}, {}) overlap or disorder",
+                w[0].lo, w[0].hi, w[1].lo, w[1].hi
+            );
+        }
     }
 }

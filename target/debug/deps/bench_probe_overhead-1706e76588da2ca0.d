@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_probe_overhead-1706e76588da2ca0.d: crates/bench/src/bin/bench_probe_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_probe_overhead-1706e76588da2ca0.rmeta: crates/bench/src/bin/bench_probe_overhead.rs Cargo.toml
+
+crates/bench/src/bin/bench_probe_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_probe_overhead-6398785df7cb7dd6.d: crates/bench/src/bin/bench_probe_overhead.rs
+
+/root/repo/target/debug/deps/bench_probe_overhead-6398785df7cb7dd6: crates/bench/src/bin/bench_probe_overhead.rs
+
+crates/bench/src/bin/bench_probe_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_probe_overhead-687221844ce9b16b.d: crates/bench/src/bin/bench_probe_overhead.rs
+
+/root/repo/target/debug/deps/bench_probe_overhead-687221844ce9b16b: crates/bench/src/bin/bench_probe_overhead.rs
+
+crates/bench/src/bin/bench_probe_overhead.rs:

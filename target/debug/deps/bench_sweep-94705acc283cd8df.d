@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_sweep-94705acc283cd8df.d: crates/bench/src/bin/bench_sweep.rs
+
+/root/repo/target/debug/deps/bench_sweep-94705acc283cd8df: crates/bench/src/bin/bench_sweep.rs
+
+crates/bench/src/bin/bench_sweep.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/dtn_epidemic-38c16ae73ff36fc5.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/bundle.rs crates/core/src/immunity.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/policy.rs crates/core/src/protocols.rs crates/core/src/session.rs crates/core/src/simulation.rs crates/core/src/summary.rs Cargo.toml
+/root/repo/target/debug/deps/dtn_epidemic-38c16ae73ff36fc5.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/bundle.rs crates/core/src/immunity.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/policy.rs crates/core/src/probe.rs crates/core/src/protocols.rs crates/core/src/session.rs crates/core/src/simulation.rs crates/core/src/summary.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdtn_epidemic-38c16ae73ff36fc5.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/bundle.rs crates/core/src/immunity.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/policy.rs crates/core/src/protocols.rs crates/core/src/session.rs crates/core/src/simulation.rs crates/core/src/summary.rs Cargo.toml
+/root/repo/target/debug/deps/libdtn_epidemic-38c16ae73ff36fc5.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/bundle.rs crates/core/src/immunity.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/policy.rs crates/core/src/probe.rs crates/core/src/protocols.rs crates/core/src/session.rs crates/core/src/simulation.rs crates/core/src/summary.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/buffer.rs:
@@ -9,6 +9,7 @@ crates/core/src/immunity.rs:
 crates/core/src/metrics.rs:
 crates/core/src/node.rs:
 crates/core/src/policy.rs:
+crates/core/src/probe.rs:
 crates/core/src/protocols.rs:
 crates/core/src/session.rs:
 crates/core/src/simulation.rs:

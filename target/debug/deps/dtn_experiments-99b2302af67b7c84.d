@@ -1,11 +1,13 @@
-/root/repo/target/debug/deps/dtn_experiments-99b2302af67b7c84.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs Cargo.toml
+/root/repo/target/debug/deps/dtn_experiments-99b2302af67b7c84.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdtn_experiments-99b2302af67b7c84.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs Cargo.toml
+/root/repo/target/debug/deps/libdtn_experiments-99b2302af67b7c84.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs Cargo.toml
 
 crates/experiments/src/lib.rs:
 crates/experiments/src/ablations.rs:
 crates/experiments/src/figures.rs:
 crates/experiments/src/output.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/reporter.rs:
 crates/experiments/src/runner.rs:
 crates/experiments/src/scenarios.rs:
 crates/experiments/src/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_events-079fcefa86677413.d: crates/experiments/../../tests/trace_events.rs
+
+/root/repo/target/debug/deps/trace_events-079fcefa86677413: crates/experiments/../../tests/trace_events.rs
+
+crates/experiments/../../tests/trace_events.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_events-c06b576fd7bdfc41.d: crates/experiments/../../tests/trace_events.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_events-c06b576fd7bdfc41.rmeta: crates/experiments/../../tests/trace_events.rs Cargo.toml
+
+crates/experiments/../../tests/trace_events.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_probe_overhead-e62fbb0459a26387.d: crates/bench/src/bin/bench_probe_overhead.rs
+
+/root/repo/target/release/deps/bench_probe_overhead-e62fbb0459a26387: crates/bench/src/bin/bench_probe_overhead.rs
+
+crates/bench/src/bin/bench_probe_overhead.rs:

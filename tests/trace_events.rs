@@ -1,0 +1,119 @@
+//! Event-stream fidelity: the typed probe events are a *complete* record
+//! of a run, and capturing them perturbs nothing.
+//!
+//! Two properties anchor the telemetry layer:
+//!
+//! 1. **Replay bit-equality** — folding a captured event stream back
+//!    through [`replay_metrics`] reconstructs the run's [`RunMetrics`]
+//!    exactly (`PartialEq` over every counter and time-weighted average,
+//!    i.e. float bits included). An event variant that under- or
+//!    over-reports any collector mutation fails this.
+//! 2. **Thread-policy byte-determinism** — the concatenated JSONL capture
+//!    of a multi-replication point is byte-identical under `Sequential`,
+//!    `Fixed(2)` and `Auto` scheduling, so traces are diffable artifacts.
+
+use std::num::NonZeroUsize;
+
+use dtn_epidemic::{
+    protocols, replay_jsonl, replay_metrics, simulate, simulate_probed, MemoryProbe, SimConfig,
+    Workload,
+};
+use dtn_experiments::{run_point_traced, Mobility, SweepConfig, TraceCache};
+use dtn_sim::{SimDuration, SimRng, Threads};
+
+fn scenario_config(protocol: dtn_epidemic::ProtocolConfig) -> SimConfig {
+    SimConfig {
+        protocol,
+        buffer_capacity: 10,
+        tx_time: SimDuration::from_secs(100),
+        ack_slot_cost: 0.1,
+        transfer_loss_prob: 0.05,
+        bundle_bytes: 10_000_000,
+        ack_record_bytes: 16,
+    }
+}
+
+/// Every protocol family, run with a capturing probe: the captured stream
+/// must replay to the exact `RunMetrics` the live collector produced.
+#[test]
+fn captured_events_replay_to_bit_identical_metrics() {
+    for protocol in protocols::all_protocols() {
+        let name = protocol.name;
+        let config = scenario_config(protocol);
+        let trace = Mobility::Trace.build(7, 0);
+        let mut wl_rng = SimRng::new(11);
+        let workload = Workload::single_random_flow(20, trace.node_count(), &mut wl_rng);
+
+        let mut probe = MemoryProbe::default();
+        let live = simulate_probed(&trace, &workload, &config, SimRng::new(42), &mut probe);
+        let replayed = replay_metrics(
+            probe.events.iter().copied(),
+            &workload,
+            &config,
+            trace.node_count(),
+            live.end_time,
+        );
+        assert_eq!(live, replayed, "replay diverged for {name}");
+
+        // And the un-probed run is unperturbed by the capture.
+        let plain = simulate(&trace, &workload, &config, SimRng::new(42));
+        assert_eq!(live, plain, "probe perturbed the simulation for {name}");
+    }
+}
+
+/// The JSONL serialization loses nothing: parse the text stream back and
+/// replay it to the same metrics.
+#[test]
+fn jsonl_round_trip_replays_to_bit_identical_metrics() {
+    let config = scenario_config(protocols::immunity_epidemic());
+    let trace = Mobility::Rwp.build(3, 1);
+    let mut wl_rng = SimRng::new(5);
+    let workload = Workload::single_random_flow(15, trace.node_count(), &mut wl_rng);
+
+    let mut probe = dtn_epidemic::JsonlProbe::new();
+    let live = simulate_probed(&trace, &workload, &config, SimRng::new(9), &mut probe);
+    let jsonl = probe.into_jsonl();
+    assert!(!jsonl.is_empty());
+
+    let replayed = replay_jsonl(
+        &jsonl,
+        &workload,
+        &config,
+        trace.node_count(),
+        live.end_time,
+    );
+    assert_eq!(live, replayed);
+}
+
+/// A multi-replication traced point produces the byte-identical event
+/// stream no matter how the replications are scheduled.
+#[test]
+fn event_stream_is_byte_identical_across_thread_policies() {
+    let capture = |threads: Threads| {
+        let cfg = SweepConfig {
+            loads: vec![10],
+            replications: 4,
+            threads,
+            ..SweepConfig::default()
+        };
+        let cache = TraceCache::new();
+        let runs = run_point_traced(
+            &protocols::cumulative_immunity_epidemic(),
+            Mobility::Trace,
+            10,
+            &cfg,
+            &cache,
+        );
+        runs.into_iter().map(|(_, jsonl)| jsonl).collect::<String>()
+    };
+
+    let sequential = capture(Threads::Sequential);
+    assert!(!sequential.is_empty());
+    for threads in [Threads::Fixed(NonZeroUsize::new(2).unwrap()), Threads::Auto] {
+        assert_eq!(
+            sequential,
+            capture(threads),
+            "event stream diverged under {threads:?}"
+        );
+    }
+}
