@@ -62,6 +62,7 @@ pub fn one_run(protocol: ProtocolConfig, mobility: Mobility, load: u32, seed: u6
         transfer_loss_prob: 0.0,
         bundle_bytes: 10_000_000,
         ack_record_bytes: 16,
+        faults: Default::default(),
     };
     simulate(&trace, &workload, &config, SimRng::new(seed))
 }

@@ -157,6 +157,16 @@ impl ImmunityStore {
         ImmunityStore::Cumulative(BTreeMap::new())
     }
 
+    /// Drop every record, keeping the store's kind. Models the loss of
+    /// the (volatile) immunity table when a node cold-restarts under
+    /// crash-churn fault injection.
+    pub fn reset(&mut self) {
+        match self {
+            ImmunityStore::PerBundle(set) => *set = PerBundleSet::default(),
+            ImmunityStore::Cumulative(map) => map.clear(),
+        }
+    }
+
     /// Does the store certify that `id` has been delivered?
     pub fn covers(&self, id: BundleId) -> bool {
         match self {

@@ -21,6 +21,9 @@
 //! * [`summary`] — the anti-entropy summary vector;
 //! * [`session`] — the shared contact-session procedure (anti-entropy,
 //!   capacity accounting, lower-ID-first ordering);
+//! * [`faults`] — deterministic fault injection (session truncation,
+//!   node churn, bursty Gilbert–Elliott loss, anti-packet loss) drawn
+//!   from RNG streams isolated from the base simulation stream;
 //! * [`simulation`] — the event-driven per-replication driver;
 //! * [`metrics`] — the paper's four metrics plus signaling overhead;
 //! * [`probe`] — zero-overhead typed event tracing (monomorphized
@@ -47,6 +50,7 @@
 
 pub mod buffer;
 pub mod bundle;
+pub mod faults;
 pub mod immunity;
 pub mod metrics;
 pub mod node;
@@ -59,6 +63,10 @@ pub mod summary;
 
 pub use buffer::{Buffer, InsertOutcome, StoredBundle};
 pub use bundle::{BundleId, Flow, FlowId, Workload, WorkloadError};
+pub use faults::{
+    validate_probability, ChurnMode, ChurnPlan, ChurnTransition, FaultInjector, FaultPlan,
+    GilbertElliott,
+};
 pub use immunity::{DeliveryTracker, ImmunityStore};
 pub use metrics::{DropReason, MetricsCollector, RunMetrics};
 pub use node::Node;

@@ -35,6 +35,8 @@ pub enum DropReason {
     Evicted,
     /// Purged by immunity-table coverage.
     Immunized,
+    /// Lost to a crash-restart wipe (churn fault injection).
+    Churn,
 }
 
 /// Live accumulator state during one simulation run.
@@ -84,6 +86,16 @@ pub struct MetricsCollector {
     pub payload_bytes_sent: u64,
     /// Control bytes put on the air (summary vectors + immunity records).
     pub control_bytes_sent: u64,
+    /// Contacts skipped because an endpoint was down (churn).
+    pub contacts_skipped: u64,
+    /// Sessions cut short by contact-truncation fault injection.
+    pub sessions_truncated: u64,
+    /// Immunity-exchange directions lost to control-plane fault injection.
+    pub ack_losses: u64,
+    /// Crash restarts that wiped a node's volatile state.
+    pub churn_wipes: u64,
+    /// Copies lost to crash-restart wipes.
+    pub churn_drops: u64,
 }
 
 impl MetricsCollector {
@@ -121,6 +133,11 @@ impl MetricsCollector {
             transfer_losses: 0,
             payload_bytes_sent: 0,
             control_bytes_sent: 0,
+            contacts_skipped: 0,
+            sessions_truncated: 0,
+            ack_losses: 0,
+            churn_wipes: 0,
+            churn_drops: 0,
         }
     }
 
@@ -170,6 +187,7 @@ impl MetricsCollector {
             DropReason::Expired => self.expirations += 1,
             DropReason::Evicted => self.evictions += 1,
             DropReason::Immunized => self.immunity_purges += 1,
+            DropReason::Churn => self.churn_drops += 1,
         }
         self.refresh_occupancy(node_idx, now);
     }
@@ -274,6 +292,11 @@ impl MetricsCollector {
             transfer_losses: self.transfer_losses,
             payload_bytes_sent: self.payload_bytes_sent,
             control_bytes_sent: self.control_bytes_sent,
+            contacts_skipped: self.contacts_skipped,
+            sessions_truncated: self.sessions_truncated,
+            ack_losses: self.ack_losses,
+            churn_wipes: self.churn_wipes,
+            churn_drops: self.churn_drops,
             end_time: end,
         }
     }
@@ -320,6 +343,18 @@ pub struct RunMetrics {
     pub payload_bytes_sent: u64,
     /// Control bytes put on the air (summary vectors + immunity records).
     pub control_bytes_sent: u64,
+    /// Contacts skipped because an endpoint was down (churn fault
+    /// injection; 0 without a fault plan).
+    pub contacts_skipped: u64,
+    /// Sessions cut short by contact truncation (fault injection).
+    pub sessions_truncated: u64,
+    /// Immunity-exchange directions lost to control-plane fault
+    /// injection.
+    pub ack_losses: u64,
+    /// Crash restarts that wiped a node's volatile state.
+    pub churn_wipes: u64,
+    /// Copies lost to crash-restart wipes.
+    pub churn_drops: u64,
     /// End of the observation window.
     pub end_time: SimTime,
 }

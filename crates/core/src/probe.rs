@@ -155,6 +155,56 @@ pub enum Event {
         /// Purge time (ms).
         t: u64,
     },
+    /// A node went down (churn fault injection).
+    FaultDown {
+        /// The churned node.
+        node: u32,
+        /// Down time (ms).
+        t: u64,
+    },
+    /// A node came back up (churn fault injection).
+    FaultUp {
+        /// The restarting node.
+        node: u32,
+        /// Restart time (ms).
+        t: u64,
+        /// True when crash semantics wiped the node's volatile state
+        /// (the wipe's individual drops are their own [`Event::Drop`]s
+        /// with [`DropReason::Churn`]).
+        wiped: bool,
+    },
+    /// A contact was skipped entirely because an endpoint was down.
+    ContactSkipped {
+        /// Lower-ID endpoint.
+        a: u32,
+        /// Higher-ID endpoint.
+        b: u32,
+        /// The missed contact's start (ms).
+        t: u64,
+    },
+    /// A contact session was truncated mid-exchange: `slots_lost`
+    /// transfer slots of its capacity were forfeited.
+    SessionTruncated {
+        /// Lower-ID endpoint.
+        a: u32,
+        /// Higher-ID endpoint.
+        b: u32,
+        /// Session start (ms).
+        t: u64,
+        /// Capacity slots lost to the truncation.
+        slots_lost: u64,
+    },
+    /// One direction of an immunity-table exchange was lost in flight
+    /// (control-plane fault injection). The sender's signaling cost was
+    /// still charged — it cannot know the reception failed.
+    AckLost {
+        /// The node whose shared table was lost.
+        from: u32,
+        /// The node that never received it.
+        to: u32,
+        /// Exchange time (ms).
+        t: u64,
+    },
 }
 
 impl Event {
@@ -169,7 +219,12 @@ impl Event {
             | Event::Transmit { t, .. }
             | Event::Deliver { t, .. }
             | Event::ImmunityMerge { t, .. }
-            | Event::AckPurge { t, .. } => t,
+            | Event::AckPurge { t, .. }
+            | Event::FaultDown { t, .. }
+            | Event::FaultUp { t, .. }
+            | Event::ContactSkipped { t, .. }
+            | Event::SessionTruncated { t, .. }
+            | Event::AckLost { t, .. } => t,
         }
     }
 
@@ -209,6 +264,7 @@ impl Event {
                     DropReason::Expired => "expired",
                     DropReason::Evicted => "evicted",
                     DropReason::Immunized => "immunized",
+                    DropReason::Churn => "churn",
                 };
                 writeln!(
                     out,
@@ -258,6 +314,33 @@ impl Event {
                 out,
                 "{{\"ev\":\"ack_purge\",\"t\":{t},\"flow\":{flow},\"seq\":{seq},\"node\":{node}}}"
             ),
+            Event::FaultDown { node, t } => {
+                writeln!(out, "{{\"ev\":\"fault_down\",\"t\":{t},\"node\":{node}}}")
+            }
+            Event::FaultUp { node, t, wiped } => writeln!(
+                out,
+                "{{\"ev\":\"fault_up\",\"t\":{t},\"node\":{node},\"wiped\":{wiped}}}"
+            ),
+            Event::ContactSkipped { a, b, t } => {
+                writeln!(
+                    out,
+                    "{{\"ev\":\"contact_skipped\",\"t\":{t},\"a\":{a},\"b\":{b}}}"
+                )
+            }
+            Event::SessionTruncated {
+                a,
+                b,
+                t,
+                slots_lost,
+            } => writeln!(
+                out,
+                "{{\"ev\":\"session_truncated\",\"t\":{t},\"a\":{a},\"b\":{b},\
+                 \"slots_lost\":{slots_lost}}}"
+            ),
+            Event::AckLost { from, to, t } => writeln!(
+                out,
+                "{{\"ev\":\"ack_lost\",\"t\":{t},\"from\":{from},\"to\":{to}}}"
+            ),
         }
         .expect("String writes are infallible");
     }
@@ -304,6 +387,7 @@ impl Event {
                     "expired" => DropReason::Expired,
                     "evicted" => DropReason::Evicted,
                     "immunized" => DropReason::Immunized,
+                    "churn" => DropReason::Churn,
                     _ => return None,
                 },
             }),
@@ -339,6 +423,31 @@ impl Event {
                 flow: json_u64(line, "flow")? as u32,
                 seq: json_u64(line, "seq")? as u32,
                 node: json_u64(line, "node")? as u32,
+                t,
+            }),
+            "fault_down" => Some(Event::FaultDown {
+                node: json_u64(line, "node")? as u32,
+                t,
+            }),
+            "fault_up" => Some(Event::FaultUp {
+                node: json_u64(line, "node")? as u32,
+                t,
+                wiped: json_bool(line, "wiped")?,
+            }),
+            "contact_skipped" => Some(Event::ContactSkipped {
+                a: json_u64(line, "a")? as u32,
+                b: json_u64(line, "b")? as u32,
+                t,
+            }),
+            "session_truncated" => Some(Event::SessionTruncated {
+                a: json_u64(line, "a")? as u32,
+                b: json_u64(line, "b")? as u32,
+                t,
+                slots_lost: json_u64(line, "slots_lost")?,
+            }),
+            "ack_lost" => Some(Event::AckLost {
+                from: json_u64(line, "from")? as u32,
+                to: json_u64(line, "to")? as u32,
                 t,
             }),
             _ => None,
@@ -711,6 +820,14 @@ impl Probe for TimeSeriesProbe {
                     *slot = records;
                 }
             }
+            // Fault markers carry no level information of their own: a
+            // crash wipe's buffer/immunity effects arrive as their own
+            // Drop and ImmunityMerge events.
+            Event::FaultDown { .. }
+            | Event::FaultUp { .. }
+            | Event::ContactSkipped { .. }
+            | Event::SessionTruncated { .. }
+            | Event::AckLost { .. } => {}
         }
     }
 }
@@ -793,6 +910,15 @@ pub fn replay_metrics(
                 SimTime::from_millis(t),
                 DropReason::Immunized,
             ),
+            Event::FaultDown { .. } => {}
+            Event::FaultUp { wiped, .. } => {
+                if wiped {
+                    metrics.churn_wipes += 1;
+                }
+            }
+            Event::ContactSkipped { .. } => metrics.contacts_skipped += 1,
+            Event::SessionTruncated { .. } => metrics.sessions_truncated += 1,
+            Event::AckLost { .. } => metrics.ack_losses += 1,
         }
     }
     metrics.finish(end)
@@ -877,6 +1003,31 @@ mod tests {
                 seq: 4,
                 node: 2,
                 t: 300,
+            },
+            Event::Drop {
+                flow: 2,
+                seq: 1,
+                node: 4,
+                t: 350,
+                reason: DropReason::Churn,
+            },
+            Event::FaultDown { node: 3, t: 400 },
+            Event::FaultUp {
+                node: 3,
+                t: 500,
+                wiped: true,
+            },
+            Event::ContactSkipped { a: 1, b: 3, t: 450 },
+            Event::SessionTruncated {
+                a: 1,
+                b: 2,
+                t: 600,
+                slots_lost: 2,
+            },
+            Event::AckLost {
+                from: 2,
+                to: 1,
+                t: 700,
             },
         ];
         for ev in events {

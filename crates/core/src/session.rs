@@ -26,6 +26,7 @@
 
 use crate::buffer::{InsertOutcome, StoredBundle};
 use crate::bundle::{BundleId, Workload};
+use crate::faults::{validate_probability, FaultInjector, FaultPlan};
 use crate::metrics::{DropReason, MetricsCollector};
 use crate::node::{CopyPlace, Node};
 use crate::policy::{AckScheme, LifetimePolicy, ProtocolConfig};
@@ -61,6 +62,10 @@ pub struct SimConfig {
     /// Wire size of one immunity record ("anti-packets … are usually
     /// small in size", §II-B).
     pub ack_record_bytes: u64,
+    /// Fault injection (truncation, churn, bursty loss, ack loss). The
+    /// default plan is all-zero: no faults, no RNG draws, bit-identical
+    /// results to the pre-fault simulator.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -74,7 +79,17 @@ impl SimConfig {
             transfer_loss_prob: 0.0,
             bundle_bytes: 10_000_000,
             ack_record_bytes: 16,
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Validate every probability knob (finite, in `[0, 1]`) so a typo'd
+    /// or NaN rate fails loudly instead of silently skewing the sampler.
+    /// The simulation driver calls this before every run; the CLI calls
+    /// it at arg-parse time for a clean error message.
+    pub fn validate(&self) -> Result<(), String> {
+        validate_probability("transfer_loss_prob", self.transfer_loss_prob)?;
+        self.faults.validate()
     }
 }
 
@@ -117,6 +132,9 @@ pub struct SessionCtx<'a, P: Probe = NullProbe> {
     pub scratch: &'a mut SessionScratch,
     /// Event observer (see [`crate::probe`]).
     pub probe: &'a mut P,
+    /// Fault sampling state (a disabled injector draws nothing; see
+    /// [`crate::faults`]).
+    pub faults: &'a mut FaultInjector,
 }
 
 impl<P: Probe> SessionCtx<'_, P> {
@@ -200,6 +218,20 @@ pub fn run_contact<P: Probe>(
 
     // 4 + 5. Summary vectors and transfers under the shared capacity.
     let mut slots_left = contact.duration().div_whole(ctx.config.tx_time);
+    // Fault injection: the session can be cut mid-exchange — summary
+    // vectors and immunity tables already flowed, but only the first k
+    // transfer slots survive the link drop.
+    if let Some(k) = ctx.faults.truncate_slots(slots_left) {
+        let slots_lost = slots_left - k;
+        slots_left = k;
+        ctx.metrics.sessions_truncated += 1;
+        ctx.emit(|| Event::SessionTruncated {
+            a: contact.a.index() as u32,
+            b: contact.b.index() as u32,
+            t: now.as_millis(),
+            slots_lost,
+        });
+    }
     let mut slots_used: u64 = 0;
     let mut advert_bytes: u64 = 0;
     // Lower ID first — `Contact` normalizes a < b.
@@ -266,18 +298,43 @@ fn exchange_immunity<P: Probe>(
         ctx.metrics.control_bytes_sent += count_b * ctx.config.ack_record_bytes;
     }
 
+    // Control-plane fault injection: each shared table is lost
+    // independently per direction. The signaling meter above still
+    // charged the sender — in a DTN it cannot know the reception failed.
+    let b_to_a_lost = b_shares && ctx.faults.ack_lost();
+    let a_to_b_lost = a_shares && ctx.faults.ack_lost();
+    if b_to_a_lost {
+        ctx.metrics.ack_losses += 1;
+        ctx.emit(|| Event::AckLost {
+            from: b.id.index() as u32,
+            to: a.id.index() as u32,
+            t: now.as_millis(),
+        });
+    }
+    if a_to_b_lost {
+        ctx.metrics.ack_losses += 1;
+        ctx.emit(|| Event::AckLost {
+            from: a.id.index() as u32,
+            to: b.id.index() as u32,
+            t: now.as_millis(),
+        });
+    }
+
     // Merge in place, no snapshots: both encodings' merges are idempotent
     // and monotone (set union / per-flow max), so merging b's original
     // table into a first and then a's *merged* table into b yields exactly
-    // the snapshot semantics — b ∪ (a₀ ∪ b₀) = b₀ ∪ a₀.
-    if b_shares {
+    // the snapshot semantics — b ∪ (a₀ ∪ b₀) = b₀ ∪ a₀. (With one
+    // direction lost, the surviving direction still transfers the
+    // sender's pre-exchange table, which is exactly what went on the
+    // wire.)
+    if b_shares && !b_to_a_lost {
         let theirs = b.immunity.as_ref().expect("checked above");
         a.immunity
             .as_mut()
             .expect("checked above")
             .merge_from(theirs);
     }
-    if a_shares {
+    if a_shares && !a_to_b_lost {
         let theirs = a.immunity.as_ref().expect("checked above");
         b.immunity
             .as_mut()
@@ -456,9 +513,15 @@ fn transfer_phase<P: Probe>(
         }
 
         // Failure injection: the transfer occupied the slot and the
-        // sender behaved as if it succeeded, but the bundle never arrives.
+        // sender behaved as if it succeeded, but the bundle never
+        // arrives. The i.i.d. loss draws from the protocol RNG (as it
+        // always has); the Gilbert–Elliott burst channel draws from its
+        // own fault stream and is sampled unconditionally so its state
+        // advances once per transmission either way.
         let idx = ctx.workload.bundle_index(id);
-        let lost = ctx.rng.bernoulli(ctx.config.transfer_loss_prob);
+        let iid_lost = ctx.rng.bernoulli(ctx.config.transfer_loss_prob);
+        let burst_lost = ctx.faults.transfer_lost();
+        let lost = iid_lost || burst_lost;
         ctx.emit(|| Event::Transmit {
             flow: id.flow.0,
             seq: id.seq,
@@ -698,6 +761,7 @@ mod tests {
         let mut rng = SimRng::new(1);
         let mut scratch = SessionScratch::default();
         let mut probe = NullProbe;
+        let mut faults = FaultInjector::disabled();
         let mut ctx = SessionCtx {
             config: &config,
             workload: &workload,
@@ -705,6 +769,7 @@ mod tests {
             rng: &mut rng,
             scratch: &mut scratch,
             probe: &mut probe,
+            faults: &mut faults,
         };
         // 300..320 gives ⌊300/100⌋ = 3 slots... duration is 300 s.
         run_contact(&mut a, &mut b, &contact(0, 300), &mut ctx);
@@ -752,6 +817,7 @@ mod tests {
         let mut rng = SimRng::new(1);
         let mut scratch = SessionScratch::default();
         let mut probe = NullProbe;
+        let mut faults = FaultInjector::disabled();
         let mut ctx = SessionCtx {
             config: &config,
             workload: &workload,
@@ -759,6 +825,7 @@ mod tests {
             rng: &mut rng,
             scratch: &mut scratch,
             probe: &mut probe,
+            faults: &mut faults,
         };
         let c = Contact::new(
             NodeId(0),
@@ -821,6 +888,7 @@ mod tests {
         let mut rng = SimRng::new(1);
         let mut scratch = SessionScratch::default();
         let mut probe = NullProbe;
+        let mut faults = FaultInjector::disabled();
         let mut ctx = SessionCtx {
             config: &config,
             workload: &workload,
@@ -828,6 +896,7 @@ mod tests {
             rng: &mut rng,
             scratch: &mut scratch,
             probe: &mut probe,
+            faults: &mut faults,
         };
         run_contact(&mut a, &mut b, &contact(0, 50), &mut ctx);
         assert_eq!(metrics.bundle_transmissions, 0, "50 s < one 100 s slot");
@@ -879,6 +948,7 @@ mod tests {
         let mut rng = SimRng::new(1);
         let mut scratch = SessionScratch::default();
         let mut probe = NullProbe;
+        let mut faults = FaultInjector::disabled();
         let mut ctx = SessionCtx {
             config: &config,
             workload: &workload,
@@ -886,6 +956,7 @@ mod tests {
             rng: &mut rng,
             scratch: &mut scratch,
             probe: &mut probe,
+            faults: &mut faults,
         };
         let c = Contact::new(
             NodeId(0),

@@ -18,6 +18,7 @@
 use crate::buffer::StoredBundle;
 use crate::bundle::BundleId;
 use crate::bundle::Workload;
+use crate::faults::FaultInjector;
 use crate::immunity::ImmunityStore;
 use crate::metrics::{DropReason, MetricsCollector, RunMetrics};
 use crate::node::Node;
@@ -36,6 +37,11 @@ enum Ev {
     Contact(u32),
     /// Purge expired copies on a node and reschedule.
     ExpiryCheck(u16),
+    /// Churn fault injection: the node goes down.
+    NodeDown(u16),
+    /// Churn fault injection: the node comes back up (crash semantics
+    /// wipe its volatile state here).
+    NodeUp(u16),
 }
 
 struct Sim<'a, P: Probe = NullProbe> {
@@ -54,6 +60,8 @@ struct Sim<'a, P: Probe = NullProbe> {
     purged: Vec<BundleId>,
     /// Event observer (monomorphized; `NullProbe` costs nothing).
     probe: &'a mut P,
+    /// Fault injection state (disabled and draw-free without a plan).
+    faults: FaultInjector,
 }
 
 impl<P: Probe> Sim<'_, P> {
@@ -72,6 +80,44 @@ impl<P: Probe> Sim<'_, P> {
                     node: node_idx as u32,
                     t: now.as_millis(),
                     reason: DropReason::Expired,
+                });
+            }
+        }
+    }
+
+    /// Cold-restart a crashed node: relay buffer, immunity table and
+    /// encounter history are volatile and wiped; the origin store and the
+    /// delivery trackers model persistent application state and survive.
+    fn crash_wipe(&mut self, node_idx: usize, now: SimTime) {
+        self.metrics.churn_wipes += 1;
+        self.purged.clear();
+        self.nodes[node_idx]
+            .buffer
+            .purge_if_into(|_| true, &mut self.purged);
+        for &id in &self.purged {
+            let idx = self.workload.bundle_index(id);
+            self.metrics.on_drop(idx, node_idx, now, DropReason::Churn);
+            if P::ENABLED {
+                self.probe.record(&Event::Drop {
+                    flow: id.flow.0,
+                    seq: id.seq,
+                    node: node_idx as u32,
+                    t: now.as_millis(),
+                    reason: DropReason::Churn,
+                });
+            }
+        }
+        self.nodes[node_idx].last_encounter = None;
+        self.nodes[node_idx].last_interval = None;
+        if let Some(store) = self.nodes[node_idx].immunity.as_mut() {
+            store.reset();
+            self.metrics.set_ack_records(node_idx, 0, now);
+            if P::ENABLED {
+                self.probe.record(&Event::ImmunityMerge {
+                    node: node_idx as u32,
+                    sent: 0,
+                    records: 0,
+                    t: now.as_millis(),
                 });
             }
         }
@@ -129,6 +175,17 @@ impl<P: Probe> Handler<Ev> for Sim<'_, P> {
             Ev::Contact(i) => {
                 let contact = self.trace.contacts()[i as usize];
                 let (ai, bi) = (contact.a.index(), contact.b.index());
+                if !(self.faults.is_up(ai) && self.faults.is_up(bi)) {
+                    self.metrics.contacts_skipped += 1;
+                    if P::ENABLED {
+                        self.probe.record(&Event::ContactSkipped {
+                            a: ai as u32,
+                            b: bi as u32,
+                            t: now.as_millis(),
+                        });
+                    }
+                    return Flow::Continue;
+                }
                 let (na, nb) = two_mut(&mut self.nodes, ai, bi);
                 let mut ctx = SessionCtx {
                     config: self.config,
@@ -137,6 +194,7 @@ impl<P: Probe> Handler<Ev> for Sim<'_, P> {
                     rng: &mut self.rng,
                     scratch: &mut self.scratch,
                     probe: &mut *self.probe,
+                    faults: &mut self.faults,
                 };
                 run_contact(na, nb, &contact, &mut ctx);
                 self.reschedule_expiry(ai, sched);
@@ -152,6 +210,31 @@ impl<P: Probe> Handler<Ev> for Sim<'_, P> {
                 self.scheduled_expiry[node_idx] = None;
                 self.purge_node(node_idx, now);
                 self.reschedule_expiry(node_idx, sched);
+                Flow::Continue
+            }
+            Ev::NodeDown(n) => {
+                self.faults.set_up(n as usize, false);
+                if P::ENABLED {
+                    self.probe.record(&Event::FaultDown {
+                        node: n as u32,
+                        t: now.as_millis(),
+                    });
+                }
+                Flow::Continue
+            }
+            Ev::NodeUp(n) => {
+                self.faults.set_up(n as usize, true);
+                let wiped = self.faults.wipes_on_restart();
+                if wiped {
+                    self.crash_wipe(n as usize, now);
+                }
+                if P::ENABLED {
+                    self.probe.record(&Event::FaultUp {
+                        node: n as u32,
+                        t: now.as_millis(),
+                        wiped,
+                    });
+                }
                 Flow::Continue
             }
         }
@@ -200,7 +283,15 @@ pub fn simulate_probed<P: Probe>(
     probe: &mut P,
 ) -> RunMetrics {
     config.protocol.validate();
+    config
+        .validate()
+        .unwrap_or_else(|err| panic!("invalid SimConfig: {err}"));
     let node_count = trace.node_count();
+    // The injector derives its private RNG streams from (a copy of) the
+    // replication seed before the base rng moves into the simulator; with
+    // an all-zero plan this is a draw-free no-op and the base stream is
+    // untouched, keeping un-faulted runs bit-identical to older builds.
+    let faults = FaultInjector::for_run(&config.faults, node_count, trace.horizon(), &rng);
 
     let immunity_template = match config.protocol.ack {
         AckScheme::None => None,
@@ -220,7 +311,21 @@ pub fn simulate_probed<P: Probe>(
     );
     metrics.start(SimTime::ZERO);
 
-    let mut engine = Engine::with_capacity(trace.horizon(), trace.len() + workload.flows().len());
+    let mut engine = Engine::with_capacity(
+        trace.horizon(),
+        trace.len() + workload.flows().len() + faults.schedule().len(),
+    );
+    // Churn transitions are scheduled first: equal-time events fire in
+    // scheduling order, so a node going down at t also kills a contact
+    // starting at t.
+    for tr in faults.schedule() {
+        let ev = if tr.up {
+            Ev::NodeUp(tr.node)
+        } else {
+            Ev::NodeDown(tr.node)
+        };
+        engine.schedule(tr.at, ev);
+    }
     for (i, flow) in workload.flows().iter().enumerate() {
         engine.schedule(flow.created_at, Ev::CreateFlow(i as u32));
     }
@@ -239,6 +344,7 @@ pub fn simulate_probed<P: Probe>(
         scratch: SessionScratch::default(),
         purged: Vec::new(),
         probe,
+        faults,
     };
     engine.run(&mut sim);
 

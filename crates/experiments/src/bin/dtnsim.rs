@@ -21,6 +21,26 @@
 //!                      curves as CSV
 //!   -v, --verbose      extra stderr diagnostics
 //!   -q, --quiet        errors only on stderr
+//!
+//! fault injection (all deterministic under --seed):
+//!   --loss P           i.i.d. per-transmission loss probability
+//!   --burst G,B,GB,BG  Gilbert–Elliott bursty loss: good/bad-state loss
+//!                      probabilities and the two transition probabilities
+//!   --truncate P       probability a contact session is cut short
+//!   --ack-loss P       probability one immunity-table transfer is lost
+//!   --churn UP,DOWN[,crash|duty]
+//!                      mean up/down dwell times in seconds; `crash`
+//!                      (default) wipes volatile state on restart, `duty`
+//!                      preserves it
+//!
+//! robustness preset:
+//!   --robustness       sweep all protocols over the churn x loss grid
+//!                      (uses --load/--reps/--seed; ignores the single-run
+//!                      fault flags above)
+//!   --checkpoint PATH  append each finished grid point to a resumable
+//!                      JSONL checkpoint
+//!   --resume           reload a compatible checkpoint and simulate only
+//!                      the missing points
 //! ```
 //!
 //! stdout carries exactly one machine-readable JSON report (the unified
@@ -34,11 +54,14 @@
 //! ```
 
 use dtn_epidemic::{
-    protocols, simulate, simulate_probed, JsonlProbe, ProtocolConfig, SimConfig, TimeSeriesProbe,
-    Workload,
+    protocols, simulate, simulate_probed, ChurnMode, ChurnPlan, FaultPlan, GilbertElliott,
+    JsonlProbe, ProtocolConfig, SimConfig, TimeSeriesProbe, Workload,
 };
 use dtn_experiments::runner::aggregate_point;
-use dtn_experiments::{Mobility, Reporter, RunManifest, SweepReport, TraceCache, Verbosity};
+use dtn_experiments::{
+    run_robustness, Mobility, Reporter, RunManifest, SweepConfig, SweepReport, TraceCache,
+    Verbosity,
+};
 use dtn_mobility::{read_trace_file, ContactTrace, TraceSummary};
 use dtn_sim::{par_map_indexed, Histogram, SimDuration, SimRng, Threads};
 use std::fmt::Write as _;
@@ -162,6 +185,49 @@ struct Args {
     trace_out: Option<std::path::PathBuf>,
     series_out: Option<std::path::PathBuf>,
     verbosity: Verbosity,
+    loss: f64,
+    faults: FaultPlan,
+    robustness: bool,
+    checkpoint: Option<std::path::PathBuf>,
+    resume: bool,
+}
+
+/// Parse `--burst G,B,GB,BG` into a Gilbert–Elliott channel.
+fn parse_burst(spec: &str) -> Result<GilbertElliott, String> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    let [g, b, gb, bg] = parts.as_slice() else {
+        return Err(format!("--burst wants GOOD,BAD,GB,BG — got {spec:?}"));
+    };
+    let p = |s: &str| {
+        s.parse::<f64>()
+            .map_err(|e| format!("bad probability {s:?}: {e}"))
+    };
+    Ok(GilbertElliott {
+        loss_good: p(g)?,
+        loss_bad: p(b)?,
+        p_good_to_bad: p(gb)?,
+        p_bad_to_good: p(bg)?,
+    })
+}
+
+/// Parse `--churn UP,DOWN[,crash|duty]` into a churn plan.
+fn parse_churn(spec: &str) -> Result<ChurnPlan, String> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    let (up, down, mode) = match parts.as_slice() {
+        [up, down] => (*up, *down, ChurnMode::Crash),
+        [up, down, "crash"] => (*up, *down, ChurnMode::Crash),
+        [up, down, "duty"] => (*up, *down, ChurnMode::DutyCycle),
+        _ => return Err(format!("--churn wants UP,DOWN[,crash|duty] — got {spec:?}")),
+    };
+    let secs = |s: &str| {
+        s.parse::<f64>()
+            .map_err(|e| format!("bad dwell time {s:?}: {e}"))
+    };
+    Ok(ChurnPlan {
+        mean_up_secs: secs(up)?,
+        mean_down_secs: secs(down)?,
+        mode,
+    })
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -177,6 +243,11 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         series_out: None,
         verbosity: Verbosity::Normal,
+        loss: 0.0,
+        faults: FaultPlan::default(),
+        robustness: false,
+        checkpoint: None,
+        resume: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -214,13 +285,35 @@ fn parse_args() -> Result<Args, String> {
             "--stats" => args.stats = true,
             "--trace" => args.trace_out = Some(value("--trace")?.into()),
             "--series" => args.series_out = Some(value("--series")?.into()),
+            "--loss" => {
+                args.loss = value("--loss")?
+                    .parse()
+                    .map_err(|e| format!("bad loss: {e}"))?
+            }
+            "--truncate" => {
+                args.faults.truncation_prob = value("--truncate")?
+                    .parse()
+                    .map_err(|e| format!("bad truncate: {e}"))?
+            }
+            "--ack-loss" => {
+                args.faults.ack_loss_prob = value("--ack-loss")?
+                    .parse()
+                    .map_err(|e| format!("bad ack-loss: {e}"))?
+            }
+            "--burst" => args.faults.burst = Some(parse_burst(&value("--burst")?)?),
+            "--churn" => args.faults.churn = Some(parse_churn(&value("--churn")?)?),
+            "--robustness" => args.robustness = true,
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?.into()),
+            "--resume" => args.resume = true,
             "-v" | "--verbose" => args.verbosity = Verbosity::Verbose,
             "-q" | "--quiet" => args.verbosity = Verbosity::Quiet,
             "--help" | "-h" => {
                 println!(
                     "usage: dtnsim [--protocol NAME] [--mobility NAME] [--load K] \
                      [--reps N] [--seed S] [--buffer B] [--tx-time SECS] [--stats] \
-                     [--trace PATH] [--series PATH] [-v | -q]"
+                     [--trace PATH] [--series PATH] [--loss P] [--burst G,B,GB,BG] \
+                     [--truncate P] [--ack-loss P] [--churn UP,DOWN[,crash|duty]] \
+                     [--robustness [--checkpoint PATH] [--resume]] [-v | -q]"
                 );
                 std::process::exit(0);
             }
@@ -230,7 +323,40 @@ fn parse_args() -> Result<Args, String> {
     if args.load == 0 || args.reps == 0 || args.buffer == 0 {
         return Err("load, reps and buffer must be positive".into());
     }
+    dtn_epidemic::validate_probability("transfer_loss_prob", args.loss)?;
+    args.faults.validate()?;
+    if args.resume && args.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint PATH".into());
+    }
     Ok(args)
+}
+
+/// The `--robustness` mode: sweep all protocols over the fault grid.
+fn run_robustness_mode(args: &Args, log: &Reporter) -> ExitCode {
+    let Source::Builtin(mobility) = args.source else {
+        log.error(
+            "dtnsim: --robustness needs a built-in mobility (trace, rwp, geom-rwp, interval=SECS)",
+        );
+        return ExitCode::FAILURE;
+    };
+    let cfg = SweepConfig {
+        loads: vec![args.load],
+        replications: args.reps,
+        base_seed: args.seed,
+        buffer_capacity: args.buffer,
+        tx_time_secs: args.tx_time,
+        ..SweepConfig::default()
+    };
+    match run_robustness(mobility, &cfg, args.checkpoint.as_deref(), args.resume, log) {
+        Ok(report) => {
+            print!("{}", report.to_json());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            log.error(format!("dtnsim: {e}"));
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -243,6 +369,10 @@ fn main() -> ExitCode {
     };
     let log = Reporter::new(args.verbosity);
 
+    if args.robustness {
+        return run_robustness_mode(&args, &log);
+    }
+
     let tx_time = args
         .tx_time
         .unwrap_or_else(|| args.source.default_tx_time());
@@ -251,9 +381,10 @@ fn main() -> ExitCode {
         buffer_capacity: args.buffer,
         tx_time: SimDuration::from_secs(tx_time),
         ack_slot_cost: 0.1,
-        transfer_loss_prob: 0.0,
+        transfer_loss_prob: args.loss,
         bundle_bytes: 10_000_000,
         ack_record_bytes: 16,
+        faults: args.faults.clone(),
     };
 
     log.info(format!(

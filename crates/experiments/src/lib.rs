@@ -12,7 +12,9 @@
 //! * [`output`] — CSV and aligned-text rendering;
 //! * [`report`] — the unified [`SweepReport`]/[`RunManifest`] pipeline
 //!   (per-point delay histograms, cache/timing counters, peak RSS);
-//! * [`reporter`] — leveled stderr progress reporting (`-v`/`--quiet`).
+//! * [`reporter`] — leveled stderr progress reporting (`-v`/`--quiet`);
+//! * [`robustness`] — the churn × loss fault grid across all protocols,
+//!   panic-isolated and resumable from a JSONL checkpoint.
 //!
 //! The `repro` binary ties it together:
 //!
@@ -30,6 +32,7 @@ pub mod figures;
 pub mod output;
 pub mod report;
 pub mod reporter;
+pub mod robustness;
 pub mod runner;
 pub mod scenarios;
 pub mod tables;
@@ -42,9 +45,11 @@ pub use report::{
     SweepTiming,
 };
 pub use reporter::{Reporter, Verbosity};
+pub use robustness::{fault_grid, run_robustness, FaultCell};
 pub use runner::{
-    aggregate_point, point_sim_config, run_point_raw, run_point_raw_cached, run_point_series,
-    run_point_traced, run_sweep, run_sweep_cached, PointResult, SweepConfig, SweepResult,
+    aggregate_point, aggregate_point_checked, point_sim_config, run_point_checked_cached,
+    run_point_raw, run_point_raw_cached, run_point_series, run_point_traced, run_sweep,
+    run_sweep_cached, PointResult, SweepConfig, SweepResult,
 };
 pub use scenarios::Mobility;
 pub use tables::{overhead_table, table2};

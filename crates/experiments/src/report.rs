@@ -65,7 +65,7 @@ pub fn unix_time_secs() -> u64 {
 }
 
 /// Escape a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -170,6 +170,16 @@ pub struct PointReport {
     pub runs: usize,
     /// Replications that missed the horizon (no completion).
     pub failures: usize,
+    /// Replications that panicked and were isolated (checked runs only).
+    pub panics: usize,
+    /// Contacts skipped because a churned endpoint was down (summed).
+    pub contacts_skipped: u64,
+    /// Contact sessions truncated by fault injection (summed).
+    pub sessions_truncated: u64,
+    /// Immunity-table transfers lost to control-plane faults (summed).
+    pub ack_losses: u64,
+    /// Crash-churn cold restarts that wiped node state (summed).
+    pub churn_wipes: u64,
     /// Mean delivery ratio across replications.
     pub delivery_ratio_mean: f64,
     /// Mean time-weighted buffer occupancy.
@@ -239,6 +249,10 @@ impl SweepReport {
         let mut occupancy = 0.0;
         let mut duplication = 0.0;
         let mut failures = 0usize;
+        let mut contacts_skipped = 0u64;
+        let mut sessions_truncated = 0u64;
+        let mut ack_losses = 0u64;
+        let mut churn_wipes = 0u64;
         for m in runs {
             self.simulation_runs += 1;
             self.contacts_processed += m.contacts_processed;
@@ -246,6 +260,10 @@ impl SweepReport {
             delivery += m.delivery_ratio;
             occupancy += m.avg_buffer_occupancy;
             duplication += m.avg_duplication_rate;
+            contacts_skipped += m.contacts_skipped;
+            sessions_truncated += m.sessions_truncated;
+            ack_losses += m.ack_losses;
+            churn_wipes += m.churn_wipes;
             match m.delay_secs() {
                 Some(d) => delay_hist.record(d),
                 None => failures += 1,
@@ -258,11 +276,37 @@ impl SweepReport {
             load,
             runs: runs.len(),
             failures,
+            panics: 0,
+            contacts_skipped,
+            sessions_truncated,
+            ack_losses,
+            churn_wipes,
             delivery_ratio_mean: delivery / n,
             buffer_occupancy_mean: occupancy / n,
             duplication_rate_mean: duplication / n,
             delay_hist,
         });
+    }
+
+    /// [`record_point`](Self::record_point) over panic-isolated outcomes:
+    /// the metric aggregates cover the successful replications, while
+    /// each panic counts as one panicked **and** one failed replication.
+    pub fn record_point_checked(
+        &mut self,
+        protocol: &str,
+        mobility: &str,
+        load: u32,
+        results: &[Result<RunMetrics, String>],
+    ) {
+        let ok: Vec<RunMetrics> = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok().copied())
+            .collect();
+        let panics = results.len() - ok.len();
+        self.record_point(protocol, mobility, load, &ok);
+        let point = self.points.last_mut().expect("record_point pushed a point");
+        point.panics = panics;
+        point.failures += panics;
     }
 
     /// Count one finished sweep and record its wall timing.
@@ -376,17 +420,24 @@ impl SweepReport {
             let _ = write!(
                 out,
                 "\n    {{\"protocol\": \"{}\", \"mobility\": \"{}\", \"load\": {}, \
-                 \"runs\": {}, \"failures\": {}, \"delivery_ratio\": {}, \
-                 \"buffer_occupancy\": {}, \"duplication_rate\": {}, \"delay_s\": {}}}",
+                 \"runs\": {}, \"failures\": {}, \"panics\": {}, \"delivery_ratio\": {}, \
+                 \"buffer_occupancy\": {}, \"duplication_rate\": {}, \"delay_s\": {}, \
+                 \"faults\": {{\"contacts_skipped\": {}, \"sessions_truncated\": {}, \
+                 \"ack_losses\": {}, \"churn_wipes\": {}}}}}",
                 json_escape(&p.protocol),
                 json_escape(&p.mobility),
                 p.load,
                 p.runs,
                 p.failures,
+                p.panics,
                 json_f64(p.delivery_ratio_mean),
                 json_f64(p.buffer_occupancy_mean),
                 json_f64(p.duplication_rate_mean),
                 hist_json(&p.delay_hist),
+                p.contacts_skipped,
+                p.sessions_truncated,
+                p.ack_losses,
+                p.churn_wipes,
             );
         }
         out.push_str(if self.points.is_empty() {

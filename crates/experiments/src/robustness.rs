@@ -1,0 +1,548 @@
+//! The robustness preset: every protocol swept across a churn × loss
+//! fault grid, with panic isolation and checkpoint/resume.
+//!
+//! The paper evaluates its eight protocols on clean channels; this module
+//! asks how the level comparison holds up when the environment degrades.
+//! [`fault_grid`] spans three churn regimes (none, duty-cycle, crash) by
+//! two channel regimes (clean, lossy — bursty Gilbert–Elliott loss plus
+//! session truncation and anti-packet loss), and [`run_robustness`] runs
+//! all eight protocols over every cell, producing one [`SweepReport`]
+//! whose per-point fault counters make the degradation measurable.
+//!
+//! A full grid is 6 cells × 8 protocols × loads × replications — long
+//! enough that losing it to a crash or an eviction hurts. The driver
+//! therefore runs every point through the panic-isolating executor
+//! (one diverging replication becomes a recorded failure, not an abort)
+//! and, when given a checkpoint path, appends each finished point to a
+//! JSONL checkpoint that `--resume` replays: already-completed points are
+//! loaded bit-exactly (floats travel as IEEE-754 bit patterns, never
+//! through decimal) and only the remainder is simulated.
+
+use crate::runner::{point_sim_config, SweepConfig};
+use crate::scenarios::Mobility;
+use crate::{Reporter, SweepReport, TraceCache};
+use dtn_epidemic::{
+    protocols, simulate, ChurnMode, ChurnPlan, FaultPlan, GilbertElliott, RunMetrics, Workload,
+};
+use dtn_sim::{par_map_catch, SimRng, SimTime};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One cell of the robustness grid: a label and its fault plan.
+#[derive(Clone, Debug)]
+pub struct FaultCell {
+    /// Stable cell label (embedded in the report's mobility column and
+    /// the checkpoint key).
+    pub label: &'static str,
+    /// The plan every replication in this cell runs under.
+    pub plan: FaultPlan,
+}
+
+/// The default churn × loss grid: `{none, duty, crash}` ×
+/// `{clean, lossy}`.
+///
+/// Churn cells give nodes exponential up/down dwell times with mean
+/// 40 000 s up and 10 000 s down (an 80 % duty cycle, long enough that
+/// several contacts fall inside one outage). Lossy cells combine a
+/// bursty Gilbert–Elliott channel (2 % good-state / 60 % bad-state loss,
+/// mean burst length 4 transmissions), 25 % session truncation and 25 %
+/// anti-packet loss.
+pub fn fault_grid() -> Vec<FaultCell> {
+    let churn = |mode| ChurnPlan {
+        mean_up_secs: 40_000.0,
+        mean_down_secs: 10_000.0,
+        mode,
+    };
+    let lossy = || FaultPlan {
+        truncation_prob: 0.25,
+        ack_loss_prob: 0.25,
+        burst: Some(GilbertElliott {
+            loss_good: 0.02,
+            loss_bad: 0.6,
+            p_good_to_bad: 0.05,
+            p_bad_to_good: 0.25,
+        }),
+        churn: None,
+    };
+    vec![
+        FaultCell {
+            label: "churn=none,loss=clean",
+            plan: FaultPlan::none(),
+        },
+        FaultCell {
+            label: "churn=none,loss=lossy",
+            plan: lossy(),
+        },
+        FaultCell {
+            label: "churn=duty,loss=clean",
+            plan: FaultPlan {
+                churn: Some(churn(ChurnMode::DutyCycle)),
+                ..FaultPlan::none()
+            },
+        },
+        FaultCell {
+            label: "churn=duty,loss=lossy",
+            plan: FaultPlan {
+                churn: Some(churn(ChurnMode::DutyCycle)),
+                ..lossy()
+            },
+        },
+        FaultCell {
+            label: "churn=crash,loss=clean",
+            plan: FaultPlan {
+                churn: Some(churn(ChurnMode::Crash)),
+                ..FaultPlan::none()
+            },
+        },
+        FaultCell {
+            label: "churn=crash,loss=lossy",
+            plan: FaultPlan {
+                churn: Some(churn(ChurnMode::Crash)),
+                ..lossy()
+            },
+        },
+    ]
+}
+
+/// Checkpoint key of one grid point.
+fn point_key(cell: &str, protocol: &str, load: u32) -> String {
+    format!("{cell}|{protocol}|{load}")
+}
+
+/// An `f64` as its IEEE-754 bit pattern in hex — survives a JSON
+/// round-trip bit-exactly, which decimal rendering cannot guarantee.
+fn f64_hex(v: f64) -> String {
+    format!("\"{:016x}\"", v.to_bits())
+}
+
+fn parse_f64_hex(tok: &str) -> Result<f64, String> {
+    let hex = tok
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| format!("expected quoted hex f64, got {tok:?}"))?;
+    u64::from_str_radix(hex, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("bad f64 bits {hex:?}: {e}"))
+}
+
+/// One replication outcome as a checkpoint token: a fixed-order JSON
+/// array for a success, or a JSON string (the panic message) for an
+/// isolated panic.
+fn outcome_to_json(outcome: &Result<RunMetrics, String>) -> String {
+    match outcome {
+        Err(msg) => format!("{{\"panic\":\"{}\"}}", crate::report::json_escape(msg)),
+        Ok(m) => format!(
+            "[{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}]",
+            m.total_bundles,
+            m.delivered,
+            f64_hex(m.delivery_ratio),
+            m.completion_time
+                .map(|t| t.as_millis().to_string())
+                .unwrap_or_else(|| "null".into()),
+            f64_hex(m.avg_buffer_occupancy),
+            f64_hex(m.peak_buffer_occupancy),
+            f64_hex(m.avg_duplication_rate),
+            m.contacts_processed,
+            m.bundle_transmissions,
+            m.ack_records_sent,
+            m.evictions,
+            m.expirations,
+            m.rejections,
+            m.immunity_purges,
+            m.transfer_losses,
+            m.payload_bytes_sent,
+            m.control_bytes_sent,
+            m.contacts_skipped,
+            m.sessions_truncated,
+            m.ack_losses,
+            m.churn_wipes,
+            m.churn_drops,
+            m.end_time.as_millis(),
+        ),
+    }
+}
+
+fn outcome_from_json(tok: &str) -> Result<Result<RunMetrics, String>, String> {
+    let tok = tok.trim();
+    if let Some(rest) = tok.strip_prefix("{\"panic\":\"") {
+        let msg = rest
+            .strip_suffix("\"}")
+            .ok_or_else(|| format!("bad panic token {tok:?}"))?;
+        return Ok(Err(msg.to_string()));
+    }
+    let body = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| format!("expected array token, got {tok:?}"))?;
+    let fields: Vec<&str> = body.split(',').collect();
+    if fields.len() != 23 {
+        return Err(format!("expected 23 fields, got {}", fields.len()));
+    }
+    let int = |i: usize| -> Result<u64, String> {
+        fields[i]
+            .trim()
+            .parse::<u64>()
+            .map_err(|e| format!("field {i}: {e}"))
+    };
+    let completion_time = match fields[3].trim() {
+        "null" => None,
+        ms => Some(SimTime::from_millis(
+            ms.parse::<u64>().map_err(|e| format!("field 3: {e}"))?,
+        )),
+    };
+    Ok(Ok(RunMetrics {
+        total_bundles: int(0)? as u32,
+        delivered: int(1)? as u32,
+        delivery_ratio: parse_f64_hex(fields[2].trim())?,
+        completion_time,
+        avg_buffer_occupancy: parse_f64_hex(fields[4].trim())?,
+        peak_buffer_occupancy: parse_f64_hex(fields[5].trim())?,
+        avg_duplication_rate: parse_f64_hex(fields[6].trim())?,
+        contacts_processed: int(7)?,
+        bundle_transmissions: int(8)?,
+        ack_records_sent: int(9)?,
+        evictions: int(10)?,
+        expirations: int(11)?,
+        rejections: int(12)?,
+        immunity_purges: int(13)?,
+        transfer_losses: int(14)?,
+        payload_bytes_sent: int(15)?,
+        control_bytes_sent: int(16)?,
+        contacts_skipped: int(17)?,
+        sessions_truncated: int(18)?,
+        ack_losses: int(19)?,
+        churn_wipes: int(20)?,
+        churn_drops: int(21)?,
+        end_time: SimTime::from_millis(int(22)?),
+    }))
+}
+
+/// One finished point as a checkpoint line (no trailing newline).
+fn point_to_line(key: &str, outcomes: &[Result<RunMetrics, String>]) -> String {
+    let mut runs = String::new();
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            runs.push(',');
+        }
+        runs.push_str(&outcome_to_json(o));
+    }
+    format!(
+        "{{\"point\":\"{}\",\"runs\":[{}]}}",
+        crate::report::json_escape(key),
+        runs
+    )
+}
+
+fn point_from_line(line: &str) -> Result<(String, Vec<Result<RunMetrics, String>>), String> {
+    let rest = line
+        .trim()
+        .strip_prefix("{\"point\":\"")
+        .ok_or_else(|| format!("bad checkpoint line {line:?}"))?;
+    let (key, rest) = rest
+        .split_once("\",\"runs\":[")
+        .ok_or_else(|| format!("bad checkpoint line {line:?}"))?;
+    let body = rest
+        .strip_suffix("]}")
+        .ok_or_else(|| format!("bad checkpoint line {line:?}"))?;
+    // Outcome tokens contain no nested brackets at depth 0, so splitting
+    // on "]," / "}," boundaries via a tiny depth scanner is enough.
+    let mut outcomes = Vec::new();
+    let (mut depth, mut start) = (0usize, 0usize);
+    for (i, c) in body.char_indices() {
+        match c {
+            '[' | '{' => depth += 1,
+            ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                outcomes.push(outcome_from_json(&body[start..i])?);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if !body[start..].trim().is_empty() {
+        outcomes.push(outcome_from_json(&body[start..])?);
+    }
+    Ok((key.to_string(), outcomes))
+}
+
+/// The manifest (first) line of a checkpoint file.
+fn manifest_line(mobility: Mobility, cfg: &SweepConfig) -> String {
+    format!(
+        "{{\"ckpt\":\"robustness\",\"mobility\":\"{}\",\"base_seed\":{},\"replications\":{},\"loads\":{:?}}}",
+        crate::report::json_escape(&mobility.label()),
+        cfg.base_seed,
+        cfg.replications,
+        cfg.loads,
+    )
+}
+
+/// Parse a checkpoint file written by a previous [`run_robustness`] call.
+/// The manifest must match the current configuration — resuming under a
+/// different seed or replication count would silently mix incompatible
+/// results, so a mismatch is an error.
+fn load_checkpoint(
+    path: &Path,
+    mobility: Mobility,
+    cfg: &SweepConfig,
+) -> Result<HashMap<String, Vec<Result<RunMetrics, String>>>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let manifest = lines.next().ok_or("checkpoint is empty")?;
+    let expected = manifest_line(mobility, cfg);
+    if manifest.trim() != expected {
+        return Err(format!(
+            "checkpoint manifest mismatch\n  found:    {manifest}\n  expected: {expected}\n\
+             (resume requires the same mobility, seed, replications and loads)"
+        ));
+    }
+    let mut done = HashMap::new();
+    for line in lines {
+        let (key, outcomes) = point_from_line(line)?;
+        if outcomes.len() != cfg.replications {
+            return Err(format!(
+                "checkpoint point {key:?} has {} outcomes, expected {}",
+                outcomes.len(),
+                cfg.replications
+            ));
+        }
+        done.insert(key, outcomes);
+    }
+    Ok(done)
+}
+
+/// Run the full robustness preset: every protocol in
+/// [`protocols::all_protocols`] across every [`fault_grid`] cell and every
+/// `cfg.loads` level, with `cfg.faults` ignored in favour of each cell's
+/// plan. Returns one [`SweepReport`] whose point labels fold the cell into
+/// the mobility column (`"trace/churn=crash,loss=lossy"`).
+///
+/// `checkpoint` enables crash tolerance: each finished point is appended
+/// (and flushed) to the file, and `resume` reloads any compatible previous
+/// checkpoint so only missing points are simulated. A resumed run's report
+/// aggregates are bit-identical to an uninterrupted run's.
+pub fn run_robustness(
+    mobility: Mobility,
+    cfg: &SweepConfig,
+    checkpoint: Option<&Path>,
+    resume: bool,
+    log: &Reporter,
+) -> Result<SweepReport, String> {
+    let grid = fault_grid();
+    let protos = protocols::all_protocols();
+
+    let mut done: HashMap<String, Vec<Result<RunMetrics, String>>> = HashMap::new();
+    if resume {
+        let path = checkpoint.ok_or("--resume requires --checkpoint PATH")?;
+        if path.exists() {
+            done = load_checkpoint(path, mobility, cfg)?;
+            log.info(format!(
+                "resumed {} finished points from {}",
+                done.len(),
+                path.display()
+            ));
+        }
+    }
+
+    let mut ckpt_file = match checkpoint {
+        Some(path) => {
+            let fresh = !resume || !path.exists();
+            let mut opts = std::fs::OpenOptions::new();
+            if fresh {
+                opts.write(true).create(true).truncate(true);
+            } else {
+                opts.append(true);
+            }
+            let mut f = opts
+                .open(path)
+                .map_err(|e| format!("cannot open checkpoint {}: {e}", path.display()))?;
+            if fresh {
+                writeln!(f, "{}", manifest_line(mobility, cfg))
+                    .map_err(|e| format!("checkpoint write failed: {e}"))?;
+            }
+            Some(f)
+        }
+        None => None,
+    };
+
+    let started = std::time::Instant::now();
+    let cache = TraceCache::new();
+    let mut report = SweepReport::new(format!(
+        "robustness grid: {} cells x {} protocols x {} loads x {} replications @ {}",
+        grid.len(),
+        protos.len(),
+        cfg.loads.len(),
+        cfg.replications,
+        mobility.label(),
+    ));
+
+    for cell in &grid {
+        let cell_started = std::time::Instant::now();
+        let mut cell_cfg = cfg.clone();
+        cell_cfg.faults = cell.plan.clone();
+        cell_cfg.faults.validate()?;
+        for proto in &protos {
+            for &load in &cfg.loads {
+                let key = point_key(cell.label, proto.name, load);
+                let outcomes = match done.remove(&key) {
+                    Some(outcomes) => outcomes,
+                    None => {
+                        let sim_config = point_sim_config(proto, mobility, &cell_cfg);
+                        let root = SimRng::new(cell_cfg.base_seed ^ (load as u64) << 32);
+                        let outcomes =
+                            par_map_catch(cell_cfg.threads, cell_cfg.replications, |rep| {
+                                let rep = rep as u64;
+                                let mut wl_rng = root.derive(rep * 2 + 1);
+                                let sim_rng = root.derive(rep * 2);
+                                let trace = mobility.build_cached(cell_cfg.base_seed, rep, &cache);
+                                let workload = Workload::single_random_flow(
+                                    load,
+                                    trace.node_count(),
+                                    &mut wl_rng,
+                                );
+                                simulate(&trace, &workload, &sim_config, sim_rng)
+                            });
+                        if let Some(f) = ckpt_file.as_mut() {
+                            writeln!(f, "{}", point_to_line(&key, &outcomes))
+                                .and_then(|()| f.flush())
+                                .map_err(|e| format!("checkpoint write failed: {e}"))?;
+                        }
+                        outcomes
+                    }
+                };
+                let mobility_label = format!("{}/{}", mobility.label(), cell.label);
+                report.record_point_checked(proto.name, &mobility_label, load, &outcomes);
+            }
+        }
+        report.record_sweep(
+            format!("{} @ {}", cell.label, mobility.label()),
+            cell_started.elapsed().as_secs_f64(),
+        );
+        log.info(format!("cell {} done", cell.label));
+    }
+
+    report.record_cache(cache.stats());
+    report.finish(started.elapsed().as_secs_f64());
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_sim::Threads;
+
+    fn m(seed: u64) -> RunMetrics {
+        let trace = Mobility::Interval(2000).build(seed, 0);
+        let mut wl = SimRng::new(seed ^ 0xABC);
+        let workload = Workload::single_random_flow(5, trace.node_count(), &mut wl);
+        let cfg = point_sim_config(
+            &protocols::immunity_epidemic(),
+            Mobility::Interval(2000),
+            &SweepConfig::default(),
+        );
+        simulate(&trace, &workload, &cfg, SimRng::new(seed))
+    }
+
+    #[test]
+    fn outcome_round_trips_bit_exactly() {
+        for seed in [1, 2, 99] {
+            let metrics = m(seed);
+            let token = outcome_to_json(&Ok(metrics));
+            let back = outcome_from_json(&token).unwrap().unwrap();
+            assert_eq!(metrics, back, "seed {seed}");
+        }
+        let panic: Result<RunMetrics, String> = Err("boom at rep 3".into());
+        let back = outcome_from_json(&outcome_to_json(&panic)).unwrap();
+        assert_eq!(back, panic);
+    }
+
+    #[test]
+    fn point_line_round_trips_mixed_outcomes() {
+        let outcomes = vec![Ok(m(4)), Err("deliberate".to_string()), Ok(m(5))];
+        let line = point_to_line("cell|Proto|25", &outcomes);
+        let (key, back) = point_from_line(&line).unwrap();
+        assert_eq!(key, "cell|Proto|25");
+        assert_eq!(back, outcomes);
+    }
+
+    #[test]
+    fn grid_has_six_distinct_cells() {
+        let grid = fault_grid();
+        assert_eq!(grid.len(), 6);
+        let labels: std::collections::HashSet<_> = grid.iter().map(|c| c.label).collect();
+        assert_eq!(labels.len(), 6);
+        assert!(grid[0].plan.is_none(), "first cell is the clean baseline");
+        for c in &grid {
+            c.plan.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_fresh_report() {
+        let cfg = SweepConfig {
+            loads: vec![5],
+            replications: 2,
+            threads: Threads::Sequential,
+            ..SweepConfig::default()
+        };
+        let log = Reporter::new(crate::Verbosity::Quiet);
+        let dir = std::env::temp_dir().join(format!("robustness_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("grid.ckpt");
+
+        let fresh =
+            run_robustness(Mobility::Interval(2000), &cfg, Some(&ckpt), false, &log).unwrap();
+        // Drop the last few checkpoint lines to fake an interrupted run.
+        let text = std::fs::read_to_string(&ckpt).unwrap();
+        let keep: Vec<&str> = text.lines().take(text.lines().count() - 3).collect();
+        std::fs::write(&ckpt, format!("{}\n", keep.join("\n"))).unwrap();
+
+        let resumed =
+            run_robustness(Mobility::Interval(2000), &cfg, Some(&ckpt), true, &log).unwrap();
+        assert_eq!(fresh.points.len(), resumed.points.len());
+        for (a, b) in fresh.points.iter().zip(&resumed.points) {
+            assert_eq!(a.protocol, b.protocol);
+            assert_eq!(a.mobility, b.mobility);
+            assert_eq!(a.load, b.load);
+            assert_eq!(
+                a.delivery_ratio_mean.to_bits(),
+                b.delivery_ratio_mean.to_bits()
+            );
+            assert_eq!(a.failures, b.failures);
+            assert_eq!(a.contacts_skipped, b.contacts_skipped);
+            assert_eq!(a.sessions_truncated, b.sessions_truncated);
+            assert_eq!(a.ack_losses, b.ack_losses);
+            assert_eq!(a.churn_wipes, b.churn_wipes);
+        }
+        // A fully-complete checkpoint resumes without re-simulating.
+        let resumed2 =
+            run_robustness(Mobility::Interval(2000), &cfg, Some(&ckpt), true, &log).unwrap();
+        assert_eq!(resumed2.points.len(), fresh.points.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seed_mismatch_is_rejected_on_resume() {
+        let cfg = SweepConfig {
+            loads: vec![5],
+            replications: 1,
+            threads: Threads::Sequential,
+            ..SweepConfig::default()
+        };
+        let log = Reporter::new(crate::Verbosity::Quiet);
+        let dir = std::env::temp_dir().join(format!("robustness_ckpt_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("grid.ckpt");
+        std::fs::write(
+            &ckpt,
+            "{\"ckpt\":\"robustness\",\"mobility\":\"interval(2000s)\",\"base_seed\":999,\
+             \"replications\":1,\"loads\":[5]}\n",
+        )
+        .unwrap();
+        let err = run_robustness(Mobility::Interval(2000), &cfg, Some(&ckpt), true, &log)
+            .expect_err("mismatched manifest must be rejected");
+        assert!(err.contains("mismatch"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

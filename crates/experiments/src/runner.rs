@@ -8,11 +8,11 @@
 
 use crate::scenarios::Mobility;
 use dtn_epidemic::{
-    simulate, simulate_probed, JsonlProbe, ProtocolConfig, RunMetrics, SimConfig, TimeSeriesProbe,
-    Workload,
+    simulate, simulate_probed, FaultPlan, JsonlProbe, ProtocolConfig, RunMetrics, SimConfig,
+    TimeSeriesProbe, Workload,
 };
 use dtn_mobility::TraceCache;
-use dtn_sim::{Pool, SimDuration, SimRng, Summary, Threads, Welford};
+use dtn_sim::{par_map_catch, Pool, SimDuration, SimRng, Summary, Threads, Welford};
 
 /// Sweep-level configuration (defaults are the paper's).
 #[derive(Clone, Debug)]
@@ -31,6 +31,9 @@ pub struct SweepConfig {
     /// scenario's own regime ([`Mobility::tx_time_secs`]): 100 s on the
     /// trace and RWP, 10 s in the interval scenarios.
     pub tx_time_secs: Option<u64>,
+    /// Fault-injection plan applied to every replication (default: none;
+    /// an all-zero plan leaves runs bit-identical to a plan-free build).
+    pub faults: FaultPlan,
 }
 
 impl Default for SweepConfig {
@@ -42,6 +45,7 @@ impl Default for SweepConfig {
             threads: Threads::Auto,
             buffer_capacity: 10,
             tx_time_secs: None,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -68,8 +72,13 @@ pub struct PointResult {
     /// Delay statistics across *successful* replications (completion time
     /// in seconds). The paper records no delay for failed runs.
     pub delay_s: Summary,
-    /// Replications that failed to deliver everything within the horizon.
+    /// Replications that failed to deliver everything within the horizon,
+    /// plus any panicked replications (each panic also counts here — a
+    /// crashed run certainly did not finish delivering).
     pub failures: usize,
+    /// Replications that panicked and were isolated by the checked
+    /// runner instead of aborting the sweep (0 on the unchecked path).
+    pub panics: usize,
     /// Buffer-occupancy statistics.
     pub buffer_occupancy: Summary,
     /// Duplication-rate statistics.
@@ -148,6 +157,7 @@ pub fn point_sim_config(
         transfer_loss_prob: 0.0,
         bundle_bytes: 10_000_000,
         ack_record_bytes: 16,
+        faults: cfg.faults.clone(),
     }
 }
 
@@ -180,6 +190,46 @@ fn run_point(
             None => run(&mobility.build(cfg.base_seed, rep)),
         }
     })
+}
+
+/// Panic-isolated [`run_point_raw_cached`]: each replication's outcome
+/// comes back as `Ok(metrics)` or `Err(panic message)` in replication
+/// order, and a diverging replication cannot take the sweep down with it.
+/// Seeding is identical to the plain runner, so the `Ok` values are
+/// bit-identical to [`run_point_raw_cached`]'s output.
+pub fn run_point_checked_cached(
+    protocol: &ProtocolConfig,
+    mobility: Mobility,
+    load: u32,
+    cfg: &SweepConfig,
+    cache: &TraceCache,
+) -> Vec<Result<RunMetrics, String>> {
+    let sim_config = point_sim_config(protocol, mobility, cfg);
+    let root = point_root_rng(load, cfg);
+    par_map_catch(cfg.threads, cfg.replications, move |rep| {
+        let rep = rep as u64;
+        let mut wl_rng = root.derive(rep * 2 + 1);
+        let sim_rng = root.derive(rep * 2);
+        let trace = mobility.build_cached(cfg.base_seed, rep, cache);
+        let workload = Workload::single_random_flow(load, trace.node_count(), &mut wl_rng);
+        simulate(&trace, &workload, &sim_config, sim_rng)
+    })
+}
+
+/// Aggregate checked replication outcomes into a [`PointResult`]: the
+/// metric summaries cover the successful replications, while each panic
+/// is counted both in [`PointResult::panics`] and (as a non-delivering
+/// replication) in [`PointResult::failures`].
+pub fn aggregate_point_checked(load: u32, results: &[Result<RunMetrics, String>]) -> PointResult {
+    let ok: Vec<RunMetrics> = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok().copied())
+        .collect();
+    let panics = results.len() - ok.len();
+    let mut point = aggregate_point(load, &ok);
+    point.failures += panics;
+    point.panics = panics;
+    point
 }
 
 /// [`run_point_raw_cached`] with a [`JsonlProbe`] attached to every
@@ -261,6 +311,7 @@ pub fn aggregate_point(load: u32, runs: &[RunMetrics]) -> PointResult {
         delivery_ratio: delivery.summary(),
         delay_s: delay.summary(),
         failures,
+        panics: 0,
         buffer_occupancy: buffer.summary(),
         duplication_rate: duplication.summary(),
         ack_records: acks.summary(),
@@ -290,9 +341,9 @@ pub fn run_sweep_cached(
         .loads
         .iter()
         .map(|&load| {
-            aggregate_point(
+            aggregate_point_checked(
                 load,
-                &run_point_raw_cached(protocol, mobility, load, cfg, cache),
+                &run_point_checked_cached(protocol, mobility, load, cfg, cache),
             )
         })
         .collect();

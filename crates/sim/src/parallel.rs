@@ -9,6 +9,9 @@
 //! * [`par_map_indexed`] — run `f(0..n)` across worker threads, returning
 //!   results **in index order** regardless of completion order (ordering is
 //!   part of determinism: figure CSVs must be byte-identical across runs);
+//! * [`par_map_catch`] — the panic-isolating variant: a job that panics
+//!   yields an `Err` in its slot instead of taking the sweep down, so one
+//!   bad replication cannot discard hours of finished work;
 //! * [`Pool`] — a reusable handle carrying the desired worker count.
 //!
 //! Work distribution is dynamic (an atomic work-stealing counter) because
@@ -16,7 +19,9 @@
 //! trace horizon while an easy one stops early — so static chunking would
 //! leave cores idle.
 
+use std::any::Any;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -75,30 +80,43 @@ impl Pool {
     }
 }
 
-/// Run `f(i)` for every `i in 0..n`, spreading the calls across worker
-/// threads, and collect the results in index order.
-///
-/// `f` must derive all randomness from `i` (e.g. `root_rng.derive(i)`), so
-/// the output is independent of scheduling — this is how the whole harness
-/// stays deterministic while saturating the machine.
-pub fn par_map_indexed<T, F>(threads: Threads, n: usize, f: F) -> Vec<T>
+/// Render a panic payload as a human-readable message. Panics raised with
+/// a string literal or a formatted `String` (the overwhelmingly common
+/// cases) are shown verbatim; anything else gets a placeholder.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The shared fork–join core: run every job under `catch_unwind` and
+/// return each slot as `Ok(result)` or `Err(panic payload)` in index
+/// order. Workers never die mid-sweep — a panicking job is recorded in
+/// its slot and the worker moves on to the next index — so the mutex
+/// around the result slots can never be poisoned by job code.
+fn par_map_impl<T, F>(threads: Threads, n: usize, f: F) -> Vec<Result<T, Box<dyn Any + Send>>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let run = |i: usize| catch_unwind(AssertUnwindSafe(|| f(i)));
     if n == 0 {
         return Vec::new();
     }
     let workers = threads.count().min(n);
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(run).collect();
     }
 
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    let mut slots: Vec<Option<Result<T, Box<dyn Any + Send>>>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let slots = Mutex::new(&mut slots);
     let next = AtomicUsize::new(0);
-    let f = &f;
+    let run = &run;
     let slots_ref = &slots;
     let next_ref = &next;
 
@@ -109,20 +127,63 @@ where
                 if i >= n {
                     break;
                 }
-                let result = f(i);
+                let result = run(i);
                 // Store under a short critical section. The computation ran
                 // outside the lock; contention here is one pointer write per
                 // replication and is immeasurable next to a simulation run.
-                slots_ref.lock().expect("worker thread panicked")[i] = Some(result);
+                // catch_unwind means job panics cannot poison this mutex;
+                // recover defensively anyway rather than double-panicking.
+                slots_ref.lock().unwrap_or_else(|p| p.into_inner())[i] = Some(result);
             });
         }
     });
 
     slots
         .into_inner()
-        .expect("worker thread panicked")
+        .unwrap_or_else(|p| p.into_inner())
         .iter_mut()
         .map(|slot| slot.take().expect("every index filled"))
+        .collect()
+}
+
+/// Run `f(i)` for every `i in 0..n`, spreading the calls across worker
+/// threads, and collect the results in index order.
+///
+/// `f` must derive all randomness from `i` (e.g. `root_rng.derive(i)`), so
+/// the output is independent of scheduling — this is how the whole harness
+/// stays deterministic while saturating the machine.
+///
+/// If any job panics, the remaining jobs still run to completion and the
+/// **first** (lowest-index) panic payload is re-raised on the calling
+/// thread — callers that want to keep the surviving results instead should
+/// use [`par_map_catch`].
+pub fn par_map_indexed<T, F>(threads: Threads, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = Vec::with_capacity(n);
+    for slot in par_map_impl(threads, n, f) {
+        match slot {
+            Ok(v) => out.push(v),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Panic-isolating [`par_map_indexed`]: every job's outcome is returned in
+/// index order as `Ok(result)` or `Err(panic message)`. No panic ever
+/// propagates to the caller, so a single diverging replication turns into
+/// one recorded failure instead of discarding the whole sweep.
+pub fn par_map_catch<T, F>(threads: Threads, n: usize, f: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_impl(threads, n, f)
+        .into_iter()
+        .map(|slot| slot.map_err(|p| panic_message(p.as_ref())))
         .collect()
 }
 
@@ -184,5 +245,50 @@ mod tests {
     fn pool_map_delegates() {
         let pool = Pool::new(Threads::Sequential);
         assert_eq!(pool.map(4, |i| i + 1), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn catch_isolates_panics_and_keeps_survivors() {
+        for threads in [
+            Threads::Sequential,
+            Threads::Fixed(NonZeroUsize::new(4).unwrap()),
+        ] {
+            let out = par_map_catch(threads, 5, |i| {
+                if i == 2 {
+                    panic!("job {i} diverged");
+                }
+                i * 10
+            });
+            assert_eq!(out.len(), 5);
+            assert_eq!(out[0], Ok(0));
+            assert_eq!(out[1], Ok(10));
+            assert_eq!(out[2], Err("job 2 diverged".to_string()));
+            assert_eq!(out[3], Ok(30));
+            assert_eq!(out[4], Ok(40));
+        }
+    }
+
+    #[test]
+    fn indexed_propagates_the_original_payload() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_map_indexed(Threads::Fixed(NonZeroUsize::new(3).unwrap()), 8, |i| {
+                if i == 1 {
+                    panic!("replication 1 exploded");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("panic should propagate");
+        assert_eq!(panic_message(payload.as_ref()), "replication 1 exploded");
+    }
+
+    #[test]
+    fn panic_message_handles_common_payloads() {
+        let s: Box<dyn Any + Send> = Box::new("literal");
+        assert_eq!(panic_message(s.as_ref()), "literal");
+        let s: Box<dyn Any + Send> = Box::new(String::from("formatted"));
+        assert_eq!(panic_message(s.as_ref()), "formatted");
+        let s: Box<dyn Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(s.as_ref()), "non-string panic payload");
     }
 }

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_dynttl_multiplier-c25deef947777a1a.d: crates/bench/benches/ablation_dynttl_multiplier.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_dynttl_multiplier-c25deef947777a1a.rmeta: crates/bench/benches/ablation_dynttl_multiplier.rs Cargo.toml
+
+crates/bench/benches/ablation_dynttl_multiplier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_ec_threshold-269f5cb270c52033.d: crates/bench/benches/ablation_ec_threshold.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_ec_threshold-269f5cb270c52033.rmeta: crates/bench/benches/ablation_ec_threshold.rs Cargo.toml
+
+crates/bench/benches/ablation_ec_threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_eviction-251348640dd50ae6.d: crates/bench/benches/ablation_eviction.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_eviction-251348640dd50ae6.rmeta: crates/bench/benches/ablation_eviction.rs Cargo.toml
+
+crates/bench/benches/ablation_eviction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_immunity_overhead-7674f1cd2654b4ae.d: crates/bench/benches/ablation_immunity_overhead.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_immunity_overhead-7674f1cd2654b4ae.rmeta: crates/bench/benches/ablation_immunity_overhead.rs Cargo.toml
+
+crates/bench/benches/ablation_immunity_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

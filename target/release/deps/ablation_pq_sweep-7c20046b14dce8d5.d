@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_pq_sweep-7c20046b14dce8d5.d: crates/bench/benches/ablation_pq_sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_pq_sweep-7c20046b14dce8d5.rmeta: crates/bench/benches/ablation_pq_sweep.rs Cargo.toml
+
+crates/bench/benches/ablation_pq_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_ttl_sweep-e1211dc6b0aaaa28.d: crates/bench/benches/ablation_ttl_sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_ttl_sweep-e1211dc6b0aaaa28.rmeta: crates/bench/benches/ablation_ttl_sweep.rs Cargo.toml
+
+crates/bench/benches/ablation_ttl_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_probe_overhead-73571eea0ceee102.d: crates/bench/src/bin/bench_probe_overhead.rs
+
+/root/repo/target/release/deps/bench_probe_overhead-73571eea0ceee102: crates/bench/src/bin/bench_probe_overhead.rs
+
+crates/bench/src/bin/bench_probe_overhead.rs:

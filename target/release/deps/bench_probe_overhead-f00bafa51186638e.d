@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_probe_overhead-f00bafa51186638e.d: crates/bench/src/bin/bench_probe_overhead.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_probe_overhead-f00bafa51186638e.rmeta: crates/bench/src/bin/bench_probe_overhead.rs Cargo.toml
+
+crates/bench/src/bin/bench_probe_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

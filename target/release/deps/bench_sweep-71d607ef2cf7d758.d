@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench_sweep-71d607ef2cf7d758.d: crates/bench/src/bin/bench_sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench_sweep-71d607ef2cf7d758.rmeta: crates/bench/src/bin/bench_sweep.rs Cargo.toml
+
+crates/bench/src/bin/bench_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

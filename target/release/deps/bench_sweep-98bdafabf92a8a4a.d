@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_sweep-98bdafabf92a8a4a.d: crates/bench/src/bin/bench_sweep.rs
+
+/root/repo/target/release/deps/bench_sweep-98bdafabf92a8a4a: crates/bench/src/bin/bench_sweep.rs
+
+crates/bench/src/bin/bench_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-0d9614262092c432.d: vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-0d9614262092c432.rmeta: vendor/criterion/src/lib.rs Cargo.toml
+
+vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

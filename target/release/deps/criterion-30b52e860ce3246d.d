@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-30b52e860ce3246d.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-30b52e860ce3246d: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

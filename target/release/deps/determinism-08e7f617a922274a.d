@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-08e7f617a922274a.d: crates/experiments/../../tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-08e7f617a922274a: crates/experiments/../../tests/determinism.rs
+
+crates/experiments/../../tests/determinism.rs:

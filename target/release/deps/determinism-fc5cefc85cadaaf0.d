@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism-fc5cefc85cadaaf0.d: crates/experiments/../../tests/determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism-fc5cefc85cadaaf0.rmeta: crates/experiments/../../tests/determinism.rs Cargo.toml
+
+crates/experiments/../../tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dtn_bench-a201a16660ea20d7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/dtn_bench-a201a16660ea20d7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dtn_bench-f7894251c10f5b67.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libdtn_bench-f7894251c10f5b67.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

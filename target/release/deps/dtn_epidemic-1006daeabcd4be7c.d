@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/dtn_epidemic-1006daeabcd4be7c.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/bundle.rs crates/core/src/faults.rs crates/core/src/immunity.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/policy.rs crates/core/src/probe.rs crates/core/src/protocols.rs crates/core/src/session.rs crates/core/src/simulation.rs crates/core/src/summary.rs Cargo.toml
+
+/root/repo/target/release/deps/libdtn_epidemic-1006daeabcd4be7c.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/bundle.rs crates/core/src/faults.rs crates/core/src/immunity.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/policy.rs crates/core/src/probe.rs crates/core/src/protocols.rs crates/core/src/session.rs crates/core/src/simulation.rs crates/core/src/summary.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/buffer.rs:
+crates/core/src/bundle.rs:
+crates/core/src/faults.rs:
+crates/core/src/immunity.rs:
+crates/core/src/metrics.rs:
+crates/core/src/node.rs:
+crates/core/src/policy.rs:
+crates/core/src/probe.rs:
+crates/core/src/protocols.rs:
+crates/core/src/session.rs:
+crates/core/src/simulation.rs:
+crates/core/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dtn_epidemic-2cc686b2882d1860.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/bundle.rs crates/core/src/faults.rs crates/core/src/immunity.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/policy.rs crates/core/src/probe.rs crates/core/src/protocols.rs crates/core/src/session.rs crates/core/src/simulation.rs crates/core/src/summary.rs
+
+/root/repo/target/release/deps/dtn_epidemic-2cc686b2882d1860: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/bundle.rs crates/core/src/faults.rs crates/core/src/immunity.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/policy.rs crates/core/src/probe.rs crates/core/src/protocols.rs crates/core/src/session.rs crates/core/src/simulation.rs crates/core/src/summary.rs
+
+crates/core/src/lib.rs:
+crates/core/src/buffer.rs:
+crates/core/src/bundle.rs:
+crates/core/src/faults.rs:
+crates/core/src/immunity.rs:
+crates/core/src/metrics.rs:
+crates/core/src/node.rs:
+crates/core/src/policy.rs:
+crates/core/src/probe.rs:
+crates/core/src/protocols.rs:
+crates/core/src/session.rs:
+crates/core/src/simulation.rs:
+crates/core/src/summary.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/dtn_experiments-0df7a296c1f555dc.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/robustness.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs Cargo.toml
+
+/root/repo/target/release/deps/libdtn_experiments-0df7a296c1f555dc.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/robustness.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/figures.rs:
+crates/experiments/src/output.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/reporter.rs:
+crates/experiments/src/robustness.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/scenarios.rs:
+crates/experiments/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

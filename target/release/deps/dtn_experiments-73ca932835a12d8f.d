@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/dtn_experiments-73ca932835a12d8f.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
+/root/repo/target/release/deps/dtn_experiments-73ca932835a12d8f.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/robustness.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
 
-/root/repo/target/release/deps/libdtn_experiments-73ca932835a12d8f.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
+/root/repo/target/release/deps/libdtn_experiments-73ca932835a12d8f.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/robustness.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
 
-/root/repo/target/release/deps/libdtn_experiments-73ca932835a12d8f.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
+/root/repo/target/release/deps/libdtn_experiments-73ca932835a12d8f.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/robustness.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
 
 crates/experiments/src/lib.rs:
 crates/experiments/src/ablations.rs:
@@ -10,6 +10,7 @@ crates/experiments/src/figures.rs:
 crates/experiments/src/output.rs:
 crates/experiments/src/report.rs:
 crates/experiments/src/reporter.rs:
+crates/experiments/src/robustness.rs:
 crates/experiments/src/runner.rs:
 crates/experiments/src/scenarios.rs:
 crates/experiments/src/tables.rs:

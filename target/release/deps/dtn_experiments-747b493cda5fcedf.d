@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dtn_experiments-747b493cda5fcedf.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/robustness.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
+
+/root/repo/target/release/deps/dtn_experiments-747b493cda5fcedf: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/robustness.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/figures.rs:
+crates/experiments/src/output.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/reporter.rs:
+crates/experiments/src/robustness.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/scenarios.rs:
+crates/experiments/src/tables.rs:

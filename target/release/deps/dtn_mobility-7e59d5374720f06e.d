@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dtn_mobility-7e59d5374720f06e.d: crates/mobility/src/lib.rs crates/mobility/src/analysis.rs crates/mobility/src/association.rs crates/mobility/src/cache.rs crates/mobility/src/contact.rs crates/mobility/src/rwp.rs crates/mobility/src/scenario.rs crates/mobility/src/subscriber.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace_io.rs
+
+/root/repo/target/release/deps/dtn_mobility-7e59d5374720f06e: crates/mobility/src/lib.rs crates/mobility/src/analysis.rs crates/mobility/src/association.rs crates/mobility/src/cache.rs crates/mobility/src/contact.rs crates/mobility/src/rwp.rs crates/mobility/src/scenario.rs crates/mobility/src/subscriber.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace_io.rs
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/analysis.rs:
+crates/mobility/src/association.rs:
+crates/mobility/src/cache.rs:
+crates/mobility/src/contact.rs:
+crates/mobility/src/rwp.rs:
+crates/mobility/src/scenario.rs:
+crates/mobility/src/subscriber.rs:
+crates/mobility/src/synthetic.rs:
+crates/mobility/src/trace_io.rs:

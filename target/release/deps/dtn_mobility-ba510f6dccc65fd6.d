@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/dtn_mobility-ba510f6dccc65fd6.d: crates/mobility/src/lib.rs crates/mobility/src/analysis.rs crates/mobility/src/association.rs crates/mobility/src/cache.rs crates/mobility/src/contact.rs crates/mobility/src/rwp.rs crates/mobility/src/scenario.rs crates/mobility/src/subscriber.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace_io.rs Cargo.toml
+
+/root/repo/target/release/deps/libdtn_mobility-ba510f6dccc65fd6.rmeta: crates/mobility/src/lib.rs crates/mobility/src/analysis.rs crates/mobility/src/association.rs crates/mobility/src/cache.rs crates/mobility/src/contact.rs crates/mobility/src/rwp.rs crates/mobility/src/scenario.rs crates/mobility/src/subscriber.rs crates/mobility/src/synthetic.rs crates/mobility/src/trace_io.rs Cargo.toml
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/analysis.rs:
+crates/mobility/src/association.rs:
+crates/mobility/src/cache.rs:
+crates/mobility/src/contact.rs:
+crates/mobility/src/rwp.rs:
+crates/mobility/src/scenario.rs:
+crates/mobility/src/subscriber.rs:
+crates/mobility/src/synthetic.rs:
+crates/mobility/src/trace_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

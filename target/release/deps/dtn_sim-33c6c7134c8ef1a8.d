@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dtn_sim-33c6c7134c8ef1a8.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/parallel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/release/deps/libdtn_sim-33c6c7134c8ef1a8.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/parallel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/events.rs:
+crates/sim/src/parallel.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dtn_sim-6365c08b1328a6ea.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/parallel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/dtn_sim-6365c08b1328a6ea: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/parallel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/events.rs:
+crates/sim/src/parallel.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

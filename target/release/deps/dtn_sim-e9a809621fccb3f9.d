@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dtn_sim-e9a809621fccb3f9.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/parallel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/release/deps/libdtn_sim-e9a809621fccb3f9.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/parallel.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/events.rs:
+crates/sim/src/parallel.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dtnsim-3efd1d27d6fae181.d: crates/experiments/src/bin/dtnsim.rs Cargo.toml
+
+/root/repo/target/release/deps/libdtnsim-3efd1d27d6fae181.rmeta: crates/experiments/src/bin/dtnsim.rs Cargo.toml
+
+crates/experiments/src/bin/dtnsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dtnsim-6f93074d79205fff.d: crates/experiments/src/bin/dtnsim.rs Cargo.toml
+
+/root/repo/target/release/deps/libdtnsim-6f93074d79205fff.rmeta: crates/experiments/src/bin/dtnsim.rs Cargo.toml
+
+crates/experiments/src/bin/dtnsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

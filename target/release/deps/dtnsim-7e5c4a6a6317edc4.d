@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dtnsim-7e5c4a6a6317edc4.d: crates/experiments/src/bin/dtnsim.rs
+
+/root/repo/target/release/deps/dtnsim-7e5c4a6a6317edc4: crates/experiments/src/bin/dtnsim.rs
+
+crates/experiments/src/bin/dtnsim.rs:

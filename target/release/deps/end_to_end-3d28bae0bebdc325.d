@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/end_to_end-3d28bae0bebdc325.d: crates/experiments/../../tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/release/deps/libend_to_end-3d28bae0bebdc325.rmeta: crates/experiments/../../tests/end_to_end.rs Cargo.toml
+
+crates/experiments/../../tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

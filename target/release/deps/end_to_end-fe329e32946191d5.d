@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-fe329e32946191d5.d: crates/experiments/../../tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-fe329e32946191d5: crates/experiments/../../tests/end_to_end.rs
+
+crates/experiments/../../tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/faults-248ab9f0ed4cc575.d: crates/experiments/../../tests/faults.rs Cargo.toml
+
+/root/repo/target/release/deps/libfaults-248ab9f0ed4cc575.rmeta: crates/experiments/../../tests/faults.rs Cargo.toml
+
+crates/experiments/../../tests/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/faults-4a0725c7e7a77f1e.d: crates/experiments/../../tests/faults.rs
+
+/root/repo/target/release/deps/faults-4a0725c7e7a77f1e: crates/experiments/../../tests/faults.rs
+
+crates/experiments/../../tests/faults.rs:

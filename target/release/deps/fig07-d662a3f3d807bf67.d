@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig07-d662a3f3d807bf67.d: crates/bench/benches/fig07.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig07-d662a3f3d807bf67.rmeta: crates/bench/benches/fig07.rs Cargo.toml
+
+crates/bench/benches/fig07.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig08-80cac8df9502b2e6.d: crates/bench/benches/fig08.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig08-80cac8df9502b2e6.rmeta: crates/bench/benches/fig08.rs Cargo.toml
+
+crates/bench/benches/fig08.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig09-ded747ab62266c5b.d: crates/bench/benches/fig09.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig09-ded747ab62266c5b.rmeta: crates/bench/benches/fig09.rs Cargo.toml
+
+crates/bench/benches/fig09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10-dd3453a197623944.d: crates/bench/benches/fig10.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10-dd3453a197623944.rmeta: crates/bench/benches/fig10.rs Cargo.toml
+
+crates/bench/benches/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11-1b759eae919f6ae4.d: crates/bench/benches/fig11.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11-1b759eae919f6ae4.rmeta: crates/bench/benches/fig11.rs Cargo.toml
+
+crates/bench/benches/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

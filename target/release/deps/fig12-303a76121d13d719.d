@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12-303a76121d13d719.d: crates/bench/benches/fig12.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12-303a76121d13d719.rmeta: crates/bench/benches/fig12.rs Cargo.toml
+
+crates/bench/benches/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

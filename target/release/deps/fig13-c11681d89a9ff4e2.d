@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig13-c11681d89a9ff4e2.d: crates/bench/benches/fig13.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig13-c11681d89a9ff4e2.rmeta: crates/bench/benches/fig13.rs Cargo.toml
+
+crates/bench/benches/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

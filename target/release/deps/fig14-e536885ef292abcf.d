@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig14-e536885ef292abcf.d: crates/bench/benches/fig14.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig14-e536885ef292abcf.rmeta: crates/bench/benches/fig14.rs Cargo.toml
+
+crates/bench/benches/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

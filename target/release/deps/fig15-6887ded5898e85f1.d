@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig15-6887ded5898e85f1.d: crates/bench/benches/fig15.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig15-6887ded5898e85f1.rmeta: crates/bench/benches/fig15.rs Cargo.toml
+
+crates/bench/benches/fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig16-0854642d038ab14e.d: crates/bench/benches/fig16.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig16-0854642d038ab14e.rmeta: crates/bench/benches/fig16.rs Cargo.toml
+
+crates/bench/benches/fig16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

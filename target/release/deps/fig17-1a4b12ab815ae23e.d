@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig17-1a4b12ab815ae23e.d: crates/bench/benches/fig17.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig17-1a4b12ab815ae23e.rmeta: crates/bench/benches/fig17.rs Cargo.toml
+
+crates/bench/benches/fig17.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig18-dd07626f972d59c3.d: crates/bench/benches/fig18.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig18-dd07626f972d59c3.rmeta: crates/bench/benches/fig18.rs Cargo.toml
+
+crates/bench/benches/fig18.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

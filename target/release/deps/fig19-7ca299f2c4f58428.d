@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig19-7ca299f2c4f58428.d: crates/bench/benches/fig19.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig19-7ca299f2c4f58428.rmeta: crates/bench/benches/fig19.rs Cargo.toml
+
+crates/bench/benches/fig19.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig20-8dad49d7703a3b38.d: crates/bench/benches/fig20.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig20-8dad49d7703a3b38.rmeta: crates/bench/benches/fig20.rs Cargo.toml
+
+crates/bench/benches/fig20.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

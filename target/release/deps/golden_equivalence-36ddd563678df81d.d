@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/golden_equivalence-36ddd563678df81d.d: crates/experiments/../../tests/golden_equivalence.rs Cargo.toml
+
+/root/repo/target/release/deps/libgolden_equivalence-36ddd563678df81d.rmeta: crates/experiments/../../tests/golden_equivalence.rs Cargo.toml
+
+crates/experiments/../../tests/golden_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

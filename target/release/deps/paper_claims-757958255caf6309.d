@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/paper_claims-757958255caf6309.d: crates/experiments/../../tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/release/deps/libpaper_claims-757958255caf6309.rmeta: crates/experiments/../../tests/paper_claims.rs Cargo.toml
+
+crates/experiments/../../tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-ef2c3bab4354021f.d: crates/experiments/../../tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-ef2c3bab4354021f: crates/experiments/../../tests/paper_claims.rs
+
+crates/experiments/../../tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-01f3157b0c5af11e.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-01f3157b0c5af11e: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

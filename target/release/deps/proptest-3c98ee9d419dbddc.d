@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-3c98ee9d419dbddc.d: vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-3c98ee9d419dbddc.rmeta: vendor/proptest/src/lib.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-36e51f71330afacc.d: crates/mobility/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-36e51f71330afacc.rmeta: crates/mobility/tests/proptests.rs Cargo.toml
+
+crates/mobility/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-67b92f9b8e709628.d: crates/core/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-67b92f9b8e709628.rmeta: crates/core/tests/proptests.rs Cargo.toml
+
+crates/core/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

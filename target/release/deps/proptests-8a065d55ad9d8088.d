@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-8a065d55ad9d8088.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-8a065d55ad9d8088: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-910668b795918b6c.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-910668b795918b6c: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

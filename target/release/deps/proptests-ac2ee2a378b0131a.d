@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-ac2ee2a378b0131a.d: crates/sim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-ac2ee2a378b0131a.rmeta: crates/sim/tests/proptests.rs Cargo.toml
+
+crates/sim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

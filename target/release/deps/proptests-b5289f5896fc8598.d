@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-b5289f5896fc8598.d: crates/mobility/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-b5289f5896fc8598: crates/mobility/tests/proptests.rs
+
+crates/mobility/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro-4934b202701503d0.d: crates/experiments/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro-4934b202701503d0.rmeta: crates/experiments/src/bin/repro.rs Cargo.toml
+
+crates/experiments/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

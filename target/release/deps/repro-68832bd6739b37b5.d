@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-68832bd6739b37b5.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-68832bd6739b37b5: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

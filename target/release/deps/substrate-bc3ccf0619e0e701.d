@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/substrate-bc3ccf0619e0e701.d: crates/bench/benches/substrate.rs Cargo.toml
+
+/root/repo/target/release/deps/libsubstrate-bc3ccf0619e0e701.rmeta: crates/bench/benches/substrate.rs Cargo.toml
+
+crates/bench/benches/substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table2_summary-ca80dce355b33a3d.d: crates/bench/benches/table2_summary.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable2_summary-ca80dce355b33a3d.rmeta: crates/bench/benches/table2_summary.rs Cargo.toml
+
+crates/bench/benches/table2_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

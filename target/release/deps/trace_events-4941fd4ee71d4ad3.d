@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_events-4941fd4ee71d4ad3.d: crates/experiments/../../tests/trace_events.rs
+
+/root/repo/target/release/deps/trace_events-4941fd4ee71d4ad3: crates/experiments/../../tests/trace_events.rs
+
+crates/experiments/../../tests/trace_events.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace_events-7645a766859d0fc4.d: crates/experiments/../../tests/trace_events.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace_events-7645a766859d0fc4.rmeta: crates/experiments/../../tests/trace_events.rs Cargo.toml
+
+crates/experiments/../../tests/trace_events.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_replay-4cedb798f57ab806.d: crates/experiments/../../tests/trace_replay.rs
+
+/root/repo/target/release/deps/trace_replay-4cedb798f57ab806: crates/experiments/../../tests/trace_replay.rs
+
+crates/experiments/../../tests/trace_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace_replay-ef6972990ebf809d.d: crates/experiments/../../tests/trace_replay.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace_replay-ef6972990ebf809d.rmeta: crates/experiments/../../tests/trace_replay.rs Cargo.toml
+
+crates/experiments/../../tests/trace_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

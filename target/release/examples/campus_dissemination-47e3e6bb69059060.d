@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/campus_dissemination-47e3e6bb69059060.d: crates/experiments/../../examples/campus_dissemination.rs Cargo.toml
+
+/root/repo/target/release/examples/libcampus_dissemination-47e3e6bb69059060.rmeta: crates/experiments/../../examples/campus_dissemination.rs Cargo.toml
+
+crates/experiments/../../examples/campus_dissemination.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

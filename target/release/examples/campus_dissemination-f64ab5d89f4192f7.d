@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/campus_dissemination-f64ab5d89f4192f7.d: crates/experiments/../../examples/campus_dissemination.rs
+
+/root/repo/target/release/examples/campus_dissemination-f64ab5d89f4192f7: crates/experiments/../../examples/campus_dissemination.rs
+
+crates/experiments/../../examples/campus_dissemination.rs:

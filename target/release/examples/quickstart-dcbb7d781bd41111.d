@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-dcbb7d781bd41111.d: crates/experiments/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-dcbb7d781bd41111.rmeta: crates/experiments/../../examples/quickstart.rs Cargo.toml
+
+crates/experiments/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_replay-80a7e6fde5de6a16.d: crates/experiments/../../examples/trace_replay.rs
+
+/root/repo/target/release/examples/trace_replay-80a7e6fde5de6a16: crates/experiments/../../examples/trace_replay.rs
+
+crates/experiments/../../examples/trace_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/trace_replay-8de39f4ce364df79.d: crates/experiments/../../examples/trace_replay.rs Cargo.toml
+
+/root/repo/target/release/examples/libtrace_replay-8de39f4ce364df79.rmeta: crates/experiments/../../examples/trace_replay.rs Cargo.toml
+
+crates/experiments/../../examples/trace_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/zebranet_tracking-2b1e3f45739b0515.d: crates/experiments/../../examples/zebranet_tracking.rs
+
+/root/repo/target/release/examples/zebranet_tracking-2b1e3f45739b0515: crates/experiments/../../examples/zebranet_tracking.rs
+
+crates/experiments/../../examples/zebranet_tracking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/zebranet_tracking-b4ac5b9ed69394cf.d: crates/experiments/../../examples/zebranet_tracking.rs Cargo.toml
+
+/root/repo/target/release/examples/libzebranet_tracking-b4ac5b9ed69394cf.rmeta: crates/experiments/../../examples/zebranet_tracking.rs Cargo.toml
+
+crates/experiments/../../examples/zebranet_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

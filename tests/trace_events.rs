@@ -15,8 +15,8 @@
 use std::num::NonZeroUsize;
 
 use dtn_epidemic::{
-    protocols, replay_jsonl, replay_metrics, simulate, simulate_probed, MemoryProbe, SimConfig,
-    Workload,
+    protocols, replay_jsonl, replay_metrics, simulate, simulate_probed, ChurnMode, ChurnPlan,
+    Event, FaultPlan, GilbertElliott, MemoryProbe, SimConfig, Workload,
 };
 use dtn_experiments::{run_point_traced, Mobility, SweepConfig, TraceCache};
 use dtn_sim::{SimDuration, SimRng, Threads};
@@ -30,7 +30,30 @@ fn scenario_config(protocol: dtn_epidemic::ProtocolConfig) -> SimConfig {
         transfer_loss_prob: 0.05,
         bundle_bytes: 10_000_000,
         ack_record_bytes: 16,
+        faults: FaultPlan::default(),
     }
+}
+
+/// An aggressive everything-on fault preset: crash churn, bursty loss,
+/// session truncation and anti-packet loss all active at once.
+fn faulty_config(protocol: dtn_epidemic::ProtocolConfig) -> SimConfig {
+    let mut config = scenario_config(protocol);
+    config.faults = FaultPlan {
+        truncation_prob: 0.5,
+        ack_loss_prob: 0.5,
+        burst: Some(GilbertElliott {
+            loss_good: 0.05,
+            loss_bad: 0.7,
+            p_good_to_bad: 0.1,
+            p_bad_to_good: 0.3,
+        }),
+        churn: Some(ChurnPlan {
+            mean_up_secs: 20_000.0,
+            mean_down_secs: 10_000.0,
+            mode: ChurnMode::Crash,
+        }),
+    };
+    config
 }
 
 /// Every protocol family, run with a capturing probe: the captured stream
@@ -83,6 +106,69 @@ fn jsonl_round_trip_replays_to_bit_identical_metrics() {
         live.end_time,
     );
     assert_eq!(live, replayed);
+}
+
+/// Fault-injected runs replay just as exactly: with crash churn, bursty
+/// loss, truncation and ack loss all active, the fault events must mirror
+/// every collector mutation — including the churn wipes' per-copy drops
+/// and immunity resets — for both the in-memory and JSONL paths.
+#[test]
+fn faulted_runs_replay_to_bit_identical_metrics() {
+    for protocol in [
+        protocols::pure_epidemic(),
+        protocols::immunity_epidemic(),
+        protocols::cumulative_immunity_epidemic(),
+    ] {
+        let name = protocol.name;
+        let config = faulty_config(protocol);
+        let trace = Mobility::Trace.build(13, 0);
+        let mut wl_rng = SimRng::new(17);
+        let workload = Workload::single_random_flow(20, trace.node_count(), &mut wl_rng);
+
+        let mut probe = MemoryProbe::default();
+        let live = simulate_probed(&trace, &workload, &config, SimRng::new(23), &mut probe);
+        let fault_events = probe
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::FaultDown { .. }
+                        | Event::FaultUp { .. }
+                        | Event::ContactSkipped { .. }
+                        | Event::SessionTruncated { .. }
+                        | Event::AckLost { .. }
+                )
+            })
+            .count();
+        assert!(fault_events > 0, "no fault events captured for {name}");
+        let replayed = replay_metrics(
+            probe.events.iter().copied(),
+            &workload,
+            &config,
+            trace.node_count(),
+            live.end_time,
+        );
+        assert_eq!(live, replayed, "faulted replay diverged for {name}");
+
+        let mut jsonl_probe = dtn_epidemic::JsonlProbe::new();
+        let live2 = simulate_probed(
+            &trace,
+            &workload,
+            &config,
+            SimRng::new(23),
+            &mut jsonl_probe,
+        );
+        assert_eq!(live, live2, "JSONL probe perturbed the faulted run");
+        let replayed2 = replay_jsonl(
+            &jsonl_probe.into_jsonl(),
+            &workload,
+            &config,
+            trace.node_count(),
+            live.end_time,
+        );
+        assert_eq!(live, replayed2, "faulted JSONL replay diverged for {name}");
+    }
 }
 
 /// A multi-replication traced point produces the byte-identical event
