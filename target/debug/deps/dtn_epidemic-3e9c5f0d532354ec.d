@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/dtn_epidemic-3e9c5f0d532354ec.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/bundle.rs crates/core/src/immunity.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/policy.rs crates/core/src/probe.rs crates/core/src/protocols.rs crates/core/src/session.rs crates/core/src/simulation.rs crates/core/src/summary.rs
+/root/repo/target/debug/deps/dtn_epidemic-3e9c5f0d532354ec.d: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/bundle.rs crates/core/src/faults.rs crates/core/src/immunity.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/policy.rs crates/core/src/probe.rs crates/core/src/protocols.rs crates/core/src/session.rs crates/core/src/simulation.rs crates/core/src/summary.rs
 
-/root/repo/target/debug/deps/libdtn_epidemic-3e9c5f0d532354ec.rlib: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/bundle.rs crates/core/src/immunity.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/policy.rs crates/core/src/probe.rs crates/core/src/protocols.rs crates/core/src/session.rs crates/core/src/simulation.rs crates/core/src/summary.rs
+/root/repo/target/debug/deps/libdtn_epidemic-3e9c5f0d532354ec.rlib: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/bundle.rs crates/core/src/faults.rs crates/core/src/immunity.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/policy.rs crates/core/src/probe.rs crates/core/src/protocols.rs crates/core/src/session.rs crates/core/src/simulation.rs crates/core/src/summary.rs
 
-/root/repo/target/debug/deps/libdtn_epidemic-3e9c5f0d532354ec.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/bundle.rs crates/core/src/immunity.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/policy.rs crates/core/src/probe.rs crates/core/src/protocols.rs crates/core/src/session.rs crates/core/src/simulation.rs crates/core/src/summary.rs
+/root/repo/target/debug/deps/libdtn_epidemic-3e9c5f0d532354ec.rmeta: crates/core/src/lib.rs crates/core/src/buffer.rs crates/core/src/bundle.rs crates/core/src/faults.rs crates/core/src/immunity.rs crates/core/src/metrics.rs crates/core/src/node.rs crates/core/src/policy.rs crates/core/src/probe.rs crates/core/src/protocols.rs crates/core/src/session.rs crates/core/src/simulation.rs crates/core/src/summary.rs
 
 crates/core/src/lib.rs:
 crates/core/src/buffer.rs:
 crates/core/src/bundle.rs:
+crates/core/src/faults.rs:
 crates/core/src/immunity.rs:
 crates/core/src/metrics.rs:
 crates/core/src/node.rs:

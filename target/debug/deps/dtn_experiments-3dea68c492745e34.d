@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/dtn_experiments-3dea68c492745e34.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
+/root/repo/target/debug/deps/dtn_experiments-3dea68c492745e34.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/robustness.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
 
-/root/repo/target/debug/deps/dtn_experiments-3dea68c492745e34: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
+/root/repo/target/debug/deps/dtn_experiments-3dea68c492745e34: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/robustness.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
 
 crates/experiments/src/lib.rs:
 crates/experiments/src/ablations.rs:
@@ -8,6 +8,7 @@ crates/experiments/src/figures.rs:
 crates/experiments/src/output.rs:
 crates/experiments/src/report.rs:
 crates/experiments/src/reporter.rs:
+crates/experiments/src/robustness.rs:
 crates/experiments/src/runner.rs:
 crates/experiments/src/scenarios.rs:
 crates/experiments/src/tables.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/dtn_experiments-b5ebe452da4e9c6d.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
+/root/repo/target/debug/deps/dtn_experiments-b5ebe452da4e9c6d.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/robustness.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
 
-/root/repo/target/debug/deps/libdtn_experiments-b5ebe452da4e9c6d.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
+/root/repo/target/debug/deps/libdtn_experiments-b5ebe452da4e9c6d.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/robustness.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
 
-/root/repo/target/debug/deps/libdtn_experiments-b5ebe452da4e9c6d.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
+/root/repo/target/debug/deps/libdtn_experiments-b5ebe452da4e9c6d.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/figures.rs crates/experiments/src/output.rs crates/experiments/src/report.rs crates/experiments/src/reporter.rs crates/experiments/src/robustness.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/tables.rs
 
 crates/experiments/src/lib.rs:
 crates/experiments/src/ablations.rs:
@@ -10,6 +10,7 @@ crates/experiments/src/figures.rs:
 crates/experiments/src/output.rs:
 crates/experiments/src/report.rs:
 crates/experiments/src/reporter.rs:
+crates/experiments/src/robustness.rs:
 crates/experiments/src/runner.rs:
 crates/experiments/src/scenarios.rs:
 crates/experiments/src/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-3d4097e1e7b3bdc2.d: crates/experiments/../../tests/faults.rs
+
+/root/repo/target/debug/deps/faults-3d4097e1e7b3bdc2: crates/experiments/../../tests/faults.rs
+
+crates/experiments/../../tests/faults.rs:
