@@ -58,6 +58,8 @@ pub enum WorkloadError {
     EmptyFlow(FlowId),
     /// A flow references a node outside the universe.
     NodeOutOfRange(FlowId, NodeId),
+    /// The node universe cannot host any flow (fewer than two nodes).
+    TooFewNodes(usize),
 }
 
 impl fmt::Display for WorkloadError {
@@ -68,6 +70,12 @@ impl fmt::Display for WorkloadError {
             WorkloadError::EmptyFlow(id) => write!(f, "flow {} has no bundles", id.0),
             WorkloadError::NodeOutOfRange(id, n) => {
                 write!(f, "flow {} references {n} outside the node universe", id.0)
+            }
+            WorkloadError::TooFewNodes(n) => {
+                write!(
+                    f,
+                    "a workload needs a universe of at least two nodes, got {n}"
+                )
             }
         }
     }
@@ -90,6 +98,9 @@ pub struct Workload {
 impl Workload {
     /// Validate a flow list against a universe of `node_count` nodes.
     pub fn new(flows: Vec<Flow>, node_count: usize) -> Result<Workload, WorkloadError> {
+        if node_count < 2 {
+            return Err(WorkloadError::TooFewNodes(node_count));
+        }
         let mut flow_offsets = Vec::with_capacity(flows.len());
         let mut total: u32 = 0;
         for (i, f) in flows.iter().enumerate() {

@@ -27,7 +27,14 @@
 //! * [`simulation`] — the event-driven per-replication driver;
 //! * [`metrics`] — the paper's four metrics plus signaling overhead;
 //! * [`probe`] — zero-overhead typed event tracing (monomorphized
-//!   [`Probe`] observers; `NullProbe` compiles to nothing).
+//!   [`Probe`] observers; `NullProbe` compiles to nothing);
+//! * [`audit`] — an online invariant auditor ([`AuditProbe`]) that
+//!   checks conservation laws (capacity, copy conservation, delivery
+//!   uniqueness, immunity soundness, TTL honesty) against a shadow
+//!   ledger rebuilt from the event stream alone;
+//! * [`oracle`] — a deliberately naive scalar reference simulator used
+//!   by the differential test suite to cross-check the optimized engine
+//!   bundle-for-bundle on all eight protocols.
 //!
 //! ## Quick example
 //!
@@ -48,12 +55,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod audit;
 pub mod buffer;
 pub mod bundle;
 pub mod faults;
 pub mod immunity;
 pub mod metrics;
 pub mod node;
+pub mod oracle;
 pub mod policy;
 pub mod probe;
 pub mod protocols;
@@ -61,6 +70,7 @@ pub mod session;
 pub mod simulation;
 pub mod summary;
 
+pub use audit::{AuditMode, AuditProbe, Violation};
 pub use buffer::{Buffer, InsertOutcome, StoredBundle};
 pub use bundle::{BundleId, Flow, FlowId, Workload, WorkloadError};
 pub use faults::{
@@ -70,12 +80,13 @@ pub use faults::{
 pub use immunity::{DeliveryTracker, ImmunityStore};
 pub use metrics::{DropReason, MetricsCollector, RunMetrics};
 pub use node::Node;
+pub use oracle::simulate_oracle;
 pub use policy::{
     AckPropagation, AckScheme, EvictionPolicy, LifetimePolicy, ProtocolConfig, TransmitPolicy,
 };
 pub use probe::{
-    replay_jsonl, replay_metrics, CountingProbe, Event, JsonlProbe, MemoryProbe, NullProbe, Probe,
-    SeriesSample, TimeSeriesProbe,
+    replay_jsonl, replay_metrics, CountingProbe, Event, FanoutProbe, JsonlProbe, MemoryProbe,
+    NullProbe, Probe, SeriesSample, TimeSeriesProbe,
 };
 pub use session::{SessionScratch, SimConfig};
 pub use simulation::{simulate, simulate_probed};

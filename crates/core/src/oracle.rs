@@ -1,0 +1,871 @@
+//! A deliberately naive reference simulator for differential testing.
+//!
+//! [`simulate_oracle`] reimplements the full simulation semantics —
+//! all eight protocols, fault injection included — with the slowest,
+//! most obvious data structures available: `Vec` scans for buffers and
+//! copies, `BTreeSet`/`BTreeMap` for summary vectors, immunity tables
+//! and delivery trackers, and a linear scan-the-minimum event queue. It
+//! shares **no** code with the optimized hot path (`session`,
+//! `simulation`, `summary`, `buffer`, `node`, `immunity`): where those
+//! use bitsets, arenas and session scratch, the oracle spells the
+//! protocol rules out longhand.
+//!
+//! What it *does* share is the specification-level arithmetic that both
+//! sides must agree on by definition: [`SimRng`] (the draw sequence is
+//! part of a run's identity), [`FaultInjector`] (salted fault streams),
+//! [`MetricsCollector`] (the metrics definitions under test are not the
+//! subject of the differential — the *state machine feeding them* is),
+//! and the pure policy functions ([`crate::policy`]).
+//!
+//! The differential suite (`tests/oracle_differential.rs`) runs oracle
+//! and engine on randomized small scenarios and asserts identical
+//! [`RunMetrics`]. Any divergence means one side's bookkeeping — copy
+//! placement, eviction choice, purge order, TTL assignment, RNG draw
+//! order — broke from the specification both encode.
+
+use crate::bundle::{BundleId, Workload};
+use crate::faults::FaultInjector;
+use crate::metrics::{DropReason, MetricsCollector, RunMetrics};
+use crate::policy::{AckPropagation, AckScheme, EvictionPolicy, LifetimePolicy};
+use crate::session::SimConfig;
+use dtn_mobility::{Contact, ContactTrace, NodeId};
+use dtn_sim::{SimDuration, SimRng, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One stored copy (mirror of `StoredBundle`, kept separate on purpose).
+#[derive(Clone, Copy, Debug)]
+struct OCopy {
+    id: BundleId,
+    ec: u32,
+    stored_at: SimTime,
+    expires_at: SimTime,
+}
+
+/// Naive immunity table: plain ordered sets/maps, counts recomputed on
+/// demand.
+#[derive(Clone, Debug)]
+enum OImmunity {
+    PerBundle(BTreeSet<BundleId>),
+    Cumulative(BTreeMap<u32, u32>),
+}
+
+impl OImmunity {
+    fn covers(&self, id: BundleId) -> bool {
+        match self {
+            OImmunity::PerBundle(set) => set.contains(&id),
+            OImmunity::Cumulative(map) => map.get(&id.flow.0).is_some_and(|&n| id.seq < n),
+        }
+    }
+
+    fn record_count(&self) -> u64 {
+        match self {
+            OImmunity::PerBundle(set) => set.len() as u64,
+            OImmunity::Cumulative(map) => map.len() as u64,
+        }
+    }
+
+    fn merge_from(&mut self, other: &OImmunity) {
+        match (self, other) {
+            (OImmunity::PerBundle(mine), OImmunity::PerBundle(theirs)) => {
+                for &id in theirs {
+                    mine.insert(id);
+                }
+            }
+            (OImmunity::Cumulative(mine), OImmunity::Cumulative(theirs)) => {
+                // Per-flow maximum; an entry in `theirs` materializes in
+                // `mine` even when its frontier is 0 (record counts track
+                // entries, not coverage).
+                for (&flow, &n) in theirs {
+                    let entry = mine.entry(flow).or_insert(0);
+                    *entry = (*entry).max(n);
+                }
+            }
+            _ => panic!("cannot merge immunity stores of different encodings"),
+        }
+    }
+
+    fn record_delivery(&mut self, id: BundleId, contiguous_frontier: u32) {
+        match self {
+            OImmunity::PerBundle(set) => {
+                set.insert(id);
+            }
+            OImmunity::Cumulative(map) => {
+                let entry = map.entry(id.flow.0).or_insert(0);
+                *entry = (*entry).max(contiguous_frontier);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            OImmunity::PerBundle(set) => set.clear(),
+            OImmunity::Cumulative(map) => map.clear(),
+        }
+    }
+}
+
+/// Naive destination-side delivery tracker.
+#[derive(Clone, Debug, Default)]
+struct OTracker {
+    frontier: u32,
+    pending: BTreeSet<u32>,
+}
+
+impl OTracker {
+    fn contains(&self, seq: u32) -> bool {
+        seq < self.frontier || self.pending.contains(&seq)
+    }
+
+    fn record(&mut self, seq: u32) -> bool {
+        if self.contains(seq) {
+            return false;
+        }
+        self.pending.insert(seq);
+        while self.pending.remove(&self.frontier) {
+            self.frontier += 1;
+        }
+        true
+    }
+
+    fn delivered_seqs(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.frontier).chain(self.pending.iter().copied())
+    }
+}
+
+/// Outcome of a relay-buffer admission (mirror of `InsertOutcome`).
+enum OInsert {
+    Stored,
+    StoredEvicting(BundleId),
+    Rejected,
+    Duplicate,
+}
+
+/// One node, longhand: two plain `Vec`s of copies in insertion order.
+#[derive(Clone, Debug)]
+struct ONode {
+    id: NodeId,
+    capacity: usize,
+    relay: Vec<OCopy>,
+    origin: Vec<OCopy>,
+    immunity: Option<OImmunity>,
+    trackers: BTreeMap<u32, OTracker>,
+    last_encounter: Option<SimTime>,
+    last_interval: Option<SimDuration>,
+}
+
+impl ONode {
+    fn record_encounter(&mut self, now: SimTime) {
+        if let Some(prev) = self.last_encounter {
+            self.last_interval = Some(now.saturating_since(prev));
+        }
+        self.last_encounter = Some(now);
+    }
+
+    fn has_bundle(&self, id: BundleId) -> bool {
+        self.relay.iter().any(|c| c.id == id)
+            || self.origin.iter().any(|c| c.id == id)
+            || self
+                .trackers
+                .get(&id.flow.0)
+                .is_some_and(|t| t.contains(id.seq))
+    }
+
+    /// Mutable copy access, relay store first (mirrors `get_copy_mut`).
+    /// The bool is "lives in the relay buffer".
+    fn get_copy_mut(&mut self, id: BundleId) -> Option<(&mut OCopy, bool)> {
+        if self.relay.iter().any(|c| c.id == id) {
+            self.relay
+                .iter_mut()
+                .find(|c| c.id == id)
+                .map(|c| (c, true))
+        } else {
+            self.origin
+                .iter_mut()
+                .find(|c| c.id == id)
+                .map(|c| (c, false))
+        }
+    }
+
+    fn remove_copy(&mut self, id: BundleId) -> bool {
+        if let Some(pos) = self.relay.iter().position(|c| c.id == id) {
+            self.relay.remove(pos);
+            return true;
+        }
+        if let Some(pos) = self.origin.iter().position(|c| c.id == id) {
+            self.origin.remove(pos);
+            return true;
+        }
+        false
+    }
+
+    /// Expired copies at `now`, relay first then origin, each in
+    /// insertion order.
+    fn purge_expired(&mut self, now: SimTime) -> Vec<BundleId> {
+        let mut removed = Vec::new();
+        for store in [&mut self.relay, &mut self.origin] {
+            store.retain(|c| {
+                if c.expires_at <= now {
+                    removed.push(c.id);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        removed
+    }
+
+    /// Copies covered by this node's own immunity table, relay first.
+    fn purge_immunized(&mut self) -> Vec<BundleId> {
+        let mut removed = Vec::new();
+        let Some(store) = &self.immunity else {
+            return removed;
+        };
+        for copies in [&mut self.relay, &mut self.origin] {
+            copies.retain(|c| {
+                if store.covers(c.id) {
+                    removed.push(c.id);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        removed
+    }
+
+    fn earliest_expiry(&self) -> Option<SimTime> {
+        self.relay
+            .iter()
+            .chain(self.origin.iter())
+            .map(|c| c.expires_at)
+            .filter(|&t| t != SimTime::MAX)
+            .min()
+    }
+
+    /// Admit a relay copy under the eviction policy (mirror of
+    /// `Buffer::insert` including its tie-breaking: DropOldest takes the
+    /// first minimal `(stored_at, position)`; the EC policies take the
+    /// highest EC, ties toward the older position).
+    fn insert_relay(&mut self, copy: OCopy, policy: EvictionPolicy) -> OInsert {
+        if self.relay.iter().any(|c| c.id == copy.id) {
+            return OInsert::Duplicate;
+        }
+        if self.relay.len() < self.capacity {
+            self.relay.push(copy);
+            return OInsert::Stored;
+        }
+        let victim_pos = match policy {
+            EvictionPolicy::RejectNew => return OInsert::Rejected,
+            EvictionPolicy::DropOldest => self
+                .relay
+                .iter()
+                .enumerate()
+                .min_by_key(|(pos, c)| (c.stored_at, *pos))
+                .map(|(pos, _)| pos),
+            EvictionPolicy::HighestEc => self
+                .relay
+                .iter()
+                .enumerate()
+                .max_by_key(|(pos, c)| (c.ec, std::cmp::Reverse(*pos)))
+                .map(|(pos, _)| pos),
+            EvictionPolicy::HighestEcMin { min_ec } => self
+                .relay
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.ec >= min_ec)
+                .max_by_key(|(pos, c)| (c.ec, std::cmp::Reverse(*pos)))
+                .map(|(pos, _)| pos),
+        };
+        match victim_pos {
+            Some(pos) => {
+                let victim = self.relay.remove(pos);
+                self.relay.push(copy);
+                OInsert::StoredEvicting(victim.id)
+            }
+            None => OInsert::Rejected,
+        }
+    }
+}
+
+/// Simulation events (mirror of the engine's `Ev`).
+#[derive(Clone, Copy, Debug)]
+enum OEv {
+    CreateFlow(u32),
+    Contact(u32),
+    ExpiryCheck(u16),
+    NodeDown(u16),
+    NodeUp(u16),
+}
+
+/// The naive event queue: a flat `Vec` popped by scanning for the
+/// minimum `(time, insertion sequence)` — the same total order the
+/// engine's binary heap produces, without the heap.
+#[derive(Debug, Default)]
+struct OQueue {
+    events: Vec<(SimTime, u64, OEv)>,
+    next_seq: u64,
+}
+
+impl OQueue {
+    fn push(&mut self, at: SimTime, ev: OEv) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push((at, seq, ev));
+    }
+
+    fn pop_min(&mut self) -> Option<(SimTime, OEv)> {
+        let pos = self
+            .events
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(t, seq, _))| (t, seq))
+            .map(|(pos, _)| pos)?;
+        let (t, _, ev) = self.events.remove(pos);
+        Some((t, ev))
+    }
+}
+
+/// Everything a contact session reads and writes, minus the two nodes.
+struct OCtx<'a> {
+    config: &'a SimConfig,
+    workload: &'a Workload,
+    metrics: &'a mut MetricsCollector,
+    rng: &'a mut SimRng,
+    faults: &'a mut FaultInjector,
+}
+
+/// Run one replication through the naive reference simulator.
+///
+/// Same contract as [`crate::simulate`]: identical `(trace, workload,
+/// config, rng seed)` inputs must produce bit-identical [`RunMetrics`] —
+/// and, by the differential suite, identical to the optimized engine's.
+pub fn simulate_oracle(
+    trace: &ContactTrace,
+    workload: &Workload,
+    config: &SimConfig,
+    rng: SimRng,
+) -> RunMetrics {
+    config.protocol.validate();
+    config
+        .validate()
+        .unwrap_or_else(|err| panic!("invalid SimConfig: {err}"));
+    let node_count = trace.node_count();
+    // Fault streams derive from the replication seed before the base rng
+    // starts serving protocol draws — same derivation as the engine.
+    let mut faults = FaultInjector::for_run(&config.faults, node_count, trace.horizon(), &rng);
+    let mut rng = rng;
+
+    let immunity_template = match config.protocol.ack {
+        AckScheme::None => None,
+        AckScheme::PerBundle => Some(OImmunity::PerBundle(BTreeSet::new())),
+        AckScheme::Cumulative => Some(OImmunity::Cumulative(BTreeMap::new())),
+    };
+    let mut nodes: Vec<ONode> = trace
+        .nodes()
+        .map(|id| ONode {
+            id,
+            capacity: config.buffer_capacity,
+            relay: Vec::new(),
+            origin: Vec::new(),
+            immunity: immunity_template.clone(),
+            trackers: BTreeMap::new(),
+            last_encounter: None,
+            last_interval: None,
+        })
+        .collect();
+
+    let mut metrics = MetricsCollector::new(
+        node_count,
+        config.buffer_capacity,
+        workload.total_bundles(),
+        config.ack_slot_cost,
+    );
+    metrics.start(SimTime::ZERO);
+
+    let mut queue = OQueue::default();
+    // Scheduling order mirrors the engine: churn transitions first, then
+    // flow creations, then contacts — equal-time events fire in exactly
+    // this order.
+    for tr in faults.schedule().to_vec() {
+        let ev = if tr.up {
+            OEv::NodeUp(tr.node)
+        } else {
+            OEv::NodeDown(tr.node)
+        };
+        queue.push(tr.at, ev);
+    }
+    for (i, flow) in workload.flows().iter().enumerate() {
+        queue.push(flow.created_at, OEv::CreateFlow(i as u32));
+    }
+    for (i, c) in trace.contacts().iter().enumerate() {
+        queue.push(c.start, OEv::Contact(i as u32));
+    }
+
+    let horizon = trace.horizon();
+    let mut scheduled_expiry: Vec<Option<SimTime>> = vec![None; node_count];
+
+    while let Some((now, ev)) = queue.pop_min() {
+        if now > horizon {
+            break;
+        }
+        match ev {
+            OEv::CreateFlow(f) => {
+                let flow = workload.flows()[f as usize];
+                let src = flow.src.index();
+                for seq in 0..flow.count {
+                    let id = BundleId { flow: flow.id, seq };
+                    // Origin copies never time out; the origin store is
+                    // unbounded and CreateFlow runs once per flow, so the
+                    // push cannot duplicate or evict.
+                    nodes[src].origin.push(OCopy {
+                        id,
+                        ec: 0,
+                        stored_at: now,
+                        expires_at: SimTime::MAX,
+                    });
+                    metrics.on_store(workload.bundle_index(id), src, now);
+                }
+                reschedule_expiry(&nodes, &mut scheduled_expiry, &mut queue, src, now);
+            }
+            OEv::Contact(i) => {
+                let contact = trace.contacts()[i as usize];
+                let (ai, bi) = (contact.a.index(), contact.b.index());
+                if !(faults.is_up(ai) && faults.is_up(bi)) {
+                    metrics.contacts_skipped += 1;
+                    continue;
+                }
+                let (na, nb) = two_mut(&mut nodes, ai, bi);
+                let mut cx = OCtx {
+                    config,
+                    workload,
+                    metrics: &mut metrics,
+                    rng: &mut rng,
+                    faults: &mut faults,
+                };
+                o_run_contact(na, nb, &contact, &mut cx);
+                reschedule_expiry(&nodes, &mut scheduled_expiry, &mut queue, ai, now);
+                reschedule_expiry(&nodes, &mut scheduled_expiry, &mut queue, bi, now);
+                if metrics.all_delivered() {
+                    break;
+                }
+            }
+            OEv::ExpiryCheck(n) => {
+                let node_idx = n as usize;
+                scheduled_expiry[node_idx] = None;
+                for id in nodes[node_idx].purge_expired(now) {
+                    metrics.on_drop(
+                        workload.bundle_index(id),
+                        node_idx,
+                        now,
+                        DropReason::Expired,
+                    );
+                }
+                reschedule_expiry(&nodes, &mut scheduled_expiry, &mut queue, node_idx, now);
+            }
+            OEv::NodeDown(n) => {
+                faults.set_up(n as usize, false);
+            }
+            OEv::NodeUp(n) => {
+                let node_idx = n as usize;
+                faults.set_up(node_idx, true);
+                if faults.wipes_on_restart() {
+                    // Cold restart: relay buffer, immunity table and
+                    // encounter history are volatile; origin store and
+                    // trackers survive.
+                    metrics.churn_wipes += 1;
+                    let wiped: Vec<BundleId> =
+                        nodes[node_idx].relay.drain(..).map(|c| c.id).collect();
+                    for id in wiped {
+                        metrics.on_drop(
+                            workload.bundle_index(id),
+                            node_idx,
+                            now,
+                            DropReason::Churn,
+                        );
+                    }
+                    nodes[node_idx].last_encounter = None;
+                    nodes[node_idx].last_interval = None;
+                    if let Some(store) = nodes[node_idx].immunity.as_mut() {
+                        store.reset();
+                        metrics.set_ack_records(node_idx, 0, now);
+                    }
+                }
+            }
+        }
+    }
+
+    let end = metrics.completion_time().unwrap_or(horizon);
+    metrics.finish(end)
+}
+
+/// Keep an `ExpiryCheck` pending at the node's earliest finite expiry
+/// (mirror of the engine's dedup: a check already pending at or before
+/// the target is good enough).
+fn reschedule_expiry(
+    nodes: &[ONode],
+    scheduled: &mut [Option<SimTime>],
+    queue: &mut OQueue,
+    node_idx: usize,
+    now: SimTime,
+) {
+    if let Some(t) = nodes[node_idx].earliest_expiry() {
+        let already_pending = matches!(scheduled[node_idx], Some(existing) if existing <= t);
+        if !already_pending {
+            scheduled[node_idx] = Some(t);
+            queue.push(t.max(now), OEv::ExpiryCheck(node_idx as u16));
+        }
+    }
+}
+
+fn two_mut<T>(xs: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert!(i != j, "aliasing two_mut indices");
+    if i < j {
+        let (lo, hi) = xs.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = xs.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+/// The full exchange for one contact — same phase order, metering and
+/// RNG draw sequence as `session::run_contact`, written longhand.
+fn o_run_contact(a: &mut ONode, b: &mut ONode, contact: &Contact, cx: &mut OCtx<'_>) {
+    cx.metrics.contacts_processed += 1;
+    let now = contact.start;
+
+    // 1. Defensive expiry purge, a then b.
+    for node in [&mut *a, &mut *b] {
+        let node_idx = node.id.index();
+        for id in node.purge_expired(now) {
+            cx.metrics.on_drop(
+                cx.workload.bundle_index(id),
+                node_idx,
+                now,
+                DropReason::Expired,
+            );
+        }
+    }
+
+    // 2. Encounter bookkeeping, then EC aging of relay copies.
+    a.record_encounter(now);
+    b.record_encounter(now);
+    for node in [&mut *a, &mut *b] {
+        for copy in &mut node.relay {
+            copy.ec += 1;
+        }
+    }
+
+    // 3. Immunity exchange.
+    if cx.config.protocol.ack != AckScheme::None {
+        o_exchange_immunity(a, b, now, cx);
+    }
+
+    // 4 + 5. Shared transfer capacity, lower ID first.
+    let mut slots_left = contact.duration().div_whole(cx.config.tx_time);
+    if let Some(k) = cx.faults.truncate_slots(slots_left) {
+        slots_left = k;
+        cx.metrics.sessions_truncated += 1;
+    }
+    let mut slots_used: u64 = 0;
+    o_transfer_phase(a, b, now, &mut slots_left, &mut slots_used, cx);
+    o_transfer_phase(b, a, now, &mut slots_left, &mut slots_used, cx);
+}
+
+fn o_exchange_immunity(a: &mut ONode, b: &mut ONode, now: SimTime, cx: &mut OCtx<'_>) {
+    let shares = |node: &ONode| match cx.config.protocol.ack_propagation {
+        AckPropagation::Epidemic => true,
+        AckPropagation::DestinationOnly => cx.workload.flows().iter().any(|f| f.dst == node.id),
+    };
+    let a_shares = shares(a);
+    let b_shares = shares(b);
+
+    // Meter the pre-exchange tables, a's then b's.
+    let count_a = a.immunity.as_ref().map_or(0, |s| s.record_count());
+    let count_b = b.immunity.as_ref().map_or(0, |s| s.record_count());
+    if a_shares {
+        cx.metrics.ack_records_sent += count_a;
+        cx.metrics.control_bytes_sent += count_a * cx.config.ack_record_bytes;
+    }
+    if b_shares {
+        cx.metrics.ack_records_sent += count_b;
+        cx.metrics.control_bytes_sent += count_b * cx.config.ack_record_bytes;
+    }
+
+    // Per-direction ack loss, b→a drawn first (short-circuit on shares,
+    // like the engine).
+    let b_to_a_lost = b_shares && cx.faults.ack_lost();
+    let a_to_b_lost = a_shares && cx.faults.ack_lost();
+    if b_to_a_lost {
+        cx.metrics.ack_losses += 1;
+    }
+    if a_to_b_lost {
+        cx.metrics.ack_losses += 1;
+    }
+
+    // Sequential in-place merges: b's original into a, then a's merged
+    // table into b (idempotent + monotone, so this equals snapshotting).
+    if b_shares && !b_to_a_lost {
+        let theirs = b.immunity.clone().expect("ack scheme active");
+        a.immunity
+            .as_mut()
+            .expect("ack scheme active")
+            .merge_from(&theirs);
+    }
+    if a_shares && !a_to_b_lost {
+        let theirs = a.immunity.clone().expect("ack scheme active");
+        b.immunity
+            .as_mut()
+            .expect("ack scheme active")
+            .merge_from(&theirs);
+    }
+
+    // Purge covered copies and refresh the record-slot accounting, a
+    // then b.
+    for node in [&mut *a, &mut *b] {
+        let node_idx = node.id.index();
+        for id in node.purge_immunized() {
+            cx.metrics.on_drop(
+                cx.workload.bundle_index(id),
+                node_idx,
+                now,
+                DropReason::Immunized,
+            );
+        }
+        let records = node.immunity.as_ref().map_or(0, |s| s.record_count());
+        cx.metrics.set_ack_records(node_idx, records, now);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn o_transfer_phase(
+    tx: &mut ONode,
+    rx: &mut ONode,
+    now: SimTime,
+    slots_left: &mut u64,
+    slots_used: &mut u64,
+    cx: &mut OCtx<'_>,
+) {
+    if *slots_left == 0 {
+        return;
+    }
+    // The receiver's advertised summary: every copy it holds plus every
+    // delivery it has tracked, as dense bundle indices. One bit per
+    // workload bundle on the wire.
+    let mut rx_summary: BTreeSet<usize> = BTreeSet::new();
+    for copy in rx.relay.iter().chain(rx.origin.iter()) {
+        rx_summary.insert(cx.workload.bundle_index(copy.id));
+    }
+    for (&flow, tracker) in &rx.trackers {
+        for seq in tracker.delivered_seqs() {
+            let id = BundleId {
+                flow: crate::bundle::FlowId(flow),
+                seq,
+            };
+            rx_summary.insert(cx.workload.bundle_index(id));
+        }
+    }
+    let advert = u64::from(cx.workload.total_bundles()).div_ceil(8);
+    cx.metrics.control_bytes_sent += advert;
+
+    // Candidates the receiver lacks: destination-bound first in (flow,
+    // seq) order, then relay-bound — rotated by a seeded pivot except
+    // under the cumulative ack scheme (in-order forwarding).
+    let mut dest: Vec<BundleId> = Vec::new();
+    let mut relay: Vec<BundleId> = Vec::new();
+    for copy in tx.relay.iter().chain(tx.origin.iter()) {
+        let id = copy.id;
+        if rx_summary.contains(&cx.workload.bundle_index(id)) {
+            continue;
+        }
+        if cx.workload.flow(id.flow).dst == rx.id {
+            dest.push(id);
+        } else {
+            relay.push(id);
+        }
+    }
+    dest.sort_unstable();
+    relay.sort_unstable();
+    if cx.config.protocol.ack != AckScheme::Cumulative && relay.len() > 1 {
+        let pivot = cx.rng.below(relay.len() as u64) as usize;
+        relay.rotate_left(pivot);
+    }
+
+    for &id in dest.iter().chain(relay.iter()) {
+        if *slots_left == 0 {
+            break;
+        }
+        let flow = cx.workload.flow(id.flow);
+        let p = cx.config.protocol.transmit.probability(tx.id == flow.src);
+        if !cx.rng.bernoulli(p) {
+            continue;
+        }
+        if !tx.has_bundle(id) || rx_summary.contains(&cx.workload.bundle_index(id)) {
+            continue;
+        }
+
+        *slots_left -= 1;
+        *slots_used += 1;
+        cx.metrics.bundle_transmissions += 1;
+        cx.metrics.payload_bytes_sent += cx.config.bundle_bytes;
+        let completed_at = now + cx.config.tx_time * *slots_used;
+
+        // Sender side: EC increment, relay-copy TTL renewal / EC-TTL.
+        let (new_ec, sender_copy_expired) = {
+            let (copy, is_relay) = tx.get_copy_mut(id).expect("checked above");
+            copy.ec += 1;
+            let new_ec = copy.ec;
+            if is_relay {
+                match cx.config.protocol.lifetime {
+                    LifetimePolicy::FixedTtl { ttl } => copy.expires_at = now + ttl,
+                    LifetimePolicy::EcTtl { .. } => {
+                        if let Some(ttl) = cx.config.protocol.lifetime.ec_ttl_at(new_ec) {
+                            copy.expires_at = now + ttl;
+                        }
+                    }
+                    LifetimePolicy::None | LifetimePolicy::DynamicTtl { .. } => {}
+                }
+            }
+            (new_ec, copy.expires_at <= now)
+        };
+        if sender_copy_expired {
+            tx.remove_copy(id);
+            cx.metrics.on_drop(
+                cx.workload.bundle_index(id),
+                tx.id.index(),
+                now,
+                DropReason::Expired,
+            );
+        }
+
+        // Loss: the i.i.d. draw from the protocol RNG, then the burst
+        // channel from its own fault stream (always sampled).
+        let idx = cx.workload.bundle_index(id);
+        let iid_lost = cx.rng.bernoulli(cx.config.transfer_loss_prob);
+        let burst_lost = cx.faults.transfer_lost();
+        if iid_lost || burst_lost {
+            cx.metrics.transfer_losses += 1;
+            continue;
+        }
+
+        if rx.id == flow.dst {
+            o_deliver(rx, id, now, completed_at, idx, cx);
+        } else {
+            o_store_relay_copy(rx, id, new_ec, now, idx, cx);
+        }
+        if rx.has_bundle(id) {
+            rx_summary.insert(idx);
+        }
+    }
+}
+
+fn o_deliver(
+    rx: &mut ONode,
+    id: BundleId,
+    now: SimTime,
+    completed_at: SimTime,
+    idx: usize,
+    cx: &mut OCtx<'_>,
+) {
+    let tracker = rx.trackers.entry(id.flow.0).or_default();
+    if !tracker.record(id.seq) {
+        return;
+    }
+    let frontier = tracker.frontier;
+    cx.metrics.on_deliver(idx, now, completed_at);
+    if let Some(store) = rx.immunity.as_mut() {
+        store.record_delivery(id, frontier);
+        let records = store.record_count();
+        cx.metrics.set_ack_records(rx.id.index(), records, now);
+    }
+    // Mirror of the engine's defensive guard: a destination carrying a
+    // relay copy of its own bundle retires it on delivery.
+    if rx.remove_copy(id) {
+        cx.metrics
+            .on_drop(idx, rx.id.index(), completed_at, DropReason::Immunized);
+    }
+}
+
+fn o_store_relay_copy(
+    rx: &mut ONode,
+    id: BundleId,
+    ec: u32,
+    now: SimTime,
+    idx: usize,
+    cx: &mut OCtx<'_>,
+) {
+    let expires_at = match cx.config.protocol.lifetime {
+        LifetimePolicy::None => SimTime::MAX,
+        LifetimePolicy::FixedTtl { ttl } => now + ttl,
+        LifetimePolicy::DynamicTtl { multiplier } => match rx.last_interval {
+            Some(interval) => now + interval.mul_f64(multiplier),
+            None => SimTime::MAX,
+        },
+        LifetimePolicy::EcTtl { .. } => match cx.config.protocol.lifetime.ec_ttl_at(ec) {
+            Some(ttl) if ttl.is_zero() => {
+                // Dead on arrival: slot consumed, nothing stored.
+                cx.metrics.rejections += 1;
+                return;
+            }
+            Some(ttl) => now + ttl,
+            None => SimTime::MAX,
+        },
+    };
+    let copy = OCopy {
+        id,
+        ec,
+        stored_at: now,
+        expires_at,
+    };
+    match rx.insert_relay(copy, cx.config.protocol.eviction) {
+        OInsert::Stored => cx.metrics.on_store(idx, rx.id.index(), now),
+        OInsert::StoredEvicting(victim) => {
+            cx.metrics.on_drop(
+                cx.workload.bundle_index(victim),
+                rx.id.index(),
+                now,
+                DropReason::Evicted,
+            );
+            cx.metrics.on_store(idx, rx.id.index(), now);
+        }
+        OInsert::Rejected => cx.metrics.rejections += 1,
+        OInsert::Duplicate => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols;
+    use crate::simulation::simulate;
+    use dtn_mobility::parse_trace_str;
+
+    #[test]
+    fn oracle_matches_engine_on_the_two_hop_example() {
+        let trace =
+            parse_trace_str("% nodes 3\n% horizon 10000\n0 1 100 500\n1 2 1000 1400\n").unwrap();
+        let w = Workload::single_flow(NodeId(0), NodeId(2), 3, 3);
+        let config = SimConfig::paper_defaults(protocols::pure_epidemic());
+        let engine = simulate(&trace, &w, &config, SimRng::new(1));
+        let oracle = simulate_oracle(&trace, &w, &config, SimRng::new(1));
+        assert_eq!(engine, oracle);
+        assert_eq!(oracle.delivered, 3);
+    }
+
+    #[test]
+    fn oracle_matches_engine_on_every_protocol_smoke() {
+        let trace = dtn_mobility::HaggleParams {
+            horizon: SimTime::from_secs(200_000),
+            ..Default::default()
+        }
+        .generate(&mut SimRng::new(9));
+        let w = Workload::single_flow(NodeId(0), NodeId(5), 10, trace.node_count());
+        for (i, protocol) in protocols::all_protocols().into_iter().enumerate() {
+            let config = SimConfig::paper_defaults(protocol);
+            let engine = simulate(&trace, &w, &config, SimRng::new(77));
+            let oracle = simulate_oracle(&trace, &w, &config, SimRng::new(77));
+            assert_eq!(engine, oracle, "protocol #{i} diverged");
+        }
+    }
+}

@@ -83,12 +83,31 @@ impl SimConfig {
         }
     }
 
-    /// Validate every probability knob (finite, in `[0, 1]`) so a typo'd
-    /// or NaN rate fails loudly instead of silently skewing the sampler.
-    /// The simulation driver calls this before every run; the CLI calls
-    /// it at arg-parse time for a clean error message.
+    /// Validate every probability knob (finite, in `[0, 1]`), every
+    /// timing knob (finite, positive), and the buffer geometry, so a
+    /// typo'd or NaN rate fails loudly instead of silently skewing the
+    /// sampler or panicking deep in the hot path (a zero `tx_time` would
+    /// turn the per-contact slot division into `u64::MAX` slots; a zero
+    /// capacity would trip the buffer constructor's assert mid-run). The
+    /// simulation driver calls this before every run; the CLI calls it
+    /// at arg-parse time for a clean error message.
     pub fn validate(&self) -> Result<(), String> {
         validate_probability("transfer_loss_prob", self.transfer_loss_prob)?;
+        if self.tx_time.is_zero() {
+            return Err(
+                "tx_time must be positive and finite, got a zero or non-finite duration"
+                    .to_string(),
+            );
+        }
+        if !self.ack_slot_cost.is_finite() || self.ack_slot_cost < 0.0 {
+            return Err(format!(
+                "ack_slot_cost must be finite and non-negative, got {}",
+                self.ack_slot_cost
+            ));
+        }
+        if self.buffer_capacity == 0 {
+            return Err("buffer_capacity must be at least 1 bundle, got 0".to_string());
+        }
         self.faults.validate()
     }
 }

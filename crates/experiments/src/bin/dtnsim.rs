@@ -22,6 +22,18 @@
 //!   -v, --verbose      extra stderr diagnostics
 //!   -q, --quiet        errors only on stderr
 //!
+//! supervision and auditing:
+//!   --audit            attach the runtime invariant auditor to every
+//!                      replication; violations land in the report's
+//!                      "violations" array (normally empty)
+//!   --retries N        retry a panicking replication up to N times on a
+//!                      fresh salted RNG stream before recording it as a
+//!                      failure (default: 0)
+//!   --point-timeout S  hard per-replication deadline in seconds; a
+//!                      replication still running at the deadline is
+//!                      abandoned and reported as timed out instead of
+//!                      hanging the run
+//!
 //! fault injection (all deterministic under --seed):
 //!   --loss P           i.i.d. per-transmission loss probability
 //!   --burst G,B,GB,BG  Gilbert–Elliott bursty loss: good/bad-state loss
@@ -54,8 +66,8 @@
 //! ```
 
 use dtn_epidemic::{
-    protocols, simulate, simulate_probed, ChurnMode, ChurnPlan, FaultPlan, GilbertElliott,
-    JsonlProbe, ProtocolConfig, SimConfig, TimeSeriesProbe, Workload,
+    protocols, simulate, simulate_probed, AuditMode, AuditProbe, ChurnMode, ChurnPlan, FanoutProbe,
+    FaultPlan, GilbertElliott, JsonlProbe, ProtocolConfig, SimConfig, TimeSeriesProbe, Workload,
 };
 use dtn_experiments::runner::aggregate_point;
 use dtn_experiments::{
@@ -63,7 +75,7 @@ use dtn_experiments::{
     Verbosity,
 };
 use dtn_mobility::{read_trace_file, ContactTrace, TraceSummary};
-use dtn_sim::{par_map_indexed, Histogram, SimDuration, SimRng, Threads};
+use dtn_sim::{par_map_supervised, Histogram, JobOutcome, SimDuration, SimRng, Threads, Watchdog};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -190,6 +202,9 @@ struct Args {
     robustness: bool,
     checkpoint: Option<std::path::PathBuf>,
     resume: bool,
+    audit: bool,
+    retries: u32,
+    point_timeout: Option<u64>,
 }
 
 /// Parse `--burst G,B,GB,BG` into a Gilbert–Elliott channel.
@@ -248,6 +263,9 @@ fn parse_args() -> Result<Args, String> {
         robustness: false,
         checkpoint: None,
         resume: false,
+        audit: false,
+        retries: 0,
+        point_timeout: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -305,13 +323,27 @@ fn parse_args() -> Result<Args, String> {
             "--robustness" => args.robustness = true,
             "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?.into()),
             "--resume" => args.resume = true,
+            "--audit" => args.audit = true,
+            "--retries" => {
+                args.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("bad retries: {e}"))?
+            }
+            "--point-timeout" => {
+                args.point_timeout = Some(
+                    value("--point-timeout")?
+                        .parse()
+                        .map_err(|e| format!("bad point-timeout: {e}"))?,
+                )
+            }
             "-v" | "--verbose" => args.verbosity = Verbosity::Verbose,
             "-q" | "--quiet" => args.verbosity = Verbosity::Quiet,
             "--help" | "-h" => {
                 println!(
                     "usage: dtnsim [--protocol NAME] [--mobility NAME] [--load K] \
                      [--reps N] [--seed S] [--buffer B] [--tx-time SECS] [--stats] \
-                     [--trace PATH] [--series PATH] [--loss P] [--burst G,B,GB,BG] \
+                     [--trace PATH] [--series PATH] [--audit] [--retries N] \
+                     [--point-timeout SECS] [--loss P] [--burst G,B,GB,BG] \
                      [--truncate P] [--ack-loss P] [--churn UP,DOWN[,crash|duty]] \
                      [--robustness [--checkpoint PATH] [--resume]] [-v | -q]"
                 );
@@ -327,6 +359,9 @@ fn parse_args() -> Result<Args, String> {
     args.faults.validate()?;
     if args.resume && args.checkpoint.is_none() {
         return Err("--resume requires --checkpoint PATH".into());
+    }
+    if args.point_timeout == Some(0) {
+        return Err("--point-timeout must be at least 1 second".into());
     }
     Ok(args)
 }
@@ -345,6 +380,9 @@ fn run_robustness_mode(args: &Args, log: &Reporter) -> ExitCode {
         base_seed: args.seed,
         buffer_capacity: args.buffer,
         tx_time_secs: args.tx_time,
+        retries: args.retries,
+        point_timeout_secs: args.point_timeout,
+        audit: args.audit,
         ..SweepConfig::default()
     };
     match run_robustness(mobility, &cfg, args.checkpoint.as_deref(), args.resume, log) {
@@ -373,10 +411,9 @@ fn main() -> ExitCode {
         return run_robustness_mode(&args, &log);
     }
 
-    let tx_time = args
-        .tx_time
-        .unwrap_or_else(|| args.source.default_tx_time());
-    let config = SimConfig {
+    let source = Arc::new(args.source);
+    let tx_time = args.tx_time.unwrap_or_else(|| source.default_tx_time());
+    let config = Arc::new(SimConfig {
         protocol: args.protocol.clone(),
         buffer_capacity: args.buffer,
         tx_time: SimDuration::from_secs(tx_time),
@@ -385,21 +422,21 @@ fn main() -> ExitCode {
         bundle_bytes: 10_000_000,
         ack_record_bytes: 16,
         faults: args.faults.clone(),
-    };
+    });
 
     log.info(format!(
         "protocol {:?} | mobility {} | load {} | buffer {} | tx {} s | {} replications",
         args.protocol.name,
-        args.source.label(),
+        source.label(),
         args.load,
         args.buffer,
         tx_time,
         args.reps
     ));
 
-    let cache = TraceCache::new();
+    let cache = Arc::new(TraceCache::new());
     if args.stats {
-        let trace = args.source.build(args.seed, 0, &cache);
+        let trace = source.build(args.seed, 0, &cache);
         log.info(format!(
             "\ncontact-trace summary:\n{}",
             TraceSummary::of(&trace).to_text()
@@ -409,36 +446,105 @@ fn main() -> ExitCode {
     let probed = args.trace_out.is_some() || args.series_out.is_some();
     let started = Instant::now();
     let root = SimRng::new(args.seed);
-    let source = &args.source;
-    let config_ref = &config;
-    let cache_ref = &cache;
-    // Each replication returns (metrics, jsonl events, series probe); the
-    // probe pair is monomorphized in, so the un-probed path stays the
-    // plain `simulate` the benches measure.
-    let results: Vec<(dtn_epidemic::RunMetrics, String, Option<TimeSeriesProbe>)> =
-        par_map_indexed(Threads::Auto, args.reps, move |rep| {
+    let watchdog = Watchdog {
+        retries: args.retries,
+        timeout: args.point_timeout.map(std::time::Duration::from_secs),
+        soft_timeout: args
+            .point_timeout
+            .map(|s| std::time::Duration::from_secs(s) / 2),
+    };
+    let job_source = Arc::clone(&source);
+    let job_config = Arc::clone(&config);
+    let job_cache = Arc::clone(&cache);
+    let (seed, load, audit) = (args.seed, args.load, args.audit);
+    // Each replication returns (metrics, jsonl events, series probe,
+    // audit violations); the probes are monomorphized in, so the
+    // un-probed, un-audited path stays the plain `simulate` the benches
+    // measure. Attempt 0 uses the canonical RNG derivation so a run that
+    // needs no retries is bit-identical to an unsupervised one; retries
+    // salt the stream (replaying a panicking seed would panic again).
+    type RepResult = (
+        dtn_epidemic::RunMetrics,
+        String,
+        Option<TimeSeriesProbe>,
+        Vec<String>,
+    );
+    let outcomes: Vec<JobOutcome<RepResult>> =
+        par_map_supervised(Threads::Auto, args.reps, watchdog, move |rep, attempt| {
             let rep = rep as u64;
-            let trace = source.build(args.seed, rep, cache_ref);
-            let mut wl_rng = root.derive(rep * 2 + 1);
-            let workload = Workload::single_random_flow(args.load, trace.node_count(), &mut wl_rng);
-            let sim_rng = root.derive(rep * 2);
+            let trace = job_source.build(seed, rep, &job_cache);
+            let stream = if attempt == 0 {
+                root.clone()
+            } else {
+                root.derive(0x57AC_0000 | u64::from(attempt))
+            };
+            let mut wl_rng = stream.derive(rep * 2 + 1);
+            let sim_rng = stream.derive(rep * 2);
+            let workload = Workload::single_random_flow(load, trace.node_count(), &mut wl_rng);
             if probed {
                 let interval =
                     SimDuration::from_millis((trace.horizon().as_millis() / 256).max(1000));
-                let mut probe = (
+                let pair = (
                     JsonlProbe::new(),
-                    TimeSeriesProbe::for_config(trace.node_count(), config_ref, interval),
+                    TimeSeriesProbe::for_config(trace.node_count(), &job_config, interval),
                 );
-                let m = simulate_probed(&trace, &workload, config_ref, sim_rng, &mut probe);
-                probe.1.finish(m.end_time);
-                (m, probe.0.into_jsonl(), Some(probe.1))
+                if audit {
+                    let auditor = AuditProbe::new(
+                        &workload,
+                        &job_config,
+                        trace.node_count(),
+                        AuditMode::Record,
+                    );
+                    let mut probe = FanoutProbe::new(pair, auditor);
+                    let m = simulate_probed(&trace, &workload, &job_config, sim_rng, &mut probe);
+                    let (mut pair, auditor) = probe.into_parts();
+                    pair.1.finish(m.end_time);
+                    (
+                        m,
+                        pair.0.into_jsonl(),
+                        Some(pair.1),
+                        auditor.violation_strings(),
+                    )
+                } else {
+                    let mut probe = pair;
+                    let m = simulate_probed(&trace, &workload, &job_config, sim_rng, &mut probe);
+                    probe.1.finish(m.end_time);
+                    (m, probe.0.into_jsonl(), Some(probe.1), Vec::new())
+                }
+            } else if audit {
+                let mut probe = AuditProbe::new(
+                    &workload,
+                    &job_config,
+                    trace.node_count(),
+                    AuditMode::Record,
+                );
+                let m = simulate_probed(&trace, &workload, &job_config, sim_rng, &mut probe);
+                (m, String::new(), None, probe.violation_strings())
             } else {
-                let m = simulate(&trace, &workload, config_ref, sim_rng);
-                (m, String::new(), None)
+                let m = simulate(&trace, &workload, &job_config, sim_rng);
+                (m, String::new(), None, Vec::new())
             }
         });
     let wall = started.elapsed().as_secs_f64();
-    let runs: Vec<dtn_epidemic::RunMetrics> = results.iter().map(|(m, _, _)| *m).collect();
+    let (mut panics, mut timed_out, mut retries_total) = (0usize, 0usize, 0u64);
+    let mut results: Vec<(usize, RepResult)> = Vec::with_capacity(outcomes.len());
+    for (rep, outcome) in outcomes.into_iter().enumerate() {
+        retries_total += u64::from(outcome.attempts().saturating_sub(1));
+        match outcome {
+            JobOutcome::Ok { value, .. } => results.push((rep, value)),
+            JobOutcome::Panicked { message, .. } => {
+                panics += 1;
+                log.error(format!("replication {rep} panicked: {message}"));
+            }
+            JobOutcome::TimedOut { .. } => {
+                timed_out += 1;
+                log.error(format!(
+                    "replication {rep} exceeded --point-timeout and was abandoned"
+                ));
+            }
+        }
+    }
+    let runs: Vec<dtn_epidemic::RunMetrics> = results.iter().map(|(_, (m, _, _, _))| *m).collect();
 
     // Event capture: manifest line, then each replication's events behind
     // a `{"rep":i}` marker. Replications land in index order, so the file
@@ -448,7 +554,7 @@ fn main() -> ExitCode {
         let manifest = RunManifest {
             tool: "dtnsim".into(),
             protocol: args.protocol.name.into(),
-            mobility: args.source.label(),
+            mobility: source.label(),
             load: args.load,
             replications: args.reps,
             seed: args.seed,
@@ -460,7 +566,7 @@ fn main() -> ExitCode {
         let mut out = String::new();
         let _ = writeln!(out, "{}", manifest.to_jsonl());
         let mut events = 0usize;
-        for (rep, (_, jsonl, _)) in results.iter().enumerate() {
+        for (rep, (_, jsonl, _, _)) in results.iter() {
             let _ = writeln!(out, "{{\"rep\":{rep}}}");
             out.push_str(jsonl);
             events += jsonl.lines().count();
@@ -482,7 +588,7 @@ fn main() -> ExitCode {
     let mut bundles_hist = Histogram::new();
     if let Some(path) = &args.series_out {
         let mut csv = String::from("rep,t_secs,occupancy,duplication,delivered,transmissions\n");
-        for (rep, (_, _, probe)) in results.iter().enumerate() {
+        for (rep, (_, _, probe, _)) in results.iter() {
             let probe = probe.as_ref().expect("series requested implies probed run");
             for s in &probe.samples {
                 let _ = writeln!(
@@ -503,10 +609,21 @@ fn main() -> ExitCode {
         }
         log.debug(format!("wrote series CSV to {}", path.display()));
     }
-    for (_, _, probe) in &results {
+    for (_, (_, _, probe, _)) in &results {
         if let Some(p) = probe {
             gap_hist.merge(&p.contact_gap);
             bundles_hist.merge(&p.bundles_per_contact);
+        }
+    }
+
+    let violations: Vec<String> = results
+        .iter()
+        .flat_map(|(rep, (_, _, _, v))| v.iter().map(move |v| format!("rep {rep}: {v}")))
+        .collect();
+    if args.audit {
+        match violations.len() {
+            0 => log.info("audit: clean — no invariant violations"),
+            n => log.error(format!("audit: {n} invariant violation(s) detected")),
         }
     }
 
@@ -553,15 +670,21 @@ fn main() -> ExitCode {
     let mut report = SweepReport::new(format!(
         "dtnsim: {} @ {} load {} x {} replications",
         args.protocol.name,
-        args.source.label(),
+        source.label(),
         args.load,
         args.reps
     ));
-    report.record_point(args.protocol.name, &args.source.label(), args.load, &runs);
-    report.record_sweep(
-        format!("{} @ {}", args.protocol.name, args.source.label()),
-        wall,
-    );
+    report.record_point(args.protocol.name, &source.label(), args.load, &runs);
+    if let Some(point) = report.points.last_mut() {
+        point.panics = panics;
+        point.timed_out = timed_out;
+        point.failures += panics + timed_out;
+        point.retries = retries_total;
+    }
+    for v in violations {
+        report.record_violation(v);
+    }
+    report.record_sweep(format!("{} @ {}", args.protocol.name, source.label()), wall);
     report.record_cache(cache.stats());
     if !gap_hist.is_empty() {
         report.attach_histogram("inter_contact_gap_s", gap_hist);

@@ -41,11 +41,13 @@ pub use ablations::{all_ablations, mobility_table};
 pub use figures::{all_figures, Metric};
 pub use output::{Figure, Series, TextTable};
 pub use report::{
-    git_rev, peak_rss_bytes, unix_time_secs, NamedHistogram, PointReport, RunManifest, SweepReport,
-    SweepTiming,
+    current_rss_bytes, git_rev, peak_rss_bytes, unix_time_secs, NamedHistogram, PointReport,
+    RunManifest, SweepReport, SweepTiming,
 };
 pub use reporter::{Reporter, Verbosity};
-pub use robustness::{fault_grid, run_robustness, FaultCell};
+pub use robustness::{
+    fault_grid, run_robustness, run_robustness_watched, FaultCell, InjectHook, RunOutcome,
+};
 pub use runner::{
     aggregate_point, aggregate_point_checked, point_sim_config, run_point_checked_cached,
     run_point_raw, run_point_raw_cached, run_point_series, run_point_traced, run_sweep,

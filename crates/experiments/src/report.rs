@@ -25,8 +25,19 @@ use std::path::Path;
 /// Peak resident set size in bytes (`VmHWM` from `/proc/self/status`);
 /// `None` off Linux.
 pub fn peak_rss_bytes() -> Option<u64> {
+    proc_status_bytes("VmHWM:")
+}
+
+/// Current resident set size in bytes (`VmRSS` from `/proc/self/status`);
+/// `None` off Linux. Unlike [`peak_rss_bytes`] this goes *down* when
+/// memory is released, which is what a live budget guard needs.
+pub fn current_rss_bytes() -> Option<u64> {
+    proc_status_bytes("VmRSS:")
+}
+
+fn proc_status_bytes(key: &str) -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let line = status.lines().find(|l| l.starts_with(key))?;
     let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
     Some(kb * 1024)
 }
@@ -172,6 +183,12 @@ pub struct PointReport {
     pub failures: usize,
     /// Replications that panicked and were isolated (checked runs only).
     pub panics: usize,
+    /// Replications abandoned at the watchdog's hard deadline
+    /// (supervised runs only; each also counts as a failure).
+    pub timed_out: usize,
+    /// Extra attempts beyond each replication's first, summed across the
+    /// point (supervised runs only; 0 when nothing was retried).
+    pub retries: u64,
     /// Contacts skipped because a churned endpoint was down (summed).
     pub contacts_skipped: u64,
     /// Contact sessions truncated by fault injection (summed).
@@ -224,6 +241,18 @@ pub struct SweepReport {
     pub trace_cache_misses: u64,
     /// Peak resident set size in bytes (Linux; `None` elsewhere).
     pub peak_rss_bytes: Option<u64>,
+    /// Times the memory-budget guard shed the trace cache and degraded
+    /// to cache-cold operation (0 when no budget was set or never hit).
+    pub memory_degradations: u64,
+    /// Invariant violations reported by audited runs, capped at
+    /// [`SweepReport::MAX_VIOLATIONS`] entries; [`total_violations`]
+    /// keeps the true count.
+    ///
+    /// [`total_violations`]: SweepReport::total_violations
+    pub violations: Vec<String>,
+    /// Every audit violation seen, including those beyond the retention
+    /// cap.
+    pub total_violations: u64,
     /// Per-sweep wall timings.
     pub timings: Vec<SweepTiming>,
     /// Per-point aggregates with delay histograms.
@@ -277,6 +306,8 @@ impl SweepReport {
             runs: runs.len(),
             failures,
             panics: 0,
+            timed_out: 0,
+            retries: 0,
             contacts_skipped,
             sessions_truncated,
             ack_losses,
@@ -307,6 +338,19 @@ impl SweepReport {
         let point = self.points.last_mut().expect("record_point pushed a point");
         point.panics = panics;
         point.failures += panics;
+    }
+
+    /// Retention cap for [`SweepReport::violations`]. A pathological
+    /// audited run could otherwise grow the report without bound.
+    pub const MAX_VIOLATIONS: usize = 256;
+
+    /// Record one audit violation, keeping at most
+    /// [`Self::MAX_VIOLATIONS`] entries while counting every one.
+    pub fn record_violation(&mut self, violation: impl Into<String>) {
+        self.total_violations += 1;
+        if self.violations.len() < Self::MAX_VIOLATIONS {
+            self.violations.push(violation.into());
+        }
     }
 
     /// Count one finished sweep and record its wall timing.
@@ -393,6 +437,24 @@ impl SweepReport {
             "  \"peak_rss_bytes\": {},",
             json_opt_u64(self.peak_rss_bytes)
         );
+        let _ = writeln!(
+            out,
+            "  \"memory_degradations\": {},",
+            self.memory_degradations
+        );
+        let _ = writeln!(out, "  \"total_violations\": {},", self.total_violations);
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\"", json_escape(v));
+        }
+        out.push_str(if self.violations.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
 
         out.push_str("  \"sweep_timings\": [");
         for (i, t) in self.timings.iter().enumerate() {
@@ -420,7 +482,8 @@ impl SweepReport {
             let _ = write!(
                 out,
                 "\n    {{\"protocol\": \"{}\", \"mobility\": \"{}\", \"load\": {}, \
-                 \"runs\": {}, \"failures\": {}, \"panics\": {}, \"delivery_ratio\": {}, \
+                 \"runs\": {}, \"failures\": {}, \"panics\": {}, \"timed_out\": {}, \
+                 \"retries\": {}, \"delivery_ratio\": {}, \
                  \"buffer_occupancy\": {}, \"duplication_rate\": {}, \"delay_s\": {}, \
                  \"faults\": {{\"contacts_skipped\": {}, \"sessions_truncated\": {}, \
                  \"ack_losses\": {}, \"churn_wipes\": {}}}}}",
@@ -430,6 +493,8 @@ impl SweepReport {
                 p.runs,
                 p.failures,
                 p.panics,
+                p.timed_out,
+                p.retries,
                 json_f64(p.delivery_ratio_mean),
                 json_f64(p.buffer_occupancy_mean),
                 json_f64(p.duplication_rate_mean),

@@ -22,12 +22,14 @@ use crate::runner::{point_sim_config, SweepConfig};
 use crate::scenarios::Mobility;
 use crate::{Reporter, SweepReport, TraceCache};
 use dtn_epidemic::{
-    protocols, simulate, ChurnMode, ChurnPlan, FaultPlan, GilbertElliott, RunMetrics, Workload,
+    protocols, simulate, simulate_probed, AuditMode, AuditProbe, ChurnMode, ChurnPlan, FaultPlan,
+    GilbertElliott, RunMetrics, SimConfig, Workload,
 };
-use dtn_sim::{par_map_catch, SimRng, SimTime};
+use dtn_sim::{par_map_supervised, JobOutcome, SimRng, SimTime};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 /// One cell of the robustness grid: a label and its fault plan.
 #[derive(Clone, Debug)]
@@ -105,6 +107,31 @@ pub fn fault_grid() -> Vec<FaultCell> {
     ]
 }
 
+/// One supervised replication outcome, as stored in checkpoints and
+/// folded into the report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunOutcome {
+    /// The replication finished, possibly after salted retries.
+    Ok(RunMetrics),
+    /// Every attempt panicked; the final panic message is kept.
+    Panicked(String),
+    /// The replication outlived the watchdog's hard deadline and was
+    /// abandoned without poisoning its siblings.
+    TimedOut,
+}
+
+/// A test seam for the supervisor itself: called at the top of every
+/// replication attempt with `(point key, replication, attempt)`, free to
+/// panic (exercising bounded retry) or sleep (exercising the hard
+/// deadline). Production callers pass `None` — [`run_robustness`] does.
+pub type InjectHook = Arc<dyn Fn(&str, usize, u32) + Send + Sync>;
+
+/// Salt namespace for retry attempts — far above the `rep * 2 (+ 1)`
+/// stream indices the canonical attempt-0 derivation uses, so a retried
+/// replication walks a genuinely fresh path (replaying the exact seed
+/// that just panicked would panic again deterministically).
+const RETRY_SALT: u64 = 0x57AC_0000;
+
 /// Checkpoint key of one grid point.
 fn point_key(cell: &str, protocol: &str, load: u32) -> String {
     format!("{cell}|{protocol}|{load}")
@@ -127,12 +154,15 @@ fn parse_f64_hex(tok: &str) -> Result<f64, String> {
 }
 
 /// One replication outcome as a checkpoint token: a fixed-order JSON
-/// array for a success, or a JSON string (the panic message) for an
-/// isolated panic.
-fn outcome_to_json(outcome: &Result<RunMetrics, String>) -> String {
+/// array for a success, `{"panic":…}` for an isolated panic, or
+/// `{"timeout":true}` for an abandoned attempt.
+fn outcome_to_json(outcome: &RunOutcome) -> String {
     match outcome {
-        Err(msg) => format!("{{\"panic\":\"{}\"}}", crate::report::json_escape(msg)),
-        Ok(m) => format!(
+        RunOutcome::TimedOut => "{\"timeout\":true}".to_string(),
+        RunOutcome::Panicked(msg) => {
+            format!("{{\"panic\":\"{}\"}}", crate::report::json_escape(msg))
+        }
+        RunOutcome::Ok(m) => format!(
             "[{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}]",
             m.total_bundles,
             m.delivered,
@@ -163,13 +193,16 @@ fn outcome_to_json(outcome: &Result<RunMetrics, String>) -> String {
     }
 }
 
-fn outcome_from_json(tok: &str) -> Result<Result<RunMetrics, String>, String> {
+fn outcome_from_json(tok: &str) -> Result<RunOutcome, String> {
     let tok = tok.trim();
+    if tok == "{\"timeout\":true}" {
+        return Ok(RunOutcome::TimedOut);
+    }
     if let Some(rest) = tok.strip_prefix("{\"panic\":\"") {
         let msg = rest
             .strip_suffix("\"}")
             .ok_or_else(|| format!("bad panic token {tok:?}"))?;
-        return Ok(Err(msg.to_string()));
+        return Ok(RunOutcome::Panicked(msg.to_string()));
     }
     let body = tok
         .strip_prefix('[')
@@ -191,7 +224,7 @@ fn outcome_from_json(tok: &str) -> Result<Result<RunMetrics, String>, String> {
             ms.parse::<u64>().map_err(|e| format!("field 3: {e}"))?,
         )),
     };
-    Ok(Ok(RunMetrics {
+    Ok(RunOutcome::Ok(RunMetrics {
         total_bundles: int(0)? as u32,
         delivered: int(1)? as u32,
         delivery_ratio: parse_f64_hex(fields[2].trim())?,
@@ -218,8 +251,9 @@ fn outcome_from_json(tok: &str) -> Result<Result<RunMetrics, String>, String> {
     }))
 }
 
-/// One finished point as a checkpoint line (no trailing newline).
-fn point_to_line(key: &str, outcomes: &[Result<RunMetrics, String>]) -> String {
+/// One finished point as a checkpoint line (no trailing newline): the
+/// key, the per-replication attempt counts, then the outcome tokens.
+fn point_to_line(key: &str, outcomes: &[RunOutcome], attempts: &[u32]) -> String {
     let mut runs = String::new();
     for (i, o) in outcomes.iter().enumerate() {
         if i > 0 {
@@ -227,21 +261,39 @@ fn point_to_line(key: &str, outcomes: &[Result<RunMetrics, String>]) -> String {
         }
         runs.push_str(&outcome_to_json(o));
     }
+    let attempts: Vec<String> = attempts.iter().map(|a| a.to_string()).collect();
     format!(
-        "{{\"point\":\"{}\",\"runs\":[{}]}}",
+        "{{\"point\":\"{}\",\"attempts\":[{}],\"runs\":[{}]}}",
         crate::report::json_escape(key),
+        attempts.join(","),
         runs
     )
 }
 
-fn point_from_line(line: &str) -> Result<(String, Vec<Result<RunMetrics, String>>), String> {
+type PointLine = (String, Vec<RunOutcome>, Vec<u32>);
+/// Finished points keyed by checkpoint key: (outcomes, attempt counts).
+type DoneMap = HashMap<String, (Vec<RunOutcome>, Vec<u32>)>;
+
+fn point_from_line(line: &str) -> Result<PointLine, String> {
     let rest = line
         .trim()
         .strip_prefix("{\"point\":\"")
         .ok_or_else(|| format!("bad checkpoint line {line:?}"))?;
     let (key, rest) = rest
-        .split_once("\",\"runs\":[")
+        .split_once("\",\"attempts\":[")
         .ok_or_else(|| format!("bad checkpoint line {line:?}"))?;
+    let (attempts, rest) = rest
+        .split_once("],\"runs\":[")
+        .ok_or_else(|| format!("bad checkpoint line {line:?}"))?;
+    let attempts: Vec<u32> = attempts
+        .split(',')
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| {
+            t.trim()
+                .parse::<u32>()
+                .map_err(|e| format!("bad attempt count {t:?}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
     let body = rest
         .strip_suffix("]}")
         .ok_or_else(|| format!("bad checkpoint line {line:?}"))?;
@@ -263,17 +315,33 @@ fn point_from_line(line: &str) -> Result<(String, Vec<Result<RunMetrics, String>
     if !body[start..].trim().is_empty() {
         outcomes.push(outcome_from_json(&body[start..])?);
     }
-    Ok((key.to_string(), outcomes))
+    if attempts.len() != outcomes.len() {
+        return Err(format!(
+            "checkpoint point {key:?} has {} attempt counts for {} runs",
+            attempts.len(),
+            outcomes.len()
+        ));
+    }
+    Ok((key.to_string(), outcomes, attempts))
 }
 
-/// The manifest (first) line of a checkpoint file.
+/// The manifest (first) line of a checkpoint file. The watchdog
+/// configuration is part of it: retried replications run on salted RNG
+/// streams and timed-out replications carry no metrics, so resuming
+/// under a different supervision policy would silently mix
+/// incomparable results.
 fn manifest_line(mobility: Mobility, cfg: &SweepConfig) -> String {
     format!(
-        "{{\"ckpt\":\"robustness\",\"mobility\":\"{}\",\"base_seed\":{},\"replications\":{},\"loads\":{:?}}}",
+        "{{\"ckpt\":\"robustness\",\"mobility\":\"{}\",\"base_seed\":{},\"replications\":{},\
+         \"loads\":{:?},\"retries\":{},\"timeout_secs\":{}}}",
         crate::report::json_escape(&mobility.label()),
         cfg.base_seed,
         cfg.replications,
         cfg.loads,
+        cfg.retries,
+        cfg.point_timeout_secs
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "null".into()),
     )
 }
 
@@ -285,7 +353,7 @@ fn load_checkpoint(
     path: &Path,
     mobility: Mobility,
     cfg: &SweepConfig,
-) -> Result<HashMap<String, Vec<Result<RunMetrics, String>>>, String> {
+) -> Result<DoneMap, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
@@ -299,7 +367,7 @@ fn load_checkpoint(
     }
     let mut done = HashMap::new();
     for line in lines {
-        let (key, outcomes) = point_from_line(line)?;
+        let (key, outcomes, attempts) = point_from_line(line)?;
         if outcomes.len() != cfg.replications {
             return Err(format!(
                 "checkpoint point {key:?} has {} outcomes, expected {}",
@@ -307,7 +375,7 @@ fn load_checkpoint(
                 cfg.replications
             ));
         }
-        done.insert(key, outcomes);
+        done.insert(key, (outcomes, attempts));
     }
     Ok(done)
 }
@@ -329,10 +397,26 @@ pub fn run_robustness(
     resume: bool,
     log: &Reporter,
 ) -> Result<SweepReport, String> {
+    run_robustness_watched(mobility, cfg, checkpoint, resume, log, None)
+}
+
+/// [`run_robustness`] with an optional [`InjectHook`] prepended to every
+/// replication attempt. The hook exists so tests can make the supervisor
+/// itself misbehave on demand — panic on chosen attempts to exercise
+/// bounded retry, or sleep past the hard deadline to exercise timeout
+/// isolation — while everything else stays the production code path.
+pub fn run_robustness_watched(
+    mobility: Mobility,
+    cfg: &SweepConfig,
+    checkpoint: Option<&Path>,
+    resume: bool,
+    log: &Reporter,
+    inject: Option<InjectHook>,
+) -> Result<SweepReport, String> {
     let grid = fault_grid();
     let protos = protocols::all_protocols();
 
-    let mut done: HashMap<String, Vec<Result<RunMetrics, String>>> = HashMap::new();
+    let mut done: DoneMap = HashMap::new();
     if resume {
         let path = checkpoint.ok_or("--resume requires --checkpoint PATH")?;
         if path.exists() {
@@ -367,7 +451,9 @@ pub fn run_robustness(
     };
 
     let started = std::time::Instant::now();
-    let cache = TraceCache::new();
+    let mut cache = Arc::new(TraceCache::new());
+    // Hit/miss counters accumulated across memory-guard cache sheds.
+    let mut cache_base = (0u64, 0u64);
     let mut report = SweepReport::new(format!(
         "robustness grid: {} cells x {} protocols x {} loads x {} replications @ {}",
         grid.len(),
@@ -385,34 +471,102 @@ pub fn run_robustness(
         for proto in &protos {
             for &load in &cfg.loads {
                 let key = point_key(cell.label, proto.name, load);
-                let outcomes = match done.remove(&key) {
-                    Some(outcomes) => outcomes,
+                let (outcomes, attempts, violations) = match done.remove(&key) {
+                    Some((outcomes, attempts)) => (outcomes, attempts, Vec::new()),
                     None => {
                         let sim_config = point_sim_config(proto, mobility, &cell_cfg);
                         let root = SimRng::new(cell_cfg.base_seed ^ (load as u64) << 32);
-                        let outcomes =
-                            par_map_catch(cell_cfg.threads, cell_cfg.replications, |rep| {
-                                let rep = rep as u64;
-                                let mut wl_rng = root.derive(rep * 2 + 1);
-                                let sim_rng = root.derive(rep * 2);
-                                let trace = mobility.build_cached(cell_cfg.base_seed, rep, &cache);
-                                let workload = Workload::single_random_flow(
+                        let job_cache = Arc::clone(&cache);
+                        let job_key = key.clone();
+                        let job_inject = inject.clone();
+                        let base_seed = cell_cfg.base_seed;
+                        let audit = cell_cfg.audit;
+                        let results = par_map_supervised(
+                            cell_cfg.threads,
+                            cell_cfg.replications,
+                            cell_cfg.watchdog(),
+                            move |rep, attempt| {
+                                if let Some(hook) = &job_inject {
+                                    hook(&job_key, rep, attempt);
+                                }
+                                run_replication(
+                                    rep,
+                                    attempt,
+                                    &root,
                                     load,
-                                    trace.node_count(),
-                                    &mut wl_rng,
-                                );
-                                simulate(&trace, &workload, &sim_config, sim_rng)
-                            });
+                                    mobility,
+                                    base_seed,
+                                    &sim_config,
+                                    audit,
+                                    &job_cache,
+                                )
+                            },
+                        );
+                        let mut outcomes = Vec::with_capacity(results.len());
+                        let mut attempts = Vec::with_capacity(results.len());
+                        let mut violations = Vec::new();
+                        let mut slow = 0usize;
+                        for (rep, result) in results.into_iter().enumerate() {
+                            attempts.push(result.attempts());
+                            match result {
+                                JobOutcome::Ok {
+                                    value: (m, viols),
+                                    slow: was_slow,
+                                    ..
+                                } => {
+                                    slow += usize::from(was_slow);
+                                    for v in viols {
+                                        violations.push(format!("{key} rep {rep}: {v}"));
+                                    }
+                                    outcomes.push(RunOutcome::Ok(m));
+                                }
+                                JobOutcome::Panicked { message, .. } => {
+                                    outcomes.push(RunOutcome::Panicked(message));
+                                }
+                                JobOutcome::TimedOut { .. } => {
+                                    outcomes.push(RunOutcome::TimedOut);
+                                }
+                            }
+                        }
+                        if slow > 0 {
+                            log.debug(format!(
+                                "{key}: {slow} replication(s) exceeded the soft deadline"
+                            ));
+                        }
                         if let Some(f) = ckpt_file.as_mut() {
-                            writeln!(f, "{}", point_to_line(&key, &outcomes))
+                            writeln!(f, "{}", point_to_line(&key, &outcomes, &attempts))
                                 .and_then(|()| f.flush())
                                 .map_err(|e| format!("checkpoint write failed: {e}"))?;
                         }
-                        outcomes
+                        (outcomes, attempts, violations)
                     }
                 };
+                for v in violations {
+                    report.record_violation(v);
+                }
                 let mobility_label = format!("{}/{}", mobility.label(), cell.label);
-                report.record_point_checked(proto.name, &mobility_label, load, &outcomes);
+                record_supervised_point(
+                    &mut report,
+                    proto.name,
+                    &mobility_label,
+                    load,
+                    &outcomes,
+                    &attempts,
+                );
+                if let Some(budget) = cfg.memory_budget_bytes {
+                    let over = crate::report::current_rss_bytes().is_some_and(|rss| rss > budget);
+                    if over {
+                        let (hits, misses) = cache.stats();
+                        cache_base.0 += hits;
+                        cache_base.1 += misses;
+                        cache = Arc::new(TraceCache::new());
+                        report.memory_degradations += 1;
+                        log.info(format!(
+                            "memory budget exceeded after {key}; trace cache shed, \
+                             continuing cache-cold (checkpoint already flushed)"
+                        ));
+                    }
+                }
             }
         }
         report.record_sweep(
@@ -422,9 +576,87 @@ pub fn run_robustness(
         log.info(format!("cell {} done", cell.label));
     }
 
-    report.record_cache(cache.stats());
+    let (hits, misses) = cache.stats();
+    report.record_cache((cache_base.0 + hits, cache_base.1 + misses));
     report.finish(started.elapsed().as_secs_f64());
     Ok(report)
+}
+
+/// One supervised replication: canonical RNG streams on attempt 0, a
+/// salted stream per retry, optionally audited through an
+/// [`AuditProbe`] in `Record` mode (probes never perturb the run, so
+/// audited metrics stay bit-identical).
+#[allow(clippy::too_many_arguments)]
+fn run_replication(
+    rep: usize,
+    attempt: u32,
+    root: &SimRng,
+    load: u32,
+    mobility: Mobility,
+    base_seed: u64,
+    sim_config: &SimConfig,
+    audit: bool,
+    cache: &TraceCache,
+) -> (RunMetrics, Vec<String>) {
+    let rep = rep as u64;
+    let stream = if attempt == 0 {
+        root.clone()
+    } else {
+        root.derive(RETRY_SALT | u64::from(attempt))
+    };
+    let mut wl_rng = stream.derive(rep * 2 + 1);
+    let sim_rng = stream.derive(rep * 2);
+    let trace = mobility.build_cached(base_seed, rep, cache);
+    let workload = Workload::single_random_flow(load, trace.node_count(), &mut wl_rng);
+    if audit {
+        let mut probe =
+            AuditProbe::new(&workload, sim_config, trace.node_count(), AuditMode::Record);
+        let metrics = simulate_probed(&trace, &workload, sim_config, sim_rng, &mut probe);
+        (metrics, probe.violation_strings())
+    } else {
+        (simulate(&trace, &workload, sim_config, sim_rng), Vec::new())
+    }
+}
+
+/// Fold one point's supervised outcomes into the report: metric
+/// aggregates cover the completed replications, panicked and timed-out
+/// replications each count as a failure, and retries (attempts beyond
+/// each replication's first) are summed.
+fn record_supervised_point(
+    report: &mut SweepReport,
+    protocol: &str,
+    mobility: &str,
+    load: u32,
+    outcomes: &[RunOutcome],
+    attempts: &[u32],
+) {
+    let ok: Vec<RunMetrics> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            RunOutcome::Ok(m) => Some(*m),
+            _ => None,
+        })
+        .collect();
+    let panics = outcomes
+        .iter()
+        .filter(|o| matches!(o, RunOutcome::Panicked(_)))
+        .count();
+    let timed_out = outcomes
+        .iter()
+        .filter(|o| matches!(o, RunOutcome::TimedOut))
+        .count();
+    report.record_point(protocol, mobility, load, &ok);
+    let point = report
+        .points
+        .last_mut()
+        .expect("record_point pushed a point");
+    point.panics = panics;
+    point.timed_out = timed_out;
+    point.failures += panics + timed_out;
+    point.retries = attempts
+        .iter()
+        .map(|&a| u64::from(a.saturating_sub(1)))
+        .sum();
 }
 
 #[cfg(test)]
@@ -448,22 +680,60 @@ mod tests {
     fn outcome_round_trips_bit_exactly() {
         for seed in [1, 2, 99] {
             let metrics = m(seed);
-            let token = outcome_to_json(&Ok(metrics));
-            let back = outcome_from_json(&token).unwrap().unwrap();
-            assert_eq!(metrics, back, "seed {seed}");
+            let token = outcome_to_json(&RunOutcome::Ok(metrics));
+            let back = outcome_from_json(&token).unwrap();
+            assert_eq!(back, RunOutcome::Ok(metrics), "seed {seed}");
         }
-        let panic: Result<RunMetrics, String> = Err("boom at rep 3".into());
-        let back = outcome_from_json(&outcome_to_json(&panic)).unwrap();
-        assert_eq!(back, panic);
+        let panic = RunOutcome::Panicked("boom at rep 3".into());
+        assert_eq!(outcome_from_json(&outcome_to_json(&panic)).unwrap(), panic);
+        let timeout = RunOutcome::TimedOut;
+        assert_eq!(
+            outcome_from_json(&outcome_to_json(&timeout)).unwrap(),
+            timeout
+        );
     }
 
     #[test]
     fn point_line_round_trips_mixed_outcomes() {
-        let outcomes = vec![Ok(m(4)), Err("deliberate".to_string()), Ok(m(5))];
-        let line = point_to_line("cell|Proto|25", &outcomes);
-        let (key, back) = point_from_line(&line).unwrap();
+        let outcomes = vec![
+            RunOutcome::Ok(m(4)),
+            RunOutcome::Panicked("deliberate".to_string()),
+            RunOutcome::TimedOut,
+            RunOutcome::Ok(m(5)),
+        ];
+        let attempts = vec![1, 3, 2, 1];
+        let line = point_to_line("cell|Proto|25", &outcomes, &attempts);
+        let (key, back, back_attempts) = point_from_line(&line).unwrap();
         assert_eq!(key, "cell|Proto|25");
         assert_eq!(back, outcomes);
+        assert_eq!(back_attempts, attempts);
+    }
+
+    #[test]
+    fn memory_guard_degrades_without_changing_results() {
+        let cfg = SweepConfig {
+            loads: vec![5],
+            replications: 1,
+            threads: Threads::Sequential,
+            ..SweepConfig::default()
+        };
+        let mut tight = cfg.clone();
+        tight.memory_budget_bytes = Some(1); // any live process is over this
+        let log = Reporter::new(crate::Verbosity::Quiet);
+        let clean = run_robustness(Mobility::Interval(2000), &cfg, None, false, &log).unwrap();
+        let degraded = run_robustness(Mobility::Interval(2000), &tight, None, false, &log).unwrap();
+        assert!(degraded.memory_degradations > 0, "guard never fired");
+        assert_eq!(clean.points.len(), degraded.points.len());
+        for (a, b) in clean.points.iter().zip(&degraded.points) {
+            assert_eq!(
+                a.delivery_ratio_mean.to_bits(),
+                b.delivery_ratio_mean.to_bits(),
+                "cache shedding must not change results"
+            );
+            assert_eq!(a.failures, b.failures);
+        }
+        // Shedding the cache costs extra trace builds, never correctness.
+        assert!(degraded.trace_cache_misses >= clean.trace_cache_misses);
     }
 
     #[test]

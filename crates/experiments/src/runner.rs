@@ -34,6 +34,24 @@ pub struct SweepConfig {
     /// Fault-injection plan applied to every replication (default: none;
     /// an all-zero plan leaves runs bit-identical to a plan-free build).
     pub faults: FaultPlan,
+    /// How many times a panicking replication is retried on a fresh
+    /// salted RNG stream before being recorded as a failure (0 = one
+    /// attempt, no retries — the pre-watchdog behaviour).
+    pub retries: u32,
+    /// Hard per-replication deadline in seconds. A replication still
+    /// running when it expires is abandoned and recorded as timed out
+    /// instead of hanging the sweep. `None` disables the deadline.
+    pub point_timeout_secs: Option<u64>,
+    /// Attach an [`AuditProbe`](dtn_epidemic::AuditProbe) in `Record`
+    /// mode to every replication and surface any invariant violations in
+    /// the report. Probes never perturb the simulation, so audited
+    /// metrics are bit-identical to un-audited ones.
+    pub audit: bool,
+    /// Resident-set budget in bytes. When a finished point leaves the
+    /// process above this budget the sweep sheds its trace cache
+    /// (checkpoints are already flushed per point) and continues in
+    /// degraded, cache-cold mode. `None` disables the guard.
+    pub memory_budget_bytes: Option<u64>,
 }
 
 impl Default for SweepConfig {
@@ -46,6 +64,10 @@ impl Default for SweepConfig {
             buffer_capacity: 10,
             tx_time_secs: None,
             faults: FaultPlan::default(),
+            retries: 0,
+            point_timeout_secs: None,
+            audit: false,
+            memory_budget_bytes: None,
         }
     }
 }
@@ -58,6 +80,19 @@ impl SweepConfig {
             loads: vec![10, 30, 50],
             replications: 3,
             ..SweepConfig::default()
+        }
+    }
+
+    /// The supervision policy this configuration asks for (see
+    /// [`dtn_sim::Watchdog`]). The soft deadline, when a hard deadline is
+    /// set, is half of it — successful-but-slow replications get flagged
+    /// before they start timing out.
+    pub fn watchdog(&self) -> dtn_sim::Watchdog {
+        let timeout = self.point_timeout_secs.map(std::time::Duration::from_secs);
+        dtn_sim::Watchdog {
+            retries: self.retries,
+            timeout,
+            soft_timeout: timeout.map(|t| t / 2),
         }
     }
 }

@@ -32,7 +32,10 @@ pub mod time;
 
 pub use engine::{Engine, Flow, Handler, Scheduler, StopReason};
 pub use events::EventQueue;
-pub use parallel::{panic_message, par_map_catch, par_map_indexed, Pool, Threads};
+pub use parallel::{
+    panic_message, par_map_catch, par_map_indexed, par_map_supervised, JobOutcome, Pool, Threads,
+    Watchdog,
+};
 pub use rng::SimRng;
 pub use stats::{Histogram, HistogramBucket, Summary, TimeWeighted, Welford};
 pub use time::{SimDuration, SimTime};

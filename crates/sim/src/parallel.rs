@@ -187,6 +187,157 @@ where
         .collect()
 }
 
+/// Supervision policy for watchdog-supervised jobs
+/// ([`par_map_supervised`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Watchdog {
+    /// How many times a *panicking* job is retried before giving up (0 =
+    /// one attempt, no retries). Each retry calls the job with the next
+    /// attempt number so it can salt its RNG stream onto a fresh path.
+    pub retries: u32,
+    /// Hard per-attempt deadline. An attempt still running when it
+    /// expires is abandoned (its thread is left to finish into the void)
+    /// and the job is recorded as [`JobOutcome::TimedOut`] — hangs are
+    /// not retried, since a livelock would burn every retry and a zombie
+    /// thread apiece. `None` disables the deadline and runs jobs inline
+    /// on the worker.
+    pub timeout: Option<std::time::Duration>,
+    /// Soft deadline: attempts that *succeed* but take at least this
+    /// long are flagged `slow` in their outcome, for reporting. `None`
+    /// disables the flag.
+    pub soft_timeout: Option<std::time::Duration>,
+}
+
+/// The supervised outcome of one job index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome<T> {
+    /// The job completed. `attempts` counts every attempt made including
+    /// the successful one; `slow` is set when the successful attempt
+    /// exceeded the watchdog's soft deadline.
+    Ok {
+        /// The job's result.
+        value: T,
+        /// Attempts made, including the successful one (≥ 1).
+        attempts: u32,
+        /// The successful attempt exceeded the soft deadline.
+        slow: bool,
+    },
+    /// Every attempt panicked; `message` is the last panic's payload.
+    Panicked {
+        /// Attempts made, all panicking.
+        attempts: u32,
+        /// The final panic message.
+        message: String,
+    },
+    /// An attempt outlived the hard deadline and was abandoned.
+    TimedOut {
+        /// Attempts made, including the abandoned one.
+        attempts: u32,
+    },
+}
+
+impl<T> JobOutcome<T> {
+    /// The result value, if the job completed.
+    pub fn value(self) -> Option<T> {
+        match self {
+            JobOutcome::Ok { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Attempts made, whatever the outcome.
+    pub fn attempts(&self) -> u32 {
+        match *self {
+            JobOutcome::Ok { attempts, .. }
+            | JobOutcome::Panicked { attempts, .. }
+            | JobOutcome::TimedOut { attempts } => attempts,
+        }
+    }
+}
+
+/// What one attempt reported back to its supervisor.
+enum Attempt<T> {
+    Done(T),
+    Panicked(String),
+    TimedOut,
+}
+
+/// Watchdog-supervised [`par_map_catch`]: run `f(index, attempt)` for
+/// every `i in 0..n` with bounded retry-on-panic and an optional hard
+/// per-attempt deadline, returning per-index [`JobOutcome`]s in index
+/// order.
+///
+/// The attempt number (0 for the first try) lets the job derive a fresh
+/// salted RNG stream per retry — replaying the exact seed that just
+/// panicked would panic again deterministically. Attempt 0 must use the
+/// canonical derivation so an unsupervised run and a supervised run that
+/// needed no retries produce identical bytes.
+///
+/// With a hard deadline configured, each attempt runs on its own
+/// detached thread and the worker waits on a channel with
+/// `recv_timeout`; an attempt that misses the deadline is abandoned (the
+/// detached thread's eventual send lands in a dropped channel and
+/// evaporates) and recorded as [`JobOutcome::TimedOut`] without retry,
+/// so one hung replication cannot stall its siblings or the sweep.
+pub fn par_map_supervised<T, F>(
+    threads: Threads,
+    n: usize,
+    watchdog: Watchdog,
+    f: F,
+) -> Vec<JobOutcome<T>>
+where
+    T: Send + 'static,
+    F: Fn(usize, u32) -> T + Send + Sync + 'static,
+{
+    let f = std::sync::Arc::new(f);
+    let supervise = move |i: usize| {
+        let mut attempts = 0u32;
+        loop {
+            let attempt = attempts;
+            attempts += 1;
+            let started = std::time::Instant::now();
+            let outcome: Attempt<T> = match watchdog.timeout {
+                None => match catch_unwind(AssertUnwindSafe(|| f(i, attempt))) {
+                    Ok(v) => Attempt::Done(v),
+                    Err(p) => Attempt::Panicked(panic_message(p.as_ref())),
+                },
+                Some(deadline) => {
+                    let (tx, rx) = std::sync::mpsc::channel();
+                    let job = std::sync::Arc::clone(&f);
+                    std::thread::spawn(move || {
+                        let r = catch_unwind(AssertUnwindSafe(|| job(i, attempt)));
+                        let _ = tx.send(r.map_err(|p| panic_message(p.as_ref())));
+                    });
+                    match rx.recv_timeout(deadline) {
+                        Ok(Ok(v)) => Attempt::Done(v),
+                        Ok(Err(message)) => Attempt::Panicked(message),
+                        Err(_) => Attempt::TimedOut,
+                    }
+                }
+            };
+            match outcome {
+                Attempt::Done(value) => {
+                    let slow = watchdog
+                        .soft_timeout
+                        .is_some_and(|soft| started.elapsed() >= soft);
+                    return JobOutcome::Ok {
+                        value,
+                        attempts,
+                        slow,
+                    };
+                }
+                Attempt::Panicked(message) => {
+                    if attempts > watchdog.retries {
+                        return JobOutcome::Panicked { attempts, message };
+                    }
+                }
+                Attempt::TimedOut => return JobOutcome::TimedOut { attempts },
+            }
+        }
+    };
+    par_map_indexed(threads, n, supervise)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +431,111 @@ mod tests {
         }));
         let payload = caught.expect_err("panic should propagate");
         assert_eq!(panic_message(payload.as_ref()), "replication 1 exploded");
+    }
+
+    #[test]
+    fn supervised_without_watchdog_matches_plain_map() {
+        let out = par_map_supervised(Threads::Sequential, 5, Watchdog::default(), |i, attempt| {
+            assert_eq!(attempt, 0, "no retries without panics");
+            i * 2
+        });
+        let values: Vec<usize> = out.into_iter().map(|o| o.value().unwrap()).collect();
+        assert_eq!(values, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn supervised_retries_panics_up_to_the_budget() {
+        use std::sync::atomic::AtomicU32;
+        let calls = AtomicU32::new(0);
+        let calls_ref = std::sync::Arc::new(calls);
+        let seen = std::sync::Arc::clone(&calls_ref);
+        let wd = Watchdog {
+            retries: 3,
+            ..Watchdog::default()
+        };
+        let out = par_map_supervised(Threads::Sequential, 1, wd, move |_, attempt| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            if attempt < 2 {
+                panic!("attempt {attempt} diverged");
+            }
+            attempt
+        });
+        assert_eq!(
+            out[0],
+            JobOutcome::Ok {
+                value: 2,
+                attempts: 3,
+                slow: false
+            }
+        );
+        assert_eq!(calls_ref.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn supervised_reports_exhausted_retries_with_last_message() {
+        let wd = Watchdog {
+            retries: 2,
+            ..Watchdog::default()
+        };
+        let out = par_map_supervised(Threads::Sequential, 2, wd, |i, attempt| {
+            if i == 0 {
+                panic!("attempt {attempt} always fails");
+            }
+            i
+        });
+        assert_eq!(
+            out[0],
+            JobOutcome::Panicked {
+                attempts: 3,
+                message: "attempt 2 always fails".to_string()
+            }
+        );
+        assert_eq!(out[1].clone().value(), Some(1), "sibling unaffected");
+    }
+
+    #[test]
+    fn supervised_times_out_hangs_without_poisoning_siblings() {
+        let wd = Watchdog {
+            retries: 5,
+            timeout: Some(std::time::Duration::from_millis(50)),
+            ..Watchdog::default()
+        };
+        let out = par_map_supervised(
+            Threads::Fixed(NonZeroUsize::new(2).unwrap()),
+            4,
+            wd,
+            |i, _| {
+                if i == 1 {
+                    // A hang, from the supervisor's point of view.
+                    std::thread::sleep(std::time::Duration::from_secs(600));
+                }
+                i * 7
+            },
+        );
+        assert_eq!(out[1], JobOutcome::TimedOut { attempts: 1 });
+        for i in [0usize, 2, 3] {
+            assert_eq!(out[i].clone().value(), Some(i * 7), "sibling {i} poisoned");
+        }
+    }
+
+    #[test]
+    fn supervised_flags_slow_successes() {
+        let wd = Watchdog {
+            soft_timeout: Some(std::time::Duration::from_millis(1)),
+            ..Watchdog::default()
+        };
+        let out = par_map_supervised(Threads::Sequential, 1, wd, |_, _| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            42
+        });
+        assert_eq!(
+            out[0],
+            JobOutcome::Ok {
+                value: 42,
+                attempts: 1,
+                slow: true
+            }
+        );
     }
 
     #[test]
