@@ -172,7 +172,7 @@ pub enum AckPropagation {
 }
 
 /// A complete protocol: one choice along each axis, plus a display name.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProtocolConfig {
     /// Human-readable protocol name (used in figures and tables).
     pub name: &'static str,

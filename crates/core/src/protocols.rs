@@ -150,6 +150,79 @@ pub fn all_protocols() -> Vec<ProtocolConfig> {
     ]
 }
 
+/// The canonical spec string of every protocol in [`all_protocols`], in
+/// the same order. Feeding each through [`from_spec`] reproduces the
+/// preset exactly, so a spec string is a faithful wire/cache identity for
+/// a protocol (the service layer keys its result cache on these).
+pub const ALL_SPECS: [&str; 8] = [
+    "pure",
+    "pq=1,1",
+    "ttl=300",
+    "dynttl",
+    "ec",
+    "ecttl",
+    "immunity",
+    "cumulative",
+];
+
+/// Parse a protocol spec string — the single canonical name→protocol
+/// table shared by every binary and the service layer:
+///
+/// ```text
+/// pure | pq[=P,Q] | ttl[=SECS] | dynttl[=MULT] | ec | ecttl |
+/// immunity | cumulative
+/// ```
+///
+/// Names without arguments resolve to the paper's presets; `pq`, `ttl`
+/// and `dynttl` accept parameter overrides.
+pub fn from_spec(spec: &str) -> Result<ProtocolConfig, String> {
+    let (name, arg) = match spec.split_once('=') {
+        Some((n, a)) => (n, Some(a)),
+        None => (spec, None),
+    };
+    let parse_f64 = |s: &str| {
+        s.parse::<f64>()
+            .map_err(|e| format!("bad number {s:?}: {e}"))
+    };
+    let parse_u64 = |s: &str| {
+        s.parse::<u64>()
+            .map_err(|e| format!("bad number {s:?}: {e}"))
+    };
+    match name {
+        "pure" => Ok(pure_epidemic()),
+        "pq" => match arg {
+            None => Ok(pq_epidemic(1.0, 1.0)),
+            Some(a) => {
+                let (p, q) = a
+                    .split_once(',')
+                    .ok_or_else(|| format!("pq wants P,Q — got {a:?}"))?;
+                Ok(pq_epidemic(parse_f64(p)?, parse_f64(q)?))
+            }
+        },
+        "ttl" => {
+            let secs = arg.map(parse_u64).transpose()?.unwrap_or(300);
+            Ok(ttl_epidemic(SimDuration::from_secs(secs)))
+        }
+        "dynttl" => match arg {
+            None => Ok(dynamic_ttl_epidemic()),
+            Some(a) => {
+                let mut p = dynamic_ttl_epidemic();
+                p.lifetime = LifetimePolicy::DynamicTtl {
+                    multiplier: parse_f64(a)?,
+                };
+                Ok(p)
+            }
+        },
+        "ec" => Ok(ec_epidemic()),
+        "ecttl" => Ok(ec_ttl_epidemic()),
+        "immunity" => Ok(immunity_epidemic()),
+        "cumulative" => Ok(cumulative_immunity_epidemic()),
+        other => Err(format!(
+            "unknown protocol {other:?} (pure, pq, ttl, dynttl, ec, ecttl, immunity, cumulative)"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +257,38 @@ mod tests {
         assert_eq!(pq.lifetime, pure.lifetime);
         assert_eq!(pq.transmit.probability(true), 1.0);
         assert_eq!(pq.transmit.probability(false), 1.0);
+    }
+
+    #[test]
+    fn spec_table_mirrors_the_preset_list() {
+        let protos = all_protocols();
+        assert_eq!(ALL_SPECS.len(), protos.len());
+        for (spec, preset) in ALL_SPECS.iter().zip(&protos) {
+            let parsed = from_spec(spec).unwrap();
+            assert_eq!(&parsed, preset, "spec {spec:?} diverged from its preset");
+        }
+    }
+
+    #[test]
+    fn spec_overrides_and_errors() {
+        match from_spec("pq=0.3,0.7").unwrap().transmit {
+            TransmitPolicy::Probabilistic { p, q } => {
+                assert_eq!(p, 0.3);
+                assert_eq!(q, 0.7);
+            }
+            other => panic!("wrong transmit: {other:?}"),
+        }
+        match from_spec("ttl=50").unwrap().lifetime {
+            LifetimePolicy::FixedTtl { ttl } => assert_eq!(ttl, SimDuration::from_secs(50)),
+            other => panic!("wrong lifetime: {other:?}"),
+        }
+        match from_spec("dynttl=3.5").unwrap().lifetime {
+            LifetimePolicy::DynamicTtl { multiplier } => assert_eq!(multiplier, 3.5),
+            other => panic!("wrong lifetime: {other:?}"),
+        }
+        assert!(from_spec("gossip").is_err());
+        assert!(from_spec("pq=0.5").is_err(), "pq needs two parameters");
+        assert!(from_spec("ttl=abc").is_err());
     }
 
     #[test]

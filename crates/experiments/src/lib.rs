@@ -7,6 +7,10 @@
 //!   point RWP, controlled-interval) with the paper's seeding semantics;
 //! * [`runner`] — the load sweep × replication machinery, parallelized
 //!   across cores with deterministic, thread-count-invariant results;
+//! * [`jobs`] — self-contained per-point job units ([`PointJob`]) with
+//!   canonical serialization, shared by the local drivers and the
+//!   `dtn-service` daemon so cached results are bit-identical to fresh
+//!   ones;
 //! * [`figures`] — `fig07()` … `fig20()`, one driver per paper figure;
 //! * [`tables`] — Table II and the signaling-overhead comparison;
 //! * [`output`] — CSV and aligned-text rendering;
@@ -29,6 +33,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod jobs;
 pub mod output;
 pub mod report;
 pub mod reporter;
@@ -39,14 +44,16 @@ pub mod tables;
 
 pub use ablations::{all_ablations, mobility_table};
 pub use figures::{all_figures, Metric};
-pub use output::{Figure, Series, TextTable};
+pub use jobs::{PointJob, PointOutcome};
+pub use output::{ensure_dir, Figure, Series, TextTable};
 pub use report::{
     current_rss_bytes, git_rev, peak_rss_bytes, unix_time_secs, NamedHistogram, PointReport,
     RunManifest, SweepReport, SweepTiming,
 };
 pub use reporter::{Reporter, Verbosity};
 pub use robustness::{
-    fault_grid, run_robustness, run_robustness_watched, FaultCell, InjectHook, RunOutcome,
+    assemble_grid_report, fault_grid, grid_point_jobs, record_supervised_point, run_robustness,
+    run_robustness_watched, FaultCell, GridPoint, InjectHook, RunOutcome,
 };
 pub use runner::{
     aggregate_point, aggregate_point_checked, point_sim_config, run_point_checked_cached,

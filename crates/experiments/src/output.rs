@@ -8,6 +8,23 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
+/// Race-safe output-directory creation: like `create_dir_all`, but a
+/// concurrent creator winning the race is success, not an error. Two
+/// clients writing under `results/` at the same time — exactly what the
+/// `dtn-service` daemon makes routine — must never fail spuriously, so
+/// `AlreadyExists` is swallowed and any other error is retried once
+/// against the directory's post-race state.
+pub fn ensure_dir(dir: &Path) -> std::io::Result<()> {
+    match std::fs::create_dir_all(dir) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(()),
+        Err(e) => match std::fs::metadata(dir) {
+            Ok(meta) if meta.is_dir() => Ok(()),
+            _ => Err(e),
+        },
+    }
+}
+
 /// One plotted line: `(x, y)` points plus a 95 % CI half-width per point.
 #[derive(Clone, Debug)]
 pub struct Series {
@@ -103,7 +120,7 @@ impl Figure {
 
     /// Write the CSV next to the other results.
     pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
-        std::fs::create_dir_all(dir)?;
+        ensure_dir(dir)?;
         let path = dir.join(format!("{}.csv", self.id));
         std::fs::write(&path, self.to_csv())?;
         Ok(path)
@@ -144,7 +161,7 @@ impl Figure {
 
     /// Write the gnuplot script next to the CSV.
     pub fn write_gnuplot(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
-        std::fs::create_dir_all(dir)?;
+        ensure_dir(dir)?;
         let path = dir.join(format!("{}.gp", self.id));
         std::fs::write(&path, self.to_gnuplot())?;
         Ok(path)
@@ -222,7 +239,7 @@ impl TextTable {
 
     /// Write the CSV next to the other results.
     pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
-        std::fs::create_dir_all(dir)?;
+        ensure_dir(dir)?;
         let path = dir.join(format!("{}.csv", self.id));
         std::fs::write(&path, self.to_csv())?;
         Ok(path)

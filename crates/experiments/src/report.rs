@@ -532,6 +532,30 @@ impl SweepReport {
         out
     }
 
+    /// Render the report as JSON with every wall-clock- and
+    /// machine-dependent field masked to a fixed value: `wall_secs` and
+    /// all per-sweep timings become 0 (and with them the derived
+    /// `sweeps_per_sec`/`contacts_per_sec`), `peak_rss_bytes` becomes
+    /// `null`, and the trace-cache counters become 0.
+    ///
+    /// What survives is exactly the deterministic content — workload,
+    /// per-point aggregates, violations, histograms — so two runs of the
+    /// same work are **byte-identical** here regardless of machine,
+    /// thread count, or whether results came from the `dtn-service`
+    /// cache. The service integration tests and the CI `service-matrix`
+    /// job compare this rendering with `cmp`.
+    pub fn to_canonical_json(&self) -> String {
+        let mut canon = self.clone();
+        canon.wall_secs = 0.0;
+        canon.trace_cache_hits = 0;
+        canon.trace_cache_misses = 0;
+        canon.peak_rss_bytes = None;
+        for t in &mut canon.timings {
+            t.wall_secs = 0.0;
+        }
+        canon.to_json()
+    }
+
     /// Write the JSON rendering to `path`.
     pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         std::fs::write(path, self.to_json())
@@ -628,6 +652,26 @@ mod tests {
         let line = m.to_jsonl();
         assert!(line.starts_with("{\"manifest\":\"dtnsim\""), "{line}");
         assert_eq!(dtn_epidemic::Event::parse_jsonl(&line), None);
+    }
+
+    #[test]
+    fn canonical_json_masks_only_the_volatile_fields() {
+        let build = |wall: f64, cache: (u64, u64)| {
+            let mut r = SweepReport::new("canon");
+            r.record_sweep("cell @ trace", wall / 2.0);
+            r.record_violation("k rep 0: v");
+            r.record_cache(cache);
+            r.finish(wall);
+            r
+        };
+        let a = build(1.0, (10, 2));
+        let b = build(7.5, (0, 12));
+        assert_ne!(a.to_json(), b.to_json(), "volatile fields must differ");
+        assert_eq!(a.to_canonical_json(), b.to_canonical_json());
+        // Deterministic content still distinguishes reports.
+        let mut c = build(1.0, (10, 2));
+        c.record_violation("k rep 1: other");
+        assert_ne!(a.to_canonical_json(), c.to_canonical_json());
     }
 
     #[test]

@@ -17,19 +17,24 @@
 //! JSONL checkpoint that `--resume` replays: already-completed points are
 //! loaded bit-exactly (floats travel as IEEE-754 bit patterns, never
 //! through decimal) and only the remainder is simulated.
+//!
+//! The unit of work is a [`PointJob`] (see [`crate::jobs`]):
+//! [`grid_point_jobs`] enumerates the grid as self-contained jobs, the
+//! local driver runs them in place, and a `dtnsim --connect` client ships
+//! the very same jobs to a `dtnsimd` daemon and reassembles the report
+//! with [`assemble_grid_report`] — canonically identical either way.
 
-use crate::runner::{point_sim_config, SweepConfig};
+use crate::jobs::{outcome_from_json, outcome_to_json, PointJob, PointOutcome};
+use crate::runner::SweepConfig;
 use crate::scenarios::Mobility;
 use crate::{Reporter, SweepReport, TraceCache};
-use dtn_epidemic::{
-    protocols, simulate, simulate_probed, AuditMode, AuditProbe, ChurnMode, ChurnPlan, FaultPlan,
-    GilbertElliott, RunMetrics, SimConfig, Workload,
-};
-use dtn_sim::{par_map_supervised, JobOutcome, SimRng, SimTime};
+use dtn_epidemic::{protocols, ChurnMode, ChurnPlan, FaultPlan, GilbertElliott, RunMetrics};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::Arc;
+
+pub use crate::jobs::{InjectHook, RunOutcome};
 
 /// One cell of the robustness grid: a label and its fault plan.
 #[derive(Clone, Debug)]
@@ -107,148 +112,54 @@ pub fn fault_grid() -> Vec<FaultCell> {
     ]
 }
 
-/// One supervised replication outcome, as stored in checkpoints and
-/// folded into the report.
-#[derive(Clone, Debug, PartialEq)]
-pub enum RunOutcome {
-    /// The replication finished, possibly after salted retries.
-    Ok(RunMetrics),
-    /// Every attempt panicked; the final panic message is kept.
-    Panicked(String),
-    /// The replication outlived the watchdog's hard deadline and was
-    /// abandoned without poisoning its siblings.
-    TimedOut,
-}
-
-/// A test seam for the supervisor itself: called at the top of every
-/// replication attempt with `(point key, replication, attempt)`, free to
-/// panic (exercising bounded retry) or sleep (exercising the hard
-/// deadline). Production callers pass `None` — [`run_robustness`] does.
-pub type InjectHook = Arc<dyn Fn(&str, usize, u32) + Send + Sync>;
-
-/// Salt namespace for retry attempts — far above the `rep * 2 (+ 1)`
-/// stream indices the canonical attempt-0 derivation uses, so a retried
-/// replication walks a genuinely fresh path (replaying the exact seed
-/// that just panicked would panic again deterministically).
-const RETRY_SALT: u64 = 0x57AC_0000;
-
 /// Checkpoint key of one grid point.
-fn point_key(cell: &str, protocol: &str, load: u32) -> String {
+pub fn point_key(cell: &str, protocol: &str, load: u32) -> String {
     format!("{cell}|{protocol}|{load}")
 }
 
-/// An `f64` as its IEEE-754 bit pattern in hex — survives a JSON
-/// round-trip bit-exactly, which decimal rendering cannot guarantee.
-fn f64_hex(v: f64) -> String {
-    format!("\"{:016x}\"", v.to_bits())
+/// One grid point with its full identity: display labels, the
+/// checkpoint key, and the self-contained [`PointJob`] that computes it.
+#[derive(Clone, Debug)]
+pub struct GridPoint {
+    /// The fault-grid cell label.
+    pub cell_label: &'static str,
+    /// The protocol's display name (report column).
+    pub protocol_name: &'static str,
+    /// The protocol's canonical spec string (wire/cache identity).
+    pub protocol_spec: &'static str,
+    /// Bundles per flow.
+    pub load: u32,
+    /// Checkpoint key (`"{cell}|{protocol}|{load}"`).
+    pub key: String,
+    /// The job computing this point.
+    pub job: PointJob,
 }
 
-fn parse_f64_hex(tok: &str) -> Result<f64, String> {
-    let hex = tok
-        .strip_prefix('"')
-        .and_then(|t| t.strip_suffix('"'))
-        .ok_or_else(|| format!("expected quoted hex f64, got {tok:?}"))?;
-    u64::from_str_radix(hex, 16)
-        .map(f64::from_bits)
-        .map_err(|e| format!("bad f64 bits {hex:?}: {e}"))
-}
-
-/// One replication outcome as a checkpoint token: a fixed-order JSON
-/// array for a success, `{"panic":…}` for an isolated panic, or
-/// `{"timeout":true}` for an abandoned attempt.
-fn outcome_to_json(outcome: &RunOutcome) -> String {
-    match outcome {
-        RunOutcome::TimedOut => "{\"timeout\":true}".to_string(),
-        RunOutcome::Panicked(msg) => {
-            format!("{{\"panic\":\"{}\"}}", crate::report::json_escape(msg))
+/// Enumerate the robustness grid as self-contained jobs, in canonical
+/// order (cells outer, protocols middle, loads inner) — the order
+/// [`run_robustness`] executes and [`assemble_grid_report`] expects.
+pub fn grid_point_jobs(mobility: Mobility, cfg: &SweepConfig) -> Result<Vec<GridPoint>, String> {
+    let grid = fault_grid();
+    let protos = protocols::all_protocols();
+    let mut points = Vec::with_capacity(grid.len() * protos.len() * cfg.loads.len());
+    for cell in &grid {
+        let mut cell_cfg = cfg.clone();
+        cell_cfg.faults = cell.plan.clone();
+        cell_cfg.faults.validate()?;
+        for (spec, proto) in protocols::ALL_SPECS.iter().zip(&protos) {
+            for &load in &cfg.loads {
+                points.push(GridPoint {
+                    cell_label: cell.label,
+                    protocol_name: proto.name,
+                    protocol_spec: spec,
+                    load,
+                    key: point_key(cell.label, proto.name, load),
+                    job: PointJob::from_sweep(*spec, mobility, load, &cell_cfg),
+                });
+            }
         }
-        RunOutcome::Ok(m) => format!(
-            "[{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}]",
-            m.total_bundles,
-            m.delivered,
-            f64_hex(m.delivery_ratio),
-            m.completion_time
-                .map(|t| t.as_millis().to_string())
-                .unwrap_or_else(|| "null".into()),
-            f64_hex(m.avg_buffer_occupancy),
-            f64_hex(m.peak_buffer_occupancy),
-            f64_hex(m.avg_duplication_rate),
-            m.contacts_processed,
-            m.bundle_transmissions,
-            m.ack_records_sent,
-            m.evictions,
-            m.expirations,
-            m.rejections,
-            m.immunity_purges,
-            m.transfer_losses,
-            m.payload_bytes_sent,
-            m.control_bytes_sent,
-            m.contacts_skipped,
-            m.sessions_truncated,
-            m.ack_losses,
-            m.churn_wipes,
-            m.churn_drops,
-            m.end_time.as_millis(),
-        ),
     }
-}
-
-fn outcome_from_json(tok: &str) -> Result<RunOutcome, String> {
-    let tok = tok.trim();
-    if tok == "{\"timeout\":true}" {
-        return Ok(RunOutcome::TimedOut);
-    }
-    if let Some(rest) = tok.strip_prefix("{\"panic\":\"") {
-        let msg = rest
-            .strip_suffix("\"}")
-            .ok_or_else(|| format!("bad panic token {tok:?}"))?;
-        return Ok(RunOutcome::Panicked(msg.to_string()));
-    }
-    let body = tok
-        .strip_prefix('[')
-        .and_then(|t| t.strip_suffix(']'))
-        .ok_or_else(|| format!("expected array token, got {tok:?}"))?;
-    let fields: Vec<&str> = body.split(',').collect();
-    if fields.len() != 23 {
-        return Err(format!("expected 23 fields, got {}", fields.len()));
-    }
-    let int = |i: usize| -> Result<u64, String> {
-        fields[i]
-            .trim()
-            .parse::<u64>()
-            .map_err(|e| format!("field {i}: {e}"))
-    };
-    let completion_time = match fields[3].trim() {
-        "null" => None,
-        ms => Some(SimTime::from_millis(
-            ms.parse::<u64>().map_err(|e| format!("field 3: {e}"))?,
-        )),
-    };
-    Ok(RunOutcome::Ok(RunMetrics {
-        total_bundles: int(0)? as u32,
-        delivered: int(1)? as u32,
-        delivery_ratio: parse_f64_hex(fields[2].trim())?,
-        completion_time,
-        avg_buffer_occupancy: parse_f64_hex(fields[4].trim())?,
-        peak_buffer_occupancy: parse_f64_hex(fields[5].trim())?,
-        avg_duplication_rate: parse_f64_hex(fields[6].trim())?,
-        contacts_processed: int(7)?,
-        bundle_transmissions: int(8)?,
-        ack_records_sent: int(9)?,
-        evictions: int(10)?,
-        expirations: int(11)?,
-        rejections: int(12)?,
-        immunity_purges: int(13)?,
-        transfer_losses: int(14)?,
-        payload_bytes_sent: int(15)?,
-        control_bytes_sent: int(16)?,
-        contacts_skipped: int(17)?,
-        sessions_truncated: int(18)?,
-        ack_losses: int(19)?,
-        churn_wipes: int(20)?,
-        churn_drops: int(21)?,
-        end_time: SimTime::from_millis(int(22)?),
-    }))
+    Ok(points)
 }
 
 /// One finished point as a checkpoint line (no trailing newline): the
@@ -349,11 +260,7 @@ fn manifest_line(mobility: Mobility, cfg: &SweepConfig) -> String {
 /// The manifest must match the current configuration — resuming under a
 /// different seed or replication count would silently mix incompatible
 /// results, so a mismatch is an error.
-fn load_checkpoint(
-    path: &Path,
-    mobility: Mobility,
-    cfg: &SweepConfig,
-) -> Result<DoneMap, String> {
+fn load_checkpoint(path: &Path, mobility: Mobility, cfg: &SweepConfig) -> Result<DoneMap, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
@@ -378,6 +285,19 @@ fn load_checkpoint(
         done.insert(key, (outcomes, attempts));
     }
     Ok(done)
+}
+
+/// The workload description of a robustness report — shared verbatim by
+/// the local driver and the service client so assembled reports match.
+fn grid_workload(mobility: Mobility, cfg: &SweepConfig) -> String {
+    format!(
+        "robustness grid: {} cells x {} protocols x {} loads x {} replications @ {}",
+        fault_grid().len(),
+        protocols::all_protocols().len(),
+        cfg.loads.len(),
+        cfg.replications,
+        mobility.label(),
+    )
 }
 
 /// Run the full robustness preset: every protocol in
@@ -413,8 +333,7 @@ pub fn run_robustness_watched(
     log: &Reporter,
     inject: Option<InjectHook>,
 ) -> Result<SweepReport, String> {
-    let grid = fault_grid();
-    let protos = protocols::all_protocols();
+    let points = grid_point_jobs(mobility, cfg)?;
 
     let mut done: DoneMap = HashMap::new();
     if resume {
@@ -454,126 +373,73 @@ pub fn run_robustness_watched(
     let mut cache = Arc::new(TraceCache::new());
     // Hit/miss counters accumulated across memory-guard cache sheds.
     let mut cache_base = (0u64, 0u64);
-    let mut report = SweepReport::new(format!(
-        "robustness grid: {} cells x {} protocols x {} loads x {} replications @ {}",
-        grid.len(),
-        protos.len(),
-        cfg.loads.len(),
-        cfg.replications,
-        mobility.label(),
-    ));
+    let mut report = SweepReport::new(grid_workload(mobility, cfg));
 
-    for cell in &grid {
-        let cell_started = std::time::Instant::now();
-        let mut cell_cfg = cfg.clone();
-        cell_cfg.faults = cell.plan.clone();
-        cell_cfg.faults.validate()?;
-        for proto in &protos {
-            for &load in &cfg.loads {
-                let key = point_key(cell.label, proto.name, load);
-                let (outcomes, attempts, violations) = match done.remove(&key) {
-                    Some((outcomes, attempts)) => (outcomes, attempts, Vec::new()),
-                    None => {
-                        let sim_config = point_sim_config(proto, mobility, &cell_cfg);
-                        let root = SimRng::new(cell_cfg.base_seed ^ (load as u64) << 32);
-                        let job_cache = Arc::clone(&cache);
-                        let job_key = key.clone();
-                        let job_inject = inject.clone();
-                        let base_seed = cell_cfg.base_seed;
-                        let audit = cell_cfg.audit;
-                        let results = par_map_supervised(
-                            cell_cfg.threads,
-                            cell_cfg.replications,
-                            cell_cfg.watchdog(),
-                            move |rep, attempt| {
-                                if let Some(hook) = &job_inject {
-                                    hook(&job_key, rep, attempt);
-                                }
-                                run_replication(
-                                    rep,
-                                    attempt,
-                                    &root,
-                                    load,
-                                    mobility,
-                                    base_seed,
-                                    &sim_config,
-                                    audit,
-                                    &job_cache,
-                                )
-                            },
-                        );
-                        let mut outcomes = Vec::with_capacity(results.len());
-                        let mut attempts = Vec::with_capacity(results.len());
-                        let mut violations = Vec::new();
-                        let mut slow = 0usize;
-                        for (rep, result) in results.into_iter().enumerate() {
-                            attempts.push(result.attempts());
-                            match result {
-                                JobOutcome::Ok {
-                                    value: (m, viols),
-                                    slow: was_slow,
-                                    ..
-                                } => {
-                                    slow += usize::from(was_slow);
-                                    for v in viols {
-                                        violations.push(format!("{key} rep {rep}: {v}"));
-                                    }
-                                    outcomes.push(RunOutcome::Ok(m));
-                                }
-                                JobOutcome::Panicked { message, .. } => {
-                                    outcomes.push(RunOutcome::Panicked(message));
-                                }
-                                JobOutcome::TimedOut { .. } => {
-                                    outcomes.push(RunOutcome::TimedOut);
-                                }
-                            }
-                        }
-                        if slow > 0 {
-                            log.debug(format!(
-                                "{key}: {slow} replication(s) exceeded the soft deadline"
-                            ));
-                        }
-                        if let Some(f) = ckpt_file.as_mut() {
-                            writeln!(f, "{}", point_to_line(&key, &outcomes, &attempts))
-                                .and_then(|()| f.flush())
-                                .map_err(|e| format!("checkpoint write failed: {e}"))?;
-                        }
-                        (outcomes, attempts, violations)
-                    }
-                };
-                for v in violations {
-                    report.record_violation(v);
+    let mut cell_started = std::time::Instant::now();
+    for (i, gp) in points.iter().enumerate() {
+        let key = &gp.key;
+        let (outcomes, attempts, violations) = match done.remove(key) {
+            Some((outcomes, attempts)) => (outcomes, attempts, Vec::new()),
+            None => {
+                let out = gp
+                    .job
+                    .run_hooked(cfg.threads, &cache, inject.clone(), key)?;
+                if out.slow > 0 {
+                    log.debug(format!(
+                        "{key}: {} replication(s) exceeded the soft deadline",
+                        out.slow
+                    ));
                 }
-                let mobility_label = format!("{}/{}", mobility.label(), cell.label);
-                record_supervised_point(
-                    &mut report,
-                    proto.name,
-                    &mobility_label,
-                    load,
-                    &outcomes,
-                    &attempts,
-                );
-                if let Some(budget) = cfg.memory_budget_bytes {
-                    let over = crate::report::current_rss_bytes().is_some_and(|rss| rss > budget);
-                    if over {
-                        let (hits, misses) = cache.stats();
-                        cache_base.0 += hits;
-                        cache_base.1 += misses;
-                        cache = Arc::new(TraceCache::new());
-                        report.memory_degradations += 1;
-                        log.info(format!(
-                            "memory budget exceeded after {key}; trace cache shed, \
-                             continuing cache-cold (checkpoint already flushed)"
-                        ));
-                    }
+                if let Some(f) = ckpt_file.as_mut() {
+                    writeln!(f, "{}", point_to_line(key, &out.outcomes, &out.attempts))
+                        .and_then(|()| f.flush())
+                        .map_err(|e| format!("checkpoint write failed: {e}"))?;
                 }
+                let violations = out
+                    .violations
+                    .iter()
+                    .map(|v| format!("{key} {v}"))
+                    .collect();
+                (out.outcomes, out.attempts, violations)
+            }
+        };
+        for v in violations {
+            report.record_violation(v);
+        }
+        let mobility_label = format!("{}/{}", mobility.label(), gp.cell_label);
+        record_supervised_point(
+            &mut report,
+            gp.protocol_name,
+            &mobility_label,
+            gp.load,
+            &outcomes,
+            &attempts,
+        );
+        if let Some(budget) = cfg.memory_budget_bytes {
+            let over = crate::report::current_rss_bytes().is_some_and(|rss| rss > budget);
+            if over {
+                let (hits, misses) = cache.stats();
+                cache_base.0 += hits;
+                cache_base.1 += misses;
+                cache = Arc::new(TraceCache::new());
+                report.memory_degradations += 1;
+                log.info(format!(
+                    "memory budget exceeded after {key}; trace cache shed, \
+                     continuing cache-cold (checkpoint already flushed)"
+                ));
             }
         }
-        report.record_sweep(
-            format!("{} @ {}", cell.label, mobility.label()),
-            cell_started.elapsed().as_secs_f64(),
-        );
-        log.info(format!("cell {} done", cell.label));
+        let cell_done = points
+            .get(i + 1)
+            .map_or(true, |next| next.cell_label != gp.cell_label);
+        if cell_done {
+            report.record_sweep(
+                format!("{} @ {}", gp.cell_label, mobility.label()),
+                cell_started.elapsed().as_secs_f64(),
+            );
+            log.info(format!("cell {} done", gp.cell_label));
+            cell_started = std::time::Instant::now();
+        }
     }
 
     let (hits, misses) = cache.stats();
@@ -582,47 +448,59 @@ pub fn run_robustness_watched(
     Ok(report)
 }
 
-/// One supervised replication: canonical RNG streams on attempt 0, a
-/// salted stream per retry, optionally audited through an
-/// [`AuditProbe`] in `Record` mode (probes never perturb the run, so
-/// audited metrics stay bit-identical).
-#[allow(clippy::too_many_arguments)]
-fn run_replication(
-    rep: usize,
-    attempt: u32,
-    root: &SimRng,
-    load: u32,
+/// Assemble the robustness [`SweepReport`] from per-point outcomes in
+/// [`grid_point_jobs`] order — the client-side counterpart of
+/// [`run_robustness`]. Workload string, point records, violation
+/// formatting and per-cell sweep records all match the local driver, so
+/// a report assembled from service-fetched fragments is canonically
+/// identical ([`SweepReport::to_canonical_json`]) to a local run's.
+///
+/// Wall-clock-dependent fields (cell timings, cache counters) are filled
+/// with zeros: a client has no meaningful per-cell timing, and the
+/// canonical rendering masks them anyway.
+pub fn assemble_grid_report(
     mobility: Mobility,
-    base_seed: u64,
-    sim_config: &SimConfig,
-    audit: bool,
-    cache: &TraceCache,
-) -> (RunMetrics, Vec<String>) {
-    let rep = rep as u64;
-    let stream = if attempt == 0 {
-        root.clone()
-    } else {
-        root.derive(RETRY_SALT | u64::from(attempt))
-    };
-    let mut wl_rng = stream.derive(rep * 2 + 1);
-    let sim_rng = stream.derive(rep * 2);
-    let trace = mobility.build_cached(base_seed, rep, cache);
-    let workload = Workload::single_random_flow(load, trace.node_count(), &mut wl_rng);
-    if audit {
-        let mut probe =
-            AuditProbe::new(&workload, sim_config, trace.node_count(), AuditMode::Record);
-        let metrics = simulate_probed(&trace, &workload, sim_config, sim_rng, &mut probe);
-        (metrics, probe.violation_strings())
-    } else {
-        (simulate(&trace, &workload, sim_config, sim_rng), Vec::new())
+    cfg: &SweepConfig,
+    points: &[GridPoint],
+    outcomes: &[PointOutcome],
+    wall_secs: f64,
+) -> SweepReport {
+    assert_eq!(
+        points.len(),
+        outcomes.len(),
+        "one outcome per grid point, in grid order"
+    );
+    let mut report = SweepReport::new(grid_workload(mobility, cfg));
+    for (i, (gp, out)) in points.iter().zip(outcomes).enumerate() {
+        for v in &out.violations {
+            report.record_violation(format!("{} {v}", gp.key));
+        }
+        let mobility_label = format!("{}/{}", mobility.label(), gp.cell_label);
+        record_supervised_point(
+            &mut report,
+            gp.protocol_name,
+            &mobility_label,
+            gp.load,
+            &out.outcomes,
+            &out.attempts,
+        );
+        let cell_done = points
+            .get(i + 1)
+            .map_or(true, |next| next.cell_label != gp.cell_label);
+        if cell_done {
+            report.record_sweep(format!("{} @ {}", gp.cell_label, mobility.label()), 0.0);
+        }
     }
+    report.record_cache((0, 0));
+    report.finish(wall_secs);
+    report
 }
 
 /// Fold one point's supervised outcomes into the report: metric
 /// aggregates cover the completed replications, panicked and timed-out
 /// replications each count as a failure, and retries (attempts beyond
 /// each replication's first) are summed.
-fn record_supervised_point(
+pub fn record_supervised_point(
     report: &mut SweepReport,
     protocol: &str,
     mobility: &str,
@@ -662,7 +540,9 @@ fn record_supervised_point(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dtn_sim::Threads;
+    use crate::runner::point_sim_config;
+    use dtn_epidemic::{simulate, Workload};
+    use dtn_sim::{SimRng, Threads};
 
     fn m(seed: u64) -> RunMetrics {
         let trace = Mobility::Interval(2000).build(seed, 0);
@@ -746,6 +626,35 @@ mod tests {
         for c in &grid {
             c.plan.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn assembled_report_is_canonically_identical_to_local_run() {
+        // The service client's path: enumerate jobs, run each in
+        // isolation, reassemble — must match the local driver
+        // canonically (wall-clock and cache counters masked).
+        let cfg = SweepConfig {
+            loads: vec![5],
+            replications: 1,
+            threads: Threads::Sequential,
+            ..SweepConfig::default()
+        };
+        let log = Reporter::new(crate::Verbosity::Quiet);
+        let local = run_robustness(Mobility::Interval(2000), &cfg, None, false, &log).unwrap();
+
+        let points = grid_point_jobs(Mobility::Interval(2000), &cfg).unwrap();
+        let cache = Arc::new(TraceCache::new());
+        let outcomes: Vec<PointOutcome> = points
+            .iter()
+            .map(|gp| gp.job.run(Threads::Sequential, &cache).unwrap())
+            .collect();
+        let assembled =
+            assemble_grid_report(Mobility::Interval(2000), &cfg, &points, &outcomes, 0.0);
+        assert_eq!(
+            local.to_canonical_json(),
+            assembled.to_canonical_json(),
+            "assembled report diverged from the local driver"
+        );
     }
 
     #[test]

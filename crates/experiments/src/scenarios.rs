@@ -67,6 +67,38 @@ impl Mobility {
         }
     }
 
+    /// Canonical *parseable* spec string: like [`Mobility::label`] but
+    /// using the CLI's `interval=SECS` form, so
+    /// `Mobility::parse(&m.spec()) == Ok(m)` for every scenario. The
+    /// service layer ships mobility over the wire as this string.
+    pub fn spec(&self) -> String {
+        match self {
+            Mobility::Interval(max) => format!("interval={max}"),
+            other => other.label(),
+        }
+    }
+
+    /// Parse a built-in mobility spec (`trace`, `rwp`, `geom-rwp`,
+    /// `interval=SECS`) — the single canonical table shared by the CLI
+    /// and the service layer. Trace-file paths are *not* accepted here;
+    /// callers wanting file replay layer that on top.
+    pub fn parse(spec: &str) -> Result<Mobility, String> {
+        match spec {
+            "trace" => Ok(Mobility::Trace),
+            "rwp" => Ok(Mobility::Rwp),
+            "geom-rwp" => Ok(Mobility::GeometricRwp),
+            other => match other.strip_prefix("interval=") {
+                Some(max) => max
+                    .parse::<u64>()
+                    .map(Mobility::Interval)
+                    .map_err(|e| format!("bad interval {max:?}: {e}")),
+                None => Err(format!(
+                    "unknown mobility {other:?} (trace, rwp, geom-rwp, interval=SECS)"
+                )),
+            },
+        }
+    }
+
     /// Scenario discriminant for [`TraceKey`]: packs the mobility kind
     /// and its parameters so distinct scenarios never share a cache slot.
     pub fn cache_key(&self) -> u64 {
@@ -173,6 +205,24 @@ mod tests {
         assert_eq!(Mobility::Trace.label(), "trace");
         assert_eq!(Mobility::Rwp.label(), "rwp");
         assert_eq!(Mobility::Interval(400).label(), "interval400");
+    }
+
+    #[test]
+    fn spec_round_trips_through_parse() {
+        for m in [
+            Mobility::Trace,
+            Mobility::Rwp,
+            Mobility::GeometricRwp,
+            Mobility::Interval(400),
+            Mobility::Interval(2000),
+        ] {
+            assert_eq!(Mobility::parse(&m.spec()), Ok(m));
+        }
+        assert!(
+            Mobility::parse("interval2000").is_err(),
+            "label form is not a spec"
+        );
+        assert!(Mobility::parse("warp").is_err());
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Reproducible service-throughput harness: `cargo run --release -p
+//! dtn-service --bin bench_service` stands up an in-process daemon on
+//! loopback and measures the service overhead itself — not the
+//! simulator, which `bench_sweep` already tracks. Writes
+//! `BENCH_service.json`; re-run after protocol or daemon changes and
+//! compare against the committed numbers.
+//!
+//! Three measurements:
+//!
+//! * `depth1_jobs_per_sec` — submit + blocking-collect one job at a
+//!   time: per-job round-trip cost including queueing and dispatch;
+//! * `depth64_jobs_per_sec` — submit 64 jobs, then collect them all:
+//!   pipelined throughput with a full queue;
+//! * `cache_hit_latency_us` — mean submit-to-result latency for jobs
+//!   whose results are already in the content-addressed cache.
+
+use dtn_experiments::jobs::PointJob;
+use dtn_experiments::{Mobility, SweepConfig};
+use dtn_service::{Client, Daemon, DaemonConfig};
+use std::time::Instant;
+
+const DEPTH1_JOBS: usize = 16;
+const DEPTH64_JOBS: usize = 64;
+const CACHE_HIT_PROBES: usize = 200;
+
+/// Distinct cheap jobs: same tiny scenario, varying seed, so every job
+/// simulates (no accidental cache hits) but finishes in milliseconds.
+fn job(seed: u64) -> PointJob {
+    let cfg = SweepConfig {
+        loads: vec![5],
+        replications: 1,
+        base_seed: seed,
+        ..SweepConfig::default()
+    };
+    PointJob::from_sweep("pure", Mobility::Interval(2000), 5, &cfg)
+}
+
+fn collect_all(client: &mut Client, jobs: &[PointJob]) -> f64 {
+    let started = Instant::now();
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|j| client.submit(j).expect("submit"))
+        .collect();
+    for t in &tickets {
+        client.fetch_fragment(&t.job_id).expect("collect");
+    }
+    jobs.len() as f64 / started.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let daemon = Daemon::spawn(DaemonConfig {
+        queue_capacity: DEPTH64_JOBS,
+        ..DaemonConfig::default()
+    })
+    .expect("daemon should bind on loopback");
+    let addr = daemon.local_addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Warm-up: first job pays lazy-init costs (thread spawn, allocator).
+    let _ = client.submit(&job(0x5EED_0000)).expect("warm-up submit");
+    client
+        .fetch_outcome(&dtn_service::job_key(&job(0x5EED_0000).to_canonical_json()))
+        .expect("warm-up collect");
+
+    // Depth 1: strict submit → wait → submit → wait.
+    let depth1_started = Instant::now();
+    for i in 0..DEPTH1_JOBS {
+        let ticket = client.submit(&job(0x1000 + i as u64)).expect("submit");
+        client.fetch_fragment(&ticket.job_id).expect("collect");
+    }
+    let depth1_jobs_per_sec = DEPTH1_JOBS as f64 / depth1_started.elapsed().as_secs_f64();
+
+    // Depth 64: fill the queue, then drain it.
+    let depth64_jobs: Vec<PointJob> = (0..DEPTH64_JOBS).map(|i| job(0x2000 + i as u64)).collect();
+    let depth64_jobs_per_sec = collect_all(&mut client, &depth64_jobs);
+
+    // Cache hits: resubmit one known job many times and time each full
+    // submit-to-result round trip.
+    let hot = job(0x1000);
+    let mut total_us = 0.0;
+    for _ in 0..CACHE_HIT_PROBES {
+        let started = Instant::now();
+        let ticket = client.submit(&hot).expect("resubmit");
+        assert!(ticket.cached, "probe job must be served from cache");
+        client.fetch_fragment(&ticket.job_id).expect("collect");
+        total_us += started.elapsed().as_secs_f64() * 1e6;
+    }
+    let cache_hit_latency_us = total_us / CACHE_HIT_PROBES as f64;
+
+    let stats = client.stats_raw().expect("stats");
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("join");
+
+    let json = format!(
+        "{{\n  \"workload\": \"pure @ interval=2000 load 5 x 1 replication per job, loopback daemon\",\n  \
+         \"depth1_jobs\": {DEPTH1_JOBS},\n  \
+         \"depth1_jobs_per_sec\": {depth1_jobs_per_sec:.1},\n  \
+         \"depth64_jobs\": {DEPTH64_JOBS},\n  \
+         \"depth64_jobs_per_sec\": {depth64_jobs_per_sec:.1},\n  \
+         \"cache_hit_probes\": {CACHE_HIT_PROBES},\n  \
+         \"cache_hit_latency_us\": {cache_hit_latency_us:.1},\n  \
+         \"daemon_stats\": {stats}\n}}\n"
+    );
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    print!("{json}");
+}

@@ -1,11 +1,12 @@
 //! `dtnsim` — run one (protocol, mobility, load) experiment from the
-//! command line.
+//! command line, locally or against a `dtnsimd` daemon.
 //!
 //! ```text
 //! dtnsim [OPTIONS]
 //!
 //!   --protocol NAME    pure | pq[=P,Q] | ttl[=SECS] | dynttl[=MULT] |
 //!                      ec | ecttl | immunity | cumulative   (default: pure)
+//!   --list-protocols   print the canonical protocol spec table and exit
 //!   --mobility NAME    trace | rwp | geom-rwp | interval=SECS | FILE.trace
 //!                      (default: trace)
 //!   --load K           bundles per flow                     (default: 25)
@@ -19,8 +20,23 @@
 //!                      line first, then one JSON object per event)
 //!   --series PATH      write sampled occupancy/duplication/delivery
 //!                      curves as CSV
+//!   --canonical        print the report with volatile fields (wall-clock,
+//!                      cache counters, RSS) masked — byte-comparable
+//!                      across machines and across local/daemon runs
 //!   -v, --verbose      extra stderr diagnostics
 //!   -q, --quiet        errors only on stderr
+//!
+//! daemon client mode:
+//!   --connect HOST:PORT
+//!                      submit the run (or --robustness sweep) to a
+//!                      dtnsimd daemon as content-addressed point jobs and
+//!                      reassemble the same report locally; repeated
+//!                      submissions are served from the daemon's result
+//!                      cache bit-identically
+//!   --daemon-stats     print the daemon's stats document and exit
+//!                      (requires --connect)
+//!   --daemon-shutdown  ask the daemon to drain, persist its cache, and
+//!                      exit (requires --connect)
 //!
 //! supervision and auditing:
 //!   --audit            attach the runtime invariant auditor to every
@@ -50,9 +66,9 @@
 //!                      (uses --load/--reps/--seed; ignores the single-run
 //!                      fault flags above)
 //!   --checkpoint PATH  append each finished grid point to a resumable
-//!                      JSONL checkpoint
+//!                      JSONL checkpoint (local mode only)
 //!   --resume           reload a compatible checkpoint and simulate only
-//!                      the missing points
+//!                      the missing points (local mode only)
 //! ```
 //!
 //! stdout carries exactly one machine-readable JSON report (the unified
@@ -63,18 +79,21 @@
 //! ```text
 //! dtnsim --protocol ttl=300 --mobility interval=2000 --load 40 \
 //!        --trace run.jsonl --series run.csv > report.json
+//! dtnsim --connect 127.0.0.1:7700 --robustness --load 25 > report.json
 //! ```
 
 use dtn_epidemic::{
     protocols, simulate, simulate_probed, AuditMode, AuditProbe, ChurnMode, ChurnPlan, FanoutProbe,
     FaultPlan, GilbertElliott, JsonlProbe, ProtocolConfig, SimConfig, TimeSeriesProbe, Workload,
 };
+use dtn_experiments::jobs::PointJob;
 use dtn_experiments::runner::aggregate_point;
 use dtn_experiments::{
-    run_robustness, Mobility, Reporter, RunManifest, SweepConfig, SweepReport, TraceCache,
-    Verbosity,
+    assemble_grid_report, grid_point_jobs, record_supervised_point, run_robustness, Mobility,
+    PointOutcome, Reporter, RunManifest, SweepConfig, SweepReport, TraceCache, Verbosity,
 };
 use dtn_mobility::{read_trace_file, ContactTrace, TraceSummary};
+use dtn_service::Client;
 use dtn_sim::{par_map_supervised, Histogram, JobOutcome, SimDuration, SimRng, Threads, Watchdog};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -112,74 +131,16 @@ impl Source {
     }
 }
 
-fn parse_protocol(spec: &str) -> Result<ProtocolConfig, String> {
-    let (name, arg) = match spec.split_once('=') {
-        Some((n, a)) => (n, Some(a)),
-        None => (spec, None),
-    };
-    let parse_f64 = |s: &str| {
-        s.parse::<f64>()
-            .map_err(|e| format!("bad number {s:?}: {e}"))
-    };
-    let parse_u64 = |s: &str| {
-        s.parse::<u64>()
-            .map_err(|e| format!("bad number {s:?}: {e}"))
-    };
-    match name {
-        "pure" => Ok(protocols::pure_epidemic()),
-        "pq" => match arg {
-            None => Ok(protocols::pq_epidemic(1.0, 1.0)),
-            Some(a) => {
-                let (p, q) = a
-                    .split_once(',')
-                    .ok_or_else(|| format!("pq wants P,Q — got {a:?}"))?;
-                Ok(protocols::pq_epidemic(parse_f64(p)?, parse_f64(q)?))
-            }
-        },
-        "ttl" => {
-            let secs = arg.map(parse_u64).transpose()?.unwrap_or(300);
-            Ok(protocols::ttl_epidemic(SimDuration::from_secs(secs)))
-        }
-        "dynttl" => match arg {
-            None => Ok(protocols::dynamic_ttl_epidemic()),
-            Some(a) => {
-                let mut p = protocols::dynamic_ttl_epidemic();
-                p.lifetime = dtn_epidemic::LifetimePolicy::DynamicTtl {
-                    multiplier: parse_f64(a)?,
-                };
-                Ok(p)
-            }
-        },
-        "ec" => Ok(protocols::ec_epidemic()),
-        "ecttl" => Ok(protocols::ec_ttl_epidemic()),
-        "immunity" => Ok(protocols::immunity_epidemic()),
-        "cumulative" => Ok(protocols::cumulative_immunity_epidemic()),
-        other => Err(format!(
-            "unknown protocol {other:?} (pure, pq, ttl, dynttl, ec, ecttl, immunity, cumulative)"
-        )),
-    }
-}
-
 fn parse_mobility(spec: &str) -> Result<Source, String> {
-    match spec {
-        "trace" => Ok(Source::Builtin(Mobility::Trace)),
-        "rwp" => Ok(Source::Builtin(Mobility::Rwp)),
-        "geom-rwp" => Ok(Source::Builtin(Mobility::GeometricRwp)),
-        other => {
-            if let Some(max) = other.strip_prefix("interval=") {
-                let max = max
-                    .parse::<u64>()
-                    .map_err(|e| format!("bad interval {max:?}: {e}"))?;
-                return Ok(Source::Builtin(Mobility::Interval(max)));
-            }
-            let path = std::path::PathBuf::from(other);
+    match Mobility::parse(spec) {
+        Ok(m) => Ok(Source::Builtin(m)),
+        Err(parse_err) => {
+            let path = std::path::PathBuf::from(spec);
             if path.exists() {
-                let trace = read_trace_file(&path).map_err(|e| format!("loading {other}: {e}"))?;
+                let trace = read_trace_file(&path).map_err(|e| format!("loading {spec}: {e}"))?;
                 Ok(Source::File(path, trace))
             } else {
-                Err(format!(
-                    "unknown mobility {other:?} (trace, rwp, geom-rwp, interval=SECS, or a trace file path)"
-                ))
+                Err(format!("{parse_err}, or a trace file path"))
             }
         }
     }
@@ -187,6 +148,8 @@ fn parse_mobility(spec: &str) -> Result<Source, String> {
 
 struct Args {
     protocol: ProtocolConfig,
+    /// The raw `--protocol` spec — the job identity sent to a daemon.
+    protocol_spec: String,
     source: Source,
     load: u32,
     reps: usize,
@@ -205,6 +168,10 @@ struct Args {
     audit: bool,
     retries: u32,
     point_timeout: Option<u64>,
+    connect: Option<String>,
+    canonical: bool,
+    daemon_stats: bool,
+    daemon_shutdown: bool,
 }
 
 /// Parse `--burst G,B,GB,BG` into a Gilbert–Elliott channel.
@@ -245,9 +212,20 @@ fn parse_churn(spec: &str) -> Result<ChurnPlan, String> {
     })
 }
 
+fn list_protocols() -> ! {
+    // The canonical table: spec strings feed straight back into
+    // `--protocol` and are the identities the daemon caches on.
+    println!("spec         protocol");
+    for (spec, proto) in protocols::ALL_SPECS.iter().zip(protocols::all_protocols()) {
+        println!("{spec:<12} {}", proto.name);
+    }
+    std::process::exit(0);
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         protocol: protocols::pure_epidemic(),
+        protocol_spec: "pure".to_string(),
         source: Source::Builtin(Mobility::Trace),
         load: 25,
         reps: 10,
@@ -266,12 +244,20 @@ fn parse_args() -> Result<Args, String> {
         audit: false,
         retries: 0,
         point_timeout: None,
+        connect: None,
+        canonical: false,
+        daemon_stats: false,
+        daemon_shutdown: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
-            "--protocol" => args.protocol = parse_protocol(&value("--protocol")?)?,
+            "--protocol" => {
+                args.protocol_spec = value("--protocol")?;
+                args.protocol = protocols::from_spec(&args.protocol_spec)?;
+            }
+            "--list-protocols" => list_protocols(),
             "--mobility" => args.source = parse_mobility(&value("--mobility")?)?,
             "--load" => {
                 args.load = value("--load")?
@@ -336,16 +322,21 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad point-timeout: {e}"))?,
                 )
             }
+            "--connect" => args.connect = Some(value("--connect")?),
+            "--canonical" => args.canonical = true,
+            "--daemon-stats" => args.daemon_stats = true,
+            "--daemon-shutdown" => args.daemon_shutdown = true,
             "-v" | "--verbose" => args.verbosity = Verbosity::Verbose,
             "-q" | "--quiet" => args.verbosity = Verbosity::Quiet,
             "--help" | "-h" => {
                 println!(
-                    "usage: dtnsim [--protocol NAME] [--mobility NAME] [--load K] \
-                     [--reps N] [--seed S] [--buffer B] [--tx-time SECS] [--stats] \
-                     [--trace PATH] [--series PATH] [--audit] [--retries N] \
+                    "usage: dtnsim [--protocol NAME] [--list-protocols] [--mobility NAME] \
+                     [--load K] [--reps N] [--seed S] [--buffer B] [--tx-time SECS] [--stats] \
+                     [--trace PATH] [--series PATH] [--canonical] [--audit] [--retries N] \
                      [--point-timeout SECS] [--loss P] [--burst G,B,GB,BG] \
                      [--truncate P] [--ack-loss P] [--churn UP,DOWN[,crash|duty]] \
-                     [--robustness [--checkpoint PATH] [--resume]] [-v | -q]"
+                     [--robustness [--checkpoint PATH] [--resume]] \
+                     [--connect HOST:PORT [--daemon-stats | --daemon-shutdown]] [-v | -q]"
                 );
                 std::process::exit(0);
             }
@@ -363,7 +354,32 @@ fn parse_args() -> Result<Args, String> {
     if args.point_timeout == Some(0) {
         return Err("--point-timeout must be at least 1 second".into());
     }
+    if (args.daemon_stats || args.daemon_shutdown) && args.connect.is_none() {
+        return Err("--daemon-stats/--daemon-shutdown require --connect HOST:PORT".into());
+    }
+    if args.connect.is_some() {
+        if args.stats || args.trace_out.is_some() || args.series_out.is_some() {
+            return Err(
+                "--stats/--trace/--series capture in-process state and are local-only; \
+                 drop them or drop --connect"
+                    .into(),
+            );
+        }
+        if args.checkpoint.is_some() || args.resume {
+            return Err("--checkpoint/--resume are local-only (the daemon's result \
+                 cache already makes re-runs incremental)"
+                .into());
+        }
+    }
     Ok(args)
+}
+
+fn print_report(report: &SweepReport, canonical: bool) {
+    if canonical {
+        print!("{}", report.to_canonical_json());
+    } else {
+        print!("{}", report.to_json());
+    }
 }
 
 /// The `--robustness` mode: sweep all protocols over the fault grid.
@@ -374,7 +390,21 @@ fn run_robustness_mode(args: &Args, log: &Reporter) -> ExitCode {
         );
         return ExitCode::FAILURE;
     };
-    let cfg = SweepConfig {
+    let cfg = robustness_config(args);
+    match run_robustness(mobility, &cfg, args.checkpoint.as_deref(), args.resume, log) {
+        Ok(report) => {
+            print_report(&report, args.canonical);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            log.error(format!("dtnsim: {e}"));
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn robustness_config(args: &Args) -> SweepConfig {
+    SweepConfig {
         loads: vec![args.load],
         replications: args.reps,
         base_seed: args.seed,
@@ -384,17 +414,143 @@ fn run_robustness_mode(args: &Args, log: &Reporter) -> ExitCode {
         point_timeout_secs: args.point_timeout,
         audit: args.audit,
         ..SweepConfig::default()
+    }
+}
+
+fn connect(addr: &str, log: &Reporter) -> Result<Client, ExitCode> {
+    Client::connect(addr).map_err(|e| {
+        log.error(format!("dtnsim: cannot connect to daemon at {addr}: {e}"));
+        ExitCode::FAILURE
+    })
+}
+
+/// Submit jobs in order, then collect results in the same order. The
+/// daemon parallelizes across its workers; submission is cheap (admit or
+/// cache-hit, never simulate), so one pass of each suffices.
+fn submit_and_collect(
+    client: &mut Client,
+    jobs: &[PointJob],
+    log: &Reporter,
+) -> Result<(Vec<PointOutcome>, usize), String> {
+    let mut tickets = Vec::with_capacity(jobs.len());
+    let mut cached = 0usize;
+    for job in jobs {
+        let ticket = client.submit(job)?;
+        cached += usize::from(ticket.cached);
+        tickets.push(ticket);
+    }
+    log.info(format!(
+        "daemon cache: {cached}/{} points served from cache",
+        jobs.len()
+    ));
+    let mut outcomes = Vec::with_capacity(tickets.len());
+    for ticket in &tickets {
+        outcomes.push(client.fetch_outcome(&ticket.job_id)?);
+    }
+    Ok((outcomes, cached))
+}
+
+/// Client mode for the robustness grid: same jobs, same order, same
+/// report assembly — only the execution happens daemon-side.
+fn run_robustness_client(args: &Args, addr: &str, log: &Reporter) -> ExitCode {
+    let Source::Builtin(mobility) = args.source else {
+        log.error("dtnsim: --robustness needs a built-in mobility");
+        return ExitCode::FAILURE;
     };
-    match run_robustness(mobility, &cfg, args.checkpoint.as_deref(), args.resume, log) {
-        Ok(report) => {
-            print!("{}", report.to_json());
-            ExitCode::SUCCESS
-        }
+    let cfg = robustness_config(args);
+    let points = match grid_point_jobs(mobility, &cfg) {
+        Ok(points) => points,
         Err(e) => {
             log.error(format!("dtnsim: {e}"));
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+    let mut client = match connect(addr, log) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let started = Instant::now();
+    let jobs: Vec<PointJob> = points.iter().map(|gp| gp.job.clone()).collect();
+    let (outcomes, _) = match submit_and_collect(&mut client, &jobs, log) {
+        Ok(r) => r,
+        Err(e) => {
+            log.error(format!("dtnsim: {e}"));
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = assemble_grid_report(
+        mobility,
+        &cfg,
+        &points,
+        &outcomes,
+        started.elapsed().as_secs_f64(),
+    );
+    print_report(&report, args.canonical);
+    ExitCode::SUCCESS
+}
+
+/// Client mode for a single (protocol, mobility, load) run.
+fn run_single_client(args: &Args, addr: &str, log: &Reporter) -> ExitCode {
+    let Source::Builtin(mobility) = args.source else {
+        log.error(
+            "dtnsim: --connect needs a built-in mobility (trace, rwp, geom-rwp, interval=SECS); \
+             the daemon cannot see local trace files",
+        );
+        return ExitCode::FAILURE;
+    };
+    // Single-run convention: the trace seed and RNG root are both
+    // `--seed`, exactly as the local path below sets them.
+    let job = PointJob {
+        protocol: args.protocol_spec.clone(),
+        mobility,
+        load: args.load,
+        replications: args.reps,
+        root_seed: args.seed,
+        trace_seed: args.seed,
+        buffer_capacity: args.buffer,
+        tx_time_secs: args.tx_time.unwrap_or_else(|| mobility.tx_time_secs()),
+        transfer_loss: args.loss,
+        faults: args.faults.clone(),
+        retries: args.retries,
+        point_timeout_secs: args.point_timeout,
+        audit: args.audit,
+    };
+    let mut client = match connect(addr, log) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let started = Instant::now();
+    let (outcomes, _) = match submit_and_collect(&mut client, std::slice::from_ref(&job), log) {
+        Ok(r) => r,
+        Err(e) => {
+            log.error(format!("dtnsim: {e}"));
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = &outcomes[0];
+    let wall = started.elapsed().as_secs_f64();
+
+    let label = mobility.label();
+    let mut report = SweepReport::new(format!(
+        "dtnsim: {} @ {} load {} x {} replications",
+        args.protocol.name, label, args.load, args.reps
+    ));
+    record_supervised_point(
+        &mut report,
+        args.protocol.name,
+        &label,
+        args.load,
+        &outcome.outcomes,
+        &outcome.attempts,
+    );
+    for v in &outcome.violations {
+        report.record_violation(v.clone());
     }
+    report.record_sweep(format!("{} @ {}", args.protocol.name, label), wall);
+    report.record_cache((0, 0));
+    report.finish(wall);
+    print_report(&report, args.canonical);
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -406,6 +562,48 @@ fn main() -> ExitCode {
         }
     };
     let log = Reporter::new(args.verbosity);
+
+    if let Some(addr) = &args.connect {
+        if args.daemon_stats {
+            let mut client = match connect(addr, &log) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            return match client.stats_raw() {
+                Ok(stats) => {
+                    println!("{stats}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    log.error(format!("dtnsim: {e}"));
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        if args.daemon_shutdown {
+            let mut client = match connect(addr, &log) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            return match client.shutdown() {
+                Ok(draining) => {
+                    log.info(format!(
+                        "daemon is shutting down, draining {draining} admitted job(s)"
+                    ));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    log.error(format!("dtnsim: {e}"));
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        return if args.robustness {
+            run_robustness_client(&args, addr, &log)
+        } else {
+            run_single_client(&args, addr, &log)
+        };
+    }
 
     if args.robustness {
         return run_robustness_mode(&args, &log);
@@ -693,6 +891,6 @@ fn main() -> ExitCode {
         report.attach_histogram("bundles_per_contact", bundles_hist);
     }
     report.finish(wall);
-    print!("{}", report.to_json());
+    print_report(&report, args.canonical);
     ExitCode::SUCCESS
 }

@@ -1,0 +1,117 @@
+//! `dtnsimd` — the simulation daemon.
+//!
+//! Binds a TCP listener, serves the wire protocol (see
+//! `dtn_service::wire`), and blocks until a client sends `shutdown`.
+//! On shutdown the queue drains (every admitted job completes and is
+//! collectable) and the result-cache index is persisted before exit.
+//!
+//! ```text
+//! dtnsimd --addr 127.0.0.1:7700 --workers 4 --cache results/cache.jsonl
+//! dtnsim --connect 127.0.0.1:7700 ...   # submit work from any client
+//! ```
+
+use dtn_service::{Daemon, DaemonConfig, ENGINE_VERSION};
+use dtn_sim::Threads;
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+dtnsimd - DTN simulation daemon
+
+USAGE:
+    dtnsimd [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT        Bind address (default 127.0.0.1:7700; port 0 picks a free port)
+    --workers N             Worker threads for concurrent jobs (default: all cores; 0 = queue only)
+    --job-threads N         Threads per job's replications (default: auto)
+    --queue-capacity N      Bounded queue size; submits beyond it are rejected
+                            with retry_after_ms (default 64)
+    --retry-after-ms N      Backpressure hint returned on rejection (default 250)
+    --cache PATH            Persist the content-addressed result cache to PATH
+                            (JSONL; reloaded on startup, engine-version checked)
+    --help                  Show this help
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> DaemonConfig {
+    let mut config = DaemonConfig {
+        addr: "127.0.0.1:7700".to_string(),
+        ..DaemonConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => {
+                config.workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --workers: {e}")))
+            }
+            "--job-threads" => {
+                let n: usize = value("--job-threads")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --job-threads: {e}")));
+                config.job_threads = match NonZeroUsize::new(n) {
+                    Some(n) if n.get() == 1 => Threads::Sequential,
+                    Some(n) => Threads::Fixed(n),
+                    None => Threads::Auto,
+                };
+            }
+            "--queue-capacity" => {
+                config.queue_capacity = value("--queue-capacity")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --queue-capacity: {e}")))
+            }
+            "--retry-after-ms" => {
+                config.retry_after_ms = value("--retry-after-ms")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --retry-after-ms: {e}")))
+            }
+            "--cache" => config.cache_path = Some(PathBuf::from(value("--cache"))),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    if config.queue_capacity == 0 {
+        fail("--queue-capacity must be at least 1");
+    }
+    config
+}
+
+fn main() {
+    let config = parse_args();
+    let cache_note = config
+        .cache_path
+        .as_ref()
+        .map_or("in-memory".to_string(), |p| p.display().to_string());
+    let daemon = Daemon::spawn(config.clone()).unwrap_or_else(|e| {
+        eprintln!("error: failed to start daemon on {}: {e}", config.addr);
+        std::process::exit(1);
+    });
+    eprintln!(
+        "dtnsimd listening on {} (engine {ENGINE_VERSION}, {} workers, queue {}, cache {cache_note})",
+        daemon.local_addr(),
+        config.workers,
+        config.queue_capacity,
+    );
+    match daemon.join() {
+        Ok(()) => eprintln!("dtnsimd: drained and stopped; cache index persisted"),
+        Err(e) => {
+            eprintln!("dtnsimd: stopped, but persisting the cache failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

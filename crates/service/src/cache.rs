@@ -1,0 +1,243 @@
+//! The content-addressed result store.
+//!
+//! A job's identity is [`job_key`]: a 128-bit FNV-1a hash (two
+//! independently-seeded 64-bit lanes) over `"v1|{engine}|{canonical job
+//! JSON}"`. Everything a result depends on is in that string — protocol
+//! spec, mobility, seeds, fault plan, watchdog policy (retries re-seed
+//! RNG streams, so supervision is result-relevant), and the engine
+//! version — so equal keys imply bit-identical results and *nothing
+//! else* needs comparing on a hit.
+//!
+//! The store maps keys to the result fragment's **wire rendering**,
+//! stored verbatim: a cache hit replays the exact bytes a fresh
+//! computation produced, which is how the service keeps its
+//! "cache hits are bit-identical" contract trivially true rather than
+//! approximately true.
+//!
+//! Persistence is a JSONL file (manifest line, then one `{"key":…,
+//! "fragment":…}` line per entry) written on graceful shutdown and
+//! reloaded at startup. A manifest whose engine string differs from the
+//! running daemon's is discarded wholesale — results from another engine
+//! version must never be served, and the engine version is part of every
+//! key precisely so stale entries cannot collide.
+
+use crate::json::Value;
+use dtn_experiments::ensure_dir;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The engine version folded into every cache key: crate version plus a
+/// result-schema revision. Bump the schema suffix whenever the fragment
+/// layout or any simulation-visible behavior changes without a version
+/// bump.
+pub const ENGINE_VERSION: &str = concat!(env!("CARGO_PKG_VERSION"), "+fragment1");
+
+/// The content address of a job: 32 hex chars from two FNV-1a 64 lanes
+/// over `"v1|{ENGINE_VERSION}|{canonical}"`.
+pub fn job_key(canonical_job_json: &str) -> String {
+    let material = format!("v1|{ENGINE_VERSION}|{canonical_job_json}");
+    let lane = |mut hash: u64| {
+        for b in material.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    };
+    // Standard FNV offset basis, and the same basis advanced by one
+    // round over a salt byte — two independent lanes, one pass each.
+    let a = lane(0xCBF2_9CE4_8422_2325);
+    let b = lane(0xCBF2_9CE4_8422_2325 ^ 0x5A5A_5A5A_5A5A_5A5A);
+    format!("{a:016x}{b:016x}")
+}
+
+/// Thread-safe content-addressed store with hit/miss counters and
+/// optional JSONL persistence.
+pub struct ResultStore {
+    entries: Mutex<HashMap<String, String>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    path: Option<PathBuf>,
+}
+
+impl ResultStore {
+    /// An empty in-memory store (no persistence).
+    pub fn in_memory() -> ResultStore {
+        ResultStore {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            path: None,
+        }
+    }
+
+    /// A store backed by `path`: existing compatible entries are loaded
+    /// eagerly, and [`ResultStore::persist`] writes the current contents
+    /// back. A missing file or an engine-version mismatch both mean
+    /// "start empty" — never an error, never stale results.
+    pub fn open(path: &Path) -> ResultStore {
+        let mut store = ResultStore::in_memory();
+        store.path = Some(path.to_path_buf());
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+            let manifest_ok = lines.next().is_some_and(|manifest| {
+                Value::parse(manifest)
+                    .ok()
+                    .and_then(|m| m.get("engine").and_then(Value::as_str).map(String::from))
+                    .is_some_and(|engine| engine == ENGINE_VERSION)
+            });
+            if manifest_ok {
+                let mut entries = store.entries.lock().expect("store poisoned");
+                for line in lines {
+                    // `fragment` is the last member; recover it verbatim
+                    // so persisted results stay byte-identical too.
+                    let Some(fragment) = crate::wire::extract_fragment(line) else {
+                        continue;
+                    };
+                    let Some(key) = Value::parse(line)
+                        .ok()
+                        .and_then(|v| v.get("key").and_then(Value::as_str).map(String::from))
+                    else {
+                        continue;
+                    };
+                    entries.insert(key, fragment.to_string());
+                }
+            }
+        }
+        store
+    }
+
+    /// Look up a job's result, counting a hit or miss. This is the
+    /// submission-time gate: its counters are what `Stats` reports as
+    /// the cache-hit ratio.
+    pub fn lookup(&self, key: &str) -> Option<String> {
+        let entries = self.entries.lock().expect("store poisoned");
+        match entries.get(key) {
+            Some(fragment) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(fragment.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Fetch a stored fragment without touching the hit/miss counters
+    /// (used when serving `Result` requests for jobs already resolved).
+    pub fn fragment(&self, key: &str) -> Option<String> {
+        self.entries
+            .lock()
+            .expect("store poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Insert (or overwrite — last writer wins, results are identical by
+    /// construction) a computed fragment.
+    pub fn insert(&self, key: String, fragment: String) {
+        self.entries
+            .lock()
+            .expect("store poisoned")
+            .insert(key, fragment);
+    }
+
+    /// `(hits, misses, entries)` counters.
+    pub fn stats(&self) -> (u64, u64, usize) {
+        let entries = self.entries.lock().expect("store poisoned").len();
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            entries,
+        )
+    }
+
+    /// Write the store to its backing file (no-op for in-memory stores):
+    /// temp file in the same directory, then an atomic rename, so a
+    /// crash mid-persist can never leave a half-written index.
+    pub fn persist(&self) -> std::io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            ensure_dir(dir)?;
+        }
+        let entries = self.entries.lock().expect("store poisoned");
+        let mut out = String::with_capacity(entries.len() * 256 + 64);
+        out.push_str(&format!(
+            "{{\"store\":\"dtn-service\",\"engine\":\"{}\"}}\n",
+            crate::json::escape(ENGINE_VERSION)
+        ));
+        // Deterministic order keeps the file diff-able across restarts.
+        let mut keys: Vec<&String> = entries.keys().collect();
+        keys.sort_unstable();
+        for key in keys {
+            out.push_str(&format!(
+                "{{\"key\":\"{}\",\"fragment\":{}}}\n",
+                crate::json::escape(key),
+                entries[key]
+            ));
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, out)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_and_content_sensitive() {
+        let a = job_key("{\"protocol\":\"pure\"}");
+        assert_eq!(a, job_key("{\"protocol\":\"pure\"}"));
+        assert_eq!(a.len(), 32);
+        assert_ne!(a, job_key("{\"protocol\":\"ec\"}"));
+        assert_ne!(a, job_key("{\"protocol\":\"pure\"} "));
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let store = ResultStore::in_memory();
+        assert_eq!(store.lookup("k"), None);
+        store.insert("k".into(), "{\"runs\":[]}".into());
+        assert_eq!(store.lookup("k").as_deref(), Some("{\"runs\":[]}"));
+        assert_eq!(store.stats(), (1, 1, 1));
+        // fragment() is counter-neutral.
+        assert!(store.fragment("k").is_some());
+        assert_eq!(store.stats(), (1, 1, 1));
+    }
+
+    #[test]
+    fn persistence_round_trips_verbatim() {
+        let dir = std::env::temp_dir().join(format!("dtn_store_{}", std::process::id()));
+        let path = dir.join("nested").join("cache.jsonl");
+        let store = ResultStore::open(&path);
+        let fragment = "{\"attempts\":[1,1],\"slow\":0,\"runs\":[[1,2]],\"violations\":[\"rep 0: x \\\"q\\\"\"]}";
+        store.insert("deadbeef".into(), fragment.to_string());
+        store.persist().unwrap();
+
+        let reloaded = ResultStore::open(&path);
+        assert_eq!(reloaded.fragment("deadbeef").as_deref(), Some(fragment));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_mismatch_discards_the_file() {
+        let dir = std::env::temp_dir().join(format!("dtn_store_ver_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.jsonl");
+        std::fs::write(
+            &path,
+            "{\"store\":\"dtn-service\",\"engine\":\"0.0.0+ancient\"}\n\
+             {\"key\":\"aa\",\"fragment\":{\"runs\":[]}}\n",
+        )
+        .unwrap();
+        let store = ResultStore::open(&path);
+        assert_eq!(store.stats().2, 0, "stale engine entries must be dropped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

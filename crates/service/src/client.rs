@@ -1,0 +1,179 @@
+//! Client side of the wire protocol: connect, submit with backpressure
+//! retry, and result collection.
+//!
+//! One [`Client`] owns one TCP connection and issues strictly
+//! alternating request/response frames, which is all the protocol
+//! needs — sweeps submit every point first (cheap: `accepted` comes back
+//! before any simulation runs) and then collect results in order with
+//! blocking `result` requests.
+
+use crate::json::{escape, Value};
+use crate::wire::{extract_fragment, read_frame, write_frame};
+use dtn_experiments::jobs::{PointJob, PointOutcome};
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Outcome of a successful submit: the job's content address and
+/// whether the daemon served it straight from the result cache.
+#[derive(Clone, Debug)]
+pub struct SubmitTicket {
+    /// Content-addressed job id (also the cache key).
+    pub job_id: String,
+    /// True when the result already existed — no work was queued.
+    pub cached: bool,
+}
+
+/// A connection to a `dtnsimd` daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:7700`).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // The protocol is strict request/response with small frames;
+        // Nagle only adds latency here.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Connect, retrying while the daemon is still coming up (CI starts
+    /// the daemon in the background and races it with the first client).
+    pub fn connect_with_retry(addr: &str, attempts: u32, delay: Duration) -> io::Result<Client> {
+        let mut last = None;
+        for _ in 0..attempts.max(1) {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+            std::thread::sleep(delay);
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("no connect attempts made")))
+    }
+
+    fn request(&mut self, payload: &str) -> Result<Value, String> {
+        write_frame(&mut self.stream, payload).map_err(|e| format!("send failed: {e}"))?;
+        let raw = read_frame(&mut self.stream)
+            .map_err(|e| format!("receive failed: {e}"))?
+            .ok_or("daemon closed the connection")?;
+        Value::parse(&raw).map_err(|e| format!("bad response: {e}"))
+    }
+
+    /// Raw request/response, returning the response frame verbatim.
+    /// Result fragments must be sliced out of this exact string, so the
+    /// typed [`Client::request`] path (which re-parses) cannot serve
+    /// them.
+    fn request_raw(&mut self, payload: &str) -> Result<String, String> {
+        write_frame(&mut self.stream, payload).map_err(|e| format!("send failed: {e}"))?;
+        read_frame(&mut self.stream)
+            .map_err(|e| format!("receive failed: {e}"))?
+            .ok_or_else(|| "daemon closed the connection".to_string())
+    }
+
+    /// Submit a job, sleeping out `queue_full` backpressure (the daemon
+    /// tells us how long) and retrying until admitted. Any other
+    /// rejection or error is final.
+    pub fn submit(&mut self, job: &PointJob) -> Result<SubmitTicket, String> {
+        let payload = format!(
+            "{{\"type\":\"submit\",\"job\":{}}}",
+            job.to_canonical_json()
+        );
+        loop {
+            let response = self.request(&payload)?;
+            match response.get("type").and_then(Value::as_str) {
+                Some("accepted") => {
+                    return Ok(SubmitTicket {
+                        job_id: response
+                            .get("job_id")
+                            .and_then(Value::as_str)
+                            .ok_or("accepted without job_id")?
+                            .to_string(),
+                        cached: response
+                            .get("cached")
+                            .and_then(Value::as_bool)
+                            .unwrap_or(false),
+                    });
+                }
+                Some("rejected") => {
+                    let reason = response
+                        .get("reason")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unspecified");
+                    if reason != "queue_full" {
+                        return Err(format!("daemon rejected the job: {reason}"));
+                    }
+                    let backoff = response
+                        .get("retry_after_ms")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(250);
+                    std::thread::sleep(Duration::from_millis(backoff));
+                }
+                Some("error") => {
+                    return Err(response
+                        .get("message")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unspecified daemon error")
+                        .to_string())
+                }
+                other => return Err(format!("unexpected response type {other:?}")),
+            }
+        }
+    }
+
+    /// Block until `job_id` resolves and return its verbatim result
+    /// fragment plus the daemon's `cached` flag.
+    pub fn fetch_fragment(&mut self, job_id: &str) -> Result<(String, bool), String> {
+        let raw = self.request_raw(&format!(
+            "{{\"type\":\"result\",\"job_id\":\"{}\",\"wait\":true}}",
+            escape(job_id)
+        ))?;
+        let Some(fragment) = extract_fragment(&raw) else {
+            let parsed = Value::parse(&raw).map_err(|e| format!("bad response: {e}"))?;
+            return Err(parsed
+                .get("message")
+                .and_then(Value::as_str)
+                .map(String::from)
+                .unwrap_or_else(|| format!("no fragment in response {raw}")));
+        };
+        let cached = Value::parse(&raw)
+            .ok()
+            .and_then(|v| v.get("cached").and_then(Value::as_bool))
+            .unwrap_or(false);
+        Ok((fragment.to_string(), cached))
+    }
+
+    /// Block until `job_id` resolves and decode its [`PointOutcome`].
+    pub fn fetch_outcome(&mut self, job_id: &str) -> Result<PointOutcome, String> {
+        let (fragment, _) = self.fetch_fragment(job_id)?;
+        PointOutcome::from_wire_json(&fragment)
+    }
+
+    /// Cancel a queued job; `Ok(true)` if it was actually cancelled.
+    pub fn cancel(&mut self, job_id: &str) -> Result<bool, String> {
+        let response = self.request(&format!(
+            "{{\"type\":\"cancel\",\"job_id\":\"{}\"}}",
+            escape(job_id)
+        ))?;
+        response
+            .get("cancelled")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| "malformed cancel response".to_string())
+    }
+
+    /// Fetch the daemon's stats document, verbatim.
+    pub fn stats_raw(&mut self) -> Result<String, String> {
+        self.request_raw("{\"type\":\"stats\"}")
+    }
+
+    /// Ask the daemon to shut down; returns how many admitted jobs it is
+    /// still draining.
+    pub fn shutdown(&mut self) -> Result<u64, String> {
+        let response = self.request("{\"type\":\"shutdown\"}")?;
+        response
+            .get("draining")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| "malformed shutdown response".to_string())
+    }
+}

@@ -1,0 +1,534 @@
+//! The `dtnsimd` daemon: accept loop, bounded job queue, worker pool,
+//! and request dispatch.
+//!
+//! Threading model: one accept thread, one thread per live connection,
+//! and a fixed worker pool. Connections only touch shared state under
+//! two mutexes — the queue (with its "work available" condvar) and the
+//! job table (with its "job finished" condvar) — and workers never hold
+//! both at once, so the lock order is trivially acyclic.
+//!
+//! Backpressure is explicit: the queue is a bounded [`VecDeque`], and a
+//! submit that would exceed the bound is answered with `rejected` +
+//! `retry_after_ms` instead of being buffered. Nothing in the daemon
+//! grows with the number of *offered* jobs, only with the number of
+//! *admitted* ones.
+//!
+//! Shutdown drains: workers finish every admitted job before exiting,
+//! result waiters are woken as those jobs land, and the cache index is
+//! persisted last — so a client that saw `accepted` can always collect
+//! its result from the same daemon incarnation.
+
+use crate::cache::{job_key, ResultStore, ENGINE_VERSION};
+use crate::json::{escape, Value};
+use crate::wire::{job_from_value, read_frame, write_frame};
+use dtn_experiments::jobs::PointJob;
+use dtn_experiments::TraceCache;
+use dtn_sim::Threads;
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Daemon tuning knobs.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`Daemon::local_addr`]).
+    pub addr: String,
+    /// Maximum number of queued (admitted but not yet running) jobs.
+    pub queue_capacity: usize,
+    /// Worker threads. `0` is allowed — jobs queue but never run, which
+    /// the backpressure tests use to fill the queue deterministically.
+    pub workers: usize,
+    /// Thread policy for the replications *inside* one job.
+    pub job_threads: Threads,
+    /// Result-cache index file; `None` keeps the cache in memory only.
+    pub cache_path: Option<PathBuf>,
+    /// Hint returned with `rejected` responses.
+    pub retry_after_ms: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 64,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            job_threads: Threads::Auto,
+            cache_path: None,
+            retry_after_ms: 250,
+        }
+    }
+}
+
+/// Lifecycle of an admitted job.
+#[derive(Clone, Debug)]
+enum JobState {
+    Queued,
+    Running,
+    Done { cached: bool },
+    Failed(String),
+    Cancelled,
+}
+
+struct JobEntry {
+    job: PointJob,
+    state: JobState,
+}
+
+struct Shared {
+    config: DaemonConfig,
+    local_addr: std::net::SocketAddr,
+    store: ResultStore,
+    trace_cache: Arc<TraceCache>,
+    queue: Mutex<VecDeque<String>>,
+    work_cv: Condvar,
+    jobs: Mutex<HashMap<String, JobEntry>>,
+    done_cv: Condvar,
+    shutting_down: AtomicBool,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+    running: AtomicUsize,
+}
+
+/// A running daemon: the accept loop and worker pool, plus the handle
+/// needed to join them and persist the cache on the way out.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Bind, load the cache index, and start the accept loop and worker
+    /// pool. Returns as soon as the listener is live.
+    pub fn spawn(config: DaemonConfig) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let store = match &config.cache_path {
+            Some(path) => ResultStore::open(path),
+            None => ResultStore::in_memory(),
+        };
+        let shared = Arc::new(Shared {
+            config: config.clone(),
+            local_addr,
+            store,
+            trace_cache: Arc::new(TraceCache::new()),
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            done_cv: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            running: AtomicUsize::new(0),
+        });
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dtnsimd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dtnsimd-accept".to_string())
+                .spawn(move || accept_loop(listener, &shared))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Daemon {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Wait for shutdown: accept loop gone, workers drained, cache index
+    /// persisted. Returns the persist result.
+    pub fn join(mut self) -> std::io::Result<()> {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // The accept loop only exits on shutdown, so the flag is set and
+        // workers will drain the queue and stop.
+        self.shared.work_cv.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.store.persist()
+    }
+
+    /// Request shutdown in-process (used by tests and benches that own
+    /// the daemon directly rather than going through a socket).
+    pub fn request_shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+}
+
+/// Trip the shutdown flag, wake the workers so they drain and exit, and
+/// poke the accept loop out of its blocking `accept()`.
+fn begin_shutdown(shared: &Arc<Shared>) {
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    shared.work_cv.notify_all();
+    let _ = TcpStream::connect(shared.local_addr);
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("dtnsimd-conn".to_string())
+            .spawn(move || serve_connection(stream, &shared));
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    // Request/response with small frames: Nagle only adds latency.
+    let _ = stream.set_nodelay(true);
+    loop {
+        let raw = match read_frame(&mut stream) {
+            Ok(Some(raw)) => raw,
+            Ok(None) | Err(_) => return,
+        };
+        let response = match Value::parse(&raw) {
+            Ok(request) => {
+                if request.get("type").and_then(Value::as_str) == Some("shutdown") {
+                    // Order matters: the ack must reach the socket before
+                    // the flag is tripped. Once the accept loop breaks,
+                    // `join` can drain and exit the process, and an ack
+                    // still unwritten at that point becomes an EOF for
+                    // the very client that asked for the shutdown.
+                    let ack = shutdown_ack(shared);
+                    if write_frame(&mut stream, &ack).is_err() {
+                        return;
+                    }
+                    begin_shutdown(shared);
+                    continue;
+                }
+                handle_request(shared, &request)
+            }
+            Err(e) => error_response(&format!("bad request: {e}")),
+        };
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn error_response(message: &str) -> String {
+    format!("{{\"type\":\"error\",\"message\":\"{}\"}}", escape(message))
+}
+
+fn state_name(state: &JobState) -> &'static str {
+    match state {
+        JobState::Queued => "queued",
+        JobState::Running => "running",
+        JobState::Done { .. } => "done",
+        JobState::Failed(_) => "failed",
+        JobState::Cancelled => "cancelled",
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, request: &Value) -> String {
+    match request.get("type").and_then(Value::as_str) {
+        Some("submit") => handle_submit(shared, request),
+        Some("status") => handle_status(shared, request),
+        Some("result") => handle_result(shared, request),
+        Some("cancel") => handle_cancel(shared, request),
+        Some("stats") => handle_stats(shared),
+        // "shutdown" is intercepted in `serve_connection` so its ack is
+        // written before the flag can let the process exit.
+        other => error_response(&format!("unknown request type {other:?}")),
+    }
+}
+
+fn job_id_of(request: &Value) -> Result<&str, String> {
+    request
+        .get("job_id")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing job_id".to_string())
+}
+
+fn handle_submit(shared: &Arc<Shared>, request: &Value) -> String {
+    let Some(job_doc) = request.get("job") else {
+        return error_response("submit without a job document");
+    };
+    let job = match job_from_value(job_doc) {
+        Ok(job) => job,
+        Err(e) => return error_response(&format!("invalid job: {e}")),
+    };
+    // Key the daemon-side re-rendering, never the client's bytes: two
+    // clients formatting the same job differently must collide.
+    let key = job_key(&job.to_canonical_json());
+
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        return format!(
+            "{{\"type\":\"rejected\",\"reason\":\"shutting_down\",\
+             \"retry_after_ms\":{},\"queue_depth\":0}}",
+            shared.config.retry_after_ms
+        );
+    }
+
+    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    if shared.store.lookup(&key).is_some() {
+        // Content-addressed hit: the result exists, no work is queued.
+        // Overwriting a previous terminal state is fine — the stored
+        // fragment is the result either way, and `cached: true` tells
+        // the client this submission cost nothing.
+        jobs.entry(key.clone())
+            .and_modify(|e| e.state = JobState::Done { cached: true })
+            .or_insert(JobEntry {
+                job,
+                state: JobState::Done { cached: true },
+            });
+        shared.submitted.fetch_add(1, Ordering::Relaxed);
+        return accepted(&key, true);
+    }
+    if let Some(entry) = jobs.get(&key) {
+        match entry.state {
+            // Already admitted (or already resolved): piggyback.
+            JobState::Queued | JobState::Running | JobState::Done { .. } => {
+                shared.submitted.fetch_add(1, Ordering::Relaxed);
+                return accepted(&key, false);
+            }
+            // A cancelled or failed job may be resubmitted; fall through
+            // to re-queue it.
+            JobState::Cancelled | JobState::Failed(_) => {}
+        }
+    }
+
+    let mut queue = shared.queue.lock().expect("queue poisoned");
+    if queue.len() >= shared.config.queue_capacity {
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        return format!(
+            "{{\"type\":\"rejected\",\"reason\":\"queue_full\",\
+             \"retry_after_ms\":{},\"queue_depth\":{}}}",
+            shared.config.retry_after_ms,
+            queue.len()
+        );
+    }
+    queue.push_back(key.clone());
+    drop(queue);
+    jobs.insert(
+        key.clone(),
+        JobEntry {
+            job,
+            state: JobState::Queued,
+        },
+    );
+    drop(jobs);
+    shared.submitted.fetch_add(1, Ordering::Relaxed);
+    shared.work_cv.notify_one();
+    accepted(&key, false)
+}
+
+fn accepted(key: &str, cached: bool) -> String {
+    format!("{{\"type\":\"accepted\",\"job_id\":\"{key}\",\"cached\":{cached}}}")
+}
+
+fn handle_status(shared: &Arc<Shared>, request: &Value) -> String {
+    let id = match job_id_of(request) {
+        Ok(id) => id,
+        Err(e) => return error_response(&e),
+    };
+    let jobs = shared.jobs.lock().expect("jobs poisoned");
+    match jobs.get(id) {
+        None => format!("{{\"type\":\"status\",\"job_id\":\"{id}\",\"state\":\"unknown\"}}"),
+        Some(entry) => match &entry.state {
+            JobState::Failed(message) => format!(
+                "{{\"type\":\"status\",\"job_id\":\"{id}\",\"state\":\"failed\",\
+                 \"error\":\"{}\"}}",
+                escape(message)
+            ),
+            state => format!(
+                "{{\"type\":\"status\",\"job_id\":\"{id}\",\"state\":\"{}\"}}",
+                state_name(state)
+            ),
+        },
+    }
+}
+
+fn handle_result(shared: &Arc<Shared>, request: &Value) -> String {
+    let id = match job_id_of(request) {
+        Ok(id) => id.to_string(),
+        Err(e) => return error_response(&e),
+    };
+    let wait = request
+        .get("wait")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    loop {
+        let Some(entry) = jobs.get(&id) else {
+            return error_response(&format!("unknown job {id}"));
+        };
+        match &entry.state {
+            JobState::Done { cached } => {
+                let cached = *cached;
+                drop(jobs);
+                // Counter-neutral fetch: hit/miss stats describe submits.
+                let Some(fragment) = shared.store.fragment(&id) else {
+                    return error_response(&format!("result for {id} missing from store"));
+                };
+                // `fragment` MUST stay the last member — clients slice
+                // the verbatim bytes out by position (extract_fragment).
+                return format!(
+                    "{{\"type\":\"result\",\"job_id\":\"{id}\",\"cached\":{cached},\
+                     \"fragment\":{fragment}}}"
+                );
+            }
+            JobState::Failed(message) => {
+                return error_response(&format!("job {id} failed: {message}"))
+            }
+            JobState::Cancelled => return error_response(&format!("job {id} was cancelled")),
+            JobState::Queued | JobState::Running if !wait => {
+                return format!(
+                    "{{\"type\":\"status\",\"job_id\":\"{id}\",\"state\":\"{}\"}}",
+                    state_name(&entry.state)
+                );
+            }
+            JobState::Queued | JobState::Running => {
+                jobs = shared.done_cv.wait(jobs).expect("jobs poisoned");
+            }
+        }
+    }
+}
+
+fn handle_cancel(shared: &Arc<Shared>, request: &Value) -> String {
+    let id = match job_id_of(request) {
+        Ok(id) => id,
+        Err(e) => return error_response(&e),
+    };
+    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    let cancelled = match jobs.get_mut(id) {
+        // Only queued jobs can be cancelled; the entry stays in the
+        // table and the worker discards the id when it pops it.
+        Some(entry) if matches!(entry.state, JobState::Queued) => {
+            entry.state = JobState::Cancelled;
+            shared.done_cv.notify_all();
+            true
+        }
+        _ => false,
+    };
+    format!("{{\"type\":\"cancelled\",\"job_id\":\"{id}\",\"cancelled\":{cancelled}}}")
+}
+
+fn handle_stats(shared: &Arc<Shared>) -> String {
+    let (hits, misses, entries) = shared.store.stats();
+    let queue_depth = shared.queue.lock().expect("queue poisoned").len();
+    format!(
+        "{{\"type\":\"stats\",\"engine\":\"{}\",\"workers\":{},\
+         \"queue_depth\":{queue_depth},\"queue_capacity\":{},\
+         \"running\":{},\"submitted\":{},\"completed\":{},\"failed\":{},\
+         \"rejected\":{},\"cache_hits\":{hits},\"cache_misses\":{misses},\
+         \"cache_entries\":{entries}}}",
+        escape(ENGINE_VERSION),
+        shared.config.workers,
+        shared.config.queue_capacity,
+        shared.running.load(Ordering::Relaxed),
+        shared.submitted.load(Ordering::Relaxed),
+        shared.completed.load(Ordering::Relaxed),
+        shared.failed.load(Ordering::Relaxed),
+        shared.rejected.load(Ordering::Relaxed),
+    )
+}
+
+fn shutdown_ack(shared: &Arc<Shared>) -> String {
+    let draining = {
+        let jobs = shared.jobs.lock().expect("jobs poisoned");
+        jobs.values()
+            .filter(|e| matches!(e.state, JobState::Queued | JobState::Running))
+            .count()
+    };
+    format!("{{\"type\":\"shutdown\",\"draining\":{draining}}}")
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let key = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(key) = queue.pop_front() {
+                    break key;
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.work_cv.wait(queue).expect("queue poisoned");
+            }
+        };
+
+        let job = {
+            let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+            match jobs.get_mut(&key) {
+                Some(entry) if matches!(entry.state, JobState::Queued) => {
+                    entry.state = JobState::Running;
+                    entry.job.clone()
+                }
+                // Cancelled while queued (or table inconsistency): skip.
+                _ => continue,
+            }
+        };
+
+        shared.running.fetch_add(1, Ordering::Relaxed);
+        let threads = shared.config.job_threads;
+        let trace_cache = Arc::clone(&shared.trace_cache);
+        // PointJob::run already supervises per-replication panics; this
+        // outer guard catches bugs in the fold itself so one bad job can
+        // never take a worker thread down.
+        let outcome = catch_unwind(AssertUnwindSafe(|| job.run(threads, &trace_cache)));
+        shared.running.fetch_sub(1, Ordering::Relaxed);
+
+        let new_state = match outcome {
+            Ok(Ok(point)) => {
+                shared.store.insert(key.clone(), point.to_wire_json());
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                JobState::Done { cached: false }
+            }
+            Ok(Err(message)) => {
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+                JobState::Failed(message)
+            }
+            Err(panic) => {
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic".to_string());
+                JobState::Failed(format!("job runner panicked: {message}"))
+            }
+        };
+        let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+        if let Some(entry) = jobs.get_mut(&key) {
+            entry.state = new_state;
+        }
+        drop(jobs);
+        shared.done_cv.notify_all();
+    }
+}

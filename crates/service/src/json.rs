@@ -1,0 +1,328 @@
+//! A minimal JSON reader for the wire protocol.
+//!
+//! The workspace is std-only by charter, and the protocol surface is
+//! small (flat request/response objects plus the canonical job
+//! documents), so a ~150-line recursive-descent parser beats an external
+//! dependency. Two deliberate deviations from a general-purpose parser:
+//!
+//! * numbers are kept as their **raw source text** ([`Value::Num`]) —
+//!   seeds are full-range `u64`s that an eager `f64` conversion would
+//!   corrupt, so conversion happens at the access site where the caller
+//!   knows the intended type;
+//! * there is no writer — the protocol's writers compose strings
+//!   directly (like the rest of the repo), keeping every rendered byte
+//!   under the caller's control, which the bit-identical cache contract
+//!   depends on.
+
+use std::collections::HashMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as raw source text (lossless for `u64` seeds).
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. Duplicate keys keep the last occurrence.
+    Obj(HashMap<String, Value>),
+}
+
+impl Value {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is an integral number in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal (the writer
+/// half the protocol needs).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected {lit:?} at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = HashMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            let raw = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|_| "non-UTF-8 number".to_string())?;
+            // Validate once so as_u64/as_f64 can't both fail silently.
+            raw.parse::<f64>()
+                .map_err(|e| format!("bad number {raw:?}: {e}"))?;
+            Ok(Value::Num(raw.to_string()))
+        }
+        Some(c) => Err(format!(
+            "unexpected byte {c:?} at {pos}",
+            c = *c as char,
+            pos = *pos
+        )),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    let mut buf = Vec::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                if !buf.is_empty() {
+                    out.push_str(
+                        std::str::from_utf8(&buf).map_err(|_| "invalid UTF-8".to_string())?,
+                    );
+                }
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                if !buf.is_empty() {
+                    out.push_str(
+                        std::str::from_utf8(&buf).map_err(|_| "invalid UTF-8".to_string())?,
+                    );
+                    buf.clear();
+                }
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                        out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(&b) => {
+                buf.push(b);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_protocol_shapes() {
+        let v = Value::parse(
+            "{\"type\":\"submit\",\"job\":{\"load\":25,\"seed\":18446744073709551615,\
+             \"audit\":false,\"timeout\":null,\"loads\":[1,2,3]}}",
+        )
+        .unwrap();
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("submit"));
+        let job = v.get("job").unwrap();
+        assert_eq!(job.get("load").and_then(Value::as_u64), Some(25));
+        assert_eq!(
+            job.get("seed").and_then(Value::as_u64),
+            Some(u64::MAX),
+            "u64 seeds survive losslessly"
+        );
+        assert_eq!(job.get("audit").and_then(Value::as_bool), Some(false));
+        assert!(job.get("timeout").unwrap().is_null());
+        assert_eq!(job.get("loads").and_then(Value::as_array).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = "a\"b\\c\nd\te\u{1}f";
+        let doc = format!("{{\"s\":\"{}\"}}", escape(original));
+        let v = Value::parse(&doc).unwrap();
+        assert_eq!(v.get("s").and_then(Value::as_str), Some(original));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\":1} extra",
+            "\"unterminated",
+            "{\"a\":01x}",
+            "nul",
+        ] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn numbers_parse_both_ways() {
+        let v = Value::parse("{\"i\":42,\"f\":-1.5e3}").unwrap();
+        assert_eq!(v.get("i").and_then(Value::as_u64), Some(42));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(-1500.0));
+        assert_eq!(v.get("f").and_then(Value::as_u64), None);
+    }
+}

@@ -1,0 +1,37 @@
+//! Simulation-as-a-service for the unified epidemic-routing study.
+//!
+//! This crate turns the in-process sweep machinery of
+//! `dtn-experiments` into a long-running service:
+//!
+//! * [`daemon`] — the `dtnsimd` daemon: a TCP accept loop, a **bounded**
+//!   job queue with explicit reject-and-retry backpressure, and a worker
+//!   pool that runs [`dtn_experiments::PointJob`]s under the same
+//!   watchdog supervision the local runners use;
+//! * [`cache`] — a content-addressed result store: jobs are keyed by a
+//!   hash of their canonical description plus the engine version, and
+//!   results are stored as verbatim wire bytes so cache hits are
+//!   **bit-identical** to fresh computation;
+//! * [`wire`] — the length-prefixed JSON framing and the job codec
+//!   shared by daemon and client;
+//! * [`client`] — the client used by `dtnsim --connect`, which submits
+//!   the same per-point jobs a local sweep would run and reassembles an
+//!   identical `SweepReport`;
+//! * [`json`] — the minimal std-only JSON reader backing the protocol.
+//!
+//! The load-bearing invariant, checked end to end by `tests/service.rs`:
+//! for any sweep, *local run*, *daemon run*, and *daemon re-run served
+//! from cache* all produce canonically identical reports, and the cached
+//! fragments are byte-identical to the freshly computed ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod daemon;
+pub mod json;
+pub mod wire;
+
+pub use cache::{job_key, ResultStore, ENGINE_VERSION};
+pub use client::{Client, SubmitTicket};
+pub use daemon::{Daemon, DaemonConfig};

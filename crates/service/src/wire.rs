@@ -1,0 +1,258 @@
+//! Wire protocol: length-prefixed JSON frames and the job codec.
+//!
+//! Every message — request or response — is one JSON document framed by
+//! a 4-byte big-endian byte length. Length prefixes beat line framing
+//! here because result fragments embed arbitrary violation strings, and
+//! they make the read loop trivially robust against partial reads.
+//!
+//! ## Requests
+//!
+//! | `type`     | fields                         | response |
+//! |------------|--------------------------------|----------|
+//! | `submit`   | `job`: canonical job document  | `accepted` \| `rejected` \| `error` |
+//! | `status`   | `job_id`                       | `status` |
+//! | `result`   | `job_id`, `wait` (bool)        | `result` \| `status` \| `error` |
+//! | `cancel`   | `job_id`                       | `cancelled` |
+//! | `stats`    | —                              | `stats` |
+//! | `shutdown` | —                              | `shutdown` |
+//!
+//! `submit` answers `accepted` (`job_id`, `cached`) when the job is
+//! cached, already known, or newly queued; `rejected` (`reason`,
+//! `retry_after_ms`, `queue_depth`) is the queue-full backpressure
+//! signal — the queue never grows without bound, clients are told when
+//! to come back. `result` with `wait:true` blocks until the job leaves
+//! the queue/worker pipeline; its `fragment` member is the daemon's
+//! stored result document **verbatim** (it is always the last member, so
+//! [`extract_fragment`] can recover the exact bytes), which is what
+//! makes cache hits bit-identical to fresh computation.
+//!
+//! The job document itself is [`PointJob::to_canonical_json`]; the
+//! daemon re-parses and re-renders it ([`job_from_value`] +
+//! `to_canonical_json`), so the cache key never depends on client-side
+//! formatting.
+
+use crate::json::Value;
+use dtn_epidemic::{ChurnMode, ChurnPlan, FaultPlan, GilbertElliott};
+use dtn_experiments::jobs::PointJob;
+use dtn_experiments::Mobility;
+use std::io::{Read, Write};
+
+/// Upper bound on a single frame. Large enough for any report fragment
+/// (a 10 000-replication point is ~2 MB), small enough that a corrupt
+/// or hostile length prefix cannot balloon memory.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Write one length-prefixed frame. Prefix and payload go out in a
+/// single write: two small writes would trip the Nagle/delayed-ACK
+/// interaction and cost ~100 ms per frame on loopback.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    let len = payload.len() as u32;
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(payload.as_bytes());
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. `Ok(None)` on clean EOF at a frame
+/// boundary (the peer closed the connection); errors on truncated
+/// frames or oversized prefixes.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn hex_f64(v: &Value, key: &str) -> Result<f64, String> {
+    let raw = v
+        .get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("field {key:?} must be a hex-bits string"))?;
+    u64::from_str_radix(raw, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("field {key:?}: bad f64 bits {raw:?}: {e}"))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} must be an unsigned integer"))
+}
+
+/// Decode a canonical job document (the `job` member of a `submit`
+/// request) back into a [`PointJob`]. Inverse of
+/// [`PointJob::to_canonical_json`]; the round trip is tested to be
+/// exact, which the content-addressed cache relies on.
+pub fn job_from_value(v: &Value) -> Result<PointJob, String> {
+    let faults_v = field(v, "faults")?;
+    let burst = match field(faults_v, "burst")? {
+        Value::Null => None,
+        b => Some(GilbertElliott {
+            loss_good: hex_f64(b, "loss_good")?,
+            loss_bad: hex_f64(b, "loss_bad")?,
+            p_good_to_bad: hex_f64(b, "p_good_to_bad")?,
+            p_bad_to_good: hex_f64(b, "p_bad_to_good")?,
+        }),
+    };
+    let churn = match field(faults_v, "churn")? {
+        Value::Null => None,
+        c => Some(ChurnPlan {
+            mean_up_secs: hex_f64(c, "mean_up_secs")?,
+            mean_down_secs: hex_f64(c, "mean_down_secs")?,
+            mode: match c.get("mode").and_then(Value::as_str) {
+                Some("crash") => ChurnMode::Crash,
+                Some("duty") => ChurnMode::DutyCycle,
+                other => return Err(format!("bad churn mode {other:?}")),
+            },
+        }),
+    };
+    let point_timeout_secs = match field(v, "point_timeout_secs")? {
+        Value::Null => None,
+        t => Some(
+            t.as_u64()
+                .ok_or("point_timeout_secs must be null or an unsigned integer")?,
+        ),
+    };
+    let job = PointJob {
+        protocol: field(v, "protocol")?
+            .as_str()
+            .ok_or("protocol must be a string")?
+            .to_string(),
+        mobility: Mobility::parse(
+            field(v, "mobility")?
+                .as_str()
+                .ok_or("mobility must be a string")?,
+        )?,
+        load: u64_field(v, "load")?
+            .try_into()
+            .map_err(|_| "load out of range")?,
+        replications: u64_field(v, "replications")? as usize,
+        root_seed: u64_field(v, "root_seed")?,
+        trace_seed: u64_field(v, "trace_seed")?,
+        buffer_capacity: u64_field(v, "buffer")? as usize,
+        tx_time_secs: u64_field(v, "tx_time_secs")?,
+        transfer_loss: hex_f64(v, "transfer_loss")?,
+        faults: FaultPlan {
+            truncation_prob: hex_f64(faults_v, "truncation_prob")?,
+            ack_loss_prob: hex_f64(faults_v, "ack_loss_prob")?,
+            burst,
+            churn,
+        },
+        retries: u64_field(v, "retries")?
+            .try_into()
+            .map_err(|_| "retries out of range")?,
+        point_timeout_secs,
+        audit: field(v, "audit")?.as_bool().ok_or("audit must be a bool")?,
+    };
+    job.validate()?;
+    Ok(job)
+}
+
+/// Recover the verbatim `fragment` document from a `result` response.
+/// The daemon always renders `fragment` as the **last** member, so the
+/// exact stored bytes are the span between the key and the closing
+/// brace — no JSON re-rendering touches them.
+pub fn extract_fragment(raw: &str) -> Option<&str> {
+    let idx = raw.find(",\"fragment\":")?;
+    let body = &raw[idx + ",\"fragment\":".len()..];
+    body.strip_suffix('}')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_experiments::jobs::exercise_fault_plan;
+    use dtn_experiments::SweepConfig;
+
+    fn jobs() -> Vec<PointJob> {
+        let cfg = SweepConfig::default();
+        let plain = PointJob::from_sweep("pure", Mobility::Trace, 10, &cfg);
+        let mut faulty = PointJob::from_sweep("pq=0.3,0.7", Mobility::Interval(2000), 25, &cfg);
+        faulty.faults = exercise_fault_plan();
+        faulty.transfer_loss = 0.1;
+        faulty.point_timeout_secs = Some(30);
+        faulty.audit = true;
+        faulty.root_seed = u64::MAX;
+        vec![plain, faulty]
+    }
+
+    #[test]
+    fn job_codec_round_trips_exactly() {
+        for job in jobs() {
+            let doc = job.to_canonical_json();
+            let back = job_from_value(&Value::parse(&doc).unwrap()).unwrap();
+            assert_eq!(back, job);
+            assert_eq!(back.to_canonical_json(), doc, "re-render must be stable");
+        }
+    }
+
+    #[test]
+    fn job_decode_rejects_invalid_jobs() {
+        let cfg = SweepConfig::default();
+        let mut bad = PointJob::from_sweep("pure", Mobility::Trace, 10, &cfg);
+        bad.load = 0;
+        let doc = bad.to_canonical_json();
+        assert!(job_from_value(&Value::parse(&doc).unwrap()).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"type\":\"stats\"}").unwrap();
+        write_frame(&mut buf, "second ☃ frame").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "{\"type\":\"stats\"}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "second ☃ frame");
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_error() {
+        let huge = (MAX_FRAME_BYTES + 1).to_be_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err(), "truncated payload");
+        let partial = [0u8, 0];
+        assert!(read_frame(&mut &partial[..]).is_err(), "truncated prefix");
+    }
+
+    #[test]
+    fn fragment_extraction_is_verbatim() {
+        let fragment = "{\"attempts\":[1],\"slow\":0,\"runs\":[[1]],\"violations\":[]}";
+        let response = format!(
+            "{{\"type\":\"result\",\"job_id\":\"ab\",\"cached\":true,\"fragment\":{fragment}}}"
+        );
+        assert_eq!(extract_fragment(&response), Some(fragment));
+        assert_eq!(extract_fragment("{\"type\":\"error\"}"), None);
+    }
+}
