@@ -1,9 +1,11 @@
 //! Reproducible sweep-throughput harness: `cargo run --release --bin
 //! bench_sweep` runs a fixed figure-style workload (every protocol of the
-//! study over the same mobility sources and load axis) and writes
+//! study — the eight paper protocols plus the Bloom summary-exchange
+//! family — over the same mobility sources and load axis) and writes
 //! `BENCH_sweep.json` with contacts/sec, sweeps/sec, and peak RSS. The
 //! JSON is the repo's performance trajectory: re-run after a hot-path
-//! change and compare against the committed numbers.
+//! change and compare against the committed numbers (CI's perf-guard job
+//! does exactly that and fails on a >25% regression).
 //!
 //! The file is rendered through the unified [`SweepReport`] pipeline, so
 //! alongside the legacy top-level counters it now carries per-sweep wall
@@ -14,9 +16,10 @@ use dtn_experiments::{aggregate_point, Mobility, SweepConfig, SweepReport, Trace
 use dtn_sim::Threads;
 use std::time::Instant;
 
-/// The fixed workload: the paper's eight protocols, two mobility
-/// regimes, five load levels, five replications each — shaped like a
-/// figure regeneration, scaled to finish in seconds.
+/// The fixed workload: the paper's eight protocols plus the four Bloom
+/// summary-exchange variants, two mobility regimes, five load levels,
+/// five replications each — shaped like a figure regeneration, scaled to
+/// finish in seconds.
 const LOADS: [u32; 5] = [10, 20, 30, 40, 50];
 const REPLICATIONS: usize = 5;
 const MOBILITIES: [Mobility; 2] = [Mobility::Trace, Mobility::Rwp];
@@ -50,12 +53,15 @@ fn main() {
         );
     }
 
+    let bloom = protocols::bloom_protocols();
     let mut report = SweepReport::new(format!(
-        "{} protocols x {} mobilities x loads {:?} x {} replications, sequential",
+        "{} protocols x {} mobilities x loads {:?} x {} replications, sequential; \
+         plus a {}-variant bloom-family stanza outside the timed window",
         protocols.len(),
         MOBILITIES.len(),
         LOADS,
         REPLICATIONS,
+        bloom.len(),
     ));
 
     let start = Instant::now();
@@ -82,8 +88,33 @@ fn main() {
             );
         }
     }
-    report.record_cache(cache.stats());
     report.finish(start.elapsed().as_secs_f64());
+
+    // Bloom-family sweep-grid stanza: the four Bloom summary-exchange
+    // variants over the same mobility × load grid. Recorded after
+    // `finish` freezes the headline numerators, so the legacy
+    // contacts/sec stays comparable with the committed history while the
+    // points carry the new signaling_bytes / false_positive_transmissions
+    // counters.
+    for mobility in MOBILITIES {
+        for protocol in &bloom {
+            let sweep_started = Instant::now();
+            for &load in &cfg.loads {
+                let metrics = if uncached {
+                    dtn_experiments::run_point_raw(protocol, mobility, load, &cfg)
+                } else {
+                    dtn_experiments::run_point_raw_cached(protocol, mobility, load, &cfg, &cache)
+                };
+                report.record_point(protocol.name, &mobility.label(), load, &metrics);
+                std::hint::black_box(aggregate_point(load, &metrics));
+            }
+            report.record_sweep(
+                format!("{} @ {} [bloom stanza]", protocol.name, mobility.label()),
+                sweep_started.elapsed().as_secs_f64(),
+            );
+        }
+    }
+    report.record_cache(cache.stats());
 
     let json = report.to_json();
     let out = std::env::args()

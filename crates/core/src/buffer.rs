@@ -7,6 +7,21 @@
 //! bundles onto a source whose relay buffer holds 10, so originals cannot
 //! live in the bounded buffer). Both kinds of copy are subject to lifetime
 //! policies; only the relay buffer is subject to capacity eviction.
+//!
+//! # Struct-of-arrays layout
+//!
+//! Storage is four parallel lanes indexed by slot — ids, encounter
+//! counts, store times, expiry times — instead of an array of
+//! [`StoredBundle`] records. The session hot path touches one lane at a
+//! time (EC aging walks only the `ecs` lane; expiry scans walk only
+//! `expires_ats`; id lookups scan only `ids`), so each pass streams
+//! through dense homogeneous memory. A cached lower bound on the earliest
+//! finite expiry ([`Buffer::min_expiry`]) lets the per-contact defensive
+//! purge exit in O(1) when nothing can be due — for the `LifetimePolicy::
+//! None` protocols that is *every* contact. `StoredBundle` remains the
+//! assembled value type at the API boundary; slots keep insertion order,
+//! so every tie-break and removal-order contract of the record layout is
+//! preserved exactly.
 
 use crate::bundle::BundleId;
 use crate::policy::EvictionPolicy;
@@ -43,24 +58,44 @@ pub enum InsertOutcome {
 
 /// A bounded relay buffer.
 ///
-/// Backed by a plain `Vec` — the paper's buffers hold ten bundles, so
-/// linear scans beat any indexed structure, and iteration order (insertion
-/// order) gives deterministic tie-breaking for free.
+/// Slot order is insertion order, which gives deterministic tie-breaking
+/// for free; the paper's buffers hold ten bundles, so linear lane scans
+/// beat any indexed structure.
 #[derive(Clone, Debug)]
 pub struct Buffer {
     capacity: usize,
-    entries: Vec<StoredBundle>,
+    ids: Vec<BundleId>,
+    ecs: Vec<u32>,
+    stored_ats: Vec<SimTime>,
+    expires_ats: Vec<SimTime>,
+    /// Lower bound on the earliest *finite* expiry among stored copies
+    /// ([`SimTime::MAX`] when none is known to exist). Removals may
+    /// leave it stale-low — it only ever under-estimates, so
+    /// "`min_expiry > now` ⇒ nothing is due" stays sound; any scan that
+    /// walks the expiry lane re-tightens it to the exact minimum.
+    min_expiry: SimTime,
 }
 
 impl Buffer {
     /// An empty buffer holding at most `capacity` bundles.
     pub fn new(capacity: usize) -> Buffer {
         assert!(capacity > 0, "zero-capacity buffer");
+        // Bounded (relay) buffers pre-allocate their full lanes; the
+        // "unbounded" origin stores (capacity usize::MAX) start empty —
+        // most nodes never source a bundle, and four eager allocations
+        // per node add up across replications.
+        let prealloc = if capacity == usize::MAX {
+            0
+        } else {
+            capacity.min(64)
+        };
         Buffer {
             capacity,
-            // Cap the pre-allocation: "unbounded" origin stores pass
-            // usize::MAX as capacity.
-            entries: Vec::with_capacity(capacity.min(64)),
+            ids: Vec::with_capacity(prealloc),
+            ecs: Vec::with_capacity(prealloc),
+            stored_ats: Vec::with_capacity(prealloc),
+            expires_ats: Vec::with_capacity(prealloc),
+            min_expiry: SimTime::MAX,
         }
     }
 
@@ -71,48 +106,88 @@ impl Buffer {
 
     /// Number of stored bundles.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.ids.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.ids.is_empty()
     }
 
     /// True when at capacity.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.ids.len() >= self.capacity
+    }
+
+    /// Slot of `id`, if stored.
+    #[inline]
+    fn slot_of(&self, id: BundleId) -> Option<usize> {
+        self.ids.iter().position(|&e| e == id)
+    }
+
+    /// Assemble the record stored in `slot`.
+    #[inline]
+    fn assemble(&self, slot: usize) -> StoredBundle {
+        StoredBundle {
+            id: self.ids[slot],
+            ec: self.ecs[slot],
+            stored_at: self.stored_ats[slot],
+            expires_at: self.expires_ats[slot],
+        }
+    }
+
+    /// Remove `slot` from every lane, preserving slot order.
+    fn remove_slot(&mut self, slot: usize) -> StoredBundle {
+        let removed = self.assemble(slot);
+        self.ids.remove(slot);
+        self.ecs.remove(slot);
+        self.stored_ats.remove(slot);
+        self.expires_ats.remove(slot);
+        removed
     }
 
     /// True if a copy of `id` is stored.
     pub fn contains(&self, id: BundleId) -> bool {
-        self.entries.iter().any(|e| e.id == id)
+        self.slot_of(id).is_some()
     }
 
-    /// Shared access to a stored copy.
-    pub fn get(&self, id: BundleId) -> Option<&StoredBundle> {
-        self.entries.iter().find(|e| e.id == id)
+    /// The stored copy of `id`, by value.
+    pub fn get(&self, id: BundleId) -> Option<StoredBundle> {
+        self.slot_of(id).map(|slot| self.assemble(slot))
     }
 
-    /// Mutable access to a stored copy.
-    pub fn get_mut(&mut self, id: BundleId) -> Option<&mut StoredBundle> {
-        self.entries.iter_mut().find(|e| e.id == id)
+    /// Mutable access to the copy of `id`, as a lane-aware proxy.
+    pub fn entry_mut(&mut self, id: BundleId) -> Option<EntryMut<'_>> {
+        let slot = self.slot_of(id)?;
+        Some(EntryMut { buf: self, slot })
     }
 
     /// Iterate over stored copies in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &StoredBundle> {
-        self.entries.iter()
+    pub fn iter(&self) -> impl Iterator<Item = StoredBundle> + '_ {
+        (0..self.ids.len()).map(move |slot| self.assemble(slot))
     }
 
-    /// Mutable iteration (used by the session layer to update EC/TTL).
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut StoredBundle> {
-        self.entries.iter_mut()
+    /// Increment every stored copy's encounter count by one — the
+    /// per-contact EC aging pass, as a single dense lane walk.
+    pub fn age_all(&mut self) {
+        for ec in &mut self.ecs {
+            *ec += 1;
+        }
     }
 
     /// Remove and return the copy of `id`.
     pub fn remove(&mut self, id: BundleId) -> Option<StoredBundle> {
-        let pos = self.entries.iter().position(|e| e.id == id)?;
-        Some(self.entries.remove(pos))
+        let slot = self.slot_of(id)?;
+        Some(self.remove_slot(slot))
+    }
+
+    /// Append `bundle` to the lanes and fold its expiry into the cache.
+    fn push(&mut self, bundle: StoredBundle) {
+        self.ids.push(bundle.id);
+        self.ecs.push(bundle.ec);
+        self.stored_ats.push(bundle.stored_at);
+        self.expires_ats.push(bundle.expires_at);
+        self.min_expiry = self.min_expiry.min(bundle.expires_at);
     }
 
     /// Admit `bundle` under `policy`.
@@ -129,47 +204,47 @@ impl Buffer {
             return InsertOutcome::Duplicate;
         }
         if !self.is_full() {
-            self.entries.push(bundle);
+            self.push(bundle);
             return InsertOutcome::Stored;
         }
         match policy {
             EvictionPolicy::RejectNew => InsertOutcome::Rejected,
             EvictionPolicy::DropOldest => {
-                let victim_pos = self
-                    .entries
+                let victim_slot = self
+                    .stored_ats
                     .iter()
                     .enumerate()
-                    .min_by_key(|(pos, e)| (e.stored_at, *pos))
-                    .map(|(pos, _)| pos)
+                    .min_by_key(|(slot, &at)| (at, *slot))
+                    .map(|(slot, _)| slot)
                     .expect("full buffer is non-empty");
-                let victim = self.entries.remove(victim_pos);
-                self.entries.push(bundle);
+                let victim = self.remove_slot(victim_slot);
+                self.push(bundle);
                 InsertOutcome::StoredEvicting(victim.id)
             }
             EvictionPolicy::HighestEc => {
-                let victim_pos = self
-                    .entries
+                let victim_slot = self
+                    .ecs
                     .iter()
                     .enumerate()
-                    .max_by_key(|(pos, e)| (e.ec, std::cmp::Reverse(*pos)))
-                    .map(|(pos, _)| pos)
+                    .max_by_key(|(slot, &ec)| (ec, std::cmp::Reverse(*slot)))
+                    .map(|(slot, _)| slot)
                     .expect("full buffer is non-empty");
-                let victim = self.entries.remove(victim_pos);
-                self.entries.push(bundle);
+                let victim = self.remove_slot(victim_slot);
+                self.push(bundle);
                 InsertOutcome::StoredEvicting(victim.id)
             }
             EvictionPolicy::HighestEcMin { min_ec } => {
-                let victim_pos = self
-                    .entries
+                let victim_slot = self
+                    .ecs
                     .iter()
                     .enumerate()
-                    .filter(|(_, e)| e.ec >= min_ec)
-                    .max_by_key(|(pos, e)| (e.ec, std::cmp::Reverse(*pos)))
-                    .map(|(pos, _)| pos);
-                match victim_pos {
-                    Some(pos) => {
-                        let victim = self.entries.remove(pos);
-                        self.entries.push(bundle);
+                    .filter(|(_, &ec)| ec >= min_ec)
+                    .max_by_key(|(slot, &ec)| (ec, std::cmp::Reverse(*slot)))
+                    .map(|(slot, _)| slot);
+                match victim_slot {
+                    Some(slot) => {
+                        let victim = self.remove_slot(slot);
+                        self.push(bundle);
                         InsertOutcome::StoredEvicting(victim.id)
                     }
                     // Every resident is below the deletion threshold:
@@ -190,15 +265,29 @@ impl Buffer {
 
     /// [`Buffer::purge_expired`] appending into a caller-supplied scratch
     /// vector — the allocation-free form the session hot path uses.
+    ///
+    /// O(1) when the expiry cache proves nothing is due; otherwise one
+    /// compacting walk of the lanes that also re-tightens the cache.
     pub fn purge_expired_into(&mut self, now: SimTime, removed: &mut Vec<BundleId>) {
-        self.entries.retain(|e| {
-            if e.expires_at <= now {
-                removed.push(e.id);
-                false
+        if self.min_expiry > now {
+            return;
+        }
+        let mut keep = 0;
+        let mut min = SimTime::MAX;
+        for slot in 0..self.ids.len() {
+            if self.expires_ats[slot] <= now {
+                removed.push(self.ids[slot]);
             } else {
-                true
+                self.ids[keep] = self.ids[slot];
+                self.ecs[keep] = self.ecs[slot];
+                self.stored_ats[keep] = self.stored_ats[slot];
+                self.expires_ats[keep] = self.expires_ats[slot];
+                min = min.min(self.expires_ats[keep]);
+                keep += 1;
             }
-        });
+        }
+        self.truncate_lanes(keep);
+        self.min_expiry = min;
     }
 
     /// Remove every copy covered by `predicate` (immunity purge); returns
@@ -216,23 +305,70 @@ impl Buffer {
         mut predicate: F,
         removed: &mut Vec<BundleId>,
     ) {
-        self.entries.retain(|e| {
-            if predicate(e.id) {
-                removed.push(e.id);
-                false
+        let mut keep = 0;
+        let mut min = SimTime::MAX;
+        for slot in 0..self.ids.len() {
+            if predicate(self.ids[slot]) {
+                removed.push(self.ids[slot]);
             } else {
-                true
+                self.ids[keep] = self.ids[slot];
+                self.ecs[keep] = self.ecs[slot];
+                self.stored_ats[keep] = self.stored_ats[slot];
+                self.expires_ats[keep] = self.expires_ats[slot];
+                min = min.min(self.expires_ats[keep]);
+                keep += 1;
             }
-        });
+        }
+        self.truncate_lanes(keep);
+        self.min_expiry = min;
     }
 
-    /// The earliest finite expiry among stored copies.
+    fn truncate_lanes(&mut self, keep: usize) {
+        self.ids.truncate(keep);
+        self.ecs.truncate(keep);
+        self.stored_ats.truncate(keep);
+        self.expires_ats.truncate(keep);
+    }
+
+    /// The earliest finite expiry among stored copies — as a cached lower
+    /// bound, which may be earlier than the true minimum after removals.
+    /// Callers treat the value as "no copy can expire before this", which
+    /// is exactly the contract the engine's expiry-check scheduling
+    /// needs: a check that fires early purges nothing, observes nothing,
+    /// and reschedules from the then-re-tightened bound.
     pub fn earliest_expiry(&self) -> Option<SimTime> {
-        self.entries
-            .iter()
-            .map(|e| e.expires_at)
-            .filter(|&t| t != SimTime::MAX)
-            .min()
+        (self.min_expiry != SimTime::MAX).then_some(self.min_expiry)
+    }
+}
+
+/// Mutable access to one stored copy, mediating lane updates so the
+/// expiry cache stays sound.
+pub struct EntryMut<'a> {
+    buf: &'a mut Buffer,
+    slot: usize,
+}
+
+impl EntryMut<'_> {
+    /// The copy's encounter count.
+    pub fn ec(&self) -> u32 {
+        self.buf.ecs[self.slot]
+    }
+
+    /// Increment the encounter count; returns the new value.
+    pub fn bump_ec(&mut self) -> u32 {
+        self.buf.ecs[self.slot] += 1;
+        self.buf.ecs[self.slot]
+    }
+
+    /// The copy's expiry time.
+    pub fn expires_at(&self) -> SimTime {
+        self.buf.expires_ats[self.slot]
+    }
+
+    /// Re-assign the copy's expiry (TTL renewal / EC-TTL update).
+    pub fn set_expires_at(&mut self, at: SimTime) {
+        self.buf.expires_ats[self.slot] = at;
+        self.buf.min_expiry = self.buf.min_expiry.min(at);
     }
 }
 
@@ -360,6 +496,50 @@ mod tests {
         let copy = buf.remove(bid(1)).unwrap();
         assert_eq!(copy.ec, 3);
         assert!(buf.remove(bid(1)).is_none());
+    }
+
+    #[test]
+    fn age_all_bumps_every_resident() {
+        let mut buf = Buffer::new(4);
+        buf.insert(stored(1, 0, 0), EvictionPolicy::RejectNew);
+        buf.insert(stored(2, 7, 0), EvictionPolicy::RejectNew);
+        buf.age_all();
+        buf.age_all();
+        assert_eq!(buf.get(bid(1)).unwrap().ec, 2);
+        assert_eq!(buf.get(bid(2)).unwrap().ec, 9);
+    }
+
+    #[test]
+    fn entry_mut_updates_keep_the_expiry_cache_sound() {
+        let mut buf = Buffer::new(4);
+        let mut b1 = stored(1, 0, 0);
+        b1.expires_at = SimTime::from_secs(500);
+        buf.insert(b1, EvictionPolicy::RejectNew);
+        // TTL renewal to an *earlier* time must be visible to the cache.
+        buf.entry_mut(bid(1))
+            .unwrap()
+            .set_expires_at(SimTime::from_secs(100));
+        assert_eq!(buf.earliest_expiry(), Some(SimTime::from_secs(100)));
+        assert_eq!(buf.purge_expired(SimTime::from_secs(100)), vec![bid(1)]);
+        assert_eq!(buf.earliest_expiry(), None);
+    }
+
+    #[test]
+    fn expiry_cache_is_a_sound_lower_bound_after_removals() {
+        let mut buf = Buffer::new(4);
+        let mut b1 = stored(1, 0, 0);
+        b1.expires_at = SimTime::from_secs(100);
+        let mut b2 = stored(2, 0, 0);
+        b2.expires_at = SimTime::from_secs(900);
+        buf.insert(b1, EvictionPolicy::RejectNew);
+        buf.insert(b2, EvictionPolicy::RejectNew);
+        buf.remove(bid(1));
+        // The bound may be stale (still 100) but never *later* than the
+        // true minimum, and a purge scan re-tightens it.
+        let bound = buf.earliest_expiry().unwrap();
+        assert!(bound <= SimTime::from_secs(900));
+        assert!(buf.purge_expired(bound).is_empty() || bound == SimTime::from_secs(900));
+        assert_eq!(buf.earliest_expiry(), Some(SimTime::from_secs(900)));
     }
 
     #[test]

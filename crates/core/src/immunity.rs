@@ -28,6 +28,12 @@ use crate::bundle::{BundleId, FlowId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A dense, growable bitset over one flow's sequence numbers.
+///
+/// Capacity note (audited alongside the `SummaryVector::reset` stale-spill
+/// fix): `SeqBits` only ever grows within one run, and between runs its
+/// owner is replaced wholesale — [`ImmunityStore::reset`] swaps in a fresh
+/// `PerBundleSet::default()` rather than clearing bitsets in place — so a
+/// shrinking workload cannot inherit an oversized allocation here.
 #[derive(Clone, Debug, Default)]
 pub struct SeqBits {
     words: Vec<u64>,

@@ -71,7 +71,7 @@ pub mod simulation;
 pub mod summary;
 
 pub use audit::{AuditMode, AuditProbe, Violation};
-pub use buffer::{Buffer, InsertOutcome, StoredBundle};
+pub use buffer::{Buffer, EntryMut, InsertOutcome, StoredBundle};
 pub use bundle::{BundleId, Flow, FlowId, Workload, WorkloadError};
 pub use faults::{
     validate_probability, ChurnMode, ChurnPlan, ChurnTransition, FaultInjector, FaultPlan,
@@ -79,10 +79,11 @@ pub use faults::{
 };
 pub use immunity::{DeliveryTracker, ImmunityStore};
 pub use metrics::{DropReason, MetricsCollector, RunMetrics};
-pub use node::Node;
+pub use node::{Node, NodeBits};
 pub use oracle::simulate_oracle;
 pub use policy::{
-    AckPropagation, AckScheme, EvictionPolicy, LifetimePolicy, ProtocolConfig, TransmitPolicy,
+    AckPropagation, AckScheme, EvictionPolicy, LifetimePolicy, ProtocolConfig, SummaryPolicy,
+    TransmitPolicy,
 };
 pub use probe::{
     replay_jsonl, replay_metrics, CountingProbe, Event, FanoutProbe, JsonlProbe, MemoryProbe,
@@ -90,4 +91,4 @@ pub use probe::{
 };
 pub use session::{SessionScratch, SimConfig};
 pub use simulation::{simulate, simulate_probed};
-pub use summary::SummaryVector;
+pub use summary::{bloom_lanes, bloom_params, BloomFilter, BloomParams, SummaryVector};

@@ -86,6 +86,13 @@ pub struct MetricsCollector {
     pub payload_bytes_sent: u64,
     /// Control bytes put on the air (summary vectors + immunity records).
     pub control_bytes_sent: u64,
+    /// Summary-digest bytes put on the air (exact vectors or Bloom
+    /// digests) — the subset of `control_bytes_sent` attributable to the
+    /// anti-entropy advertisement itself.
+    pub signaling_bytes: u64,
+    /// Transmissions suppressed because a Bloom digest falsely claimed
+    /// the receiver already held the bundle (0 under exact summaries).
+    pub false_positive_transmissions: u64,
     /// Contacts skipped because an endpoint was down (churn).
     pub contacts_skipped: u64,
     /// Sessions cut short by contact-truncation fault injection.
@@ -133,6 +140,8 @@ impl MetricsCollector {
             transfer_losses: 0,
             payload_bytes_sent: 0,
             control_bytes_sent: 0,
+            signaling_bytes: 0,
+            false_positive_transmissions: 0,
             contacts_skipped: 0,
             sessions_truncated: 0,
             ack_losses: 0,
@@ -292,6 +301,8 @@ impl MetricsCollector {
             transfer_losses: self.transfer_losses,
             payload_bytes_sent: self.payload_bytes_sent,
             control_bytes_sent: self.control_bytes_sent,
+            signaling_bytes: self.signaling_bytes,
+            false_positive_transmissions: self.false_positive_transmissions,
             contacts_skipped: self.contacts_skipped,
             sessions_truncated: self.sessions_truncated,
             ack_losses: self.ack_losses,
@@ -343,6 +354,14 @@ pub struct RunMetrics {
     pub payload_bytes_sent: u64,
     /// Control bytes put on the air (summary vectors + immunity records).
     pub control_bytes_sent: u64,
+    /// Summary-digest bytes put on the air — the anti-entropy
+    /// advertisement share of `control_bytes_sent` (exact vectors and
+    /// Bloom digests alike).
+    pub signaling_bytes: u64,
+    /// Transmissions suppressed by Bloom-digest false positives: the
+    /// receiver lacked the bundle but the digest claimed otherwise.
+    /// Always 0 under [`SummaryPolicy::Exact`](crate::SummaryPolicy).
+    pub false_positive_transmissions: u64,
     /// Contacts skipped because an endpoint was down (churn fault
     /// injection; 0 without a fault plan).
     pub contacts_skipped: u64,

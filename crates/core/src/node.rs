@@ -7,9 +7,10 @@
 //! delivery trackers, and the encounter-interval estimate that drives the
 //! dynamic-TTL enhancement.
 
-use crate::buffer::{Buffer, StoredBundle};
+use crate::buffer::{Buffer, EntryMut, StoredBundle};
 use crate::bundle::{BundleId, FlowId};
 use crate::immunity::{DeliveryTracker, ImmunityStore};
+use crate::summary::SummaryVector;
 use dtn_mobility::NodeId;
 use dtn_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
@@ -21,6 +22,86 @@ pub enum CopyPlace {
     Relay,
     /// The unbounded origin store (bundles this node sourced).
     Origin,
+}
+
+/// Engine-maintained possession bitsets over the workload's dense bundle
+/// indexing — the struct-of-arrays acceleration behind the session hot
+/// path.
+///
+/// Two planes: `copies` mirrors relay ∪ origin membership, `delivered`
+/// mirrors the delivery trackers. When valid, the anti-entropy refill is
+/// a word-wise OR and the candidate split iterates words instead of
+/// records; possession tests are single bit probes.
+///
+/// The planes are *derived* state: [`crate::simulate`] enables them at
+/// run start and every engine mutation site updates them alongside the
+/// authoritative stores. Code that mutates a node's buffers directly
+/// (unit tests, external callers) leaves them disabled, and every reader
+/// falls back to walking the records — behavior is identical either way.
+#[derive(Clone, Debug, Default)]
+pub struct NodeBits {
+    enabled: bool,
+    copies: SummaryVector,
+    delivered: SummaryVector,
+}
+
+impl NodeBits {
+    /// Enable and clear both planes for a `total`-bundle workload.
+    pub fn init(&mut self, total: u32) {
+        self.enabled = true;
+        self.copies.reset(total);
+        self.delivered.reset(total);
+    }
+
+    /// Both planes, iff the engine maintains them.
+    #[inline]
+    pub(crate) fn planes(&self) -> Option<(&SummaryVector, &SummaryVector)> {
+        self.enabled.then_some((&self.copies, &self.delivered))
+    }
+
+    /// The copy plane, iff maintained.
+    #[inline]
+    pub(crate) fn copy_plane(&self) -> Option<&SummaryVector> {
+        self.enabled.then_some(&self.copies)
+    }
+
+    /// Record that a relay/origin copy of bundle `idx` now exists.
+    #[inline]
+    pub fn set_copy(&mut self, idx: usize) {
+        if self.enabled {
+            self.copies.insert(idx);
+        }
+    }
+
+    /// Record that no relay/origin copy of bundle `idx` remains.
+    #[inline]
+    pub fn clear_copy(&mut self, idx: usize) {
+        if self.enabled {
+            self.copies.remove(idx);
+        }
+    }
+
+    /// Record a completed delivery of bundle `idx` (permanent).
+    #[inline]
+    pub fn set_delivered(&mut self, idx: usize) {
+        if self.enabled {
+            self.delivered.insert(idx);
+        }
+    }
+
+    /// Bit-probe possession: copy or completed delivery. Only meaningful
+    /// when the planes are maintained.
+    #[inline]
+    pub(crate) fn has(&self, idx: usize) -> bool {
+        debug_assert!(self.enabled);
+        self.copies.contains(idx) || self.delivered.contains(idx)
+    }
+
+    /// Are the planes engine-maintained?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
 }
 
 /// One mobile node's complete protocol state.
@@ -44,6 +125,9 @@ pub struct Node {
     /// Gap between the starts of its last two encounters — the
     /// `GetLastInterval` of the paper's Algorithm 1.
     pub last_interval: Option<SimDuration>,
+    /// Engine-maintained possession bitsets (disabled unless running
+    /// under [`crate::simulate`]; see [`NodeBits`]).
+    pub bits: NodeBits,
 }
 
 impl Node {
@@ -60,6 +144,7 @@ impl Node {
             trackers: BTreeMap::new(),
             last_encounter: None,
             last_interval: None,
+            bits: NodeBits::default(),
         }
     }
 
@@ -85,7 +170,7 @@ impl Node {
     }
 
     /// Shared access to a transferable copy (relay or origin).
-    pub fn get_copy(&self, id: BundleId) -> Option<(&StoredBundle, CopyPlace)> {
+    pub fn get_copy(&self, id: BundleId) -> Option<(StoredBundle, CopyPlace)> {
         if let Some(c) = self.buffer.get(id) {
             Some((c, CopyPlace::Relay))
         } else {
@@ -93,12 +178,12 @@ impl Node {
         }
     }
 
-    /// Mutable access to a transferable copy.
-    pub fn get_copy_mut(&mut self, id: BundleId) -> Option<(&mut StoredBundle, CopyPlace)> {
+    /// Mutable access to a transferable copy, relay store first.
+    pub fn copy_entry_mut(&mut self, id: BundleId) -> Option<(EntryMut<'_>, CopyPlace)> {
         if self.buffer.contains(id) {
-            self.buffer.get_mut(id).map(|c| (c, CopyPlace::Relay))
+            self.buffer.entry_mut(id).map(|e| (e, CopyPlace::Relay))
         } else {
-            self.origin.get_mut(id).map(|c| (c, CopyPlace::Origin))
+            self.origin.entry_mut(id).map(|e| (e, CopyPlace::Origin))
         }
     }
 
@@ -112,7 +197,7 @@ impl Node {
     }
 
     /// All transferable copies (relay then origin), each with its place.
-    pub fn copies(&self) -> impl Iterator<Item = (&StoredBundle, CopyPlace)> {
+    pub fn copies(&self) -> impl Iterator<Item = (StoredBundle, CopyPlace)> + '_ {
         self.buffer
             .iter()
             .map(|c| (c, CopyPlace::Relay))

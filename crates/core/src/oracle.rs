@@ -26,8 +26,9 @@
 use crate::bundle::{BundleId, Workload};
 use crate::faults::FaultInjector;
 use crate::metrics::{DropReason, MetricsCollector, RunMetrics};
-use crate::policy::{AckPropagation, AckScheme, EvictionPolicy, LifetimePolicy};
+use crate::policy::{AckPropagation, AckScheme, EvictionPolicy, LifetimePolicy, SummaryPolicy};
 use crate::session::SimConfig;
+use crate::summary::{bloom_lanes, bloom_params, BloomParams};
 use dtn_mobility::{Contact, ContactTrace, NodeId};
 use dtn_sim::{SimDuration, SimRng, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
@@ -129,6 +130,41 @@ impl OTracker {
 
     fn delivered_seqs(&self) -> impl Iterator<Item = u32> + '_ {
         (0..self.frontier).chain(self.pending.iter().copied())
+    }
+}
+
+/// Naive Bloom digest: one `bool` per filter bit, double hashing spelled
+/// out longhand. It shares only the specification-level arithmetic with
+/// the engine's word-packed `BloomFilter` — the [`bloom_params`] geometry
+/// and the [`bloom_lanes`] hash pair, which both sides must agree on by
+/// definition (they define what goes on the wire).
+struct OBloom {
+    m_bits: u64,
+    k: u32,
+    bits: Vec<bool>,
+}
+
+impl OBloom {
+    fn new(params: BloomParams) -> OBloom {
+        OBloom {
+            m_bits: params.m_bits,
+            k: params.k,
+            bits: vec![false; params.m_bits as usize],
+        }
+    }
+
+    fn insert(&mut self, member: u64) {
+        let (h1, h2) = bloom_lanes(member);
+        for i in 0..u64::from(self.k) {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.m_bits;
+            self.bits[bit as usize] = true;
+        }
+    }
+
+    fn contains(&self, member: u64) -> bool {
+        let (h1, h2) = bloom_lanes(member);
+        (0..u64::from(self.k))
+            .all(|i| self.bits[(h1.wrapping_add(i.wrapping_mul(h2)) % self.m_bits) as usize])
     }
 }
 
@@ -569,8 +605,27 @@ fn o_run_contact(a: &mut ONode, b: &mut ONode, contact: &Contact, cx: &mut OCtx<
         cx.metrics.sessions_truncated += 1;
     }
     let mut slots_used: u64 = 0;
-    o_transfer_phase(a, b, now, &mut slots_left, &mut slots_used, cx);
-    o_transfer_phase(b, a, now, &mut slots_left, &mut slots_used, cx);
+    // Bloom signaling debt is shared by both phases (mirror of the
+    // engine's session-lived byte debt).
+    let mut signal_debt: u64 = 0;
+    o_transfer_phase(
+        a,
+        b,
+        now,
+        &mut slots_left,
+        &mut slots_used,
+        &mut signal_debt,
+        cx,
+    );
+    o_transfer_phase(
+        b,
+        a,
+        now,
+        &mut slots_left,
+        &mut slots_used,
+        &mut signal_debt,
+        cx,
+    );
 }
 
 fn o_exchange_immunity(a: &mut ONode, b: &mut ONode, now: SimTime, cx: &mut OCtx<'_>) {
@@ -645,14 +700,14 @@ fn o_transfer_phase(
     now: SimTime,
     slots_left: &mut u64,
     slots_used: &mut u64,
+    signal_debt: &mut u64,
     cx: &mut OCtx<'_>,
 ) {
     if *slots_left == 0 {
         return;
     }
-    // The receiver's advertised summary: every copy it holds plus every
-    // delivery it has tracked, as dense bundle indices. One bit per
-    // workload bundle on the wire.
+    // The receiver's true membership: every copy it holds plus every
+    // delivery it has tracked, as dense bundle indices.
     let mut rx_summary: BTreeSet<usize> = BTreeSet::new();
     for copy in rx.relay.iter().chain(rx.origin.iter()) {
         rx_summary.insert(cx.workload.bundle_index(copy.id));
@@ -666,18 +721,63 @@ fn o_transfer_phase(
             rx_summary.insert(cx.workload.bundle_index(id));
         }
     }
-    let advert = u64::from(cx.workload.total_bundles()).div_ceil(8);
+    // What goes on the wire: the exact bitmap (one bit per workload
+    // bundle) or a Bloom digest of the membership.
+    let mut bloom = match cx.config.protocol.summary {
+        SummaryPolicy::Exact => None,
+        SummaryPolicy::Bloom { fp_rate } => {
+            let mut digest = OBloom::new(bloom_params(cx.workload.total_bundles(), fp_rate));
+            for &idx in &rx_summary {
+                digest.insert(idx as u64);
+            }
+            Some(digest)
+        }
+    };
+    let advert = match &bloom {
+        Some(digest) => digest.m_bits.div_ceil(8),
+        None => u64::from(cx.workload.total_bundles()).div_ceil(8),
+    };
     cx.metrics.control_bytes_sent += advert;
+    cx.metrics.signaling_bytes += advert;
+    if bloom.is_some() && cx.config.bundle_bytes > 0 {
+        // Bloom digests are capacity-charged: whole bundles' worth of
+        // accumulated signaling bytes forfeit transfer slots.
+        *signal_debt += advert;
+        while *signal_debt >= cx.config.bundle_bytes && *slots_left > 0 {
+            *signal_debt -= cx.config.bundle_bytes;
+            *slots_left -= 1;
+            *slots_used += 1;
+        }
+        if *slots_left == 0 {
+            return;
+        }
+    }
 
-    // Candidates the receiver lacks: destination-bound first in (flow,
-    // seq) order, then relay-bound — rotated by a seeded pivot except
-    // under the cumulative ack scheme (in-order forwarding).
+    // Candidates the receiver lacks — per the advertisement the sender
+    // actually saw: a Bloom false positive silently drops a candidate
+    // (and is tallied, since the oracle knows the ground truth).
+    // Destination-bound first in (flow, seq) order, then relay-bound —
+    // rotated by a seeded pivot except under the cumulative ack scheme
+    // (in-order forwarding).
     let mut dest: Vec<BundleId> = Vec::new();
     let mut relay: Vec<BundleId> = Vec::new();
     for copy in tx.relay.iter().chain(tx.origin.iter()) {
         let id = copy.id;
-        if rx_summary.contains(&cx.workload.bundle_index(id)) {
-            continue;
+        let idx = cx.workload.bundle_index(id);
+        match &bloom {
+            Some(digest) => {
+                if digest.contains(idx as u64) {
+                    if !rx_summary.contains(&idx) {
+                        cx.metrics.false_positive_transmissions += 1;
+                    }
+                    continue;
+                }
+            }
+            None => {
+                if rx_summary.contains(&idx) {
+                    continue;
+                }
+            }
         }
         if cx.workload.flow(id.flow).dst == rx.id {
             dest.push(id);
@@ -701,7 +801,27 @@ fn o_transfer_phase(
         if !cx.rng.bernoulli(p) {
             continue;
         }
-        if !tx.has_bundle(id) || rx_summary.contains(&cx.workload.bundle_index(id)) {
+        if !tx.has_bundle(id) {
+            continue;
+        }
+        let recheck_idx = cx.workload.bundle_index(id);
+        let rx_known = match &bloom {
+            Some(digest) => {
+                // The sender only knows the digest; stores earlier in
+                // this session inserted into it, which can mint fresh
+                // false positives for unrelated candidates.
+                if digest.contains(recheck_idx as u64) {
+                    if !rx_summary.contains(&recheck_idx) {
+                        cx.metrics.false_positive_transmissions += 1;
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            None => rx_summary.contains(&recheck_idx),
+        };
+        if rx_known {
             continue;
         }
 
@@ -756,6 +876,9 @@ fn o_transfer_phase(
         }
         if rx.has_bundle(id) {
             rx_summary.insert(idx);
+            if let Some(digest) = bloom.as_mut() {
+                digest.insert(idx as u64);
+            }
         }
     }
 }

@@ -171,6 +171,35 @@ pub enum AckPropagation {
     DestinationOnly,
 }
 
+/// How a node advertises its bundle-possession set during the
+/// anti-entropy exchange.
+///
+/// The paper assumes Vahdat & Becker's exact summary vectors: one bit per
+/// workload bundle, no false positives, `⌈bundles/8⌉` bytes on the wire
+/// per transfer phase. Marandi et al. (PAPERS.md) replace the vector with
+/// a Bloom filter sized for a target false-positive rate: the digest is
+/// constant-size in the FP budget, and each false positive suppresses a
+/// transmission the receiver actually needed — a measurable delivery
+/// cost the engine counts in
+/// [`RunMetrics::false_positive_transmissions`](crate::RunMetrics).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum SummaryPolicy {
+    /// Exact dense-bitset summary vector (no false positives). Digest
+    /// bytes are metered but — matching the seed implementation — not
+    /// charged against contact capacity.
+    #[default]
+    Exact,
+    /// Bloom-filter digest with `m`/`k` from Marandi's optimization
+    /// formula for the workload's bundle count and this target
+    /// false-positive rate. The digest's wire size is charged against
+    /// the contact's slot capacity (ns-3-style control-traffic
+    /// accounting, Rohrer & Mauldin).
+    Bloom {
+        /// Target false-positive probability in `(0, 1)`.
+        fp_rate: f64,
+    },
+}
+
 /// A complete protocol: one choice along each axis, plus a display name.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ProtocolConfig {
@@ -187,6 +216,8 @@ pub struct ProtocolConfig {
     /// How acknowledgment knowledge disseminates (ignored when `ack` is
     /// [`AckScheme::None`]).
     pub ack_propagation: AckPropagation,
+    /// Summary-vector encoding used during anti-entropy.
+    pub summary: SummaryPolicy,
 }
 
 impl ProtocolConfig {
@@ -212,6 +243,27 @@ impl ProtocolConfig {
                 assert!(!base.is_zero(), "zero base TTL discards at threshold")
             }
         }
+        match self.summary {
+            SummaryPolicy::Exact => {}
+            SummaryPolicy::Bloom { fp_rate } => {
+                assert!(
+                    fp_rate.is_finite() && fp_rate > 0.0 && fp_rate < 1.0,
+                    "Bloom FP rate out of range: {fp_rate}"
+                );
+            }
+        }
+    }
+
+    /// Does any configured policy *read* encounter counts? Per-contact EC
+    /// aging is observable only through EC-driven eviction or the EC-TTL
+    /// lifetime; every other protocol can skip the aging pass entirely
+    /// without changing a single metric. (Transmit-time EC bump/inherit is
+    /// separate bookkeeping and always runs.)
+    pub fn observes_ec(&self) -> bool {
+        matches!(
+            self.eviction,
+            EvictionPolicy::HighestEc | EvictionPolicy::HighestEcMin { .. }
+        ) || matches!(self.lifetime, LifetimePolicy::EcTtl { .. })
     }
 }
 
@@ -266,6 +318,7 @@ mod tests {
             eviction: EvictionPolicy::RejectNew,
             ack: AckScheme::None,
             ack_propagation: AckPropagation::Epidemic,
+            summary: SummaryPolicy::Exact,
         }
         .validate();
     }
@@ -282,6 +335,22 @@ mod tests {
             eviction: EvictionPolicy::RejectNew,
             ack: AckScheme::None,
             ack_propagation: AckPropagation::Epidemic,
+            summary: SummaryPolicy::Exact,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "Bloom FP rate out of range")]
+    fn validate_rejects_degenerate_bloom_fp() {
+        ProtocolConfig {
+            name: "bad",
+            transmit: TransmitPolicy::Always,
+            lifetime: LifetimePolicy::None,
+            eviction: EvictionPolicy::DropOldest,
+            ack: AckScheme::None,
+            ack_propagation: AckPropagation::Epidemic,
+            summary: SummaryPolicy::Bloom { fp_rate: 1.0 },
         }
         .validate();
     }

@@ -61,8 +61,12 @@ pub enum Event {
         t: u64,
         /// Transfer slots consumed by both phases together.
         slots_used: u64,
-        /// Summary-vector advertisement bytes charged during the session.
+        /// Summary advertisement bytes charged during the session (an
+        /// exact vector's bitmap or a Bloom digest's wire size).
         control_bytes: u64,
+        /// Transmissions the session suppressed because a Bloom digest
+        /// falsely claimed possession (always 0 under exact summaries).
+        false_positives: u64,
     },
     /// A copy was stored (origin injection or relay store).
     Store {
@@ -244,10 +248,12 @@ impl Event {
                 t,
                 slots_used,
                 control_bytes,
+                false_positives,
             } => writeln!(
                 out,
                 "{{\"ev\":\"contact_end\",\"t\":{t},\"a\":{a},\"b\":{b},\
-                 \"slots_used\":{slots_used},\"control_bytes\":{control_bytes}}}"
+                 \"slots_used\":{slots_used},\"control_bytes\":{control_bytes},\
+                 \"false_positives\":{false_positives}}}"
             ),
             Event::Store { flow, seq, node, t } => writeln!(
                 out,
@@ -371,6 +377,7 @@ impl Event {
                 t,
                 slots_used: json_u64(line, "slots_used")?,
                 control_bytes: json_u64(line, "control_bytes")?,
+                false_positives: json_u64(line, "false_positives")?,
             }),
             "store" => Some(Event::Store {
                 flow: json_u64(line, "flow")? as u32,
@@ -904,7 +911,15 @@ pub fn replay_metrics(
     for event in events {
         match event {
             Event::ContactBegin { .. } => metrics.contacts_processed += 1,
-            Event::ContactEnd { control_bytes, .. } => metrics.control_bytes_sent += control_bytes,
+            Event::ContactEnd {
+                control_bytes,
+                false_positives,
+                ..
+            } => {
+                metrics.control_bytes_sent += control_bytes;
+                metrics.signaling_bytes += control_bytes;
+                metrics.false_positive_transmissions += false_positives;
+            }
             Event::Store { flow, seq, node, t } => {
                 metrics.on_store(idx(flow, seq), node as usize, SimTime::from_millis(t))
             }
@@ -997,6 +1012,7 @@ mod tests {
                 t: 100,
                 slots_used: 3,
                 control_bytes: 17,
+                false_positives: 2,
             },
             Event::Store {
                 flow: 0,
@@ -1137,6 +1153,7 @@ mod tests {
             t: 0,
             slots_used: 2,
             control_bytes: 1,
+            false_positives: 0,
         });
         probe.record(&Event::ContactBegin {
             a: 0,

@@ -7,7 +7,8 @@
 //! ablation benches exploit that).
 
 use crate::policy::{
-    AckPropagation, AckScheme, EvictionPolicy, LifetimePolicy, ProtocolConfig, TransmitPolicy,
+    AckPropagation, AckScheme, EvictionPolicy, LifetimePolicy, ProtocolConfig, SummaryPolicy,
+    TransmitPolicy,
 };
 use dtn_sim::SimDuration;
 
@@ -21,6 +22,7 @@ pub fn pure_epidemic() -> ProtocolConfig {
         eviction: EvictionPolicy::DropOldest,
         ack: AckScheme::None,
         ack_propagation: AckPropagation::Epidemic,
+        summary: SummaryPolicy::Exact,
     }
 }
 
@@ -42,6 +44,7 @@ pub fn pq_epidemic(p: f64, q: f64) -> ProtocolConfig {
         eviction: EvictionPolicy::DropOldest,
         ack: AckScheme::None,
         ack_propagation: AckPropagation::Epidemic,
+        summary: SummaryPolicy::Exact,
     }
 }
 
@@ -55,6 +58,7 @@ pub fn ttl_epidemic(ttl: SimDuration) -> ProtocolConfig {
         eviction: EvictionPolicy::DropOldest,
         ack: AckScheme::None,
         ack_propagation: AckPropagation::Epidemic,
+        summary: SummaryPolicy::Exact,
     }
 }
 
@@ -73,6 +77,7 @@ pub fn dynamic_ttl_epidemic() -> ProtocolConfig {
         eviction: EvictionPolicy::DropOldest,
         ack: AckScheme::None,
         ack_propagation: AckPropagation::Epidemic,
+        summary: SummaryPolicy::Exact,
     }
 }
 
@@ -87,6 +92,7 @@ pub fn ec_epidemic() -> ProtocolConfig {
         eviction: EvictionPolicy::HighestEc,
         ack: AckScheme::None,
         ack_propagation: AckPropagation::Epidemic,
+        summary: SummaryPolicy::Exact,
     }
 }
 
@@ -107,6 +113,7 @@ pub fn ec_ttl_epidemic() -> ProtocolConfig {
         eviction: EvictionPolicy::HighestEcMin { min_ec: 8 },
         ack: AckScheme::None,
         ack_propagation: AckPropagation::Epidemic,
+        summary: SummaryPolicy::Exact,
     }
 }
 
@@ -120,6 +127,7 @@ pub fn immunity_epidemic() -> ProtocolConfig {
         eviction: EvictionPolicy::DropOldest,
         ack: AckScheme::PerBundle,
         ack_propagation: AckPropagation::Epidemic,
+        summary: SummaryPolicy::Exact,
     }
 }
 
@@ -133,10 +141,62 @@ pub fn cumulative_immunity_epidemic() -> ProtocolConfig {
         eviction: EvictionPolicy::DropOldest,
         ack: AckScheme::Cumulative,
         ack_propagation: AckPropagation::Epidemic,
+        summary: SummaryPolicy::Exact,
+    }
+}
+
+/// The display name for a Bloom preset at a given FP rate. The two
+/// canonical rates get their own names so preset lists stay distinct;
+/// arbitrary `from_spec` overrides share a generic name (the spec string,
+/// not the name, is the cache identity).
+fn bloom_name(fp_rate: f64, immunity: bool) -> &'static str {
+    match (immunity, fp_rate) {
+        (false, 0.01) => "Bloom epidemic (1% FP)",
+        (false, 0.1) => "Bloom epidemic (10% FP)",
+        (false, _) => "Bloom epidemic",
+        (true, 0.01) => "Bloom epidemic with immunity (1% FP)",
+        (true, 0.1) => "Bloom epidemic with immunity (10% FP)",
+        (true, _) => "Bloom epidemic with immunity",
+    }
+}
+
+/// Bloom-digest epidemic (Marandi et al., PAPERS.md): pure epidemic whose
+/// anti-entropy summary is a Bloom filter sized for `fp_rate`. Digest
+/// bytes are charged against contact capacity; false positives suppress
+/// transmissions the receiver needed.
+pub fn bloom_epidemic(fp_rate: f64) -> ProtocolConfig {
+    ProtocolConfig {
+        name: bloom_name(fp_rate, false),
+        transmit: TransmitPolicy::Always,
+        lifetime: LifetimePolicy::None,
+        eviction: EvictionPolicy::DropOldest,
+        ack: AckScheme::None,
+        ack_propagation: AckPropagation::Epidemic,
+        summary: SummaryPolicy::Bloom { fp_rate },
+    }
+}
+
+/// Bloom-digest epidemic with per-bundle immunity tables: Mundur et al.'s
+/// vaccination on top of the Bloom summary exchange, isolating how FP
+/// suppression interacts with purge-based recovery.
+pub fn bloom_immunity_epidemic(fp_rate: f64) -> ProtocolConfig {
+    ProtocolConfig {
+        name: bloom_name(fp_rate, true),
+        transmit: TransmitPolicy::Always,
+        lifetime: LifetimePolicy::None,
+        eviction: EvictionPolicy::DropOldest,
+        ack: AckScheme::PerBundle,
+        ack_propagation: AckPropagation::Epidemic,
+        summary: SummaryPolicy::Bloom { fp_rate },
     }
 }
 
 /// Every protocol in the study, in the paper's presentation order.
+///
+/// Deliberately excludes the [`bloom_protocols`] family: the paper's
+/// figures, the committed goldens, and the benchmark baseline all cover
+/// exactly these eight, and appending to this list would silently change
+/// every downstream sweep grid.
 pub fn all_protocols() -> Vec<ProtocolConfig> {
     vec![
         pure_epidemic(),
@@ -150,11 +210,31 @@ pub fn all_protocols() -> Vec<ProtocolConfig> {
     ]
 }
 
+/// The Bloom summary-exchange family: pure-epidemic and immunity variants
+/// at the two canonical FP-rate presets (1% and 10%).
+pub fn bloom_protocols() -> Vec<ProtocolConfig> {
+    vec![
+        bloom_epidemic(0.01),
+        bloom_epidemic(0.1),
+        bloom_immunity_epidemic(0.01),
+        bloom_immunity_epidemic(0.1),
+    ]
+}
+
+/// [`all_protocols`] plus [`bloom_protocols`]: everything a spec string
+/// can name, in [`ALL_SPECS`] order. Binaries listing or enumerating the
+/// full protocol menu should use this.
+pub fn spec_protocols() -> Vec<ProtocolConfig> {
+    let mut protos = all_protocols();
+    protos.extend(bloom_protocols());
+    protos
+}
+
 /// The canonical spec string of every protocol in [`all_protocols`], in
 /// the same order. Feeding each through [`from_spec`] reproduces the
 /// preset exactly, so a spec string is a faithful wire/cache identity for
 /// a protocol (the service layer keys its result cache on these).
-pub const ALL_SPECS: [&str; 8] = [
+pub const ALL_SPECS: [&str; 12] = [
     "pure",
     "pq=1,1",
     "ttl=300",
@@ -163,6 +243,10 @@ pub const ALL_SPECS: [&str; 8] = [
     "ecttl",
     "immunity",
     "cumulative",
+    "bloom=0.01",
+    "bloom=0.1",
+    "bloomimm=0.01",
+    "bloomimm=0.1",
 ];
 
 /// Parse a protocol spec string — the single canonical name→protocol
@@ -170,11 +254,12 @@ pub const ALL_SPECS: [&str; 8] = [
 ///
 /// ```text
 /// pure | pq[=P,Q] | ttl[=SECS] | dynttl[=MULT] | ec | ecttl |
-/// immunity | cumulative
+/// immunity | cumulative | bloom[=FP] | bloomimm[=FP]
 /// ```
 ///
-/// Names without arguments resolve to the paper's presets; `pq`, `ttl`
-/// and `dynttl` accept parameter overrides.
+/// Names without arguments resolve to the paper's presets; `pq`, `ttl`,
+/// `dynttl`, `bloom` and `bloomimm` accept parameter overrides (`bloom`
+/// defaults to a 1% target false-positive rate).
 pub fn from_spec(spec: &str) -> Result<ProtocolConfig, String> {
     let (name, arg) = match spec.split_once('=') {
         Some((n, a)) => (n, Some(a)),
@@ -217,8 +302,17 @@ pub fn from_spec(spec: &str) -> Result<ProtocolConfig, String> {
         "ecttl" => Ok(ec_ttl_epidemic()),
         "immunity" => Ok(immunity_epidemic()),
         "cumulative" => Ok(cumulative_immunity_epidemic()),
+        "bloom" => {
+            let fp = arg.map(parse_f64).transpose()?.unwrap_or(0.01);
+            Ok(bloom_epidemic(fp))
+        }
+        "bloomimm" => {
+            let fp = arg.map(parse_f64).transpose()?.unwrap_or(0.01);
+            Ok(bloom_immunity_epidemic(fp))
+        }
         other => Err(format!(
-            "unknown protocol {other:?} (pure, pq, ttl, dynttl, ec, ecttl, immunity, cumulative)"
+            "unknown protocol {other:?} (pure, pq, ttl, dynttl, ec, ecttl, immunity, \
+             cumulative, bloom, bloomimm)"
         )),
     }
 }
@@ -229,16 +323,18 @@ mod tests {
 
     #[test]
     fn all_presets_validate() {
-        for p in all_protocols() {
+        for p in spec_protocols() {
             p.validate();
         }
         pq_epidemic(0.1, 0.5).validate();
         ttl_epidemic(SimDuration::from_secs(50)).validate();
+        bloom_epidemic(0.05).validate();
+        bloom_immunity_epidemic(0.3).validate();
     }
 
     #[test]
     fn presets_have_distinct_names() {
-        let protocols = all_protocols();
+        let protocols = spec_protocols();
         let mut names: Vec<&str> = protocols.iter().map(|p| p.name).collect();
         names.sort_unstable();
         names.dedup();
@@ -261,12 +357,43 @@ mod tests {
 
     #[test]
     fn spec_table_mirrors_the_preset_list() {
-        let protos = all_protocols();
+        let protos = spec_protocols();
         assert_eq!(ALL_SPECS.len(), protos.len());
         for (spec, preset) in ALL_SPECS.iter().zip(&protos) {
             let parsed = from_spec(spec).unwrap();
             assert_eq!(&parsed, preset, "spec {spec:?} diverged from its preset");
         }
+    }
+
+    #[test]
+    fn paper_grid_is_unchanged_by_the_bloom_family() {
+        // The goldens, determinism fingerprints, and the benchmark
+        // baseline all enumerate `all_protocols()`; the bloom family must
+        // not leak into it.
+        assert_eq!(all_protocols().len(), 8);
+        assert!(all_protocols()
+            .iter()
+            .all(|p| p.summary == SummaryPolicy::Exact));
+        assert_eq!(bloom_protocols().len(), 4);
+        assert!(bloom_protocols()
+            .iter()
+            .all(|p| matches!(p.summary, SummaryPolicy::Bloom { .. })));
+    }
+
+    #[test]
+    fn bloom_specs_round_trip() {
+        match from_spec("bloom").unwrap().summary {
+            SummaryPolicy::Bloom { fp_rate } => assert_eq!(fp_rate, 0.01),
+            other => panic!("wrong summary: {other:?}"),
+        }
+        match from_spec("bloom=0.2").unwrap().summary {
+            SummaryPolicy::Bloom { fp_rate } => assert_eq!(fp_rate, 0.2),
+            other => panic!("wrong summary: {other:?}"),
+        }
+        let imm = from_spec("bloomimm=0.1").unwrap();
+        assert_eq!(imm.ack, AckScheme::PerBundle);
+        assert_eq!(imm, bloom_immunity_epidemic(0.1));
+        assert!(from_spec("bloom=abc").is_err());
     }
 
     #[test]

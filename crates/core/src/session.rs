@@ -29,9 +29,9 @@ use crate::bundle::{BundleId, Workload};
 use crate::faults::{validate_probability, FaultInjector, FaultPlan};
 use crate::metrics::{DropReason, MetricsCollector};
 use crate::node::{CopyPlace, Node};
-use crate::policy::{AckScheme, LifetimePolicy, ProtocolConfig};
+use crate::policy::{AckScheme, LifetimePolicy, ProtocolConfig, SummaryPolicy};
 use crate::probe::{Event, NullProbe, Probe};
-use crate::summary::SummaryVector;
+use crate::summary::{bloom_params, BloomFilter, SummaryVector};
 use dtn_mobility::Contact;
 use dtn_sim::{SimRng, SimTime};
 
@@ -122,14 +122,54 @@ impl SimConfig {
 /// unspecified state.
 #[derive(Debug, Default)]
 pub struct SessionScratch {
-    /// The receiver's advertised summary vector for one transfer phase.
+    /// The receiver's true membership for one transfer phase (always
+    /// exact; under a Bloom summary policy this is the engine-side ground
+    /// truth that false positives are detected against).
     rx_summary: SummaryVector,
+    /// The receiver's advertised Bloom digest (unused under
+    /// [`SummaryPolicy::Exact`]).
+    rx_bloom: BloomFilter,
     /// Transfer candidates destined to the receiver.
     dest: Vec<BundleId>,
     /// Transfer candidates bound for another relay hop.
     relay: Vec<BundleId>,
     /// Ids collected by the expiry/immunity purges.
     purged: Vec<BundleId>,
+    /// Dense bundle-index → id table (the SoA candidate split reads ids
+    /// off this instead of re-deriving them per record). Empty unless
+    /// [`SessionScratch::prepare`] ran — sessions fall back to the record
+    /// walk then.
+    ids: Vec<BundleId>,
+    /// Per-node destination masks over the dense bundle indexing:
+    /// `dest_masks[n]` holds exactly the bundles whose flow terminates at
+    /// node `n`, so the dest/relay candidate split is a word-wise AND.
+    dest_masks: Vec<SummaryVector>,
+}
+
+impl SessionScratch {
+    /// Precompute the run-lived lookup tables that let the candidate
+    /// split iterate 64-bundle words instead of records: the dense
+    /// index → id table and one destination mask per node. The engine
+    /// calls this once per run; sessions on an unprepared scratch use the
+    /// record-walk path with identical results.
+    pub fn prepare(&mut self, workload: &Workload, node_count: usize) {
+        self.ids.clear();
+        self.ids.extend(workload.bundle_ids());
+        let total = workload.total_bundles();
+        self.dest_masks.clear();
+        self.dest_masks
+            .resize_with(node_count, SummaryVector::default);
+        for mask in &mut self.dest_masks {
+            mask.reset(total);
+        }
+        for flow in workload.flows() {
+            let dst = flow.dst.index();
+            for seq in 0..flow.count {
+                let idx = workload.bundle_index(BundleId { flow: flow.id, seq });
+                self.dest_masks[dst].insert(idx);
+            }
+        }
+    }
 }
 
 /// Mutable context threaded through a session.
@@ -195,6 +235,7 @@ pub fn run_contact<P: Probe>(
         let nid = node.id.index() as u32;
         for &id in &purged {
             let idx = ctx.workload.bundle_index(id);
+            node.bits.clear_copy(idx);
             ctx.metrics
                 .on_drop(idx, node.id.index(), now, DropReason::Expired);
             ctx.emit(|| Event::Drop {
@@ -223,11 +264,12 @@ pub fn run_contact<P: Probe>(
     // age. Algorithm 2's EC-dependent TTL is evaluated at
     // store/transmission time, not here — aging only grows the count that
     // eviction and the next store decision will read. (DESIGN.md §4
-    // records this interpretation decision.)
-    for node in [&mut *a, &mut *b] {
-        for copy in node.buffer.iter_mut() {
-            copy.ec += 1;
-        }
+    // records this interpretation decision.) Skipped when no configured
+    // policy reads EC: the counts then influence nothing observable, and
+    // most of the study's protocols are in that class.
+    if ctx.config.protocol.observes_ec() {
+        a.buffer.age_all();
+        b.buffer.age_all();
     }
 
     // 3. Immunity exchange.
@@ -253,6 +295,12 @@ pub fn run_contact<P: Probe>(
     }
     let mut slots_used: u64 = 0;
     let mut advert_bytes: u64 = 0;
+    // Bloom digests are charged against the contact's capacity through a
+    // byte debt shared by both phases: whole `bundle_bytes` of accumulated
+    // signaling forfeit one transfer slot. Exact summary vectors keep the
+    // seed semantics (metered on the wire, not capacity-charged).
+    let mut signal_debt: u64 = 0;
+    let mut fp_count: u64 = 0;
     // Lower ID first — `Contact` normalizes a < b.
     transfer_phase(
         a,
@@ -261,6 +309,8 @@ pub fn run_contact<P: Probe>(
         &mut slots_left,
         &mut slots_used,
         &mut advert_bytes,
+        &mut signal_debt,
+        &mut fp_count,
         ctx,
     );
     transfer_phase(
@@ -270,6 +320,8 @@ pub fn run_contact<P: Probe>(
         &mut slots_left,
         &mut slots_used,
         &mut advert_bytes,
+        &mut signal_debt,
+        &mut fp_count,
         ctx,
     );
     ctx.emit(|| Event::ContactEnd {
@@ -278,6 +330,7 @@ pub fn run_contact<P: Probe>(
         t: now.as_millis(),
         slots_used,
         control_bytes: advert_bytes,
+        false_positives: fp_count,
     });
 }
 
@@ -370,6 +423,7 @@ fn exchange_immunity<P: Probe>(
         let nid = node.id.index() as u32;
         for &id in &purged {
             let idx = ctx.workload.bundle_index(id);
+            node.bits.clear_copy(idx);
             ctx.metrics
                 .on_drop(idx, node.id.index(), now, DropReason::Immunized);
             ctx.emit(|| Event::AckPurge {
@@ -395,6 +449,17 @@ fn exchange_immunity<P: Probe>(
     ctx.scratch.purged = purged;
 }
 
+/// Push the ids of every set bit of `bits` (a word at word-index `wi` of
+/// the dense bundle indexing) onto `out`, in ascending index order.
+#[inline]
+fn push_word_ids(ids: &[BundleId], wi: usize, mut bits: u64, out: &mut Vec<BundleId>) {
+    while bits != 0 {
+        let bit = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        out.push(ids[wi * 64 + bit]);
+    }
+}
+
 /// One direction of the exchange: `tx` sends to `rx` while capacity lasts.
 #[allow(clippy::too_many_arguments)]
 fn transfer_phase<P: Probe>(
@@ -404,6 +469,8 @@ fn transfer_phase<P: Probe>(
     slots_left: &mut u64,
     slots_used: &mut u64,
     advert_bytes: &mut u64,
+    signal_debt: &mut u64,
+    fp_count: &mut u64,
     ctx: &mut SessionCtx<'_, P>,
 ) {
     if *slots_left == 0 {
@@ -440,28 +507,126 @@ fn transfer_phase<P: Probe>(
     // both in membership and in order.
     let mut rx_summary = std::mem::take(&mut ctx.scratch.rx_summary);
     rx_summary.refill_from_node(rx, ctx.workload);
-    let advert = u64::from(rx_summary.capacity()).div_ceil(8);
+    let mut rx_bloom = std::mem::take(&mut ctx.scratch.rx_bloom);
+    let bloom = match ctx.config.protocol.summary {
+        SummaryPolicy::Exact => false,
+        SummaryPolicy::Bloom { fp_rate } => {
+            // The wire digest: the receiver's true membership hashed into
+            // a Bloom filter sized by Marandi's m/k optimization for the
+            // workload's bundle count at the configured FP target.
+            rx_bloom.reset(bloom_params(ctx.workload.total_bundles(), fp_rate));
+            for wi in 0..rx_summary.word_count() {
+                let mut w = rx_summary.word(wi);
+                while w != 0 {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    rx_bloom.insert((wi * 64 + bit) as u64);
+                }
+            }
+            true
+        }
+    };
+    let advert = if bloom {
+        rx_bloom.wire_bytes()
+    } else {
+        u64::from(rx_summary.capacity()).div_ceil(8)
+    };
     ctx.metrics.control_bytes_sent += advert;
+    ctx.metrics.signaling_bytes += advert;
     if P::ENABLED {
         *advert_bytes += advert;
+    }
+    if bloom && ctx.config.bundle_bytes > 0 {
+        // Capacity charge: every whole bundle's worth of digest bytes
+        // forfeits one transfer slot. The debt persists across both
+        // phases so fractional adverts still add up.
+        *signal_debt += advert;
+        while *signal_debt >= ctx.config.bundle_bytes && *slots_left > 0 {
+            *signal_debt -= ctx.config.bundle_bytes;
+            *slots_left -= 1;
+            *slots_used += 1;
+        }
+        if *slots_left == 0 {
+            ctx.scratch.rx_summary = rx_summary;
+            ctx.scratch.rx_bloom = rx_bloom;
+            return;
+        }
     }
     let mut dest = std::mem::take(&mut ctx.scratch.dest);
     let mut relay = std::mem::take(&mut ctx.scratch.relay);
     dest.clear();
     relay.clear();
-    for (copy, _) in tx.copies() {
-        let id = copy.id;
-        if rx_summary.contains(ctx.workload.bundle_index(id)) {
-            continue;
-        }
-        if ctx.workload.flow(id.flow).dst == rx.id {
-            dest.push(id);
+    let ids = std::mem::take(&mut ctx.scratch.ids);
+    let dest_masks = std::mem::take(&mut ctx.scratch.dest_masks);
+    let rxi = rx.id.index();
+    // SoA fast path: when the engine prepared the lookup tables and
+    // maintains the possession planes, the candidate split iterates
+    // 64-bundle words. Ascending dense-index order equals ascending
+    // `BundleId` order (the indexing is monotone in (flow, seq)), so the
+    // lists come out exactly as the record-scan-then-sort below produces.
+    if let (false, Some(copies), Some(mask)) =
+        (ids.is_empty(), tx.bits.copy_plane(), dest_masks.get(rxi))
+    {
+        if bloom {
+            for wi in 0..copies.word_count() {
+                let mut cand = copies.word(wi);
+                while cand != 0 {
+                    let bit = cand.trailing_zeros() as usize;
+                    cand &= cand - 1;
+                    let idx = wi * 64 + bit;
+                    if rx_bloom.contains(idx as u64) {
+                        if !rx_summary.contains(idx) {
+                            // The digest lied: the receiver lacks this
+                            // bundle but the sender will never offer it.
+                            ctx.metrics.false_positive_transmissions += 1;
+                            *fp_count += 1;
+                        }
+                        continue;
+                    }
+                    if mask.contains(idx) {
+                        dest.push(ids[idx]);
+                    } else {
+                        relay.push(ids[idx]);
+                    }
+                }
+            }
         } else {
-            relay.push(id);
+            for wi in 0..copies.word_count() {
+                let cand = copies.word(wi) & !rx_summary.word(wi);
+                if cand == 0 {
+                    continue;
+                }
+                let mask_word = mask.word(wi);
+                push_word_ids(&ids, wi, cand & mask_word, &mut dest);
+                push_word_ids(&ids, wi, cand & !mask_word, &mut relay);
+            }
         }
+    } else {
+        for (copy, _) in tx.copies() {
+            let id = copy.id;
+            let idx = ctx.workload.bundle_index(id);
+            if bloom {
+                if rx_bloom.contains(idx as u64) {
+                    if !rx_summary.contains(idx) {
+                        ctx.metrics.false_positive_transmissions += 1;
+                        *fp_count += 1;
+                    }
+                    continue;
+                }
+            } else if rx_summary.contains(idx) {
+                continue;
+            }
+            if ctx.workload.flow(id.flow).dst == rx.id {
+                dest.push(id);
+            } else {
+                relay.push(id);
+            }
+        }
+        dest.sort_unstable();
+        relay.sort_unstable();
     }
-    dest.sort_unstable();
-    relay.sort_unstable();
+    ctx.scratch.ids = ids;
+    ctx.scratch.dest_masks = dest_masks;
     if ctx.config.protocol.ack != AckScheme::Cumulative && relay.len() > 1 {
         let pivot = ctx.rng.below(relay.len() as u64) as usize;
         relay.rotate_left(pivot);
@@ -479,7 +644,32 @@ fn transfer_phase<P: Probe>(
         }
         // The defensive purge and the per-transfer EC-TTL updates can
         // remove a candidate mid-phase; re-check both sides.
-        if !tx.has_bundle(id) || rx_summary.contains(ctx.workload.bundle_index(id)) {
+        let idx = ctx.workload.bundle_index(id);
+        let tx_has = if tx.bits.enabled() {
+            tx.bits.has(idx)
+        } else {
+            tx.has_bundle(id)
+        };
+        if !tx_has {
+            continue;
+        }
+        let rx_known = if bloom {
+            // The sender only knows the digest; stores earlier in this
+            // session inserted into it, which can mint fresh false
+            // positives for unrelated candidates.
+            if rx_bloom.contains(idx as u64) {
+                if !rx_summary.contains(idx) {
+                    ctx.metrics.false_positive_transmissions += 1;
+                    *fp_count += 1;
+                }
+                true
+            } else {
+                false
+            }
+        } else {
+            rx_summary.contains(idx)
+        };
+        if rx_known {
             continue;
         }
 
@@ -497,29 +687,28 @@ fn transfer_phase<P: Probe>(
         // (Section II-B) — a source's own un-retired originals do not
         // time out (they can still be purged by immunity tables).
         let (new_ec, sender_copy_expired) = {
-            let (copy, place) = tx.get_copy_mut(id).expect("checked above");
-            copy.ec += 1;
-            let new_ec = copy.ec;
+            let (mut copy, place) = tx.copy_entry_mut(id).expect("checked above");
+            let new_ec = copy.bump_ec();
             if place == CopyPlace::Relay {
                 match ctx.config.protocol.lifetime {
                     LifetimePolicy::FixedTtl { ttl } => {
                         // The paper: a transmitted bundle's TTL is renewed.
-                        copy.expires_at = now + ttl;
+                        copy.set_expires_at(now + ttl);
                     }
                     LifetimePolicy::EcTtl { .. } => {
                         if let Some(ttl) = ctx.config.protocol.lifetime.ec_ttl_at(new_ec) {
-                            copy.expires_at = now + ttl;
+                            copy.set_expires_at(now + ttl);
                         }
                     }
                     LifetimePolicy::None | LifetimePolicy::DynamicTtl { .. } => {}
                 }
             }
             // An EC-TTL of zero means "discard immediately".
-            (new_ec, copy.expires_at <= now)
+            (new_ec, copy.expires_at() <= now)
         };
         if sender_copy_expired {
             tx.remove_copy(id);
-            let idx = ctx.workload.bundle_index(id);
+            tx.bits.clear_copy(idx);
             ctx.metrics
                 .on_drop(idx, tx.id.index(), now, DropReason::Expired);
             ctx.emit(|| Event::Drop {
@@ -537,7 +726,6 @@ fn transfer_phase<P: Probe>(
         // always has); the Gilbert–Elliott burst channel draws from its
         // own fault stream and is sampled unconditionally so its state
         // advances once per transmission either way.
-        let idx = ctx.workload.bundle_index(id);
         let iid_lost = ctx.rng.bernoulli(ctx.config.transfer_loss_prob);
         let burst_lost = ctx.faults.transfer_lost();
         let lost = iid_lost || burst_lost;
@@ -561,12 +749,21 @@ fn transfer_phase<P: Probe>(
         } else {
             store_relay_copy(rx, id, new_ec, now, idx, ctx);
         }
-        if rx.has_bundle(id) {
+        let rx_has = if rx.bits.enabled() {
+            rx.bits.has(idx)
+        } else {
+            rx.has_bundle(id)
+        };
+        if rx_has {
             rx_summary.insert(idx);
+            if bloom {
+                rx_bloom.insert(idx as u64);
+            }
         }
     }
 
     ctx.scratch.rx_summary = rx_summary;
+    ctx.scratch.rx_bloom = rx_bloom;
     ctx.scratch.dest = dest;
     ctx.scratch.relay = relay;
 }
@@ -588,6 +785,7 @@ fn deliver<P: Probe>(
         return;
     }
     let frontier = tracker.frontier();
+    rx.bits.set_delivered(idx);
     ctx.metrics.on_deliver(idx, now, completed_at);
     ctx.emit(|| Event::Deliver {
         flow: id.flow.0,
@@ -612,6 +810,7 @@ fn deliver<P: Probe>(
     // delivered state supersedes it.
     if rx.remove_copy(id).is_some() {
         debug_assert!(false, "destination held a relay copy of its own bundle");
+        rx.bits.clear_copy(idx);
         ctx.metrics
             .on_drop(idx, rx.id.index(), completed_at, DropReason::Immunized);
         ctx.emit(|| Event::AckPurge {
@@ -675,11 +874,14 @@ fn store_relay_copy<P: Probe>(
     };
     match rx.buffer.insert(copy, ctx.config.protocol.eviction) {
         InsertOutcome::Stored => {
+            rx.bits.set_copy(idx);
             ctx.metrics.on_store(idx, rx.id.index(), now);
             ctx.emit(store_event);
         }
         InsertOutcome::StoredEvicting(victim) => {
             let victim_idx = ctx.workload.bundle_index(victim);
+            rx.bits.clear_copy(victim_idx);
+            rx.bits.set_copy(idx);
             ctx.metrics
                 .on_drop(victim_idx, rx.id.index(), now, DropReason::Evicted);
             ctx.emit(|| Event::Drop {

@@ -71,6 +71,7 @@ impl<P: Probe> Sim<'_, P> {
         self.nodes[node_idx].purge_expired_into(now, &mut self.purged);
         for &id in &self.purged {
             let idx = self.workload.bundle_index(id);
+            self.nodes[node_idx].bits.clear_copy(idx);
             self.metrics
                 .on_drop(idx, node_idx, now, DropReason::Expired);
             if P::ENABLED {
@@ -96,6 +97,7 @@ impl<P: Probe> Sim<'_, P> {
             .purge_if_into(|_| true, &mut self.purged);
         for &id in &self.purged {
             let idx = self.workload.bundle_index(id);
+            self.nodes[node_idx].bits.clear_copy(idx);
             self.metrics.on_drop(idx, node_idx, now, DropReason::Churn);
             if P::ENABLED {
                 self.probe.record(&Event::Drop {
@@ -159,6 +161,7 @@ impl<P: Probe> Handler<Ev> for Sim<'_, P> {
                         crate::policy::EvictionPolicy::RejectNew,
                     );
                     let idx = self.workload.bundle_index(id);
+                    self.nodes[src].bits.set_copy(idx);
                     self.metrics.on_store(idx, src, now);
                     if P::ENABLED {
                         self.probe.record(&Event::Store {
@@ -298,10 +301,18 @@ pub fn simulate_probed<P: Probe>(
         AckScheme::PerBundle => Some(ImmunityStore::per_bundle()),
         AckScheme::Cumulative => Some(ImmunityStore::cumulative()),
     };
-    let nodes: Vec<Node> = trace
+    let mut nodes: Vec<Node> = trace
         .nodes()
         .map(|id| Node::new(id, config.buffer_capacity, immunity_template.clone()))
         .collect();
+    // Enable the possession planes and precompute the candidate-split
+    // lookup tables: the session hot path then runs its word-parallel
+    // struct-of-arrays form instead of walking records.
+    for node in &mut nodes {
+        node.bits.init(workload.total_bundles());
+    }
+    let mut scratch = SessionScratch::default();
+    scratch.prepare(workload, node_count);
 
     let mut metrics = MetricsCollector::new(
         node_count,
@@ -341,7 +352,7 @@ pub fn simulate_probed<P: Probe>(
         metrics,
         rng,
         scheduled_expiry: vec![None; node_count],
-        scratch: SessionScratch::default(),
+        scratch,
         purged: Vec::new(),
         probe,
         faults,

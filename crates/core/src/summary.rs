@@ -41,13 +41,22 @@ impl SummaryVector {
         sv
     }
 
-    /// Clear and resize for `total` bundles, keeping any spill capacity.
+    /// Clear and resize for `total` bundles.
+    ///
+    /// Spill capacity is released down to what `total` needs: scratch
+    /// vectors are reused across runs (the sweep runner shares one
+    /// [`SessionScratch`](crate::SessionScratch) over a whole trace-cache
+    /// generation), and before this shrank, one large workload would pin
+    /// its peak spill allocation for the rest of the process even after
+    /// every later workload fit inline.
     pub fn reset(&mut self, total: u32) {
         self.total = total;
         self.inline = [0; INLINE_WORDS];
         self.spill.clear();
         let words = (total as usize).div_ceil(64);
-        self.spill.resize(words.saturating_sub(INLINE_WORDS), 0);
+        let spill_words = words.saturating_sub(INLINE_WORDS);
+        self.spill.resize(spill_words, 0);
+        self.spill.shrink_to(spill_words);
     }
 
     /// The summary a node advertises: every bundle it can prove it has —
@@ -62,7 +71,33 @@ impl SummaryVector {
     /// [`SummaryVector::of_node`] into an existing vector — the zero-
     /// allocation path the session layer uses, one scratch vector reused
     /// across every contact of a run.
+    ///
+    /// When the engine maintains the node's possession bitsets
+    /// ([`Node::bits`]), the refill is a word-wise OR of the copy and
+    /// delivery planes instead of a walk over every stored copy and
+    /// tracker record; the two paths produce identical vectors (the
+    /// bitsets mirror store membership exactly), which a debug assertion
+    /// re-derives on every refill in test builds.
     pub fn refill_from_node(&mut self, node: &Node, workload: &Workload) {
+        if let Some((copies, delivered)) = node.bits.planes() {
+            self.reset(workload.total_bundles());
+            for wi in 0..self.word_count() {
+                *self.word_mut(wi) = copies.word(wi) | delivered.word(wi);
+            }
+            debug_assert_eq!(*self, {
+                let mut walked = SummaryVector::default();
+                walked.refill_walk(node, workload);
+                walked
+            });
+            return;
+        }
+        self.refill_walk(node, workload);
+    }
+
+    /// The record-walking refill: every stored copy plus every tracker
+    /// delivery. Sole path for nodes whose bitsets are not engine-managed
+    /// (unit tests plant copies directly into buffers).
+    fn refill_walk(&mut self, node: &Node, workload: &Workload) {
         self.reset(workload.total_bundles());
         for (copy, _) in node.copies() {
             self.insert(workload.bundle_index(copy.id));
@@ -79,12 +114,12 @@ impl SummaryVector {
 
     /// Number of words covering `total` bundles.
     #[inline]
-    fn word_count(&self) -> usize {
+    pub(crate) fn word_count(&self) -> usize {
         (self.total as usize).div_ceil(64)
     }
 
     #[inline]
-    fn word(&self, wi: usize) -> u64 {
+    pub(crate) fn word(&self, wi: usize) -> u64 {
         if wi < INLINE_WORDS {
             self.inline[wi]
         } else {
@@ -93,7 +128,7 @@ impl SummaryVector {
     }
 
     #[inline]
-    fn word_mut(&mut self, wi: usize) -> &mut u64 {
+    pub(crate) fn word_mut(&mut self, wi: usize) -> &mut u64 {
         if wi < INLINE_WORDS {
             &mut self.inline[wi]
         } else {
@@ -111,6 +146,13 @@ impl SummaryVector {
     pub fn insert(&mut self, idx: usize) {
         debug_assert!(idx < self.total as usize);
         *self.word_mut(idx / 64) |= 1 << (idx % 64);
+    }
+
+    /// Mark bundle `idx` as no longer possessed.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) {
+        debug_assert!(idx < self.total as usize);
+        *self.word_mut(idx / 64) &= !(1 << (idx % 64));
     }
 
     /// Is bundle `idx` possessed?
@@ -162,6 +204,187 @@ impl SummaryVector {
         );
         for wi in 0..self.word_count() {
             *self.word_mut(wi) |= other.word(wi);
+        }
+    }
+}
+
+/// Bloom filter geometry: bit-array size `m` and hash count `k`.
+///
+/// Derived by [`bloom_params`] from Marandi et al.'s optimization: for an
+/// expected `n` set members and target false-positive rate `p`,
+/// `m = ⌈−n·ln p ⁄ (ln 2)²⌉` and `k = round((m/n)·ln 2)`, each clamped to
+/// at least 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BloomParams {
+    /// Bit-array size `m`.
+    pub m_bits: u64,
+    /// Number of hash functions `k`.
+    pub k: u32,
+}
+
+impl BloomParams {
+    /// Digest size on the wire: the bit array, byte-aligned.
+    pub fn wire_bytes(&self) -> u64 {
+        self.m_bits.div_ceil(8)
+    }
+
+    /// The analytic false-positive probability of this geometry after `n`
+    /// insertions: `(1 − e^(−k·n/m))^k`.
+    pub fn analytic_fp_rate(&self, n: u32) -> f64 {
+        let k = f64::from(self.k);
+        let exponent = -k * f64::from(n) / self.m_bits as f64;
+        (1.0 - exponent.exp()).powf(k)
+    }
+}
+
+/// Optimal Bloom geometry for `expected_members` and `fp_rate` (Marandi
+/// et al.; see [`BloomParams`]). `fp_rate` must lie in `(0, 1)` —
+/// [`ProtocolConfig::validate`](crate::ProtocolConfig::validate) enforces
+/// this before a run starts.
+pub fn bloom_params(expected_members: u32, fp_rate: f64) -> BloomParams {
+    let n = f64::from(expected_members.max(1));
+    let ln2 = std::f64::consts::LN_2;
+    let m = (-(n * fp_rate.ln()) / (ln2 * ln2)).ceil().max(1.0);
+    let k = ((m / n) * ln2).round().max(1.0);
+    BloomParams {
+        m_bits: m as u64,
+        k: k as u32,
+    }
+}
+
+/// The two independent FNV-1a lanes feeding double hashing: bit `i` of a
+/// member is `(h1 + i·h2) mod m` (Kirsch & Mitzenmacher). `h2` is forced
+/// odd so the stride never collapses to a single position.
+///
+/// A free function (rather than a `BloomFilter` method) so the scalar
+/// oracle mirror can recompute bit positions without touching the
+/// word-packed implementation.
+pub fn bloom_lanes(member: u64) -> (u64, u64) {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    #[inline]
+    fn fnv1a(x: u64, seed: u64) -> u64 {
+        let mut h = seed;
+        let mut rest = x;
+        for _ in 0..8 {
+            h ^= rest & 0xff;
+            h = h.wrapping_mul(FNV_PRIME);
+            rest >>= 8;
+        }
+        h
+    }
+    let h1 = fnv1a(member, FNV_OFFSET);
+    let h2 = fnv1a(member, FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15) | 1;
+    (h1, h2)
+}
+
+/// A Bloom-filter possession digest (Marandi et al., PAPERS.md): the
+/// constant-size alternative to [`SummaryVector`] for the anti-entropy
+/// exchange. Membership is approximate — `contains` can answer `true` for
+/// a bundle the node lacks (a false positive, suppressing a transmission
+/// the peer needed) but never `false` for one it has.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BloomFilter {
+    m_bits: u64,
+    k: u32,
+    words: Vec<u64>,
+}
+
+impl BloomFilter {
+    /// An empty filter with the given geometry.
+    pub fn new(params: BloomParams) -> BloomFilter {
+        let mut bf = BloomFilter {
+            m_bits: 0,
+            k: 0,
+            words: Vec::new(),
+        };
+        bf.reset(params);
+        bf
+    }
+
+    /// An empty filter sized by [`bloom_params`] for a workload of
+    /// `expected_members` bundles at the target FP rate.
+    pub fn for_expected(expected_members: u32, fp_rate: f64) -> BloomFilter {
+        BloomFilter::new(bloom_params(expected_members, fp_rate))
+    }
+
+    /// Clear and re-size for a new geometry, reusing (but, like
+    /// [`SummaryVector::reset`], not hoarding) the word allocation.
+    pub fn reset(&mut self, params: BloomParams) {
+        self.m_bits = params.m_bits;
+        self.k = params.k;
+        let words = params.m_bits.div_ceil(64) as usize;
+        self.words.clear();
+        self.words.resize(words, 0);
+        self.words.shrink_to(words);
+    }
+
+    /// This filter's geometry.
+    pub fn params(&self) -> BloomParams {
+        BloomParams {
+            m_bits: self.m_bits,
+            k: self.k,
+        }
+    }
+
+    /// Digest size on the wire, in bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        self.params().wire_bytes()
+    }
+
+    /// Insert a member.
+    #[inline]
+    pub fn insert(&mut self, member: u64) {
+        let (h1, h2) = bloom_lanes(member);
+        for i in 0..u64::from(self.k) {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.m_bits;
+            self.words[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Approximate membership: no false negatives, false positives at
+    /// roughly the configured rate.
+    #[inline]
+    pub fn contains(&self, member: u64) -> bool {
+        let (h1, h2) = bloom_lanes(member);
+        (0..u64::from(self.k)).all(|i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.m_bits;
+            self.words[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Word-parallel union: afterwards `self` contains (at least)
+    /// everything either filter contained. Panics if the geometries
+    /// differ — digests are only mergeable within one workload.
+    pub fn union_with(&mut self, other: &BloomFilter) {
+        assert_eq!(
+            self.params(),
+            other.params(),
+            "bloom filters of different geometries"
+        );
+        for (mine, theirs) in self.words.iter_mut().zip(&other.words) {
+            *mine |= theirs;
+        }
+    }
+
+    /// True when no member has ever been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+impl Default for BloomFilter {
+    /// A degenerate empty-geometry filter (`k = 0`, no words): `insert`
+    /// is a no-op and `contains` vacuously true. Callers
+    /// [`reset`](BloomFilter::reset) scratch filters to a real geometry
+    /// before use; the point of this shape is that constructing it is
+    /// allocation-free — `std::mem::take` on scratch filters sits on the
+    /// session hot path.
+    fn default() -> BloomFilter {
+        BloomFilter {
+            m_bits: 0,
+            k: 0,
+            words: Vec::new(),
         }
     }
 }
@@ -225,6 +448,27 @@ mod tests {
         assert!(sv.is_empty());
         sv.insert(699);
         assert!(sv.contains(699));
+    }
+
+    #[test]
+    fn reset_releases_stale_spill_capacity() {
+        // Regression: a scratch vector sized for a huge workload used to
+        // keep its peak spill capacity forever once the workload shrank
+        // back below the inline block (trace-cache reuse across sweep
+        // points made this a process-lifetime leak).
+        let mut sv = SummaryVector::empty(100_000);
+        assert!(sv.spill.capacity() >= 100_000 / 64 - INLINE_WORDS);
+        sv.reset(10);
+        assert_eq!(
+            sv.spill.capacity(),
+            0,
+            "stale spill capacity survived reset"
+        );
+        // Shrinking to a still-spilled size keeps only what that size needs.
+        sv.reset(100_000);
+        sv.reset(64 * (INLINE_WORDS as u32 + 2));
+        assert_eq!(sv.spill.capacity(), 2);
+        assert_eq!(sv.spill.len(), 2);
     }
 
     #[test]
@@ -345,5 +589,68 @@ mod tests {
         recycled.refill_from_node(&node, &workload);
         assert_eq!(fresh, recycled);
         assert!(fresh.contains(3) && fresh.contains(7) && !fresh.contains(0));
+    }
+
+    #[test]
+    fn bloom_params_match_marandi_formula() {
+        // n = 50, p = 0.01: m = ceil(50 * 9.5850…) = 480, k = round(6.66) = 7.
+        let p = bloom_params(50, 0.01);
+        assert_eq!(p.m_bits, 480);
+        assert_eq!(p.k, 7);
+        assert_eq!(p.wire_bytes(), 60);
+        // n = 50, p = 0.1: m = ceil(50 * 4.7925…) = 240, k = round(3.33) = 3.
+        let p = bloom_params(50, 0.1);
+        assert_eq!(p.m_bits, 240);
+        assert_eq!(p.k, 3);
+        assert_eq!(p.wire_bytes(), 30);
+        // Degenerate inputs stay well-formed.
+        let p = bloom_params(0, 0.5);
+        assert!(p.m_bits >= 1 && p.k >= 1);
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let mut bf = BloomFilter::for_expected(64, 0.01);
+        for member in 0..64u64 {
+            bf.insert(member);
+            assert!(bf.contains(member), "false negative on {member}");
+        }
+        for member in 0..64u64 {
+            assert!(bf.contains(member), "false negative on {member} after fill");
+        }
+    }
+
+    #[test]
+    fn bloom_union_absorbs_and_geometry_is_checked() {
+        let mut a = BloomFilter::for_expected(32, 0.05);
+        let mut b = BloomFilter::for_expected(32, 0.05);
+        a.insert(1);
+        b.insert(20);
+        a.union_with(&b);
+        assert!(a.contains(1) && a.contains(20));
+        // Idempotent: re-merging changes nothing.
+        let snapshot = a.clone();
+        a.union_with(&snapshot);
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    #[should_panic(expected = "different geometries")]
+    fn bloom_union_rejects_mismatched_geometry() {
+        let mut a = BloomFilter::for_expected(32, 0.05);
+        let b = BloomFilter::for_expected(512, 0.05);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn bloom_reset_releases_stale_capacity() {
+        // Same policy as SummaryVector::reset: scratch digests reused
+        // across runs must not pin their largest-ever allocation.
+        let mut bf = BloomFilter::for_expected(100_000, 0.001);
+        let large_words = bf.words.len();
+        assert!(large_words > 1_000);
+        bf.reset(bloom_params(50, 0.1));
+        assert_eq!(bf.words.capacity(), bf.words.len());
+        assert!(bf.is_empty());
     }
 }

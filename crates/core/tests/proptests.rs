@@ -341,6 +341,7 @@ proptest! {
             } else {
                 AckPropagation::Epidemic
             },
+            summary: dtn_epidemic::SummaryPolicy::default(),
         };
         let trace = dtn_mobility::HaggleParams {
             nodes: 6,
@@ -382,5 +383,90 @@ proptest! {
         let protocol = protocols::all_protocols().swap_remove(protocol_idx);
         let m = simulate(&trace, &workload, &SimConfig::paper_defaults(protocol), SimRng::new(seed));
         prop_assert_eq!(m.delivered, 0);
+    }
+
+    /// A Bloom filter never produces a false negative: every inserted
+    /// member tests positive, at any geometry the protocol layer can
+    /// request.
+    #[test]
+    fn bloom_filter_has_no_false_negatives(
+        members in prop::collection::btree_set(0u64..100_000, 0..200),
+        expected in 1u32..400,
+        fp_idx in 0usize..4,
+    ) {
+        let fp_rate = [0.001, 0.01, 0.1, 0.5][fp_idx];
+        let mut bf = dtn_epidemic::BloomFilter::for_expected(expected, fp_rate);
+        for &m in &members {
+            bf.insert(m);
+        }
+        for &m in &members {
+            prop_assert!(bf.contains(m), "false negative for {m}");
+        }
+    }
+
+    /// The measured false-positive rate of a filter sized for exactly its
+    /// load stays within 2x of the analytic `(1 - e^(-kn/m))^k`
+    /// prediction (plus a small absolute floor so tiny probabilities
+    /// aren't judged on a handful of lucky probes).
+    #[test]
+    fn bloom_filter_fp_rate_tracks_the_analytic_prediction(
+        seed in any::<u64>(),
+        n in 20u32..200,
+        fp_idx in 0usize..2,
+    ) {
+        let fp_rate = [0.01, 0.1][fp_idx];
+        let params = dtn_epidemic::bloom_params(n, fp_rate);
+        let mut bf = dtn_epidemic::BloomFilter::new(params);
+        // Members and probes are disjoint by construction: members are
+        // even, probes odd.
+        for i in 0..u64::from(n) {
+            bf.insert(i * 2);
+        }
+        let mut rng = SimRng::new(seed);
+        let probes = 4_000u64;
+        let mut hits = 0u64;
+        for _ in 0..probes {
+            let probe = rng.below(1 << 40) * 2 + 1;
+            if bf.contains(probe) {
+                hits += 1;
+            }
+        }
+        let measured = hits as f64 / probes as f64;
+        let predicted = params.analytic_fp_rate(n);
+        prop_assert!(
+            measured <= predicted * 2.0 + 0.02,
+            "measured FP {measured} vs predicted {predicted} (n={n}, target {fp_rate})"
+        );
+    }
+
+    /// Union is idempotent and commutative, and merging preserves every
+    /// member of both operands (no false negatives through merge either).
+    #[test]
+    fn bloom_filter_union_is_idempotent_and_commutative(
+        left in prop::collection::btree_set(0u64..50_000, 0..120),
+        right in prop::collection::btree_set(0u64..50_000, 0..120),
+        expected in 1u32..300,
+    ) {
+        let params = dtn_epidemic::bloom_params(expected, 0.01);
+        let mut a = dtn_epidemic::BloomFilter::new(params);
+        let mut b = dtn_epidemic::BloomFilter::new(params);
+        for &m in &left {
+            a.insert(m);
+        }
+        for &m in &right {
+            b.insert(m);
+        }
+        let mut ab = a.clone();
+        ab.union_with(&b);
+        let mut ba = b.clone();
+        ba.union_with(&a);
+        prop_assert_eq!(&ab, &ba, "union is not commutative");
+        let mut abb = ab.clone();
+        abb.union_with(&b);
+        abb.union_with(&a);
+        prop_assert_eq!(&abb, &ab, "union is not idempotent");
+        for &m in left.iter().chain(&right) {
+            prop_assert!(ab.contains(m), "merge lost member {m}");
+        }
     }
 }

@@ -88,7 +88,7 @@ pub fn outcome_to_json(outcome: &RunOutcome) -> String {
             format!("{{\"panic\":\"{}\"}}", crate::report::json_escape(msg))
         }
         RunOutcome::Ok(m) => format!(
-            "[{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}]",
+            "[{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}]",
             m.total_bundles,
             m.delivered,
             f64_hex(m.delivery_ratio),
@@ -108,6 +108,8 @@ pub fn outcome_to_json(outcome: &RunOutcome) -> String {
             m.transfer_losses,
             m.payload_bytes_sent,
             m.control_bytes_sent,
+            m.signaling_bytes,
+            m.false_positive_transmissions,
             m.contacts_skipped,
             m.sessions_truncated,
             m.ack_losses,
@@ -135,8 +137,8 @@ pub fn outcome_from_json(tok: &str) -> Result<RunOutcome, String> {
         .and_then(|t| t.strip_suffix(']'))
         .ok_or_else(|| format!("expected array token, got {tok:?}"))?;
     let fields: Vec<&str> = body.split(',').collect();
-    if fields.len() != 23 {
-        return Err(format!("expected 23 fields, got {}", fields.len()));
+    if fields.len() != 25 {
+        return Err(format!("expected 25 fields, got {}", fields.len()));
     }
     let int = |i: usize| -> Result<u64, String> {
         fields[i]
@@ -168,12 +170,14 @@ pub fn outcome_from_json(tok: &str) -> Result<RunOutcome, String> {
         transfer_losses: int(14)?,
         payload_bytes_sent: int(15)?,
         control_bytes_sent: int(16)?,
-        contacts_skipped: int(17)?,
-        sessions_truncated: int(18)?,
-        ack_losses: int(19)?,
-        churn_wipes: int(20)?,
-        churn_drops: int(21)?,
-        end_time: SimTime::from_millis(int(22)?),
+        signaling_bytes: int(17)?,
+        false_positive_transmissions: int(18)?,
+        contacts_skipped: int(19)?,
+        sessions_truncated: int(20)?,
+        ack_losses: int(21)?,
+        churn_wipes: int(22)?,
+        churn_drops: int(23)?,
+        end_time: SimTime::from_millis(int(24)?),
     }))
 }
 

@@ -197,6 +197,12 @@ pub struct PointReport {
     pub ack_losses: u64,
     /// Crash-churn cold restarts that wiped node state (summed).
     pub churn_wipes: u64,
+    /// Summary-digest bytes sent during anti-entropy (summed; a subset
+    /// of control bytes — exact vectors and Bloom digests both count).
+    pub signaling_bytes: u64,
+    /// Transmissions triggered by Bloom false positives (summed; always
+    /// 0 for exact-summary protocols).
+    pub false_positive_transmissions: u64,
     /// Mean delivery ratio across replications.
     pub delivery_ratio_mean: f64,
     /// Mean time-weighted buffer occupancy.
@@ -233,6 +239,13 @@ pub struct SweepReport {
     pub sweeps: u64,
     /// Total contact sessions processed.
     pub contacts_processed: u64,
+    /// Sweep count frozen at [`SweepReport::finish`] — the numerator of
+    /// [`sweeps_per_sec`](SweepReport::sweeps_per_sec) when stanzas are
+    /// recorded after the timed window closes.
+    pub timed_sweeps: Option<u64>,
+    /// Contact count frozen at [`SweepReport::finish`] — the numerator of
+    /// [`contacts_per_sec`](SweepReport::contacts_per_sec).
+    pub timed_contacts: Option<u64>,
     /// Total bundle transmissions.
     pub bundle_transmissions: u64,
     /// Trace-cache hits across the run.
@@ -282,6 +295,8 @@ impl SweepReport {
         let mut sessions_truncated = 0u64;
         let mut ack_losses = 0u64;
         let mut churn_wipes = 0u64;
+        let mut signaling_bytes = 0u64;
+        let mut false_positive_transmissions = 0u64;
         for m in runs {
             self.simulation_runs += 1;
             self.contacts_processed += m.contacts_processed;
@@ -293,6 +308,8 @@ impl SweepReport {
             sessions_truncated += m.sessions_truncated;
             ack_losses += m.ack_losses;
             churn_wipes += m.churn_wipes;
+            signaling_bytes += m.signaling_bytes;
+            false_positive_transmissions += m.false_positive_transmissions;
             match m.delay_secs() {
                 Some(d) => delay_hist.record(d),
                 None => failures += 1,
@@ -312,6 +329,8 @@ impl SweepReport {
             sessions_truncated,
             ack_losses,
             churn_wipes,
+            signaling_bytes,
+            false_positive_transmissions,
             delivery_ratio_mean: delivery / n,
             buffer_occupancy_mean: occupancy / n,
             duplication_rate_mean: duplication / n,
@@ -376,16 +395,22 @@ impl SweepReport {
         });
     }
 
-    /// Close the report: total wall-clock and peak RSS.
+    /// Close the report: total wall-clock and peak RSS. The sweep and
+    /// contact counts as of this call are frozen as the throughput
+    /// numerators, so supplementary stanzas recorded *after* `finish`
+    /// (e.g. `bench_sweep`'s bloom-family grid) enrich the report without
+    /// skewing the headline rates out of comparability with history.
     pub fn finish(&mut self, wall_secs: f64) {
         self.wall_secs = wall_secs;
+        self.timed_sweeps = Some(self.sweeps);
+        self.timed_contacts = Some(self.contacts_processed);
         self.peak_rss_bytes = peak_rss_bytes();
     }
 
     /// Sweeps per wall-clock second.
     pub fn sweeps_per_sec(&self) -> f64 {
         if self.wall_secs > 0.0 {
-            self.sweeps as f64 / self.wall_secs
+            self.timed_sweeps.unwrap_or(self.sweeps) as f64 / self.wall_secs
         } else {
             0.0
         }
@@ -395,7 +420,7 @@ impl SweepReport {
     /// throughput number.
     pub fn contacts_per_sec(&self) -> f64 {
         if self.wall_secs > 0.0 {
-            self.contacts_processed as f64 / self.wall_secs
+            self.timed_contacts.unwrap_or(self.contacts_processed) as f64 / self.wall_secs
         } else {
             0.0
         }
@@ -485,6 +510,7 @@ impl SweepReport {
                  \"runs\": {}, \"failures\": {}, \"panics\": {}, \"timed_out\": {}, \
                  \"retries\": {}, \"delivery_ratio\": {}, \
                  \"buffer_occupancy\": {}, \"duplication_rate\": {}, \"delay_s\": {}, \
+                 \"signaling_bytes\": {}, \"false_positive_transmissions\": {}, \
                  \"faults\": {{\"contacts_skipped\": {}, \"sessions_truncated\": {}, \
                  \"ack_losses\": {}, \"churn_wipes\": {}}}}}",
                 json_escape(&p.protocol),
@@ -499,6 +525,8 @@ impl SweepReport {
                 json_f64(p.buffer_occupancy_mean),
                 json_f64(p.duplication_rate_mean),
                 hist_json(&p.delay_hist),
+                p.signaling_bytes,
+                p.false_positive_transmissions,
                 p.contacts_skipped,
                 p.sessions_truncated,
                 p.ack_losses,

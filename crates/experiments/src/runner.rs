@@ -122,6 +122,12 @@ pub struct PointResult {
     pub ack_records: Summary,
     /// Bundle payload transmissions.
     pub transmissions: Summary,
+    /// Summary-digest bytes sent during anti-entropy (exact vectors and
+    /// Bloom digests alike; a subset of control bytes).
+    pub signaling_bytes: Summary,
+    /// Transmissions triggered by Bloom false positives (identically 0
+    /// for exact-summary protocols).
+    pub false_positive_transmissions: Summary,
 }
 
 /// A full sweep for one protocol on one mobility source.
@@ -329,6 +335,8 @@ pub fn aggregate_point(load: u32, runs: &[RunMetrics]) -> PointResult {
     let mut duplication = Welford::new();
     let mut acks = Welford::new();
     let mut tx = Welford::new();
+    let mut signaling = Welford::new();
+    let mut false_pos = Welford::new();
     let mut failures = 0usize;
     for m in runs {
         delivery.push(m.delivery_ratio);
@@ -340,6 +348,8 @@ pub fn aggregate_point(load: u32, runs: &[RunMetrics]) -> PointResult {
         duplication.push(m.avg_duplication_rate);
         acks.push(m.ack_records_sent as f64);
         tx.push(m.bundle_transmissions as f64);
+        signaling.push(m.signaling_bytes as f64);
+        false_pos.push(m.false_positive_transmissions as f64);
     }
     PointResult {
         load,
@@ -351,6 +361,8 @@ pub fn aggregate_point(load: u32, runs: &[RunMetrics]) -> PointResult {
         duplication_rate: duplication.summary(),
         ack_records: acks.summary(),
         transmissions: tx.summary(),
+        signaling_bytes: signaling.summary(),
+        false_positive_transmissions: false_pos.summary(),
     }
 }
 

@@ -5,7 +5,8 @@
 //! dtnsim [OPTIONS]
 //!
 //!   --protocol NAME    pure | pq[=P,Q] | ttl[=SECS] | dynttl[=MULT] |
-//!                      ec | ecttl | immunity | cumulative   (default: pure)
+//!                      ec | ecttl | immunity | cumulative |
+//!                      bloom[=FP] | bloomimm[=FP]           (default: pure)
 //!   --list-protocols   print the canonical protocol spec table and exit
 //!   --mobility NAME    trace | rwp | geom-rwp | interval=SECS | FILE.trace
 //!                      (default: trace)
@@ -216,7 +217,7 @@ fn list_protocols() -> ! {
     // The canonical table: spec strings feed straight back into
     // `--protocol` and are the identities the daemon caches on.
     println!("spec         protocol");
-    for (spec, proto) in protocols::ALL_SPECS.iter().zip(protocols::all_protocols()) {
+    for (spec, proto) in protocols::ALL_SPECS.iter().zip(protocols::spec_protocols()) {
         println!("{spec:<12} {}", proto.name);
     }
     std::process::exit(0);

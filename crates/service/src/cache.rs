@@ -32,7 +32,7 @@ use std::sync::Mutex;
 /// result-schema revision. Bump the schema suffix whenever the fragment
 /// layout or any simulation-visible behavior changes without a version
 /// bump.
-pub const ENGINE_VERSION: &str = concat!(env!("CARGO_PKG_VERSION"), "+fragment1");
+pub const ENGINE_VERSION: &str = concat!(env!("CARGO_PKG_VERSION"), "+bloom2");
 
 /// The content address of a job: 32 hex chars from two FNV-1a 64 lanes
 /// over `"v1|{ENGINE_VERSION}|{canonical}"`.

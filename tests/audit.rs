@@ -23,15 +23,18 @@ use dtn_mobility::NodeId;
 use dtn_sim::{SimDuration, SimRng};
 
 /// Property 1: the optimized engine upholds every conservation invariant
-/// for all eight protocols in all six fault-grid cells. Auditing must
-/// also be a pure observer — metrics with and without the probe agree
-/// bit for bit.
+/// for all eight paper protocols plus the Bloom summary-exchange family
+/// in all six fault-grid cells. Auditing must also be a pure observer —
+/// metrics with and without the probe agree bit for bit.
 #[test]
 fn strict_audit_is_clean_for_every_protocol_across_the_fault_grid() {
     let mobility = Mobility::Interval(2000);
     let trace = mobility.build(41, 0);
     for cell in fault_grid() {
-        for protocol in protocols::all_protocols() {
+        for protocol in protocols::all_protocols()
+            .into_iter()
+            .chain(protocols::bloom_protocols())
+        {
             let name = protocol.name;
             let cfg = SweepConfig {
                 faults: cell.plan.clone(),

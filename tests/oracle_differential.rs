@@ -71,9 +71,9 @@ fn faulted_plan() -> FaultPlan {
 }
 
 /// Run `SCENARIOS` randomized scenarios under one fault plan, asserting
-/// engine/oracle equality for all eight protocols on each. Both
-/// simulators receive clones of the *same* RNG so their draw sequences
-/// are directly comparable.
+/// engine/oracle equality for all eight paper protocols plus the Bloom
+/// summary-exchange family on each. Both simulators receive clones of
+/// the *same* RNG so their draw sequences are directly comparable.
 fn differential_sweep(plan: FaultPlan, transfer_loss: f64, tag: &str) {
     for scenario in 0..SCENARIOS {
         let mut setup = SimRng::new(0xD1FF ^ (scenario << 8));
@@ -81,7 +81,10 @@ fn differential_sweep(plan: FaultPlan, transfer_loss: f64, tag: &str) {
         let load = 3 + setup.below(8) as u32;
         let mut wl_rng = setup.derive(1);
         let workload = Workload::single_random_flow(load, trace.node_count(), &mut wl_rng);
-        for protocol in protocols::all_protocols() {
+        for protocol in protocols::all_protocols()
+            .into_iter()
+            .chain(protocols::bloom_protocols())
+        {
             let name = protocol.name;
             let mut config = SimConfig::paper_defaults(protocol);
             config.faults = plan.clone();
@@ -138,7 +141,10 @@ fn oracle_matches_engine_on_degenerate_traces() {
     for trace in [&empty, &pair] {
         let mut wl_rng = SimRng::new(77);
         let workload = Workload::single_random_flow(4, trace.node_count(), &mut wl_rng);
-        for protocol in protocols::all_protocols() {
+        for protocol in protocols::all_protocols()
+            .into_iter()
+            .chain(protocols::bloom_protocols())
+        {
             let name = protocol.name;
             let config = SimConfig::paper_defaults(protocol);
             let engine = simulate(trace, &workload, &config, SimRng::new(3));
