@@ -25,10 +25,16 @@
 //! *is* guarded: audited throughput must stay within
 //! `AUDIT_GUARD_PCT` percent (default: 25) of the NullProbe rate, so the
 //! invariant auditor stays cheap enough to leave on in sweeps.
+//!
+//! A fourth stanza applies the same contract to the telemetry layer's
+//! [`Span`] guard: a tight loop with one `Span::<NullClock>` per
+//! iteration must run at the bare loop's rate (`SPAN_GUARD_PCT`,
+//! default: 25 — loose because sub-ns ops sit inside timer noise). The
+//! enabled `Span::<MonotonicClock>` cost is reported for context.
 
 use dtn_epidemic::{protocols, simulate_probed, AuditMode, AuditProbe, CountingProbe, Workload};
 use dtn_experiments::{point_sim_config, Mobility, SweepConfig, TraceCache};
-use dtn_sim::{SimRng, Threads};
+use dtn_sim::{AtomicHistogram, Clock, MonotonicClock, NullClock, SimRng, Span, Threads};
 use std::time::Instant;
 
 const LOADS: [u32; 5] = [10, 20, 30, 40, 50];
@@ -150,6 +156,33 @@ fn audited_pass(cfg: &SweepConfig, cache: &TraceCache) -> (u64, u64, f64) {
     (contacts, events, start.elapsed().as_secs_f64())
 }
 
+const SPAN_ITERS: u64 = 10_000_000;
+
+/// ns/op of a trivial accumulate loop with one [`Span`] guard per
+/// iteration. Under [`NullClock`] the guard must monomorphize away, so
+/// this should time identically to [`bare_span_pass`].
+fn span_pass<C: Clock>(hist: &AtomicHistogram) -> f64 {
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..SPAN_ITERS {
+        let _span = Span::<C>::start(hist);
+        acc = acc.wrapping_add(std::hint::black_box(i));
+    }
+    std::hint::black_box(acc);
+    start.elapsed().as_nanos() as f64 / SPAN_ITERS as f64
+}
+
+/// The same loop with no guard at all: the zero-cost baseline.
+fn bare_span_pass() -> f64 {
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..SPAN_ITERS {
+        acc = acc.wrapping_add(std::hint::black_box(i));
+    }
+    std::hint::black_box(acc);
+    start.elapsed().as_nanos() as f64 / SPAN_ITERS as f64
+}
+
 fn main() {
     let baseline_path = std::env::args()
         .nth(1)
@@ -206,6 +239,29 @@ fn main() {
         audit_events = a_events;
     }
 
+    // Span guard: a disabled (NullClock) span per loop iteration must
+    // cost the same as no span at all — same dead-code contract the
+    // NullProbe guard enforces, applied to the telemetry layer. Best-of-N
+    // on both sides; the enabled (MonotonicClock) span is informational.
+    let span_guard_pct = env_f64("SPAN_GUARD_PCT", 25.0);
+    let hist = AtomicHistogram::new();
+    let mut bare_ns = f64::INFINITY;
+    let mut null_ns = f64::INFINITY;
+    let mut mono_ns = f64::INFINITY;
+    for _ in 0..passes.max(2) {
+        bare_ns = bare_ns.min(bare_span_pass());
+        null_ns = null_ns.min(span_pass::<NullClock>(&hist));
+        mono_ns = mono_ns.min(span_pass::<MonotonicClock>(&hist));
+    }
+    // ns/op deltas at this scale sit inside timer noise; guard on the
+    // ratio of loop rates instead.
+    let span_ratio = bare_ns / null_ns;
+    let span_verdict = if span_ratio >= 1.0 - span_guard_pct / 100.0 {
+        "ok"
+    } else {
+        "REGRESSION"
+    };
+
     let ratio = best / baseline;
     let verdict = if ratio >= 1.0 - guard_pct / 100.0 {
         "ok"
@@ -232,6 +288,12 @@ fn main() {
             "  \"audit_ratio\": {:.4},\n",
             "  \"audit_guard_pct\": {},\n",
             "  \"audit_verdict\": \"{}\",\n",
+            "  \"span_bare_ns_per_op\": {:.3},\n",
+            "  \"span_null_ns_per_op\": {:.3},\n",
+            "  \"span_monotonic_ns_per_op\": {:.3},\n",
+            "  \"span_ratio\": {:.4},\n",
+            "  \"span_guard_pct\": {},\n",
+            "  \"span_verdict\": \"{}\",\n",
             "  \"verdict\": \"{}\"\n",
             "}}"
         ),
@@ -246,6 +308,12 @@ fn main() {
         audit_ratio,
         audit_guard_pct,
         audit_verdict,
+        bare_ns,
+        null_ns,
+        mono_ns,
+        span_ratio,
+        span_guard_pct,
+        span_verdict,
         verdict
     );
     if verdict != "ok" {
@@ -261,6 +329,14 @@ fn main() {
             "bench_probe_overhead: audited path at {:.1}% of the NullProbe rate (allowed floor {:.1}%)",
             100.0 * audit_ratio,
             100.0 - audit_guard_pct
+        );
+        std::process::exit(1);
+    }
+    if span_verdict != "ok" {
+        eprintln!(
+            "bench_probe_overhead: NullClock span loop at {:.1}% of the bare loop (allowed floor {:.1}%)",
+            100.0 * span_ratio,
+            100.0 - span_guard_pct
         );
         std::process::exit(1);
     }

@@ -48,7 +48,7 @@ pub use jobs::{PointJob, PointOutcome};
 pub use output::{ensure_dir, Figure, Series, TextTable};
 pub use report::{
     current_rss_bytes, git_rev, peak_rss_bytes, unix_time_secs, NamedHistogram, PointReport,
-    RunManifest, SweepReport, SweepTiming,
+    PointTiming, RunManifest, SweepReport, SweepTiming,
 };
 pub use reporter::{Reporter, Verbosity};
 pub use robustness::{

@@ -168,6 +168,24 @@ pub struct SweepTiming {
     pub wall_secs: f64,
 }
 
+/// Wall-clock phase breakdown of one point's computation: where the
+/// time went between mobility preparation, the protocol loop, and
+/// report assembly. Purely observational — masked to `null` by
+/// [`SweepReport::to_canonical_json`], so local runs (which record it)
+/// and daemon-assembled reports (which do not) stay byte-identical
+/// under the canonical rendering.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PointTiming {
+    /// Seconds spent obtaining mobility input (trace-cache lookup or
+    /// synthetic-trace generation) before the protocol loop ran.
+    pub trace_secs: f64,
+    /// Seconds spent in the protocol simulation loop across all
+    /// replications of the point.
+    pub sim_secs: f64,
+    /// Seconds spent folding raw metrics into the report aggregates.
+    pub assemble_secs: f64,
+}
+
 /// Aggregated results at one (protocol, mobility, load) point.
 #[derive(Clone, Debug)]
 pub struct PointReport {
@@ -212,6 +230,9 @@ pub struct PointReport {
     /// Log-bucketed delivery-delay histogram (seconds; successful
     /// replications only — the paper records no delay for failed runs).
     pub delay_hist: Histogram,
+    /// Wall-clock phase breakdown, when the driver recorded one
+    /// (volatile; canonical rendering masks it to `null`).
+    pub timing: Option<PointTiming>,
 }
 
 /// A named distribution attached to the report (probe-derived:
@@ -335,7 +356,16 @@ impl SweepReport {
             buffer_occupancy_mean: occupancy / n,
             duplication_rate_mean: duplication / n,
             delay_hist,
+            timing: None,
         });
+    }
+
+    /// Attach a wall-clock phase breakdown to the most recently recorded
+    /// point (no-op before the first `record_point`).
+    pub fn record_point_timing(&mut self, timing: PointTiming) {
+        if let Some(point) = self.points.last_mut() {
+            point.timing = Some(timing);
+        }
     }
 
     /// [`record_point`](Self::record_point) over panic-isolated outcomes:
@@ -512,7 +542,7 @@ impl SweepReport {
                  \"buffer_occupancy\": {}, \"duplication_rate\": {}, \"delay_s\": {}, \
                  \"signaling_bytes\": {}, \"false_positive_transmissions\": {}, \
                  \"faults\": {{\"contacts_skipped\": {}, \"sessions_truncated\": {}, \
-                 \"ack_losses\": {}, \"churn_wipes\": {}}}}}",
+                 \"ack_losses\": {}, \"churn_wipes\": {}}}, \"timing\": {}}}",
                 json_escape(&p.protocol),
                 json_escape(&p.mobility),
                 p.load,
@@ -531,6 +561,7 @@ impl SweepReport {
                 p.sessions_truncated,
                 p.ack_losses,
                 p.churn_wipes,
+                timing_json(p.timing.as_ref()),
             );
         }
         out.push_str(if self.points.is_empty() {
@@ -564,7 +595,8 @@ impl SweepReport {
     /// machine-dependent field masked to a fixed value: `wall_secs` and
     /// all per-sweep timings become 0 (and with them the derived
     /// `sweeps_per_sec`/`contacts_per_sec`), `peak_rss_bytes` becomes
-    /// `null`, and the trace-cache counters become 0.
+    /// `null`, the trace-cache counters become 0, and each point's
+    /// phase-timing breakdown becomes `null`.
     ///
     /// What survives is exactly the deterministic content — workload,
     /// per-point aggregates, violations, histograms — so two runs of the
@@ -581,12 +613,26 @@ impl SweepReport {
         for t in &mut canon.timings {
             t.wall_secs = 0.0;
         }
+        for p in &mut canon.points {
+            p.timing = None;
+        }
         canon.to_json()
     }
 
     /// Write the JSON rendering to `path`.
     pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         std::fs::write(path, self.to_json())
+    }
+}
+
+/// One point's phase-timing breakdown as JSON (`null` when absent).
+fn timing_json(t: Option<&PointTiming>) -> String {
+    match t {
+        None => "null".to_string(),
+        Some(t) => format!(
+            "{{\"trace_secs\": {:.6}, \"sim_secs\": {:.6}, \"assemble_secs\": {:.6}}}",
+            t.trace_secs, t.sim_secs, t.assemble_secs
+        ),
     }
 }
 
@@ -689,13 +735,21 @@ mod tests {
             r.record_sweep("cell @ trace", wall / 2.0);
             r.record_violation("k rep 0: v");
             r.record_cache(cache);
+            r.record_point("Pure epidemic", "trace", 1, &[]);
+            r.record_point_timing(PointTiming {
+                trace_secs: wall / 4.0,
+                sim_secs: wall / 2.0,
+                assemble_secs: wall / 8.0,
+            });
             r.finish(wall);
             r
         };
         let a = build(1.0, (10, 2));
         let b = build(7.5, (0, 12));
         assert_ne!(a.to_json(), b.to_json(), "volatile fields must differ");
+        assert!(a.to_json().contains("\"timing\": {\"trace_secs\":"));
         assert_eq!(a.to_canonical_json(), b.to_canonical_json());
+        assert!(a.to_canonical_json().contains("\"timing\": null"));
         // Deterministic content still distinguishes reports.
         let mut c = build(1.0, (10, 2));
         c.record_violation("k rep 1: other");

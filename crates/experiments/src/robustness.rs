@@ -378,12 +378,35 @@ pub fn run_robustness_watched(
     let mut cell_started = std::time::Instant::now();
     for (i, gp) in points.iter().enumerate() {
         let key = &gp.key;
+        // Phase breakdown of a freshly computed point (None when the
+        // point was replayed from a checkpoint): trace preparation vs
+        // protocol loop vs report assembly.
+        let mut phase_secs = None;
         let (outcomes, attempts, violations) = match done.remove(key) {
             Some((outcomes, attempts)) => (outcomes, attempts, Vec::new()),
             None => {
+                // Warm the trace cache for every replication first so
+                // the mobility cost is measurable separately from the
+                // protocol loop (the job's own lookups then all hit).
+                let trace_started = std::time::Instant::now();
+                for rep in 0..cfg.replications {
+                    let _ = mobility.build_cached(cfg.base_seed, rep as u64, &cache);
+                }
+                let trace_secs = trace_started.elapsed().as_secs_f64();
+                let sim_started = std::time::Instant::now();
                 let out = gp
                     .job
                     .run_hooked(cfg.threads, &cache, inject.clone(), key)?;
+                let sim_secs = sim_started.elapsed().as_secs_f64();
+                phase_secs = Some((trace_secs, sim_secs));
+                if let Some(threshold) = cfg.slow_point_secs {
+                    if sim_secs > threshold {
+                        log.info(format!(
+                            "slow point {key}: simulation phase took {sim_secs:.3}s \
+                             (threshold {threshold}s)"
+                        ));
+                    }
+                }
                 if out.slow > 0 {
                     log.debug(format!(
                         "{key}: {} replication(s) exceeded the soft deadline",
@@ -403,6 +426,7 @@ pub fn run_robustness_watched(
                 (out.outcomes, out.attempts, violations)
             }
         };
+        let assemble_started = std::time::Instant::now();
         for v in violations {
             report.record_violation(v);
         }
@@ -415,6 +439,13 @@ pub fn run_robustness_watched(
             &outcomes,
             &attempts,
         );
+        if let Some((trace_secs, sim_secs)) = phase_secs {
+            report.record_point_timing(crate::report::PointTiming {
+                trace_secs,
+                sim_secs,
+                assemble_secs: assemble_started.elapsed().as_secs_f64(),
+            });
+        }
         if let Some(budget) = cfg.memory_budget_bytes {
             let over = crate::report::current_rss_bytes().is_some_and(|rss| rss > budget);
             if over {

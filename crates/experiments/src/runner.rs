@@ -52,6 +52,10 @@ pub struct SweepConfig {
     /// (checkpoints are already flushed per point) and continues in
     /// degraded, cache-cold mode. `None` disables the guard.
     pub memory_budget_bytes: Option<u64>,
+    /// Log a reporter line when one point's simulation phase exceeds
+    /// this many wall seconds (`None` disables the check). Purely
+    /// observational — never perturbs results or the job identity.
+    pub slow_point_secs: Option<f64>,
 }
 
 impl Default for SweepConfig {
@@ -68,6 +72,7 @@ impl Default for SweepConfig {
             point_timeout_secs: None,
             audit: false,
             memory_budget_bytes: None,
+            slow_point_secs: None,
         }
     }
 }

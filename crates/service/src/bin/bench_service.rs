@@ -12,11 +12,18 @@
 //! * `depth64_jobs_per_sec` — submit 64 jobs, then collect them all:
 //!   pipelined throughput with a full queue;
 //! * `cache_hit_latency_us` — mean submit-to-result latency for jobs
-//!   whose results are already in the content-addressed cache.
+//!   whose results are already in the content-addressed cache;
+//! * `depth64_jobs_per_sec_scraped` — the depth-64 batch again while a
+//!   live `/metrics` endpoint is scraped continuously, with the jobs/s
+//!   delta reported as `telemetry_overhead_pct` (target ≤ 3%).
 
 use dtn_experiments::jobs::PointJob;
 use dtn_experiments::{Mobility, SweepConfig};
-use dtn_service::{Client, Daemon, DaemonConfig};
+use dtn_service::{Client, Daemon, DaemonConfig, MetricsServer};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 const DEPTH1_JOBS: usize = 16;
@@ -74,6 +81,48 @@ fn main() {
     let depth64_jobs: Vec<PointJob> = (0..DEPTH64_JOBS).map(|i| job(0x2000 + i as u64)).collect();
     let depth64_jobs_per_sec = collect_all(&mut client, &depth64_jobs);
 
+    // Depth 64 under scrape pressure: the same batch shape over fresh
+    // seeds, four batches back to back for a wide enough timing window,
+    // first unscraped and then with a 100 Hz `GET /metrics` scraper —
+    // already ~500× a realistic Prometheus interval, so the measured
+    // delta is a generous upper bound on scrape-induced overhead.
+    let multi_batch = |client: &mut Client, base: u64| -> f64 {
+        let started = Instant::now();
+        let mut done = 0usize;
+        for batch in 0..4u64 {
+            let jobs: Vec<PointJob> = (0..DEPTH64_JOBS)
+                .map(|i| job(base + batch * 0x100 + i as u64))
+                .collect();
+            collect_all(client, &jobs);
+            done += jobs.len();
+        }
+        done as f64 / started.elapsed().as_secs_f64()
+    };
+    let scrape_baseline_jobs_per_sec = multi_batch(&mut client, 0x3000);
+    let metrics = MetricsServer::spawn(0).expect("metrics server should bind");
+    let metrics_addr = metrics.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper_stop = Arc::clone(&stop);
+    let scraper = std::thread::spawn(move || {
+        let mut scrapes = 0u64;
+        while !scraper_stop.load(Ordering::Relaxed) {
+            if let Ok(mut s) = TcpStream::connect(metrics_addr) {
+                let _ = s.write_all(b"GET /metrics HTTP/1.0\r\nHost: b\r\n\r\n");
+                let mut body = String::new();
+                let _ = s.read_to_string(&mut body);
+                scrapes += 1;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        scrapes
+    });
+    let depth64_scraped_jobs_per_sec = multi_batch(&mut client, 0x4000);
+    stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper join");
+    metrics.shutdown();
+    let telemetry_overhead_pct =
+        100.0 * (1.0 - depth64_scraped_jobs_per_sec / scrape_baseline_jobs_per_sec).max(0.0);
+
     // Cache hits: resubmit one known job many times and time each full
     // submit-to-result round trip.
     let hot = job(0x1000);
@@ -97,6 +146,10 @@ fn main() {
          \"depth1_jobs_per_sec\": {depth1_jobs_per_sec:.1},\n  \
          \"depth64_jobs\": {DEPTH64_JOBS},\n  \
          \"depth64_jobs_per_sec\": {depth64_jobs_per_sec:.1},\n  \
+         \"depth64_jobs_per_sec_unscraped\": {scrape_baseline_jobs_per_sec:.1},\n  \
+         \"depth64_jobs_per_sec_scraped\": {depth64_scraped_jobs_per_sec:.1},\n  \
+         \"metrics_scrapes_during_batch\": {scrapes},\n  \
+         \"telemetry_overhead_pct\": {telemetry_overhead_pct:.1},\n  \
          \"cache_hit_probes\": {CACHE_HIT_PROBES},\n  \
          \"cache_hit_latency_us\": {cache_hit_latency_us:.1},\n  \
          \"daemon_stats\": {stats}\n}}\n"

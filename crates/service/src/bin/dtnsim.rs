@@ -34,8 +34,13 @@
 //!                      reassemble the same report locally; repeated
 //!                      submissions are served from the daemon's result
 //!                      cache bit-identically
-//!   --daemon-stats     print the daemon's stats document and exit
-//!                      (requires --connect)
+//!   --daemon-stats     print the daemon's operational stats as a stable,
+//!                      documented JSON document and exit (requires
+//!                      --connect; see `render_daemon_stats` for the
+//!                      shape). With --canonical, load-dependent values
+//!                      (queue depth, running count, uptime, utilization,
+//!                      latency snapshots) are masked to fixed values so
+//!                      two equally-loaded daemons compare byte-identical
 //!   --daemon-shutdown  ask the daemon to drain, persist its cache, and
 //!                      exit (requires --connect)
 //!
@@ -50,6 +55,10 @@
 //!                      replication still running at the deadline is
 //!                      abandoned and reported as timed out instead of
 //!                      hanging the run
+//!   --slow-point-secs S
+//!                      log a stderr line when one point's simulation
+//!                      phase exceeds S wall seconds (robustness mode;
+//!                      observational only, never changes results)
 //!
 //! fault injection (all deterministic under --seed):
 //!   --loss P           i.i.d. per-transmission loss probability
@@ -173,6 +182,7 @@ struct Args {
     canonical: bool,
     daemon_stats: bool,
     daemon_shutdown: bool,
+    slow_point_secs: Option<f64>,
 }
 
 /// Parse `--burst G,B,GB,BG` into a Gilbert–Elliott channel.
@@ -249,6 +259,7 @@ fn parse_args() -> Result<Args, String> {
         canonical: false,
         daemon_stats: false,
         daemon_shutdown: false,
+        slow_point_secs: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -324,6 +335,15 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--connect" => args.connect = Some(value("--connect")?),
+            "--slow-point-secs" => {
+                let secs: f64 = value("--slow-point-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad slow-point-secs: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--slow-point-secs must be a positive number".into());
+                }
+                args.slow_point_secs = Some(secs);
+            }
             "--canonical" => args.canonical = true,
             "--daemon-stats" => args.daemon_stats = true,
             "--daemon-shutdown" => args.daemon_shutdown = true,
@@ -334,7 +354,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: dtnsim [--protocol NAME] [--list-protocols] [--mobility NAME] \
                      [--load K] [--reps N] [--seed S] [--buffer B] [--tx-time SECS] [--stats] \
                      [--trace PATH] [--series PATH] [--canonical] [--audit] [--retries N] \
-                     [--point-timeout SECS] [--loss P] [--burst G,B,GB,BG] \
+                     [--point-timeout SECS] [--slow-point-secs SECS] \
+                     [--loss P] [--burst G,B,GB,BG] \
                      [--truncate P] [--ack-loss P] [--churn UP,DOWN[,crash|duty]] \
                      [--robustness [--checkpoint PATH] [--resume]] \
                      [--connect HOST:PORT [--daemon-stats | --daemon-shutdown]] [-v | -q]"
@@ -383,6 +404,141 @@ fn print_report(report: &SweepReport, canonical: bool) {
     }
 }
 
+/// Re-render a daemon `stats` reply as the stable, documented
+/// `--daemon-stats` document: one JSON object, one key per line, in the
+/// fixed order below regardless of daemon version. Numbers are copied
+/// verbatim from the reply (u64 counters survive losslessly); keys a
+/// (newer or older) daemon does not send render as `0` / `null` rather
+/// than failing, so the shape itself never varies.
+///
+/// ```text
+/// {
+///   "type": "daemon_stats",       constant
+///   "engine": "...",              daemon's engine version string
+///   "workers": N,                 worker-pool size (configuration)
+///   "queue_capacity": N,          bounded-queue size (configuration)
+///   "queue_depth": N,             jobs queued right now        [volatile]
+///   "running": N,                 jobs running right now       [volatile]
+///   "submitted": N,               admitted jobs, lifetime
+///   "completed": N,               finished jobs, lifetime
+///   "failed": N,                  failed jobs (errors + panics)
+///   "failed_errors": N,           ... of which job-level errors
+///   "failed_panics": N,           ... of which worker-caught panics
+///   "cancelled": N,               jobs cancelled while queued
+///   "rejected": N,                rejected submits (all reasons)
+///   "rejected_queue_full": N,     ... of which queue-full sheds
+///   "rejected_shutdown": N,       ... of which during drain
+///   "replication_panics": N,      panicking replications inside jobs
+///   "replication_timeouts": N,    timed-out replications inside jobs
+///   "cache_hits": N,              result-cache hits, lifetime
+///   "cache_misses": N,            result-cache misses, lifetime
+///   "cache_entries": N,           result-cache size now
+///   "uptime_secs": F,                                          [volatile]
+///   "worker_busy_secs": F,                                     [volatile]
+///   "worker_utilization": F,      busy / (uptime x workers)    [volatile]
+///   "latency": {...} | null       per-phase histogram snapshots [volatile]
+/// }
+/// ```
+///
+/// With `canonical`, the `[volatile]` fields are masked (numbers to `0`,
+/// `latency` to `null`) so two daemons that served the same jobs print
+/// byte-identical documents — the form the service tests compare.
+fn render_daemon_stats(raw: &str, canonical: bool) -> Result<String, String> {
+    use dtn_service::json::Value;
+    let v = Value::parse(raw).map_err(|e| format!("unparseable stats reply: {e}"))?;
+    if v.get("type").and_then(Value::as_str) != Some("stats") {
+        return Err(format!("unexpected stats reply: {raw}"));
+    }
+    let num = |key: &str| match v.get(key) {
+        Some(Value::Num(n)) => n.clone(),
+        _ => "0".to_string(),
+    };
+    let volatile_num = |key: &str| {
+        if canonical {
+            "0".to_string()
+        } else {
+            num(key)
+        }
+    };
+    // Snapshot sub-objects re-render in fixed key order too (the daemon
+    // sends them ordered, but the parser's maps do not preserve it).
+    let snapshot = |snap: Option<&Value>| -> String {
+        let Some(snap) = snap else {
+            return "null".to_string();
+        };
+        let field = |key: &str| match snap.get(key) {
+            Some(Value::Num(n)) => n.clone(),
+            _ => "0".to_string(),
+        };
+        format!(
+            "{{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+            field("count"),
+            field("sum"),
+            field("mean"),
+            field("p50"),
+            field("p90"),
+            field("p99"),
+        )
+    };
+    let latency = match v.get("latency") {
+        Some(lat) if !canonical => {
+            let phases = [
+                "frame_decode",
+                "request",
+                "queue_wait",
+                "cache_probe",
+                "sim",
+                "serialize",
+                "write",
+            ];
+            let body: Vec<String> = phases
+                .iter()
+                .map(|p| format!("    \"{p}\": {}", snapshot(lat.get(p))))
+                .collect();
+            format!("{{\n{}\n  }}", body.join(",\n"))
+        }
+        _ => "null".to_string(),
+    };
+    let engine = v.get("engine").and_then(Value::as_str).unwrap_or("unknown");
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"type\": \"daemon_stats\",\n  \"engine\": \"{}\",",
+        dtn_service::json::escape(engine)
+    );
+    for key in ["workers", "queue_capacity"] {
+        let _ = writeln!(out, "  \"{key}\": {},", num(key));
+    }
+    for key in ["queue_depth", "running"] {
+        let _ = writeln!(out, "  \"{key}\": {},", volatile_num(key));
+    }
+    for key in [
+        "submitted",
+        "completed",
+        "failed",
+        "failed_errors",
+        "failed_panics",
+        "cancelled",
+        "rejected",
+        "rejected_queue_full",
+        "rejected_shutdown",
+        "replication_panics",
+        "replication_timeouts",
+        "cache_hits",
+        "cache_misses",
+        "cache_entries",
+    ] {
+        let _ = writeln!(out, "  \"{key}\": {},", num(key));
+    }
+    for key in ["uptime_secs", "worker_busy_secs", "worker_utilization"] {
+        let _ = writeln!(out, "  \"{key}\": {},", volatile_num(key));
+    }
+    let _ = writeln!(out, "  \"latency\": {latency}");
+    out.push_str("}\n");
+    Ok(out)
+}
+
 /// The `--robustness` mode: sweep all protocols over the fault grid.
 fn run_robustness_mode(args: &Args, log: &Reporter) -> ExitCode {
     let Source::Builtin(mobility) = args.source else {
@@ -414,6 +570,7 @@ fn robustness_config(args: &Args) -> SweepConfig {
         retries: args.retries,
         point_timeout_secs: args.point_timeout,
         audit: args.audit,
+        slow_point_secs: args.slow_point_secs,
         ..SweepConfig::default()
     }
 }
@@ -570,9 +727,12 @@ fn main() -> ExitCode {
                 Ok(c) => c,
                 Err(code) => return code,
             };
-            return match client.stats_raw() {
+            let rendered = client
+                .stats_raw()
+                .and_then(|raw| render_daemon_stats(&raw, args.canonical));
+            return match rendered {
                 Ok(stats) => {
-                    println!("{stats}");
+                    print!("{stats}");
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -643,6 +803,17 @@ fn main() -> ExitCode {
     }
 
     let probed = args.trace_out.is_some() || args.series_out.is_some();
+    // Warm the trace cache up front so the report's phase breakdown can
+    // separate mobility preparation from the protocol loop (file traces
+    // are already in memory, so their trace phase is just the load time
+    // already spent).
+    let trace_started = Instant::now();
+    if matches!(*source, Source::Builtin(_)) {
+        for rep in 0..args.reps {
+            let _ = source.build(args.seed, rep as u64, &cache);
+        }
+    }
+    let trace_secs = trace_started.elapsed().as_secs_f64();
     let started = Instant::now();
     let root = SimRng::new(args.seed);
     let watchdog = Watchdog {
@@ -873,6 +1044,7 @@ fn main() -> ExitCode {
         args.load,
         args.reps
     ));
+    let assemble_started = Instant::now();
     report.record_point(args.protocol.name, &source.label(), args.load, &runs);
     if let Some(point) = report.points.last_mut() {
         point.panics = panics;
@@ -891,6 +1063,11 @@ fn main() -> ExitCode {
     if !bundles_hist.is_empty() {
         report.attach_histogram("bundles_per_contact", bundles_hist);
     }
+    report.record_point_timing(dtn_experiments::PointTiming {
+        trace_secs,
+        sim_secs: wall,
+        assemble_secs: assemble_started.elapsed().as_secs_f64(),
+    });
     report.finish(wall);
     print_report(&report, args.canonical);
     ExitCode::SUCCESS

@@ -5,15 +5,22 @@
 //! On shutdown the queue drains (every admitted job completes and is
 //! collectable) and the result-cache index is persisted before exit.
 //!
+//! With `--http-port` a std-only HTTP sidecar serves the process
+//! telemetry registry as Prometheus text on `GET /metrics`;
+//! `--telemetry-jsonl` additionally appends periodic JSONL snapshots.
+//!
 //! ```text
-//! dtnsimd --addr 127.0.0.1:7700 --workers 4 --cache results/cache.jsonl
+//! dtnsimd --addr 127.0.0.1:7700 --workers 4 --cache results/cache.jsonl \
+//!         --http-port 9100 --telemetry-jsonl telemetry.jsonl
 //! dtnsim --connect 127.0.0.1:7700 ...   # submit work from any client
+//! curl  http://127.0.0.1:9100/metrics   # scrape operational metrics
 //! ```
 
-use dtn_service::{Daemon, DaemonConfig, ENGINE_VERSION};
+use dtn_service::{Daemon, DaemonConfig, MetricsServer, TelemetrySnapshotter, ENGINE_VERSION};
 use dtn_sim::Threads;
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
+use std::time::Duration;
 
 const USAGE: &str = "\
 dtnsimd - DTN simulation daemon
@@ -30,6 +37,15 @@ OPTIONS:
     --retry-after-ms N      Backpressure hint returned on rejection (default 250)
     --cache PATH            Persist the content-addressed result cache to PATH
                             (JSONL; reloaded on startup, engine-version checked)
+    --http-port N           Serve Prometheus-text telemetry on
+                            http://127.0.0.1:N/metrics (0 picks a free port;
+                            omit to disable the HTTP sidecar)
+    --telemetry-jsonl PATH  Append one telemetry snapshot line to PATH every
+                            --telemetry-interval-secs (plus one on shutdown)
+    --telemetry-interval-secs N
+                            Snapshot period for --telemetry-jsonl (default 5)
+    --slow-job-secs SECS    Log a stderr line when one job's simulation phase
+                            exceeds SECS wall seconds (float; default: off)
     --help                  Show this help
 ";
 
@@ -39,11 +55,24 @@ fn fail(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-fn parse_args() -> DaemonConfig {
-    let mut config = DaemonConfig {
-        addr: "127.0.0.1:7700".to_string(),
-        ..DaemonConfig::default()
+struct Args {
+    config: DaemonConfig,
+    http_port: Option<u16>,
+    telemetry_jsonl: Option<PathBuf>,
+    telemetry_interval_secs: u64,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        config: DaemonConfig {
+            addr: "127.0.0.1:7700".to_string(),
+            ..DaemonConfig::default()
+        },
+        http_port: None,
+        telemetry_jsonl: None,
+        telemetry_interval_secs: 5,
     };
+    let config = &mut parsed.config;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -78,6 +107,33 @@ fn parse_args() -> DaemonConfig {
                     .unwrap_or_else(|e| fail(&format!("bad --retry-after-ms: {e}")))
             }
             "--cache" => config.cache_path = Some(PathBuf::from(value("--cache"))),
+            "--http-port" => {
+                parsed.http_port = Some(
+                    value("--http-port")
+                        .parse()
+                        .unwrap_or_else(|e| fail(&format!("bad --http-port: {e}"))),
+                )
+            }
+            "--telemetry-jsonl" => {
+                parsed.telemetry_jsonl = Some(PathBuf::from(value("--telemetry-jsonl")))
+            }
+            "--telemetry-interval-secs" => {
+                parsed.telemetry_interval_secs = value("--telemetry-interval-secs")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --telemetry-interval-secs: {e}")));
+                if parsed.telemetry_interval_secs == 0 {
+                    fail("--telemetry-interval-secs must be at least 1");
+                }
+            }
+            "--slow-job-secs" => {
+                let secs: f64 = value("--slow-job-secs")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --slow-job-secs: {e}")));
+                if !secs.is_finite() || secs <= 0.0 {
+                    fail("--slow-job-secs must be a positive number");
+                }
+                config.slow_job_secs = Some(secs);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -88,11 +144,12 @@ fn parse_args() -> DaemonConfig {
     if config.queue_capacity == 0 {
         fail("--queue-capacity must be at least 1");
     }
-    config
+    parsed
 }
 
 fn main() {
-    let config = parse_args();
+    let args = parse_args();
+    let config = args.config;
     let cache_note = config
         .cache_path
         .as_ref()
@@ -101,13 +158,34 @@ fn main() {
         eprintln!("error: failed to start daemon on {}: {e}", config.addr);
         std::process::exit(1);
     });
+    let metrics_server = args.http_port.map(|port| {
+        let server = MetricsServer::spawn(port).unwrap_or_else(|e| {
+            eprintln!("error: failed to bind telemetry port {port}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "dtnsimd telemetry on http://{}/metrics",
+            server.local_addr()
+        );
+        server
+    });
+    let snapshotter = args.telemetry_jsonl.map(|path| {
+        TelemetrySnapshotter::spawn(path, Duration::from_secs(args.telemetry_interval_secs))
+    });
     eprintln!(
         "dtnsimd listening on {} (engine {ENGINE_VERSION}, {} workers, queue {}, cache {cache_note})",
         daemon.local_addr(),
         config.workers,
         config.queue_capacity,
     );
-    match daemon.join() {
+    let result = daemon.join();
+    if let Some(server) = metrics_server {
+        server.shutdown();
+    }
+    if let Some(snapshotter) = snapshotter {
+        snapshotter.shutdown();
+    }
+    match result {
         Ok(()) => eprintln!("dtnsimd: drained and stopped; cache index persisted"),
         Err(e) => {
             eprintln!("dtnsimd: stopped, but persisting the cache failed: {e}");

@@ -21,8 +21,11 @@
 use crate::cache::{job_key, ResultStore, ENGINE_VERSION};
 use crate::json::{escape, Value};
 use crate::wire::{job_from_value, read_frame, write_frame};
-use dtn_experiments::jobs::PointJob;
+use dtn_experiments::jobs::{PointJob, RunOutcome};
 use dtn_experiments::TraceCache;
+use dtn_sim::telemetry::{
+    self, AtomicHistogram, Clock, Counter, Gauge, HistogramSnapshot, MonotonicClock, Span,
+};
 use dtn_sim::Threads;
 use std::collections::{HashMap, VecDeque};
 use std::net::{TcpListener, TcpStream};
@@ -31,6 +34,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Daemon tuning knobs.
 #[derive(Clone, Debug)]
@@ -49,6 +53,9 @@ pub struct DaemonConfig {
     pub cache_path: Option<PathBuf>,
     /// Hint returned with `rejected` responses.
     pub retry_after_ms: u64,
+    /// Log a stderr line whenever one job's simulation phase exceeds
+    /// this many wall seconds (`None` disables the slow-job log).
+    pub slow_job_secs: Option<f64>,
 }
 
 impl Default for DaemonConfig {
@@ -60,6 +67,102 @@ impl Default for DaemonConfig {
             job_threads: Threads::Auto,
             cache_path: None,
             retry_after_ms: 250,
+            slow_job_secs: None,
+        }
+    }
+}
+
+/// Telemetry handles for the daemon's job lifecycle, registered in the
+/// process-global [`telemetry::MetricsRegistry`]. Registration dedups
+/// on `(name, labels)`, so repeated [`Daemon::spawn`]s in one process
+/// (tests, benches) share the same monotone series.
+pub(crate) struct DaemonMetrics {
+    pub connections: Counter,
+    pub frame_decode: Arc<AtomicHistogram>,
+    pub request: Arc<AtomicHistogram>,
+    pub write: Arc<AtomicHistogram>,
+    pub queue_wait: Arc<AtomicHistogram>,
+    pub cache_probe: Arc<AtomicHistogram>,
+    pub sim: Arc<AtomicHistogram>,
+    pub serialize: Arc<AtomicHistogram>,
+    pub queue_depth: Gauge,
+    pub inflight: Gauge,
+    pub jobs_completed: Counter,
+    pub jobs_cached: Counter,
+    pub jobs_failed_error: Counter,
+    pub jobs_failed_panic: Counter,
+    pub jobs_cancelled: Counter,
+    pub rejected_queue_full: Counter,
+    pub rejected_shutdown: Counter,
+    pub reps_panicked: Counter,
+    pub reps_timed_out: Counter,
+    pub cache_hit: Counter,
+    pub cache_miss: Counter,
+    pub busy_nanos: Counter,
+}
+
+impl DaemonMetrics {
+    fn register() -> DaemonMetrics {
+        let reg = telemetry::global();
+        let hist = |name, help| reg.histogram(name, help, &[]);
+        let jobs = |outcome| {
+            reg.counter(
+                "dtnsimd_jobs_total",
+                "terminal job outcomes by kind",
+                outcome,
+            )
+        };
+        DaemonMetrics {
+            connections: reg.counter("dtnsimd_connections_total", "accepted TCP connections", &[]),
+            frame_decode: hist("dtnsimd_frame_decode_seconds", "request frame JSON parse"),
+            request: hist("dtnsimd_request_seconds", "request dispatch + handling"),
+            write: hist("dtnsimd_write_seconds", "response frame write"),
+            queue_wait: hist("dtnsimd_queue_wait_seconds", "admit-to-claim queue wait"),
+            cache_probe: hist("dtnsimd_cache_probe_seconds", "result-store lookup"),
+            sim: hist("dtnsimd_sim_seconds", "worker simulation (PointJob::run)"),
+            serialize: hist("dtnsimd_serialize_seconds", "result fragment rendering"),
+            queue_depth: reg.gauge("dtnsimd_queue_depth", "jobs admitted but not claimed", &[]),
+            inflight: reg.gauge("dtnsimd_inflight_jobs", "jobs currently running", &[]),
+            jobs_completed: jobs(&[("outcome", "completed")]),
+            jobs_cached: jobs(&[("outcome", "cached")]),
+            jobs_failed_error: jobs(&[("outcome", "failed_error")]),
+            jobs_failed_panic: jobs(&[("outcome", "failed_panic")]),
+            jobs_cancelled: jobs(&[("outcome", "cancelled")]),
+            rejected_queue_full: reg.counter(
+                "dtnsimd_rejections_total",
+                "submissions turned away at the door",
+                &[("reason", "queue_full")],
+            ),
+            rejected_shutdown: reg.counter(
+                "dtnsimd_rejections_total",
+                "submissions turned away at the door",
+                &[("reason", "shutting_down")],
+            ),
+            reps_panicked: reg.counter(
+                "dtnsimd_replications_total",
+                "supervised replication outcomes inside completed jobs",
+                &[("outcome", "panicked")],
+            ),
+            reps_timed_out: reg.counter(
+                "dtnsimd_replications_total",
+                "supervised replication outcomes inside completed jobs",
+                &[("outcome", "timed_out")],
+            ),
+            cache_hit: reg.counter(
+                "dtnsimd_cache_total",
+                "submission-time result-cache probes",
+                &[("result", "hit")],
+            ),
+            cache_miss: reg.counter(
+                "dtnsimd_cache_total",
+                "submission-time result-cache probes",
+                &[("result", "miss")],
+            ),
+            busy_nanos: reg.counter(
+                "dtnsimd_worker_busy_nanos_total",
+                "wall nanoseconds workers spent running jobs",
+                &[],
+            ),
         }
     }
 }
@@ -77,6 +180,9 @@ enum JobState {
 struct JobEntry {
     job: PointJob,
     state: JobState,
+    /// Admission timestamp (telemetry epoch nanos) — the queue-wait
+    /// histogram measures admit → worker-claim from this.
+    enqueued_nanos: u64,
 }
 
 struct Shared {
@@ -89,10 +195,23 @@ struct Shared {
     jobs: Mutex<HashMap<String, JobEntry>>,
     done_cv: Condvar,
     shutting_down: AtomicBool,
+    started: Instant,
+    metrics: DaemonMetrics,
     submitted: AtomicU64,
     completed: AtomicU64,
+    // `failed` folds errors + panics (the legacy wire counter);
+    // `rejected` folds queue_full + shutting_down. The split atomics
+    // below are what the extended stats reply distinguishes.
     failed: AtomicU64,
+    failed_errors: AtomicU64,
+    failed_panics: AtomicU64,
+    cancelled: AtomicU64,
     rejected: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    replication_panics: AtomicU64,
+    replication_timeouts: AtomicU64,
+    busy_nanos: AtomicU64,
     running: AtomicUsize,
 }
 
@@ -115,6 +234,7 @@ impl Daemon {
             Some(path) => ResultStore::open(path),
             None => ResultStore::in_memory(),
         };
+        let metrics = DaemonMetrics::register();
         let shared = Arc::new(Shared {
             config: config.clone(),
             local_addr,
@@ -125,12 +245,23 @@ impl Daemon {
             jobs: Mutex::new(HashMap::new()),
             done_cv: Condvar::new(),
             shutting_down: AtomicBool::new(false),
+            started: Instant::now(),
+            metrics,
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            failed_errors: AtomicU64::new(0),
+            failed_panics: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            replication_panics: AtomicU64::new(0),
+            replication_timeouts: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
             running: AtomicUsize::new(0),
         });
+        register_derived_gauges(&shared);
 
         let workers = (0..config.workers)
             .map(|i| {
@@ -193,12 +324,47 @@ fn begin_shutdown(shared: &Arc<Shared>) {
     let _ = TcpStream::connect(shared.local_addr);
 }
 
+/// Install the scrape-time hook computing derived gauges: worker
+/// utilization (busy time / workers × uptime) and resident cache
+/// entries. Registered under one stable name, so the *latest* daemon
+/// spawned in this process owns the series.
+fn register_derived_gauges(shared: &Arc<Shared>) {
+    let reg = telemetry::global();
+    let workers_g = reg.gauge("dtnsimd_workers", "worker pool size", &[]);
+    let capacity_g = reg.gauge("dtnsimd_queue_capacity", "job queue bound", &[]);
+    let util_g = reg.gauge(
+        "dtnsimd_worker_utilization",
+        "busy fraction of the worker pool since daemon start",
+        &[],
+    );
+    let entries_g = reg.gauge(
+        "dtnsimd_cache_entries",
+        "resident result-cache entries",
+        &[],
+    );
+    workers_g.set(shared.config.workers as f64);
+    capacity_g.set(shared.config.queue_capacity as f64);
+    let hook_shared = Arc::clone(shared);
+    reg.register_refresh("dtnsimd_derived_gauges", move || {
+        let busy = hook_shared.busy_nanos.load(Ordering::Relaxed) as f64;
+        let denom =
+            hook_shared.started.elapsed().as_nanos() as f64 * hook_shared.config.workers as f64;
+        util_g.set(if denom > 0.0 {
+            (busy / denom).min(1.0)
+        } else {
+            0.0
+        });
+        entries_g.set(hook_shared.store.stats().2 as f64);
+    });
+}
+
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
     for stream in listener.incoming() {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        shared.metrics.connections.inc();
         let shared = Arc::clone(shared);
         let _ = std::thread::Builder::new()
             .name("dtnsimd-conn".to_string())
@@ -214,7 +380,11 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             Ok(Some(raw)) => raw,
             Ok(None) | Err(_) => return,
         };
-        let response = match Value::parse(&raw) {
+        let parsed = {
+            let _t = Span::<MonotonicClock>::start(&shared.metrics.frame_decode);
+            Value::parse(&raw)
+        };
+        let response = match parsed {
             Ok(request) => {
                 if request.get("type").and_then(Value::as_str) == Some("shutdown") {
                     // Order matters: the ack must reach the socket before
@@ -229,10 +399,12 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                     begin_shutdown(shared);
                     continue;
                 }
+                let _t = Span::<MonotonicClock>::start(&shared.metrics.request);
                 handle_request(shared, &request)
             }
             Err(e) => error_response(&format!("bad request: {e}")),
         };
+        let _t = Span::<MonotonicClock>::start(&shared.metrics.write);
         if write_frame(&mut stream, &response).is_err() {
             return;
         }
@@ -287,6 +459,8 @@ fn handle_submit(shared: &Arc<Shared>, request: &Value) -> String {
 
     if shared.shutting_down.load(Ordering::SeqCst) {
         shared.rejected.fetch_add(1, Ordering::Relaxed);
+        shared.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.rejected_shutdown.inc();
         return format!(
             "{{\"type\":\"rejected\",\"reason\":\"shutting_down\",\
              \"retry_after_ms\":{},\"queue_depth\":0}}",
@@ -295,7 +469,12 @@ fn handle_submit(shared: &Arc<Shared>, request: &Value) -> String {
     }
 
     let mut jobs = shared.jobs.lock().expect("jobs poisoned");
-    if shared.store.lookup(&key).is_some() {
+    let hit = {
+        let _t = Span::<MonotonicClock>::start(&shared.metrics.cache_probe);
+        shared.store.lookup(&key).is_some()
+    };
+    if hit {
+        shared.metrics.cache_hit.inc();
         // Content-addressed hit: the result exists, no work is queued.
         // Overwriting a previous terminal state is fine — the stored
         // fragment is the result either way, and `cached: true` tells
@@ -305,10 +484,13 @@ fn handle_submit(shared: &Arc<Shared>, request: &Value) -> String {
             .or_insert(JobEntry {
                 job,
                 state: JobState::Done { cached: true },
+                enqueued_nanos: 0,
             });
         shared.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.jobs_cached.inc();
         return accepted(&key, true);
     }
+    shared.metrics.cache_miss.inc();
     if let Some(entry) = jobs.get(&key) {
         match entry.state {
             // Already admitted (or already resolved): piggyback.
@@ -325,6 +507,8 @@ fn handle_submit(shared: &Arc<Shared>, request: &Value) -> String {
     let mut queue = shared.queue.lock().expect("queue poisoned");
     if queue.len() >= shared.config.queue_capacity {
         shared.rejected.fetch_add(1, Ordering::Relaxed);
+        shared.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.rejected_queue_full.inc();
         return format!(
             "{{\"type\":\"rejected\",\"reason\":\"queue_full\",\
              \"retry_after_ms\":{},\"queue_depth\":{}}}",
@@ -333,12 +517,14 @@ fn handle_submit(shared: &Arc<Shared>, request: &Value) -> String {
         );
     }
     queue.push_back(key.clone());
+    shared.metrics.queue_depth.set(queue.len() as f64);
     drop(queue);
     jobs.insert(
         key.clone(),
         JobEntry {
             job,
             state: JobState::Queued,
+            enqueued_nanos: MonotonicClock::now_nanos(),
         },
     );
     drop(jobs);
@@ -430,6 +616,8 @@ fn handle_cancel(shared: &Arc<Shared>, request: &Value) -> String {
         // table and the worker discards the id when it pops it.
         Some(entry) if matches!(entry.state, JobState::Queued) => {
             entry.state = JobState::Cancelled;
+            shared.cancelled.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.jobs_cancelled.inc();
             shared.done_cv.notify_all();
             true
         }
@@ -438,15 +626,50 @@ fn handle_cancel(shared: &Arc<Shared>, request: &Value) -> String {
     format!("{{\"type\":\"cancelled\",\"job_id\":\"{id}\",\"cancelled\":{cancelled}}}")
 }
 
+/// One histogram snapshot as a JSON object (count/sum/mean/quantiles).
+/// Floats use Rust's shortest round-trip rendering — the stats reply is
+/// informational, not byte-identity-constrained (the `--canonical`
+/// client mode masks the whole telemetry object).
+fn snapshot_json(snap: &HistogramSnapshot) -> String {
+    let q = |q: f64| snap.quantile(q).unwrap_or(0.0);
+    format!(
+        "{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        snap.count,
+        snap.sum,
+        snap.mean(),
+        q(0.5),
+        q(0.9),
+        q(0.99),
+    )
+}
+
 fn handle_stats(shared: &Arc<Shared>) -> String {
     let (hits, misses, entries) = shared.store.stats();
     let queue_depth = shared.queue.lock().expect("queue poisoned").len();
+    let uptime = shared.started.elapsed().as_secs_f64();
+    let busy_secs = shared.busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9;
+    let utilization = if shared.config.workers > 0 && uptime > 0.0 {
+        (busy_secs / (uptime * shared.config.workers as f64)).min(1.0)
+    } else {
+        0.0
+    };
+    let m = &shared.metrics;
+    // Legacy keys first, in their original order, so pre-telemetry
+    // clients parsing positionally or by key keep working; the split
+    // counters and histogram snapshots extend the object after them.
     format!(
         "{{\"type\":\"stats\",\"engine\":\"{}\",\"workers\":{},\
          \"queue_depth\":{queue_depth},\"queue_capacity\":{},\
          \"running\":{},\"submitted\":{},\"completed\":{},\"failed\":{},\
          \"rejected\":{},\"cache_hits\":{hits},\"cache_misses\":{misses},\
-         \"cache_entries\":{entries}}}",
+         \"cache_entries\":{entries},\
+         \"failed_errors\":{},\"failed_panics\":{},\"cancelled\":{},\
+         \"rejected_queue_full\":{},\"rejected_shutdown\":{},\
+         \"replication_panics\":{},\"replication_timeouts\":{},\
+         \"uptime_secs\":{uptime},\"worker_busy_secs\":{busy_secs},\
+         \"worker_utilization\":{utilization},\
+         \"latency\":{{\"frame_decode\":{},\"request\":{},\"queue_wait\":{},\
+         \"cache_probe\":{},\"sim\":{},\"serialize\":{},\"write\":{}}}}}",
         escape(ENGINE_VERSION),
         shared.config.workers,
         shared.config.queue_capacity,
@@ -455,6 +678,20 @@ fn handle_stats(shared: &Arc<Shared>) -> String {
         shared.completed.load(Ordering::Relaxed),
         shared.failed.load(Ordering::Relaxed),
         shared.rejected.load(Ordering::Relaxed),
+        shared.failed_errors.load(Ordering::Relaxed),
+        shared.failed_panics.load(Ordering::Relaxed),
+        shared.cancelled.load(Ordering::Relaxed),
+        shared.rejected_queue_full.load(Ordering::Relaxed),
+        shared.rejected_shutdown.load(Ordering::Relaxed),
+        shared.replication_panics.load(Ordering::Relaxed),
+        shared.replication_timeouts.load(Ordering::Relaxed),
+        snapshot_json(&m.frame_decode.snapshot()),
+        snapshot_json(&m.request.snapshot()),
+        snapshot_json(&m.queue_wait.snapshot()),
+        snapshot_json(&m.cache_probe.snapshot()),
+        snapshot_json(&m.sim.snapshot()),
+        snapshot_json(&m.serialize.snapshot()),
+        snapshot_json(&m.write.snapshot()),
     )
 }
 
@@ -483,11 +720,17 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
 
+        {
+            let queue = shared.queue.lock().expect("queue poisoned");
+            shared.metrics.queue_depth.set(queue.len() as f64);
+        }
         let job = {
             let mut jobs = shared.jobs.lock().expect("jobs poisoned");
             match jobs.get_mut(&key) {
                 Some(entry) if matches!(entry.state, JobState::Queued) => {
                     entry.state = JobState::Running;
+                    let waited = MonotonicClock::now_nanos().saturating_sub(entry.enqueued_nanos);
+                    shared.metrics.queue_wait.record(waited as f64 * 1e-9);
                     entry.job.clone()
                 }
                 // Cancelled while queued (or table inconsistency): skip.
@@ -496,26 +739,78 @@ fn worker_loop(shared: &Arc<Shared>) {
         };
 
         shared.running.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .inflight
+            .set(shared.running.load(Ordering::Relaxed) as f64);
         let threads = shared.config.job_threads;
         let trace_cache = Arc::clone(&shared.trace_cache);
         // PointJob::run already supervises per-replication panics; this
         // outer guard catches bugs in the fold itself so one bad job can
         // never take a worker thread down.
+        let sim_start = MonotonicClock::now_nanos();
         let outcome = catch_unwind(AssertUnwindSafe(|| job.run(threads, &trace_cache)));
+        let sim_nanos = MonotonicClock::now_nanos().saturating_sub(sim_start);
+        let sim_secs = sim_nanos as f64 * 1e-9;
+        shared.metrics.sim.record(sim_secs);
+        shared.busy_nanos.fetch_add(sim_nanos, Ordering::Relaxed);
+        shared.metrics.busy_nanos.add(sim_nanos);
         shared.running.fetch_sub(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .inflight
+            .set(shared.running.load(Ordering::Relaxed) as f64);
+        if let Some(threshold) = shared.config.slow_job_secs {
+            if sim_secs > threshold {
+                eprintln!(
+                    "dtnsimd: slow job {key}: simulation took {sim_secs:.3}s \
+                     (threshold {threshold}s)"
+                );
+            }
+        }
 
         let new_state = match outcome {
             Ok(Ok(point)) => {
-                shared.store.insert(key.clone(), point.to_wire_json());
+                // Completed jobs can still carry supervised per-
+                // replication failures; surface them instead of letting
+                // "completed" hide a point whose replications all died.
+                let panics = point
+                    .outcomes
+                    .iter()
+                    .filter(|o| matches!(o, RunOutcome::Panicked(_)))
+                    .count() as u64;
+                let timeouts = point
+                    .outcomes
+                    .iter()
+                    .filter(|o| matches!(o, RunOutcome::TimedOut))
+                    .count() as u64;
+                shared
+                    .replication_panics
+                    .fetch_add(panics, Ordering::Relaxed);
+                shared
+                    .replication_timeouts
+                    .fetch_add(timeouts, Ordering::Relaxed);
+                shared.metrics.reps_panicked.add(panics);
+                shared.metrics.reps_timed_out.add(timeouts);
+                let fragment = {
+                    let _t = Span::<MonotonicClock>::start(&shared.metrics.serialize);
+                    point.to_wire_json()
+                };
+                shared.store.insert(key.clone(), fragment);
                 shared.completed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.jobs_completed.inc();
                 JobState::Done { cached: false }
             }
             Ok(Err(message)) => {
                 shared.failed.fetch_add(1, Ordering::Relaxed);
+                shared.failed_errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.jobs_failed_error.inc();
                 JobState::Failed(message)
             }
             Err(panic) => {
                 shared.failed.fetch_add(1, Ordering::Relaxed);
+                shared.failed_panics.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.jobs_failed_panic.inc();
                 let message = panic
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())

@@ -16,6 +16,9 @@
 //! * [`client`] — the client used by `dtnsim --connect`, which submits
 //!   the same per-point jobs a local sweep would run and reassembles an
 //!   identical `SweepReport`;
+//! * [`http`] — the telemetry sidecar: a std-only HTTP listener serving
+//!   the process-global metric registry as Prometheus text on
+//!   `GET /metrics`, plus the `--telemetry-jsonl` snapshot writer;
 //! * [`json`] — the minimal std-only JSON reader backing the protocol.
 //!
 //! The load-bearing invariant, checked end to end by `tests/service.rs`:
@@ -29,9 +32,11 @@
 pub mod cache;
 pub mod client;
 pub mod daemon;
+pub mod http;
 pub mod json;
 pub mod wire;
 
 pub use cache::{job_key, ResultStore, ENGINE_VERSION};
 pub use client::{Client, SubmitTicket};
 pub use daemon::{Daemon, DaemonConfig};
+pub use http::{MetricsServer, TelemetrySnapshotter};

@@ -13,6 +13,9 @@
 //!   per-replication substream derivation;
 //! * [`stats`] — Welford and time-weighted accumulators for the paper's
 //!   metrics;
+//! * [`telemetry`] — process-wide operational metrics (atomic counters,
+//!   gauges, latency histograms, [`Span`] timing guards) behind a global
+//!   registry, for the service/runner layers above;
 //! * [`parallel`] — a crossbeam-based fork–join executor that fans
 //!   replications out across cores while keeping results in deterministic
 //!   order.
@@ -28,6 +31,7 @@ pub mod events;
 pub mod parallel;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use engine::{Engine, Flow, Handler, Scheduler, StopReason};
@@ -38,4 +42,8 @@ pub use parallel::{
 };
 pub use rng::SimRng;
 pub use stats::{Histogram, HistogramBucket, Summary, TimeWeighted, Welford};
+pub use telemetry::{
+    AtomicHistogram, Clock, Counter, Gauge, HistogramSnapshot, MetricsRegistry, MonotonicClock,
+    NullClock, Span,
+};
 pub use time::{SimDuration, SimTime};

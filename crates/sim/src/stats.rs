@@ -217,7 +217,10 @@ impl TimeWeighted {
 
 /// Sub-buckets per power-of-two octave (8 → ~9 % relative bucket width).
 const HIST_SUBDIV_BITS: u32 = 3;
-const HIST_SUBDIV: i64 = 1 << HIST_SUBDIV_BITS;
+/// Sub-buckets per octave as a value (`1 << HIST_SUBDIV_BITS`). Public so
+/// the telemetry layer's fixed-range atomic histograms can share one
+/// bucket scheme with [`Histogram`].
+pub const HIST_SUBDIV: i64 = 1 << HIST_SUBDIV_BITS;
 
 /// A log-bucketed histogram over non-negative `f64` samples.
 ///
@@ -255,9 +258,12 @@ pub struct HistogramBucket {
     pub count: u64,
 }
 
-/// Log-bucket index of a positive, finite, normal `f64`: octave (unbiased
-/// exponent) × subdivisions + top mantissa bits.
-fn hist_index(v: f64) -> i64 {
+/// Log-bucket index of a positive, finite `f64`: octave (unbiased
+/// exponent) × subdivisions + top mantissa bits. Pure integer bit
+/// arithmetic on the IEEE-754 representation — deterministic across
+/// platforms. Shared with `telemetry::AtomicHistogram` so both layers
+/// agree on bucket boundaries.
+pub fn bucket_index(v: f64) -> i64 {
     debug_assert!(v > 0.0 && v.is_finite());
     let bits = v.to_bits();
     let exp = ((bits >> 52) & 0x7ff) as i64;
@@ -270,7 +276,7 @@ fn hist_index(v: f64) -> i64 {
 }
 
 /// The `[lo, hi)` value range of bucket `idx`.
-fn hist_bounds(idx: i64) -> (f64, f64) {
+pub fn bucket_bounds(idx: i64) -> (f64, f64) {
     let e = idx.div_euclid(HIST_SUBDIV) as i32;
     let s = idx.rem_euclid(HIST_SUBDIV) as f64;
     let base = 2f64.powi(e);
@@ -294,7 +300,7 @@ impl Histogram {
             self.moments.push(v.max(0.0));
         }
         if v.is_finite() && v > 0.0 {
-            *self.buckets.entry(hist_index(v)).or_insert(0) += 1;
+            *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
         } else {
             self.underflow += 1;
         }
@@ -360,7 +366,7 @@ impl Histogram {
         for (&idx, &count) in &self.buckets {
             cum += count;
             if cum >= target {
-                let (lo, hi) = hist_bounds(idx);
+                let (lo, hi) = bucket_bounds(idx);
                 return Some((lo + hi) / 2.0);
             }
         }
@@ -376,7 +382,7 @@ impl Histogram {
                 .buckets
                 .keys()
                 .next()
-                .map(|&idx| hist_bounds(idx).0)
+                .map(|&idx| bucket_bounds(idx).0)
                 .unwrap_or(0.0);
             out.push(HistogramBucket {
                 lo: 0.0,
@@ -385,7 +391,7 @@ impl Histogram {
             });
         }
         for (&idx, &count) in &self.buckets {
-            let (lo, hi) = hist_bounds(idx);
+            let (lo, hi) = bucket_bounds(idx);
             out.push(HistogramBucket { lo, hi, count });
         }
         out
@@ -522,8 +528,8 @@ mod tests {
     #[test]
     fn histogram_buckets_contain_their_samples() {
         for v in [0.001, 0.5, 1.0, 1.3, 2.0, 3.7, 100.0, 524_162.0, 1e12] {
-            let idx = hist_index(v);
-            let (lo, hi) = hist_bounds(idx);
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
             assert!(lo <= v && v < hi, "{v} outside [{lo}, {hi})");
         }
     }
@@ -531,8 +537,8 @@ mod tests {
     #[test]
     fn histogram_bounds_are_contiguous_and_monotone() {
         for idx in -50..50 {
-            let (lo, hi) = hist_bounds(idx);
-            let (next_lo, _) = hist_bounds(idx + 1);
+            let (lo, hi) = bucket_bounds(idx);
+            let (next_lo, _) = bucket_bounds(idx + 1);
             assert!(lo < hi);
             assert_eq!(hi, next_lo, "bucket {idx} not contiguous");
         }

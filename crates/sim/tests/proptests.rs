@@ -270,4 +270,93 @@ proptest! {
             );
         }
     }
+
+    /// The concurrent-merge contract: per-worker shards (samples dealt
+    /// round-robin across any worker count, i.e. interleaved exactly as a
+    /// striped parallel loop would produce them) Welford-merge — in *any*
+    /// merge order — to the same result as one serial histogram: bucket
+    /// counts bit-exact, moments within float rounding.
+    #[test]
+    fn histogram_sharded_merge_matches_serial(
+        xs in prop::collection::vec(0.0f64..1e6, 1..200),
+        workers in 1usize..9,
+        rotate in 0usize..9,
+    ) {
+        let mut shards = vec![Histogram::new(); workers];
+        for (i, &x) in xs.iter().enumerate() {
+            shards[i % workers].record(x);
+        }
+        let whole = hist_of(&xs);
+        // Fold in a rotated (completion-dependent) order, like the
+        // parallel sweep reduction folding workers as they finish.
+        let mut merged = Histogram::new();
+        for k in 0..workers {
+            merged.merge(&shards[(k + rotate) % workers]);
+        }
+        prop_assert_eq!(bucket_fingerprint(&merged), bucket_fingerprint(&whole));
+        prop_assert_eq!(merged.count(), whole.count());
+        let s = merged.summary();
+        let w = whole.summary();
+        prop_assert_eq!(s.n, w.n);
+        prop_assert!((s.mean - w.mean).abs() < 1e-9 * (1.0 + w.mean.abs()));
+        prop_assert!((s.std_dev - w.std_dev).abs() < 1e-6 * (1.0 + w.std_dev.abs()));
+        prop_assert_eq!(s.min.to_bits(), w.min.to_bits());
+        prop_assert_eq!(s.max.to_bits(), w.max.to_bits());
+    }
+}
+
+/// Degenerate merges: empty↔empty, empty↔populated, and underflow-only
+/// histograms (every sample ≤ 0 or non-finite — a single pseudo-bucket)
+/// must merge without inventing buckets or moments.
+#[test]
+fn histogram_empty_and_degenerate_bucket_merges() {
+    // Empty ∪ empty stays empty.
+    let mut e = Histogram::new();
+    e.merge(&Histogram::new());
+    assert!(e.is_empty());
+    assert_eq!(e.quantile(0.5), None);
+    assert!(e.nonzero_buckets().is_empty());
+
+    // Underflow-only shard: zero, negative, NaN, +∞ all land in the
+    // degenerate bin; NaN/∞ stay out of the moments.
+    let mut under = Histogram::new();
+    for v in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+        under.record(v);
+    }
+    assert_eq!(under.count(), 4);
+    let buckets = under.nonzero_buckets();
+    assert_eq!(buckets.len(), 1, "underflow renders as one pseudo-bucket");
+    assert_eq!(buckets[0].count, 4);
+    assert_eq!(buckets[0].lo, 0.0);
+    assert_eq!(under.quantile(0.99), Some(0.0));
+
+    // Empty ∪ populated == populated (both directions).
+    let mut pop = Histogram::new();
+    pop.record(2.5);
+    let mut a = pop.clone();
+    a.merge(&Histogram::new());
+    let mut b = Histogram::new();
+    b.merge(&pop);
+    for h in [&a, &b] {
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.nonzero_buckets(), pop.nonzero_buckets());
+        assert_eq!(h.mean().to_bits(), 2.5f64.to_bits());
+    }
+
+    // Underflow-only ∪ real samples: counts add, the underflow
+    // pseudo-bucket precedes the real buckets, and the real moments
+    // survive (zero/negative clamp to 0 in the mean; NaN/∞ excluded).
+    let mut mixed = under.clone();
+    mixed.merge(&pop);
+    assert_eq!(mixed.count(), 5);
+    let buckets = mixed.nonzero_buckets();
+    assert_eq!(buckets.len(), 2);
+    assert_eq!(buckets[0].count, 4);
+    assert!(buckets[0].hi <= buckets[1].lo);
+    assert_eq!(buckets[1].count, 1);
+    assert_eq!(
+        mixed.quantile(1.0),
+        Some((buckets[1].lo + buckets[1].hi) / 2.0)
+    );
+    assert_eq!(mixed.summary().n, 3, "NaN and ∞ are excluded from moments");
 }

@@ -239,6 +239,87 @@ fn stats_reflect_submissions_hits_and_rejections() {
 }
 
 #[test]
+fn stats_split_replication_panics_cancels_and_queue_sheds() {
+    // Replication panics: "pq=2,1" parses as a protocol spec, so the job
+    // passes PointJob::validate at the daemon's door, but
+    // ProtocolConfig::validate panics inside every replication ("P out
+    // of range"). The watchdog isolates each one as RunOutcome::Panicked
+    // and the job itself still completes — the daemon must count them
+    // under replication_panics, NOT under failed/failed_panics.
+    let (daemon, addr) = spawn_daemon(DaemonConfig {
+        workers: 1,
+        job_threads: Threads::Sequential,
+        ..DaemonConfig::default()
+    });
+    let cfg = test_config();
+    let panicking = PointJob::from_sweep("pq=2,1", Mobility::Interval(2000), 5, &cfg);
+    let mut client = Client::connect(&addr).expect("connect");
+    let ticket = client.submit(&panicking).expect("submit");
+    assert!(!ticket.cached);
+    let (fragment, _) = client.fetch_fragment(&ticket.job_id).expect("fetch");
+    assert!(
+        fragment.contains("\"panic\":"),
+        "every replication should have panicked, got {fragment}"
+    );
+    let stats = client.stats_raw().expect("stats");
+    for expected in [
+        "\"completed\":1",
+        "\"failed\":0",
+        "\"failed_errors\":0",
+        "\"failed_panics\":0",
+        "\"cancelled\":0",
+        &format!("\"replication_panics\":{}", cfg.replications),
+        "\"replication_timeouts\":0",
+    ] {
+        assert!(stats.contains(expected), "want {expected} in {stats}");
+    }
+    daemon.request_shutdown();
+    daemon.join().expect("join");
+
+    // Cancels and queue sheds on a worker-less daemon, where both are
+    // deterministic to provoke; then a post-shutdown submit, which must
+    // land in rejected_shutdown rather than rejected_queue_full.
+    let (daemon, addr) = spawn_daemon(DaemonConfig {
+        workers: 0,
+        queue_capacity: 1,
+        ..DaemonConfig::default()
+    });
+    let jobs = test_jobs();
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let mut submit = |job: &PointJob| -> String {
+        let payload = format!(
+            "{{\"type\":\"submit\",\"job\":{}}}",
+            job.to_canonical_json()
+        );
+        write_frame(&mut stream, &payload).expect("send");
+        read_frame(&mut stream).expect("recv").expect("response")
+    };
+    assert!(submit(&jobs[0]).contains("\"type\":\"accepted\""));
+    assert!(submit(&jobs[1]).contains("\"reason\":\"queue_full\""));
+    let key = dtn_service::job_key(&jobs[0].to_canonical_json());
+    let mut client = Client::connect(&addr).expect("connect client");
+    assert!(client.cancel(&key).expect("cancel"));
+    daemon.request_shutdown();
+    let drained = submit(&jobs[2]);
+    assert!(
+        drained.contains("\"reason\":\"shutting_down\""),
+        "a submit during drain must be refused as shutting_down, got {drained}"
+    );
+    let stats = client.stats_raw().expect("stats");
+    for expected in [
+        "\"cancelled\":1",
+        "\"rejected\":2",
+        "\"rejected_queue_full\":1",
+        "\"rejected_shutdown\":1",
+        "\"failed_panics\":0",
+        "\"replication_panics\":0",
+    ] {
+        assert!(stats.contains(expected), "want {expected} in {stats}");
+    }
+    daemon.join().expect("join");
+}
+
+#[test]
 fn invalid_jobs_and_unknown_requests_get_structured_errors() {
     let (daemon, addr) = spawn_daemon(DaemonConfig {
         workers: 0,
