@@ -33,7 +33,16 @@
 //!                      dtnsimd daemon as content-addressed point jobs and
 //!                      reassemble the same report locally; repeated
 //!                      submissions are served from the daemon's result
-//!                      cache bit-identically
+//!                      cache bit-identically. The client self-heals:
+//!                      severed connections reconnect with jittered
+//!                      backoff, missing points are idempotently
+//!                      resubmitted, and already-collected points are
+//!                      never re-fetched (partial-sweep resume)
+//!   --max-retries N    cap queue-full submit retries per point
+//!                      (default 32; 0 = unbounded)
+//!   --retry-deadline SECS
+//!                      total wall-clock budget for backpressure retries
+//!                      and reconnect healing (default: none)
 //!   --daemon-stats     print the daemon's operational stats as a stable,
 //!                      documented JSON document and exit (requires
 //!                      --connect; see `render_daemon_stats` for the
@@ -103,7 +112,7 @@ use dtn_experiments::{
     PointOutcome, Reporter, RunManifest, SweepConfig, SweepReport, TraceCache, Verbosity,
 };
 use dtn_mobility::{read_trace_file, ContactTrace, TraceSummary};
-use dtn_service::Client;
+use dtn_service::{Client, ResilientClient, RetryPolicy};
 use dtn_sim::{par_map_supervised, Histogram, JobOutcome, SimDuration, SimRng, Threads, Watchdog};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -183,6 +192,8 @@ struct Args {
     daemon_stats: bool,
     daemon_shutdown: bool,
     slow_point_secs: Option<f64>,
+    max_retries: Option<u32>,
+    retry_deadline_secs: Option<f64>,
 }
 
 /// Parse `--burst G,B,GB,BG` into a Gilbert–Elliott channel.
@@ -260,6 +271,8 @@ fn parse_args() -> Result<Args, String> {
         daemon_stats: false,
         daemon_shutdown: false,
         slow_point_secs: None,
+        max_retries: Some(32),
+        retry_deadline_secs: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -335,6 +348,21 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--connect" => args.connect = Some(value("--connect")?),
+            "--max-retries" => {
+                let n: u32 = value("--max-retries")?
+                    .parse()
+                    .map_err(|e| format!("bad max-retries: {e}"))?;
+                args.max_retries = (n > 0).then_some(n);
+            }
+            "--retry-deadline" => {
+                let secs: f64 = value("--retry-deadline")?
+                    .parse()
+                    .map_err(|e| format!("bad retry-deadline: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--retry-deadline must be a positive number".into());
+                }
+                args.retry_deadline_secs = Some(secs);
+            }
             "--slow-point-secs" => {
                 let secs: f64 = value("--slow-point-secs")?
                     .parse()
@@ -358,7 +386,8 @@ fn parse_args() -> Result<Args, String> {
                      [--loss P] [--burst G,B,GB,BG] \
                      [--truncate P] [--ack-loss P] [--churn UP,DOWN[,crash|duty]] \
                      [--robustness [--checkpoint PATH] [--resume]] \
-                     [--connect HOST:PORT [--daemon-stats | --daemon-shutdown]] [-v | -q]"
+                     [--connect HOST:PORT [--max-retries N] [--retry-deadline SECS] \
+                     [--daemon-stats | --daemon-shutdown]] [-v | -q]"
                 );
                 std::process::exit(0);
             }
@@ -430,6 +459,12 @@ fn print_report(report: &SweepReport, canonical: bool) {
 ///   "rejected_shutdown": N,       ... of which during drain
 ///   "replication_panics": N,      panicking replications inside jobs
 ///   "replication_timeouts": N,    timed-out replications inside jobs
+///   "bad_frames": N,              frames rejected by length/CRC checks
+///   "shed_queue_deadline": N,     jobs shed past the queue-wait deadline
+///   "journal_salvaged": N,        journal records recovered at startup
+///   "journal_discarded": N,       journal records lost to damage
+///   "stale_tmp_removed": N,       orphaned .tmp files cleaned at startup
+///   "journal_flushes": N,         journal flushes so far        [volatile]
 ///   "cache_hits": N,              result-cache hits, lifetime
 ///   "cache_misses": N,            result-cache misses, lifetime
 ///   "cache_entries": N,           result-cache size now
@@ -525,10 +560,22 @@ fn render_daemon_stats(raw: &str, canonical: bool) -> Result<String, String> {
         "rejected_shutdown",
         "replication_panics",
         "replication_timeouts",
-        "cache_hits",
-        "cache_misses",
-        "cache_entries",
+        "bad_frames",
+        "shed_queue_deadline",
+        "journal_salvaged",
+        "journal_discarded",
+        "stale_tmp_removed",
     ] {
+        let _ = writeln!(out, "  \"{key}\": {},", num(key));
+    }
+    // Flush count is timing-dependent (the time-based window fires on
+    // its own clock), so it masks with the volatile group.
+    let _ = writeln!(
+        out,
+        "  \"journal_flushes\": {},",
+        volatile_num("journal_flushes")
+    );
+    for key in ["cache_hits", "cache_misses", "cache_entries"] {
         let _ = writeln!(out, "  \"{key}\": {},", num(key));
     }
     for key in ["uptime_secs", "worker_busy_secs", "worker_utilization"] {
@@ -582,29 +629,46 @@ fn connect(addr: &str, log: &Reporter) -> Result<Client, ExitCode> {
     })
 }
 
-/// Submit jobs in order, then collect results in the same order. The
-/// daemon parallelizes across its workers; submission is cheap (admit or
-/// cache-hit, never simulate), so one pass of each suffices.
+/// The healing policy for sweep submission: bounded backpressure retry,
+/// seeded from `--seed` so the whole retry/reconnect schedule is
+/// reproducible.
+fn retry_policy(args: &Args) -> RetryPolicy {
+    RetryPolicy {
+        max_retries: args.max_retries,
+        deadline: args
+            .retry_deadline_secs
+            .map(std::time::Duration::from_secs_f64),
+        seed: args.seed,
+        ..RetryPolicy::default()
+    }
+}
+
+/// Submit jobs in order, then collect results in the same order, through
+/// the self-healing client: the daemon parallelizes across its workers;
+/// submission is cheap (admit or cache-hit, never simulate); severed
+/// connections reconnect and resume with only the missing points.
 fn submit_and_collect(
-    client: &mut Client,
+    client: &mut ResilientClient,
     jobs: &[PointJob],
     log: &Reporter,
 ) -> Result<(Vec<PointOutcome>, usize), String> {
-    let mut tickets = Vec::with_capacity(jobs.len());
-    let mut cached = 0usize;
-    for job in jobs {
-        let ticket = client.submit(job)?;
-        cached += usize::from(ticket.cached);
-        tickets.push(ticket);
-    }
+    let pairs = client.collect_fragments(jobs).map_err(|e| e.to_string())?;
+    let cached = pairs.iter().filter(|(_, cached)| *cached).count();
     log.info(format!(
         "daemon cache: {cached}/{} points served from cache",
         jobs.len()
     ));
-    let mut outcomes = Vec::with_capacity(tickets.len());
-    for ticket in &tickets {
-        outcomes.push(client.fetch_outcome(&ticket.job_id)?);
+    let heal = client.heal_stats();
+    if heal.reconnects > 0 {
+        log.info(format!(
+            "healed through faults: {} reconnects, {} resubmits, {} refetches",
+            heal.reconnects, heal.resubmits, heal.refetches
+        ));
     }
+    let outcomes = pairs
+        .iter()
+        .map(|(fragment, _)| PointOutcome::from_wire_json(fragment))
+        .collect::<Result<Vec<_>, String>>()?;
     Ok((outcomes, cached))
 }
 
@@ -623,10 +687,7 @@ fn run_robustness_client(args: &Args, addr: &str, log: &Reporter) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut client = match connect(addr, log) {
-        Ok(c) => c,
-        Err(code) => return code,
-    };
+    let mut client = ResilientClient::new(addr, retry_policy(args));
     let started = Instant::now();
     let jobs: Vec<PointJob> = points.iter().map(|gp| gp.job.clone()).collect();
     let (outcomes, _) = match submit_and_collect(&mut client, &jobs, log) {
@@ -673,10 +734,7 @@ fn run_single_client(args: &Args, addr: &str, log: &Reporter) -> ExitCode {
         point_timeout_secs: args.point_timeout,
         audit: args.audit,
     };
-    let mut client = match connect(addr, log) {
-        Ok(c) => c,
-        Err(code) => return code,
-    };
+    let mut client = ResilientClient::new(addr, retry_policy(args));
     let started = Instant::now();
     let (outcomes, _) = match submit_and_collect(&mut client, std::slice::from_ref(&job), log) {
         Ok(r) => r,

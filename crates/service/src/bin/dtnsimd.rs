@@ -46,6 +46,22 @@ OPTIONS:
                             Snapshot period for --telemetry-jsonl (default 5)
     --slow-job-secs SECS    Log a stderr line when one job's simulation phase
                             exceeds SECS wall seconds (float; default: off)
+    --journal-flush-entries N
+                            Flush the cache journal after N unflushed inserts
+                            (default 8); a crash loses at most one flush window
+    --journal-flush-secs SECS
+                            ...or once the oldest unflushed insert is SECS old,
+                            whichever comes first (float; default 1.0)
+    --frame-deadline-ms N   Slowloris guard: a request frame must arrive whole
+                            within N ms of its first byte (default 10000;
+                            0 disables)
+    --idle-timeout-secs N   Hang up connections silent for N seconds
+                            (default 300; 0 disables)
+    --queue-deadline-ms N   Shed jobs that waited in the queue longer than N ms
+                            instead of running them late (default: off)
+    --addr-file PATH        Write the bound address to PATH once listening
+                            (lets scripts find a port-0 daemon, and a restarted
+                            one after a crash)
     --help                  Show this help
 ";
 
@@ -60,6 +76,7 @@ struct Args {
     http_port: Option<u16>,
     telemetry_jsonl: Option<PathBuf>,
     telemetry_interval_secs: u64,
+    addr_file: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -71,6 +88,7 @@ fn parse_args() -> Args {
         http_port: None,
         telemetry_jsonl: None,
         telemetry_interval_secs: 5,
+        addr_file: None,
     };
     let config = &mut parsed.config;
     let mut args = std::env::args().skip(1);
@@ -134,6 +152,45 @@ fn parse_args() -> Args {
                 }
                 config.slow_job_secs = Some(secs);
             }
+            "--journal-flush-entries" => {
+                config.journal_flush_entries = value("--journal-flush-entries")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --journal-flush-entries: {e}")));
+                if config.journal_flush_entries == 0 {
+                    fail("--journal-flush-entries must be at least 1");
+                }
+            }
+            "--journal-flush-secs" => {
+                let secs: f64 = value("--journal-flush-secs")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --journal-flush-secs: {e}")));
+                if !secs.is_finite() || secs <= 0.0 {
+                    fail("--journal-flush-secs must be a positive number");
+                }
+                config.journal_flush_secs = secs;
+            }
+            "--frame-deadline-ms" => {
+                let ms: u64 = value("--frame-deadline-ms")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --frame-deadline-ms: {e}")));
+                config.frame_deadline_ms = (ms > 0).then_some(ms);
+            }
+            "--idle-timeout-secs" => {
+                let secs: u64 = value("--idle-timeout-secs")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --idle-timeout-secs: {e}")));
+                config.idle_timeout_secs = (secs > 0).then_some(secs);
+            }
+            "--queue-deadline-ms" => {
+                let ms: u64 = value("--queue-deadline-ms")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --queue-deadline-ms: {e}")));
+                if ms == 0 {
+                    fail("--queue-deadline-ms must be at least 1 (omit to disable)");
+                }
+                config.queue_deadline_ms = Some(ms);
+            }
+            "--addr-file" => parsed.addr_file = Some(PathBuf::from(value("--addr-file"))),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -158,6 +215,16 @@ fn main() {
         eprintln!("error: failed to start daemon on {}: {e}", config.addr);
         std::process::exit(1);
     });
+    if let Some(path) = &args.addr_file {
+        // tmp-rename so a watcher never reads a half-written address.
+        let tmp = path.with_extension("tmp");
+        let write = std::fs::write(&tmp, daemon.local_addr().to_string())
+            .and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = write {
+            eprintln!("error: failed to write --addr-file {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
     let metrics_server = args.http_port.map(|port| {
         let server = MetricsServer::spawn(port).unwrap_or_else(|e| {
             eprintln!("error: failed to bind telemetry port {port}: {e}");

@@ -1,0 +1,159 @@
+//! `faultproxy` — a deterministic fault-injection TCP proxy for the
+//! `dtnsim`/`dtnsimd` wire protocol.
+//!
+//! Sits between a client and a daemon, forwarding frames under a
+//! reproducible fault schedule (see `dtn_service::proxy` for the plan
+//! grammar). Used by the chaos CI jobs to prove that a proxy-faulted
+//! sweep produces a byte-identical report to a clean one.
+//!
+//! ```text
+//! faultproxy --listen 127.0.0.1:7711 --upstream 127.0.0.1:7700 \
+//!            --plan 'drop=0.05,trunc=0.02,sever=0.1,frames=2,seed=42'
+//! dtnsim --connect 127.0.0.1:7711 ...   # chaos between here and the daemon
+//! ```
+//!
+//! `--upstream-file` (a file holding `HOST:PORT`, re-read every second)
+//! lets the proxy follow a daemon that restarts on a new port after a
+//! crash — the scenario the kill-and-recover CI job drives.
+
+use dtn_service::{FaultProxy, ProxyPlan};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "\
+faultproxy - deterministic fault-injection proxy for the dtnsim wire protocol
+
+USAGE:
+    faultproxy --upstream HOST:PORT [OPTIONS]
+    faultproxy --upstream-file PATH [OPTIONS]
+
+OPTIONS:
+    --listen HOST:PORT    Bind address (default 127.0.0.1:0 — the chosen
+                          address is printed on stderr)
+    --upstream HOST:PORT  Forward connections to this daemon
+    --upstream-file PATH  Read the upstream address from PATH (re-read every
+                          second, so a daemon restarted on a new port is
+                          followed live; the file is what dtnsimd --addr-file
+                          writes)
+    --plan SCHEDULE       Fault schedule, e.g.
+                          'drop=0.05,trunc=0.02,sever=0.1,corrupt=0.01,\\
+                           delay=0.2,delay_ms=5,frames=2,seed=42'
+                          (default: forward everything faithfully)
+    --addr-file PATH      Write the bound listen address to PATH once live
+    --help                Show this help
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+struct Args {
+    listen: String,
+    upstream: Option<String>,
+    upstream_file: Option<PathBuf>,
+    plan: ProxyPlan,
+    addr_file: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        listen: "127.0.0.1:0".to_string(),
+        upstream: None,
+        upstream_file: None,
+        plan: ProxyPlan::default(),
+        addr_file: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--listen" => parsed.listen = value("--listen"),
+            "--upstream" => parsed.upstream = Some(value("--upstream")),
+            "--upstream-file" => {
+                parsed.upstream_file = Some(PathBuf::from(value("--upstream-file")))
+            }
+            "--plan" => {
+                parsed.plan = ProxyPlan::parse(&value("--plan"))
+                    .unwrap_or_else(|e| fail(&format!("bad --plan: {e}")))
+            }
+            "--addr-file" => parsed.addr_file = Some(PathBuf::from(value("--addr-file"))),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    if parsed.upstream.is_none() && parsed.upstream_file.is_none() {
+        fail("--upstream HOST:PORT or --upstream-file PATH is required");
+    }
+    parsed
+}
+
+fn read_upstream_file(path: &PathBuf) -> Option<String> {
+    std::fs::read_to_string(path)
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+}
+
+fn main() {
+    let args = parse_args();
+    let initial = match (&args.upstream, &args.upstream_file) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(path)) => {
+            // The daemon may not have written its address yet; wait for it.
+            let mut waited = 0u32;
+            loop {
+                if let Some(addr) = read_upstream_file(path) {
+                    break addr;
+                }
+                waited += 1;
+                if waited > 600 {
+                    eprintln!("error: --upstream-file {} never appeared", path.display());
+                    std::process::exit(1);
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+        (None, None) => unreachable!("parse_args requires one"),
+    };
+    let proxy = FaultProxy::spawn(&args.listen, &initial, args.plan).unwrap_or_else(|e| {
+        eprintln!("error: failed to bind {}: {e}", args.listen);
+        std::process::exit(1);
+    });
+    eprintln!(
+        "faultproxy listening on {} -> {initial} (plan {:?})",
+        proxy.local_addr(),
+        args.plan
+    );
+    if let Some(path) = &args.addr_file {
+        let tmp = path.with_extension("tmp");
+        let write = std::fs::write(&tmp, proxy.local_addr().to_string())
+            .and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = write {
+            eprintln!("error: failed to write --addr-file {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    // Follow the upstream file (daemon restarts land on new ports); with
+    // a fixed --upstream this loop is just a park.
+    let mut current = initial;
+    loop {
+        std::thread::sleep(Duration::from_secs(1));
+        if let Some(path) = &args.upstream_file {
+            if let Some(addr) = read_upstream_file(path) {
+                if addr != current {
+                    eprintln!("faultproxy retargeting upstream {current} -> {addr}");
+                    proxy.set_upstream(&addr);
+                    current = addr;
+                }
+            }
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! The content-addressed result store.
+//! The content-addressed result store and its crash-safe journal.
 //!
 //! A job's identity is [`job_key`]: a 128-bit FNV-1a hash (two
 //! independently-seeded 64-bit lanes) over `"v1|{engine}|{canonical job
@@ -14,25 +14,55 @@
 //! "cache hits are bit-identical" contract trivially true rather than
 //! approximately true.
 //!
-//! Persistence is a JSONL file (manifest line, then one `{"key":…,
-//! "fragment":…}` line per entry) written on graceful shutdown and
-//! reloaded at startup. A manifest whose engine string differs from the
-//! running daemon's is discarded wholesale — results from another engine
-//! version must never be served, and the engine version is part of every
-//! key precisely so stale entries cannot collide.
+//! ## The journal
+//!
+//! Persistence is an **append-only, CRC-framed journal**: a manifest
+//! line, then one record per entry, each line shaped
+//! `XXXXXXXX {json}` where `XXXXXXXX` is the CRC32 of the JSON bytes in
+//! lowercase hex. Inserts append to an in-memory buffer that is flushed
+//! to the file every [`JournalConfig::flush_every`] entries or
+//! [`JournalConfig::flush_interval`], whichever comes first — so a
+//! `kill -9` (or a kernel panic) loses **at most one flush window**,
+//! not the whole cache the old shutdown-only persistence lost.
+//!
+//! Startup recovery reads the journal record by record and stops at the
+//! **first** bad line — torn tail, bit flip, truncated write — keeping
+//! everything before it (the *salvaged* entries), truncating the file
+//! back to the last good record, and counting everything at or after
+//! the damage as *discarded*. The counts are surfaced through
+//! [`ResultStore::recovery`] so the daemon can report them via
+//! telemetry and `stats`; silent data loss is the one thing a crash
+//! story must never have.
+//!
+//! A manifest whose engine string differs from the running daemon's is
+//! discarded wholesale — results from another engine version must never
+//! be served, and the engine version is part of every key precisely so
+//! stale entries cannot collide. Graceful shutdown compacts the journal
+//! into a sorted snapshot (same format) via tmp-rename; a stale `.tmp`
+//! left by a crash mid-compaction is removed — and counted — on the
+//! next startup.
 
+use crate::crc::crc32;
 use crate::json::Value;
 use dtn_experiments::ensure_dir;
 use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// The engine version folded into every cache key: crate version plus a
 /// result-schema revision. Bump the schema suffix whenever the fragment
 /// layout or any simulation-visible behavior changes without a version
 /// bump.
 pub const ENGINE_VERSION: &str = concat!(env!("CARGO_PKG_VERSION"), "+bloom2");
+
+/// The journal format tag in the manifest line. Bumped if the record
+/// framing ever changes; a mismatch discards the file like an engine
+/// mismatch does.
+const JOURNAL_FORMAT: &str = "journal-v1";
 
 /// The content address of a job: 32 hex chars from two FNV-1a 64 lanes
 /// over `"v1|{ENGINE_VERSION}|{canonical}"`.
@@ -52,57 +82,189 @@ pub fn job_key(canonical_job_json: &str) -> String {
     format!("{a:016x}{b:016x}")
 }
 
-/// Thread-safe content-addressed store with hit/miss counters and
-/// optional JSONL persistence.
+/// Incremental-flush policy for the journal.
+#[derive(Clone, Copy, Debug)]
+pub struct JournalConfig {
+    /// Flush after this many buffered inserts.
+    pub flush_every: usize,
+    /// Flush when the oldest buffered insert is this old (checked on
+    /// insert and by the daemon's periodic flusher).
+    pub flush_interval: Duration,
+}
+
+impl Default for JournalConfig {
+    fn default() -> JournalConfig {
+        JournalConfig {
+            flush_every: 8,
+            flush_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+/// What startup recovery found in the journal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Records recovered intact (before the first damaged one).
+    pub salvaged: u64,
+    /// Lines lost: the first damaged record and everything after it,
+    /// or every record when the manifest itself was unusable.
+    pub discarded: u64,
+    /// Stale `.tmp` files (from a crash mid-compaction) removed.
+    pub stale_tmp_removed: u64,
+}
+
+/// The append-side state of the journal, behind its own lock so inserts
+/// under the entries lock never wait on file I/O done by a flusher.
+struct Journal {
+    file: File,
+    pending: Vec<u8>,
+    pending_entries: usize,
+    oldest_pending: Option<Instant>,
+    flushes: u64,
+}
+
+/// One CRC-framed journal line (no trailing newline).
+fn frame_line(json: &str) -> String {
+    format!("{:08x} {json}", crc32(json.as_bytes()))
+}
+
+fn manifest_line() -> String {
+    frame_line(&format!(
+        "{{\"store\":\"dtn-service\",\"engine\":\"{}\",\"format\":\"{JOURNAL_FORMAT}\"}}",
+        crate::json::escape(ENGINE_VERSION)
+    ))
+}
+
+/// Unframe one journal line: verify the CRC prefix and return the JSON
+/// body. `None` for any damage — short line, bad hex, CRC mismatch.
+fn unframe_line(line: &str) -> Option<&str> {
+    let (crc_hex, json) = line.split_once(' ')?;
+    if crc_hex.len() != 8 {
+        return None;
+    }
+    let want = u32::from_str_radix(crc_hex, 16).ok()?;
+    (crc32(json.as_bytes()) == want).then_some(json)
+}
+
+fn record_line(key: &str, fragment: &str) -> String {
+    // `fragment` is last, as on the wire, so `extract_fragment` can
+    // recover the exact stored bytes on reload.
+    frame_line(&format!(
+        "{{\"key\":\"{}\",\"fragment\":{fragment}}}",
+        crate::json::escape(key)
+    ))
+}
+
+/// Thread-safe content-addressed store with hit/miss counters and an
+/// optional crash-safe journal.
 pub struct ResultStore {
     entries: Mutex<HashMap<String, String>>,
     hits: AtomicU64,
     misses: AtomicU64,
     path: Option<PathBuf>,
+    config: JournalConfig,
+    journal: Option<Mutex<Journal>>,
+    journal_errors: AtomicU64,
+    recovery: RecoveryStats,
 }
 
 impl ResultStore {
-    /// An empty in-memory store (no persistence).
+    /// An empty in-memory store (no persistence, no journal).
     pub fn in_memory() -> ResultStore {
         ResultStore {
             entries: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             path: None,
+            config: JournalConfig::default(),
+            journal: None,
+            journal_errors: AtomicU64::new(0),
+            recovery: RecoveryStats::default(),
         }
     }
 
-    /// A store backed by `path`: existing compatible entries are loaded
-    /// eagerly, and [`ResultStore::persist`] writes the current contents
-    /// back. A missing file or an engine-version mismatch both mean
-    /// "start empty" — never an error, never stale results.
+    /// A store backed by the journal at `path` with the default flush
+    /// policy. See [`ResultStore::open_with`].
     pub fn open(path: &Path) -> ResultStore {
+        ResultStore::open_with(path, JournalConfig::default())
+    }
+
+    /// A store backed by the journal at `path`: compatible records are
+    /// recovered eagerly (truncating the file after the last intact
+    /// one), a stale `.tmp` from a crashed compaction is removed, and
+    /// every [`ResultStore::insert`] appends to the journal under
+    /// `config`'s flush policy. A missing file or an engine/format
+    /// mismatch both mean "start empty" — never an error, never stale
+    /// results. Unrecoverable I/O (an unwritable directory) degrades to
+    /// in-memory operation and counts a journal error rather than
+    /// refusing to serve.
+    pub fn open_with(path: &Path, config: JournalConfig) -> ResultStore {
         let mut store = ResultStore::in_memory();
         store.path = Some(path.to_path_buf());
+        store.config = config;
+
+        // A crash between `persist`'s write and rename leaves a `.tmp`
+        // behind; the journal at `path` is still authoritative, so the
+        // orphan is pure garbage — but garbage worth counting.
+        let tmp = path.with_extension("tmp");
+        if tmp.exists() && std::fs::remove_file(&tmp).is_ok() {
+            store.recovery.stale_tmp_removed += 1;
+        }
+
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if ensure_dir(dir).is_err() {
+                store.journal_errors.fetch_add(1, Ordering::Relaxed);
+                return store;
+            }
+        }
+
+        let mut fresh = true;
         if let Ok(text) = std::fs::read_to_string(path) {
-            let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-            let manifest_ok = lines.next().is_some_and(|manifest| {
-                Value::parse(manifest)
-                    .ok()
-                    .and_then(|m| m.get("engine").and_then(Value::as_str).map(String::from))
-                    .is_some_and(|engine| engine == ENGINE_VERSION)
-            });
-            if manifest_ok {
-                let mut entries = store.entries.lock().expect("store poisoned");
-                for line in lines {
-                    // `fragment` is the last member; recover it verbatim
-                    // so persisted results stay byte-identical too.
-                    let Some(fragment) = crate::wire::extract_fragment(line) else {
-                        continue;
-                    };
-                    let Some(key) = Value::parse(line)
-                        .ok()
-                        .and_then(|v| v.get("key").and_then(Value::as_str).map(String::from))
-                    else {
-                        continue;
-                    };
-                    entries.insert(key, fragment.to_string());
+            fresh = false;
+            let (entries, recovery, keep_bytes) = recover_journal(&text);
+            store.recovery.salvaged = recovery.salvaged;
+            store.recovery.discarded = recovery.discarded;
+            match keep_bytes {
+                // Compatible journal: truncate off any damaged tail so
+                // new appends land after the last intact record.
+                Some(keep) => {
+                    if keep < text.len() as u64 {
+                        let truncated = OpenOptions::new()
+                            .write(true)
+                            .open(path)
+                            .and_then(|f| f.set_len(keep));
+                        if truncated.is_err() {
+                            store.journal_errors.fetch_add(1, Ordering::Relaxed);
+                            return store;
+                        }
+                    }
+                    *store.entries.lock().expect("store poisoned") = entries;
                 }
+                // Incompatible manifest (other engine, other format,
+                // or damaged): start over with a fresh journal.
+                None => fresh = true,
+            }
+        }
+
+        if fresh {
+            let written = std::fs::write(path, format!("{}\n", manifest_line()));
+            if written.is_err() {
+                store.journal_errors.fetch_add(1, Ordering::Relaxed);
+                return store;
+            }
+        }
+        match OpenOptions::new().append(true).open(path) {
+            Ok(file) => {
+                store.journal = Some(Mutex::new(Journal {
+                    file,
+                    pending: Vec::new(),
+                    pending_entries: 0,
+                    oldest_pending: None,
+                    flushes: 0,
+                }));
+            }
+            Err(_) => {
+                store.journal_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
         store
@@ -136,12 +298,52 @@ impl ResultStore {
     }
 
     /// Insert (or overwrite — last writer wins, results are identical by
-    /// construction) a computed fragment.
+    /// construction) a computed fragment, journaling it durably within
+    /// one flush window.
     pub fn insert(&self, key: String, fragment: String) {
+        let line = self.journal.is_some().then(|| record_line(&key, &fragment));
         self.entries
             .lock()
             .expect("store poisoned")
             .insert(key, fragment);
+        let (Some(journal), Some(line)) = (&self.journal, line) else {
+            return;
+        };
+        let mut j = journal.lock().expect("journal poisoned");
+        j.pending.extend_from_slice(line.as_bytes());
+        j.pending.push(b'\n');
+        j.pending_entries += 1;
+        j.oldest_pending.get_or_insert_with(Instant::now);
+        let due = j.pending_entries >= self.config.flush_every
+            || j.oldest_pending
+                .is_some_and(|t| t.elapsed() >= self.config.flush_interval);
+        if due && flush_locked(&mut j).is_err() {
+            self.journal_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Flush buffered journal records to the file if any are due (or
+    /// `force` everything). The daemon's periodic flusher calls this so
+    /// the time-based window holds even when no inserts arrive.
+    pub fn flush_journal(&self, force: bool) -> std::io::Result<()> {
+        let Some(journal) = &self.journal else {
+            return Ok(());
+        };
+        let mut j = journal.lock().expect("journal poisoned");
+        if j.pending_entries == 0 {
+            return Ok(());
+        }
+        let due = force
+            || j.pending_entries >= self.config.flush_every
+            || j.oldest_pending
+                .is_some_and(|t| t.elapsed() >= self.config.flush_interval);
+        if !due {
+            return Ok(());
+        }
+        flush_locked(&mut j).map_err(|e| {
+            self.journal_errors.fetch_add(1, Ordering::Relaxed);
+            e
+        })
     }
 
     /// `(hits, misses, entries)` counters.
@@ -154,9 +356,29 @@ impl ResultStore {
         )
     }
 
-    /// Write the store to its backing file (no-op for in-memory stores):
-    /// temp file in the same directory, then an atomic rename, so a
-    /// crash mid-persist can never leave a half-written index.
+    /// What startup recovery salvaged, discarded, and cleaned up.
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Completed journal flushes (file writes, not buffered appends).
+    pub fn journal_flushes(&self) -> u64 {
+        self.journal
+            .as_ref()
+            .map_or(0, |j| j.lock().expect("journal poisoned").flushes)
+    }
+
+    /// Journal write failures survived (the store keeps serving from
+    /// memory; durability of the affected window is lost).
+    pub fn journal_errors(&self) -> u64 {
+        self.journal_errors.load(Ordering::Relaxed)
+    }
+
+    /// Compact the journal into a sorted snapshot (no-op for in-memory
+    /// stores): temp file in the same directory, then an atomic rename,
+    /// so a crash mid-persist can never leave a half-written index. On
+    /// rename failure the temp file is removed rather than left to
+    /// shadow the (still valid) journal.
     pub fn persist(&self) -> std::io::Result<()> {
         let Some(path) = &self.path else {
             return Ok(());
@@ -164,26 +386,117 @@ impl ResultStore {
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
             ensure_dir(dir)?;
         }
+        // Hold the entries lock across the snapshot *and* the journal
+        // swap so an insert cannot slip between them and be lost.
         let entries = self.entries.lock().expect("store poisoned");
         let mut out = String::with_capacity(entries.len() * 256 + 64);
-        out.push_str(&format!(
-            "{{\"store\":\"dtn-service\",\"engine\":\"{}\"}}\n",
-            crate::json::escape(ENGINE_VERSION)
-        ));
+        out.push_str(&manifest_line());
+        out.push('\n');
         // Deterministic order keeps the file diff-able across restarts.
         let mut keys: Vec<&String> = entries.keys().collect();
         keys.sort_unstable();
         for key in keys {
-            out.push_str(&format!(
-                "{{\"key\":\"{}\",\"fragment\":{}}}\n",
-                crate::json::escape(key),
-                entries[key]
-            ));
+            out.push_str(&record_line(key, &entries[key]));
+            out.push('\n');
         }
         let tmp = path.with_extension("tmp");
         std::fs::write(&tmp, out)?;
-        std::fs::rename(&tmp, path)
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        // The snapshot replaced the file under the journal's old handle;
+        // everything pending is in the snapshot, so re-point the handle
+        // and drop the buffer.
+        if let Some(journal) = &self.journal {
+            let mut j = journal.lock().expect("journal poisoned");
+            j.pending.clear();
+            j.pending_entries = 0;
+            j.oldest_pending = None;
+            j.file = OpenOptions::new().append(true).open(path)?;
+            j.file.sync_data()?;
+        }
+        Ok(())
     }
+}
+
+fn flush_locked(j: &mut Journal) -> std::io::Result<()> {
+    j.file.write_all(&j.pending)?;
+    j.file.flush()?;
+    j.pending.clear();
+    j.pending_entries = 0;
+    j.oldest_pending = None;
+    j.flushes += 1;
+    Ok(())
+}
+
+/// Scan journal `text`: returns the recovered entries, the salvage
+/// counts, and `Some(byte_len_to_keep)` when the manifest was
+/// compatible (`None` discards the whole file).
+fn recover_journal(text: &str) -> (HashMap<String, String>, RecoveryStats, Option<u64>) {
+    let mut entries = HashMap::new();
+    let mut stats = RecoveryStats::default();
+    let total_records = text
+        .lines()
+        .skip(1)
+        .filter(|l| !l.trim().is_empty())
+        .count() as u64;
+
+    let mut offset = 0u64;
+    let mut lines = text.split_inclusive('\n');
+    let manifest_ok = lines.next().is_some_and(|line| {
+        let ok = line.ends_with('\n')
+            && unframe_line(line.trim_end_matches('\n'))
+                .and_then(|json| Value::parse(json).ok())
+                .is_some_and(|m| {
+                    m.get("engine").and_then(Value::as_str) == Some(ENGINE_VERSION)
+                        && m.get("format").and_then(Value::as_str) == Some(JOURNAL_FORMAT)
+                });
+        if ok {
+            offset += line.len() as u64;
+        }
+        ok
+    });
+    if !manifest_ok {
+        stats.discarded = total_records;
+        return (HashMap::new(), stats, None);
+    }
+
+    for line in lines {
+        // A record is intact only if newline-terminated (a torn tail
+        // has no newline) and CRC-clean and structurally parseable.
+        let intact = line.ends_with('\n');
+        let body = line.trim_end_matches('\n');
+        if body.trim().is_empty() {
+            if intact {
+                offset += line.len() as u64;
+                continue;
+            }
+            break;
+        }
+        let recovered = intact
+            .then(|| unframe_line(body))
+            .flatten()
+            .and_then(|json| {
+                let fragment = crate::wire::extract_fragment(json)?;
+                let key = Value::parse(json)
+                    .ok()?
+                    .get("key")
+                    .and_then(Value::as_str)
+                    .map(String::from)?;
+                Some((key, fragment.to_string()))
+            });
+        match recovered {
+            Some((key, fragment)) => {
+                entries.insert(key, fragment);
+                stats.salvaged += 1;
+                offset += line.len() as u64;
+            }
+            None => break,
+        }
+    }
+    stats.discarded = total_records - stats.salvaged;
+    (entries, stats, Some(offset))
 }
 
 #[cfg(test)]
@@ -222,6 +535,115 @@ mod tests {
 
         let reloaded = ResultStore::open(&path);
         assert_eq!(reloaded.fragment("deadbeef").as_deref(), Some(fragment));
+        assert_eq!(reloaded.recovery().salvaged, 1);
+        assert_eq!(reloaded.recovery().discarded, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_appends_survive_without_persist() {
+        let dir = std::env::temp_dir().join(format!("dtn_store_j_{}", std::process::id()));
+        let path = dir.join("cache.jsonl");
+        let store = ResultStore::open_with(
+            &path,
+            JournalConfig {
+                flush_every: 1,
+                ..JournalConfig::default()
+            },
+        );
+        store.insert("aa".into(), "{\"runs\":[1]}".into());
+        store.insert("bb".into(), "{\"runs\":[2]}".into());
+        assert_eq!(store.journal_flushes(), 2);
+        // No persist(): the journal alone must carry the entries, as it
+        // would across a kill -9.
+        drop(store);
+        let reloaded = ResultStore::open(&path);
+        assert_eq!(reloaded.fragment("aa").as_deref(), Some("{\"runs\":[1]}"));
+        assert_eq!(reloaded.fragment("bb").as_deref(), Some("{\"runs\":[2]}"));
+        assert_eq!(reloaded.recovery().salvaged, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_counted() {
+        let dir = std::env::temp_dir().join(format!("dtn_store_torn_{}", std::process::id()));
+        let path = dir.join("cache.jsonl");
+        let store = ResultStore::open_with(
+            &path,
+            JournalConfig {
+                flush_every: 1,
+                ..JournalConfig::default()
+            },
+        );
+        store.insert("aa".into(), "{\"runs\":[1]}".into());
+        store.insert("bb".into(), "{\"runs\":[2]}".into());
+        drop(store);
+        // Simulate a torn write: half a record, no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"01234567 {\"key\":\"cc\",\"frag").unwrap();
+        drop(f);
+        let len_before = std::fs::metadata(&path).unwrap().len();
+
+        let reloaded = ResultStore::open(&path);
+        assert_eq!(reloaded.recovery().salvaged, 2);
+        assert_eq!(reloaded.recovery().discarded, 1);
+        assert!(reloaded.fragment("aa").is_some());
+        assert!(reloaded.fragment("cc").is_none());
+        assert!(
+            std::fs::metadata(&path).unwrap().len() < len_before,
+            "the torn tail must be truncated away"
+        );
+        // The truncated journal accepts appends cleanly again.
+        reloaded.insert("dd".into(), "{\"runs\":[4]}".into());
+        reloaded.flush_journal(true).unwrap();
+        drop(reloaded);
+        let third = ResultStore::open(&path);
+        assert_eq!(third.recovery().salvaged, 3);
+        assert_eq!(third.recovery().discarded, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flips_truncate_at_the_first_bad_record() {
+        let dir = std::env::temp_dir().join(format!("dtn_store_flip_{}", std::process::id()));
+        let path = dir.join("cache.jsonl");
+        let store = ResultStore::open_with(
+            &path,
+            JournalConfig {
+                flush_every: 1,
+                ..JournalConfig::default()
+            },
+        );
+        for (k, v) in [("aa", 1), ("bb", 2), ("cc", 3)] {
+            store.insert(k.into(), format!("{{\"runs\":[{v}]}}"));
+        }
+        drop(store);
+        // Flip one bit inside the second record's JSON body.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        let second_start = text.match_indices('\n').nth(1).map(|(i, _)| i + 1).unwrap();
+        bytes[second_start + 20] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let reloaded = ResultStore::open(&path);
+        assert_eq!(reloaded.recovery().salvaged, 1, "only the first record");
+        assert_eq!(reloaded.recovery().discarded, 2, "bad record + the rest");
+        assert!(reloaded.fragment("aa").is_some());
+        assert!(reloaded.fragment("bb").is_none());
+        assert!(reloaded.fragment("cc").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_removed_and_counted() {
+        let dir = std::env::temp_dir().join(format!("dtn_store_tmp_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.jsonl");
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, "half-written snapshot from a dead daemon").unwrap();
+        let store = ResultStore::open(&path);
+        assert!(!tmp.exists(), "the orphan must be cleaned up");
+        assert_eq!(store.recovery().stale_tmp_removed, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -230,14 +652,17 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("dtn_store_ver_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("cache.jsonl");
+        let manifest =
+            "{\"store\":\"dtn-service\",\"engine\":\"0.0.0+ancient\",\"format\":\"journal-v1\"}";
+        let record = "{\"key\":\"aa\",\"fragment\":{\"runs\":[]}}";
         std::fs::write(
             &path,
-            "{\"store\":\"dtn-service\",\"engine\":\"0.0.0+ancient\"}\n\
-             {\"key\":\"aa\",\"fragment\":{\"runs\":[]}}\n",
+            format!("{}\n{}\n", frame_line(manifest), frame_line(record)),
         )
         .unwrap();
         let store = ResultStore::open(&path);
         assert_eq!(store.stats().2, 0, "stale engine entries must be dropped");
+        assert_eq!(store.recovery().discarded, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

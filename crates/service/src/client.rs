@@ -1,18 +1,34 @@
-//! Client side of the wire protocol: connect, submit with backpressure
-//! retry, and result collection.
+//! Client side of the wire protocol: connect, submit with bounded
+//! backpressure retry, and result collection.
 //!
 //! One [`Client`] owns one TCP connection and issues strictly
 //! alternating request/response frames, which is all the protocol
 //! needs — sweeps submit every point first (cheap: `accepted` comes back
 //! before any simulation runs) and then collect results in order with
 //! blocking `result` requests.
+//!
+//! Backpressure retry is governed by a [`RetryPolicy`]: jittered
+//! exponential backoff seeded deterministically (so chaos tests
+//! reproduce byte-for-byte), honoring the daemon's `retry_after_ms`
+//! hint as a floor, and **bounded** by an attempt cap and/or a total
+//! deadline — exhaustion surfaces as a structured
+//! [`ClientError::Exhausted`] instead of the old unbounded
+//! sleep-forever loop. Connection-level healing (reconnect,
+//! resubmission, partial-sweep resume) lives one layer up in
+//! [`crate::resilient`].
 
 use crate::json::{escape, Value};
 use crate::wire::{extract_fragment, read_frame, write_frame};
 use dtn_experiments::jobs::{PointJob, PointOutcome};
+use dtn_sim::SimRng;
+use std::fmt;
 use std::io;
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Sub-stream salt for the retry-jitter RNG, in the same address-space
+/// convention as the simulator's fault salts (`dtn-core::faults`).
+const JITTER_SALT: u64 = 0xFA01_7000_0001_0000;
 
 /// Outcome of a successful submit: the job's content address and
 /// whether the daemon served it straight from the result cache.
@@ -22,6 +38,141 @@ pub struct SubmitTicket {
     pub job_id: String,
     /// True when the result already existed — no work was queued.
     pub cached: bool,
+}
+
+/// Structured client-side failure. `Display` renders the same messages
+/// callers used to get as bare strings, so `e.to_string()` call sites
+/// keep working.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The TCP connection failed mid-exchange (send, receive, or the
+    /// daemon closing the socket). These are the retriable-by-reconnect
+    /// errors the resilient client heals.
+    Transport(io::Error),
+    /// The daemon rejected the request for a non-retriable reason
+    /// (validation failure, unknown job, explicit error response).
+    Rejected(String),
+    /// Backpressure retries ran out: the daemon kept answering
+    /// `queue_full` until the attempt cap or deadline was exhausted.
+    Exhausted {
+        /// Submit attempts made before giving up.
+        attempts: u32,
+        /// Wall time spent retrying.
+        elapsed: Duration,
+        /// The daemon's last rejection reason.
+        last_reason: String,
+    },
+    /// The daemon does not know the referenced job id — it restarted
+    /// and lost its job table. Healable by resubmitting (submission is
+    /// idempotent), unlike a genuine [`ClientError::Rejected`].
+    UnknownJob(String),
+    /// The daemon answered with a frame the protocol does not allow
+    /// here (bad JSON, missing fields, unexpected type).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport failed: {e}"),
+            ClientError::Rejected(reason) => write!(f, "daemon rejected the job: {reason}"),
+            ClientError::Exhausted {
+                attempts,
+                elapsed,
+                last_reason,
+            } => write!(
+                f,
+                "submit retries exhausted after {attempts} attempts in {:.1}s (last reason: {last_reason})",
+                elapsed.as_secs_f64()
+            ),
+            ClientError::UnknownJob(msg) => {
+                write!(f, "daemon does not know this job (did it restart?): {msg}")
+            }
+            ClientError::Protocol(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// True for errors a reconnect could plausibly heal (the connection
+    /// died). Rejections, protocol violations, and exhausted retries
+    /// are final: repeating them on a fresh socket changes nothing.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, ClientError::Transport(_))
+    }
+}
+
+/// Bounded, jittered, deterministic backoff for `queue_full` retries.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retry at most this many times after the first attempt
+    /// (`None` = unbounded; pair it with a deadline).
+    pub max_retries: Option<u32>,
+    /// Give up once this much wall time has elapsed across retries.
+    pub deadline: Option<Duration>,
+    /// First backoff step, before jitter.
+    pub base_ms: u64,
+    /// Backoff ceiling, before the daemon's `retry_after_ms` floor.
+    pub max_ms: u64,
+    /// Seed for the jitter RNG sub-stream; equal seeds replay the same
+    /// backoff schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: Some(32),
+            deadline: None,
+            base_ms: 50,
+            max_ms: 5_000,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based), given the
+    /// daemon's `retry_after_ms` hint: exponential from `base_ms`,
+    /// capped at `max_ms`, floored at the hint, with uniform jitter in
+    /// `[step/2, step]` so a herd of clients doesn't resynchronize.
+    pub fn backoff(&self, attempt: u32, retry_after_ms: u64, rng: &mut SimRng) -> Duration {
+        let step = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_ms)
+            .max(retry_after_ms.min(self.max_ms));
+        Duration::from_millis(rng.range_inclusive(step / 2, step).max(1))
+    }
+
+    /// The jitter RNG for this policy (a dedicated sub-stream, so
+    /// sharing a seed with a simulation cannot correlate the streams).
+    pub fn rng(&self) -> SimRng {
+        SimRng::new(self.seed).derive(JITTER_SALT)
+    }
+}
+
+/// Classify a daemon `error` response. A `bad_frame` rejection means
+/// the request bytes were damaged **in flight** — the daemon also hangs
+/// up after sending it — so it maps to [`ClientError::Transport`]:
+/// resubmitting the (idempotent) request on a fresh connection is the
+/// correct recovery, exactly as for a severed socket. Everything else
+/// is a genuine rejection.
+fn daemon_error(response: &Value) -> ClientError {
+    let message = response
+        .get("message")
+        .and_then(Value::as_str)
+        .unwrap_or("unspecified daemon error")
+        .to_string();
+    match response.get("code").and_then(Value::as_str) {
+        Some("bad_frame") => {
+            ClientError::Transport(io::Error::new(io::ErrorKind::InvalidData, message))
+        }
+        Some("unknown_job") => ClientError::UnknownJob(message),
+        _ => ClientError::Rejected(message),
+    }
 }
 
 /// A connection to a `dtnsimd` daemon.
@@ -53,89 +204,133 @@ impl Client {
         Err(last.unwrap_or_else(|| io::Error::other("no connect attempts made")))
     }
 
-    fn request(&mut self, payload: &str) -> Result<Value, String> {
-        write_frame(&mut self.stream, payload).map_err(|e| format!("send failed: {e}"))?;
-        let raw = read_frame(&mut self.stream)
-            .map_err(|e| format!("receive failed: {e}"))?
-            .ok_or("daemon closed the connection")?;
-        Value::parse(&raw).map_err(|e| format!("bad response: {e}"))
+    fn request(&mut self, payload: &str) -> Result<Value, ClientError> {
+        let raw = self.request_raw(payload)?;
+        Value::parse(&raw).map_err(|e| ClientError::Protocol(format!("bad response: {e}")))
     }
 
     /// Raw request/response, returning the response frame verbatim.
     /// Result fragments must be sliced out of this exact string, so the
     /// typed [`Client::request`] path (which re-parses) cannot serve
     /// them.
-    fn request_raw(&mut self, payload: &str) -> Result<String, String> {
-        write_frame(&mut self.stream, payload).map_err(|e| format!("send failed: {e}"))?;
+    fn request_raw(&mut self, payload: &str) -> Result<String, ClientError> {
+        write_frame(&mut self.stream, payload).map_err(ClientError::Transport)?;
         read_frame(&mut self.stream)
-            .map_err(|e| format!("receive failed: {e}"))?
-            .ok_or_else(|| "daemon closed the connection".to_string())
+            .map_err(ClientError::Transport)?
+            .ok_or_else(|| {
+                ClientError::Transport(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "daemon closed the connection",
+                ))
+            })
     }
 
-    /// Submit a job, sleeping out `queue_full` backpressure (the daemon
-    /// tells us how long) and retrying until admitted. Any other
-    /// rejection or error is final.
-    pub fn submit(&mut self, job: &PointJob) -> Result<SubmitTicket, String> {
+    /// One submit round-trip: `Ok(Ok(ticket))` on admission,
+    /// `Ok(Err(retry_after_ms))` on `queue_full` backpressure (retry is
+    /// the caller's decision), any other answer an error.
+    pub fn submit_once(
+        &mut self,
+        job: &PointJob,
+    ) -> Result<Result<SubmitTicket, u64>, ClientError> {
         let payload = format!(
             "{{\"type\":\"submit\",\"job\":{}}}",
             job.to_canonical_json()
         );
+        let response = self.request(&payload)?;
+        match response.get("type").and_then(Value::as_str) {
+            Some("accepted") => Ok(Ok(SubmitTicket {
+                job_id: response
+                    .get("job_id")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ClientError::Protocol("accepted without job_id".into()))?
+                    .to_string(),
+                cached: response
+                    .get("cached")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
+            })),
+            Some("rejected") => {
+                let reason = response
+                    .get("reason")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unspecified");
+                if reason != "queue_full" {
+                    return Err(ClientError::Rejected(reason.to_string()));
+                }
+                Ok(Err(response
+                    .get("retry_after_ms")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(250)))
+            }
+            Some("error") => Err(daemon_error(&response)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response type {other:?}"
+            ))),
+        }
+    }
+
+    /// Submit a job under `policy`: `queue_full` answers are retried
+    /// with jittered exponential backoff until admitted, the attempt
+    /// cap is hit, or the deadline passes.
+    pub fn submit_with_policy(
+        &mut self,
+        job: &PointJob,
+        policy: &RetryPolicy,
+    ) -> Result<SubmitTicket, ClientError> {
+        let started = Instant::now();
+        let mut rng = policy.rng();
+        let mut attempts = 0u32;
         loop {
-            let response = self.request(&payload)?;
-            match response.get("type").and_then(Value::as_str) {
-                Some("accepted") => {
-                    return Ok(SubmitTicket {
-                        job_id: response
-                            .get("job_id")
-                            .and_then(Value::as_str)
-                            .ok_or("accepted without job_id")?
-                            .to_string(),
-                        cached: response
-                            .get("cached")
-                            .and_then(Value::as_bool)
-                            .unwrap_or(false),
-                    });
-                }
-                Some("rejected") => {
-                    let reason = response
-                        .get("reason")
-                        .and_then(Value::as_str)
-                        .unwrap_or("unspecified");
-                    if reason != "queue_full" {
-                        return Err(format!("daemon rejected the job: {reason}"));
+            match self.submit_once(job)? {
+                Ok(ticket) => return Ok(ticket),
+                Err(retry_after_ms) => {
+                    let capped = policy.max_retries.is_some_and(|cap| attempts >= cap);
+                    let overdue = policy.deadline.is_some_and(|d| started.elapsed() >= d);
+                    if capped || overdue {
+                        return Err(ClientError::Exhausted {
+                            attempts: attempts + 1,
+                            elapsed: started.elapsed(),
+                            last_reason: "queue_full".into(),
+                        });
                     }
-                    let backoff = response
-                        .get("retry_after_ms")
-                        .and_then(Value::as_u64)
-                        .unwrap_or(250);
-                    std::thread::sleep(Duration::from_millis(backoff));
+                    std::thread::sleep(policy.backoff(attempts, retry_after_ms, &mut rng));
+                    attempts += 1;
                 }
-                Some("error") => {
-                    return Err(response
-                        .get("message")
-                        .and_then(Value::as_str)
-                        .unwrap_or("unspecified daemon error")
-                        .to_string())
-                }
-                other => return Err(format!("unexpected response type {other:?}")),
             }
         }
+    }
+
+    /// Submit a job under the default [`RetryPolicy`]. Kept as the
+    /// simple string-error entry point for existing callers.
+    pub fn submit(&mut self, job: &PointJob) -> Result<SubmitTicket, String> {
+        self.submit_with_policy(job, &RetryPolicy::default())
+            .map_err(|e| e.to_string())
     }
 
     /// Block until `job_id` resolves and return its verbatim result
     /// fragment plus the daemon's `cached` flag.
     pub fn fetch_fragment(&mut self, job_id: &str) -> Result<(String, bool), String> {
+        self.fetch_fragment_checked(job_id)
+            .map_err(|e| e.to_string())
+    }
+
+    /// [`Client::fetch_fragment`] with the structured error type, so the
+    /// resilient layer can distinguish transport failures (heal) from
+    /// rejections (fail).
+    pub fn fetch_fragment_checked(&mut self, job_id: &str) -> Result<(String, bool), ClientError> {
         let raw = self.request_raw(&format!(
             "{{\"type\":\"result\",\"job_id\":\"{}\",\"wait\":true}}",
             escape(job_id)
         ))?;
         let Some(fragment) = extract_fragment(&raw) else {
-            let parsed = Value::parse(&raw).map_err(|e| format!("bad response: {e}"))?;
-            return Err(parsed
-                .get("message")
-                .and_then(Value::as_str)
-                .map(String::from)
-                .unwrap_or_else(|| format!("no fragment in response {raw}")));
+            let parsed = Value::parse(&raw)
+                .map_err(|e| ClientError::Protocol(format!("bad response: {e}")))?;
+            if parsed.get("type").and_then(Value::as_str) == Some("error") {
+                return Err(daemon_error(&parsed));
+            }
+            return Err(ClientError::Protocol(format!(
+                "no fragment in response {raw}"
+            )));
         };
         let cached = Value::parse(&raw)
             .ok()
@@ -152,10 +347,12 @@ impl Client {
 
     /// Cancel a queued job; `Ok(true)` if it was actually cancelled.
     pub fn cancel(&mut self, job_id: &str) -> Result<bool, String> {
-        let response = self.request(&format!(
-            "{{\"type\":\"cancel\",\"job_id\":\"{}\"}}",
-            escape(job_id)
-        ))?;
+        let response = self
+            .request(&format!(
+                "{{\"type\":\"cancel\",\"job_id\":\"{}\"}}",
+                escape(job_id)
+            ))
+            .map_err(|e| e.to_string())?;
         response
             .get("cancelled")
             .and_then(Value::as_bool)
@@ -165,15 +362,76 @@ impl Client {
     /// Fetch the daemon's stats document, verbatim.
     pub fn stats_raw(&mut self) -> Result<String, String> {
         self.request_raw("{\"type\":\"stats\"}")
+            .map_err(|e| e.to_string())
     }
 
     /// Ask the daemon to shut down; returns how many admitted jobs it is
     /// still draining.
     pub fn shutdown(&mut self) -> Result<u64, String> {
-        let response = self.request("{\"type\":\"shutdown\"}")?;
+        let response = self
+            .request("{\"type\":\"shutdown\"}")
+            .map_err(|e| e.to_string())?;
         response
             .get("draining")
             .and_then(Value::as_u64)
             .ok_or_else(|| "malformed shutdown response".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_jittered_and_floored() {
+        let policy = RetryPolicy {
+            seed: 7,
+            ..RetryPolicy::default()
+        };
+        let mut rng = policy.rng();
+        // Attempt 0: step = max(base=50, hint=0) → sleep in [25, 50].
+        let d0 = policy.backoff(0, 0, &mut rng).as_millis() as u64;
+        assert!((25..=50).contains(&d0), "got {d0}");
+        // Attempt 4: step = 50 << 4 = 800 → [400, 800].
+        let d4 = policy.backoff(4, 0, &mut rng).as_millis() as u64;
+        assert!((400..=800).contains(&d4), "got {d4}");
+        // The daemon's hint floors the step.
+        let hinted = policy.backoff(0, 300, &mut rng).as_millis() as u64;
+        assert!((150..=300).contains(&hinted), "got {hinted}");
+        // The ceiling holds even for huge attempts and hints.
+        let capped = policy.backoff(30, 60_000, &mut rng).as_millis() as u64;
+        assert!(capped <= policy.max_ms, "got {capped}");
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed() {
+        let policy = RetryPolicy {
+            seed: 42,
+            ..RetryPolicy::default()
+        };
+        let schedule = |p: &RetryPolicy| {
+            let mut rng = p.rng();
+            (0..8)
+                .map(|a| p.backoff(a, 100, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(schedule(&policy), schedule(&policy));
+        let other = RetryPolicy { seed: 43, ..policy };
+        assert_ne!(schedule(&policy), schedule(&other));
+    }
+
+    #[test]
+    fn errors_render_stable_messages() {
+        let e = ClientError::Exhausted {
+            attempts: 33,
+            elapsed: Duration::from_millis(1500),
+            last_reason: "queue_full".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "submit retries exhausted after 33 attempts in 1.5s (last reason: queue_full)"
+        );
+        assert!(!e.is_transport());
+        assert!(ClientError::Transport(io::Error::other("boom")).is_transport());
     }
 }

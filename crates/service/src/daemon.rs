@@ -18,9 +18,9 @@
 //! persisted last — so a client that saw `accepted` can always collect
 //! its result from the same daemon incarnation.
 
-use crate::cache::{job_key, ResultStore, ENGINE_VERSION};
+use crate::cache::{job_key, JournalConfig, ResultStore, ENGINE_VERSION};
 use crate::json::{escape, Value};
-use crate::wire::{job_from_value, read_frame, write_frame};
+use crate::wire::{is_bad_frame, job_from_value, read_frame_deadline, write_frame};
 use dtn_experiments::jobs::{PointJob, RunOutcome};
 use dtn_experiments::TraceCache;
 use dtn_sim::telemetry::{
@@ -34,7 +34,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Daemon tuning knobs.
 #[derive(Clone, Debug)]
@@ -56,6 +56,26 @@ pub struct DaemonConfig {
     /// Log a stderr line whenever one job's simulation phase exceeds
     /// this many wall seconds (`None` disables the slow-job log).
     pub slow_job_secs: Option<f64>,
+    /// Journal the result cache after this many unflushed inserts.
+    pub journal_flush_entries: usize,
+    /// …or after the oldest unflushed insert is this old, whichever
+    /// comes first. A crash loses at most one such flush window.
+    pub journal_flush_secs: f64,
+    /// Slowloris guard: once a request frame's first byte arrives, the
+    /// whole frame must complete within this budget (`None` disables).
+    pub frame_deadline_ms: Option<u64>,
+    /// How long a connection may sit silent between requests before the
+    /// daemon hangs up (`None` parks connections forever).
+    pub idle_timeout_secs: Option<u64>,
+    /// Socket write timeout for responses — a peer that stops reading
+    /// cannot pin a connection thread (`None` disables).
+    pub write_timeout_secs: Option<u64>,
+    /// Overload shedding: a job that waited in the queue longer than
+    /// this is failed at claim time instead of run — under sustained
+    /// overload, late answers are worse than honest sheds (`None`
+    /// disables; the default, since shedding trades completeness for
+    /// latency and only an operator can make that call).
+    pub queue_deadline_ms: Option<u64>,
 }
 
 impl Default for DaemonConfig {
@@ -68,6 +88,12 @@ impl Default for DaemonConfig {
             cache_path: None,
             retry_after_ms: 250,
             slow_job_secs: None,
+            journal_flush_entries: 8,
+            journal_flush_secs: 1.0,
+            frame_deadline_ms: Some(10_000),
+            idle_timeout_secs: Some(300),
+            write_timeout_secs: Some(30),
+            queue_deadline_ms: None,
         }
     }
 }
@@ -99,6 +125,11 @@ pub(crate) struct DaemonMetrics {
     pub cache_hit: Counter,
     pub cache_miss: Counter,
     pub busy_nanos: Counter,
+    pub bad_frames: Counter,
+    pub shed_queue_deadline: Counter,
+    pub journal_salvaged: Counter,
+    pub journal_discarded: Counter,
+    pub stale_tmp_removed: Counter,
 }
 
 impl DaemonMetrics {
@@ -163,6 +194,31 @@ impl DaemonMetrics {
                 "wall nanoseconds workers spent running jobs",
                 &[],
             ),
+            bad_frames: reg.counter(
+                "dtnsimd_bad_frames_total",
+                "request frames rejected by length/CRC/UTF-8 validation",
+                &[],
+            ),
+            shed_queue_deadline: reg.counter(
+                "dtnsimd_shed_total",
+                "jobs shed at claim time for exceeding the queue-wait deadline",
+                &[("reason", "queue_deadline")],
+            ),
+            journal_salvaged: reg.counter(
+                "dtnsimd_journal_records_total",
+                "cache-journal records handled by startup recovery",
+                &[("outcome", "salvaged")],
+            ),
+            journal_discarded: reg.counter(
+                "dtnsimd_journal_records_total",
+                "cache-journal records handled by startup recovery",
+                &[("outcome", "discarded")],
+            ),
+            stale_tmp_removed: reg.counter(
+                "dtnsimd_stale_tmp_removed_total",
+                "orphaned cache .tmp files cleaned up at startup",
+                &[],
+            ),
         }
     }
 }
@@ -213,6 +269,8 @@ struct Shared {
     replication_timeouts: AtomicU64,
     busy_nanos: AtomicU64,
     running: AtomicUsize,
+    bad_frames: AtomicU64,
+    shed_queue_deadline: AtomicU64,
 }
 
 /// A running daemon: the accept loop and worker pool, plus the handle
@@ -222,6 +280,7 @@ pub struct Daemon {
     local_addr: std::net::SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    flusher: Option<JoinHandle<()>>,
 }
 
 impl Daemon {
@@ -231,10 +290,28 @@ impl Daemon {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let store = match &config.cache_path {
-            Some(path) => ResultStore::open(path),
+            Some(path) => ResultStore::open_with(
+                path,
+                JournalConfig {
+                    flush_every: config.journal_flush_entries.max(1),
+                    flush_interval: Duration::from_secs_f64(config.journal_flush_secs.max(0.01)),
+                },
+            ),
             None => ResultStore::in_memory(),
         };
         let metrics = DaemonMetrics::register();
+        // Surface what journal recovery found — the crash story must be
+        // auditable from telemetry alone.
+        let recovery = store.recovery();
+        metrics.journal_salvaged.add(recovery.salvaged);
+        metrics.journal_discarded.add(recovery.discarded);
+        metrics.stale_tmp_removed.add(recovery.stale_tmp_removed);
+        if recovery.salvaged > 0 || recovery.discarded > 0 || recovery.stale_tmp_removed > 0 {
+            eprintln!(
+                "dtnsimd: journal recovery: {} salvaged, {} discarded, {} stale tmp removed",
+                recovery.salvaged, recovery.discarded, recovery.stale_tmp_removed
+            );
+        }
         let shared = Arc::new(Shared {
             config: config.clone(),
             local_addr,
@@ -260,6 +337,8 @@ impl Daemon {
             replication_timeouts: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             running: AtomicUsize::new(0),
+            bad_frames: AtomicU64::new(0),
+            shed_queue_deadline: AtomicU64::new(0),
         });
         register_derived_gauges(&shared);
 
@@ -281,11 +360,30 @@ impl Daemon {
                 .expect("spawn accept loop")
         };
 
+        // The journal's time-based flush window must hold even when no
+        // inserts arrive to trigger it lazily.
+        let flusher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dtnsimd-journal-flush".to_string())
+                .spawn(move || {
+                    let tick = Duration::from_secs_f64(
+                        (shared.config.journal_flush_secs / 2.0).clamp(0.05, 1.0),
+                    );
+                    while !shared.shutting_down.load(Ordering::SeqCst) {
+                        std::thread::sleep(tick);
+                        let _ = shared.store.flush_journal(false);
+                    }
+                })
+                .expect("spawn journal flusher")
+        };
+
         Ok(Daemon {
             shared,
             local_addr,
             accept: Some(accept),
             workers,
+            flusher: Some(flusher),
         })
     }
 
@@ -305,6 +403,9 @@ impl Daemon {
         self.shared.work_cv.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(flusher) = self.flusher.take() {
+            let _ = flusher.join();
         }
         self.shared.store.persist()
     }
@@ -342,6 +443,16 @@ fn register_derived_gauges(shared: &Arc<Shared>) {
         "resident result-cache entries",
         &[],
     );
+    let flushes_g = reg.gauge(
+        "dtnsimd_journal_flushes",
+        "completed cache-journal flushes",
+        &[],
+    );
+    let journal_errors_g = reg.gauge(
+        "dtnsimd_journal_errors",
+        "cache-journal write failures survived",
+        &[],
+    );
     workers_g.set(shared.config.workers as f64);
     capacity_g.set(shared.config.queue_capacity as f64);
     let hook_shared = Arc::clone(shared);
@@ -355,6 +466,8 @@ fn register_derived_gauges(shared: &Arc<Shared>) {
             0.0
         });
         entries_g.set(hook_shared.store.stats().2 as f64);
+        flushes_g.set(hook_shared.store.journal_flushes() as f64);
+        journal_errors_g.set(hook_shared.store.journal_errors() as f64);
     });
 }
 
@@ -375,10 +488,28 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
 fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     // Request/response with small frames: Nagle only adds latency.
     let _ = stream.set_nodelay(true);
+    // A peer that stops *reading* must not pin this thread either.
+    let _ = stream.set_write_timeout(shared.config.write_timeout_secs.map(Duration::from_secs));
+    let idle = shared.config.idle_timeout_secs.map(Duration::from_secs);
+    let frame_deadline = shared.config.frame_deadline_ms.map(Duration::from_millis);
     loop {
-        let raw = match read_frame(&mut stream) {
+        let raw = match read_frame_deadline(&mut stream, idle, frame_deadline) {
             Ok(Some(raw)) => raw,
-            Ok(None) | Err(_) => return,
+            Ok(None) => return,
+            Err(e) if is_bad_frame(&e) => {
+                // Structured rejection, then hang up: framing is gone,
+                // so nothing later on this connection can be trusted.
+                shared.bad_frames.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.bad_frames.inc();
+                let reject = format!(
+                    "{{\"type\":\"error\",\"code\":\"bad_frame\",\"message\":\"{}\"}}",
+                    escape(&e.to_string())
+                );
+                let _ = write_frame(&mut stream, &reject);
+                return;
+            }
+            // Idle/slowloris timeouts and severed sockets: hang up.
+            Err(_) => return,
         };
         let parsed = {
             let _t = Span::<MonotonicClock>::start(&shared.metrics.frame_decode);
@@ -571,7 +702,14 @@ fn handle_result(shared: &Arc<Shared>, request: &Value) -> String {
     let mut jobs = shared.jobs.lock().expect("jobs poisoned");
     loop {
         let Some(entry) = jobs.get(&id) else {
-            return error_response(&format!("unknown job {id}"));
+            // Structured code: a client holding a stale ticket (the
+            // daemon restarted and lost its job table) must be able to
+            // tell this apart from a real rejection — it heals by
+            // resubmitting, which is idempotent.
+            return format!(
+                "{{\"type\":\"error\",\"code\":\"unknown_job\",\"message\":\"unknown job {}\"}}",
+                escape(&id)
+            );
         };
         match &entry.state {
             JobState::Done { cached } => {
@@ -666,6 +804,10 @@ fn handle_stats(shared: &Arc<Shared>) -> String {
          \"failed_errors\":{},\"failed_panics\":{},\"cancelled\":{},\
          \"rejected_queue_full\":{},\"rejected_shutdown\":{},\
          \"replication_panics\":{},\"replication_timeouts\":{},\
+         \"bad_frames\":{},\"shed_queue_deadline\":{},\
+         \"journal_salvaged\":{},\"journal_discarded\":{},\
+         \"journal_flushes\":{},\"journal_errors\":{},\
+         \"stale_tmp_removed\":{},\
          \"uptime_secs\":{uptime},\"worker_busy_secs\":{busy_secs},\
          \"worker_utilization\":{utilization},\
          \"latency\":{{\"frame_decode\":{},\"request\":{},\"queue_wait\":{},\
@@ -685,6 +827,13 @@ fn handle_stats(shared: &Arc<Shared>) -> String {
         shared.rejected_shutdown.load(Ordering::Relaxed),
         shared.replication_panics.load(Ordering::Relaxed),
         shared.replication_timeouts.load(Ordering::Relaxed),
+        shared.bad_frames.load(Ordering::Relaxed),
+        shared.shed_queue_deadline.load(Ordering::Relaxed),
+        shared.store.recovery().salvaged,
+        shared.store.recovery().discarded,
+        shared.store.journal_flushes(),
+        shared.store.journal_errors(),
+        shared.store.recovery().stale_tmp_removed,
         snapshot_json(&m.frame_decode.snapshot()),
         snapshot_json(&m.request.snapshot()),
         snapshot_json(&m.queue_wait.snapshot()),
@@ -728,9 +877,32 @@ fn worker_loop(shared: &Arc<Shared>) {
             let mut jobs = shared.jobs.lock().expect("jobs poisoned");
             match jobs.get_mut(&key) {
                 Some(entry) if matches!(entry.state, JobState::Queued) => {
-                    entry.state = JobState::Running;
                     let waited = MonotonicClock::now_nanos().saturating_sub(entry.enqueued_nanos);
                     shared.metrics.queue_wait.record(waited as f64 * 1e-9);
+                    // Overload shedding: a job that sat past the queue
+                    // deadline is answered with an honest failure at
+                    // claim time — running it now only makes every job
+                    // behind it later still.
+                    let shed = shared
+                        .config
+                        .queue_deadline_ms
+                        .is_some_and(|d| waited / 1_000_000 > d);
+                    if shed {
+                        let waited_ms = waited / 1_000_000;
+                        entry.state = JobState::Failed(format!(
+                            "shed_queue_deadline: queued {waited_ms}ms, deadline {}ms",
+                            shared.config.queue_deadline_ms.unwrap_or(0)
+                        ));
+                        shared.shed_queue_deadline.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.shed_queue_deadline.inc();
+                        shared.failed.fetch_add(1, Ordering::Relaxed);
+                        shared.failed_errors.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.jobs_failed_error.inc();
+                        drop(jobs);
+                        shared.done_cv.notify_all();
+                        continue;
+                    }
+                    entry.state = JobState::Running;
                     entry.job.clone()
                 }
                 // Cancelled while queued (or table inconsistency): skip.

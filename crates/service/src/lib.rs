@@ -16,6 +16,13 @@
 //! * [`client`] — the client used by `dtnsim --connect`, which submits
 //!   the same per-point jobs a local sweep would run and reassembles an
 //!   identical `SweepReport`;
+//! * [`resilient`] — the self-healing wrapper around [`client`]:
+//!   transparent reconnect, idempotent resubmission (the content-
+//!   addressed cache makes redelivery free), and partial-sweep resume;
+//! * [`proxy`] — a deterministic fault-injection TCP proxy for chaos
+//!   testing the daemon/client pair under drops, delays, mid-frame
+//!   truncation, byte corruption, and severed connections;
+//! * [`crc`] — the CRC32 shared by wire framing and the cache journal;
 //! * [`http`] — the telemetry sidecar: a std-only HTTP listener serving
 //!   the process-global metric registry as Prometheus text on
 //!   `GET /metrics`, plus the `--telemetry-jsonl` snapshot writer;
@@ -31,12 +38,17 @@
 
 pub mod cache;
 pub mod client;
+pub mod crc;
 pub mod daemon;
 pub mod http;
 pub mod json;
+pub mod proxy;
+pub mod resilient;
 pub mod wire;
 
-pub use cache::{job_key, ResultStore, ENGINE_VERSION};
-pub use client::{Client, SubmitTicket};
+pub use cache::{job_key, JournalConfig, RecoveryStats, ResultStore, ENGINE_VERSION};
+pub use client::{Client, ClientError, RetryPolicy, SubmitTicket};
 pub use daemon::{Daemon, DaemonConfig};
 pub use http::{MetricsServer, TelemetrySnapshotter};
+pub use proxy::{FaultProxy, ProxyPlan};
+pub use resilient::{HealStats, ResilientClient};

@@ -1,0 +1,504 @@
+//! A deterministic fault-injection TCP proxy for chaos-testing the
+//! daemon/client pair.
+//!
+//! [`FaultProxy`] sits between a client and `dtnsimd`, forwards the
+//! wire protocol **frame by frame** (it understands the length-prefixed
+//! framing but deliberately never verifies CRCs — corrupt bytes must
+//! reach the peer intact-ly corrupted), and injects faults on a
+//! reproducible schedule: every decision is drawn from seeded
+//! [`SimRng`] sub-streams, one per connection per fault type, in the
+//! same salted-derivation idiom as the simulator's own fault layer
+//! (`dtn-core::faults`). Same plan, same seed, same frame sequence →
+//! same faults.
+//!
+//! The fault vocabulary, chosen to exercise every hardening path in the
+//! service:
+//!
+//! * **drop** — swallow a frame and sever both sides (a lost request:
+//!   the peer sees a dead connection, never a reply);
+//! * **sever** — forward the frame, then cut both sides (the classic
+//!   mid-exchange disconnect);
+//! * **trunc** — forward a strict prefix of the frame, then cut (a torn
+//!   write on the wire: the peer's frame reader must reject, not hang);
+//! * **corrupt** — flip a payload byte and forward (the CRC check must
+//!   catch it: daemon answers `bad_frame`, client treats it as a dead
+//!   connection and heals);
+//! * **delay** — sleep before forwarding (exercises deadlines).
+//!
+//! A plan is parsed from a compact `key=value` comma grammar (see
+//! [`ProxyPlan::parse`]); [`FaultProxy::set_upstream`] retargets live —
+//! chaos tests use it to point the proxy at a daemon restarted on a new
+//! port after a `kill -9`, exactly the "node came back elsewhere"
+//! federation story.
+
+use crate::wire::read_raw_frame;
+use dtn_sim::SimRng;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Base salt for per-connection fault streams; the connection index is
+/// OR-ed into the low bits, then each fault type derives its own
+/// sub-stream, so no two decisions share a stream.
+const CONN_SALT: u64 = 0xFA01_7000_0002_0000;
+
+/// A reproducible fault schedule. Probabilities are per *frame*, both
+/// directions; `grace_frames` leading frames of every connection are
+/// forwarded untouched so a schedule can let the handshake through.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProxyPlan {
+    /// P(swallow the frame and sever both sides).
+    pub drop: f64,
+    /// P(forward the frame, then sever both sides).
+    pub sever: f64,
+    /// P(forward a strict prefix of the frame, then sever).
+    pub trunc: f64,
+    /// P(flip one payload byte, forward the frame).
+    pub corrupt: f64,
+    /// P(sleep `delay_ms` before forwarding).
+    pub delay: f64,
+    /// The sleep for a delayed frame.
+    pub delay_ms: u64,
+    /// Leading frames per connection forwarded fault-free.
+    pub grace_frames: u64,
+    /// Seed for the fault streams.
+    pub seed: u64,
+}
+
+impl Default for ProxyPlan {
+    fn default() -> ProxyPlan {
+        ProxyPlan {
+            drop: 0.0,
+            sever: 0.0,
+            trunc: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+            delay_ms: 5,
+            grace_frames: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl ProxyPlan {
+    /// Parse the schedule grammar: a comma-separated `key=value` list
+    /// with keys `drop`, `sever`, `trunc`, `corrupt`, `delay`
+    /// (probabilities in `[0,1]`), `delay_ms`, `frames` (grace frames),
+    /// and `seed` (integers). Unknown keys and malformed values are
+    /// errors — a chaos schedule that silently no-ops is worse than one
+    /// that fails loudly. The empty string is the fault-free plan.
+    ///
+    /// Example: `drop=0.05,trunc=0.02,sever=0.1,frames=2,seed=42`.
+    pub fn parse(text: &str) -> Result<ProxyPlan, String> {
+        let mut plan = ProxyPlan::default();
+        for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("plan term `{part}` is not key=value"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("plan value `{v}` is not a number"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability `{v}` outside [0,1]"));
+                }
+                Ok(p)
+            };
+            let int = |v: &str| -> Result<u64, String> {
+                v.parse()
+                    .map_err(|_| format!("plan value `{v}` is not an integer"))
+            };
+            match key.trim() {
+                "drop" => plan.drop = prob(value)?,
+                "sever" => plan.sever = prob(value)?,
+                "trunc" => plan.trunc = prob(value)?,
+                "corrupt" => plan.corrupt = prob(value)?,
+                "delay" => plan.delay = prob(value)?,
+                "delay_ms" => plan.delay_ms = int(value)?,
+                "frames" => plan.grace_frames = int(value)?,
+                "seed" => plan.seed = int(value)?,
+                other => return Err(format!("unknown plan key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Snapshot of what the proxy has done so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProxyCounters {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames forwarded untouched (including delayed ones).
+    pub forwarded: u64,
+    /// Frames swallowed (connection severed with them).
+    pub dropped: u64,
+    /// Connections cut after a forwarded frame.
+    pub severed: u64,
+    /// Frames truncated mid-frame.
+    pub truncated: u64,
+    /// Frames forwarded with a flipped byte.
+    pub corrupted: u64,
+    /// Frames delayed before forwarding.
+    pub delayed: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+    severed: AtomicU64,
+    truncated: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+}
+
+/// The running proxy: an accept loop plus one pump thread per
+/// connection. Dropping it does **not** stop it — call
+/// [`FaultProxy::shutdown`].
+pub struct FaultProxy {
+    local_addr: SocketAddr,
+    upstream: Arc<Mutex<String>>,
+    counters: Arc<Counters>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Bind `listen` (use port 0 for an ephemeral port), forwarding to
+    /// `upstream` under `plan`.
+    pub fn spawn(listen: &str, upstream: &str, plan: ProxyPlan) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind(listen)?;
+        let local_addr = listener.local_addr()?;
+        let upstream = Arc::new(Mutex::new(upstream.to_string()));
+        let counters = Arc::new(Counters::default());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_thread = {
+            let upstream = Arc::clone(&upstream);
+            let counters = Arc::clone(&counters);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut conn_index = 0u64;
+                for inbound in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(client) = inbound else { continue };
+                    counters.connections.fetch_add(1, Ordering::Relaxed);
+                    let target = upstream.lock().expect("upstream poisoned").clone();
+                    let counters = Arc::clone(&counters);
+                    let rng = SimRng::new(plan.seed).derive(CONN_SALT | conn_index);
+                    conn_index += 1;
+                    std::thread::spawn(move || {
+                        pump_connection(client, &target, plan, rng, &counters);
+                    });
+                }
+            })
+        };
+        Ok(FaultProxy {
+            local_addr,
+            upstream,
+            counters,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should dial.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Retarget the upstream for *future* connections (live ones keep
+    /// their old target until they die — which under a fault plan is
+    /// soon). This is how chaos tests follow a daemon restarted on a
+    /// new port after `kill -9`.
+    pub fn set_upstream(&self, addr: &str) {
+        *self.upstream.lock().expect("upstream poisoned") = addr.to_string();
+    }
+
+    /// Snapshot the fault counters.
+    pub fn counters(&self) -> ProxyCounters {
+        ProxyCounters {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            forwarded: self.counters.forwarded.load(Ordering::Relaxed),
+            dropped: self.counters.dropped.load(Ordering::Relaxed),
+            severed: self.counters.severed.load(Ordering::Relaxed),
+            truncated: self.counters.truncated.load(Ordering::Relaxed),
+            corrupted: self.counters.corrupted.load(Ordering::Relaxed),
+            delayed: self.counters.delayed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting and join the accept loop. In-flight connection
+    /// pumps die with their sockets.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway dial.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Per-connection fault decision streams, one per fault type so
+/// enabling one fault never perturbs another's schedule.
+struct FaultStreams {
+    drop: SimRng,
+    sever: SimRng,
+    trunc: SimRng,
+    corrupt: SimRng,
+    delay: SimRng,
+}
+
+enum Verdict {
+    Forward,
+    Delay,
+    Corrupt,
+    Trunc,
+    Drop,
+    Sever,
+}
+
+/// Decide this frame's fate. Every stream is sampled every frame so the
+/// schedule stays aligned regardless of which fault fires first.
+fn judge(plan: &ProxyPlan, streams: &mut FaultStreams, frame_index: u64) -> Verdict {
+    let drop = streams.drop.bernoulli(plan.drop);
+    let sever = streams.sever.bernoulli(plan.sever);
+    let trunc = streams.trunc.bernoulli(plan.trunc);
+    let corrupt = streams.corrupt.bernoulli(plan.corrupt);
+    let delay = streams.delay.bernoulli(plan.delay);
+    if frame_index < plan.grace_frames {
+        return Verdict::Forward;
+    }
+    // Most-destructive-first precedence when several fire at once.
+    if drop {
+        Verdict::Drop
+    } else if trunc {
+        Verdict::Trunc
+    } else if sever {
+        Verdict::Sever
+    } else if corrupt {
+        Verdict::Corrupt
+    } else if delay {
+        Verdict::Delay
+    } else {
+        Verdict::Forward
+    }
+}
+
+/// Forward one frame under the plan. `Ok(true)` keeps the connection,
+/// `Ok(false)` (or any error) means both sides must die.
+fn relay_frame(
+    frame: &[u8],
+    out: &mut TcpStream,
+    plan: &ProxyPlan,
+    streams: &mut FaultStreams,
+    frame_index: u64,
+    counters: &Counters,
+) -> std::io::Result<bool> {
+    match judge(plan, streams, frame_index) {
+        Verdict::Forward => {
+            out.write_all(frame)?;
+            counters.forwarded.fetch_add(1, Ordering::Relaxed);
+            Ok(true)
+        }
+        Verdict::Delay => {
+            std::thread::sleep(Duration::from_millis(plan.delay_ms));
+            out.write_all(frame)?;
+            counters.delayed.fetch_add(1, Ordering::Relaxed);
+            counters.forwarded.fetch_add(1, Ordering::Relaxed);
+            Ok(true)
+        }
+        Verdict::Corrupt => {
+            let mut mangled = frame.to_vec();
+            // Flip a bit somewhere past the 8-byte header when there is
+            // a payload; otherwise mangle the CRC field itself.
+            let offset = if mangled.len() > crate::wire::FRAME_HEADER_BYTES {
+                let span = (mangled.len() - crate::wire::FRAME_HEADER_BYTES) as u64;
+                crate::wire::FRAME_HEADER_BYTES + streams.corrupt.below(span) as usize
+            } else {
+                4
+            };
+            mangled[offset] ^= 0x20;
+            out.write_all(&mangled)?;
+            counters.corrupted.fetch_add(1, Ordering::Relaxed);
+            Ok(true)
+        }
+        Verdict::Trunc => {
+            // A strict prefix: at least the first byte, never the whole
+            // frame, so the peer always sees a torn frame.
+            let keep = 1 + streams.trunc.below(frame.len() as u64 - 1) as usize;
+            out.write_all(&frame[..keep])?;
+            let _ = out.flush();
+            counters.truncated.fetch_add(1, Ordering::Relaxed);
+            Ok(false)
+        }
+        Verdict::Drop => {
+            counters.dropped.fetch_add(1, Ordering::Relaxed);
+            Ok(false)
+        }
+        Verdict::Sever => {
+            out.write_all(frame)?;
+            counters.severed.fetch_add(1, Ordering::Relaxed);
+            counters.forwarded.fetch_add(1, Ordering::Relaxed);
+            Ok(false)
+        }
+    }
+}
+
+/// Pump one client connection: the protocol is strict request/response,
+/// so a single thread alternating client→upstream and upstream→client
+/// frames is faithful and keeps the fault schedule a pure function of
+/// (seed, connection index, frame index).
+fn pump_connection(
+    mut client: TcpStream,
+    upstream_addr: &str,
+    plan: ProxyPlan,
+    rng: SimRng,
+    counters: &Counters,
+) {
+    let Ok(mut upstream) = TcpStream::connect(upstream_addr) else {
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = upstream.set_nodelay(true);
+    let mut streams = FaultStreams {
+        drop: rng.derive(0),
+        sever: rng.derive(1),
+        trunc: rng.derive(2),
+        corrupt: rng.derive(3),
+        delay: rng.derive(4),
+    };
+    let mut frame_index = 0u64;
+    loop {
+        // Request leg.
+        let Ok(Some(frame)) = read_raw_frame(&mut client) else {
+            return;
+        };
+        let fate = relay_frame(
+            &frame,
+            &mut upstream,
+            &plan,
+            &mut streams,
+            frame_index,
+            counters,
+        );
+        frame_index += 1;
+        if !matches!(fate, Ok(true)) {
+            return;
+        }
+        // Response leg.
+        let Ok(Some(reply)) = read_raw_frame(&mut upstream) else {
+            return;
+        };
+        let fate = relay_frame(
+            &reply,
+            &mut client,
+            &plan,
+            &mut streams,
+            frame_index,
+            counters,
+        );
+        frame_index += 1;
+        if !matches!(fate, Ok(true)) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_grammar_round_trips() {
+        let plan = ProxyPlan::parse(
+            "drop=0.05, trunc=0.02,sever=0.1,corrupt=0.01,delay=0.5,delay_ms=7,frames=2,seed=42",
+        )
+        .unwrap();
+        assert_eq!(plan.drop, 0.05);
+        assert_eq!(plan.trunc, 0.02);
+        assert_eq!(plan.sever, 0.1);
+        assert_eq!(plan.corrupt, 0.01);
+        assert_eq!(plan.delay, 0.5);
+        assert_eq!(plan.delay_ms, 7);
+        assert_eq!(plan.grace_frames, 2);
+        assert_eq!(plan.seed, 42);
+        assert_eq!(ProxyPlan::parse("").unwrap(), ProxyPlan::default());
+    }
+
+    #[test]
+    fn plan_grammar_rejects_garbage() {
+        assert!(ProxyPlan::parse("drop").is_err());
+        assert!(ProxyPlan::parse("drop=1.5").is_err());
+        assert!(ProxyPlan::parse("drop=-0.1").is_err());
+        assert!(ProxyPlan::parse("frames=two").is_err());
+        assert!(ProxyPlan::parse("chaos=1").is_err());
+        assert!(
+            ProxyPlan::parse("drop=0.1,,sever=0.2").is_ok(),
+            "empty terms are fine"
+        );
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let plan = ProxyPlan::parse("drop=0.2,sever=0.2,trunc=0.2,corrupt=0.2,seed=9").unwrap();
+        let run = || {
+            let rng = SimRng::new(plan.seed).derive(CONN_SALT);
+            let mut streams = FaultStreams {
+                drop: rng.derive(0),
+                sever: rng.derive(1),
+                trunc: rng.derive(2),
+                corrupt: rng.derive(3),
+                delay: rng.derive(4),
+            };
+            (0..64)
+                .map(|i| match judge(&plan, &mut streams, i) {
+                    Verdict::Forward => 0u8,
+                    Verdict::Delay => 1,
+                    Verdict::Corrupt => 2,
+                    Verdict::Trunc => 3,
+                    Verdict::Drop => 4,
+                    Verdict::Sever => 5,
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(
+            a.iter().any(|&v| v != 0),
+            "a 0.2×4 plan must fire sometimes"
+        );
+    }
+
+    #[test]
+    fn grace_frames_hold_fire() {
+        let plan = ProxyPlan::parse("drop=1.0,frames=3,seed=1").unwrap();
+        let rng = SimRng::new(plan.seed).derive(CONN_SALT);
+        let mut streams = FaultStreams {
+            drop: rng.derive(0),
+            sever: rng.derive(1),
+            trunc: rng.derive(2),
+            corrupt: rng.derive(3),
+            delay: rng.derive(4),
+        };
+        for i in 0..3 {
+            assert!(matches!(judge(&plan, &mut streams, i), Verdict::Forward));
+        }
+        assert!(matches!(judge(&plan, &mut streams, 3), Verdict::Drop));
+    }
+}
