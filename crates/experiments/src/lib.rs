@@ -47,8 +47,8 @@ pub use figures::{all_figures, Metric};
 pub use jobs::{PointJob, PointOutcome};
 pub use output::{ensure_dir, Figure, Series, TextTable};
 pub use report::{
-    current_rss_bytes, git_rev, peak_rss_bytes, unix_time_secs, NamedHistogram, PointReport,
-    PointTiming, RunManifest, SweepReport, SweepTiming,
+    current_rss_bytes, git_rev, peak_rss_bytes, unix_time_secs, FederationStats, NamedHistogram,
+    PointReport, PointTiming, RunManifest, ShardStat, SweepReport, SweepTiming,
 };
 pub use reporter::{Reporter, Verbosity};
 pub use robustness::{

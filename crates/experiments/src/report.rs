@@ -245,6 +245,46 @@ pub struct NamedHistogram {
     pub hist: Histogram,
 }
 
+/// One worker shard's contribution to a federated sweep, as reported by
+/// the `dtnfedd` coordinator's stats document.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Worker daemon address.
+    pub addr: String,
+    /// Health state at report time (`alive`/`suspect`/`dead`/`draining`).
+    pub state: String,
+    /// Points whose result was served through this shard.
+    pub completed: u64,
+}
+
+/// What the federation did to complete a sweep routed through a
+/// `dtnfedd` coordinator: shard attribution plus the failover/hedge
+/// counters. Absent (`None` on [`SweepReport::federation`]) for local
+/// and single-daemon runs, and **masked out** by
+/// [`SweepReport::to_canonical_json`] — a federated sweep must stay
+/// byte-identical in canonical form to a single-daemon run of the same
+/// work, whatever healing the fabric had to do.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FederationStats {
+    /// Registered worker shards.
+    pub workers: u64,
+    /// Shards routable (alive or suspect) at report time.
+    pub routable_workers: u64,
+    /// Whether the coordinator was in degraded (quorum-lost) mode.
+    pub degraded: bool,
+    /// Points moved off a dead or unreachable shard.
+    pub failovers: u64,
+    /// Straggler points dispatched to a second shard.
+    pub hedges: u64,
+    /// Job re-submissions of any kind (failover + hedge + error retry).
+    pub redispatches: u64,
+    /// Points the degraded coordinator reported unreachable (0 on a
+    /// completed sweep; > 0 only in partial-sweep mode).
+    pub missing_points: u64,
+    /// Per-shard attribution.
+    pub shards: Vec<ShardStat>,
+}
+
 /// The unified report: one structured aggregate for everything a run or
 /// sweep produces. See the module docs for the rationale; the JSON layout
 /// is a superset of the legacy `BENCH_sweep.json` schema.
@@ -293,6 +333,10 @@ pub struct SweepReport {
     pub points: Vec<PointReport>,
     /// Extra probe-derived distributions.
     pub histograms: Vec<NamedHistogram>,
+    /// Federation attribution when the sweep ran through a `dtnfedd`
+    /// coordinator (`None` for local and single-daemon runs; masked by
+    /// the canonical rendering).
+    pub federation: Option<FederationStats>,
 }
 
 impl SweepReport {
@@ -497,6 +541,11 @@ impl SweepReport {
             "  \"memory_degradations\": {},",
             self.memory_degradations
         );
+        let _ = writeln!(
+            out,
+            "  \"federation\": {},",
+            federation_json(self.federation.as_ref())
+        );
         let _ = writeln!(out, "  \"total_violations\": {},", self.total_violations);
         out.push_str("  \"violations\": [");
         for (i, v) in self.violations.iter().enumerate() {
@@ -610,6 +659,11 @@ impl SweepReport {
         canon.trace_cache_hits = 0;
         canon.trace_cache_misses = 0;
         canon.peak_rss_bytes = None;
+        // Federation attribution records *how* the fabric completed the
+        // sweep (failovers, hedges, shard split) — operational, not
+        // result content — so it masks out: a federated sweep is
+        // byte-identical here to a single-daemon run of the same work.
+        canon.federation = None;
         for t in &mut canon.timings {
             t.wall_secs = 0.0;
         }
@@ -623,6 +677,37 @@ impl SweepReport {
     pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         std::fs::write(path, self.to_json())
     }
+}
+
+/// Federation attribution as JSON (`null` for non-federated runs).
+fn federation_json(f: Option<&FederationStats>) -> String {
+    let Some(f) = f else { return "null".into() };
+    let mut shards = String::from("[");
+    for (i, s) in f.shards.iter().enumerate() {
+        if i > 0 {
+            shards.push_str(", ");
+        }
+        let _ = write!(
+            shards,
+            "{{\"addr\": \"{}\", \"state\": \"{}\", \"completed\": {}}}",
+            json_escape(&s.addr),
+            json_escape(&s.state),
+            s.completed
+        );
+    }
+    shards.push(']');
+    format!(
+        "{{\"workers\": {}, \"routable_workers\": {}, \"degraded\": {}, \
+         \"failovers\": {}, \"hedges\": {}, \"redispatches\": {}, \
+         \"missing_points\": {}, \"shards\": {shards}}}",
+        f.workers,
+        f.routable_workers,
+        f.degraded,
+        f.failovers,
+        f.hedges,
+        f.redispatches,
+        f.missing_points,
+    )
 }
 
 /// One point's phase-timing breakdown as JSON (`null` when absent).

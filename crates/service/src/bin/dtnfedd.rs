@@ -1,0 +1,234 @@
+//! `dtnfedd` — the federation coordinator.
+//!
+//! Fronts N `dtnsimd` worker daemons behind the same wire protocol a
+//! single daemon speaks, so any client (`dtnsim --connect`, the
+//! resilient client, `--daemon-stats`) targets a federation unchanged.
+//! Jobs route to workers by consistent hashing over their content
+//! address; dead workers are detected by a jittered heartbeat loop and
+//! their work fails over to live ones; stragglers are hedged onto a
+//! second shard after a p99-derived deadline. See
+//! `dtn_service::coordinator` for the full design.
+//!
+//! ```text
+//! dtnsimd --addr 127.0.0.1:0 --addr-file w1.addr &
+//! dtnsimd --addr 127.0.0.1:0 --addr-file w2.addr &
+//! dtnsimd --addr 127.0.0.1:0 --addr-file w3.addr &
+//! dtnfedd --addr 127.0.0.1:7800 \
+//!         --worker "$(cat w1.addr)" --worker "$(cat w2.addr)" --worker "$(cat w3.addr)"
+//! dtnsim --connect 127.0.0.1:7800 ...   # sweeps fan out across workers
+//! ```
+
+use dtn_service::{Coordinator, CoordinatorConfig, MetricsServer, ENGINE_VERSION};
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+dtnfedd - DTN federation coordinator (fronts N dtnsimd workers)
+
+USAGE:
+    dtnfedd [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT         Bind address (default 127.0.0.1:7800; port 0 picks a free port)
+    --worker HOST:PORT       A worker daemon address (repeatable); more workers
+                             may join later via the wire `register` request
+    --worker-file PATH       Read worker addresses from PATH, one per line
+                             (blank lines and #-comments ignored)
+    --heartbeat-ms N         Health probe interval, jittered to [N/2, N]
+                             (default 250)
+    --probe-timeout-ms N     Per-probe connect/read budget; also bounds worker
+                             submits (default 2000)
+    --suspect-after N        Consecutive probe failures before Suspect (default 2)
+    --dead-after N           Consecutive probe failures before Dead — the edge
+                             that fires failover re-dispatch (default 4)
+    --hedge-min-ms N         Floor on the straggler hedge deadline (default 2000)
+    --hedge-factor X         Hedge deadline = X x observed p99 point latency
+                             (default 4.0)
+    --quorum X               Routable fraction below which the coordinator
+                             degrades to partial-sweep mode: drain what is
+                             reachable, answer `unreachable` for the rest
+                             (default 0.5)
+    --virtual-nodes N        Ring points per shard (default 64)
+    --retry-after-ms N       Backpressure hint on coordinator-side rejections
+                             (default 250)
+    --unreachable-grace-ms N How long a blocking result fetch rides out a total
+                             outage before answering `unreachable` (default 60000)
+    --seed N                 Seed for the probe-jitter RNG (default 0)
+    --http-port N            Serve Prometheus-text telemetry on
+                             http://127.0.0.1:N/metrics (0 picks a free port)
+    --addr-file PATH         Write the bound address to PATH once listening
+    --help                   Show this help
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+struct Args {
+    config: CoordinatorConfig,
+    http_port: Option<u16>,
+    addr_file: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        config: CoordinatorConfig {
+            addr: "127.0.0.1:7800".to_string(),
+            ..CoordinatorConfig::default()
+        },
+        http_port: None,
+        addr_file: None,
+    };
+    let config = &mut parsed.config;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--worker" => config.workers.push(value("--worker")),
+            "--worker-file" => {
+                let path = value("--worker-file");
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| fail(&format!("cannot read --worker-file {path}: {e}")));
+                for line in text.lines() {
+                    let line = line.trim();
+                    if !line.is_empty() && !line.starts_with('#') {
+                        config.workers.push(line.to_string());
+                    }
+                }
+            }
+            "--heartbeat-ms" => {
+                config.heartbeat_interval_ms = value("--heartbeat-ms")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --heartbeat-ms: {e}")))
+            }
+            "--probe-timeout-ms" => {
+                config.probe_timeout_ms = value("--probe-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --probe-timeout-ms: {e}")))
+            }
+            "--suspect-after" => {
+                config.suspect_after = value("--suspect-after")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --suspect-after: {e}")))
+            }
+            "--dead-after" => {
+                config.dead_after = value("--dead-after")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --dead-after: {e}")))
+            }
+            "--hedge-min-ms" => {
+                config.hedge_min_ms = value("--hedge-min-ms")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --hedge-min-ms: {e}")))
+            }
+            "--hedge-factor" => {
+                let x: f64 = value("--hedge-factor")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --hedge-factor: {e}")));
+                if !x.is_finite() || x < 1.0 {
+                    fail("--hedge-factor must be a finite number >= 1");
+                }
+                config.hedge_factor = x;
+            }
+            "--quorum" => {
+                let x: f64 = value("--quorum")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --quorum: {e}")));
+                if !x.is_finite() || !(0.0..=1.0).contains(&x) {
+                    fail("--quorum must be in [0, 1]");
+                }
+                config.quorum = x;
+            }
+            "--virtual-nodes" => {
+                config.virtual_nodes = value("--virtual-nodes")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --virtual-nodes: {e}")))
+            }
+            "--retry-after-ms" => {
+                config.retry_after_ms = value("--retry-after-ms")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --retry-after-ms: {e}")))
+            }
+            "--unreachable-grace-ms" => {
+                config.unreachable_grace_ms = value("--unreachable-grace-ms")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --unreachable-grace-ms: {e}")))
+            }
+            "--seed" => {
+                config.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --seed: {e}")))
+            }
+            "--http-port" => {
+                parsed.http_port = Some(
+                    value("--http-port")
+                        .parse()
+                        .unwrap_or_else(|e| fail(&format!("bad --http-port: {e}"))),
+                )
+            }
+            "--addr-file" => parsed.addr_file = Some(PathBuf::from(value("--addr-file"))),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    if parsed.config.suspect_after == 0 || parsed.config.dead_after == 0 {
+        fail("--suspect-after and --dead-after must be at least 1");
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let config = args.config;
+    let coordinator = Coordinator::spawn(config.clone()).unwrap_or_else(|e| {
+        eprintln!("error: failed to start coordinator on {}: {e}", config.addr);
+        std::process::exit(1);
+    });
+    if let Some(path) = &args.addr_file {
+        // tmp-rename so a watcher never reads a half-written address.
+        let tmp = path.with_extension("tmp");
+        let write = std::fs::write(&tmp, coordinator.local_addr().to_string())
+            .and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = write {
+            eprintln!("error: failed to write --addr-file {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    let metrics_server = args.http_port.map(|port| {
+        let server = MetricsServer::spawn(port).unwrap_or_else(|e| {
+            eprintln!("error: failed to bind telemetry port {port}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "dtnfedd telemetry on http://{}/metrics",
+            server.local_addr()
+        );
+        server
+    });
+    eprintln!(
+        "dtnfedd listening on {} (engine {ENGINE_VERSION}, {} workers, quorum {}, hedge >= {} ms)",
+        coordinator.local_addr(),
+        config.workers.len(),
+        config.quorum,
+        config.hedge_min_ms,
+    );
+    let result = coordinator.join();
+    if let Some(server) = metrics_server {
+        server.shutdown();
+    }
+    match result {
+        Ok(()) => eprintln!("dtnfedd: stopped"),
+        Err(e) => {
+            eprintln!("dtnfedd: stopped with error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -108,8 +108,9 @@ use dtn_epidemic::{
 use dtn_experiments::jobs::PointJob;
 use dtn_experiments::runner::aggregate_point;
 use dtn_experiments::{
-    assemble_grid_report, grid_point_jobs, record_supervised_point, run_robustness, Mobility,
-    PointOutcome, Reporter, RunManifest, SweepConfig, SweepReport, TraceCache, Verbosity,
+    assemble_grid_report, grid_point_jobs, record_supervised_point, run_robustness,
+    FederationStats, Mobility, PointOutcome, Reporter, RunManifest, ShardStat, SweepConfig,
+    SweepReport, TraceCache, Verbosity,
 };
 use dtn_mobility::{read_trace_file, ContactTrace, TraceSummary};
 use dtn_service::{Client, ResilientClient, RetryPolicy};
@@ -586,6 +587,93 @@ fn render_daemon_stats(raw: &str, canonical: bool) -> Result<String, String> {
     Ok(out)
 }
 
+/// Re-render a `dtnfedd` coordinator `stats` reply (detected by its
+/// `role:"coordinator"` member) as a stable document, mirroring
+/// [`render_daemon_stats`]: fixed key order, volatile fields masked
+/// under `canonical` so two coordinators that served the same sweep
+/// print byte-identical documents.
+fn render_coordinator_stats(raw: &str, canonical: bool) -> Result<String, String> {
+    use dtn_service::json::Value;
+    let v = Value::parse(raw).map_err(|e| format!("unparseable stats reply: {e}"))?;
+    let num = |key: &str| match v.get(key) {
+        Some(Value::Num(n)) => n.clone(),
+        _ => "0".to_string(),
+    };
+    let volatile_num = |key: &str| {
+        if canonical {
+            "0".to_string()
+        } else {
+            num(key)
+        }
+    };
+    let engine = v.get("engine").and_then(Value::as_str).unwrap_or("unknown");
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"type\": \"coordinator_stats\",\n  \"engine\": \"{}\",",
+        dtn_service::json::escape(engine)
+    );
+    for key in ["workers", "routable_workers"] {
+        let _ = writeln!(out, "  \"{key}\": {},", num(key));
+    }
+    let _ = writeln!(
+        out,
+        "  \"degraded\": {},",
+        v.get("degraded").and_then(Value::as_bool).unwrap_or(false)
+    );
+    for key in [
+        "submitted",
+        "completed",
+        "failovers",
+        "hedges",
+        "redispatches",
+        "rejected_no_workers",
+        "rejected_unreachable",
+    ] {
+        let _ = writeln!(out, "  \"{key}\": {},", num(key));
+    }
+    // Probe counts, the hedge deadline, in-flight jobs, and uptime all
+    // track wall time, not served work: they mask with the volatile
+    // group.
+    for key in [
+        "inflight",
+        "probes_ok",
+        "probes_failed",
+        "hedge_deadline_ms",
+        "uptime_secs",
+    ] {
+        let _ = writeln!(out, "  \"{key}\": {},", volatile_num(key));
+    }
+    out.push_str("  \"shards\": [");
+    let shards = v.get("shards").and_then(Value::as_array);
+    for (i, shard) in shards.into_iter().flatten().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let addr = shard.get("addr").and_then(Value::as_str).unwrap_or("?");
+        let state = shard.get("state").and_then(Value::as_str).unwrap_or("?");
+        let completed = match shard.get("completed") {
+            Some(Value::Num(n)) => n.clone(),
+            _ => "0".to_string(),
+        };
+        let _ = write!(
+            out,
+            "\n    {{\"addr\": \"{}\", \"state\": \"{}\", \"completed\": {}}}",
+            dtn_service::json::escape(addr),
+            dtn_service::json::escape(state),
+            completed,
+        );
+    }
+    out.push_str(if shards.is_some_and(|s| !s.is_empty()) {
+        "\n  ]\n"
+    } else {
+        "]\n"
+    });
+    out.push_str("}\n");
+    Ok(out)
+}
+
 /// The `--robustness` mode: sweep all protocols over the fault grid.
 fn run_robustness_mode(args: &Args, log: &Reporter) -> ExitCode {
     let Source::Builtin(mobility) = args.source else {
@@ -651,9 +739,16 @@ fn submit_and_collect(
     client: &mut ResilientClient,
     jobs: &[PointJob],
     log: &Reporter,
-) -> Result<(Vec<PointOutcome>, usize), String> {
-    let pairs = client.collect_fragments(jobs).map_err(|e| e.to_string())?;
-    let cached = pairs.iter().filter(|(_, cached)| *cached).count();
+) -> Result<(Vec<Option<PointOutcome>>, usize), String> {
+    // `collect_available` is `collect_fragments` against a plain
+    // daemon; against a degraded coordinator it records per-point
+    // `unreachable` answers as `None` (partial-sweep mode) instead of
+    // failing the run.
+    let pairs = client.collect_available(jobs).map_err(|e| e.to_string())?;
+    let cached = pairs
+        .iter()
+        .filter(|p| matches!(p, Some((_, true))))
+        .count();
     log.info(format!(
         "daemon cache: {cached}/{} points served from cache",
         jobs.len()
@@ -667,9 +762,59 @@ fn submit_and_collect(
     }
     let outcomes = pairs
         .iter()
-        .map(|(fragment, _)| PointOutcome::from_wire_json(fragment))
+        .map(|pair| {
+            pair.as_ref()
+                .map(|(fragment, _)| PointOutcome::from_wire_json(fragment))
+                .transpose()
+        })
         .collect::<Result<Vec<_>, String>>()?;
     Ok((outcomes, cached))
+}
+
+/// If `addr` is a `dtnfedd` coordinator, fetch its stats and turn them
+/// into the report's federation attribution; a plain daemon (no
+/// `role:"coordinator"` in its stats) yields `None`. Best-effort — a
+/// completed sweep never fails over its attribution fetch.
+fn federation_stats(client: &mut ResilientClient, missing_points: u64) -> Option<FederationStats> {
+    use dtn_service::json::Value;
+    let raw = client.stats_raw().ok()?;
+    let v = Value::parse(&raw).ok()?;
+    if v.get("role").and_then(Value::as_str) != Some("coordinator") {
+        return None;
+    }
+    let num = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let shards = v
+        .get("shards")
+        .and_then(Value::as_array)
+        .map(|entries| {
+            entries
+                .iter()
+                .map(|s| ShardStat {
+                    addr: s
+                        .get("addr")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    state: s
+                        .get("state")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    completed: s.get("completed").and_then(Value::as_u64).unwrap_or(0),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Some(FederationStats {
+        workers: num("workers"),
+        routable_workers: num("routable_workers"),
+        degraded: v.get("degraded").and_then(Value::as_bool).unwrap_or(false),
+        failovers: num("failovers"),
+        hedges: num("hedges"),
+        redispatches: num("redispatches"),
+        missing_points,
+        shards,
+    })
 }
 
 /// Client mode for the robustness grid: same jobs, same order, same
@@ -697,15 +842,48 @@ fn run_robustness_client(args: &Args, addr: &str, log: &Reporter) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = assemble_grid_report(
+    // Partial-sweep mode: a degraded coordinator reported some points
+    // unreachable. Assemble the report from what drained, name what is
+    // missing, and exit non-zero — the report is honest, not complete.
+    let missing: Vec<usize> = outcomes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| o.is_none().then_some(i))
+        .collect();
+    for &i in &missing {
+        let job = &jobs[i];
+        log.error(format!(
+            "dtnsim: point missing (unreachable shard): {} @ {} load {}",
+            job.protocol,
+            job.mobility.label(),
+            job.load
+        ));
+    }
+    let (kept_points, kept_outcomes): (Vec<_>, Vec<_>) = points
+        .iter()
+        .cloned()
+        .zip(outcomes)
+        .filter_map(|(p, o)| o.map(|o| (p, o)))
+        .unzip();
+    let mut report = assemble_grid_report(
         mobility,
         &cfg,
-        &points,
-        &outcomes,
+        &kept_points,
+        &kept_outcomes,
         started.elapsed().as_secs_f64(),
     );
+    report.federation = federation_stats(&mut client, missing.len() as u64);
     print_report(&report, args.canonical);
-    ExitCode::SUCCESS
+    if missing.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        log.error(format!(
+            "dtnsim: partial sweep: {}/{} points missing",
+            missing.len(),
+            jobs.len()
+        ));
+        ExitCode::from(3)
+    }
 }
 
 /// Client mode for a single (protocol, mobility, load) run.
@@ -743,7 +921,10 @@ fn run_single_client(args: &Args, addr: &str, log: &Reporter) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let outcome = &outcomes[0];
+    let Some(outcome) = &outcomes[0] else {
+        log.error("dtnsim: the point is unreachable (degraded federation, quorum lost)");
+        return ExitCode::from(3);
+    };
     let wall = started.elapsed().as_secs_f64();
 
     let label = mobility.label();
@@ -765,6 +946,7 @@ fn run_single_client(args: &Args, addr: &str, log: &Reporter) -> ExitCode {
     report.record_sweep(format!("{} @ {}", args.protocol.name, label), wall);
     report.record_cache((0, 0));
     report.finish(wall);
+    report.federation = federation_stats(&mut client, 0);
     print_report(&report, args.canonical);
     ExitCode::SUCCESS
 }
@@ -785,9 +967,17 @@ fn main() -> ExitCode {
                 Ok(c) => c,
                 Err(code) => return code,
             };
-            let rendered = client
-                .stats_raw()
-                .and_then(|raw| render_daemon_stats(&raw, args.canonical));
+            let rendered = client.stats_raw().and_then(|raw| {
+                use dtn_service::json::Value;
+                let coordinator = Value::parse(&raw)
+                    .ok()
+                    .is_some_and(|v| v.get("role").and_then(Value::as_str) == Some("coordinator"));
+                if coordinator {
+                    render_coordinator_stats(&raw, args.canonical)
+                } else {
+                    render_daemon_stats(&raw, args.canonical)
+                }
+            });
             return match rendered {
                 Ok(stats) => {
                     print!("{stats}");

@@ -12,9 +12,12 @@
 //! dtnsim --connect 127.0.0.1:7711 ...   # chaos between here and the daemon
 //! ```
 //!
-//! `--upstream-file` (a file holding `HOST:PORT`, re-read every second)
-//! lets the proxy follow a daemon that restarts on a new port after a
-//! crash — the scenario the kill-and-recover CI job drives.
+//! `--upstream-file` (a file holding `HOST:PORT`) lets the proxy follow
+//! a daemon that restarts on a new port after a crash — the scenario
+//! the kill-and-recover CI job drives. The file is re-read every second
+//! **and** re-resolved whenever an upstream dial fails, so a restarted
+//! worker is picked up by the very connection that found the old port
+//! dead.
 
 use dtn_service::{FaultProxy, ProxyPlan};
 use std::path::PathBuf;
@@ -32,9 +35,9 @@ OPTIONS:
                           address is printed on stderr)
     --upstream HOST:PORT  Forward connections to this daemon
     --upstream-file PATH  Read the upstream address from PATH (re-read every
-                          second, so a daemon restarted on a new port is
-                          followed live; the file is what dtnsimd --addr-file
-                          writes)
+                          second and on every failed upstream dial, so a
+                          daemon restarted on a new port is followed live;
+                          the file is what dtnsimd --addr-file writes)
     --plan SCHEDULE       Fault schedule, e.g.
                           'drop=0.05,trunc=0.02,sever=0.1,corrupt=0.01,\\
                            delay=0.2,delay_ms=5,frames=2,seed=42'
@@ -127,6 +130,11 @@ fn main() {
         eprintln!("error: failed to bind {}: {e}", args.listen);
         std::process::exit(1);
     });
+    if let Some(path) = args.upstream_file.clone() {
+        // Connect-failure fallback: a dead dial re-reads the address
+        // file immediately instead of waiting out the 1 s poll below.
+        proxy.set_resolver(std::sync::Arc::new(move || read_upstream_file(&path)));
+    }
     eprintln!(
         "faultproxy listening on {} -> {initial} (plan {:?})",
         proxy.local_addr(),

@@ -66,6 +66,11 @@ pub enum ClientError {
     /// and lost its job table. Healable by resubmitting (submission is
     /// idempotent), unlike a genuine [`ClientError::Rejected`].
     UnknownJob(String),
+    /// A `dtnfedd` coordinator in degraded (quorum-lost) mode reports
+    /// this point's owning shard unreachable. Per-point, not fatal to
+    /// the sweep: [`crate::ResilientClient::collect_available`] records
+    /// the point as missing and drains the rest.
+    Unreachable(String),
     /// The daemon answered with a frame the protocol does not allow
     /// here (bad JSON, missing fields, unexpected type).
     Protocol(String),
@@ -87,6 +92,9 @@ impl fmt::Display for ClientError {
             ),
             ClientError::UnknownJob(msg) => {
                 write!(f, "daemon does not know this job (did it restart?): {msg}")
+            }
+            ClientError::Unreachable(msg) => {
+                write!(f, "point owned by an unreachable shard (degraded federation): {msg}")
             }
             ClientError::Protocol(msg) => write!(f, "{msg}"),
         }
@@ -171,11 +179,28 @@ fn daemon_error(response: &Value) -> ClientError {
             ClientError::Transport(io::Error::new(io::ErrorKind::InvalidData, message))
         }
         Some("unknown_job") => ClientError::UnknownJob(message),
+        Some("unreachable") => ClientError::Unreachable(message),
         _ => ClientError::Rejected(message),
     }
 }
 
-/// A connection to a `dtnsimd` daemon.
+/// A backpressure answer: the daemon (or the `dtnfedd` coordinator)
+/// turned the submit away but invited a retry. The retriable reasons
+/// are `queue_full` (bounded queue at capacity), `draining` (worker
+/// being drained from a federation), `degraded` (coordinator below
+/// quorum), and `no_workers` (coordinator momentarily has no routable
+/// shard) — all transient states a bounded retry rides out.
+#[derive(Clone, Debug)]
+pub struct Backpressure {
+    /// The daemon's floor on when to come back.
+    pub retry_after_ms: u64,
+    /// Which transient state caused the rejection.
+    pub reason: String,
+}
+
+/// A connection to a `dtnsimd` daemon (or a `dtnfedd` coordinator —
+/// the coordinator speaks the same client-facing protocol, so every
+/// method here works unchanged against a federation).
 pub struct Client {
     stream: TcpStream,
 }
@@ -209,11 +234,21 @@ impl Client {
         Value::parse(&raw).map_err(|e| ClientError::Protocol(format!("bad response: {e}")))
     }
 
+    /// Set (or clear) the socket read timeout. A request that times out
+    /// leaves the connection desynchronized — the response may still
+    /// arrive later — so after any timeout error the connection must be
+    /// discarded, not reused. The coordinator's hedging path uses this
+    /// to bound a blocking `result wait:true` at the hedge deadline.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
     /// Raw request/response, returning the response frame verbatim.
     /// Result fragments must be sliced out of this exact string, so the
     /// typed [`Client::request`] path (which re-parses) cannot serve
-    /// them.
-    fn request_raw(&mut self, payload: &str) -> Result<String, ClientError> {
+    /// them. Crate-visible: the coordinator relays worker frames
+    /// verbatim through this.
+    pub(crate) fn request_raw(&mut self, payload: &str) -> Result<String, ClientError> {
         write_frame(&mut self.stream, payload).map_err(ClientError::Transport)?;
         read_frame(&mut self.stream)
             .map_err(ClientError::Transport)?
@@ -226,12 +261,13 @@ impl Client {
     }
 
     /// One submit round-trip: `Ok(Ok(ticket))` on admission,
-    /// `Ok(Err(retry_after_ms))` on `queue_full` backpressure (retry is
-    /// the caller's decision), any other answer an error.
+    /// `Ok(Err(backpressure))` on a retriable rejection (`queue_full`,
+    /// `draining`, `degraded`, `no_workers` — retry is the caller's
+    /// decision), any other answer an error.
     pub fn submit_once(
         &mut self,
         job: &PointJob,
-    ) -> Result<Result<SubmitTicket, u64>, ClientError> {
+    ) -> Result<Result<SubmitTicket, Backpressure>, ClientError> {
         let payload = format!(
             "{{\"type\":\"submit\",\"job\":{}}}",
             job.to_canonical_json()
@@ -254,13 +290,22 @@ impl Client {
                     .get("reason")
                     .and_then(Value::as_str)
                     .unwrap_or("unspecified");
-                if reason != "queue_full" {
+                if reason == "unreachable" {
+                    return Err(ClientError::Unreachable(reason.to_string()));
+                }
+                if !matches!(
+                    reason,
+                    "queue_full" | "draining" | "degraded" | "no_workers"
+                ) {
                     return Err(ClientError::Rejected(reason.to_string()));
                 }
-                Ok(Err(response
-                    .get("retry_after_ms")
-                    .and_then(Value::as_u64)
-                    .unwrap_or(250)))
+                Ok(Err(Backpressure {
+                    retry_after_ms: response
+                        .get("retry_after_ms")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(250),
+                    reason: reason.to_string(),
+                }))
             }
             Some("error") => Err(daemon_error(&response)),
             other => Err(ClientError::Protocol(format!(
@@ -269,9 +314,11 @@ impl Client {
         }
     }
 
-    /// Submit a job under `policy`: `queue_full` answers are retried
-    /// with jittered exponential backoff until admitted, the attempt
-    /// cap is hit, or the deadline passes.
+    /// Submit a job under `policy`: retriable rejections (`queue_full`,
+    /// `draining`, `degraded`, `no_workers`) are retried with jittered
+    /// exponential backoff — honoring the daemon's `retry_after_ms`
+    /// hint as a *floor*, never an exact wait — until admitted, the
+    /// attempt cap is hit, or the deadline passes.
     pub fn submit_with_policy(
         &mut self,
         job: &PointJob,
@@ -283,17 +330,21 @@ impl Client {
         loop {
             match self.submit_once(job)? {
                 Ok(ticket) => return Ok(ticket),
-                Err(retry_after_ms) => {
+                Err(backpressure) => {
                     let capped = policy.max_retries.is_some_and(|cap| attempts >= cap);
                     let overdue = policy.deadline.is_some_and(|d| started.elapsed() >= d);
                     if capped || overdue {
                         return Err(ClientError::Exhausted {
                             attempts: attempts + 1,
                             elapsed: started.elapsed(),
-                            last_reason: "queue_full".into(),
+                            last_reason: backpressure.reason,
                         });
                     }
-                    std::thread::sleep(policy.backoff(attempts, retry_after_ms, &mut rng));
+                    std::thread::sleep(policy.backoff(
+                        attempts,
+                        backpressure.retry_after_ms,
+                        &mut rng,
+                    ));
                     attempts += 1;
                 }
             }

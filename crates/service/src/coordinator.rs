@@ -1,0 +1,1403 @@
+//! The `dtnfedd` coordinator: a fault-tolerant front for N `dtnsimd`
+//! worker daemons.
+//!
+//! The coordinator speaks the **same client-facing wire protocol** as a
+//! single daemon — `submit`/`status`/`result`/`cancel`/`stats`/
+//! `shutdown` — so `dtnsim --connect`, [`crate::Client`], and
+//! [`crate::ResilientClient`] work against a federation unchanged. Jobs
+//! route to workers by consistent hashing over their content address
+//! ([`crate::job_key`], see [`crate::membership`]), which keeps every
+//! job's cache entry shard-local: resubmitting a job lands on the same
+//! worker and replays its cached fragment byte-identically.
+//!
+//! Robustness is the headline, and every mechanism leans on the same
+//! invariant the resilient client uses: **submission is idempotent and
+//! results are deterministic**, so a job may be dispatched to any
+//! number of workers, any number of times, and whichever completion is
+//! served first is bit-identical to all the others.
+//!
+//! * **Health checking** — a prober thread heartbeats every shard on a
+//!   jittered interval (seeded [`SimRng`] sub-stream, so schedules are
+//!   reproducible), with exponential probe backoff for dead shards.
+//!   The state machine lives in [`crate::membership`]; transport
+//!   failures on real job traffic feed the same failure counters, so a
+//!   dying worker is detected by whichever path touches it first.
+//! * **Failover** — when a shard crosses into `Dead`, its unfinished
+//!   jobs are re-dispatched to the next live owner on the ring
+//!   (eagerly, so queued work resumes before any client asks for it);
+//!   a fetch that hits a dead shard re-routes lazily as well. Either
+//!   way the re-dispatch is a plain resubmit — duplicated completions
+//!   dedupe for free under content addressing.
+//! * **Hedging** — a `result wait:true` that outlives a p99-derived
+//!   deadline (`hedge_factor` × observed p99 completion latency,
+//!   floored at `hedge_min_ms`) dispatches the point to a second shard
+//!   and polls both; the first completion wins. Stragglers cost one
+//!   redundant computation, never a stalled sweep.
+//! * **Graceful degradation** — below `quorum` routable shards the
+//!   coordinator stops re-spreading work (a thundering failover onto
+//!   the survivors is how one loss becomes an outage): points whose
+//!   ring-primary owner is still up drain normally, points owned by
+//!   dead shards answer a structured `unreachable` rejection, and the
+//!   client reports them missing (`ResilientClient::collect_available`)
+//!   instead of hanging — "drain what's reachable, report what's
+//!   missing".
+
+use crate::cache::{job_key, ENGINE_VERSION};
+use crate::client::{Client, ClientError};
+use crate::json::{escape, Value};
+use crate::membership::{Membership, ShardHealth, Transition};
+use crate::wire::{
+    extract_fragment, is_bad_frame, is_timeout, job_from_value, read_frame_deadline, write_frame,
+};
+use dtn_sim::telemetry::{self, AtomicHistogram, Clock, Counter, Gauge, MonotonicClock};
+use dtn_sim::SimRng;
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sub-stream salt for the heartbeat jitter RNG (same address-space
+/// convention as the client/proxy fault salts).
+const PROBE_SALT: u64 = 0xFA01_7000_0003_0000;
+
+/// Floor on any single blocking wait against a worker, so a hedge
+/// deadline already in the past still makes a real request.
+const MIN_WAIT_QUANTUM_MS: u64 = 50;
+
+/// Poll quantum per shard once a point is hedged (the loop alternates
+/// between the two owners).
+const HEDGED_POLL_QUANTUM_MS: u64 = 250;
+
+/// Sleep between re-route attempts while no shard is routable.
+const UNROUTABLE_RETRY_MS: u64 = 100;
+
+/// Coordinator tuning knobs.
+#[derive(Clone, Debug)]
+pub struct CoordinatorConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Initial worker daemon addresses (more can `register` later).
+    pub workers: Vec<String>,
+    /// Heartbeat probe interval (jittered to `[interval/2, interval]`).
+    pub heartbeat_interval_ms: u64,
+    /// Per-probe connect/read budget; also bounds worker submits.
+    pub probe_timeout_ms: u64,
+    /// Consecutive failures before a shard turns Suspect.
+    pub suspect_after: u32,
+    /// Consecutive failures before a shard turns Dead (fires failover).
+    pub dead_after: u32,
+    /// Hedge deadline floor.
+    pub hedge_min_ms: u64,
+    /// Hedge deadline = this × observed p99 completion latency.
+    pub hedge_factor: f64,
+    /// Routable fraction below which degraded partial-sweep mode kicks
+    /// in (no re-spreading; unreachable points answer structured
+    /// rejections instead of failing over).
+    pub quorum: f64,
+    /// Ring points per shard (see [`Membership`]).
+    pub virtual_nodes: usize,
+    /// Backpressure hint for coordinator-side rejections.
+    pub retry_after_ms: u64,
+    /// How long a `result wait:true` rides out a total outage (no
+    /// routable shard) before answering `unreachable`.
+    pub unreachable_grace_ms: u64,
+    /// Slowloris guard for client request frames (see [`crate::daemon`]).
+    pub frame_deadline_ms: Option<u64>,
+    /// Idle client connection timeout.
+    pub idle_timeout_secs: Option<u64>,
+    /// Client socket write timeout.
+    pub write_timeout_secs: Option<u64>,
+    /// Seed for the probe-jitter RNG sub-stream.
+    pub seed: u64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> CoordinatorConfig {
+        CoordinatorConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: Vec::new(),
+            heartbeat_interval_ms: 250,
+            probe_timeout_ms: 2_000,
+            suspect_after: 2,
+            dead_after: 4,
+            hedge_min_ms: 2_000,
+            hedge_factor: 4.0,
+            quorum: 0.5,
+            virtual_nodes: 64,
+            retry_after_ms: 250,
+            unreachable_grace_ms: 60_000,
+            frame_deadline_ms: Some(10_000),
+            idle_timeout_secs: Some(300),
+            write_timeout_secs: Some(30),
+            seed: 0,
+        }
+    }
+}
+
+/// Telemetry handles for the federation counter families on `/metrics`.
+struct FedMetrics {
+    connections: Counter,
+    submitted: Counter,
+    completed: Counter,
+    failovers: Counter,
+    hedges: Counter,
+    redispatches: Counter,
+    rejected_no_workers: Counter,
+    rejected_unreachable: Counter,
+    probes_ok: Counter,
+    probes_failed: Counter,
+    latency: Arc<AtomicHistogram>,
+    inflight: Gauge,
+}
+
+impl FedMetrics {
+    fn register() -> FedMetrics {
+        let reg = telemetry::global();
+        let rejections = |reason| {
+            reg.counter(
+                "dtnfedd_rejections_total",
+                "coordinator-side submit rejections",
+                reason,
+            )
+        };
+        let probes =
+            |result| reg.counter("dtnfedd_probes_total", "heartbeat probe outcomes", result);
+        FedMetrics {
+            connections: reg.counter(
+                "dtnfedd_connections_total",
+                "accepted client connections",
+                &[],
+            ),
+            submitted: reg.counter("dtnfedd_submitted_total", "jobs admitted and routed", &[]),
+            completed: reg.counter(
+                "dtnfedd_completed_total",
+                "jobs whose result was served",
+                &[],
+            ),
+            failovers: reg.counter(
+                "dtnfedd_failovers_total",
+                "jobs moved off a dead/unreachable shard",
+                &[],
+            ),
+            hedges: reg.counter(
+                "dtnfedd_hedges_total",
+                "straggler points dispatched to a second shard",
+                &[],
+            ),
+            redispatches: reg.counter(
+                "dtnfedd_redispatches_total",
+                "job re-submissions of any kind (failover + hedge + error retry)",
+                &[],
+            ),
+            rejected_no_workers: rejections(&[("reason", "no_workers")]),
+            rejected_unreachable: rejections(&[("reason", "unreachable")]),
+            probes_ok: probes(&[("result", "ok")]),
+            probes_failed: probes(&[("result", "fail")]),
+            latency: reg.histogram(
+                "dtnfedd_point_seconds",
+                "dispatch-to-served latency per point (the hedge deadline's p99 source)",
+                &[],
+            ),
+            inflight: reg.gauge(
+                "dtnfedd_inflight_jobs",
+                "jobs dispatched but not yet served",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Per-shard telemetry handles, registered as shards join. Label values
+/// leak (the registry wants `'static`), which is fine for a bounded
+/// worker set.
+struct ShardSeries {
+    completed: Counter,
+    healthy: Gauge,
+}
+
+fn register_shard_series(addr: &str) -> ShardSeries {
+    let reg = telemetry::global();
+    let label: &'static str = Box::leak(addr.to_string().into_boxed_str());
+    let labels: &'static [(&'static str, &'static str)] =
+        Box::leak(vec![("shard", label)].into_boxed_slice());
+    ShardSeries {
+        completed: reg.counter(
+            "dtnfedd_shard_completed_total",
+            "results served through this shard",
+            labels,
+        ),
+        healthy: reg.gauge(
+            "dtnfedd_shard_routable",
+            "1 when this shard accepts new work (alive/suspect), else 0",
+            labels,
+        ),
+    }
+}
+
+/// A tracked point: everything needed to re-dispatch it anywhere.
+struct FedJob {
+    /// Canonical job document (resubmission payload; its hash is the id).
+    canonical: String,
+    /// Current owner (index into the membership table).
+    shard: usize,
+    /// Hedge owner while a straggler is raced on two shards.
+    hedge: Option<usize>,
+    /// Dispatch timestamp (telemetry epoch nanos) for latency + hedging.
+    dispatched_nanos: u64,
+    /// A result has been served (attribution recorded; refetches are
+    /// served without re-counting).
+    done: bool,
+    /// Worker-side job failures retried on another shard so far.
+    error_retries: u32,
+}
+
+struct FedShared {
+    config: CoordinatorConfig,
+    local_addr: std::net::SocketAddr,
+    membership: Mutex<Membership>,
+    /// Lock order: never acquire `membership` while holding `jobs`.
+    jobs: Mutex<HashMap<String, FedJob>>,
+    shard_series: Mutex<Vec<ShardSeries>>,
+    shutting_down: AtomicBool,
+    started: Instant,
+    metrics: FedMetrics,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failovers: AtomicU64,
+    hedges: AtomicU64,
+    redispatches: AtomicU64,
+    rejected_no_workers: AtomicU64,
+    rejected_unreachable: AtomicU64,
+    probes_ok: AtomicU64,
+    probes_failed: AtomicU64,
+    inflight: AtomicU64,
+}
+
+/// A running coordinator: accept loop, health prober, and the handles
+/// to join them.
+pub struct Coordinator {
+    shared: Arc<FedShared>,
+    local_addr: std::net::SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Bind, register the initial workers, and start the accept loop
+    /// and health prober. Returns as soon as the listener is live.
+    pub fn spawn(config: CoordinatorConfig) -> std::io::Result<Coordinator> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let mut membership = Membership::new(
+            config.virtual_nodes,
+            config.suspect_after,
+            config.dead_after,
+        );
+        let mut series = Vec::new();
+        for addr in &config.workers {
+            if membership.add(addr).is_some() {
+                series.push(register_shard_series(addr));
+            }
+        }
+        let shared = Arc::new(FedShared {
+            config: config.clone(),
+            local_addr,
+            membership: Mutex::new(membership),
+            jobs: Mutex::new(HashMap::new()),
+            shard_series: Mutex::new(series),
+            shutting_down: AtomicBool::new(false),
+            started: Instant::now(),
+            metrics: FedMetrics::register(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            redispatches: AtomicU64::new(0),
+            rejected_no_workers: AtomicU64::new(0),
+            rejected_unreachable: AtomicU64::new(0),
+            probes_ok: AtomicU64::new(0),
+            probes_failed: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+        });
+        register_fed_gauges(&shared);
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dtnfedd-accept".to_string())
+                .spawn(move || accept_loop(listener, &shared))
+                .expect("spawn accept loop")
+        };
+        let prober = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dtnfedd-prober".to_string())
+                .spawn(move || health_loop(&shared))
+                .expect("spawn health prober")
+        };
+        Ok(Coordinator {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            prober: Some(prober),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Wait for shutdown: accept loop gone, prober joined.
+    pub fn join(mut self) -> std::io::Result<()> {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+        Ok(())
+    }
+
+    /// Request shutdown in-process. Does **not** shut the workers down
+    /// (the wire `shutdown` request does, so one `--daemon-shutdown`
+    /// against the coordinator stops the whole federation).
+    pub fn request_shutdown(&self) {
+        begin_shutdown(&self.shared, false);
+    }
+}
+
+/// Scrape-time hook: per-state worker counts and per-shard routability.
+fn register_fed_gauges(shared: &Arc<FedShared>) {
+    let reg = telemetry::global();
+    let by_state: Vec<(ShardHealth, Gauge)> = [
+        ShardHealth::Alive,
+        ShardHealth::Suspect,
+        ShardHealth::Dead,
+        ShardHealth::Draining,
+    ]
+    .into_iter()
+    .map(|health| {
+        let labels: &'static [(&'static str, &'static str)] = match health {
+            ShardHealth::Alive => &[("state", "alive")],
+            ShardHealth::Suspect => &[("state", "suspect")],
+            ShardHealth::Dead => &[("state", "dead")],
+            ShardHealth::Draining => &[("state", "draining")],
+        };
+        (
+            health,
+            reg.gauge(
+                "dtnfedd_workers",
+                "registered workers by health state",
+                labels,
+            ),
+        )
+    })
+    .collect();
+    let hedge_g = reg.gauge(
+        "dtnfedd_hedge_deadline_ms",
+        "current p99-derived straggler deadline",
+        &[],
+    );
+    let hook_shared = Arc::clone(shared);
+    reg.register_refresh("dtnfedd_derived_gauges", move || {
+        let m = hook_shared.membership.lock().expect("membership poisoned");
+        for (health, gauge) in &by_state {
+            let n = m.shards().iter().filter(|s| s.health == *health).count();
+            gauge.set(n as f64);
+        }
+        let series = hook_shared.shard_series.lock().expect("series poisoned");
+        for (shard, handles) in m.shards().iter().zip(series.iter()) {
+            handles
+                .healthy
+                .set(if shard.health.routable() { 1.0 } else { 0.0 });
+        }
+        drop(series);
+        drop(m);
+        hedge_g.set(hedge_deadline_ms(&hook_shared) as f64);
+    });
+}
+
+/// Trip the shutdown flag and poke the accept loop; with `fan_out`,
+/// also forward `shutdown` to every registered worker (best-effort).
+fn begin_shutdown(shared: &Arc<FedShared>, fan_out: bool) {
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(shared.local_addr);
+    if !fan_out {
+        return;
+    }
+    let addrs: Vec<String> = {
+        let m = shared.membership.lock().expect("membership poisoned");
+        m.shards().iter().map(|s| s.addr.clone()).collect()
+    };
+    for addr in addrs {
+        if let Ok(mut client) = Client::connect(&addr) {
+            let _ = client.shutdown();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<FedShared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.metrics.connections.inc();
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("dtnfedd-conn".to_string())
+            .spawn(move || serve_connection(stream, &shared));
+    }
+}
+
+/// Lazily-dialed worker connections, one pool per client connection
+/// thread (the protocol is strict request/response, so a pool per
+/// thread never interleaves frames). A request that times out poisons
+/// its connection — the worker's reply may still arrive — so timed-out
+/// connections are dropped, never reused.
+struct ShardConns {
+    conns: HashMap<String, Client>,
+}
+
+impl ShardConns {
+    fn new() -> ShardConns {
+        ShardConns {
+            conns: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, addr: &str) -> std::io::Result<&mut Client> {
+        if !self.conns.contains_key(addr) {
+            let client = Client::connect(addr)?;
+            self.conns.insert(addr.to_string(), client);
+        }
+        Ok(self.conns.get_mut(addr).expect("just inserted"))
+    }
+
+    fn drop_conn(&mut self, addr: &str) {
+        self.conns.remove(addr);
+    }
+}
+
+/// One worker round-trip with a read deadline. Any error drops the
+/// connection (transport failures obviously; timeouts because the
+/// frame stream is desynchronized).
+fn worker_request(
+    conns: &mut ShardConns,
+    addr: &str,
+    payload: &str,
+    timeout: Duration,
+) -> Result<String, std::io::Error> {
+    let client = conns.get(addr)?;
+    client.set_read_timeout(Some(timeout))?;
+    match client.request_raw(payload) {
+        Ok(raw) => Ok(raw),
+        Err(ClientError::Transport(e)) => {
+            conns.drop_conn(addr);
+            Err(e)
+        }
+        Err(other) => {
+            conns.drop_conn(addr);
+            Err(std::io::Error::other(other.to_string()))
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Arc<FedShared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(shared.config.write_timeout_secs.map(Duration::from_secs));
+    let idle = shared.config.idle_timeout_secs.map(Duration::from_secs);
+    let frame_deadline = shared.config.frame_deadline_ms.map(Duration::from_millis);
+    let mut conns = ShardConns::new();
+    loop {
+        let raw = match read_frame_deadline(&mut stream, idle, frame_deadline) {
+            Ok(Some(raw)) => raw,
+            Ok(None) => return,
+            Err(e) if is_bad_frame(&e) => {
+                let reject = format!(
+                    "{{\"type\":\"error\",\"code\":\"bad_frame\",\"message\":\"{}\"}}",
+                    escape(&e.to_string())
+                );
+                let _ = write_frame(&mut stream, &reject);
+                return;
+            }
+            Err(_) => return,
+        };
+        let response = match Value::parse(&raw) {
+            Ok(request) => {
+                if request.get("type").and_then(Value::as_str) == Some("shutdown") {
+                    // Ack before tripping the flag, exactly like the
+                    // daemon: the requester must see its answer.
+                    let ack = format!(
+                        "{{\"type\":\"shutdown\",\"draining\":{}}}",
+                        shared.inflight.load(Ordering::Relaxed)
+                    );
+                    if write_frame(&mut stream, &ack).is_err() {
+                        return;
+                    }
+                    begin_shutdown(shared, true);
+                    continue;
+                }
+                handle_request(shared, &mut conns, &request)
+            }
+            Err(e) => error_response(&format!("bad request: {e}")),
+        };
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn error_response(message: &str) -> String {
+    format!("{{\"type\":\"error\",\"message\":\"{}\"}}", escape(message))
+}
+
+fn handle_request(shared: &Arc<FedShared>, conns: &mut ShardConns, request: &Value) -> String {
+    match request.get("type").and_then(Value::as_str) {
+        Some("submit") => handle_submit(shared, conns, request),
+        Some("status") => handle_status(shared, conns, request),
+        Some("result") => handle_result(shared, conns, request),
+        Some("cancel") => handle_cancel(shared, conns, request),
+        Some("stats") => handle_stats(shared),
+        Some("register") => handle_register(shared, request),
+        Some("drain") => handle_drain(shared, conns, request),
+        other => error_response(&format!("unknown request type {other:?}")),
+    }
+}
+
+fn probe_timeout(shared: &FedShared) -> Duration {
+    Duration::from_millis(shared.config.probe_timeout_ms.max(100))
+}
+
+/// The straggler deadline: `hedge_factor` × observed p99 completion
+/// latency once enough points have landed, floored at `hedge_min_ms`.
+fn hedge_deadline_ms(shared: &FedShared) -> u64 {
+    let floor = shared.config.hedge_min_ms.max(MIN_WAIT_QUANTUM_MS);
+    let snap = shared.metrics.latency.snapshot();
+    if snap.count < 16 {
+        return floor;
+    }
+    match snap.quantile(0.99) {
+        Some(p99) if p99.is_finite() && p99 > 0.0 => {
+            ((p99 * 1000.0 * shared.config.hedge_factor) as u64).max(floor)
+        }
+        _ => floor,
+    }
+}
+
+/// Record a transport-level failure against shard `index`; on the
+/// Died edge, eagerly re-dispatch its unfinished jobs.
+fn note_shard_failure(shared: &Arc<FedShared>, conns: &mut ShardConns, index: usize) {
+    let (transition, addr) = {
+        let mut m = shared.membership.lock().expect("membership poisoned");
+        (m.mark_failure(index), m.shards()[index].addr.clone())
+    };
+    if transition == Transition::Died {
+        eprintln!("dtnfedd: shard {addr} declared dead; re-dispatching its jobs");
+        redispatch_dead(shared, conns, index);
+    }
+}
+
+/// Move every unfinished job owned by `dead` to the next live owner on
+/// the ring and resubmit it there (best-effort — a failed resubmit is
+/// healed by the fetch loop's `unknown_job` path). Jobs already hedged
+/// onto a live shard are promoted instead of re-spread.
+fn redispatch_dead(shared: &Arc<FedShared>, conns: &mut ShardConns, dead: usize) {
+    struct Move {
+        id: String,
+        canonical: String,
+        addr: String,
+        resubmit: bool,
+    }
+    let moves: Vec<Move> = {
+        let m = shared.membership.lock().expect("membership poisoned");
+        if m.quorum_lost(shared.config.quorum) {
+            // Degraded mode: no re-spreading onto the survivors — the
+            // affected points answer `unreachable` until quorum
+            // returns (or their shard revives).
+            return;
+        }
+        let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+        jobs.iter_mut()
+            .filter(|(_, job)| !job.done && (job.shard == dead || job.hedge == Some(dead)))
+            .filter_map(|(id, job)| {
+                if job.hedge == Some(dead) {
+                    job.hedge = None;
+                    return None;
+                }
+                // Promote a live hedge rather than picking a new owner:
+                // the hedge shard is already computing this point.
+                if let Some(hedge) = job.hedge.take() {
+                    if m.shards()[hedge].health.routable() {
+                        job.shard = hedge;
+                        return Some(Move {
+                            id: id.clone(),
+                            canonical: String::new(),
+                            addr: String::new(),
+                            resubmit: false,
+                        });
+                    }
+                }
+                let target = m.route_excluding(id, dead)?;
+                job.shard = target;
+                Some(Move {
+                    id: id.clone(),
+                    canonical: job.canonical.clone(),
+                    addr: m.shards()[target].addr.clone(),
+                    resubmit: true,
+                })
+            })
+            .collect()
+    };
+    if moves.is_empty() {
+        return;
+    }
+    let n = moves.len() as u64;
+    shared.failovers.fetch_add(n, Ordering::Relaxed);
+    shared.metrics.failovers.add(n);
+    let timeout = probe_timeout(shared);
+    for mv in &moves {
+        if !mv.resubmit {
+            continue;
+        }
+        shared.redispatches.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.redispatches.inc();
+        let payload = format!("{{\"type\":\"submit\",\"job\":{}}}", mv.canonical);
+        let _ = worker_request(conns, &mv.addr, &payload, timeout);
+        let _ = mv.id;
+    }
+}
+
+fn handle_submit(shared: &Arc<FedShared>, conns: &mut ShardConns, request: &Value) -> String {
+    let Some(job_doc) = request.get("job") else {
+        return error_response("submit without a job document");
+    };
+    let job = match job_from_value(job_doc) {
+        Ok(job) => job,
+        Err(e) => return error_response(&format!("invalid job: {e}")),
+    };
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return format!(
+            "{{\"type\":\"rejected\",\"reason\":\"shutting_down\",\
+             \"retry_after_ms\":{},\"queue_depth\":0}}",
+            shared.config.retry_after_ms
+        );
+    }
+    let canonical = job.to_canonical_json();
+    let key = job_key(&canonical);
+
+    let mut attempts = 0usize;
+    loop {
+        // Pick the owner: a tracked job keeps its (routable) assignee so
+        // failover decisions stick; otherwise the ring decides. Under
+        // quorum loss only ring-primary owners are used — no spreading.
+        let routed = {
+            let m = shared.membership.lock().expect("membership poisoned");
+            if m.routable_count() == 0 {
+                None
+            } else if m.quorum_lost(shared.config.quorum) {
+                match m.route(&key) {
+                    // In degraded mode route() still finds a live shard,
+                    // but only accept keys whose *healthy-ring* owner
+                    // is the same shard the key would hash to anyway —
+                    // approximated by: accept only if the first ring
+                    // owner overall is routable.
+                    Some(owner) => {
+                        let jobs = shared.jobs.lock().expect("jobs poisoned");
+                        let assigned = jobs.get(&key).map(|j| j.shard);
+                        drop(jobs);
+                        match assigned {
+                            Some(s) if m.shards()[s].health.routable() => {
+                                Some((s, m.shards()[s].addr.clone()))
+                            }
+                            Some(_) => {
+                                // Its owner is down and we will not
+                                // re-spread: report it missing.
+                                return reject_unreachable(shared, &key);
+                            }
+                            None => Some((owner, m.shards()[owner].addr.clone())),
+                        }
+                    }
+                    None => None,
+                }
+            } else {
+                let jobs = shared.jobs.lock().expect("jobs poisoned");
+                let assigned = jobs.get(&key).map(|j| j.shard);
+                drop(jobs);
+                match assigned {
+                    Some(s) if m.shards()[s].health.routable() => {
+                        Some((s, m.shards()[s].addr.clone()))
+                    }
+                    _ => m
+                        .route(&key)
+                        .map(|owner| (owner, m.shards()[owner].addr.clone())),
+                }
+            }
+        };
+        let Some((target, addr)) = routed else {
+            shared.rejected_no_workers.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.rejected_no_workers.inc();
+            return format!(
+                "{{\"type\":\"rejected\",\"reason\":\"no_workers\",\
+                 \"retry_after_ms\":{},\"queue_depth\":0}}",
+                shared.config.retry_after_ms
+            );
+        };
+
+        let payload = format!("{{\"type\":\"submit\",\"job\":{canonical}}}");
+        match worker_request(conns, &addr, &payload, probe_timeout(shared)) {
+            Ok(raw) => {
+                let accepted = Value::parse(&raw)
+                    .ok()
+                    .map(|v| v.get("type").and_then(Value::as_str) == Some("accepted"))
+                    .unwrap_or(false);
+                if accepted {
+                    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+                    let entry = jobs.entry(key.clone()).or_insert_with(|| {
+                        shared.submitted.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.submitted.inc();
+                        shared.inflight.fetch_add(1, Ordering::Relaxed);
+                        FedJob {
+                            canonical: canonical.clone(),
+                            shard: target,
+                            hedge: None,
+                            dispatched_nanos: MonotonicClock::now_nanos(),
+                            done: false,
+                            error_retries: 0,
+                        }
+                    });
+                    entry.shard = target;
+                    shared
+                        .metrics
+                        .inflight
+                        .set(shared.inflight.load(Ordering::Relaxed) as f64);
+                }
+                // Relay the worker's answer verbatim: accepted carries
+                // the identical content-addressed job_id (both sides
+                // re-render the same canonical document), and rejected
+                // carries the worker's own backpressure hint.
+                return raw;
+            }
+            Err(_) => {
+                note_shard_failure(shared, conns, target);
+                attempts += 1;
+                let shard_count = { shared.membership.lock().expect("membership poisoned").len() };
+                if attempts >= shard_count.max(1) {
+                    shared.rejected_no_workers.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.rejected_no_workers.inc();
+                    return format!(
+                        "{{\"type\":\"rejected\",\"reason\":\"no_workers\",\
+                         \"retry_after_ms\":{},\"queue_depth\":0}}",
+                        shared.config.retry_after_ms
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn reject_unreachable(shared: &Arc<FedShared>, key: &str) -> String {
+    shared.rejected_unreachable.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.rejected_unreachable.inc();
+    format!(
+        "{{\"type\":\"rejected\",\"reason\":\"unreachable\",\
+         \"job_id\":\"{}\",\"retry_after_ms\":0,\"queue_depth\":0}}",
+        escape(key)
+    )
+}
+
+fn unreachable_error(id: &str) -> String {
+    format!(
+        "{{\"type\":\"error\",\"code\":\"unreachable\",\"message\":\
+         \"point {} is owned by an unreachable shard (quorum lost; partial sweep)\"}}",
+        escape(id)
+    )
+}
+
+fn job_id_of(request: &Value) -> Result<String, String> {
+    request
+        .get("job_id")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| "missing job_id".to_string())
+}
+
+fn handle_status(shared: &Arc<FedShared>, conns: &mut ShardConns, request: &Value) -> String {
+    let id = match job_id_of(request) {
+        Ok(id) => id,
+        Err(e) => return error_response(&e),
+    };
+    let addr = {
+        let jobs = shared.jobs.lock().expect("jobs poisoned");
+        let Some(job) = jobs.get(&id) else {
+            return format!(
+                "{{\"type\":\"status\",\"job_id\":\"{}\",\"state\":\"unknown\"}}",
+                escape(&id)
+            );
+        };
+        let shard = job.shard;
+        drop(jobs);
+        let m = shared.membership.lock().expect("membership poisoned");
+        m.shards()[shard].addr.clone()
+    };
+    let payload = format!("{{\"type\":\"status\",\"job_id\":\"{}\"}}", escape(&id));
+    match worker_request(conns, &addr, &payload, probe_timeout(shared)) {
+        Ok(raw) => raw,
+        // The owner is unreachable right now; the job is effectively
+        // queued again (failover will re-dispatch it).
+        Err(_) => format!(
+            "{{\"type\":\"status\",\"job_id\":\"{}\",\"state\":\"queued\"}}",
+            escape(&id)
+        ),
+    }
+}
+
+fn handle_cancel(shared: &Arc<FedShared>, conns: &mut ShardConns, request: &Value) -> String {
+    let id = match job_id_of(request) {
+        Ok(id) => id,
+        Err(e) => return error_response(&e),
+    };
+    let addr = {
+        let jobs = shared.jobs.lock().expect("jobs poisoned");
+        let Some(job) = jobs.get(&id) else {
+            return format!(
+                "{{\"type\":\"cancelled\",\"job_id\":\"{}\",\"cancelled\":false}}",
+                escape(&id)
+            );
+        };
+        let shard = job.shard;
+        drop(jobs);
+        let m = shared.membership.lock().expect("membership poisoned");
+        m.shards()[shard].addr.clone()
+    };
+    let payload = format!("{{\"type\":\"cancel\",\"job_id\":\"{}\"}}", escape(&id));
+    match worker_request(conns, &addr, &payload, probe_timeout(shared)) {
+        Ok(raw) => raw,
+        Err(_) => format!(
+            "{{\"type\":\"cancelled\",\"job_id\":\"{}\",\"cancelled\":false}}",
+            escape(&id)
+        ),
+    }
+}
+
+/// What one blocking fetch against a worker produced.
+enum FetchStep {
+    /// The worker's verbatim `result` frame (relay as-is).
+    Done(String),
+    /// The worker lost its job table (restart) — resubmit, idempotent.
+    Unknown,
+    /// The worker reports the job itself failed.
+    Failed(String),
+    /// The read deadline expired — the worker is alive but the point
+    /// is a straggler (or still queued behind others).
+    TimedOut,
+    /// The connection died — the worker is gone.
+    Transport,
+}
+
+fn fetch_step(conns: &mut ShardConns, addr: &str, id: &str, timeout: Duration) -> FetchStep {
+    let payload = format!(
+        "{{\"type\":\"result\",\"job_id\":\"{}\",\"wait\":true}}",
+        escape(id)
+    );
+    match worker_request(conns, addr, &payload, timeout) {
+        Ok(raw) => {
+            if extract_fragment(&raw).is_some() {
+                return FetchStep::Done(raw);
+            }
+            let Ok(parsed) = Value::parse(&raw) else {
+                return FetchStep::Failed(format!("unparseable worker response: {raw}"));
+            };
+            if parsed.get("type").and_then(Value::as_str) == Some("error") {
+                if parsed.get("code").and_then(Value::as_str) == Some("unknown_job") {
+                    return FetchStep::Unknown;
+                }
+                return FetchStep::Failed(
+                    parsed
+                        .get("message")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unspecified worker error")
+                        .to_string(),
+                );
+            }
+            FetchStep::Failed(format!("unexpected worker response: {raw}"))
+        }
+        Err(e) if is_timeout(&e) => FetchStep::TimedOut,
+        Err(_) => FetchStep::Transport,
+    }
+}
+
+/// Resubmit a tracked job to `addr` (idempotent; used after
+/// `unknown_job` and when arming a hedge).
+fn resubmit(shared: &Arc<FedShared>, conns: &mut ShardConns, addr: &str, canonical: &str) -> bool {
+    shared.redispatches.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.redispatches.inc();
+    let payload = format!("{{\"type\":\"submit\",\"job\":{canonical}}}");
+    worker_request(conns, addr, &payload, probe_timeout(shared)).is_ok()
+}
+
+fn handle_result(shared: &Arc<FedShared>, conns: &mut ShardConns, request: &Value) -> String {
+    let id = match job_id_of(request) {
+        Ok(id) => id,
+        Err(e) => return error_response(&e),
+    };
+    let wait = request
+        .get("wait")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    // Unknown points answer `unknown_job` exactly like a restarted
+    // daemon: the resilient client resubmits (idempotent) and heals.
+    let tracked = {
+        let jobs = shared.jobs.lock().expect("jobs poisoned");
+        jobs.contains_key(&id)
+    };
+    if !tracked {
+        return format!(
+            "{{\"type\":\"error\",\"code\":\"unknown_job\",\"message\":\"unknown job {}\"}}",
+            escape(&id)
+        );
+    }
+    let mut unroutable_since: Option<Instant> = None;
+    let mut flip = 0u64;
+    loop {
+        // Snapshot the assignment fresh every pass: the prober's eager
+        // failover may have moved the job while we were blocked.
+        let (shard, hedge, dispatched_nanos, canonical) = {
+            let jobs = shared.jobs.lock().expect("jobs poisoned");
+            let job = jobs.get(&id).expect("tracked above; never removed");
+            (
+                job.shard,
+                job.hedge,
+                job.dispatched_nanos,
+                job.canonical.clone(),
+            )
+        };
+        let (addr, routable, degraded, hedge_addr) = {
+            let m = shared.membership.lock().expect("membership poisoned");
+            (
+                m.shards()[shard].addr.clone(),
+                m.shards()[shard].health.routable(),
+                m.quorum_lost(shared.config.quorum),
+                hedge.map(|h| m.shards()[h].addr.clone()),
+            )
+        };
+
+        if !routable {
+            if degraded {
+                // Partial-sweep mode: report the point missing instead
+                // of piling it onto the survivors.
+                return unreachable_error(&id);
+            }
+            // Quorum holds: fail over now (the prober's eager pass may
+            // not have seen this job yet, or raced our snapshot).
+            let target = {
+                let m = shared.membership.lock().expect("membership poisoned");
+                m.route_excluding(&id, shard)
+                    .map(|t| (t, m.shards()[t].addr.clone()))
+            };
+            match target {
+                Some((t, taddr)) => {
+                    let moved = {
+                        let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+                        let job = jobs.get_mut(&id).expect("tracked");
+                        if job.shard == shard {
+                            job.shard = t;
+                            job.hedge = None;
+                            true
+                        } else {
+                            false // someone else already moved it
+                        }
+                    };
+                    if moved {
+                        shared.failovers.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.failovers.inc();
+                        resubmit(shared, conns, &taddr, &canonical);
+                    }
+                    continue;
+                }
+                None => {
+                    let since = *unroutable_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= Duration::from_millis(shared.config.unreachable_grace_ms)
+                    {
+                        return unreachable_error(&id);
+                    }
+                    std::thread::sleep(Duration::from_millis(UNROUTABLE_RETRY_MS));
+                    continue;
+                }
+            }
+        }
+        unroutable_since = None;
+
+        if !wait {
+            let payload = format!(
+                "{{\"type\":\"result\",\"job_id\":\"{}\",\"wait\":false}}",
+                escape(&id)
+            );
+            return match worker_request(conns, &addr, &payload, probe_timeout(shared)) {
+                Ok(raw) => raw,
+                Err(_) => {
+                    note_shard_failure(shared, conns, shard);
+                    format!(
+                        "{{\"type\":\"status\",\"job_id\":\"{}\",\"state\":\"queued\"}}",
+                        escape(&id)
+                    )
+                }
+            };
+        }
+
+        // Pick this pass's target and wait quantum. Unhedged: block on
+        // the owner until the hedge deadline. Hedged: alternate short
+        // polls between the two owners; first completion wins.
+        let elapsed_ms = (MonotonicClock::now_nanos().saturating_sub(dispatched_nanos)) / 1_000_000;
+        let deadline_ms = hedge_deadline_ms(shared);
+        if hedge.is_none() && elapsed_ms >= deadline_ms {
+            // Straggler: arm a hedge on the next live owner.
+            let target = {
+                let m = shared.membership.lock().expect("membership poisoned");
+                m.route_excluding(&id, shard)
+                    .map(|t| (t, m.shards()[t].addr.clone()))
+            };
+            if let Some((t, taddr)) = target {
+                let armed = {
+                    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+                    let job = jobs.get_mut(&id).expect("tracked");
+                    if job.hedge.is_none() && job.shard == shard {
+                        job.hedge = Some(t);
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if armed {
+                    shared.hedges.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.hedges.inc();
+                    resubmit(shared, conns, &taddr, &canonical);
+                }
+                continue;
+            }
+            // No second owner available: keep waiting on the only one.
+        }
+        let (step_shard, step_addr, quantum_ms) = match &hedge_addr {
+            None => {
+                let remaining = deadline_ms.saturating_sub(elapsed_ms);
+                (shard, addr.clone(), remaining.max(MIN_WAIT_QUANTUM_MS))
+            }
+            Some(haddr) => {
+                flip += 1;
+                if flip % 2 == 1 {
+                    (shard, addr.clone(), HEDGED_POLL_QUANTUM_MS)
+                } else {
+                    (
+                        hedge.expect("addr implies index"),
+                        haddr.clone(),
+                        HEDGED_POLL_QUANTUM_MS,
+                    )
+                }
+            }
+        };
+
+        match fetch_step(conns, &step_addr, &id, Duration::from_millis(quantum_ms)) {
+            FetchStep::Done(raw) => {
+                let first = {
+                    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+                    let job = jobs.get_mut(&id).expect("tracked");
+                    let first = !job.done;
+                    job.done = true;
+                    job.hedge = None;
+                    job.shard = step_shard;
+                    first
+                };
+                if first {
+                    let latency_secs =
+                        (MonotonicClock::now_nanos().saturating_sub(dispatched_nanos)) as f64
+                            * 1e-9;
+                    shared.metrics.latency.record(latency_secs);
+                    shared.completed.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.completed.inc();
+                    let inflight = shared
+                        .inflight
+                        .fetch_sub(1, Ordering::Relaxed)
+                        .saturating_sub(1);
+                    shared.metrics.inflight.set(inflight as f64);
+                    {
+                        let mut m = shared.membership.lock().expect("membership poisoned");
+                        m.shard_mut(step_shard).completed += 1;
+                        m.mark_ok(step_shard);
+                    }
+                    let series = shared.shard_series.lock().expect("series poisoned");
+                    if let Some(handles) = series.get(step_shard) {
+                        handles.completed.inc();
+                    }
+                }
+                return raw;
+            }
+            FetchStep::Unknown => {
+                // The worker restarted (or a best-effort re-dispatch
+                // never landed): resubmit there and keep waiting.
+                resubmit(shared, conns, &step_addr, &canonical);
+            }
+            FetchStep::Failed(message) => {
+                // A failure can be load-local (shed under a queue
+                // deadline): give the point one run on a different
+                // shard before relaying the failure.
+                let retryable = {
+                    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+                    let job = jobs.get_mut(&id).expect("tracked");
+                    if job.error_retries == 0 {
+                        job.error_retries = 1;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let target = {
+                    let m = shared.membership.lock().expect("membership poisoned");
+                    m.route_excluding(&id, step_shard)
+                        .map(|t| (t, m.shards()[t].addr.clone()))
+                };
+                match (retryable, target) {
+                    (true, Some((t, taddr))) => {
+                        {
+                            let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+                            let job = jobs.get_mut(&id).expect("tracked");
+                            job.shard = t;
+                            job.hedge = None;
+                        }
+                        resubmit(shared, conns, &taddr, &canonical);
+                    }
+                    _ => return error_response(&format!("job {id} failed: {message}")),
+                }
+            }
+            FetchStep::TimedOut => {
+                // Straggler (or deep queue): the next pass arms the
+                // hedge / keeps polling.
+            }
+            FetchStep::Transport => {
+                note_shard_failure(shared, conns, step_shard);
+                if Some(step_shard) == hedge {
+                    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+                    if let Some(job) = jobs.get_mut(&id) {
+                        if job.hedge == Some(step_shard) {
+                            job.hedge = None;
+                        }
+                    }
+                } else if let Some(h) = hedge {
+                    // Primary died mid-race: promote the hedge.
+                    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+                    if let Some(job) = jobs.get_mut(&id) {
+                        if job.shard == step_shard {
+                            job.shard = h;
+                            job.hedge = None;
+                            shared.failovers.fetch_add(1, Ordering::Relaxed);
+                            shared.metrics.failovers.inc();
+                        }
+                    }
+                }
+                // Unhedged primary death re-routes at the top of the
+                // loop via the routable check / lazy failover.
+            }
+        }
+    }
+}
+
+fn handle_register(shared: &Arc<FedShared>, request: &Value) -> String {
+    let Some(addr) = request.get("addr").and_then(Value::as_str) else {
+        return error_response("register without an addr");
+    };
+    let known = {
+        let mut m = shared.membership.lock().expect("membership poisoned");
+        match m.add(addr) {
+            Some(_) => {
+                let mut series = shared.shard_series.lock().expect("series poisoned");
+                series.push(register_shard_series(addr));
+                false
+            }
+            None => true,
+        }
+    };
+    if !known {
+        eprintln!("dtnfedd: worker {addr} registered");
+    }
+    let workers = shared.membership.lock().expect("membership poisoned").len();
+    format!(
+        "{{\"type\":\"registered\",\"addr\":\"{}\",\"known\":{known},\"workers\":{workers}}}",
+        escape(addr)
+    )
+}
+
+/// Operator drain via the coordinator: stop routing to `addr` and tell
+/// the worker itself to bounce direct submits. `resume:true` reverses
+/// both.
+fn handle_drain(shared: &Arc<FedShared>, conns: &mut ShardConns, request: &Value) -> String {
+    let Some(addr) = request.get("addr").and_then(Value::as_str) else {
+        return error_response("drain without an addr (which worker?)");
+    };
+    let resume = request
+        .get("resume")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let index = {
+        let mut m = shared.membership.lock().expect("membership poisoned");
+        let Some(index) = m.shards().iter().position(|s| s.addr == addr) else {
+            return error_response(&format!("unknown worker {addr}"));
+        };
+        m.set_draining(index, !resume);
+        index
+    };
+    let _ = index;
+    let payload = format!("{{\"type\":\"drain\",\"resume\":{resume}}}");
+    match worker_request(conns, addr, &payload, probe_timeout(shared)) {
+        Ok(raw) => raw,
+        Err(e) => error_response(&format!("worker {addr} unreachable for drain: {e}")),
+    }
+}
+
+fn handle_stats(shared: &Arc<FedShared>) -> String {
+    let uptime = shared.started.elapsed().as_secs_f64();
+    let (shards_json, routable, total) = {
+        let m = shared.membership.lock().expect("membership poisoned");
+        let mut out = String::from("[");
+        for (i, shard) in m.shards().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"addr\":\"{}\",\"state\":\"{}\",\"completed\":{},\
+                 \"probes_ok\":{},\"probes_failed\":{}}}",
+                escape(&shard.addr),
+                shard.health.as_str(),
+                shard.completed,
+                shard.probes_ok,
+                shard.probes_failed,
+            ));
+        }
+        out.push(']');
+        (out, m.routable_count(), m.len())
+    };
+    let degraded = {
+        let m = shared.membership.lock().expect("membership poisoned");
+        m.quorum_lost(shared.config.quorum)
+    };
+    format!(
+        "{{\"type\":\"stats\",\"engine\":\"{}\",\"role\":\"coordinator\",\
+         \"workers\":{total},\"routable_workers\":{routable},\"degraded\":{degraded},\
+         \"submitted\":{},\"completed\":{},\"inflight\":{},\
+         \"failovers\":{},\"hedges\":{},\"redispatches\":{},\
+         \"rejected_no_workers\":{},\"rejected_unreachable\":{},\
+         \"probes_ok\":{},\"probes_failed\":{},\
+         \"hedge_deadline_ms\":{},\"uptime_secs\":{uptime},\
+         \"shards\":{shards_json}}}",
+        escape(ENGINE_VERSION),
+        shared.submitted.load(Ordering::Relaxed),
+        shared.completed.load(Ordering::Relaxed),
+        shared.inflight.load(Ordering::Relaxed),
+        shared.failovers.load(Ordering::Relaxed),
+        shared.hedges.load(Ordering::Relaxed),
+        shared.redispatches.load(Ordering::Relaxed),
+        shared.rejected_no_workers.load(Ordering::Relaxed),
+        shared.rejected_unreachable.load(Ordering::Relaxed),
+        shared.probes_ok.load(Ordering::Relaxed),
+        shared.probes_failed.load(Ordering::Relaxed),
+        hedge_deadline_ms(shared),
+    )
+}
+
+/// One heartbeat probe: fresh connection, bounded connect/read, parse
+/// the ack's `draining` flag.
+fn probe_worker(addr: &str, timeout: Duration) -> std::io::Result<bool> {
+    let sockaddr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
+    let mut stream = TcpStream::connect_timeout(&sockaddr, timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write_frame(&mut stream, "{\"type\":\"heartbeat\"}")?;
+    let raw = crate::wire::read_frame(&mut stream)?
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "no ack"))?;
+    let parsed =
+        Value::parse(&raw).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    if parsed.get("type").and_then(Value::as_str) != Some("heartbeat_ack") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unexpected heartbeat answer: {raw}"),
+        ));
+    }
+    Ok(parsed
+        .get("draining")
+        .and_then(Value::as_bool)
+        .unwrap_or(false))
+}
+
+/// The prober: heartbeat every shard on a jittered interval, walking
+/// the membership state machine and firing eager failover on death.
+/// Dead shards are probed with exponential backoff ([`Membership`]
+/// tracks the skip counter) so a long-gone worker is not hammered —
+/// and a revived one is re-admitted within a few intervals.
+fn health_loop(shared: &Arc<FedShared>) {
+    let mut rng = SimRng::new(shared.config.seed).derive(PROBE_SALT);
+    let mut conns = ShardConns::new();
+    let timeout = probe_timeout(shared);
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        let count = shared.membership.lock().expect("membership poisoned").len();
+        for index in 0..count {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            let addr = {
+                let mut m = shared.membership.lock().expect("membership poisoned");
+                let shard = m.shard_mut(index);
+                if shard.skip_ticks > 0 {
+                    shard.skip_ticks -= 1;
+                    None
+                } else {
+                    Some(shard.addr.clone())
+                }
+            };
+            let Some(addr) = addr else { continue };
+            match probe_worker(&addr, timeout) {
+                Ok(draining) => {
+                    shared.probes_ok.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.probes_ok.inc();
+                    let mut m = shared.membership.lock().expect("membership poisoned");
+                    let was = m.shards()[index].health;
+                    let transition = m.mark_ok(index);
+                    if draining {
+                        m.set_draining(index, true);
+                    }
+                    drop(m);
+                    if transition == Transition::Revived && was == ShardHealth::Dead {
+                        eprintln!("dtnfedd: shard {addr} revived");
+                    }
+                }
+                Err(_) => {
+                    shared.probes_failed.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.probes_failed.inc();
+                    let transition = {
+                        let mut m = shared.membership.lock().expect("membership poisoned");
+                        m.mark_failure(index)
+                    };
+                    if transition == Transition::Died {
+                        eprintln!(
+                            "dtnfedd: shard {addr} declared dead (missed probes); \
+                             re-dispatching its jobs"
+                        );
+                        redispatch_dead(shared, &mut conns, index);
+                    }
+                }
+            }
+        }
+        // Jittered interval in [interval/2, interval], slept in short
+        // chunks so shutdown stays prompt.
+        let interval = shared.config.heartbeat_interval_ms.max(20);
+        let mut remaining = rng.range_inclusive(interval / 2, interval);
+        while remaining > 0 && !shared.shutting_down.load(Ordering::SeqCst) {
+            let chunk = remaining.min(25);
+            std::thread::sleep(Duration::from_millis(chunk));
+            remaining -= chunk;
+        }
+    }
+}

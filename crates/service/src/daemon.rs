@@ -122,6 +122,8 @@ pub(crate) struct DaemonMetrics {
     pub rejected_shutdown: Counter,
     pub reps_panicked: Counter,
     pub reps_timed_out: Counter,
+    pub rejected_draining: Counter,
+    pub heartbeats: Counter,
     pub cache_hit: Counter,
     pub cache_miss: Counter,
     pub busy_nanos: Counter,
@@ -178,6 +180,16 @@ impl DaemonMetrics {
                 "dtnsimd_replications_total",
                 "supervised replication outcomes inside completed jobs",
                 &[("outcome", "timed_out")],
+            ),
+            rejected_draining: reg.counter(
+                "dtnsimd_rejections_total",
+                "submissions turned away at the door",
+                &[("reason", "draining")],
+            ),
+            heartbeats: reg.counter(
+                "dtnsimd_heartbeats_total",
+                "heartbeat probes answered (federation health checks)",
+                &[],
             ),
             cache_hit: reg.counter(
                 "dtnsimd_cache_total",
@@ -251,6 +263,12 @@ struct Shared {
     jobs: Mutex<HashMap<String, JobEntry>>,
     done_cv: Condvar,
     shutting_down: AtomicBool,
+    /// Operator drain (`drain` request): finish what is admitted, turn
+    /// new submits away with a retriable `draining` rejection. Unlike
+    /// shutdown this is reversible (`drain` with `resume:true`) and
+    /// keeps the daemon serving results — it is how a worker leaves a
+    /// federation gracefully.
+    draining: AtomicBool,
     started: Instant,
     metrics: DaemonMetrics,
     submitted: AtomicU64,
@@ -322,6 +340,7 @@ impl Daemon {
             jobs: Mutex::new(HashMap::new()),
             done_cv: Condvar::new(),
             shutting_down: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             started: Instant::now(),
             metrics,
             submitted: AtomicU64::new(0),
@@ -563,6 +582,8 @@ fn handle_request(shared: &Arc<Shared>, request: &Value) -> String {
         Some("result") => handle_result(shared, request),
         Some("cancel") => handle_cancel(shared, request),
         Some("stats") => handle_stats(shared),
+        Some("heartbeat") => handle_heartbeat(shared),
+        Some("drain") => handle_drain(shared, request),
         // "shutdown" is intercepted in `serve_connection` so its ack is
         // written before the flag can let the process exit.
         other => error_response(&format!("unknown request type {other:?}")),
@@ -596,6 +617,16 @@ fn handle_submit(shared: &Arc<Shared>, request: &Value) -> String {
             "{{\"type\":\"rejected\",\"reason\":\"shutting_down\",\
              \"retry_after_ms\":{},\"queue_depth\":0}}",
             shared.config.retry_after_ms
+        );
+    }
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.rejected_draining.inc();
+        let queue_depth = shared.queue.lock().expect("queue poisoned").len();
+        return format!(
+            "{{\"type\":\"rejected\",\"reason\":\"draining\",\
+             \"retry_after_ms\":{},\"queue_depth\":{queue_depth}}}",
+            retry_after_hint_ms(shared, queue_depth)
         );
     }
 
@@ -643,7 +674,7 @@ fn handle_submit(shared: &Arc<Shared>, request: &Value) -> String {
         return format!(
             "{{\"type\":\"rejected\",\"reason\":\"queue_full\",\
              \"retry_after_ms\":{},\"queue_depth\":{}}}",
-            shared.config.retry_after_ms,
+            retry_after_hint_ms(shared, queue.len()),
             queue.len()
         );
     }
@@ -666,6 +697,66 @@ fn handle_submit(shared: &Arc<Shared>, request: &Value) -> String {
 
 fn accepted(key: &str, cached: bool) -> String {
     format!("{{\"type\":\"accepted\",\"job_id\":\"{key}\",\"cached\":{cached}}}")
+}
+
+/// Ceiling on the computed backpressure hint — a pathological backlog
+/// estimate must not tell clients to go away for minutes.
+const MAX_RETRY_AFTER_MS: u64 = 30_000;
+
+/// The `retry_after_ms` hint for a rejection: proportional to the
+/// current backlog — queue depth × observed mean simulation time,
+/// spread over the worker pool — instead of a constant. Before any job
+/// has run (no mean yet) the configured constant is the hint; it also
+/// serves as the floor, and [`MAX_RETRY_AFTER_MS`] caps the estimate.
+/// Clients treat the hint as a *floor* on their own jittered backoff
+/// (`RetryPolicy::backoff`), so an estimate that proves too short just
+/// re-rejects with an updated hint.
+fn retry_after_hint_ms(shared: &Shared, queue_depth: usize) -> u64 {
+    let base = shared.config.retry_after_ms;
+    let snap = shared.metrics.sim.snapshot();
+    if snap.count == 0 {
+        return base;
+    }
+    let workers = shared.config.workers.max(1) as f64;
+    let backlog_ms = (queue_depth as f64 * snap.mean() * 1000.0 / workers).round() as u64;
+    backlog_ms.clamp(base, MAX_RETRY_AFTER_MS.max(base))
+}
+
+/// Answer a federation health probe. Cheap by design — no locks beyond
+/// the queue length — because the coordinator sends one per shard per
+/// heartbeat interval.
+fn handle_heartbeat(shared: &Arc<Shared>) -> String {
+    shared.metrics.heartbeats.inc();
+    let queue_depth = shared.queue.lock().expect("queue poisoned").len();
+    format!(
+        "{{\"type\":\"heartbeat_ack\",\"engine\":\"{}\",\"queue_depth\":{queue_depth},\
+         \"running\":{},\"draining\":{}}}",
+        escape(ENGINE_VERSION),
+        shared.running.load(Ordering::Relaxed),
+        shared.draining.load(Ordering::SeqCst),
+    )
+}
+
+/// Enter (or with `resume:true` leave) operator drain: admitted jobs
+/// finish and stay collectable, new submits bounce with a retriable
+/// `draining` rejection, and the next `heartbeat_ack` tells the
+/// coordinator to stop routing here.
+fn handle_drain(shared: &Arc<Shared>, request: &Value) -> String {
+    let resume = request
+        .get("resume")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    shared.draining.store(!resume, Ordering::SeqCst);
+    let queued = {
+        let jobs = shared.jobs.lock().expect("jobs poisoned");
+        jobs.values()
+            .filter(|e| matches!(e.state, JobState::Queued | JobState::Running))
+            .count()
+    };
+    format!(
+        "{{\"type\":\"draining\",\"draining\":{},\"queued\":{queued}}}",
+        !resume
+    )
 }
 
 fn handle_status(shared: &Arc<Shared>, request: &Value) -> String {

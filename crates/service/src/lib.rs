@@ -19,6 +19,13 @@
 //! * [`resilient`] — the self-healing wrapper around [`client`]:
 //!   transparent reconnect, idempotent resubmission (the content-
 //!   addressed cache makes redelivery free), and partial-sweep resume;
+//! * [`membership`] — the federation's shard table: a consistent-hash
+//!   ring over worker daemons plus the per-shard health state machine
+//!   (alive → suspect → dead, with revival and operator drain);
+//! * [`coordinator`] — the `dtnfedd` coordinator: fronts N `dtnsimd`
+//!   workers behind the **same client-facing protocol**, routing jobs
+//!   by content address, health-checking shards, failing over the work
+//!   of dead ones, and hedging stragglers past a p99-derived deadline;
 //! * [`proxy`] — a deterministic fault-injection TCP proxy for chaos
 //!   testing the daemon/client pair under drops, delays, mid-frame
 //!   truncation, byte corruption, and severed connections;
@@ -38,17 +45,21 @@
 
 pub mod cache;
 pub mod client;
+pub mod coordinator;
 pub mod crc;
 pub mod daemon;
 pub mod http;
 pub mod json;
+pub mod membership;
 pub mod proxy;
 pub mod resilient;
 pub mod wire;
 
 pub use cache::{job_key, JournalConfig, RecoveryStats, ResultStore, ENGINE_VERSION};
 pub use client::{Client, ClientError, RetryPolicy, SubmitTicket};
+pub use coordinator::{Coordinator, CoordinatorConfig};
 pub use daemon::{Daemon, DaemonConfig};
 pub use http::{MetricsServer, TelemetrySnapshotter};
-pub use proxy::{FaultProxy, ProxyPlan};
+pub use membership::{Membership, ShardHealth};
+pub use proxy::{FaultProxy, ProxyPlan, UpstreamResolver};
 pub use resilient::{HealStats, ResilientClient};

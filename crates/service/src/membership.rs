@@ -1,0 +1,414 @@
+//! Shard membership for the `dtnfedd` coordinator: the worker registry,
+//! its health state machine, and the consistent-hash ring that keeps
+//! every job's content-addressed cache entry shard-local.
+//!
+//! ## Health state machine
+//!
+//! ```text
+//!            probe ok                    probe ok
+//!   ┌──────────────────────┐   ┌──────────────────────────┐
+//!   ▼                      │   ▼                          │
+//! Alive ──fail×suspect──▶ Suspect ──fail×(dead-suspect)──▶ Dead
+//!   │                                                      │
+//!   └── heartbeat_ack{draining:true} ──▶ Draining ◀────────┘ (never: dead
+//!                                            │                shards revive
+//!            heartbeat_ack{draining:false} ──┘                to Alive)
+//! ```
+//!
+//! `Alive` and `Suspect` shards are **routable** — a suspect shard keeps
+//! its in-flight work so one dropped probe cannot trigger a re-dispatch
+//! storm. `Dead` and `Draining` shards are skipped by the ring walk;
+//! crossing into `Dead` is the single edge that fires failover (the
+//! coordinator re-dispatches the shard's unfinished jobs), reported once
+//! via [`Transition::Died`] so the failover cannot double-run.
+//!
+//! ## Consistent hashing
+//!
+//! Each shard contributes `virtual_nodes` points on a 64-bit ring
+//! (FNV-1a of `addr#index`, the same hash family as
+//! [`crate::cache::job_key`]); a job routes to the first **routable**
+//! shard clockwise from the hash of its job key. Adding or losing one
+//! shard therefore only moves the keys that hashed to that shard —
+//! every other shard keeps its content-addressed cache intact, which is
+//! what makes failover cheap: re-dispatched jobs are recomputed (or
+//! cache-hit) on exactly one new owner, and a revived shard takes back
+//! only its own arc.
+
+/// The ring's hash: FNV-1a 64-bit (the job-key hash family) through a
+/// splitmix64 finalizer. Raw FNV output on short, similar keys leaves
+/// the high bits correlated, which clumps the ring points; the mixer
+/// spreads the arcs evenly.
+fn ring_hash(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = hash.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One worker's health, as seen by the coordinator's prober.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Answering heartbeats; routable.
+    Alive,
+    /// Missed probes, but not enough to declare it gone. Still routable
+    /// — its in-flight work is kept so a dropped probe cannot trigger a
+    /// re-dispatch storm.
+    Suspect,
+    /// Crossed the failure threshold: not routable, its unfinished jobs
+    /// have been re-dispatched. Revives to `Alive` on the next good
+    /// probe (the ring arc moves back, the shard-local cache still
+    /// holds everything it computed before dying).
+    Dead,
+    /// Operator-requested drain: finishes what it has, receives nothing
+    /// new, not a health failure.
+    Draining,
+}
+
+impl ShardHealth {
+    /// Stable lowercase name (wire + metrics label).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardHealth::Alive => "alive",
+            ShardHealth::Suspect => "suspect",
+            ShardHealth::Dead => "dead",
+            ShardHealth::Draining => "draining",
+        }
+    }
+
+    /// May new or re-dispatched jobs land here?
+    pub fn routable(self) -> bool {
+        matches!(self, ShardHealth::Alive | ShardHealth::Suspect)
+    }
+}
+
+/// A state-machine edge worth acting on, returned by
+/// [`Membership::mark_ok`] / [`Membership::mark_failure`] so the caller
+/// (the health loop) fires failover/logging exactly once per crossing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transition {
+    /// No edge crossed.
+    None,
+    /// Alive → Suspect.
+    Suspected,
+    /// Crossed into Dead: the caller must re-dispatch this shard's
+    /// unfinished jobs.
+    Died,
+    /// Suspect/Dead/Draining → Alive.
+    Revived,
+}
+
+/// One registered worker daemon.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    /// Dial address (`host:port`).
+    pub addr: String,
+    /// Current health.
+    pub health: ShardHealth,
+    /// Consecutive failed probes (reset by any success).
+    pub consecutive_failures: u32,
+    /// Successful heartbeat probes.
+    pub probes_ok: u64,
+    /// Failed heartbeat probes.
+    pub probes_failed: u64,
+    /// Jobs whose result was served through this shard (attribution).
+    pub completed: u64,
+    /// Health ticks to skip before the next probe — the jittered
+    /// backoff for dead shards, so a long-gone worker is not dialed at
+    /// full heartbeat rate forever.
+    pub skip_ticks: u32,
+    /// Current probe backoff (ticks), doubled per failure while dead.
+    pub backoff_ticks: u32,
+}
+
+/// The shard table plus its consistent-hash ring.
+#[derive(Debug)]
+pub struct Membership {
+    shards: Vec<Shard>,
+    /// Sorted `(ring_point, shard_index)` — rebuilt on membership
+    /// change, never on health change (health is checked at walk time,
+    /// so a revived shard takes its arc back with no rebuild).
+    ring: Vec<(u64, usize)>,
+    virtual_nodes: usize,
+    suspect_after: u32,
+    dead_after: u32,
+}
+
+impl Membership {
+    /// An empty table. `suspect_after` failures mark a shard Suspect,
+    /// `dead_after` (≥ suspect_after) mark it Dead; `virtual_nodes`
+    /// ring points per shard smooth the key distribution.
+    pub fn new(virtual_nodes: usize, suspect_after: u32, dead_after: u32) -> Membership {
+        Membership {
+            shards: Vec::new(),
+            ring: Vec::new(),
+            virtual_nodes: virtual_nodes.max(1),
+            suspect_after: suspect_after.max(1),
+            dead_after: dead_after.max(suspect_after.max(1)),
+        }
+    }
+
+    /// Register a worker. Returns its index, or `None` if the address
+    /// is already registered (re-registering is a no-op, so a restarted
+    /// worker announcing itself again is harmless).
+    pub fn add(&mut self, addr: &str) -> Option<usize> {
+        if self.shards.iter().any(|s| s.addr == addr) {
+            return None;
+        }
+        let index = self.shards.len();
+        self.shards.push(Shard {
+            addr: addr.to_string(),
+            health: ShardHealth::Alive,
+            consecutive_failures: 0,
+            probes_ok: 0,
+            probes_failed: 0,
+            completed: 0,
+            skip_ticks: 0,
+            backoff_ticks: 0,
+        });
+        for v in 0..self.virtual_nodes {
+            let point = ring_hash(format!("{addr}#{v}").as_bytes());
+            self.ring.push((point, index));
+        }
+        self.ring.sort_unstable();
+        Some(index)
+    }
+
+    /// All registered shards, in registration order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Mutable shard access (the health loop's probe bookkeeping).
+    pub fn shard_mut(&mut self, index: usize) -> &mut Shard {
+        &mut self.shards[index]
+    }
+
+    /// Registered shard count.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when no shards are registered.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Routable (Alive or Suspect) shard count.
+    pub fn routable_count(&self) -> usize {
+        self.shards.iter().filter(|s| s.health.routable()).count()
+    }
+
+    /// True when the routable fraction has fallen below `quorum` — the
+    /// trigger for the coordinator's degraded partial-sweep mode.
+    pub fn quorum_lost(&self, quorum: f64) -> bool {
+        if self.shards.is_empty() {
+            return true;
+        }
+        (self.routable_count() as f64) < quorum * self.shards.len() as f64
+    }
+
+    /// Walk the ring clockwise from `key`'s hash point and return the
+    /// first routable shard, or `None` when nothing is routable.
+    pub fn route(&self, key: &str) -> Option<usize> {
+        self.walk(key, None)
+    }
+
+    /// Like [`Membership::route`] but skipping shard `exclude` — the
+    /// failover/hedge target: "the next live owner that isn't the one
+    /// that just failed me".
+    pub fn route_excluding(&self, key: &str, exclude: usize) -> Option<usize> {
+        self.walk(key, Some(exclude))
+    }
+
+    fn walk(&self, key: &str, exclude: Option<usize>) -> Option<usize> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let point = ring_hash(key.as_bytes());
+        let start = self.ring.partition_point(|&(p, _)| p < point);
+        // At most one look at each ring entry; distinct shards only.
+        let mut seen = 0usize;
+        for i in 0..self.ring.len() {
+            let (_, shard) = self.ring[(start + i) % self.ring.len()];
+            if Some(shard) == exclude {
+                continue;
+            }
+            if self.shards[shard].health.routable() {
+                return Some(shard);
+            }
+            seen += 1;
+            if seen >= self.ring.len() {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Record a successful probe (or any successful exchange) with
+    /// shard `index`.
+    pub fn mark_ok(&mut self, index: usize) -> Transition {
+        let shard = &mut self.shards[index];
+        shard.probes_ok += 1;
+        shard.consecutive_failures = 0;
+        shard.skip_ticks = 0;
+        shard.backoff_ticks = 0;
+        match shard.health {
+            ShardHealth::Alive => Transition::None,
+            ShardHealth::Suspect | ShardHealth::Dead | ShardHealth::Draining => {
+                shard.health = ShardHealth::Alive;
+                Transition::Revived
+            }
+        }
+    }
+
+    /// Record a failed probe (or a transport failure on a job exchange)
+    /// with shard `index`. Crossing into Dead is reported exactly once.
+    pub fn mark_failure(&mut self, index: usize) -> Transition {
+        let shard = &mut self.shards[index];
+        shard.probes_failed += 1;
+        shard.consecutive_failures = shard.consecutive_failures.saturating_add(1);
+        let failures = shard.consecutive_failures;
+        match shard.health {
+            ShardHealth::Dead => {
+                // Already declared: back off the probe cadence so a
+                // long-gone worker is not hammered at heartbeat rate.
+                shard.backoff_ticks = (shard.backoff_ticks.max(1) * 2).min(16);
+                shard.skip_ticks = shard.backoff_ticks;
+                Transition::None
+            }
+            ShardHealth::Draining => Transition::None,
+            ShardHealth::Alive if failures >= self.dead_after => {
+                shard.health = ShardHealth::Dead;
+                Transition::Died
+            }
+            ShardHealth::Alive if failures >= self.suspect_after => {
+                shard.health = ShardHealth::Suspect;
+                Transition::Suspected
+            }
+            ShardHealth::Alive => Transition::None,
+            ShardHealth::Suspect if failures >= self.dead_after => {
+                shard.health = ShardHealth::Dead;
+                Transition::Died
+            }
+            ShardHealth::Suspect => Transition::None,
+        }
+    }
+
+    /// Enter (or leave) operator drain for shard `index`, as reported by
+    /// its own `heartbeat_ack`.
+    pub fn set_draining(&mut self, index: usize, draining: bool) {
+        let shard = &mut self.shards[index];
+        match (draining, shard.health) {
+            (true, ShardHealth::Alive | ShardHealth::Suspect) => {
+                shard.health = ShardHealth::Draining;
+            }
+            (false, ShardHealth::Draining) => shard.health = ShardHealth::Alive,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three() -> Membership {
+        let mut m = Membership::new(64, 2, 4);
+        m.add("127.0.0.1:7701");
+        m.add("127.0.0.1:7702");
+        m.add("127.0.0.1:7703");
+        m
+    }
+
+    #[test]
+    fn routing_is_stable_and_spread() {
+        let m = three();
+        let keys: Vec<String> = (0..512).map(|i| format!("key-{i:04x}")).collect();
+        let owners: Vec<usize> = keys.iter().map(|k| m.route(k).unwrap()).collect();
+        // Deterministic.
+        let again: Vec<usize> = keys.iter().map(|k| m.route(k).unwrap()).collect();
+        assert_eq!(owners, again);
+        // Every shard owns a meaningful slice (vnodes smooth the ring).
+        for shard in 0..3 {
+            let n = owners.iter().filter(|&&o| o == shard).count();
+            assert!(n > 64, "shard {shard} owns only {n}/512 keys");
+        }
+    }
+
+    #[test]
+    fn dead_shards_lose_only_their_arc() {
+        let mut m = three();
+        let keys: Vec<String> = (0..512).map(|i| format!("key-{i:04x}")).collect();
+        let before: Vec<usize> = keys.iter().map(|k| m.route(k).unwrap()).collect();
+        for _ in 0..4 {
+            m.mark_failure(1);
+        }
+        assert_eq!(m.shards()[1].health, ShardHealth::Dead);
+        for (key, &owner) in keys.iter().zip(&before) {
+            let now = m.route(key).unwrap();
+            if owner != 1 {
+                assert_eq!(now, owner, "unaffected key {key} moved");
+            } else {
+                assert_ne!(now, 1, "dead shard still routed {key}");
+            }
+        }
+        // Revival moves the arc straight back.
+        m.mark_ok(1);
+        let revived: Vec<usize> = keys.iter().map(|k| m.route(k).unwrap()).collect();
+        assert_eq!(revived, before);
+    }
+
+    #[test]
+    fn health_machine_walks_the_documented_edges() {
+        let mut m = three();
+        assert_eq!(m.mark_failure(0), Transition::None);
+        assert_eq!(m.mark_failure(0), Transition::Suspected);
+        assert_eq!(m.shards()[0].health, ShardHealth::Suspect);
+        assert!(m.shards()[0].health.routable(), "suspect is routable");
+        assert_eq!(m.mark_failure(0), Transition::None);
+        assert_eq!(m.mark_failure(0), Transition::Died);
+        assert_eq!(m.mark_failure(0), Transition::None, "dies only once");
+        assert!(m.shards()[0].skip_ticks > 0, "dead shards back off");
+        assert_eq!(m.mark_ok(0), Transition::Revived);
+        assert_eq!(m.shards()[0].health, ShardHealth::Alive);
+        assert_eq!(m.shards()[0].skip_ticks, 0);
+    }
+
+    #[test]
+    fn drain_is_not_a_health_event() {
+        let mut m = three();
+        m.set_draining(2, true);
+        assert_eq!(m.shards()[2].health, ShardHealth::Draining);
+        assert!(!m.shards()[2].health.routable());
+        assert_eq!(m.mark_failure(2), Transition::None, "drain never dies");
+        m.mark_ok(2);
+        assert_eq!(
+            m.shards()[2].health,
+            ShardHealth::Alive,
+            "a good probe revives a drained shard (ack said draining:false)"
+        );
+    }
+
+    #[test]
+    fn quorum_and_exclusion() {
+        let mut m = three();
+        assert!(!m.quorum_lost(0.5));
+        for _ in 0..4 {
+            m.mark_failure(0);
+            m.mark_failure(1);
+        }
+        assert_eq!(m.routable_count(), 1);
+        assert!(m.quorum_lost(0.5));
+        // Everything routes to the survivor; excluding it leaves nothing.
+        let owner = m.route("any-key").unwrap();
+        assert_eq!(owner, 2);
+        assert_eq!(m.route_excluding("any-key", 2), None);
+        // Empty table has no quorum by definition.
+        assert!(Membership::new(8, 1, 2).quorum_lost(0.5));
+    }
+}

@@ -44,6 +44,18 @@ use std::time::Duration;
 /// sub-stream, so no two decisions share a stream.
 const CONN_SALT: u64 = 0xFA01_7000_0002_0000;
 
+/// Upstream dial retries per connection before giving up. Between
+/// attempts the resolver (if any) is consulted, so a worker restarted
+/// on a new port is picked up mid-dial without a proxy restart.
+const DIAL_ATTEMPTS: u32 = 40;
+
+/// Sleep between upstream dial attempts.
+const DIAL_RETRY_MS: u64 = 50;
+
+/// Re-resolves the upstream address on demand (e.g. re-reading the
+/// `--upstream-file`). Returning `None` keeps the current address.
+pub type UpstreamResolver = Arc<dyn Fn() -> Option<String> + Send + Sync>;
+
 /// A reproducible fault schedule. Probabilities are per *frame*, both
 /// directions; `grace_frames` leading frames of every connection are
 /// forwarded untouched so a schedule can let the handshake through.
@@ -162,6 +174,7 @@ struct Counters {
 pub struct FaultProxy {
     local_addr: SocketAddr,
     upstream: Arc<Mutex<String>>,
+    resolver: Arc<Mutex<Option<UpstreamResolver>>>,
     counters: Arc<Counters>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
@@ -174,11 +187,13 @@ impl FaultProxy {
         let listener = TcpListener::bind(listen)?;
         let local_addr = listener.local_addr()?;
         let upstream = Arc::new(Mutex::new(upstream.to_string()));
+        let resolver: Arc<Mutex<Option<UpstreamResolver>>> = Arc::new(Mutex::new(None));
         let counters = Arc::new(Counters::default());
         let stop = Arc::new(AtomicBool::new(false));
 
         let accept_thread = {
             let upstream = Arc::clone(&upstream);
+            let resolver = Arc::clone(&resolver);
             let counters = Arc::clone(&counters);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
@@ -189,12 +204,13 @@ impl FaultProxy {
                     }
                     let Ok(client) = inbound else { continue };
                     counters.connections.fetch_add(1, Ordering::Relaxed);
-                    let target = upstream.lock().expect("upstream poisoned").clone();
+                    let upstream = Arc::clone(&upstream);
+                    let resolver = resolver.lock().expect("resolver poisoned").clone();
                     let counters = Arc::clone(&counters);
                     let rng = SimRng::new(plan.seed).derive(CONN_SALT | conn_index);
                     conn_index += 1;
                     std::thread::spawn(move || {
-                        pump_connection(client, &target, plan, rng, &counters);
+                        pump_connection(client, &upstream, resolver.as_ref(), plan, rng, &counters);
                     });
                 }
             })
@@ -202,6 +218,7 @@ impl FaultProxy {
         Ok(FaultProxy {
             local_addr,
             upstream,
+            resolver,
             counters,
             stop,
             accept_thread: Some(accept_thread),
@@ -219,6 +236,15 @@ impl FaultProxy {
     /// new port after `kill -9`.
     pub fn set_upstream(&self, addr: &str) {
         *self.upstream.lock().expect("upstream poisoned") = addr.to_string();
+    }
+
+    /// Install an on-demand upstream resolver, consulted when a dial
+    /// **fails**: a worker restarted on a new port is picked up by the
+    /// very connection that found the old port dead, not only by the
+    /// next poll of an address file. The resolved address also updates
+    /// the shared upstream, so future connections dial it directly.
+    pub fn set_resolver(&self, resolver: UpstreamResolver) {
+        *self.resolver.lock().expect("resolver poisoned") = Some(resolver);
     }
 
     /// Snapshot the fault counters.
@@ -366,12 +392,13 @@ fn relay_frame(
 /// (seed, connection index, frame index).
 fn pump_connection(
     mut client: TcpStream,
-    upstream_addr: &str,
+    upstream_addr: &Arc<Mutex<String>>,
+    resolver: Option<&UpstreamResolver>,
     plan: ProxyPlan,
     rng: SimRng,
     counters: &Counters,
 ) {
-    let Ok(mut upstream) = TcpStream::connect(upstream_addr) else {
+    let Some(mut upstream) = dial_upstream(upstream_addr, resolver) else {
         return;
     };
     let _ = client.set_nodelay(true);
@@ -418,6 +445,34 @@ fn pump_connection(
             return;
         }
     }
+}
+
+/// Dial the shared upstream address, re-resolving on connect *failure*
+/// (not just on file change): a refused dial is exactly the signal
+/// that the worker moved, so ask the resolver for a fresh address
+/// before the retry sleep. Bounded by [`DIAL_ATTEMPTS`].
+fn dial_upstream(
+    upstream_addr: &Arc<Mutex<String>>,
+    resolver: Option<&UpstreamResolver>,
+) -> Option<TcpStream> {
+    for attempt in 0..DIAL_ATTEMPTS {
+        let target = upstream_addr.lock().expect("upstream poisoned").clone();
+        if let Ok(stream) = TcpStream::connect(&target) {
+            return Some(stream);
+        }
+        if let Some(resolve) = resolver {
+            if let Some(fresh) = resolve() {
+                if fresh != target {
+                    *upstream_addr.lock().expect("upstream poisoned") = fresh;
+                    continue; // retry the fresh address immediately
+                }
+            }
+        }
+        if attempt + 1 < DIAL_ATTEMPTS {
+            std::thread::sleep(Duration::from_millis(DIAL_RETRY_MS));
+        }
+    }
+    None
 }
 
 #[cfg(test)]

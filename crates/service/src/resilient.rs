@@ -134,6 +134,32 @@ impl ResilientClient {
         &mut self,
         jobs: &[PointJob],
     ) -> Result<Vec<(String, bool)>, ClientError> {
+        let collected = self.collect_inner(jobs, false)?;
+        Ok(collected
+            .into_iter()
+            .map(|f| f.expect("partial=false never leaves holes"))
+            .collect())
+    }
+
+    /// Like [`ResilientClient::collect_fragments`], but a point whose
+    /// owning shard a degraded coordinator reports
+    /// [`ClientError::Unreachable`] is recorded as `None` instead of
+    /// failing the sweep — the federation's "drain what's reachable,
+    /// report what's missing" partial-sweep mode. Against a plain
+    /// daemon (which never answers `unreachable`) this is identical to
+    /// `collect_fragments`.
+    pub fn collect_available(
+        &mut self,
+        jobs: &[PointJob],
+    ) -> Result<Vec<Option<(String, bool)>>, ClientError> {
+        self.collect_inner(jobs, true)
+    }
+
+    fn collect_inner(
+        &mut self,
+        jobs: &[PointJob],
+        partial: bool,
+    ) -> Result<Vec<Option<(String, bool)>>, ClientError> {
         let started = Instant::now();
         let mut rng = SimRng::new(self.policy.seed).derive(RECONNECT_SALT);
         let mut fragments: Vec<Option<(String, bool)>> = vec![None; jobs.len()];
@@ -144,6 +170,9 @@ impl ResilientClient {
         let mut job_ids: Vec<Option<String>> = vec![None; jobs.len()];
         let mut ever_submitted: Vec<bool> = vec![false; jobs.len()];
         let mut fetch_tried: Vec<bool> = vec![false; jobs.len()];
+        // Points a degraded coordinator declared unreachable (partial
+        // mode only): skipped by later passes, `None` in the result.
+        let mut unreachable: Vec<bool> = vec![false; jobs.len()];
         let mut healing = false;
         let mut attempts_this_outage = 0u32;
         // Completed round-trips (submits + fetches). Any round-trip
@@ -151,7 +180,11 @@ impl ResilientClient {
         // outage budget only counts connections that achieved nothing.
         let mut round_trips = 0u64;
 
-        while fragments.iter().any(Option::is_none) {
+        while fragments
+            .iter()
+            .zip(&unreachable)
+            .any(|(f, &skip)| f.is_none() && !skip)
+        {
             if let Some(deadline) = self.policy.deadline {
                 if started.elapsed() >= deadline {
                     return Err(ClientError::Exhausted {
@@ -170,6 +203,7 @@ impl ResilientClient {
                 &mut ever_submitted,
                 &mut fetch_tried,
                 &mut round_trips,
+                partial.then_some(&mut unreachable),
             ) {
                 // Ok may still leave points missing (stale tickets were
                 // invalidated after a daemon restart): loop again on the
@@ -203,10 +237,7 @@ impl ResilientClient {
                 Err(e) => return Err(e),
             }
         }
-        Ok(fragments
-            .into_iter()
-            .map(|f| f.expect("all collected"))
-            .collect())
+        Ok(fragments)
     }
 
     /// One pass over the grid on the current connection: submit every
@@ -216,6 +247,7 @@ impl ResilientClient {
     /// outstanding tickets — when the daemon answers `unknown_job`
     /// (it restarted); either way all progress stays recorded in
     /// `fragments`/`job_ids`.
+    #[allow(clippy::too_many_arguments)]
     fn sweep_pass(
         &mut self,
         jobs: &[PointJob],
@@ -224,6 +256,7 @@ impl ResilientClient {
         ever_submitted: &mut [bool],
         fetch_tried: &mut [bool],
         round_trips: &mut u64,
+        mut unreachable: Option<&mut Vec<bool>>,
     ) -> Result<(), ClientError> {
         let policy = self.policy;
         let client = self.client.as_mut().expect("ensure_connected ran");
@@ -234,7 +267,23 @@ impl ResilientClient {
             if fragments[i].is_some() || job_ids[i].is_some() {
                 continue;
             }
-            let ticket = client.submit_with_policy(job, &policy)?;
+            if unreachable.as_ref().is_some_and(|u| u[i]) {
+                continue;
+            }
+            let ticket = match client.submit_with_policy(job, &policy) {
+                Ok(ticket) => ticket,
+                Err(ClientError::Unreachable(_)) if unreachable.is_some() => {
+                    // Partial-sweep mode: the degraded coordinator will
+                    // not take this point; record it missing, keep
+                    // draining the reachable ones.
+                    *round_trips += 1;
+                    if let Some(u) = unreachable.as_mut() {
+                        u[i] = true;
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             *round_trips += 1;
             if ever_submitted[i] {
                 self.stats.resubmits += 1;
@@ -243,7 +292,7 @@ impl ResilientClient {
             job_ids[i] = Some(ticket.job_id);
         }
         for i in 0..jobs.len() {
-            if fragments[i].is_some() {
+            if fragments[i].is_some() || unreachable.as_ref().is_some_and(|u| u[i]) {
                 continue;
             }
             let id = job_ids[i].clone().expect("submitted above");
@@ -255,6 +304,13 @@ impl ResilientClient {
                 Ok(pair) => {
                     *round_trips += 1;
                     fragments[i] = Some(pair);
+                }
+                Err(ClientError::Unreachable(_)) if unreachable.is_some() => {
+                    *round_trips += 1;
+                    if let Some(u) = unreachable.as_mut() {
+                        u[i] = true;
+                    }
+                    job_ids[i] = None;
                 }
                 Err(ClientError::UnknownJob(_)) => {
                     // The daemon restarted: every outstanding ticket

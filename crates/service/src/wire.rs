@@ -13,14 +13,26 @@
 //!
 //! ## Requests
 //!
-//! | `type`     | fields                         | response |
-//! |------------|--------------------------------|----------|
-//! | `submit`   | `job`: canonical job document  | `accepted` \| `rejected` \| `error` |
-//! | `status`   | `job_id`                       | `status` |
-//! | `result`   | `job_id`, `wait` (bool)        | `result` \| `status` \| `error` |
-//! | `cancel`   | `job_id`                       | `cancelled` |
-//! | `stats`    | —                              | `stats` |
-//! | `shutdown` | —                              | `shutdown` |
+//! | `type`      | fields                         | response |
+//! |-------------|--------------------------------|----------|
+//! | `submit`    | `job`: canonical job document  | `accepted` \| `rejected` \| `error` |
+//! | `status`    | `job_id`                       | `status` |
+//! | `result`    | `job_id`, `wait` (bool)        | `result` \| `status` \| `error` |
+//! | `cancel`    | `job_id`                       | `cancelled` |
+//! | `stats`     | —                              | `stats` |
+//! | `shutdown`  | —                              | `shutdown` |
+//! | `heartbeat` | —                              | `heartbeat_ack` (`engine`, `queue_depth`, `running`, `draining`) |
+//! | `drain`     | `resume` (bool, optional)      | `draining` |
+//!
+//! The federation additions: `heartbeat` is the coordinator's health
+//! probe (cheap, lock-light, answered even while draining); `drain` is
+//! a reversible operator signal — the daemon finishes what it has and
+//! bounces new submits with `rejected reason:"draining"` until a
+//! `drain` with `resume:true`. The `dtnfedd` coordinator serves the
+//! same client-facing table plus `register` (`addr`: a worker joins the
+//! federation) and `drain` (`addr`, `resume`: drain one worker through
+//! the coordinator); its `stats` answer carries
+//! `role:"coordinator"` and a per-shard `shards` array.
 //!
 //! `submit` answers `accepted` (`job_id`, `cached`) when the job is
 //! cached, already known, or newly queued; `rejected` (`reason`,
