@@ -17,6 +17,13 @@
 //!   live `/metrics` endpoint is scraped continuously, with the jobs/s
 //!   delta reported as `telemetry_overhead_pct` (target ≤ 3%).
 //!
+//! A gateway stanza rides in the same JSON: the daemon fronted by the
+//! HTTP/JSON gateway, timing a cold 48-point robustness sweep, the
+//! warm (fully cached) chunked-stream replay against the raw wire
+//! path fetching the identical fragments
+//! (`gateway_stream_overhead_pct`), and idempotent `POST /v1/sweeps`
+//! resubmit throughput over one fresh TCP connection per request.
+//!
 //! A federation stanza follows (written to `BENCH_federation.json`):
 //! the same batch shape pushed through a `dtnfedd` coordinator at
 //! 1/2/4/8 workers (the scaling curve), then a 4-worker batch with one
@@ -32,14 +39,15 @@
 //! to make a flat curve on a one-core box self-explaining.
 
 use dtn_experiments::jobs::PointJob;
-use dtn_experiments::{Mobility, SweepConfig};
+use dtn_experiments::{grid_point_jobs, Mobility, SweepConfig};
+use dtn_service::httpd;
 use dtn_service::json::Value;
 use dtn_service::{
-    job_key, Client, Coordinator, CoordinatorConfig, Daemon, DaemonConfig, Membership,
-    MetricsServer, ResilientClient, RetryPolicy,
+    job_key, Client, Coordinator, CoordinatorConfig, Daemon, DaemonConfig, Gateway, GatewayConfig,
+    Membership, MetricsServer, ResilientClient, RetryPolicy,
 };
 use dtn_sim::Threads;
-use std::io::{Read, Write};
+use std::io::{BufRead, Read, Write};
 use std::net::TcpStream;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -49,6 +57,8 @@ use std::time::{Duration, Instant};
 const DEPTH1_JOBS: usize = 16;
 const DEPTH64_JOBS: usize = 64;
 const CACHE_HIT_PROBES: usize = 200;
+const GATEWAY_STREAM_PROBES: usize = 20;
+const GATEWAY_SUBMIT_PROBES: usize = 200;
 const FED_CURVE_JOBS: usize = 64;
 const FED_WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -98,6 +108,34 @@ fn spawn_fed_worker() -> Daemon {
         ..DaemonConfig::default()
     })
     .expect("federation worker should bind")
+}
+
+/// Drain one `GET /v1/sweeps/{id}/stream` to its terminal report,
+/// returning the point-line count and the report byte length.
+fn drain_stream(gateway: &str, id: &str) -> (usize, usize) {
+    let (status, _, reader) =
+        httpd::http_open(gateway, "GET", &format!("/v1/sweeps/{id}/stream"), None)
+            .expect("open sweep stream");
+    assert_eq!(status, 200, "stream must answer 200");
+    let mut lines = std::io::BufReader::new(reader);
+    let mut points = 0usize;
+    loop {
+        let mut line = String::new();
+        if lines.read_line(&mut line).expect("stream read") == 0 {
+            panic!("stream ended without a terminal line");
+        }
+        let v = Value::parse(line.trim_end_matches('\n')).expect("stream line parses");
+        match v.get("type").and_then(Value::as_str) {
+            Some("point") => points += 1,
+            Some("report") => {
+                let bytes = v.get("bytes").and_then(Value::as_u64).unwrap_or(0) as usize;
+                let mut report = vec![0u8; bytes];
+                lines.read_exact(&mut report).expect("report body");
+                return (points, bytes);
+            }
+            other => panic!("unexpected stream line type {other:?}: {line}"),
+        }
+    }
 }
 
 fn fed_stat(stats_raw: &str, key: &str) -> u64 {
@@ -265,6 +303,105 @@ fn main() {
     }
     let cache_hit_latency_us = total_us / CACHE_HIT_PROBES as f64;
 
+    // ------------------------------------------------------------------
+    // Gateway: the same daemon fronted by the HTTP/JSON gateway. A
+    // cold 48-point robustness sweep is submitted and streamed once,
+    // then the warm (fully cached) replay is raced against the raw
+    // wire path fetching the identical fragments — both serve from
+    // the daemon's cache, so the delta is pure HTTP framing plus the
+    // per-request connect cost.
+    // ------------------------------------------------------------------
+    let gateway = Gateway::spawn(GatewayConfig {
+        seed: 41,
+        ..GatewayConfig::new(&addr)
+    })
+    .expect("gateway should bind");
+    let gw_addr = gateway.local_addr().to_string();
+    let spec: &[u8] = b"{\"mobility\":\"interval=2000\",\"load\":5,\"reps\":1,\"seed\":77}";
+    let submit = |expect_status: &[u16]| -> String {
+        let r = httpd::http_request(
+            &gw_addr,
+            "POST",
+            "/v1/sweeps",
+            Some(("application/json", spec)),
+        )
+        .expect("POST /v1/sweeps");
+        assert!(
+            expect_status.contains(&r.status),
+            "submit answered {}: {}",
+            r.status,
+            String::from_utf8_lossy(&r.body)
+        );
+        Value::parse(String::from_utf8_lossy(&r.body).trim())
+            .expect("submit body parses")
+            .get("id")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .expect("submit reply carries the sweep id")
+    };
+
+    let cold_started = Instant::now();
+    let sweep_id = submit(&[202]);
+    let (gw_points, gw_report_bytes) = drain_stream(&gw_addr, &sweep_id);
+    let gateway_cold_sweep_secs = cold_started.elapsed().as_secs_f64();
+
+    let mut warm_ms = 0.0;
+    for _ in 0..GATEWAY_STREAM_PROBES {
+        let started = Instant::now();
+        let id = submit(&[200]);
+        drain_stream(&gw_addr, &id);
+        warm_ms += started.elapsed().as_secs_f64() * 1e3;
+    }
+    let gateway_warm_stream_ms = warm_ms / GATEWAY_STREAM_PROBES as f64;
+
+    // Raw-TCP baseline: the identical grid jobs over the persistent
+    // wire connection, every fragment already cached by the cold run
+    // (the gateway derives the same content addresses).
+    let grid_cfg = SweepConfig {
+        loads: vec![5],
+        replications: 1,
+        base_seed: 77,
+        buffer_capacity: 10,
+        ..SweepConfig::default()
+    };
+    let grid_jobs: Vec<PointJob> = grid_point_jobs(Mobility::Interval(2000), &grid_cfg)
+        .expect("robustness grid")
+        .iter()
+        .map(|p| p.job.clone())
+        .collect();
+    assert_eq!(
+        grid_jobs.len(),
+        gw_points,
+        "gateway and local grids must agree"
+    );
+    let mut wire_ms = 0.0;
+    for _ in 0..GATEWAY_STREAM_PROBES {
+        let started = Instant::now();
+        for grid_job in &grid_jobs {
+            let ticket = client.submit(grid_job).expect("wire submit");
+            assert!(
+                ticket.cached,
+                "grid job must be cached after the cold sweep"
+            );
+            client.fetch_fragment(&ticket.job_id).expect("wire collect");
+        }
+        wire_ms += started.elapsed().as_secs_f64() * 1e3;
+    }
+    let wire_warm_collect_ms = wire_ms / GATEWAY_STREAM_PROBES as f64;
+    let gateway_stream_overhead_pct =
+        100.0 * (gateway_warm_stream_ms / wire_warm_collect_ms - 1.0).max(0.0);
+
+    // Submit throughput: idempotent resubmits of the now-done sweep,
+    // one fresh TCP connection per POST — the honest gateway cost,
+    // where the wire client amortises its socket across requests.
+    let posts_started = Instant::now();
+    for _ in 0..GATEWAY_SUBMIT_PROBES {
+        submit(&[200]);
+    }
+    let gateway_posts_per_sec =
+        GATEWAY_SUBMIT_PROBES as f64 / posts_started.elapsed().as_secs_f64();
+    gateway.shutdown();
+
     let stats = client.stats_raw().expect("stats");
     client.shutdown().expect("shutdown");
     daemon.join().expect("join");
@@ -281,6 +418,14 @@ fn main() {
          \"telemetry_overhead_pct\": {telemetry_overhead_pct:.1},\n  \
          \"cache_hit_probes\": {CACHE_HIT_PROBES},\n  \
          \"cache_hit_latency_us\": {cache_hit_latency_us:.1},\n  \
+         \"gateway_sweep_points\": {gw_points},\n  \
+         \"gateway_report_bytes\": {gw_report_bytes},\n  \
+         \"gateway_cold_sweep_secs\": {gateway_cold_sweep_secs:.3},\n  \
+         \"gateway_stream_probes\": {GATEWAY_STREAM_PROBES},\n  \
+         \"gateway_warm_stream_ms\": {gateway_warm_stream_ms:.2},\n  \
+         \"wire_warm_collect_ms\": {wire_warm_collect_ms:.2},\n  \
+         \"gateway_stream_overhead_pct\": {gateway_stream_overhead_pct:.1},\n  \
+         \"gateway_submit_posts_per_sec\": {gateway_posts_per_sec:.1},\n  \
          \"daemon_stats\": {stats}\n}}\n"
     );
     std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");

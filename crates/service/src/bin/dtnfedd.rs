@@ -18,7 +18,9 @@
 //! dtnsim --connect 127.0.0.1:7800 ...   # sweeps fan out across workers
 //! ```
 
-use dtn_service::{Coordinator, CoordinatorConfig, MetricsServer, ENGINE_VERSION};
+use dtn_service::{
+    Coordinator, CoordinatorConfig, Gateway, GatewayConfig, MetricsServer, ENGINE_VERSION,
+};
 use std::path::PathBuf;
 
 const USAGE: &str = "\
@@ -53,6 +55,16 @@ OPTIONS:
     --unreachable-grace-ms N How long a blocking result fetch rides out a total
                              outage before answering `unreachable` (default 60000)
     --seed N                 Seed for the probe-jitter RNG (default 0)
+    --cache-ttl-secs SECS    Janitor: expire relayed result frames older than
+                             SECS (float; default: off)
+    --cache-max-bytes N      Janitor: evict least-recently-served relay frames
+                             while the resident set exceeds N bytes (default: off)
+    --janitor-interval-secs SECS
+                             Nominal period between janitor sweeps (float,
+                             early-jittered; default 5.0)
+    --gateway-port N         Serve the HTTP/JSON gateway (POST /v1/sweeps,
+                             chunked result streaming) on http://127.0.0.1:N
+                             (0 picks a free port; omit to disable)
     --http-port N            Serve Prometheus-text telemetry on
                              http://127.0.0.1:N/metrics (0 picks a free port)
     --addr-file PATH         Write the bound address to PATH once listening
@@ -67,6 +79,7 @@ fn fail(msg: &str) -> ! {
 
 struct Args {
     config: CoordinatorConfig,
+    gateway_port: Option<u16>,
     http_port: Option<u16>,
     addr_file: Option<PathBuf>,
 }
@@ -77,6 +90,7 @@ fn parse_args() -> Args {
             addr: "127.0.0.1:7800".to_string(),
             ..CoordinatorConfig::default()
         },
+        gateway_port: None,
         http_port: None,
         addr_file: None,
     };
@@ -164,6 +178,40 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|e| fail(&format!("bad --seed: {e}")))
             }
+            "--cache-ttl-secs" => {
+                let secs: f64 = value("--cache-ttl-secs")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --cache-ttl-secs: {e}")));
+                if !secs.is_finite() || secs <= 0.0 {
+                    fail("--cache-ttl-secs must be a positive number");
+                }
+                config.cache_ttl_secs = Some(secs);
+            }
+            "--cache-max-bytes" => {
+                let bytes: u64 = value("--cache-max-bytes")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --cache-max-bytes: {e}")));
+                if bytes == 0 {
+                    fail("--cache-max-bytes must be at least 1 (omit to disable)");
+                }
+                config.cache_max_bytes = Some(bytes);
+            }
+            "--janitor-interval-secs" => {
+                let secs: f64 = value("--janitor-interval-secs")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --janitor-interval-secs: {e}")));
+                if !secs.is_finite() || secs <= 0.0 {
+                    fail("--janitor-interval-secs must be a positive number");
+                }
+                config.janitor_interval_secs = secs;
+            }
+            "--gateway-port" => {
+                parsed.gateway_port = Some(
+                    value("--gateway-port")
+                        .parse()
+                        .unwrap_or_else(|e| fail(&format!("bad --gateway-port: {e}"))),
+                )
+            }
             "--http-port" => {
                 parsed.http_port = Some(
                     value("--http-port")
@@ -213,6 +261,22 @@ fn main() {
         );
         server
     });
+    let gateway = args.gateway_port.map(|port| {
+        let gateway = Gateway::spawn(GatewayConfig {
+            port,
+            seed: config.seed,
+            ..GatewayConfig::new(&coordinator.local_addr().to_string())
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("error: failed to bind gateway port {port}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "dtnfedd gateway on http://{}/v1/sweeps",
+            gateway.local_addr()
+        );
+        gateway
+    });
     eprintln!(
         "dtnfedd listening on {} (engine {ENGINE_VERSION}, {} workers, quorum {}, hedge >= {} ms)",
         coordinator.local_addr(),
@@ -221,6 +285,9 @@ fn main() {
         config.hedge_min_ms,
     );
     let result = coordinator.join();
+    if let Some(gateway) = gateway {
+        gateway.shutdown();
+    }
     if let Some(server) = metrics_server {
         server.shutdown();
     }

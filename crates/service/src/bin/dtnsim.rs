@@ -38,6 +38,14 @@
 //!                      backoff, missing points are idempotently
 //!                      resubmitted, and already-collected points are
 //!                      never re-fetched (partial-sweep resume)
+//!   --connect http://HOST:PORT
+//!                      same submission through a daemon's HTTP/JSON
+//!                      gateway (`--gateway-port`): POST the sweep spec,
+//!                      stream per-point results over chunked
+//!                      transfer-encoding, and print the gateway-assembled
+//!                      report verbatim (byte-identical to the wire-client
+//!                      and local reports under --canonical). Robustness
+//!                      sweeps only; stats/shutdown stay wire-only
 //!   --max-retries N    cap queue-full submit retries per point
 //!                      (default 32; 0 = unbounded)
 //!   --retry-deadline SECS
@@ -113,6 +121,7 @@ use dtn_experiments::{
     SweepReport, TraceCache, Verbosity,
 };
 use dtn_mobility::{read_trace_file, ContactTrace, TraceSummary};
+use dtn_service::httpd::{self, ConnectTarget};
 use dtn_service::{Client, ResilientClient, RetryPolicy};
 use dtn_sim::{par_map_supervised, Histogram, JobOutcome, SimDuration, SimRng, Threads, Watchdog};
 use std::fmt::Write as _;
@@ -387,8 +396,8 @@ fn parse_args() -> Result<Args, String> {
                      [--loss P] [--burst G,B,GB,BG] \
                      [--truncate P] [--ack-loss P] [--churn UP,DOWN[,crash|duty]] \
                      [--robustness [--checkpoint PATH] [--resume]] \
-                     [--connect HOST:PORT [--max-retries N] [--retry-deadline SECS] \
-                     [--daemon-stats | --daemon-shutdown]] [-v | -q]"
+                     [--connect HOST:PORT|http://HOST:PORT [--max-retries N] \
+                     [--retry-deadline SECS] [--daemon-stats | --daemon-shutdown]] [-v | -q]"
                 );
                 std::process::exit(0);
             }
@@ -469,6 +478,9 @@ fn print_report(report: &SweepReport, canonical: bool) {
 ///   "cache_hits": N,              result-cache hits, lifetime
 ///   "cache_misses": N,            result-cache misses, lifetime
 ///   "cache_entries": N,           result-cache size now
+///   "cache_expired": N,           janitor TTL expiries         [volatile]
+///   "cache_evictions": N,         janitor LRU evictions        [volatile]
+///   "cache_bytes": N,             resident result bytes now    [volatile]
 ///   "uptime_secs": F,                                          [volatile]
 ///   "worker_busy_secs": F,                                     [volatile]
 ///   "worker_utilization": F,      busy / (uptime x workers)    [volatile]
@@ -579,6 +591,11 @@ fn render_daemon_stats(raw: &str, canonical: bool) -> Result<String, String> {
     for key in ["cache_hits", "cache_misses", "cache_entries"] {
         let _ = writeln!(out, "  \"{key}\": {},", num(key));
     }
+    // Janitor activity rides the cron clock, not the served work, so
+    // the eviction counters and resident-byte gauge mask as volatile.
+    for key in ["cache_expired", "cache_evictions", "cache_bytes"] {
+        let _ = writeln!(out, "  \"{key}\": {},", volatile_num(key));
+    }
     for key in ["uptime_secs", "worker_busy_secs", "worker_utilization"] {
         let _ = writeln!(out, "  \"{key}\": {},", volatile_num(key));
     }
@@ -633,13 +650,20 @@ fn render_coordinator_stats(raw: &str, canonical: bool) -> Result<String, String
     ] {
         let _ = writeln!(out, "  \"{key}\": {},", num(key));
     }
-    // Probe counts, the hedge deadline, in-flight jobs, and uptime all
-    // track wall time, not served work: they mask with the volatile
-    // group.
+    // Probe counts, the hedge deadline, in-flight jobs, uptime, and the
+    // relay cache (refetch traffic and janitor sweeps both ride wall
+    // clocks) all track wall time, not served work: they mask with the
+    // volatile group.
     for key in [
         "inflight",
         "probes_ok",
         "probes_failed",
+        "relay_hits",
+        "relay_misses",
+        "relay_entries",
+        "cache_expired",
+        "cache_evictions",
+        "cache_bytes",
         "hedge_deadline_ms",
         "uptime_secs",
     ] {
@@ -886,6 +910,178 @@ fn run_robustness_client(args: &Args, addr: &str, log: &Reporter) -> ExitCode {
     }
 }
 
+/// Client mode for `--connect http://host:port`: the same robustness
+/// sweep, submitted through a daemon's HTTP/JSON gateway. The gateway
+/// runs the wire client on our behalf, streams each point's result back
+/// over chunked transfer-encoding as it lands, and finishes with the
+/// assembled report, which prints verbatim — a canonical gateway run is
+/// byte-identical to canonical wire-client and local runs.
+fn run_gateway_client(args: &Args, gateway: &str, log: &Reporter) -> ExitCode {
+    use dtn_service::json::Value;
+    use std::io::{BufRead as _, Read as _, Write as _};
+    let Source::Builtin(mobility) = args.source else {
+        log.error("dtnsim: --robustness needs a built-in mobility");
+        return ExitCode::FAILURE;
+    };
+    // The POST body mirrors `robustness_config` field for field, so the
+    // gateway derives the identical job grid (and therefore the same
+    // content-addressed sweep id a repeated submission collapses onto).
+    let mut spec = format!(
+        "{{\"mobility\":\"{}\",\"load\":{},\"reps\":{},\"seed\":{},\"buffer\":{},\"retries\":{}",
+        mobility.spec(),
+        args.load,
+        args.reps,
+        args.seed,
+        args.buffer,
+        args.retries
+    );
+    if let Some(tx) = args.tx_time {
+        let _ = write!(spec, ",\"tx_time\":{tx}");
+    }
+    if let Some(t) = args.point_timeout {
+        let _ = write!(spec, ",\"point_timeout\":{t}");
+    }
+    if args.audit {
+        spec.push_str(",\"audit\":true");
+    }
+    spec.push('}');
+    let response = match httpd::http_request(
+        gateway,
+        "POST",
+        "/v1/sweeps",
+        Some(("application/json", spec.as_bytes())),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            log.error(format!(
+                "dtnsim: cannot reach gateway at http://{gateway}: {e}"
+            ));
+            return ExitCode::FAILURE;
+        }
+    };
+    let body = String::from_utf8_lossy(&response.body).into_owned();
+    let doc = Value::parse(body.trim()).ok();
+    let member = |key: &str| {
+        doc.as_ref()
+            .and_then(|d| d.get(key).and_then(Value::as_str).map(str::to_string))
+    };
+    match response.status {
+        200 | 202 => {}
+        429 => {
+            let after = response.header("retry-after").unwrap_or("?").to_string();
+            log.error(format!(
+                "dtnsim: gateway backpressure ({}); retry after {after}s",
+                member("reason").unwrap_or_else(|| "queue full".into())
+            ));
+            return ExitCode::FAILURE;
+        }
+        503 => {
+            log.error(format!(
+                "dtnsim: federation degraded below quorum: {}",
+                member("detail").unwrap_or_default()
+            ));
+            return ExitCode::FAILURE;
+        }
+        status => {
+            log.error(format!(
+                "dtnsim: gateway refused the sweep ({status}): {}",
+                body.trim()
+            ));
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(id) = member("id") else {
+        log.error(format!(
+            "dtnsim: gateway reply has no sweep id: {}",
+            body.trim()
+        ));
+        return ExitCode::FAILURE;
+    };
+    log.info(format!("gateway accepted sweep {id}"));
+    let path = format!(
+        "/v1/sweeps/{id}/stream{}",
+        if args.canonical { "?canonical=1" } else { "" }
+    );
+    let stream = match httpd::http_open(gateway, "GET", &path, None) {
+        Ok((200, _, reader)) => reader,
+        Ok((status, _, _)) => {
+            log.error(format!("dtnsim: gateway stream refused ({status})"));
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            log.error(format!("dtnsim: gateway stream failed: {e}"));
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut lines = std::io::BufReader::new(stream);
+    let mut line = String::new();
+    let mut done = 0u64;
+    let mut cached = 0u64;
+    loop {
+        line.clear();
+        match lines.read_line(&mut line) {
+            Ok(0) => {
+                log.error("dtnsim: gateway stream ended without a report");
+                return ExitCode::FAILURE;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                log.error(format!("dtnsim: gateway stream died: {e}"));
+                return ExitCode::FAILURE;
+            }
+        }
+        let Ok(event) = Value::parse(line.trim()) else {
+            log.error(format!("dtnsim: unparseable stream line: {}", line.trim()));
+            return ExitCode::FAILURE;
+        };
+        match event.get("type").and_then(Value::as_str) {
+            Some("point") => {
+                done += 1;
+                if event.get("cached").and_then(Value::as_bool) == Some(true) {
+                    cached += 1;
+                }
+            }
+            Some("report") => {
+                let missing = event.get("missing").and_then(Value::as_u64).unwrap_or(0);
+                let bytes = event.get("bytes").and_then(Value::as_u64).unwrap_or(0) as usize;
+                log.info(format!(
+                    "gateway cache: {cached}/{done} points served from cache"
+                ));
+                // The header names the exact byte count; everything
+                // after it is the report, forwarded verbatim.
+                let mut report = vec![0u8; bytes];
+                if let Err(e) = lines.read_exact(&mut report) {
+                    log.error(format!("dtnsim: torn report stream: {e}"));
+                    return ExitCode::FAILURE;
+                }
+                let stdout = std::io::stdout();
+                let mut out = stdout.lock();
+                if out.write_all(&report).and_then(|()| out.flush()).is_err() {
+                    return ExitCode::FAILURE;
+                }
+                return if missing == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    log.error(format!("dtnsim: partial sweep: {missing} points missing"));
+                    ExitCode::from(3)
+                };
+            }
+            Some("error") => {
+                let status = event
+                    .get("status")
+                    .and_then(Value::as_str)
+                    .unwrap_or("failed");
+                let detail = event.get("error").and_then(Value::as_str).unwrap_or("");
+                log.error(format!("dtnsim: gateway sweep {status}: {detail}"));
+                return ExitCode::FAILURE;
+            }
+            // Forward compatibility: skip event types this client does
+            // not know.
+            _ => {}
+        }
+    }
+}
+
 /// Client mode for a single (protocol, mobility, load) run.
 fn run_single_client(args: &Args, addr: &str, log: &Reporter) -> ExitCode {
     let Source::Builtin(mobility) = args.source else {
@@ -961,7 +1157,34 @@ fn main() -> ExitCode {
     };
     let log = Reporter::new(args.verbosity);
 
-    if let Some(addr) = &args.connect {
+    if let Some(raw_addr) = &args.connect {
+        // `http://host:port` selects the gateway client; bare
+        // `host:port` the wire client; anything else is a typed error.
+        let wire = match httpd::parse_connect_target(raw_addr) {
+            Ok(ConnectTarget::Wire(addr)) => addr,
+            Ok(ConnectTarget::Http(gateway)) => {
+                if args.daemon_stats || args.daemon_shutdown {
+                    log.error(
+                        "dtnsim: --daemon-stats/--daemon-shutdown speak the wire protocol; \
+                         connect to the daemon's host:port, not the gateway URL",
+                    );
+                    return ExitCode::FAILURE;
+                }
+                if !args.robustness {
+                    log.error(
+                        "dtnsim: the gateway serves --robustness sweeps; for a single run \
+                         connect to the daemon's host:port",
+                    );
+                    return ExitCode::FAILURE;
+                }
+                return run_gateway_client(&args, &gateway, &log);
+            }
+            Err(e) => {
+                log.error(format!("dtnsim: {e}"));
+                return ExitCode::FAILURE;
+            }
+        };
+        let addr = wire.as_str();
         if args.daemon_stats {
             let mut client = match connect(addr, &log) {
                 Ok(c) => c,

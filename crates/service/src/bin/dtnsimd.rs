@@ -16,7 +16,10 @@
 //! curl  http://127.0.0.1:9100/metrics   # scrape operational metrics
 //! ```
 
-use dtn_service::{Daemon, DaemonConfig, MetricsServer, TelemetrySnapshotter, ENGINE_VERSION};
+use dtn_service::{
+    Daemon, DaemonConfig, Gateway, GatewayConfig, MetricsServer, TelemetrySnapshotter,
+    ENGINE_VERSION,
+};
 use dtn_sim::Threads;
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
@@ -59,6 +62,16 @@ OPTIONS:
                             (default 300; 0 disables)
     --queue-deadline-ms N   Shed jobs that waited in the queue longer than N ms
                             instead of running them late (default: off)
+    --cache-ttl-secs SECS   Janitor: expire cached results older than SECS
+                            (float; default: off)
+    --cache-max-bytes N     Janitor: evict least-recently-used cached results
+                            while the resident set exceeds N bytes (default: off)
+    --janitor-interval-secs SECS
+                            Nominal period between janitor sweeps (float,
+                            early-jittered; default 5.0)
+    --gateway-port N        Serve the HTTP/JSON gateway (POST /v1/sweeps,
+                            chunked result streaming) on http://127.0.0.1:N
+                            (0 picks a free port; omit to disable)
     --addr-file PATH        Write the bound address to PATH once listening
                             (lets scripts find a port-0 daemon, and a restarted
                             one after a crash)
@@ -73,6 +86,7 @@ fn fail(msg: &str) -> ! {
 
 struct Args {
     config: DaemonConfig,
+    gateway_port: Option<u16>,
     http_port: Option<u16>,
     telemetry_jsonl: Option<PathBuf>,
     telemetry_interval_secs: u64,
@@ -85,6 +99,7 @@ fn parse_args() -> Args {
             addr: "127.0.0.1:7700".to_string(),
             ..DaemonConfig::default()
         },
+        gateway_port: None,
         http_port: None,
         telemetry_jsonl: None,
         telemetry_interval_secs: 5,
@@ -190,6 +205,40 @@ fn parse_args() -> Args {
                 }
                 config.queue_deadline_ms = Some(ms);
             }
+            "--cache-ttl-secs" => {
+                let secs: f64 = value("--cache-ttl-secs")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --cache-ttl-secs: {e}")));
+                if !secs.is_finite() || secs <= 0.0 {
+                    fail("--cache-ttl-secs must be a positive number");
+                }
+                config.cache_ttl_secs = Some(secs);
+            }
+            "--cache-max-bytes" => {
+                let bytes: u64 = value("--cache-max-bytes")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --cache-max-bytes: {e}")));
+                if bytes == 0 {
+                    fail("--cache-max-bytes must be at least 1 (omit to disable)");
+                }
+                config.cache_max_bytes = Some(bytes);
+            }
+            "--janitor-interval-secs" => {
+                let secs: f64 = value("--janitor-interval-secs")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --janitor-interval-secs: {e}")));
+                if !secs.is_finite() || secs <= 0.0 {
+                    fail("--janitor-interval-secs must be a positive number");
+                }
+                config.janitor_interval_secs = secs;
+            }
+            "--gateway-port" => {
+                parsed.gateway_port = Some(
+                    value("--gateway-port")
+                        .parse()
+                        .unwrap_or_else(|e| fail(&format!("bad --gateway-port: {e}"))),
+                )
+            }
             "--addr-file" => parsed.addr_file = Some(PathBuf::from(value("--addr-file"))),
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -239,6 +288,21 @@ fn main() {
     let snapshotter = args.telemetry_jsonl.map(|path| {
         TelemetrySnapshotter::spawn(path, Duration::from_secs(args.telemetry_interval_secs))
     });
+    let gateway = args.gateway_port.map(|port| {
+        let gateway = Gateway::spawn(GatewayConfig {
+            port,
+            ..GatewayConfig::new(&daemon.local_addr().to_string())
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("error: failed to bind gateway port {port}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "dtnsimd gateway on http://{}/v1/sweeps",
+            gateway.local_addr()
+        );
+        gateway
+    });
     eprintln!(
         "dtnsimd listening on {} (engine {ENGINE_VERSION}, {} workers, queue {}, cache {cache_note})",
         daemon.local_addr(),
@@ -246,6 +310,9 @@ fn main() {
         config.queue_capacity,
     );
     let result = daemon.join();
+    if let Some(gateway) = gateway {
+        gateway.shutdown();
+    }
     if let Some(server) = metrics_server {
         server.shutdown();
     }

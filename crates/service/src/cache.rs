@@ -41,6 +41,17 @@
 //! into a sorted snapshot (same format) via tmp-rename; a stale `.tmp`
 //! left by a crash mid-compaction is removed — and counted — on the
 //! next startup.
+//!
+//! ## Bounding the store
+//!
+//! The store tracks resident bytes (keys + fragments) and per-entry
+//! age/recency, and [`ResultStore::evict`] applies an optional TTL and
+//! an optional total-bytes budget: expired entries go first, then
+//! least-recently-used ones until the budget holds. Eviction only
+//! removes *reproducible* state — every fragment is recomputable from
+//! its content-addressed job — so correctness is untouched; the
+//! [`crate::janitor`] drives eviction periodically and compacts the
+//! journal afterwards so the file shrinks with the resident set.
 
 use crate::crc::crc32;
 use crate::json::Value;
@@ -155,12 +166,69 @@ fn record_line(key: &str, fragment: &str) -> String {
     ))
 }
 
+/// One resident entry: the verbatim fragment plus the bookkeeping the
+/// janitor's TTL/LRU policy needs.
+struct Slot {
+    fragment: String,
+    /// When the entry became resident (insert or journal recovery).
+    inserted: Instant,
+    /// The store-wide use tick of the entry's last touch (LRU order).
+    last_used: u64,
+}
+
+/// The resident set behind one lock: the map plus the byte/recency
+/// accounting that must stay exactly consistent with it.
+struct Resident {
+    map: HashMap<String, Slot>,
+    /// Total resident bytes: `key.len() + fragment.len()` per entry.
+    bytes: u64,
+    /// Monotonic use counter; every touch stamps `Slot::last_used`.
+    tick: u64,
+}
+
+impl Resident {
+    fn touch(&mut self, key: &str) -> Option<&Slot> {
+        self.tick += 1;
+        let tick = self.tick;
+        let slot = self.map.get_mut(key)?;
+        slot.last_used = tick;
+        Some(slot)
+    }
+}
+
+fn entry_bytes(key: &str, fragment: &str) -> u64 {
+    (key.len() + fragment.len()) as u64
+}
+
+/// What one [`ResultStore::evict`] pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvictionPass {
+    /// Entries dropped because their age exceeded the TTL.
+    pub expired: u64,
+    /// Entries dropped (LRU-first) to get under the byte budget.
+    pub evicted: u64,
+    /// Resident bytes after the pass.
+    pub bytes: u64,
+    /// Resident entries after the pass.
+    pub entries: usize,
+}
+
+impl EvictionPass {
+    /// True when the pass removed anything (so the journal should be
+    /// compacted to match).
+    pub fn removed_any(&self) -> bool {
+        self.expired + self.evicted > 0
+    }
+}
+
 /// Thread-safe content-addressed store with hit/miss counters and an
 /// optional crash-safe journal.
 pub struct ResultStore {
-    entries: Mutex<HashMap<String, String>>,
+    entries: Mutex<Resident>,
     hits: AtomicU64,
     misses: AtomicU64,
+    expired: AtomicU64,
+    evicted: AtomicU64,
     path: Option<PathBuf>,
     config: JournalConfig,
     journal: Option<Mutex<Journal>>,
@@ -172,9 +240,15 @@ impl ResultStore {
     /// An empty in-memory store (no persistence, no journal).
     pub fn in_memory() -> ResultStore {
         ResultStore {
-            entries: Mutex::new(HashMap::new()),
+            entries: Mutex::new(Resident {
+                map: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
             path: None,
             config: JournalConfig::default(),
             journal: None,
@@ -221,7 +295,7 @@ impl ResultStore {
         let mut fresh = true;
         if let Ok(text) = std::fs::read_to_string(path) {
             fresh = false;
-            let (entries, recovery, keep_bytes) = recover_journal(&text);
+            let (mut entries, recovery, keep_bytes) = recover_journal(&text);
             store.recovery.salvaged = recovery.salvaged;
             store.recovery.discarded = recovery.discarded;
             match keep_bytes {
@@ -238,7 +312,28 @@ impl ResultStore {
                             return store;
                         }
                     }
-                    *store.entries.lock().expect("store poisoned") = entries;
+                    let resident = store.entries.get_mut().expect("store poisoned");
+                    // Recovered entries all restart their TTL clock now
+                    // and take recency in sorted-key order — a
+                    // deterministic baseline the first real touches
+                    // immediately refine.
+                    let now = Instant::now();
+                    let mut keys: Vec<String> = entries.keys().cloned().collect();
+                    keys.sort_unstable();
+                    for key in keys {
+                        let fragment = entries.remove(&key).expect("key just listed");
+                        resident.tick += 1;
+                        resident.bytes += entry_bytes(&key, &fragment);
+                        let tick = resident.tick;
+                        resident.map.insert(
+                            key,
+                            Slot {
+                                fragment,
+                                inserted: now,
+                                last_used: tick,
+                            },
+                        );
+                    }
                 }
                 // Incompatible manifest (other engine, other format,
                 // or damaged): start over with a fresh journal.
@@ -274,11 +369,12 @@ impl ResultStore {
     /// submission-time gate: its counters are what `Stats` reports as
     /// the cache-hit ratio.
     pub fn lookup(&self, key: &str) -> Option<String> {
-        let entries = self.entries.lock().expect("store poisoned");
-        match entries.get(key) {
-            Some(fragment) => {
+        let mut entries = self.entries.lock().expect("store poisoned");
+        match entries.touch(key) {
+            Some(slot) => {
+                let fragment = slot.fragment.clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(fragment.clone())
+                Some(fragment)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -289,12 +385,14 @@ impl ResultStore {
 
     /// Fetch a stored fragment without touching the hit/miss counters
     /// (used when serving `Result` requests for jobs already resolved).
+    /// Still counts as a *use* for the LRU order — a fragment being
+    /// served is the last thing the janitor should evict.
     pub fn fragment(&self, key: &str) -> Option<String> {
         self.entries
             .lock()
             .expect("store poisoned")
-            .get(key)
-            .cloned()
+            .touch(key)
+            .map(|slot| slot.fragment.clone())
     }
 
     /// Insert (or overwrite — last writer wins, results are identical by
@@ -302,10 +400,20 @@ impl ResultStore {
     /// one flush window.
     pub fn insert(&self, key: String, fragment: String) {
         let line = self.journal.is_some().then(|| record_line(&key, &fragment));
-        self.entries
-            .lock()
-            .expect("store poisoned")
-            .insert(key, fragment);
+        {
+            let mut entries = self.entries.lock().expect("store poisoned");
+            entries.tick += 1;
+            entries.bytes += entry_bytes(&key, &fragment);
+            let slot = Slot {
+                fragment,
+                inserted: Instant::now(),
+                last_used: entries.tick,
+            };
+            if let Some(old) = entries.map.insert(key.clone(), slot) {
+                let freed = entry_bytes(&key, &old.fragment);
+                entries.bytes -= freed;
+            }
+        }
         let (Some(journal), Some(line)) = (&self.journal, line) else {
             return;
         };
@@ -348,12 +456,96 @@ impl ResultStore {
 
     /// `(hits, misses, entries)` counters.
     pub fn stats(&self) -> (u64, u64, usize) {
-        let entries = self.entries.lock().expect("store poisoned").len();
+        let entries = self.entries.lock().expect("store poisoned").map.len();
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
             entries,
         )
+    }
+
+    /// Total resident bytes (keys + fragments).
+    pub fn cache_bytes(&self) -> u64 {
+        self.entries.lock().expect("store poisoned").bytes
+    }
+
+    /// `(expired, evicted)` lifetime eviction counters.
+    pub fn eviction_counters(&self) -> (u64, u64) {
+        (
+            self.expired.load(Ordering::Relaxed),
+            self.evicted.load(Ordering::Relaxed),
+        )
+    }
+
+    /// One eviction pass: drop entries older than `ttl`, then drop
+    /// least-recently-used entries until resident bytes fit under
+    /// `max_bytes`. Either bound may be absent. The journal is *not*
+    /// compacted here — callers (the janitor) follow a removing pass
+    /// with [`ResultStore::persist`] so the file shrinks too.
+    pub fn evict(&self, ttl: Option<Duration>, max_bytes: Option<u64>) -> EvictionPass {
+        let mut entries = self.entries.lock().expect("store poisoned");
+        let mut pass = EvictionPass::default();
+
+        if let Some(ttl) = ttl {
+            let dead: Vec<String> = entries
+                .map
+                .iter()
+                .filter(|(_, slot)| slot.inserted.elapsed() >= ttl)
+                .map(|(key, _)| key.clone())
+                .collect();
+            for key in dead {
+                if let Some(slot) = entries.map.remove(&key) {
+                    entries.bytes -= entry_bytes(&key, &slot.fragment);
+                    pass.expired += 1;
+                }
+            }
+        }
+
+        if let Some(budget) = max_bytes {
+            if entries.bytes > budget {
+                // Oldest use first; key as tie-break for determinism.
+                let mut order: Vec<(u64, String)> = entries
+                    .map
+                    .iter()
+                    .map(|(key, slot)| (slot.last_used, key.clone()))
+                    .collect();
+                order.sort_unstable();
+                for (_, key) in order {
+                    if entries.bytes <= budget {
+                        break;
+                    }
+                    if let Some(slot) = entries.map.remove(&key) {
+                        entries.bytes -= entry_bytes(&key, &slot.fragment);
+                        pass.evicted += 1;
+                    }
+                }
+            }
+        }
+
+        pass.bytes = entries.bytes;
+        pass.entries = entries.map.len();
+        self.expired.fetch_add(pass.expired, Ordering::Relaxed);
+        self.evicted.fetch_add(pass.evicted, Ordering::Relaxed);
+        pass
+    }
+
+    /// Remove a stale `.tmp` snapshot next to the journal if one exists
+    /// (a crash mid-compaction leaves one; startup already sweeps once,
+    /// this is the periodic re-sweep the cron runs). Only files whose
+    /// last write is over a minute old are touched, so an in-flight
+    /// [`ResultStore::persist`] can never lose its snapshot to the
+    /// sweeper. Returns how many files were removed (0 or 1).
+    pub fn sweep_stale_tmp(&self) -> u64 {
+        let Some(path) = &self.path else {
+            return 0;
+        };
+        let tmp = path.with_extension("tmp");
+        let stale = std::fs::metadata(&tmp)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age >= Duration::from_secs(60));
+        u64::from(stale && std::fs::remove_file(&tmp).is_ok())
     }
 
     /// What startup recovery salvaged, discarded, and cleaned up.
@@ -389,14 +581,14 @@ impl ResultStore {
         // Hold the entries lock across the snapshot *and* the journal
         // swap so an insert cannot slip between them and be lost.
         let entries = self.entries.lock().expect("store poisoned");
-        let mut out = String::with_capacity(entries.len() * 256 + 64);
+        let mut out = String::with_capacity(entries.map.len() * 256 + 64);
         out.push_str(&manifest_line());
         out.push('\n');
         // Deterministic order keeps the file diff-able across restarts.
-        let mut keys: Vec<&String> = entries.keys().collect();
+        let mut keys: Vec<&String> = entries.map.keys().collect();
         keys.sort_unstable();
         for key in keys {
-            out.push_str(&record_line(key, &entries[key]));
+            out.push_str(&record_line(key, &entries.map[key].fragment));
             out.push('\n');
         }
         let tmp = path.with_extension("tmp");
@@ -644,6 +836,77 @@ mod tests {
         let store = ResultStore::open(&path);
         assert!(!tmp.exists(), "the orphan must be cleaned up");
         assert_eq!(store.recovery().stale_tmp_removed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used_first() {
+        let store = ResultStore::in_memory();
+        // Three entries of 2 + 10 = 12 bytes each.
+        for k in ["aa", "bb", "cc"] {
+            store.insert(k.into(), "{\"runs\":1}".into());
+        }
+        assert_eq!(store.cache_bytes(), 36);
+        // Touch "aa" so "bb" becomes the coldest entry.
+        assert!(store.lookup("aa").is_some());
+        let pass = store.evict(None, Some(24));
+        assert_eq!(pass.evicted, 1);
+        assert_eq!(pass.expired, 0);
+        assert_eq!(pass.bytes, 24);
+        assert!(store.fragment("bb").is_none(), "LRU entry must go first");
+        assert!(store.fragment("aa").is_some());
+        assert!(store.fragment("cc").is_some());
+        assert_eq!(store.eviction_counters(), (0, 1));
+        // Under budget: a second pass is a no-op.
+        assert!(!store.evict(None, Some(64)).removed_any());
+    }
+
+    #[test]
+    fn ttl_expires_old_entries() {
+        let store = ResultStore::in_memory();
+        store.insert("aa".into(), "{\"runs\":1}".into());
+        std::thread::sleep(Duration::from_millis(30));
+        store.insert("bb".into(), "{\"runs\":2}".into());
+        let pass = store.evict(Some(Duration::from_millis(15)), None);
+        assert_eq!(pass.expired, 1);
+        assert!(store.fragment("aa").is_none());
+        assert!(store.fragment("bb").is_some());
+        assert_eq!(store.eviction_counters(), (1, 0));
+    }
+
+    #[test]
+    fn eviction_then_persist_compacts_and_survivors_replay_verbatim() {
+        let dir = std::env::temp_dir().join(format!("dtn_store_evict_{}", std::process::id()));
+        let path = dir.join("cache.jsonl");
+        let store = ResultStore::open_with(
+            &path,
+            JournalConfig {
+                flush_every: 1,
+                ..JournalConfig::default()
+            },
+        );
+        let fat = format!("{{\"runs\":[{}]}}", "7,".repeat(200) + "7");
+        for k in ["aa", "bb", "cc", "dd"] {
+            store.insert(k.into(), fat.clone());
+        }
+        let lines_before = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert_eq!(lines_before, 5, "manifest + 4 records");
+        // Keep the two hottest entries' worth of bytes.
+        assert!(store.lookup("cc").is_some());
+        assert!(store.lookup("dd").is_some());
+        let budget = 2 * (2 + fat.len() as u64);
+        let pass = store.evict(None, Some(budget));
+        assert_eq!(pass.evicted, 2);
+        assert!(pass.bytes <= budget);
+        store.persist().unwrap();
+        let lines_after = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert_eq!(lines_after, 3, "compaction must drop evicted records");
+        // Cold restart: survivors replay verbatim, evictees are gone.
+        let reloaded = ResultStore::open(&path);
+        assert_eq!(reloaded.fragment("cc").as_deref(), Some(fat.as_str()));
+        assert_eq!(reloaded.fragment("dd").as_deref(), Some(fat.as_str()));
+        assert!(reloaded.fragment("aa").is_none());
+        assert_eq!(reloaded.cache_bytes(), pass.bytes);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

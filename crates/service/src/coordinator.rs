@@ -42,8 +42,10 @@
 //!   instead of hanging — "drain what's reachable, report what's
 //!   missing".
 
-use crate::cache::{job_key, ENGINE_VERSION};
+use crate::cache::{job_key, ResultStore, ENGINE_VERSION};
 use crate::client::{Client, ClientError};
+use crate::cron::{Cron, CronBuilder};
+use crate::janitor::{Janitor, JanitorConfig};
 use crate::json::{escape, Value};
 use crate::membership::{Membership, ShardHealth, Transition};
 use crate::wire::{
@@ -111,6 +113,14 @@ pub struct CoordinatorConfig {
     pub write_timeout_secs: Option<u64>,
     /// Seed for the probe-jitter RNG sub-stream.
     pub seed: u64,
+    /// Relay-cache TTL: drop memoized result frames older than this
+    /// many seconds (`None` disables age-based expiry).
+    pub cache_ttl_secs: Option<f64>,
+    /// Relay-cache byte budget: evict least-recently-served frames
+    /// while the resident set exceeds this (`None` disables).
+    pub cache_max_bytes: Option<u64>,
+    /// Nominal period between janitor sweeps over the relay cache.
+    pub janitor_interval_secs: f64,
 }
 
 impl Default for CoordinatorConfig {
@@ -132,6 +142,9 @@ impl Default for CoordinatorConfig {
             idle_timeout_secs: Some(300),
             write_timeout_secs: Some(30),
             seed: 0,
+            cache_ttl_secs: None,
+            cache_max_bytes: None,
+            janitor_interval_secs: 5.0,
         }
     }
 }
@@ -256,6 +269,11 @@ struct FedJob {
 struct FedShared {
     config: CoordinatorConfig,
     local_addr: std::net::SocketAddr,
+    /// Memoized worker `result` frames, keyed by job id and relayed
+    /// verbatim — a refetch (healing client, second client, gateway
+    /// stream) is served without a worker round-trip. In-memory only:
+    /// the workers' own journals are the durable copy.
+    relay: Arc<ResultStore>,
     membership: Mutex<Membership>,
     /// Lock order: never acquire `membership` while holding `jobs`.
     jobs: Mutex<HashMap<String, FedJob>>,
@@ -282,6 +300,7 @@ pub struct Coordinator {
     local_addr: std::net::SocketAddr,
     accept: Option<JoinHandle<()>>,
     prober: Option<JoinHandle<()>>,
+    cron: Option<Cron>,
 }
 
 impl Coordinator {
@@ -304,6 +323,7 @@ impl Coordinator {
         let shared = Arc::new(FedShared {
             config: config.clone(),
             local_addr,
+            relay: Arc::new(ResultStore::in_memory()),
             membership: Mutex::new(membership),
             jobs: Mutex::new(HashMap::new()),
             shard_series: Mutex::new(series),
@@ -337,11 +357,35 @@ impl Coordinator {
                 .spawn(move || health_loop(&shared))
                 .expect("spawn health prober")
         };
+        // The janitor bounds the relay cache; its telemetry series
+        // (including the `dtnfedd_cache_bytes` refresh hook) register
+        // even when no bound is configured, so the families always
+        // exist on `/metrics`.
+        let janitor = Janitor::new(
+            Arc::clone(&shared.relay),
+            JanitorConfig {
+                ttl: config.cache_ttl_secs.map(Duration::from_secs_f64),
+                max_bytes: config.cache_max_bytes,
+            },
+            "dtnfedd",
+        );
+        let mut cron = CronBuilder::new(config.seed);
+        if janitor.config().is_active() {
+            cron = cron.every(
+                "janitor",
+                Duration::from_secs_f64(config.janitor_interval_secs.max(0.05)),
+                move || {
+                    janitor.sweep();
+                },
+            );
+        }
+        let cron = cron.spawn("dtnfedd-cron").expect("spawn cron scheduler");
         Ok(Coordinator {
             shared,
             local_addr,
             accept: Some(accept),
             prober: Some(prober),
+            cron: Some(cron),
         })
     }
 
@@ -357,6 +401,9 @@ impl Coordinator {
         }
         if let Some(prober) = self.prober.take() {
             let _ = prober.join();
+        }
+        if let Some(cron) = self.cron.take() {
+            cron.shutdown();
         }
         Ok(())
     }
@@ -948,6 +995,12 @@ fn handle_result(shared: &Arc<FedShared>, conns: &mut ShardConns, request: &Valu
         .get("wait")
         .and_then(Value::as_bool)
         .unwrap_or(false);
+    // Relay-cache hit: a frame already fetched from a worker is served
+    // verbatim, with no worker round-trip (healing clients and gateway
+    // streams refetch aggressively; the workers shouldn't pay for it).
+    if let Some(raw) = shared.relay.fragment(&id) {
+        return raw;
+    }
     // Unknown points answer `unknown_job` exactly like a restarted
     // daemon: the resilient client resubmits (idempotent) and heals.
     let tracked = {
@@ -1101,6 +1154,14 @@ fn handle_result(shared: &Arc<FedShared>, conns: &mut ShardConns, request: &Valu
 
         match fetch_step(conns, &step_addr, &id, Duration::from_millis(quantum_ms)) {
             FetchStep::Done(raw) => {
+                // A relay serve IS a cache hit from the refetcher's
+                // point of view, even when this first fetch computed
+                // fresh. The envelope's `cached` member precedes the
+                // fragment (job ids are hex), so the first match is
+                // always the envelope and the fragment bytes stay
+                // verbatim.
+                let memo = raw.replacen("\"cached\":false", "\"cached\":true", 1);
+                shared.relay.insert(id.clone(), memo);
                 let first = {
                     let mut jobs = shared.jobs.lock().expect("jobs poisoned");
                     let job = jobs.get_mut(&id).expect("tracked");
@@ -1288,6 +1349,8 @@ fn handle_stats(shared: &Arc<FedShared>) -> String {
          \"failovers\":{},\"hedges\":{},\"redispatches\":{},\
          \"rejected_no_workers\":{},\"rejected_unreachable\":{},\
          \"probes_ok\":{},\"probes_failed\":{},\
+         \"relay_hits\":{},\"relay_misses\":{},\"relay_entries\":{},\
+         \"cache_expired\":{},\"cache_evictions\":{},\"cache_bytes\":{},\
          \"hedge_deadline_ms\":{},\"uptime_secs\":{uptime},\
          \"shards\":{shards_json}}}",
         escape(ENGINE_VERSION),
@@ -1301,6 +1364,12 @@ fn handle_stats(shared: &Arc<FedShared>) -> String {
         shared.rejected_unreachable.load(Ordering::Relaxed),
         shared.probes_ok.load(Ordering::Relaxed),
         shared.probes_failed.load(Ordering::Relaxed),
+        shared.relay.stats().0,
+        shared.relay.stats().1,
+        shared.relay.stats().2,
+        shared.relay.eviction_counters().0,
+        shared.relay.eviction_counters().1,
+        shared.relay.cache_bytes(),
         hedge_deadline_ms(shared),
     )
 }

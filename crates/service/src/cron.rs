@@ -1,0 +1,267 @@
+//! The service's one periodic-work thread: a jittered task scheduler.
+//!
+//! `dtnsimd` used to grow one ad-hoc thread per background chore — a
+//! journal flusher here, a telemetry snapshotter there — each with its
+//! own sleep loop, stop flag, and shutdown quirks. [`Cron`] replaces
+//! them with a single scheduler thread running any number of
+//! [`CronBuilder`]-registered tasks, each on its own jittered period.
+//!
+//! Jitter matters operationally (a fleet of daemons must not flush
+//! journals or snapshot telemetry in lockstep) but must not cost
+//! reproducibility: the delay schedule is drawn from a
+//! [`SimRng`] sub-stream salted per task, so a given `(seed, task
+//! index)` replays the identical schedule every run —
+//! [`delay_schedule`] exposes the pure computation for tests.
+//!
+//! Shutdown is prompt (a condvar, not a polled sleep) and tasks marked
+//! [`CronBuilder::every_final`] run one last time on the way out — how
+//! the telemetry snapshotter writes its final line and the journal
+//! flusher drains its last window.
+
+use dtn_sim::SimRng;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sub-stream salt for cron jitter, in the service's `0xFA01_70xx`
+/// salt address space (distinct from client retry, reconnect, and
+/// prober jitter so none of the schedules can correlate).
+const CRON_SALT: u64 = 0xFA01_7000_0004_0000;
+
+/// Fraction of the period a task may fire early: each delay is drawn
+/// uniformly from `[period * (1 - JITTER_FRAC), period]`, mirroring the
+/// coordinator prober's early-biased window (never late, so TTL and
+/// flush guarantees stay upper-bounded by the nominal period).
+const JITTER_FRAC: f64 = 0.25;
+
+/// The pure jitter computation: the first `n` delays of task
+/// `task_index` under `seed`. Equal inputs produce equal schedules —
+/// the determinism contract the scheduler thread inherits.
+pub fn delay_schedule(seed: u64, task_index: u64, period: Duration, n: usize) -> Vec<Duration> {
+    let mut rng = SimRng::new(seed).derive(CRON_SALT ^ task_index);
+    (0..n).map(|_| jittered(period, &mut rng)).collect()
+}
+
+fn jittered(period: Duration, rng: &mut SimRng) -> Duration {
+    let period_ms = period.as_millis().max(1) as u64;
+    let floor_ms = ((period_ms as f64) * (1.0 - JITTER_FRAC)).max(1.0) as u64;
+    Duration::from_millis(rng.range_inclusive(floor_ms, period_ms).max(1))
+}
+
+struct Task {
+    name: &'static str,
+    period: Duration,
+    run_on_shutdown: bool,
+    job: Box<dyn FnMut() + Send>,
+    rng: SimRng,
+    due: Instant,
+}
+
+/// Declarative registration of periodic tasks; [`CronBuilder::spawn`]
+/// turns the set into one scheduler thread.
+pub struct CronBuilder {
+    seed: u64,
+    tasks: Vec<Task>,
+}
+
+impl CronBuilder {
+    /// A builder whose jitter streams derive from `seed` (equal seeds
+    /// replay equal schedules).
+    pub fn new(seed: u64) -> CronBuilder {
+        CronBuilder {
+            seed,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Register `job` to run roughly every `period` (early-jittered,
+    /// never late). `name` labels the task in schedules and tests.
+    pub fn every(
+        self,
+        name: &'static str,
+        period: Duration,
+        job: impl FnMut() + Send + 'static,
+    ) -> CronBuilder {
+        self.register(name, period, false, job)
+    }
+
+    /// Like [`CronBuilder::every`], but the task also runs once more
+    /// during shutdown — for final flushes and last snapshot lines.
+    pub fn every_final(
+        self,
+        name: &'static str,
+        period: Duration,
+        job: impl FnMut() + Send + 'static,
+    ) -> CronBuilder {
+        self.register(name, period, true, job)
+    }
+
+    fn register(
+        mut self,
+        name: &'static str,
+        period: Duration,
+        run_on_shutdown: bool,
+        job: impl FnMut() + Send + 'static,
+    ) -> CronBuilder {
+        let index = self.tasks.len() as u64;
+        let mut rng = SimRng::new(self.seed).derive(CRON_SALT ^ index);
+        let first = jittered(period, &mut rng);
+        self.tasks.push(Task {
+            name,
+            period: period.max(Duration::from_millis(1)),
+            run_on_shutdown,
+            job: Box::new(job),
+            rng,
+            due: Instant::now() + first,
+        });
+        self
+    }
+
+    /// Names of the registered tasks, in registration (= salt) order.
+    pub fn task_names(&self) -> Vec<&'static str> {
+        self.tasks.iter().map(|t| t.name).collect()
+    }
+
+    /// Start the scheduler thread. With no tasks registered this still
+    /// spawns (and immediately parks) so the caller's shutdown path is
+    /// uniform.
+    pub fn spawn(self, thread_name: &str) -> std::io::Result<Cron> {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let mut tasks = self.tasks;
+        let handle = std::thread::Builder::new()
+            .name(thread_name.to_string())
+            .spawn(move || {
+                let (lock, cv) = &*thread_stop;
+                loop {
+                    let now = Instant::now();
+                    for task in tasks.iter_mut() {
+                        if task.due <= now {
+                            (task.job)();
+                            let delay = jittered(task.period, &mut task.rng);
+                            task.due = now + delay;
+                        }
+                    }
+                    let next = tasks.iter().map(|t| t.due).min();
+                    let wait = next.map_or(Duration::from_secs(3600), |due| {
+                        due.saturating_duration_since(Instant::now())
+                    });
+                    let stopped = lock.lock().expect("cron stop poisoned");
+                    if *stopped {
+                        break;
+                    }
+                    let (stopped, _) = cv.wait_timeout(stopped, wait).expect("cron stop poisoned");
+                    if *stopped {
+                        break;
+                    }
+                }
+                for task in tasks.iter_mut() {
+                    if task.run_on_shutdown {
+                        (task.job)();
+                    }
+                }
+            })?;
+        Ok(Cron {
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+/// A running scheduler thread. Dropping without
+/// [`Cron::shutdown`] detaches the thread (tests should shut down).
+pub struct Cron {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Cron {
+    /// Stop the scheduler: wakes the thread immediately, runs every
+    /// `every_final` task once more, and joins.
+    pub fn shutdown(mut self) {
+        self.signal_stop();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn signal_stop(&self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().expect("cron stop poisoned") = true;
+        cv.notify_all();
+    }
+}
+
+impl Drop for Cron {
+    fn drop(&mut self) {
+        // Best effort: wake the thread so a forgotten shutdown doesn't
+        // leave it sleeping a full period; the handle is detached.
+        self.signal_stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn delay_schedule_is_deterministic_and_early_biased() {
+        let period = Duration::from_millis(1000);
+        let a = delay_schedule(7, 0, period, 16);
+        assert_eq!(a, delay_schedule(7, 0, period, 16), "same seed, same task");
+        assert_ne!(a, delay_schedule(8, 0, period, 16), "seed changes it");
+        assert_ne!(a, delay_schedule(7, 1, period, 16), "task salt changes it");
+        for d in &a {
+            let ms = d.as_millis() as u64;
+            assert!((750..=1000).contains(&ms), "delay {ms}ms outside window");
+        }
+    }
+
+    #[test]
+    fn tasks_fire_repeatedly_and_final_tasks_run_on_shutdown() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let finals = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&ticks);
+        let f = Arc::clone(&finals);
+        let cron = CronBuilder::new(3)
+            .every("tick", Duration::from_millis(5), move || {
+                t.fetch_add(1, Ordering::Relaxed);
+            })
+            .every_final("flush", Duration::from_secs(3600), move || {
+                f.fetch_add(1, Ordering::Relaxed);
+            })
+            .spawn("cron-test")
+            .expect("spawn");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ticks.load(Ordering::Relaxed) < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(ticks.load(Ordering::Relaxed) >= 3, "fast task must repeat");
+        assert_eq!(
+            finals.load(Ordering::Relaxed),
+            0,
+            "hour-period task must not have fired yet"
+        );
+        cron.shutdown();
+        assert_eq!(
+            finals.load(Ordering::Relaxed),
+            1,
+            "final task runs exactly once at shutdown"
+        );
+    }
+
+    #[test]
+    fn shutdown_is_prompt_despite_long_periods() {
+        let cron = CronBuilder::new(1)
+            .every("slow", Duration::from_secs(3600), || {})
+            .spawn("cron-prompt")
+            .expect("spawn");
+        let started = Instant::now();
+        cron.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "shutdown must not wait out the period"
+        );
+    }
+}

@@ -19,6 +19,8 @@
 //! its result from the same daemon incarnation.
 
 use crate::cache::{job_key, JournalConfig, ResultStore, ENGINE_VERSION};
+use crate::cron::{Cron, CronBuilder};
+use crate::janitor::{Janitor, JanitorConfig};
 use crate::json::{escape, Value};
 use crate::wire::{is_bad_frame, job_from_value, read_frame_deadline, write_frame};
 use dtn_experiments::jobs::{PointJob, RunOutcome};
@@ -76,6 +78,15 @@ pub struct DaemonConfig {
     /// disables; the default, since shedding trades completeness for
     /// latency and only an operator can make that call).
     pub queue_deadline_ms: Option<u64>,
+    /// Janitor TTL: evict cached results older than this many seconds
+    /// (`None` disables age-based expiry).
+    pub cache_ttl_secs: Option<f64>,
+    /// Janitor byte budget: evict least-recently-used cached results
+    /// while the resident set exceeds this (`None` disables).
+    pub cache_max_bytes: Option<u64>,
+    /// Nominal period between janitor sweeps (early-jittered by the
+    /// cron scheduler; irrelevant unless a TTL or budget is set).
+    pub janitor_interval_secs: f64,
 }
 
 impl Default for DaemonConfig {
@@ -94,6 +105,9 @@ impl Default for DaemonConfig {
             idle_timeout_secs: Some(300),
             write_timeout_secs: Some(30),
             queue_deadline_ms: None,
+            cache_ttl_secs: None,
+            cache_max_bytes: None,
+            janitor_interval_secs: 5.0,
         }
     }
 }
@@ -256,7 +270,7 @@ struct JobEntry {
 struct Shared {
     config: DaemonConfig,
     local_addr: std::net::SocketAddr,
-    store: ResultStore,
+    store: Arc<ResultStore>,
     trace_cache: Arc<TraceCache>,
     queue: Mutex<VecDeque<String>>,
     work_cv: Condvar,
@@ -298,7 +312,7 @@ pub struct Daemon {
     local_addr: std::net::SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    flusher: Option<JoinHandle<()>>,
+    cron: Option<Cron>,
 }
 
 impl Daemon {
@@ -307,7 +321,7 @@ impl Daemon {
     pub fn spawn(config: DaemonConfig) -> std::io::Result<Daemon> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let store = match &config.cache_path {
+        let store = Arc::new(match &config.cache_path {
             Some(path) => ResultStore::open_with(
                 path,
                 JournalConfig {
@@ -316,7 +330,7 @@ impl Daemon {
                 },
             ),
             None => ResultStore::in_memory(),
-        };
+        });
         let metrics = DaemonMetrics::register();
         // Surface what journal recovery found — the crash story must be
         // auditable from telemetry alone.
@@ -379,30 +393,46 @@ impl Daemon {
                 .expect("spawn accept loop")
         };
 
-        // The journal's time-based flush window must hold even when no
-        // inserts arrive to trigger it lazily.
-        let flusher = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("dtnsimd-journal-flush".to_string())
-                .spawn(move || {
-                    let tick = Duration::from_secs_f64(
-                        (shared.config.journal_flush_secs / 2.0).clamp(0.05, 1.0),
-                    );
-                    while !shared.shutting_down.load(Ordering::SeqCst) {
-                        std::thread::sleep(tick);
-                        let _ = shared.store.flush_journal(false);
-                    }
-                })
-                .expect("spawn journal flusher")
-        };
+        // All periodic chores ride one jittered cron thread: the
+        // journal's time-based flush window (which must hold even when
+        // no inserts arrive to trigger it lazily), the cache janitor,
+        // and the stale-`.tmp` sweep.
+        let janitor = Janitor::new(
+            Arc::clone(&shared.store),
+            JanitorConfig {
+                ttl: config.cache_ttl_secs.map(Duration::from_secs_f64),
+                max_bytes: config.cache_max_bytes,
+            },
+            "dtnsimd",
+        );
+        let flush_tick =
+            Duration::from_secs_f64((config.journal_flush_secs / 2.0).clamp(0.05, 1.0));
+        let flush_store = Arc::clone(&shared.store);
+        let mut cron = CronBuilder::new(0).every_final("journal-flush", flush_tick, move || {
+            let _ = flush_store.flush_journal(false);
+        });
+        if janitor.config().is_active() {
+            cron = cron.every(
+                "janitor",
+                Duration::from_secs_f64(config.janitor_interval_secs.max(0.05)),
+                move || {
+                    janitor.sweep();
+                },
+            );
+            let tmp_shared = Arc::clone(&shared);
+            cron = cron.every("stale-tmp", Duration::from_secs(60), move || {
+                let removed = tmp_shared.store.sweep_stale_tmp();
+                tmp_shared.metrics.stale_tmp_removed.add(removed);
+            });
+        }
+        let cron = cron.spawn("dtnsimd-cron").expect("spawn cron scheduler");
 
         Ok(Daemon {
             shared,
             local_addr,
             accept: Some(accept),
             workers,
-            flusher: Some(flusher),
+            cron: Some(cron),
         })
     }
 
@@ -423,8 +453,8 @@ impl Daemon {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        if let Some(flusher) = self.flusher.take() {
-            let _ = flusher.join();
+        if let Some(cron) = self.cron.take() {
+            cron.shutdown();
         }
         self.shared.store.persist()
     }
@@ -899,6 +929,7 @@ fn handle_stats(shared: &Arc<Shared>) -> String {
          \"journal_salvaged\":{},\"journal_discarded\":{},\
          \"journal_flushes\":{},\"journal_errors\":{},\
          \"stale_tmp_removed\":{},\
+         \"cache_expired\":{},\"cache_evictions\":{},\"cache_bytes\":{},\
          \"uptime_secs\":{uptime},\"worker_busy_secs\":{busy_secs},\
          \"worker_utilization\":{utilization},\
          \"latency\":{{\"frame_decode\":{},\"request\":{},\"queue_wait\":{},\
@@ -925,6 +956,9 @@ fn handle_stats(shared: &Arc<Shared>) -> String {
         shared.store.journal_flushes(),
         shared.store.journal_errors(),
         shared.store.recovery().stale_tmp_removed,
+        shared.store.eviction_counters().0,
+        shared.store.eviction_counters().1,
+        shared.store.cache_bytes(),
         snapshot_json(&m.frame_decode.snapshot()),
         snapshot_json(&m.request.snapshot()),
         snapshot_json(&m.queue_wait.snapshot()),

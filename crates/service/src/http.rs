@@ -1,171 +1,100 @@
-//! The `dtnsimd` HTTP sidecar: a hand-rolled, std-only listener serving
-//! the process-global telemetry registry as Prometheus text on
-//! `GET /metrics` (plus `GET /healthz` for liveness probes), and a
-//! periodic JSONL snapshot writer for `--telemetry-jsonl`.
+//! The telemetry sidecar: `GET /metrics` (Prometheus text) and
+//! `GET /healthz` for liveness probes, plus the periodic JSONL snapshot
+//! writer behind `--telemetry-jsonl`.
 //!
-//! Deliberately tiny: one thread, one connection at a time, HTTP/1.0
-//! semantics (`Connection: close` on every response). Scrapers poll on
-//! the order of seconds; a concurrent server would be complexity spent
-//! on a non-problem. The main wire protocol stays on its own port —
-//! this sidecar can be dropped, firewalled, or omitted without touching
-//! the job path.
+//! Both are thin compositions over the crate's shared machinery — the
+//! listener is a [`crate::httpd::HttpServer`] with a two-route handler
+//! (so the workspace has exactly one HTTP implementation), and the
+//! snapshot writer is a [`crate::cron`] task (so the daemon has exactly
+//! one periodic-work thread discipline). The sidecar still binds its
+//! own port: it can be dropped, firewalled, or omitted without touching
+//! the job path, and scrapers polling with plain HTTP/1.0 requests keep
+//! working — the shared parser accepts both versions and every response
+//! carries `Connection: close`.
 
+use crate::cron::{Cron, CronBuilder};
+use crate::httpd::{Handler, HttpLimits, HttpServer};
 use dtn_sim::telemetry;
-use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::Write;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// A running metrics HTTP listener.
 pub struct MetricsServer {
-    local_addr: std::net::SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    server: HttpServer,
 }
 
 impl MetricsServer {
     /// Bind `127.0.0.1:port` (port 0 picks a free port) and serve the
     /// global registry until [`MetricsServer::shutdown`].
     pub fn spawn(port: u16) -> std::io::Result<MetricsServer> {
-        let listener = TcpListener::bind(("127.0.0.1", port))?;
-        let local_addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let thread_stop = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("dtnsimd-http".to_string())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if thread_stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    let _ = serve_one(stream);
-                }
-            })?;
-        Ok(MetricsServer {
-            local_addr,
-            stop,
-            handle: Some(handle),
-        })
+        let handler: Arc<Handler> = Arc::new(|request, responder| {
+            if request.method != "GET" {
+                let _ = responder.send("405 Method Not Allowed", "text/plain", &[], b"");
+                return;
+            }
+            let _ = match request.path.as_str() {
+                "/metrics" => responder.send(
+                    "200 OK",
+                    "text/plain; version=0.0.4",
+                    &[],
+                    telemetry::global().render_prometheus().as_bytes(),
+                ),
+                "/healthz" => responder.send("200 OK", "text/plain", &[], b"ok\n"),
+                _ => responder.send("404 Not Found", "text/plain", &[], b""),
+            };
+        });
+        let server = HttpServer::spawn(port, "dtnsimd-http", HttpLimits::default(), handler)?;
+        Ok(MetricsServer { server })
     }
 
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> std::net::SocketAddr {
-        self.local_addr
+        self.server.local_addr()
     }
 
     /// Stop the listener and join its thread.
-    pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Poke the listener out of its blocking accept().
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
+    pub fn shutdown(self) {
+        self.server.shutdown()
     }
 }
 
-/// Read the request head (just enough to route), answer, close.
-fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    // Read until the blank line ending the head — clients may legally
-    // dribble the request across several writes.
-    let mut head_bytes = Vec::with_capacity(256);
-    let mut buf = [0u8; 1024];
-    loop {
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            break;
-        }
-        head_bytes.extend_from_slice(&buf[..n]);
-        if head_bytes.windows(4).any(|w| w == b"\r\n\r\n") || head_bytes.len() > 8192 {
-            break;
-        }
-    }
-    let head = String::from_utf8_lossy(&head_bytes);
-    let target = head
-        .lines()
-        .next()
-        .and_then(|line| line.split_whitespace().nth(1))
-        .unwrap_or("");
-    let method_ok = head.starts_with("GET ");
-    let (status, content_type, body) = match target {
-        _ if !method_ok => ("405 Method Not Allowed", "text/plain", String::new()),
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4",
-            telemetry::global().render_prometheus(),
-        ),
-        "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
-        _ => ("404 Not Found", "text/plain", String::new()),
-    };
-    let response = format!(
-        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(response.as_bytes())
-}
-
-/// A background thread appending one [`telemetry`] JSONL snapshot line
-/// to a file every `interval` until shut down (a final line is written
-/// on shutdown so short-lived daemons still leave a snapshot).
+/// A periodic task appending one [`telemetry`] JSONL snapshot line to a
+/// file every `interval` until shut down (a final line is written on
+/// shutdown so short-lived daemons still leave a snapshot).
 pub struct TelemetrySnapshotter {
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    cron: Option<Cron>,
 }
 
 impl TelemetrySnapshotter {
     /// Start appending snapshots of the global registry to `path`.
     pub fn spawn(path: PathBuf, interval: Duration) -> TelemetrySnapshotter {
-        let stop = Arc::new(AtomicBool::new(false));
-        let thread_stop = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("dtnsimd-telemetry-jsonl".to_string())
-            .spawn(move || {
-                let write_line = |path: &PathBuf| {
-                    let millis = SystemTime::now()
-                        .duration_since(UNIX_EPOCH)
-                        .map(|d| d.as_millis() as u64)
-                        .unwrap_or(0);
-                    let line = telemetry::global().render_jsonl(millis, false);
-                    if let Ok(mut f) = std::fs::OpenOptions::new()
-                        .create(true)
-                        .append(true)
-                        .open(path)
-                    {
-                        let _ = writeln!(f, "{line}");
-                    }
-                };
-                // Coarse 50 ms poll of the stop flag keeps shutdown
-                // prompt without a condvar.
-                let tick = Duration::from_millis(50);
-                let mut elapsed = Duration::ZERO;
-                while !thread_stop.load(Ordering::SeqCst) {
-                    std::thread::sleep(tick);
-                    elapsed += tick;
-                    if elapsed >= interval {
-                        elapsed = Duration::ZERO;
-                        write_line(&path);
-                    }
-                }
-                write_line(&path);
-            })
+        let write_line = move || {
+            let millis = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+            let line = telemetry::global().render_jsonl(millis, false);
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(f, "{line}");
+            }
+        };
+        let cron = CronBuilder::new(0)
+            .every_final("telemetry-jsonl", interval, write_line)
+            .spawn("dtnsimd-telemetry-jsonl")
             .expect("spawn telemetry snapshotter");
-        TelemetrySnapshotter {
-            stop,
-            handle: Some(handle),
-        }
+        TelemetrySnapshotter { cron: Some(cron) }
     }
 
     /// Stop the writer, flushing one final snapshot line.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+        if let Some(cron) = self.cron.take() {
+            cron.shutdown();
         }
     }
 }
@@ -173,9 +102,13 @@ impl TelemetrySnapshotter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
+    use std::net::TcpStream;
 
     fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).unwrap();
+        // Old scrapers speak HTTP/1.0; the shared parser must keep
+        // accepting them.
         let request = format!("GET {path} HTTP/1.0\r\n\r\n");
         stream.write_all(request.as_bytes()).unwrap();
         let mut out = String::new();
@@ -191,11 +124,12 @@ mod tests {
         let server = MetricsServer::spawn(0).unwrap();
         let addr = server.local_addr();
         let response = http_get(addr, "/metrics");
-        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("Content-Type: text/plain; version=0.0.4"));
         assert!(response.contains("# TYPE test_http_total counter"));
         assert!(response.contains("test_http_total 9"));
         assert!(http_get(addr, "/healthz").contains("ok"));
-        assert!(http_get(addr, "/nope").starts_with("HTTP/1.0 404"));
+        assert!(http_get(addr, "/nope").starts_with("HTTP/1.1 404"));
         server.shutdown();
     }
 

@@ -30,9 +30,17 @@
 //!   testing the daemon/client pair under drops, delays, mid-frame
 //!   truncation, byte corruption, and severed connections;
 //! * [`crc`] — the CRC32 shared by wire framing and the cache journal;
-//! * [`http`] — the telemetry sidecar: a std-only HTTP listener serving
-//!   the process-global metric registry as Prometheus text on
-//!   `GET /metrics`, plus the `--telemetry-jsonl` snapshot writer;
+//! * [`httpd`] — the crate's one HTTP/1.1 implementation: a bounded
+//!   request parser, chunked transfer encoding, a tiny client half, and
+//!   the `/v1` gateway that fronts daemon or federation over plain
+//!   HTTP/JSON with streaming result delivery;
+//! * [`http`] — the telemetry sidecar (`/metrics`, `/healthz`) served
+//!   through [`httpd`], plus the `--telemetry-jsonl` snapshot writer;
+//! * [`janitor`] — result-cache housekeeping: TTL expiry, byte-budget
+//!   LRU eviction, and journal compaction on a periodic sweep;
+//! * [`cron`] — the single jittered periodic-task scheduler thread that
+//!   drives the janitor, journal flushes, telemetry snapshots, and
+//!   stale-`.tmp` sweeps;
 //! * [`json`] — the minimal std-only JSON reader backing the protocol.
 //!
 //! The load-bearing invariant, checked end to end by `tests/service.rs`:
@@ -47,8 +55,11 @@ pub mod cache;
 pub mod client;
 pub mod coordinator;
 pub mod crc;
+pub mod cron;
 pub mod daemon;
 pub mod http;
+pub mod httpd;
+pub mod janitor;
 pub mod json;
 pub mod membership;
 pub mod proxy;
@@ -58,8 +69,11 @@ pub mod wire;
 pub use cache::{job_key, JournalConfig, RecoveryStats, ResultStore, ENGINE_VERSION};
 pub use client::{Client, ClientError, RetryPolicy, SubmitTicket};
 pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use cron::{Cron, CronBuilder};
 pub use daemon::{Daemon, DaemonConfig};
 pub use http::{MetricsServer, TelemetrySnapshotter};
+pub use httpd::{ConnectTarget, Gateway, GatewayConfig, HttpServer};
+pub use janitor::{Janitor, JanitorConfig};
 pub use membership::{Membership, ShardHealth};
 pub use proxy::{FaultProxy, ProxyPlan, UpstreamResolver};
 pub use resilient::{HealStats, ResilientClient};

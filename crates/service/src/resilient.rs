@@ -40,6 +40,10 @@ use std::time::Instant;
 /// submit-retry stream so the two schedules cannot correlate).
 const RECONNECT_SALT: u64 = 0xFA01_7000_0001_0040;
 
+/// Per-point progress callback: `(index, fragment, cached)`, invoked
+/// exactly once per point as it completes.
+pub type PointSink<'a> = &'a mut dyn FnMut(usize, &str, bool);
+
 /// What the healing layer had to do to finish a sweep. All zero on a
 /// fault-free run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -134,7 +138,7 @@ impl ResilientClient {
         &mut self,
         jobs: &[PointJob],
     ) -> Result<Vec<(String, bool)>, ClientError> {
-        let collected = self.collect_inner(jobs, false)?;
+        let collected = self.collect_inner(jobs, false, None)?;
         Ok(collected
             .into_iter()
             .map(|f| f.expect("partial=false never leaves holes"))
@@ -152,13 +156,28 @@ impl ResilientClient {
         &mut self,
         jobs: &[PointJob],
     ) -> Result<Vec<Option<(String, bool)>>, ClientError> {
-        self.collect_inner(jobs, true)
+        self.collect_inner(jobs, true, None)
+    }
+
+    /// Like [`ResilientClient::collect_available`], but `on_point` fires
+    /// the moment each fragment arrives — `(index, fragment, cached)` in
+    /// completion order — so a caller (the HTTP gateway's chunked
+    /// stream) can deliver results incrementally. The callback sees each
+    /// point exactly once: progress survives healing, so a refetched
+    /// connection never re-announces an already-collected fragment.
+    pub fn collect_available_with(
+        &mut self,
+        jobs: &[PointJob],
+        on_point: PointSink<'_>,
+    ) -> Result<Vec<Option<(String, bool)>>, ClientError> {
+        self.collect_inner(jobs, true, Some(on_point))
     }
 
     fn collect_inner(
         &mut self,
         jobs: &[PointJob],
         partial: bool,
+        mut on_point: Option<PointSink<'_>>,
     ) -> Result<Vec<Option<(String, bool)>>, ClientError> {
         let started = Instant::now();
         let mut rng = SimRng::new(self.policy.seed).derive(RECONNECT_SALT);
@@ -204,6 +223,7 @@ impl ResilientClient {
                 &mut fetch_tried,
                 &mut round_trips,
                 partial.then_some(&mut unreachable),
+                &mut on_point,
             ) {
                 // Ok may still leave points missing (stale tickets were
                 // invalidated after a daemon restart): loop again on the
@@ -257,6 +277,7 @@ impl ResilientClient {
         fetch_tried: &mut [bool],
         round_trips: &mut u64,
         mut unreachable: Option<&mut Vec<bool>>,
+        on_point: &mut Option<PointSink<'_>>,
     ) -> Result<(), ClientError> {
         let policy = self.policy;
         let client = self.client.as_mut().expect("ensure_connected ran");
@@ -303,6 +324,9 @@ impl ResilientClient {
             match client.fetch_fragment_checked(&id) {
                 Ok(pair) => {
                     *round_trips += 1;
+                    if let Some(cb) = on_point.as_deref_mut() {
+                        cb(i, &pair.0, pair.1);
+                    }
                     fragments[i] = Some(pair);
                 }
                 Err(ClientError::Unreachable(_)) if unreachable.is_some() => {
